@@ -1,0 +1,54 @@
+//! Benchmark E5 (runtime side): cost of one DBN belief update over every node
+//! of the full network, and of learning the probability tables from a short
+//! data-collection run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbn::learn::{learn_model, LearnConfig};
+use dbn::DbnFilter;
+use ics_sim::{DefenderAction, IcsEnvironment, SimConfig};
+
+fn bench_dbn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dbn");
+    group.sample_size(10);
+
+    let sim = SimConfig::full().with_max_time(200);
+    let model = learn_model(&LearnConfig {
+        episodes: 1,
+        seed: 0,
+        sim: SimConfig::small().with_max_time(200),
+    });
+
+    // A representative observation stream from the full network.
+    let mut env = IcsEnvironment::new(sim.with_seed(3));
+    let _ = env.reset();
+    let mut observations = Vec::new();
+    for _ in 0..50 {
+        observations.push(env.step(&[DefenderAction::NoAction]).observation);
+    }
+    let node_count = env.topology().node_count();
+
+    group.bench_function("filter_update_50_steps_full_topology", |b| {
+        b.iter(|| {
+            let mut filter = DbnFilter::new(model.clone(), node_count);
+            for obs in &observations {
+                filter.update(obs);
+            }
+            filter.expected_compromised()
+        })
+    });
+
+    group.bench_function("learn_model_one_small_episode", |b| {
+        b.iter(|| {
+            learn_model(&LearnConfig {
+                episodes: 1,
+                seed: 1,
+                sim: SimConfig::tiny().with_max_time(100),
+            })
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_dbn);
+criterion_main!(benches);

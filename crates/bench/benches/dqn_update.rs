@@ -1,0 +1,69 @@
+//! Benchmark of one augmented-DQN training slice: environment interaction
+//! plus prioritized-replay sampling, double-DQN target computation and a
+//! gradient step — the inner loop whose cost determines how long the §4.2
+//! training run takes on CPU.
+
+use acso_core::agent::{AcsoAgent, AgentConfig, AttentionQNet};
+use acso_core::ActionSpace;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbn::learn::{learn_model, LearnConfig};
+use ics_sim::{IcsEnvironment, SimConfig};
+use rl::DqnConfig;
+
+fn bench_training_slice(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dqn_training");
+    group.sample_size(10);
+
+    let sim = SimConfig::small().with_max_time(300);
+    let model = learn_model(&LearnConfig {
+        episodes: 1,
+        seed: 0,
+        sim: sim.clone(),
+    });
+
+    group.bench_function("interact_and_update_64_steps_small_topology", |b| {
+        b.iter(|| {
+            let mut env = IcsEnvironment::new(sim.clone().with_seed(5));
+            let space = ActionSpace::new(env.topology());
+            let net = AttentionQNet::new(space, 0);
+            let config = AgentConfig {
+                dqn: DqnConfig {
+                    warmup_transitions: 16,
+                    update_every: 8,
+                    batch_size: 16,
+                    n_step: 8,
+                    ..DqnConfig::smoke()
+                },
+                learning_rate: 1e-4,
+                seed: 0,
+            };
+            let mut agent = AcsoAgent::new(env.topology(), model.clone(), net, config);
+            agent.begin_episode();
+            let obs = env.reset();
+            let (mut action, mut features) = agent.select_action(&obs);
+            let mut updates = 0u32;
+            for _ in 0..64 {
+                let step = env.step(&[agent.action_space().decode(action)]);
+                let (next_action, next_features) = agent.select_action(&step.observation);
+                agent.store_transition(
+                    features,
+                    action,
+                    step.reward + step.shaping_reward,
+                    next_features.clone(),
+                    step.done,
+                );
+                if agent.maybe_train().is_some() {
+                    updates += 1;
+                }
+                action = next_action;
+                features = next_features;
+            }
+            updates
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_training_slice);
+criterion_main!(benches);

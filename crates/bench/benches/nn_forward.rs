@@ -1,0 +1,77 @@
+//! Benchmark E7: forward/backward cost and parameter counts of the attention
+//! Q-network (Table 6) versus the flattened baseline network (Table 7), on
+//! both the small and the full topology. The attention network's parameter
+//! count is independent of the topology size; the baseline's is not.
+
+use acso_core::agent::{AttentionQNet, BaselineConvQNet, QNetwork};
+use acso_core::features::NodeFeatureEncoder;
+use acso_core::ActionSpace;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbn::learn::{learn_model, LearnConfig};
+use dbn::DbnFilter;
+use ics_net::TopologySpec;
+use ics_sim::{IcsEnvironment, SimConfig};
+
+fn state_for(spec: TopologySpec) -> (acso_core::StateFeatures, ActionSpace) {
+    let sim = SimConfig {
+        topology: spec,
+        ..SimConfig::tiny()
+    }
+    .with_max_time(50);
+    let model = learn_model(&LearnConfig {
+        episodes: 1,
+        seed: 0,
+        sim: sim.clone(),
+    });
+    let mut env = IcsEnvironment::new(sim);
+    let obs = env.reset();
+    let encoder = NodeFeatureEncoder::new(env.topology());
+    let filter = DbnFilter::new(model, env.topology().node_count());
+    (encoder.encode(&obs, &filter), ActionSpace::new(env.topology()))
+}
+
+fn bench_networks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("q_networks");
+    group.sample_size(20);
+
+    for (label, spec) in [
+        ("small", TopologySpec::paper_small()),
+        ("full", TopologySpec::paper_full()),
+    ] {
+        let (features, space) = state_for(spec);
+        let mut attention = AttentionQNet::new(space.clone(), 0);
+        let mut baseline = BaselineConvQNet::new(space.clone(), 0);
+        println!(
+            "[{label}] attention parameters: {}, baseline parameters: {}",
+            attention.parameter_count(),
+            baseline.parameter_count()
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("attention_forward", label),
+            &features,
+            |b, features| b.iter(|| attention.q_values(features)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("baseline_forward", label),
+            &features,
+            |b, features| b.iter(|| baseline.q_values(features)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("attention_forward_backward", label),
+            &features,
+            |b, features| {
+                b.iter(|| {
+                    let q = attention.q_values(features);
+                    let mut grad = vec![0.0f32; q.len()];
+                    grad[1] = 1.0;
+                    attention.backward(&grad);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_networks);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Benchmark E8: INASIM simulation throughput ("super-real-time" claim of
+//! §3.1) — how many simulated hours per second the environment sustains under
+//! an undefended network and under the playbook defender.
+
+use acso_core::baselines::PlaybookPolicy;
+use acso_core::policy::DefenderPolicy;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ics_sim::{DefenderAction, IcsEnvironment, SimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_throughput");
+    group.sample_size(10);
+
+    for (label, config) in [
+        ("small_topology", SimConfig::small().with_max_time(500)),
+        ("full_topology", SimConfig::full().with_max_time(500)),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("undefended_500h", label),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    let mut env = IcsEnvironment::new(config.clone().with_seed(7));
+                    env.run_episode(|_, _| vec![DefenderAction::NoAction])
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("playbook_500h", label),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    let mut env = IcsEnvironment::new(config.clone().with_seed(7));
+                    let mut policy = PlaybookPolicy::new();
+                    policy.reset(env.topology());
+                    let mut rng = StdRng::seed_from_u64(1);
+                    env.run_episode(|obs, env| policy.decide(obs, env.topology(), &mut rng))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_throughput);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Reproduces Figure 6: defender performance under perturbations of the
+//! APT's cleanup effectiveness (nominal training value 0.5).
+//!
+//! Run with `--smoke`, `--quick` (default) or `--paper` to choose the scale.
+
+use acso_bench::{fmt_mean, print_header, Scale};
+use acso_core::experiments::{fig6, prepare};
+
+fn main() {
+    let scale = Scale::from_args(std::env::args().skip(1));
+    print_header("Figure 6 — APT Cleanup Effectiveness Experiments", scale);
+
+    let start = std::time::Instant::now();
+    println!("Training ACSO defender...");
+    let mut ctx = prepare(scale.experiment_scale());
+    println!("Sweeping cleanup effectiveness...");
+    let result = fig6(&mut ctx);
+
+    println!();
+    println!("(a) Final PLCs offline");
+    print!("{:<14}", "policy");
+    for e in &result.effectiveness {
+        print!(" {:>14}", format!("eff={e:.1}"));
+    }
+    println!();
+    for series in &result.series {
+        print!("{:<14}", series.policy);
+        for v in &series.plcs_offline {
+            print!(" {:>14}", fmt_mean(v));
+        }
+        println!();
+    }
+
+    println!();
+    println!("(b) Average level-2/1 nodes compromised");
+    for series in &result.series {
+        print!("{:<14}", series.policy);
+        for v in &series.nodes_compromised {
+            print!(" {:>14}", fmt_mean(v));
+        }
+        println!();
+    }
+
+    println!();
+    println!("(supplementary) Average IT cost");
+    for series in &result.series {
+        print!("{:<14}", series.policy);
+        for v in &series.it_cost {
+            print!(" {:>14}", fmt_mean(v));
+        }
+        println!();
+    }
+
+    println!();
+    println!("Paper reference: both ACSO and playbook degrade as effectiveness rises above the");
+    println!("nominal 0.5, with the playbook failing sooner and more sharply; the DBN expert is");
+    println!("insensitive but pays a much higher action cost.");
+    println!("Total wall-clock: {:.1?}", start.elapsed());
+}

@@ -1,0 +1,46 @@
+//! Reproduces the §4.2 hyper-parameter grid search protocol on the reduced
+//! network: shaping reward on/off, target-network update interval and
+//! ε-greedy decay rate.
+//!
+//! Run with `--smoke`, `--quick` (default) or `--paper` to choose the scale.
+
+use acso_bench::{print_header, Scale};
+use acso_core::experiments::grid_search;
+
+fn main() {
+    let scale = Scale::from_args(std::env::args().skip(1));
+    print_header("Section 4.2 — hyper-parameter grid search", scale);
+
+    let start = std::time::Instant::now();
+    let rows = grid_search(&scale.experiment_scale());
+
+    println!();
+    println!(
+        "{:<10} {:>22} {:>14} {:>16}",
+        "shaping", "target update interval", "eps decay", "mean return"
+    );
+    let mut best: Option<&acso_core::experiments::GridSearchRow> = None;
+    for row in &rows {
+        println!(
+            "{:<10} {:>22} {:>14} {:>16.1}",
+            if row.shaping { "on" } else { "off" },
+            row.target_update_interval,
+            row.epsilon_decay,
+            row.mean_return
+        );
+        if best.map(|b| row.mean_return > b.mean_return).unwrap_or(true) {
+            best = Some(row);
+        }
+    }
+    if let Some(best) = best {
+        println!();
+        println!(
+            "Best configuration: shaping={}, target update={}, eps decay={}",
+            best.shaping, best.target_update_interval, best.epsilon_decay
+        );
+    }
+    println!();
+    println!("Paper reference: the shaping reward was critical for learning a meaningful policy;");
+    println!("the selected configuration uses the 1/(1-gamma)-scale shaping weight.");
+    println!("Total wall-clock: {:.1?}", start.elapsed());
+}

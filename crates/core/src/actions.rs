@@ -1,0 +1,214 @@
+//! The flat defender action space used by the Q-learning agent.
+//!
+//! The paper's action-value network outputs one value per (action, target)
+//! pair plus a no-action value; for the full network of Fig. 2 this is a few
+//! hundred outputs (Table 7 lists 329). This module enumerates the pairs and
+//! maps between flat indices and [`DefenderAction`]s.
+
+use ics_net::{NodeId, PlcId, Topology};
+use ics_sim::orchestrator::{
+    DefenderAction, InvestigationKind, MitigationKind, PlcRecoveryKind,
+};
+use serde::{Deserialize, Serialize};
+
+/// Number of distinct per-node action kinds (3 investigations + 4 mitigations).
+pub const ACTIONS_PER_NODE: usize = 7;
+/// Number of distinct per-PLC action kinds.
+pub const ACTIONS_PER_PLC: usize = 2;
+
+/// The enumerated defender action space for a fixed topology.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActionSpace {
+    node_count: usize,
+    plc_count: usize,
+}
+
+impl ActionSpace {
+    /// Builds the action space for a topology.
+    pub fn new(topology: &Topology) -> Self {
+        Self {
+            node_count: topology.node_count(),
+            plc_count: topology.plc_count(),
+        }
+    }
+
+    /// Builds the action space from raw counts (useful in tests).
+    pub fn from_counts(node_count: usize, plc_count: usize) -> Self {
+        Self {
+            node_count,
+            plc_count,
+        }
+    }
+
+    /// Number of nodes covered by the action space.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of PLCs covered by the action space.
+    pub fn plc_count(&self) -> usize {
+        self.plc_count
+    }
+
+    /// Total number of flat actions: 1 no-action + 7 per node + 2 per PLC.
+    pub fn len(&self) -> usize {
+        1 + ACTIONS_PER_NODE * self.node_count + ACTIONS_PER_PLC * self.plc_count
+    }
+
+    /// The action space is never empty (no-action always exists).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Index of the no-action entry (always zero).
+    pub fn no_action_index(&self) -> usize {
+        0
+    }
+
+    /// Decodes a flat index into a concrete defender action.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn decode(&self, index: usize) -> DefenderAction {
+        assert!(index < self.len(), "action index {index} out of range");
+        if index == 0 {
+            return DefenderAction::NoAction;
+        }
+        let index = index - 1;
+        let node_block = ACTIONS_PER_NODE * self.node_count;
+        if index < node_block {
+            let node = NodeId::from_index(index / ACTIONS_PER_NODE);
+            return match index % ACTIONS_PER_NODE {
+                0 => DefenderAction::Investigate {
+                    kind: InvestigationKind::SimpleScan,
+                    node,
+                },
+                1 => DefenderAction::Investigate {
+                    kind: InvestigationKind::AdvancedScan,
+                    node,
+                },
+                2 => DefenderAction::Investigate {
+                    kind: InvestigationKind::HumanAnalysis,
+                    node,
+                },
+                3 => DefenderAction::Mitigate {
+                    kind: MitigationKind::Reboot,
+                    node,
+                },
+                4 => DefenderAction::Mitigate {
+                    kind: MitigationKind::ResetPassword,
+                    node,
+                },
+                5 => DefenderAction::Mitigate {
+                    kind: MitigationKind::ReimageNode,
+                    node,
+                },
+                _ => DefenderAction::Mitigate {
+                    kind: MitigationKind::Quarantine,
+                    node,
+                },
+            };
+        }
+        let index = index - node_block;
+        let plc = PlcId::from_index(index / ACTIONS_PER_PLC);
+        match index % ACTIONS_PER_PLC {
+            0 => DefenderAction::RecoverPlc {
+                kind: PlcRecoveryKind::ResetPlc,
+                plc,
+            },
+            _ => DefenderAction::RecoverPlc {
+                kind: PlcRecoveryKind::ReplacePlc,
+                plc,
+            },
+        }
+    }
+
+    /// Encodes a defender action into its flat index.
+    pub fn encode(&self, action: &DefenderAction) -> usize {
+        match action {
+            DefenderAction::NoAction => 0,
+            DefenderAction::Investigate { kind, node } => {
+                let offset = match kind {
+                    InvestigationKind::SimpleScan => 0,
+                    InvestigationKind::AdvancedScan => 1,
+                    InvestigationKind::HumanAnalysis => 2,
+                };
+                1 + node.index() * ACTIONS_PER_NODE + offset
+            }
+            DefenderAction::Mitigate { kind, node } => {
+                let offset = match kind {
+                    MitigationKind::Reboot => 3,
+                    MitigationKind::ResetPassword => 4,
+                    MitigationKind::ReimageNode => 5,
+                    MitigationKind::Quarantine => 6,
+                };
+                1 + node.index() * ACTIONS_PER_NODE + offset
+            }
+            DefenderAction::RecoverPlc { kind, plc } => {
+                let offset = match kind {
+                    PlcRecoveryKind::ResetPlc => 0,
+                    PlcRecoveryKind::ReplacePlc => 1,
+                };
+                1 + ACTIONS_PER_NODE * self.node_count + plc.index() * ACTIONS_PER_PLC + offset
+            }
+        }
+    }
+
+    /// Iterates over every flat index together with its decoded action.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, DefenderAction)> + '_ {
+        (0..self.len()).map(move |i| (i, self.decode(i)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ics_net::TopologySpec;
+
+    #[test]
+    fn full_topology_action_count_matches_paper_scale() {
+        let topo = Topology::build(&TopologySpec::paper_full());
+        let space = ActionSpace::new(&topo);
+        // 1 + 7*33 + 2*50 = 332, the same order as the paper's 329 outputs.
+        assert_eq!(space.len(), 332);
+        assert_eq!(space.node_count(), 33);
+        assert_eq!(space.plc_count(), 50);
+        assert!(!space.is_empty());
+    }
+
+    #[test]
+    fn encode_decode_round_trips_every_action() {
+        let space = ActionSpace::from_counts(5, 3);
+        for (index, action) in space.iter() {
+            assert_eq!(space.encode(&action), index, "round trip failed for {action}");
+        }
+        assert_eq!(space.decode(space.no_action_index()), DefenderAction::NoAction);
+    }
+
+    #[test]
+    fn decode_covers_all_kinds() {
+        let space = ActionSpace::from_counts(2, 2);
+        let mut investigations = 0;
+        let mut mitigations = 0;
+        let mut plc_actions = 0;
+        for (_, action) in space.iter() {
+            match action {
+                DefenderAction::Investigate { .. } => investigations += 1,
+                DefenderAction::Mitigate { .. } => mitigations += 1,
+                DefenderAction::RecoverPlc { .. } => plc_actions += 1,
+                DefenderAction::NoAction => {}
+            }
+        }
+        assert_eq!(investigations, 6);
+        assert_eq!(mitigations, 8);
+        assert_eq!(plc_actions, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn decode_checks_bounds() {
+        let space = ActionSpace::from_counts(1, 1);
+        let _ = space.decode(space.len());
+    }
+}

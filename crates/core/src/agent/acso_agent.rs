@@ -1,0 +1,334 @@
+//! The ACSO agent: a Q-network, the DBN filter, and the augmented DQN
+//! training machinery, behind both a training interface and the common
+//! [`DefenderPolicy`] evaluation interface.
+
+use crate::actions::ActionSpace;
+use crate::agent::QNetwork;
+use crate::features::{NodeFeatureEncoder, StateFeatures};
+use crate::policy::DefenderPolicy;
+use dbn::{DbnFilter, DbnModel};
+use ics_net::Topology;
+use ics_sim::{DefenderAction, Observation};
+use neural::optim::Adam;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rl::{epsilon_greedy, DqnConfig, DqnTrainer, Transition};
+
+/// Configuration of the agent's learner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgentConfig {
+    /// Augmented-DQN hyper-parameters (§4.2).
+    pub dqn: DqnConfig,
+    /// Adam learning rate (the paper uses 1e-4).
+    pub learning_rate: f32,
+    /// Seed for the agent's exploration RNG.
+    pub seed: u64,
+}
+
+impl Default for AgentConfig {
+    fn default() -> Self {
+        Self {
+            dqn: DqnConfig::paper(),
+            learning_rate: 1e-4,
+            seed: 0,
+        }
+    }
+}
+
+impl AgentConfig {
+    /// A configuration sized for CPU smoke-training runs.
+    pub fn smoke() -> Self {
+        Self {
+            dqn: DqnConfig::smoke(),
+            learning_rate: 3e-4,
+            seed: 0,
+        }
+    }
+}
+
+/// The ACSO defender agent.
+pub struct AcsoAgent<N: QNetwork + Clone> {
+    online: N,
+    target: N,
+    trainer: DqnTrainer<StateFeatures>,
+    optimizer: Adam,
+    action_space: ActionSpace,
+    encoder: NodeFeatureEncoder,
+    filter: DbnFilter,
+    rng: StdRng,
+    /// Whether action selection explores (training) or is purely greedy
+    /// (evaluation).
+    explore: bool,
+    losses: Vec<f32>,
+}
+
+impl<N: QNetwork + Clone> AcsoAgent<N> {
+    /// Creates an agent for a topology with the given Q-network and learned
+    /// DBN model.
+    pub fn new(topology: &Topology, dbn_model: DbnModel, network: N, config: AgentConfig) -> Self {
+        let action_space = ActionSpace::new(topology);
+        let encoder = NodeFeatureEncoder::new(topology);
+        let filter = DbnFilter::new(dbn_model, topology.node_count());
+        let target = network.clone();
+        Self {
+            online: network,
+            target,
+            trainer: DqnTrainer::new(config.dqn),
+            optimizer: Adam::new(config.learning_rate),
+            action_space,
+            encoder,
+            filter,
+            rng: StdRng::seed_from_u64(config.seed),
+            explore: true,
+            losses: Vec::new(),
+        }
+    }
+
+    /// The flat action space the agent selects from.
+    pub fn action_space(&self) -> &ActionSpace {
+        &self.action_space
+    }
+
+    /// Current exploration rate.
+    pub fn epsilon(&self) -> f64 {
+        self.trainer.epsilon()
+    }
+
+    /// Mean training loss over the most recent updates (diagnostics).
+    pub fn recent_loss(&self) -> f32 {
+        if self.losses.is_empty() {
+            0.0
+        } else {
+            self.losses.iter().sum::<f32>() / self.losses.len() as f32
+        }
+    }
+
+    /// Switches between exploring (training) and greedy (evaluation) action
+    /// selection.
+    pub fn set_explore(&mut self, explore: bool) {
+        self.explore = explore;
+    }
+
+    /// Resets per-episode state (the belief filter). Call at every episode
+    /// start, for training and evaluation alike.
+    pub fn begin_episode(&mut self) {
+        self.filter.reset();
+    }
+
+    /// Finishes a training episode: decays ε and flushes the n-step window.
+    pub fn end_episode(&mut self) {
+        self.trainer.end_episode();
+        self.losses.clear();
+    }
+
+    /// Updates the belief filter with an observation, encodes the state, and
+    /// selects an action index (ε-greedy when exploring, greedy otherwise).
+    pub fn select_action(&mut self, observation: &Observation) -> (usize, StateFeatures) {
+        self.filter.update(observation);
+        let features = self.encoder.encode(observation, &self.filter);
+        let q = self.online.q_values(&features);
+        let epsilon = if self.explore { self.trainer.epsilon() } else { 0.0 };
+        let action = epsilon_greedy(&q, epsilon, &mut self.rng);
+        (action, features)
+    }
+
+    /// Records a transition for learning.
+    pub fn store_transition(
+        &mut self,
+        state: StateFeatures,
+        action: usize,
+        reward: f64,
+        next_state: StateFeatures,
+        done: bool,
+    ) {
+        self.trainer.observe(Transition {
+            state,
+            action,
+            reward,
+            next_state,
+            done,
+        });
+    }
+
+    /// Runs one gradient update if the trainer says it is time. Returns the
+    /// batch loss when an update happened.
+    pub fn maybe_train(&mut self) -> Option<f32> {
+        if !self.trainer.should_update() {
+            return None;
+        }
+        let batch = self.trainer.sample_batch(&mut self.rng);
+        if batch.is_empty() {
+            return None;
+        }
+        let gamma = self.trainer.config().gamma;
+        let mut errors = Vec::with_capacity(batch.len());
+        let mut loss_sum = 0.0f32;
+        self.online.zero_grad();
+
+        for sample in &batch {
+            let t = &sample.item;
+            // Double DQN target: the online network chooses the bootstrap
+            // action, the target network evaluates it.
+            let bootstrap = if t.done {
+                0.0
+            } else {
+                let online_next = self.online.q_values(&t.final_state);
+                let best = rl::policy::greedy(&online_next);
+                let target_next = self.target.q_values(&t.final_state);
+                f64::from(target_next[best])
+            };
+            let td_target = t.return_n + t.bootstrap_discount(gamma) * bootstrap;
+
+            let q = self.online.q_values(&t.state);
+            let prediction = f64::from(q[t.action]);
+            let td_error = prediction - td_target;
+
+            // Huber gradient on the selected action only, importance-weighted.
+            let delta = 1.0f64;
+            let grad_value = td_error.clamp(-delta, delta) * sample.weight / batch.len() as f64;
+            let mut grad = vec![0.0f32; q.len()];
+            grad[t.action] = grad_value as f32;
+            self.online.backward(&grad);
+
+            let huber = if td_error.abs() <= delta {
+                0.5 * td_error * td_error
+            } else {
+                delta * (td_error.abs() - 0.5 * delta)
+            };
+            loss_sum += huber as f32;
+            errors.push((sample.index, td_error.abs()));
+        }
+
+        self.optimizer.step(&mut self.online.params_mut());
+        let sync = self.trainer.record_update(&errors);
+        if sync {
+            self.target.copy_params_from(&mut self.online);
+        }
+        let loss = loss_sum / batch.len() as f32;
+        self.losses.push(loss);
+        Some(loss)
+    }
+
+    /// Total environment steps the agent has observed.
+    pub fn env_steps(&self) -> u64 {
+        self.trainer.env_steps()
+    }
+
+    /// Total gradient updates performed.
+    pub fn updates(&self) -> u64 {
+        self.trainer.updates()
+    }
+}
+
+impl<N: QNetwork + Clone> DefenderPolicy for AcsoAgent<N> {
+    fn name(&self) -> &str {
+        "ACSO"
+    }
+
+    fn reset(&mut self, _topology: &Topology) {
+        self.begin_episode();
+    }
+
+    fn decide(
+        &mut self,
+        observation: &Observation,
+        _topology: &Topology,
+        _rng: &mut StdRng,
+    ) -> Vec<DefenderAction> {
+        let explore = self.explore;
+        self.explore = false;
+        let (action, _) = self.select_action(observation);
+        self.explore = explore;
+        vec![self.action_space.decode(action)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::AttentionQNet;
+    use dbn::learn::{learn_model, LearnConfig};
+    use ics_sim::{IcsEnvironment, SimConfig};
+
+    fn make_agent(seed: u64) -> (IcsEnvironment, AcsoAgent<AttentionQNet>) {
+        let sim = SimConfig::tiny().with_max_time(120).with_seed(seed);
+        let model = learn_model(&LearnConfig {
+            episodes: 1,
+            seed,
+            sim: sim.clone(),
+        });
+        let env = IcsEnvironment::new(sim);
+        let space = ActionSpace::new(env.topology());
+        let net = AttentionQNet::new(space, seed);
+        let config = AgentConfig {
+            dqn: DqnConfig {
+                warmup_transitions: 16,
+                update_every: 8,
+                batch_size: 8,
+                n_step: 3,
+                target_update_interval: 4,
+                ..DqnConfig::smoke()
+            },
+            learning_rate: 1e-3,
+            seed,
+        };
+        let agent = AcsoAgent::new(env.topology(), model, net, config);
+        (env, agent)
+    }
+
+    #[test]
+    fn agent_selects_valid_actions_and_trains() {
+        let (mut env, mut agent) = make_agent(3);
+        agent.begin_episode();
+        let obs = env.reset();
+        let (mut action, mut features) = agent.select_action(&obs);
+        let mut trained = false;
+        for _ in 0..80 {
+            assert!(action < agent.action_space().len());
+            let step = env.step(&[agent.action_space().decode(action)]);
+            let (next_action, next_features) = agent.select_action(&step.observation);
+            agent.store_transition(
+                features,
+                action,
+                step.reward + step.shaping_reward,
+                next_features.clone(),
+                step.done,
+            );
+            if agent.maybe_train().is_some() {
+                trained = true;
+            }
+            action = next_action;
+            features = next_features;
+            if step.done {
+                break;
+            }
+        }
+        agent.end_episode();
+        assert!(trained, "agent should perform at least one gradient update");
+        assert!(agent.env_steps() > 0);
+        assert!(agent.updates() > 0);
+        assert!(agent.recent_loss() >= 0.0 || agent.recent_loss().is_nan() == false);
+    }
+
+    #[test]
+    fn epsilon_decays_across_episodes() {
+        let (_, mut agent) = make_agent(5);
+        let before = agent.epsilon();
+        agent.end_episode();
+        agent.end_episode();
+        assert!(agent.epsilon() < before);
+    }
+
+    #[test]
+    fn defender_policy_interface_is_greedy_and_valid() {
+        let (mut env, mut agent) = make_agent(7);
+        agent.set_explore(false);
+        let obs = env.reset();
+        let topo = env.topology().clone();
+        let mut rng = StdRng::seed_from_u64(0);
+        agent.reset(&topo);
+        let actions = agent.decide(&obs, &topo, &mut rng);
+        assert_eq!(actions.len(), 1);
+        assert_eq!(agent.name(), "ACSO");
+    }
+}

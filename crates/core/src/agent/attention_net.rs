@@ -1,0 +1,413 @@
+//! The attention-based Q-network of Fig. 5 and Table 6.
+//!
+//! Each node's belief/observation features are embedded by a shared MLP,
+//! mixed across nodes by global self-attention, concatenated with the PLC
+//! summary, and decoded by per-node-type output heads into action values.
+//! Because every sub-graph is shared across nodes of a type, the parameter
+//! count does not grow with the number of nodes on the network — the central
+//! architectural claim of the paper.
+
+use crate::actions::{ActionSpace, ACTIONS_PER_NODE, ACTIONS_PER_PLC};
+use crate::agent::QNetwork;
+use crate::features::{StateFeatures, NODE_FEATURE_DIM, PLC_FEATURE_DIM, PLC_SUMMARY_DIM};
+use neural::layers::{Activation, Dense, SelfAttention};
+use neural::{Layer, Matrix, Param};
+
+const EMBED_HIDDEN: usize = 64;
+const EMBED_OUT: usize = 32;
+const CTX_DIM: usize = 64;
+const HEAD_HIDDEN: usize = 128;
+
+/// The attention Q-network (Fig. 5 / Table 6).
+#[derive(Debug, Clone)]
+pub struct AttentionQNet {
+    action_space: ActionSpace,
+
+    embed1: Dense,
+    embed_act1: Activation,
+    embed2: Dense,
+    embed_act2: Activation,
+    embed3: Dense,
+    embed_act3: Activation,
+
+    attn1: SelfAttention,
+    attn2: SelfAttention,
+
+    host_head1: Dense,
+    host_act: Activation,
+    host_head2: Dense,
+    host_out: Activation,
+
+    server_head1: Dense,
+    server_act: Activation,
+    server_head2: Dense,
+    server_out: Activation,
+
+    plc_head1: Dense,
+    plc_act: Activation,
+    plc_head2: Dense,
+    plc_out: Activation,
+
+    noact_head1: Dense,
+    noact_act: Activation,
+    noact_head2: Dense,
+    noact_out: Activation,
+
+    cache: Option<ForwardCache>,
+}
+
+#[derive(Debug, Clone)]
+struct ForwardCache {
+    node_count: usize,
+    plc_count: usize,
+    host_rows: Vec<usize>,
+    server_rows: Vec<usize>,
+}
+
+impl AttentionQNet {
+    /// Builds the network for a given action space (which fixes the node and
+    /// PLC counts the flat output must cover, though the parameters are
+    /// independent of both).
+    pub fn new(action_space: ActionSpace, seed: u64) -> Self {
+        let head_in = CTX_DIM + PLC_SUMMARY_DIM;
+        let plc_head_in = PLC_FEATURE_DIM + CTX_DIM;
+        Self {
+            action_space,
+            embed1: Dense::new(NODE_FEATURE_DIM, EMBED_HIDDEN, seed.wrapping_add(1)),
+            embed_act1: Activation::relu(),
+            embed2: Dense::new(EMBED_HIDDEN, EMBED_HIDDEN, seed.wrapping_add(2)),
+            embed_act2: Activation::relu(),
+            embed3: Dense::new(EMBED_HIDDEN, EMBED_OUT, seed.wrapping_add(3)),
+            embed_act3: Activation::relu(),
+            attn1: SelfAttention::new(EMBED_OUT, CTX_DIM, CTX_DIM, seed.wrapping_add(4)),
+            attn2: SelfAttention::new(CTX_DIM, CTX_DIM, CTX_DIM, seed.wrapping_add(5)),
+            host_head1: Dense::new(head_in, HEAD_HIDDEN, seed.wrapping_add(6)),
+            host_act: Activation::relu(),
+            host_head2: Dense::new(HEAD_HIDDEN, ACTIONS_PER_NODE, seed.wrapping_add(7)),
+            host_out: Activation::tanh(),
+            server_head1: Dense::new(head_in, HEAD_HIDDEN, seed.wrapping_add(8)),
+            server_act: Activation::relu(),
+            server_head2: Dense::new(HEAD_HIDDEN, ACTIONS_PER_NODE, seed.wrapping_add(9)),
+            server_out: Activation::tanh(),
+            plc_head1: Dense::new(plc_head_in, HEAD_HIDDEN, seed.wrapping_add(10)),
+            plc_act: Activation::relu(),
+            plc_head2: Dense::new(HEAD_HIDDEN, ACTIONS_PER_PLC, seed.wrapping_add(11)),
+            plc_out: Activation::tanh(),
+            noact_head1: Dense::new(head_in, HEAD_HIDDEN, seed.wrapping_add(12)),
+            noact_act: Activation::relu(),
+            noact_head2: Dense::new(HEAD_HIDDEN, 1, seed.wrapping_add(13)),
+            noact_out: Activation::tanh(),
+            cache: None,
+        }
+    }
+
+    /// The action space the flat output covers.
+    pub fn action_space(&self) -> &ActionSpace {
+        &self.action_space
+    }
+
+    fn broadcast_rows(row: &Matrix, rows: usize) -> Matrix {
+        let mut out = Matrix::zeros(rows, row.cols());
+        for i in 0..rows {
+            for j in 0..row.cols() {
+                out.set(i, j, row.get(0, j));
+            }
+        }
+        out
+    }
+}
+
+impl QNetwork for AttentionQNet {
+    fn q_values(&mut self, features: &StateFeatures) -> Vec<f32> {
+        let n = features.node_count();
+        let p = features.plc_count();
+
+        // Shared per-node embedding.
+        let e = self.embed_act1.forward(&self.embed1.forward(&features.nodes));
+        let e = self.embed_act2.forward(&self.embed2.forward(&e));
+        let e = self.embed_act3.forward(&self.embed3.forward(&e));
+
+        // Global attention over node embeddings.
+        let ctx = self.attn1.forward(&e);
+        let ctx = self.attn2.forward(&ctx);
+        let mean_ctx = ctx.mean_rows();
+
+        // Per-node head input: context + PLC summary.
+        let plc_sum = Self::broadcast_rows(&features.plc_summary, n);
+        let h = ctx.hcat(&plc_sum);
+
+        let host_in = h.select_rows(&features.host_rows);
+        let server_in = h.select_rows(&features.server_rows);
+
+        let q_host = if features.host_rows.is_empty() {
+            Matrix::zeros(0, ACTIONS_PER_NODE)
+        } else {
+            let x = self.host_act.forward(&self.host_head1.forward(&host_in));
+            self.host_out.forward(&self.host_head2.forward(&x))
+        };
+        let q_server = if features.server_rows.is_empty() {
+            Matrix::zeros(0, ACTIONS_PER_NODE)
+        } else {
+            let x = self.server_act.forward(&self.server_head1.forward(&server_in));
+            self.server_out.forward(&self.server_head2.forward(&x))
+        };
+
+        // No-action value from the pooled context.
+        let noact_in = mean_ctx.hcat(&features.plc_summary);
+        let x = self.noact_act.forward(&self.noact_head1.forward(&noact_in));
+        let q_noact = self.noact_out.forward(&self.noact_head2.forward(&x));
+
+        // PLC head: per-PLC status one-hot + pooled context.
+        let q_plc = if p == 0 {
+            Matrix::zeros(0, ACTIONS_PER_PLC)
+        } else {
+            let plc_in = features.plcs.hcat(&Self::broadcast_rows(&mean_ctx, p));
+            let x = self.plc_act.forward(&self.plc_head1.forward(&plc_in));
+            self.plc_out.forward(&self.plc_head2.forward(&x))
+        };
+
+        // Assemble the flat Q-vector in action-space order.
+        let mut q = vec![0.0f32; self.action_space.len()];
+        q[0] = q_noact.get(0, 0);
+        for (row, node) in features.host_rows.iter().enumerate() {
+            for a in 0..ACTIONS_PER_NODE {
+                q[1 + node * ACTIONS_PER_NODE + a] = q_host.get(row, a);
+            }
+        }
+        for (row, node) in features.server_rows.iter().enumerate() {
+            for a in 0..ACTIONS_PER_NODE {
+                q[1 + node * ACTIONS_PER_NODE + a] = q_server.get(row, a);
+            }
+        }
+        let plc_base = 1 + ACTIONS_PER_NODE * n;
+        for plc in 0..p {
+            for a in 0..ACTIONS_PER_PLC {
+                q[plc_base + plc * ACTIONS_PER_PLC + a] = q_plc.get(plc, a);
+            }
+        }
+
+        self.cache = Some(ForwardCache {
+            node_count: n,
+            plc_count: p,
+            host_rows: features.host_rows.clone(),
+            server_rows: features.server_rows.clone(),
+        });
+        q
+    }
+
+    fn backward(&mut self, grad_q: &[f32]) {
+        let cache = self.cache.clone().expect("backward called before q_values");
+        let n = cache.node_count;
+        let p = cache.plc_count;
+        assert_eq!(grad_q.len(), self.action_space.len(), "gradient length mismatch");
+
+        // Split the flat gradient back into per-head blocks.
+        let mut grad_host = Matrix::zeros(cache.host_rows.len(), ACTIONS_PER_NODE);
+        for (row, node) in cache.host_rows.iter().enumerate() {
+            for a in 0..ACTIONS_PER_NODE {
+                grad_host.set(row, a, grad_q[1 + node * ACTIONS_PER_NODE + a]);
+            }
+        }
+        let mut grad_server = Matrix::zeros(cache.server_rows.len(), ACTIONS_PER_NODE);
+        for (row, node) in cache.server_rows.iter().enumerate() {
+            for a in 0..ACTIONS_PER_NODE {
+                grad_server.set(row, a, grad_q[1 + node * ACTIONS_PER_NODE + a]);
+            }
+        }
+        let grad_noact = Matrix::row_vector(&[grad_q[0]]);
+        let plc_base = 1 + ACTIONS_PER_NODE * n;
+        let mut grad_plc = Matrix::zeros(p, ACTIONS_PER_PLC);
+        for plc in 0..p {
+            for a in 0..ACTIONS_PER_PLC {
+                grad_plc.set(plc, a, grad_q[plc_base + plc * ACTIONS_PER_PLC + a]);
+            }
+        }
+
+        let head_in = CTX_DIM + PLC_SUMMARY_DIM;
+        let mut grad_h = Matrix::zeros(n, head_in);
+
+        // Host head.
+        if !cache.host_rows.is_empty() {
+            let g = self.host_out.backward(&grad_host);
+            let g = self.host_head2.backward(&g);
+            let g = self.host_act.backward(&g);
+            let g = self.host_head1.backward(&g);
+            for (row, node) in cache.host_rows.iter().enumerate() {
+                for c in 0..head_in {
+                    grad_h.set(*node, c, grad_h.get(*node, c) + g.get(row, c));
+                }
+            }
+        }
+        // Server head.
+        if !cache.server_rows.is_empty() {
+            let g = self.server_out.backward(&grad_server);
+            let g = self.server_head2.backward(&g);
+            let g = self.server_act.backward(&g);
+            let g = self.server_head1.backward(&g);
+            for (row, node) in cache.server_rows.iter().enumerate() {
+                for c in 0..head_in {
+                    grad_h.set(*node, c, grad_h.get(*node, c) + g.get(row, c));
+                }
+            }
+        }
+
+        // No-action head -> gradient on the pooled context.
+        let g = self.noact_out.backward(&grad_noact);
+        let g = self.noact_head2.backward(&g);
+        let g = self.noact_act.backward(&g);
+        let grad_noact_in = self.noact_head1.backward(&g);
+        let (mut grad_mean_ctx, _grad_plc_summary) = grad_noact_in.hsplit(CTX_DIM);
+
+        // PLC head -> more gradient on the pooled context.
+        if p > 0 {
+            let g = self.plc_out.backward(&grad_plc);
+            let g = self.plc_head2.backward(&g);
+            let g = self.plc_act.backward(&g);
+            let grad_plc_in = self.plc_head1.backward(&g);
+            let (_grad_plc_feats, grad_ctx_from_plc) = grad_plc_in.hsplit(PLC_FEATURE_DIM);
+            grad_mean_ctx.accumulate(&grad_ctx_from_plc.sum_rows());
+        }
+
+        // Split the per-node head gradient into context and PLC-summary parts.
+        let (mut grad_ctx, _grad_plc_sum) = grad_h.hsplit(CTX_DIM);
+
+        // Mean pooling backward: each row receives 1/n of the pooled gradient.
+        let pooled = grad_mean_ctx.scale(1.0 / n.max(1) as f32);
+        for i in 0..n {
+            for c in 0..CTX_DIM {
+                grad_ctx.set(i, c, grad_ctx.get(i, c) + pooled.get(0, c));
+            }
+        }
+
+        // Attention and embedding backward.
+        let g = self.attn2.backward(&grad_ctx);
+        let g = self.attn1.backward(&g);
+        let g = self.embed_act3.backward(&g);
+        let g = self.embed3.backward(&g);
+        let g = self.embed_act2.backward(&g);
+        let g = self.embed2.backward(&g);
+        let g = self.embed_act1.backward(&g);
+        let _ = self.embed1.backward(&g);
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut params = Vec::new();
+        params.extend(self.embed1.params_mut());
+        params.extend(self.embed2.params_mut());
+        params.extend(self.embed3.params_mut());
+        params.extend(self.attn1.params_mut());
+        params.extend(self.attn2.params_mut());
+        params.extend(self.host_head1.params_mut());
+        params.extend(self.host_head2.params_mut());
+        params.extend(self.server_head1.params_mut());
+        params.extend(self.server_head2.params_mut());
+        params.extend(self.plc_head1.params_mut());
+        params.extend(self.plc_head2.params_mut());
+        params.extend(self.noact_head1.params_mut());
+        params.extend(self.noact_head2.params_mut());
+        params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::NodeFeatureEncoder;
+    use dbn::learn::{learn_model, LearnConfig};
+    use dbn::DbnFilter;
+    use ics_net::{Topology, TopologySpec};
+    use ics_sim::{IcsEnvironment, SimConfig};
+
+    fn features_for(spec: &TopologySpec, seed: u64) -> (StateFeatures, ActionSpace) {
+        let sim = SimConfig {
+            topology: spec.clone(),
+            ..SimConfig::tiny()
+        }
+        .with_max_time(60)
+        .with_seed(seed);
+        let model = learn_model(&LearnConfig {
+            episodes: 1,
+            seed,
+            sim: sim.clone(),
+        });
+        let mut env = IcsEnvironment::new(sim);
+        let obs = env.reset();
+        let encoder = NodeFeatureEncoder::new(env.topology());
+        let filter = DbnFilter::new(model, env.topology().node_count());
+        let space = ActionSpace::new(env.topology());
+        (encoder.encode(&obs, &filter), space)
+    }
+
+    #[test]
+    fn q_output_covers_the_action_space_and_is_bounded() {
+        let (features, space) = features_for(&TopologySpec::tiny(), 1);
+        let mut net = AttentionQNet::new(space.clone(), 0);
+        let q = net.q_values(&features);
+        assert_eq!(q.len(), space.len());
+        assert!(q.iter().all(|v| v.abs() <= 1.0), "tanh heads bound Q values");
+        assert_eq!(net.action_space().len(), space.len());
+    }
+
+    #[test]
+    fn parameter_count_is_independent_of_network_size() {
+        let (_, small_space) = features_for(&TopologySpec::tiny(), 2);
+        let (_, large_space) = features_for(&TopologySpec::paper_small(), 3);
+        let mut small = AttentionQNet::new(small_space, 0);
+        let mut large = AttentionQNet::new(large_space, 0);
+        assert_eq!(small.parameter_count(), large.parameter_count());
+        // Comfortably under a million parameters.
+        assert!(small.parameter_count() < 1_000_000);
+    }
+
+    #[test]
+    fn backward_accumulates_gradients_for_selected_action() {
+        let (features, space) = features_for(&TopologySpec::tiny(), 4);
+        let mut net = AttentionQNet::new(space.clone(), 7);
+        let q = net.q_values(&features);
+        let mut grad = vec![0.0f32; q.len()];
+        grad[3] = 1.0; // some per-node action
+        grad[0] = 0.5; // the no-action value
+        net.zero_grad();
+        net.backward(&grad);
+        let total_grad: f32 = net.params_mut().iter().map(|p| p.grad.norm()).sum();
+        assert!(total_grad > 0.0, "backward should produce non-zero gradients");
+    }
+
+    #[test]
+    fn training_step_reduces_td_error_on_a_fixed_target() {
+        let (features, space) = features_for(&TopologySpec::tiny(), 5);
+        let mut net = AttentionQNet::new(space.clone(), 11);
+        let mut opt = neural::optim::Adam::new(1e-3);
+        let action = 2usize;
+        let target = 0.7f32;
+        let initial_error = (net.q_values(&features)[action] - target).abs();
+        for _ in 0..60 {
+            let q = net.q_values(&features);
+            let mut grad = vec![0.0f32; q.len()];
+            grad[action] = q[action] - target;
+            net.zero_grad();
+            net.backward(&grad);
+            opt.step(&mut net.params_mut());
+        }
+        let final_error = (net.q_values(&features)[action] - target).abs();
+        assert!(
+            final_error < initial_error * 0.5,
+            "TD error did not shrink: {initial_error} -> {final_error}"
+        );
+    }
+
+    #[test]
+    fn target_network_copy_matches_online_outputs() {
+        let (features, space) = features_for(&TopologySpec::tiny(), 6);
+        let mut online = AttentionQNet::new(space.clone(), 1);
+        let mut target = AttentionQNet::new(space, 2);
+        let q_online = online.q_values(&features);
+        let q_target_before = target.q_values(&features);
+        assert_ne!(q_online, q_target_before);
+        target.copy_params_from(&mut online);
+        let q_target_after = target.q_values(&features);
+        for (a, b) in q_online.iter().zip(&q_target_after) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! The ACSO agent: Q-networks and the DQN agent that wraps them.
+
+mod acso_agent;
+mod attention_net;
+mod baseline_net;
+pub mod io;
+
+pub use acso_agent::{AcsoAgent, AgentConfig};
+pub use attention_net::AttentionQNet;
+pub use baseline_net::BaselineConvQNet;
+pub use io::{load_weights, save_weights};
+
+use crate::features::StateFeatures;
+use neural::Param;
+
+/// A Q-value network over the defender action space.
+///
+/// Implementations map a [`StateFeatures`] encoding to one value per flat
+/// action (see [`crate::ActionSpace`]) and support backpropagation of a
+/// gradient with respect to those values.
+pub trait QNetwork: Send {
+    /// Q-values for every flat action, in action-space order. Caches the
+    /// forward pass for a subsequent [`QNetwork::backward`].
+    fn q_values(&mut self, features: &StateFeatures) -> Vec<f32>;
+
+    /// Backpropagates a gradient with respect to the Q-values returned by the
+    /// most recent [`QNetwork::q_values`] call, accumulating parameter
+    /// gradients.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called before [`QNetwork::q_values`] or
+    /// with a gradient of the wrong length.
+    fn backward(&mut self, grad_q: &[f32]);
+
+    /// Mutable access to all trainable parameters (stable ordering).
+    fn params_mut(&mut self) -> Vec<&mut Param>;
+
+    /// Clears accumulated gradients.
+    fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total number of trainable scalars.
+    fn parameter_count(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.len()).sum()
+    }
+
+    /// Copies parameter values from another network of the same shape
+    /// (used to refresh the target network).
+    fn copy_params_from(&mut self, source: &mut dyn QNetwork) {
+        let source_values: Vec<neural::Matrix> =
+            source.params_mut().iter().map(|p| p.value.clone()).collect();
+        for (dst, src) in self.params_mut().into_iter().zip(source_values) {
+            dst.value = src;
+        }
+    }
+}

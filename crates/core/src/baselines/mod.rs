@@ -1,0 +1,10 @@
+//! The baseline defender policies of §5.1: semi-random, playbook, and
+//! DBN-expert.
+
+mod expert;
+mod playbook;
+mod random;
+
+pub use expert::DbnExpertPolicy;
+pub use playbook::PlaybookPolicy;
+pub use random::SemiRandomPolicy;

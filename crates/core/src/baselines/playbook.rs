@@ -1,0 +1,281 @@
+//! The security-automation playbook baseline (Fig. 9).
+//!
+//! A fixed course of action (COA) is triggered by the first alert seen on a
+//! node: scan, then — if the scan detects a compromise — apply the next
+//! mitigation on an escalation ladder (reboot, reset password, re-image) and
+//! scan again, terminating when a scan comes back clean. The investigation
+//! used to open the COA scales with the severity of the triggering alert.
+
+use crate::policy::DefenderPolicy;
+use ics_net::{NodeId, PlcId, Topology};
+use ics_sim::orchestrator::{
+    DefenderAction, InvestigationKind, MitigationKind, PlcRecoveryKind,
+};
+use ics_sim::{Observation, PlcStatus};
+use rand::rngs::StdRng;
+
+/// Per-node course-of-action state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CoaState {
+    /// No COA running on the node.
+    Idle,
+    /// A scan has been issued; waiting for its result.
+    AwaitingScan,
+    /// A mitigation has been issued; waiting for it to complete.
+    AwaitingMitigation,
+}
+
+/// The playbook defender.
+#[derive(Debug, Clone)]
+pub struct PlaybookPolicy {
+    states: Vec<CoaState>,
+    escalation: Vec<usize>,
+}
+
+impl PlaybookPolicy {
+    /// Creates the playbook policy.
+    pub fn new() -> Self {
+        Self {
+            states: Vec::new(),
+            escalation: Vec::new(),
+        }
+    }
+
+    fn scan_for_severity(severity: u8, node: NodeId) -> DefenderAction {
+        let kind = match severity {
+            0 | 1 => InvestigationKind::SimpleScan,
+            2 => InvestigationKind::AdvancedScan,
+            _ => InvestigationKind::HumanAnalysis,
+        };
+        DefenderAction::Investigate { kind, node }
+    }
+
+    fn mitigation_for_escalation(level: usize, node: NodeId) -> DefenderAction {
+        let kind = match level {
+            0 => MitigationKind::Reboot,
+            1 => MitigationKind::ResetPassword,
+            _ => MitigationKind::ReimageNode,
+        };
+        DefenderAction::Mitigate { kind, node }
+    }
+}
+
+impl Default for PlaybookPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DefenderPolicy for PlaybookPolicy {
+    fn name(&self) -> &str {
+        "Playbook"
+    }
+
+    fn reset(&mut self, topology: &Topology) {
+        self.states = vec![CoaState::Idle; topology.node_count()];
+        self.escalation = vec![0; topology.node_count()];
+    }
+
+    fn decide(
+        &mut self,
+        observation: &Observation,
+        topology: &Topology,
+        _rng: &mut StdRng,
+    ) -> Vec<DefenderAction> {
+        if self.states.len() != topology.node_count() {
+            self.reset(topology);
+        }
+        let mut actions = Vec::new();
+
+        for (idx, node_obs) in observation.nodes.iter().enumerate() {
+            let node = NodeId::from_index(idx);
+            match self.states[idx] {
+                CoaState::Idle => {
+                    if node_obs.total_alerts() > 0 {
+                        actions.push(Self::scan_for_severity(node_obs.max_severity(), node));
+                        self.states[idx] = CoaState::AwaitingScan;
+                        self.escalation[idx] = 0;
+                    }
+                }
+                CoaState::AwaitingScan => {
+                    if let Some((_, detected)) = node_obs.investigation {
+                        if detected {
+                            actions.push(Self::mitigation_for_escalation(self.escalation[idx], node));
+                            self.escalation[idx] += 1;
+                            self.states[idx] = CoaState::AwaitingMitigation;
+                        } else {
+                            self.states[idx] = CoaState::Idle;
+                            self.escalation[idx] = 0;
+                        }
+                    }
+                }
+                CoaState::AwaitingMitigation => {
+                    if node_obs.mitigation.is_some() {
+                        // Verify the mitigation worked before closing the COA.
+                        actions.push(Self::scan_for_severity(2, node));
+                        self.states[idx] = CoaState::AwaitingScan;
+                    }
+                }
+            }
+        }
+
+        // PLC state is directly observable: repair anything offline.
+        for (i, status) in observation.plc_status.iter().enumerate() {
+            match status {
+                PlcStatus::Disrupted => actions.push(DefenderAction::RecoverPlc {
+                    kind: PlcRecoveryKind::ResetPlc,
+                    plc: PlcId::from_index(i),
+                }),
+                PlcStatus::Destroyed => actions.push(DefenderAction::RecoverPlc {
+                    kind: PlcRecoveryKind::ReplacePlc,
+                    plc: PlcId::from_index(i),
+                }),
+                PlcStatus::Nominal => {}
+            }
+        }
+
+        if actions.is_empty() {
+            actions.push(DefenderAction::NoAction);
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ics_net::TopologySpec;
+    use ics_sim::observation::NodeObservation;
+    use rand::SeedableRng;
+
+    fn quiet_observation(topo: &Topology) -> Observation {
+        Observation {
+            time: 1,
+            nodes: topo
+                .node_ids()
+                .map(|id| NodeObservation::quiet(id, false))
+                .collect(),
+            plc_status: vec![PlcStatus::Nominal; topo.plc_count()],
+            alerts: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn alert_triggers_scan_then_escalating_mitigations() {
+        let topo = Topology::build(&TopologySpec::tiny());
+        let mut policy = PlaybookPolicy::new();
+        policy.reset(&topo);
+        let mut rng = StdRng::seed_from_u64(0);
+        let node = NodeId::from_index(0);
+
+        // Step 1: a severity-2 alert opens the COA with an advanced scan.
+        let mut obs = quiet_observation(&topo);
+        obs.nodes[0].alert_counts = [0, 1, 0];
+        let actions = policy.decide(&obs, &topo, &mut rng);
+        assert_eq!(
+            actions[0],
+            DefenderAction::Investigate {
+                kind: InvestigationKind::AdvancedScan,
+                node
+            }
+        );
+
+        // Step 2: the scan detects -> reboot.
+        let mut obs = quiet_observation(&topo);
+        obs.nodes[0].investigation = Some((InvestigationKind::AdvancedScan, true));
+        let actions = policy.decide(&obs, &topo, &mut rng);
+        assert_eq!(
+            actions[0],
+            DefenderAction::Mitigate {
+                kind: MitigationKind::Reboot,
+                node
+            }
+        );
+
+        // Step 3: reboot completes -> verify scan.
+        let mut obs = quiet_observation(&topo);
+        obs.nodes[0].mitigation = Some(MitigationKind::Reboot);
+        let actions = policy.decide(&obs, &topo, &mut rng);
+        assert!(matches!(actions[0], DefenderAction::Investigate { .. }));
+
+        // Step 4: scan detects again -> escalate to password reset.
+        let mut obs = quiet_observation(&topo);
+        obs.nodes[0].investigation = Some((InvestigationKind::AdvancedScan, true));
+        let actions = policy.decide(&obs, &topo, &mut rng);
+        assert_eq!(
+            actions[0],
+            DefenderAction::Mitigate {
+                kind: MitigationKind::ResetPassword,
+                node
+            }
+        );
+
+        // Step 5: mitigation done, clean scan closes the COA.
+        let mut obs = quiet_observation(&topo);
+        obs.nodes[0].mitigation = Some(MitigationKind::ResetPassword);
+        policy.decide(&obs, &topo, &mut rng);
+        let mut obs = quiet_observation(&topo);
+        obs.nodes[0].investigation = Some((InvestigationKind::AdvancedScan, false));
+        policy.decide(&obs, &topo, &mut rng);
+        // Quiet hours produce no actions once the COA is closed.
+        let actions = policy.decide(&quiet_observation(&topo), &topo, &mut rng);
+        assert_eq!(actions, vec![DefenderAction::NoAction]);
+    }
+
+    #[test]
+    fn third_escalation_is_a_reimage() {
+        let node = NodeId::from_index(2);
+        assert_eq!(
+            PlaybookPolicy::mitigation_for_escalation(2, node),
+            DefenderAction::Mitigate {
+                kind: MitigationKind::ReimageNode,
+                node
+            }
+        );
+        assert_eq!(
+            PlaybookPolicy::mitigation_for_escalation(7, node),
+            DefenderAction::Mitigate {
+                kind: MitigationKind::ReimageNode,
+                node
+            }
+        );
+    }
+
+    #[test]
+    fn severity_three_alerts_get_human_analysis() {
+        let node = NodeId::from_index(1);
+        assert_eq!(
+            PlaybookPolicy::scan_for_severity(3, node),
+            DefenderAction::Investigate {
+                kind: InvestigationKind::HumanAnalysis,
+                node
+            }
+        );
+    }
+
+    #[test]
+    fn offline_plcs_are_repaired() {
+        let topo = Topology::build(&TopologySpec::tiny());
+        let mut policy = PlaybookPolicy::new();
+        policy.reset(&topo);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut obs = quiet_observation(&topo);
+        obs.plc_status[1] = PlcStatus::Destroyed;
+        let actions = policy.decide(&obs, &topo, &mut rng);
+        assert!(actions.contains(&DefenderAction::RecoverPlc {
+            kind: PlcRecoveryKind::ReplacePlc,
+            plc: PlcId::from_index(1)
+        }));
+    }
+
+    #[test]
+    fn quiet_network_means_no_action() {
+        let topo = Topology::build(&TopologySpec::tiny());
+        let mut policy = PlaybookPolicy::new();
+        policy.reset(&topo);
+        let mut rng = StdRng::seed_from_u64(0);
+        let actions = policy.decide(&quiet_observation(&topo), &topo, &mut rng);
+        assert_eq!(actions, vec![DefenderAction::NoAction]);
+        assert_eq!(policy.name(), "Playbook");
+    }
+}

@@ -1,0 +1,184 @@
+//! The semi-random baseline: independent analysts and users taking
+//! uncoordinated actions across the network.
+
+use crate::policy::DefenderPolicy;
+use ics_net::{NodeId, PlcId, Topology};
+use ics_sim::orchestrator::{
+    DefenderAction, InvestigationKind, MitigationKind, PlcRecoveryKind,
+};
+use ics_sim::{Observation, PlcStatus};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The paper's random baseline: each hour, every node independently receives
+/// a random action with a small probability, with the action type drawn from
+/// a static categorical distribution. Observed offline PLCs are repaired with
+/// the same per-object probability.
+#[derive(Debug, Clone)]
+pub struct SemiRandomPolicy {
+    /// Probability that any given node receives an action in a given hour.
+    activity_rate: f64,
+}
+
+impl SemiRandomPolicy {
+    /// Creates the baseline with the activity rate used for Table 2
+    /// (roughly ten uncoordinated actions per hour on the full network).
+    pub fn new() -> Self {
+        Self { activity_rate: 0.3 }
+    }
+
+    /// Creates the baseline with a custom per-node activity rate.
+    pub fn with_activity_rate(activity_rate: f64) -> Self {
+        Self { activity_rate }
+    }
+
+    fn random_node_action(node: NodeId, rng: &mut StdRng) -> DefenderAction {
+        match rng.gen_range(0..10u32) {
+            0..=3 => DefenderAction::Investigate {
+                kind: InvestigationKind::SimpleScan,
+                node,
+            },
+            4..=5 => DefenderAction::Investigate {
+                kind: InvestigationKind::AdvancedScan,
+                node,
+            },
+            6 => DefenderAction::Investigate {
+                kind: InvestigationKind::HumanAnalysis,
+                node,
+            },
+            7..=8 => DefenderAction::Mitigate {
+                kind: MitigationKind::Reboot,
+                node,
+            },
+            _ => DefenderAction::Mitigate {
+                kind: MitigationKind::ResetPassword,
+                node,
+            },
+        }
+    }
+}
+
+impl Default for SemiRandomPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DefenderPolicy for SemiRandomPolicy {
+    fn name(&self) -> &str {
+        "Semi Random"
+    }
+
+    fn reset(&mut self, _topology: &Topology) {}
+
+    fn decide(
+        &mut self,
+        observation: &Observation,
+        topology: &Topology,
+        rng: &mut StdRng,
+    ) -> Vec<DefenderAction> {
+        let mut actions = Vec::new();
+        for node in topology.node_ids() {
+            if rng.gen_bool(self.activity_rate) {
+                actions.push(Self::random_node_action(node, rng));
+            }
+        }
+        for (i, status) in observation.plc_status.iter().enumerate() {
+            if status.is_offline() && rng.gen_bool(self.activity_rate) {
+                actions.push(DefenderAction::RecoverPlc {
+                    kind: if *status == PlcStatus::Destroyed {
+                        PlcRecoveryKind::ReplacePlc
+                    } else {
+                        PlcRecoveryKind::ResetPlc
+                    },
+                    plc: PlcId::from_index(i),
+                });
+            }
+        }
+        if actions.is_empty() {
+            actions.push(DefenderAction::NoAction);
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ics_net::TopologySpec;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_uncoordinated_actions_every_hour() {
+        let topo = Topology::build(&TopologySpec::paper_full());
+        let mut policy = SemiRandomPolicy::new();
+        policy.reset(&topo);
+        let obs = Observation {
+            time: 1,
+            nodes: Vec::new(),
+            plc_status: vec![PlcStatus::Nominal; topo.plc_count()],
+            alerts: Vec::new(),
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut total = 0;
+        for _ in 0..20 {
+            total += policy.decide(&obs, &topo, &mut rng).len();
+        }
+        let per_hour = total as f64 / 20.0;
+        assert!(per_hour > 5.0 && per_hour < 16.0, "unexpected rate {per_hour}");
+        assert_eq!(policy.name(), "Semi Random");
+    }
+
+    #[test]
+    fn repairs_offline_plcs_with_matching_action() {
+        let topo = Topology::build(&TopologySpec::tiny());
+        let mut policy = SemiRandomPolicy::with_activity_rate(1.0);
+        let mut plc_status = vec![PlcStatus::Nominal; topo.plc_count()];
+        plc_status[0] = PlcStatus::Destroyed;
+        plc_status[1] = PlcStatus::Disrupted;
+        let obs = Observation {
+            time: 1,
+            nodes: Vec::new(),
+            plc_status,
+            alerts: Vec::new(),
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let actions = policy.decide(&obs, &topo, &mut rng);
+        let replace = actions.iter().any(|a| {
+            matches!(
+                a,
+                DefenderAction::RecoverPlc {
+                    kind: PlcRecoveryKind::ReplacePlc,
+                    plc
+                } if plc.index() == 0
+            )
+        });
+        let reset = actions.iter().any(|a| {
+            matches!(
+                a,
+                DefenderAction::RecoverPlc {
+                    kind: PlcRecoveryKind::ResetPlc,
+                    plc
+                } if plc.index() == 1
+            )
+        });
+        assert!(replace && reset);
+    }
+
+    #[test]
+    fn never_returns_an_empty_action_list() {
+        let topo = Topology::build(&TopologySpec::tiny());
+        let mut policy = SemiRandomPolicy::with_activity_rate(0.0);
+        let obs = Observation {
+            time: 1,
+            nodes: Vec::new(),
+            plc_status: vec![PlcStatus::Nominal; topo.plc_count()],
+            alerts: Vec::new(),
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(
+            policy.decide(&obs, &topo, &mut rng),
+            vec![DefenderAction::NoAction]
+        );
+    }
+}

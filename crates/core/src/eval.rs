@@ -1,0 +1,165 @@
+//! The evaluation protocol: run a defender policy for many episodes and
+//! aggregate the paper's four metrics (Table 2).
+
+use crate::policy::DefenderPolicy;
+use ics_sim::metrics::{EpisodeMetrics, EvaluationSummary};
+use ics_sim::{IcsEnvironment, SimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of an evaluation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalConfig {
+    /// Simulation configuration (topology, attacker profile, horizon).
+    pub sim: SimConfig,
+    /// Number of attack episodes to run (the paper uses 100).
+    pub episodes: usize,
+    /// Base seed; episode `i` uses `seed + i` so runs are reproducible and
+    /// every policy sees the same sequence of attack scenarios.
+    pub seed: u64,
+}
+
+impl EvalConfig {
+    /// The paper's evaluation protocol: the full network and 100 episodes.
+    pub fn paper() -> Self {
+        Self {
+            sim: SimConfig::full(),
+            episodes: 100,
+            seed: 0,
+        }
+    }
+
+    /// A reduced protocol for quick runs: the small (§4.2) network, shorter
+    /// episodes, fewer trials.
+    pub fn quick() -> Self {
+        Self {
+            sim: SimConfig::small().with_max_time(2_000),
+            episodes: 10,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-episode metrics plus their aggregate for one policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyEvaluation {
+    /// Name of the evaluated policy.
+    pub policy: String,
+    /// Per-episode metrics.
+    pub episodes: Vec<EpisodeMetrics>,
+    /// Aggregate over the episodes (one row of Table 2).
+    pub summary: EvaluationSummary,
+}
+
+/// Runs a policy through the evaluation protocol and returns per-episode
+/// metrics and their aggregate.
+pub fn evaluate_policy_detailed(
+    policy: &mut dyn DefenderPolicy,
+    config: &EvalConfig,
+) -> PolicyEvaluation {
+    let mut episodes = Vec::with_capacity(config.episodes);
+    for i in 0..config.episodes {
+        let sim = config.sim.clone().with_seed(config.seed.wrapping_add(i as u64));
+        let mut env = IcsEnvironment::new(sim);
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(10_000 + i as u64));
+        policy.reset(env.topology());
+        let metrics = {
+            let policy_ref: &mut dyn DefenderPolicy = policy;
+            env.run_episode(|obs, env| policy_ref.decide(obs, env.topology(), &mut rng))
+        };
+        episodes.push(metrics);
+    }
+    let summary = EvaluationSummary::from_episodes(&episodes);
+    PolicyEvaluation {
+        policy: policy.name().to_string(),
+        episodes,
+        summary,
+    }
+}
+
+/// Runs a policy through the evaluation protocol and returns the aggregate
+/// metrics (one row of Table 2).
+pub fn evaluate_policy(policy: &mut dyn DefenderPolicy, config: &EvalConfig) -> EvaluationSummary {
+    evaluate_policy_detailed(policy, config).summary
+}
+
+/// Formats a set of policy evaluations as an aligned text table in the layout
+/// of Table 2.
+pub fn format_table(evaluations: &[PolicyEvaluation]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:>22} {:>20} {:>18} {:>26}\n",
+        "Policy", "Discounted Return", "Final PLCs Offline", "Avg IT Cost", "Avg Nodes Compromised"
+    ));
+    for eval in evaluations {
+        let s = &eval.summary;
+        out.push_str(&format!(
+            "{:<14} {:>12.1} ± {:<6.1} {:>12.2} ± {:<4.2} {:>11.3} ± {:<4.3} {:>17.2} ± {:<4.2}\n",
+            eval.policy,
+            s.discounted_return.mean,
+            s.discounted_return.std_err,
+            s.final_plcs_offline.mean,
+            s.final_plcs_offline.std_err,
+            s.average_it_cost.mean,
+            s.average_it_cost.std_err,
+            s.average_nodes_compromised.mean,
+            s.average_nodes_compromised.std_err,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{PlaybookPolicy, SemiRandomPolicy};
+    use crate::policy::NullPolicy;
+
+    fn tiny_eval(episodes: usize) -> EvalConfig {
+        EvalConfig {
+            sim: SimConfig::tiny().with_max_time(150),
+            episodes,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn evaluation_is_reproducible() {
+        let cfg = tiny_eval(2);
+        let a = evaluate_policy(&mut PlaybookPolicy::new(), &cfg);
+        let b = evaluate_policy(&mut PlaybookPolicy::new(), &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_policy_costs_more_than_doing_nothing() {
+        let cfg = tiny_eval(2);
+        let random = evaluate_policy(&mut SemiRandomPolicy::new(), &cfg);
+        let null = evaluate_policy(&mut NullPolicy::new(), &cfg);
+        assert!(random.average_it_cost.mean > null.average_it_cost.mean);
+        assert_eq!(null.average_it_cost.mean, 0.0);
+    }
+
+    #[test]
+    fn detailed_evaluation_reports_every_episode() {
+        let cfg = tiny_eval(3);
+        let eval = evaluate_policy_detailed(&mut PlaybookPolicy::new(), &cfg);
+        assert_eq!(eval.episodes.len(), 3);
+        assert_eq!(eval.summary.episodes, 3);
+        assert_eq!(eval.policy, "Playbook");
+    }
+
+    #[test]
+    fn table_formatting_contains_all_policies() {
+        let cfg = tiny_eval(1);
+        let evals = vec![
+            evaluate_policy_detailed(&mut PlaybookPolicy::new(), &cfg),
+            evaluate_policy_detailed(&mut NullPolicy::new(), &cfg),
+        ];
+        let table = format_table(&evals);
+        assert!(table.contains("Playbook"));
+        assert!(table.contains("No defense"));
+        assert!(table.contains("Discounted Return"));
+    }
+}

@@ -1,0 +1,224 @@
+//! Feature encoding: from observations and beliefs to network inputs.
+//!
+//! Each node is described by a fixed-width feature vector (belief over
+//! compromise classes, node type, quarantine flag, this hour's alert and
+//! investigation signals); the PLC population is summarised by a short global
+//! vector. The encoding is identical for the attention network and the
+//! baseline convolutional network so architecture comparisons are fair.
+
+use dbn::DbnFilter;
+use ics_net::{NodeKind, Topology};
+use ics_sim::{CompromiseClass, Observation, PlcStatus};
+use neural::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Width of the per-node feature vector.
+pub const NODE_FEATURE_DIM: usize = CompromiseClass::COUNT + 3 + 1 + 3 + 1;
+/// Width of the global PLC summary vector.
+pub const PLC_SUMMARY_DIM: usize = 3;
+/// Width of the per-PLC feature vector (status one-hot).
+pub const PLC_FEATURE_DIM: usize = 3;
+
+/// A fully-encoded state: everything the Q-networks consume for one decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StateFeatures {
+    /// Per-node features, one row per node (`[node_count, NODE_FEATURE_DIM]`).
+    pub nodes: Matrix,
+    /// Per-PLC status one-hots (`[plc_count, PLC_FEATURE_DIM]`).
+    pub plcs: Matrix,
+    /// Global PLC summary: fraction nominal, disrupted, destroyed.
+    pub plc_summary: Matrix,
+    /// Row indices of host nodes (workstations and HMIs).
+    pub host_rows: Vec<usize>,
+    /// Row indices of server nodes.
+    pub server_rows: Vec<usize>,
+}
+
+impl StateFeatures {
+    /// Number of nodes in the encoded state.
+    pub fn node_count(&self) -> usize {
+        self.nodes.rows()
+    }
+
+    /// Number of PLCs in the encoded state.
+    pub fn plc_count(&self) -> usize {
+        self.plcs.rows()
+    }
+}
+
+/// Encodes observations and beliefs into [`StateFeatures`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeFeatureEncoder {
+    node_kinds: Vec<NodeKindClass>,
+}
+
+/// Coarse node classes used for the one-hot type encoding and the output-head
+/// routing (hosts share one head, servers another).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum NodeKindClass {
+    Workstation,
+    Server,
+    Hmi,
+}
+
+impl NodeFeatureEncoder {
+    /// Builds an encoder for a topology.
+    pub fn new(topology: &Topology) -> Self {
+        let node_kinds = topology
+            .nodes()
+            .map(|n| match n.kind {
+                NodeKind::Workstation => NodeKindClass::Workstation,
+                NodeKind::Server(_) => NodeKindClass::Server,
+                NodeKind::Hmi => NodeKindClass::Hmi,
+            })
+            .collect();
+        Self { node_kinds }
+    }
+
+    /// Number of nodes the encoder covers.
+    pub fn node_count(&self) -> usize {
+        self.node_kinds.len()
+    }
+
+    /// Encodes one decision point from the current observation and the DBN
+    /// filter's beliefs.
+    pub fn encode(&self, observation: &Observation, filter: &DbnFilter) -> StateFeatures {
+        let n = self.node_kinds.len();
+        let mut nodes = Matrix::zeros(n, NODE_FEATURE_DIM);
+        let mut host_rows = Vec::new();
+        let mut server_rows = Vec::new();
+
+        for (i, kind) in self.node_kinds.iter().enumerate() {
+            let belief = filter.beliefs()[i];
+            let obs = &observation.nodes[i];
+            let mut col = 0;
+            for b in belief {
+                nodes.set(i, col, b as f32);
+                col += 1;
+            }
+            // Node type one-hot.
+            let type_index = match kind {
+                NodeKindClass::Workstation => 0,
+                NodeKindClass::Server => 1,
+                NodeKindClass::Hmi => 2,
+            };
+            nodes.set(i, col + type_index, 1.0);
+            col += 3;
+            nodes.set(i, col, if obs.quarantined { 1.0 } else { 0.0 });
+            col += 1;
+            for (s, count) in obs.alert_counts.iter().enumerate() {
+                nodes.set(i, col + s, (*count as f32).min(5.0) / 5.0);
+            }
+            col += 3;
+            nodes.set(i, col, if obs.detection() { 1.0 } else { 0.0 });
+
+            match kind {
+                NodeKindClass::Server => server_rows.push(i),
+                NodeKindClass::Workstation | NodeKindClass::Hmi => host_rows.push(i),
+            }
+        }
+
+        let plc_count = observation.plc_status.len();
+        let mut plcs = Matrix::zeros(plc_count, PLC_FEATURE_DIM);
+        let mut counts = [0usize; 3];
+        for (i, status) in observation.plc_status.iter().enumerate() {
+            let idx = match status {
+                PlcStatus::Nominal => 0,
+                PlcStatus::Disrupted => 1,
+                PlcStatus::Destroyed => 2,
+            };
+            plcs.set(i, idx, 1.0);
+            counts[idx] += 1;
+        }
+        let denom = plc_count.max(1) as f32;
+        let plc_summary = Matrix::row_vector(&[
+            counts[0] as f32 / denom,
+            counts[1] as f32 / denom,
+            counts[2] as f32 / denom,
+        ]);
+
+        StateFeatures {
+            nodes,
+            plcs,
+            plc_summary,
+            host_rows,
+            server_rows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbn::learn::{learn_model, LearnConfig};
+    use ics_sim::{DefenderAction, IcsEnvironment, SimConfig};
+
+    fn fixture() -> (IcsEnvironment, NodeFeatureEncoder, DbnFilter) {
+        let sim = SimConfig::tiny().with_max_time(100);
+        let model = learn_model(&LearnConfig {
+            episodes: 1,
+            seed: 5,
+            sim: sim.clone(),
+        });
+        let env = IcsEnvironment::new(sim.with_seed(3));
+        let encoder = NodeFeatureEncoder::new(env.topology());
+        let filter = DbnFilter::new(model, env.topology().node_count());
+        (env, encoder, filter)
+    }
+
+    #[test]
+    fn encoding_shapes_match_topology() {
+        let (mut env, encoder, mut filter) = fixture();
+        let obs = env.reset();
+        filter.reset();
+        let features = encoder.encode(&obs, &filter);
+        assert_eq!(features.node_count(), env.topology().node_count());
+        assert_eq!(features.plc_count(), env.topology().plc_count());
+        assert_eq!(features.nodes.cols(), NODE_FEATURE_DIM);
+        assert_eq!(features.plcs.cols(), PLC_FEATURE_DIM);
+        assert_eq!(features.plc_summary.cols(), PLC_SUMMARY_DIM);
+        assert_eq!(
+            features.host_rows.len() + features.server_rows.len(),
+            features.node_count()
+        );
+        assert_eq!(encoder.node_count(), env.topology().node_count());
+    }
+
+    #[test]
+    fn plc_summary_reflects_status_fractions() {
+        let (mut env, encoder, mut filter) = fixture();
+        let obs = env.reset();
+        filter.reset();
+        let features = encoder.encode(&obs, &filter);
+        // All PLCs start nominal.
+        assert!((features.plc_summary.get(0, 0) - 1.0).abs() < 1e-6);
+        assert_eq!(features.plc_summary.get(0, 1), 0.0);
+        assert_eq!(features.plc_summary.get(0, 2), 0.0);
+        // Each PLC row is a one-hot.
+        for i in 0..features.plc_count() {
+            let row_sum: f32 = features.plcs.row(i).iter().sum();
+            assert!((row_sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn beliefs_flow_into_node_features() {
+        let (mut env, encoder, mut filter) = fixture();
+        let _ = env.reset();
+        filter.reset();
+        // Step a few hours so alerts and beliefs evolve.
+        let mut obs = None;
+        for _ in 0..30 {
+            let step = env.step(&[DefenderAction::NoAction]);
+            filter.update(&step.observation);
+            obs = Some(step.observation);
+        }
+        let features = encoder.encode(&obs.unwrap(), &filter);
+        // The first CompromiseClass::COUNT columns of each row are the belief
+        // and must sum to one.
+        for i in 0..features.node_count() {
+            let belief_sum: f32 = features.nodes.row(i)[..CompromiseClass::COUNT].iter().sum();
+            assert!((belief_sum - 1.0).abs() < 1e-4, "row {i} belief sum {belief_sum}");
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Laplace-smoothed conditional probability tables.
+
+use crate::types::{ActionCategory, MuBucket, ObsSymbol};
+use ics_sim::CompromiseClass;
+use serde::{Deserialize, Serialize};
+
+const S: usize = CompromiseClass::COUNT;
+const A: usize = ActionCategory::COUNT;
+const M: usize = MuBucket::COUNT;
+const O: usize = ObsSymbol::COUNT;
+
+/// Transition model `P(s' | s, µ, a)` over compromise classes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransitionCpt {
+    counts: Vec<f64>, // [s][mu][a][s']
+    smoothing: f64,
+}
+
+impl TransitionCpt {
+    /// Creates an empty table with the given Laplace smoothing pseudo-count.
+    pub fn new(smoothing: f64) -> Self {
+        Self {
+            counts: vec![0.0; S * M * A * S],
+            smoothing,
+        }
+    }
+
+    fn idx(s: usize, mu: usize, a: usize, s_next: usize) -> usize {
+        ((s * M + mu) * A + a) * S + s_next
+    }
+
+    /// Records one observed transition.
+    pub fn record(
+        &mut self,
+        from: CompromiseClass,
+        mu: MuBucket,
+        action: ActionCategory,
+        to: CompromiseClass,
+    ) {
+        self.counts[Self::idx(from.index(), mu.index(), action.index(), to.index())] += 1.0;
+    }
+
+    /// Probability of moving to `to` given the conditioning variables.
+    pub fn prob(
+        &self,
+        from: CompromiseClass,
+        mu: MuBucket,
+        action: ActionCategory,
+        to: CompromiseClass,
+    ) -> f64 {
+        let base = Self::idx(from.index(), mu.index(), action.index(), 0);
+        let total: f64 = self.counts[base..base + S].iter().sum::<f64>() + self.smoothing * S as f64;
+        (self.counts[base + to.index()] + self.smoothing) / total
+    }
+
+    /// The full next-state distribution for the conditioning variables.
+    pub fn distribution(
+        &self,
+        from: CompromiseClass,
+        mu: MuBucket,
+        action: ActionCategory,
+    ) -> [f64; S] {
+        let mut out = [0.0; S];
+        for (i, class) in CompromiseClass::ALL.into_iter().enumerate() {
+            out[i] = self.prob(from, mu, action, class);
+        }
+        out
+    }
+
+    /// Total number of recorded transitions.
+    pub fn total_observations(&self) -> f64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// Observation model `P(o | s, a)` over observation symbols.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObservationCpt {
+    counts: Vec<f64>, // [s][a][o]
+    smoothing: f64,
+}
+
+impl ObservationCpt {
+    /// Creates an empty table with the given Laplace smoothing pseudo-count.
+    pub fn new(smoothing: f64) -> Self {
+        Self {
+            counts: vec![0.0; S * A * O],
+            smoothing,
+        }
+    }
+
+    fn idx(s: usize, a: usize, o: usize) -> usize {
+        (s * A + a) * O + o
+    }
+
+    /// Records one observed emission.
+    pub fn record(&mut self, state: CompromiseClass, action: ActionCategory, obs: ObsSymbol) {
+        self.counts[Self::idx(state.index(), action.index(), obs.index())] += 1.0;
+    }
+
+    /// Probability of the observation symbol given state and action.
+    pub fn prob(&self, state: CompromiseClass, action: ActionCategory, obs: ObsSymbol) -> f64 {
+        let base = Self::idx(state.index(), action.index(), 0);
+        let total: f64 = self.counts[base..base + O].iter().sum::<f64>() + self.smoothing * O as f64;
+        (self.counts[base + obs.index()] + self.smoothing) / total
+    }
+
+    /// Total number of recorded emissions.
+    pub fn total_observations(&self) -> f64 {
+        self.counts.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use CompromiseClass as C;
+
+    #[test]
+    fn transition_distribution_normalises() {
+        let mut t = TransitionCpt::new(0.1);
+        t.record(C::Clean, MuBucket::Few, ActionCategory::None, C::Scanned);
+        t.record(C::Clean, MuBucket::Few, ActionCategory::None, C::Clean);
+        t.record(C::Clean, MuBucket::Few, ActionCategory::None, C::Clean);
+        let d = t.distribution(C::Clean, MuBucket::Few, ActionCategory::None);
+        let sum: f64 = d.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(d[C::Clean.index()] > d[C::Scanned.index()]);
+        assert!(d[C::AdminPersistent.index()] > 0.0, "smoothing keeps support");
+        assert_eq!(t.total_observations(), 3.0);
+    }
+
+    #[test]
+    fn unseen_contexts_fall_back_to_uniform() {
+        let t = TransitionCpt::new(1.0);
+        let d = t.distribution(C::Admin, MuBucket::Many, ActionCategory::Reimage);
+        for p in d {
+            assert!((p - 1.0 / 6.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn observation_probabilities_reflect_counts() {
+        let mut o = ObservationCpt::new(0.01);
+        let noisy = ObsSymbol::from_index(6); // severity 3, no detection
+        let quiet = ObsSymbol::from_index(0);
+        for _ in 0..9 {
+            o.record(C::Admin, ActionCategory::None, noisy);
+        }
+        o.record(C::Admin, ActionCategory::None, quiet);
+        assert!(o.prob(C::Admin, ActionCategory::None, noisy) > 0.8);
+        assert!(o.prob(C::Admin, ActionCategory::None, quiet) < 0.15);
+        // Probabilities over all symbols sum to one.
+        let total: f64 = (0..ObsSymbol::COUNT)
+            .map(|i| o.prob(C::Admin, ActionCategory::None, ObsSymbol::from_index(i)))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(o.total_observations(), 10.0);
+    }
+}

@@ -1,0 +1,273 @@
+//! The recursive Bayes filter of eq. (7).
+
+use crate::cpt::{ObservationCpt, TransitionCpt};
+use crate::types::{ActionCategory, MuBucket, ObsSymbol};
+use ics_net::NodeId;
+use ics_sim::{CompromiseClass, Observation};
+use serde::{Deserialize, Serialize};
+
+const S: usize = CompromiseClass::COUNT;
+
+/// A learned DBN model: the transition and observation tables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DbnModel {
+    /// Transition model `P(s' | s, µ, a)`.
+    pub transition: TransitionCpt,
+    /// Observation model `P(o | s', a)`.
+    pub observation: ObservationCpt,
+}
+
+/// The per-node belief filter.
+///
+/// Each node's belief is a distribution over [`CompromiseClass`]; the filter
+/// applies eq. (7) once per hour using the defender's own completed actions
+/// and the step's observation symbols, conditioning the transition model on
+/// the belief-expected number of compromised nodes (the summary statistic µ).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DbnFilter {
+    model: DbnModel,
+    beliefs: Vec<[f64; S]>,
+}
+
+impl DbnFilter {
+    /// Creates a filter for `node_count` nodes, all initially believed clean.
+    pub fn new(model: DbnModel, node_count: usize) -> Self {
+        Self {
+            model,
+            beliefs: vec![Self::initial_belief(); node_count],
+        }
+    }
+
+    fn initial_belief() -> [f64; S] {
+        let mut b = [0.0; S];
+        b[CompromiseClass::Clean.index()] = 1.0;
+        b
+    }
+
+    /// Resets all beliefs to "clean" (start of an episode).
+    pub fn reset(&mut self) {
+        for b in &mut self.beliefs {
+            *b = Self::initial_belief();
+        }
+    }
+
+    /// Number of nodes tracked.
+    pub fn node_count(&self) -> usize {
+        self.beliefs.len()
+    }
+
+    /// The learned model.
+    pub fn model(&self) -> &DbnModel {
+        &self.model
+    }
+
+    /// The belief for one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node index is out of range.
+    pub fn belief(&self, node: NodeId) -> &[f64; S] {
+        &self.beliefs[node.index()]
+    }
+
+    /// All beliefs, indexed by node.
+    pub fn beliefs(&self) -> &[[f64; S]] {
+        &self.beliefs
+    }
+
+    /// Probability that a node is compromised (initial compromise or deeper).
+    pub fn compromise_probability(&self, node: NodeId) -> f64 {
+        let b = &self.beliefs[node.index()];
+        CompromiseClass::ALL
+            .into_iter()
+            .filter(|c| c.is_compromised())
+            .map(|c| b[c.index()])
+            .sum()
+    }
+
+    /// Expected number of compromised nodes under the current beliefs (the
+    /// summary statistic µ used by the transition model).
+    pub fn expected_compromised(&self) -> f64 {
+        (0..self.beliefs.len())
+            .map(|i| self.compromise_probability(NodeId::from_index(i)))
+            .sum()
+    }
+
+    /// The most likely compromise class for a node.
+    pub fn map_estimate(&self, node: NodeId) -> CompromiseClass {
+        let b = &self.beliefs[node.index()];
+        let mut best = CompromiseClass::Clean;
+        let mut best_p = -1.0;
+        for c in CompromiseClass::ALL {
+            if b[c.index()] > best_p {
+                best_p = b[c.index()];
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Applies one step of the recursive update (eq. 7) for every node using
+    /// the step's observation.
+    pub fn update(&mut self, observation: &Observation) {
+        let mu = MuBucket::from_count(self.expected_compromised());
+        for (idx, node_obs) in observation.nodes.iter().enumerate() {
+            if idx >= self.beliefs.len() {
+                break;
+            }
+            let action = ActionCategory::from_observation(node_obs);
+            let symbol = ObsSymbol::from_observation(node_obs);
+            let prior = self.beliefs[idx];
+
+            let mut posterior = [0.0f64; S];
+            for (next_i, next_class) in CompromiseClass::ALL.into_iter().enumerate() {
+                // Predict: sum over previous states.
+                let mut predicted = 0.0;
+                for (prev_i, prev_class) in CompromiseClass::ALL.into_iter().enumerate() {
+                    predicted +=
+                        self.model.transition.prob(prev_class, mu, action, next_class) * prior[prev_i];
+                }
+                // Correct: weight by the observation likelihood.
+                posterior[next_i] = self.model.observation.prob(next_class, action, symbol) * predicted;
+            }
+            let norm: f64 = posterior.iter().sum();
+            if norm > 0.0 {
+                for p in &mut posterior {
+                    *p /= norm;
+                }
+            } else {
+                posterior = Self::initial_belief();
+            }
+            self.beliefs[idx] = posterior;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ics_sim::observation::NodeObservation;
+    use ics_sim::orchestrator::InvestigationKind;
+    use CompromiseClass as C;
+
+    /// A hand-built model where alerts strongly indicate compromise and the
+    /// re-image action strongly returns nodes to clean.
+    fn toy_model() -> DbnModel {
+        let mut transition = TransitionCpt::new(0.05);
+        let mut observation = ObservationCpt::new(0.05);
+        for mu in [MuBucket::None, MuBucket::Few, MuBucket::Several, MuBucket::Many] {
+            for action in [ActionCategory::None, ActionCategory::Investigate] {
+                for _ in 0..20 {
+                    // Mostly persistence of state, some escalation from clean.
+                    transition.record(C::Clean, mu, action, C::Clean);
+                    transition.record(C::Compromised, mu, action, C::Compromised);
+                    transition.record(C::Admin, mu, action, C::Admin);
+                }
+                for _ in 0..2 {
+                    transition.record(C::Clean, mu, action, C::Compromised);
+                }
+            }
+            for _ in 0..20 {
+                transition.record(C::Compromised, mu, ActionCategory::Reimage, C::Clean);
+                transition.record(C::Admin, mu, ActionCategory::Reimage, C::Clean);
+                transition.record(C::Clean, mu, ActionCategory::Reimage, C::Clean);
+            }
+        }
+        // Clean nodes are quiet; compromised nodes raise severity-2 alerts.
+        let quiet = ObsSymbol::from_index(0);
+        let sev2 = ObsSymbol::from_index(4);
+        let detected = ObsSymbol::from_index(5);
+        for action in [
+            ActionCategory::None,
+            ActionCategory::Investigate,
+            ActionCategory::Reimage,
+        ] {
+            for _ in 0..20 {
+                observation.record(C::Clean, action, quiet);
+                observation.record(C::Compromised, action, sev2);
+                observation.record(C::Admin, action, sev2);
+            }
+            for _ in 0..5 {
+                observation.record(C::Compromised, action, quiet);
+                observation.record(C::Compromised, ActionCategory::Investigate, detected);
+            }
+        }
+        DbnModel {
+            transition,
+            observation,
+        }
+    }
+
+    fn obs_with(nodes: Vec<NodeObservation>) -> Observation {
+        Observation {
+            time: 1,
+            nodes,
+            plc_status: Vec::new(),
+            alerts: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn beliefs_start_clean_and_stay_normalised() {
+        let filter = DbnFilter::new(toy_model(), 3);
+        assert_eq!(filter.node_count(), 3);
+        for i in 0..3 {
+            let b = filter.belief(NodeId::from_index(i));
+            assert!((b.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            assert_eq!(b[C::Clean.index()], 1.0);
+        }
+        assert_eq!(filter.expected_compromised(), 0.0);
+    }
+
+    #[test]
+    fn repeated_alerts_raise_compromise_probability() {
+        let mut filter = DbnFilter::new(toy_model(), 2);
+        let node0 = NodeId::from_index(0);
+        let mut alerting = NodeObservation::quiet(node0, false);
+        alerting.alert_counts = [0, 1, 0];
+        let quiet = NodeObservation::quiet(NodeId::from_index(1), false);
+
+        let before = filter.compromise_probability(node0);
+        for _ in 0..6 {
+            filter.update(&obs_with(vec![alerting.clone(), quiet.clone()]));
+        }
+        let after = filter.compromise_probability(node0);
+        assert!(after > before);
+        assert!(after > 0.5, "belief should favour compromise, got {after}");
+        // The quiet node stays believed clean.
+        assert!(filter.compromise_probability(NodeId::from_index(1)) < 0.3);
+        assert!(filter.map_estimate(node0).is_compromised());
+        assert!(filter.expected_compromised() > 0.5);
+    }
+
+    #[test]
+    fn reimage_action_restores_clean_belief() {
+        let mut filter = DbnFilter::new(toy_model(), 1);
+        let node0 = NodeId::from_index(0);
+        let mut alerting = NodeObservation::quiet(node0, false);
+        alerting.alert_counts = [0, 1, 0];
+        for _ in 0..6 {
+            filter.update(&obs_with(vec![alerting.clone()]));
+        }
+        assert!(filter.compromise_probability(node0) > 0.5);
+
+        let mut reimaged = NodeObservation::quiet(node0, false);
+        reimaged.mitigation = Some(ics_sim::orchestrator::MitigationKind::ReimageNode);
+        filter.update(&obs_with(vec![reimaged]));
+        assert!(filter.compromise_probability(node0) < 0.4);
+
+        filter.reset();
+        assert_eq!(filter.compromise_probability(node0), 0.0);
+    }
+
+    #[test]
+    fn detection_is_strong_evidence() {
+        let mut filter = DbnFilter::new(toy_model(), 1);
+        let node0 = NodeId::from_index(0);
+        let mut detected = NodeObservation::quiet(node0, false);
+        detected.alert_counts = [0, 1, 0];
+        detected.investigation = Some((InvestigationKind::HumanAnalysis, true));
+        filter.update(&obs_with(vec![detected]));
+        assert!(filter.compromise_probability(node0) > 0.4);
+    }
+}

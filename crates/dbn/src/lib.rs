@@ -1,0 +1,56 @@
+//! Dynamic Bayes network filter for per-node compromise beliefs (§4.3).
+//!
+//! The defender never observes which nodes the APT controls; it only sees
+//! IDS alerts and the outcomes of its own investigations. The paper's ACSO
+//! does not learn a perception system — instead it feeds its policy network a
+//! *belief* over each node's compromise state produced by a dynamic Bayes
+//! network (DBN) whose conditional probability tables are learned from
+//! episodes collected with a random defender.
+//!
+//! This crate provides:
+//!
+//! * [`types`] — the discretisation of observations, defender actions and
+//!   the network summary statistic µ used to keep the update tractable;
+//! * [`cpt`] — Laplace-smoothed conditional probability tables;
+//! * [`learn`] — data collection (random-defender episodes against the
+//!   simulator) and table estimation;
+//! * [`filter`] — the recursive Bayes update of eq. (7), producing one belief
+//!   vector per node per hour;
+//! * [`validate`] — the KL-divergence validation protocol of §4.3.
+//!
+//! # Example
+//!
+//! ```
+//! use dbn::{learn::LearnConfig, learn::learn_model, filter::DbnFilter};
+//! use ics_sim::{IcsEnvironment, SimConfig, DefenderAction};
+//!
+//! // Learn a small model from a handful of short random-defender episodes.
+//! let sim = SimConfig::tiny().with_max_time(120);
+//! let model = learn_model(&LearnConfig { episodes: 3, seed: 1, sim: sim.clone() });
+//!
+//! // Filter an episode with the learned model.
+//! let mut env = IcsEnvironment::new(sim.with_seed(9));
+//! let mut filter = DbnFilter::new(model, env.topology().node_count());
+//! let _ = env.reset();
+//! for _ in 0..50 {
+//!     let step = env.step(&[DefenderAction::NoAction]);
+//!     filter.update(&step.observation);
+//! }
+//! // Beliefs are probability distributions.
+//! let b = filter.belief(ics_net::NodeId::from_index(0));
+//! assert!((b.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cpt;
+pub mod filter;
+pub mod learn;
+pub mod types;
+pub mod validate;
+
+pub use cpt::{ObservationCpt, TransitionCpt};
+pub use filter::{DbnFilter, DbnModel};
+pub use learn::{learn_model, LearnConfig};
+pub use types::{ActionCategory, MuBucket, ObsSymbol};
+pub use validate::{validate_filter, ValidationReport};

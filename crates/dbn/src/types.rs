@@ -1,0 +1,213 @@
+//! Discretisations used by the DBN: observation symbols, defender action
+//! categories and the network summary statistic µ.
+
+use ics_sim::observation::NodeObservation;
+use ics_sim::orchestrator::{InvestigationKind, MitigationKind};
+use serde::{Deserialize, Serialize};
+
+/// The defender action category that completed on a node this step, as far as
+/// the transition model is concerned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActionCategory {
+    /// No defender action completed on the node.
+    None,
+    /// An investigation completed (does not change node state).
+    Investigate,
+    /// A reboot completed.
+    Reboot,
+    /// A password reset completed.
+    ResetPassword,
+    /// A re-image completed.
+    Reimage,
+    /// A quarantine toggle completed.
+    Quarantine,
+}
+
+impl ActionCategory {
+    /// Number of categories.
+    pub const COUNT: usize = 6;
+
+    /// Dense index of the category.
+    pub fn index(&self) -> usize {
+        match self {
+            ActionCategory::None => 0,
+            ActionCategory::Investigate => 1,
+            ActionCategory::Reboot => 2,
+            ActionCategory::ResetPassword => 3,
+            ActionCategory::Reimage => 4,
+            ActionCategory::Quarantine => 5,
+        }
+    }
+
+    /// Category of the action visible in a node observation (mitigations take
+    /// precedence over investigations when both complete in the same hour).
+    pub fn from_observation(obs: &NodeObservation) -> Self {
+        if let Some(mitigation) = obs.mitigation {
+            return match mitigation {
+                MitigationKind::Reboot => ActionCategory::Reboot,
+                MitigationKind::ResetPassword => ActionCategory::ResetPassword,
+                MitigationKind::ReimageNode => ActionCategory::Reimage,
+                MitigationKind::Quarantine => ActionCategory::Quarantine,
+            };
+        }
+        if obs.investigation.is_some() {
+            return ActionCategory::Investigate;
+        }
+        ActionCategory::None
+    }
+
+    /// Category corresponding to an investigation kind (always
+    /// [`ActionCategory::Investigate`]; provided for symmetry).
+    pub fn from_investigation(_kind: InvestigationKind) -> Self {
+        ActionCategory::Investigate
+    }
+}
+
+/// The observation symbol for one node and one hour: the highest alert
+/// severity (0 = none) combined with whether an investigation detected a
+/// compromise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ObsSymbol(usize);
+
+impl ObsSymbol {
+    /// Number of distinct symbols: 4 severity levels × detected flag.
+    pub const COUNT: usize = 8;
+
+    /// Builds the symbol from a node observation.
+    pub fn from_observation(obs: &NodeObservation) -> Self {
+        let severity = obs.max_severity() as usize; // 0..=3
+        let detected = usize::from(obs.detection());
+        ObsSymbol(severity * 2 + detected)
+    }
+
+    /// Dense index of the symbol.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+
+    /// Symbol from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= ObsSymbol::COUNT`.
+    pub fn from_index(index: usize) -> Self {
+        assert!(index < Self::COUNT, "observation symbol out of range");
+        ObsSymbol(index)
+    }
+}
+
+/// Coarse bucket of the total number of compromised nodes on the network —
+/// the summary statistic µ the transition model conditions on instead of the
+/// full joint state (eq. 7 discussion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MuBucket {
+    /// No compromised nodes.
+    None,
+    /// One or two compromised nodes.
+    Few,
+    /// Three to five compromised nodes.
+    Several,
+    /// Six or more compromised nodes.
+    Many,
+}
+
+impl MuBucket {
+    /// Number of buckets.
+    pub const COUNT: usize = 4;
+
+    /// Buckets a compromised-node count.
+    pub fn from_count(count: f64) -> Self {
+        if count < 0.5 {
+            MuBucket::None
+        } else if count < 2.5 {
+            MuBucket::Few
+        } else if count < 5.5 {
+            MuBucket::Several
+        } else {
+            MuBucket::Many
+        }
+    }
+
+    /// Dense index of the bucket.
+    pub fn index(&self) -> usize {
+        match self {
+            MuBucket::None => 0,
+            MuBucket::Few => 1,
+            MuBucket::Several => 2,
+            MuBucket::Many => 3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ics_net::NodeId;
+
+    #[test]
+    fn action_category_from_observation_prefers_mitigation() {
+        let mut obs = NodeObservation::quiet(NodeId::from_index(0), false);
+        assert_eq!(ActionCategory::from_observation(&obs), ActionCategory::None);
+        obs.investigation = Some((InvestigationKind::SimpleScan, false));
+        assert_eq!(
+            ActionCategory::from_observation(&obs),
+            ActionCategory::Investigate
+        );
+        obs.mitigation = Some(MitigationKind::ReimageNode);
+        assert_eq!(ActionCategory::from_observation(&obs), ActionCategory::Reimage);
+        obs.mitigation = Some(MitigationKind::Quarantine);
+        assert_eq!(
+            ActionCategory::from_observation(&obs),
+            ActionCategory::Quarantine
+        );
+        assert_eq!(
+            ActionCategory::from_investigation(InvestigationKind::HumanAnalysis),
+            ActionCategory::Investigate
+        );
+    }
+
+    #[test]
+    fn action_category_indices_are_dense() {
+        let all = [
+            ActionCategory::None,
+            ActionCategory::Investigate,
+            ActionCategory::Reboot,
+            ActionCategory::ResetPassword,
+            ActionCategory::Reimage,
+            ActionCategory::Quarantine,
+        ];
+        for (i, c) in all.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        assert_eq!(all.len(), ActionCategory::COUNT);
+    }
+
+    #[test]
+    fn obs_symbol_encodes_severity_and_detection() {
+        let mut obs = NodeObservation::quiet(NodeId::from_index(0), false);
+        assert_eq!(ObsSymbol::from_observation(&obs).index(), 0);
+        obs.alert_counts = [0, 1, 0];
+        assert_eq!(ObsSymbol::from_observation(&obs).index(), 4);
+        obs.investigation = Some((InvestigationKind::SimpleScan, true));
+        assert_eq!(ObsSymbol::from_observation(&obs).index(), 5);
+        obs.alert_counts = [0, 0, 2];
+        assert_eq!(ObsSymbol::from_observation(&obs).index(), 7);
+        assert_eq!(ObsSymbol::from_index(7).index(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn obs_symbol_range_checked() {
+        let _ = ObsSymbol::from_index(8);
+    }
+
+    #[test]
+    fn mu_buckets_cover_counts() {
+        assert_eq!(MuBucket::from_count(0.0), MuBucket::None);
+        assert_eq!(MuBucket::from_count(1.0), MuBucket::Few);
+        assert_eq!(MuBucket::from_count(2.0), MuBucket::Few);
+        assert_eq!(MuBucket::from_count(4.0), MuBucket::Several);
+        assert_eq!(MuBucket::from_count(9.0), MuBucket::Many);
+        assert_eq!(MuBucket::Many.index(), MuBucket::COUNT - 1);
+    }
+}

@@ -1,0 +1,127 @@
+//! Validation of the DBN filter against ground truth (§4.3).
+//!
+//! The true per-node state is a point mass on one compromise class, so the
+//! KL divergence between the true state and the belief reduces to
+//! `-log b(s_true)`. The paper reports the maximum divergence over many
+//! episodes; this module also records the mean and the classification
+//! accuracy of the filter's MAP estimate.
+
+use crate::filter::{DbnFilter, DbnModel};
+use crate::learn::random_defender_action;
+use ics_net::NodeId;
+use ics_sim::{IcsEnvironment, SimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Summary of a validation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ValidationReport {
+    /// Number of (node, step) samples evaluated.
+    pub samples: u64,
+    /// Maximum KL divergence between the true state and the belief.
+    pub max_kl: f64,
+    /// Mean KL divergence.
+    pub mean_kl: f64,
+    /// Fraction of samples where the MAP estimate matched the true class.
+    pub map_accuracy: f64,
+    /// Fraction of samples where the filter correctly classified the node as
+    /// compromised / not compromised.
+    pub compromise_accuracy: f64,
+}
+
+/// Runs `episodes` random-defender episodes, filtering alongside the
+/// simulator, and compares beliefs with the true hidden state every hour.
+pub fn validate_filter(
+    model: &DbnModel,
+    sim: &SimConfig,
+    episodes: usize,
+    seed: u64,
+) -> ValidationReport {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut samples = 0u64;
+    let mut max_kl: f64 = 0.0;
+    let mut sum_kl = 0.0;
+    let mut map_hits = 0u64;
+    let mut compromise_hits = 0u64;
+
+    for episode in 0..episodes {
+        let cfg = sim.clone().with_seed(seed.wrapping_add(1000 + episode as u64));
+        let mut env = IcsEnvironment::new(cfg);
+        let _ = env.reset();
+        let node_count = env.topology().node_count();
+        let plc_count = env.topology().plc_count();
+        let mut filter = DbnFilter::new(model.clone(), node_count);
+
+        loop {
+            let actions = vec![random_defender_action(node_count, plc_count, &mut rng)];
+            let step = env.step(&actions);
+            filter.update(&step.observation);
+
+            for idx in 0..node_count {
+                let node = NodeId::from_index(idx);
+                let true_class = env.state().compromise(node).class();
+                let belief = filter.belief(node);
+                let p_true = belief[true_class.index()].max(1e-9);
+                let kl = -p_true.ln();
+                max_kl = max_kl.max(kl);
+                sum_kl += kl;
+                samples += 1;
+                if filter.map_estimate(node) == true_class {
+                    map_hits += 1;
+                }
+                let believed_compromised = filter.compromise_probability(node) > 0.5;
+                if believed_compromised == true_class.is_compromised() {
+                    compromise_hits += 1;
+                }
+            }
+            if step.done {
+                break;
+            }
+        }
+    }
+
+    ValidationReport {
+        samples,
+        max_kl,
+        mean_kl: if samples > 0 { sum_kl / samples as f64 } else { 0.0 },
+        map_accuracy: if samples > 0 {
+            map_hits as f64 / samples as f64
+        } else {
+            0.0
+        },
+        compromise_accuracy: if samples > 0 {
+            compromise_hits as f64 / samples as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::learn::{learn_model, LearnConfig};
+
+    #[test]
+    fn validation_reports_reasonable_accuracy_on_tiny_network() {
+        let sim = SimConfig::tiny().with_max_time(200);
+        let model = learn_model(&LearnConfig {
+            episodes: 4,
+            seed: 3,
+            sim: sim.clone(),
+        });
+        let report = validate_filter(&model, &sim, 2, 99);
+        assert!(report.samples > 0);
+        assert!(report.mean_kl.is_finite());
+        assert!(report.max_kl >= report.mean_kl);
+        // Most nodes are clean most of the time, so even a weak filter should
+        // classify compromise status correctly well above chance.
+        assert!(
+            report.compromise_accuracy > 0.6,
+            "compromise accuracy {}",
+            report.compromise_accuracy
+        );
+        assert!(report.map_accuracy > 0.4, "map accuracy {}", report.map_accuracy);
+    }
+}

@@ -1,0 +1,199 @@
+//! Network addressing: IPv4-style node addresses and VLAN identifiers.
+//!
+//! The simulator reports alerts by the IP address of the node or device that
+//! produced them, so addresses must be stable, human-readable identifiers.
+//! Addresses are synthetic: each VLAN owns a /24 subnet and hosts are numbered
+//! within it.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An IPv4-style address used to identify nodes and devices in alerts.
+///
+/// Addresses are synthetic (`10.<level>.<vlan>.<host>`) but behave like real
+/// IPv4 addresses for display and subnet membership purposes.
+///
+/// # Example
+///
+/// ```
+/// use ics_net::IpAddr;
+/// let ip = IpAddr::new(10, 2, 1, 17);
+/// assert_eq!(ip.to_string(), "10.2.1.17");
+/// assert_eq!(ip.octets(), [10, 2, 1, 17]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct IpAddr {
+    octets: [u8; 4],
+}
+
+impl IpAddr {
+    /// Creates an address from its four octets.
+    pub fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Self {
+            octets: [a, b, c, d],
+        }
+    }
+
+    /// Returns the four octets of the address.
+    pub fn octets(&self) -> [u8; 4] {
+        self.octets
+    }
+
+    /// Returns the /24 subnet prefix (first three octets).
+    pub fn subnet(&self) -> [u8; 3] {
+        [self.octets[0], self.octets[1], self.octets[2]]
+    }
+
+    /// Returns true if `other` is in the same /24 subnet.
+    ///
+    /// ```
+    /// use ics_net::IpAddr;
+    /// assert!(IpAddr::new(10, 2, 1, 3).same_subnet(IpAddr::new(10, 2, 1, 200)));
+    /// assert!(!IpAddr::new(10, 2, 1, 3).same_subnet(IpAddr::new(10, 1, 1, 3)));
+    /// ```
+    pub fn same_subnet(&self, other: IpAddr) -> bool {
+        self.subnet() == other.subnet()
+    }
+}
+
+impl fmt::Display for IpAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}.{}.{}.{}",
+            self.octets[0], self.octets[1], self.octets[2], self.octets[3]
+        )
+    }
+}
+
+impl From<[u8; 4]> for IpAddr {
+    fn from(octets: [u8; 4]) -> Self {
+        Self { octets }
+    }
+}
+
+/// Identifier of a VLAN within the topology.
+///
+/// Each PERA level has an operations VLAN holding the nominal nodes and a
+/// (nominally empty) quarantine VLAN that the defender can move suspicious
+/// workstations into.
+///
+/// ```
+/// use ics_net::VlanId;
+/// let v = VlanId::new(2, true);
+/// assert_eq!(v.level_number(), 2);
+/// assert!(v.is_quarantine());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VlanId {
+    level: u8,
+    quarantine: bool,
+}
+
+impl VlanId {
+    /// Creates a VLAN identifier for the given PERA level.
+    ///
+    /// `quarantine` selects the quarantine VLAN of that level rather than the
+    /// operations VLAN.
+    pub fn new(level: u8, quarantine: bool) -> Self {
+        Self { level, quarantine }
+    }
+
+    /// The operations VLAN of a level.
+    pub fn ops(level: u8) -> Self {
+        Self::new(level, false)
+    }
+
+    /// The quarantine VLAN of a level.
+    pub fn quarantine(level: u8) -> Self {
+        Self::new(level, true)
+    }
+
+    /// PERA level number this VLAN belongs to (1 or 2 in the paper's network).
+    pub fn level_number(&self) -> u8 {
+        self.level
+    }
+
+    /// Whether this is a quarantine VLAN.
+    pub fn is_quarantine(&self) -> bool {
+        self.quarantine
+    }
+
+    /// The counterpart VLAN on the same level (ops <-> quarantine).
+    ///
+    /// ```
+    /// use ics_net::VlanId;
+    /// assert_eq!(VlanId::ops(2).counterpart(), VlanId::quarantine(2));
+    /// assert_eq!(VlanId::quarantine(2).counterpart(), VlanId::ops(2));
+    /// ```
+    pub fn counterpart(&self) -> Self {
+        Self {
+            level: self.level,
+            quarantine: !self.quarantine,
+        }
+    }
+}
+
+impl fmt::Display for VlanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.quarantine {
+            write!(f, "VLAN {}.q", self.level)
+        } else {
+            write!(f, "VLAN {}.1", self.level)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ip_display_round_trip() {
+        let ip = IpAddr::new(10, 2, 1, 42);
+        assert_eq!(ip.to_string(), "10.2.1.42");
+        assert_eq!(ip.octets(), [10, 2, 1, 42]);
+    }
+
+    #[test]
+    fn ip_subnet_membership() {
+        let a = IpAddr::new(10, 1, 1, 5);
+        let b = IpAddr::new(10, 1, 1, 6);
+        let c = IpAddr::new(10, 1, 2, 5);
+        assert!(a.same_subnet(b));
+        assert!(!a.same_subnet(c));
+        assert_eq!(a.subnet(), [10, 1, 1]);
+    }
+
+    #[test]
+    fn ip_from_octets() {
+        let ip: IpAddr = [192, 168, 0, 1].into();
+        assert_eq!(ip, IpAddr::new(192, 168, 0, 1));
+    }
+
+    #[test]
+    fn vlan_counterpart_is_involution() {
+        let v = VlanId::ops(1);
+        assert_eq!(v.counterpart().counterpart(), v);
+        assert_ne!(v, v.counterpart());
+    }
+
+    #[test]
+    fn vlan_display() {
+        assert_eq!(VlanId::ops(2).to_string(), "VLAN 2.1");
+        assert_eq!(VlanId::quarantine(1).to_string(), "VLAN 1.q");
+    }
+
+    #[test]
+    fn vlan_ordering_is_total() {
+        let mut vlans = vec![
+            VlanId::quarantine(2),
+            VlanId::ops(1),
+            VlanId::ops(2),
+            VlanId::quarantine(1),
+        ];
+        vlans.sort();
+        assert_eq!(vlans[0].level_number(), 1);
+        assert_eq!(vlans[3].level_number(), 2);
+    }
+}

@@ -1,0 +1,131 @@
+//! Networking devices: switches, routers, and firewalls.
+//!
+//! Devices matter to the decision problem because every device a malicious
+//! message passes through multiplies the probability that the intrusion
+//! detection system raises an alert: switches by 1x, routers by 2x and
+//! firewalls by 5x (paper appendix, IDS module).
+
+use crate::address::VlanId;
+use crate::node::Level;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a networking device within a [`crate::Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DeviceId(pub(crate) usize);
+
+impl DeviceId {
+    /// Creates a device identifier from a raw index.
+    pub fn from_index(index: usize) -> Self {
+        Self(index)
+    }
+
+    /// Raw dense index of the device.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "device#{}", self.0)
+    }
+}
+
+/// The kind of a networking device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// A VLAN switch. Each VLAN is modelled as being served by its own switch.
+    Switch {
+        /// VLAN this switch serves.
+        vlan: VlanId,
+    },
+    /// A per-level router connecting that level's switches.
+    Router,
+    /// The external firewall of a level, crossed by inter-level traffic.
+    Firewall,
+}
+
+impl DeviceKind {
+    /// Alert-probability multiplier applied to messages passing through this
+    /// device (paper appendix: switch 1x, router 2x, firewall 5x).
+    pub fn alert_factor(&self) -> f64 {
+        match self {
+            DeviceKind::Switch { .. } => 1.0,
+            DeviceKind::Router => 2.0,
+            DeviceKind::Firewall => 5.0,
+        }
+    }
+
+    /// Whether this device is a switch.
+    pub fn is_switch(&self) -> bool {
+        matches!(self, DeviceKind::Switch { .. })
+    }
+}
+
+impl fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceKind::Switch { vlan } => write!(f, "switch ({vlan})"),
+            DeviceKind::Router => write!(f, "router"),
+            DeviceKind::Firewall => write!(f, "firewall"),
+        }
+    }
+}
+
+/// A networking device in the topology.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Device {
+    /// Dense identifier of the device.
+    pub id: DeviceId,
+    /// What kind of device this is.
+    pub kind: DeviceKind,
+    /// PERA level the device belongs to.
+    pub level: Level,
+}
+
+impl Device {
+    /// Creates a device. Topology construction assigns identifiers.
+    pub fn new(id: DeviceId, kind: DeviceKind, level: Level) -> Self {
+        Self { id, kind, level }
+    }
+
+    /// Alert-probability multiplier of this device.
+    pub fn alert_factor(&self) -> f64 {
+        self.kind.alert_factor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alert_factors_match_paper() {
+        assert_eq!(
+            DeviceKind::Switch {
+                vlan: VlanId::ops(2)
+            }
+            .alert_factor(),
+            1.0
+        );
+        assert_eq!(DeviceKind::Router.alert_factor(), 2.0);
+        assert_eq!(DeviceKind::Firewall.alert_factor(), 5.0);
+    }
+
+    #[test]
+    fn device_display() {
+        assert_eq!(DeviceKind::Router.to_string(), "router");
+        assert_eq!(DeviceKind::Firewall.to_string(), "firewall");
+        assert!(DeviceKind::Switch {
+            vlan: VlanId::ops(1)
+        }
+        .to_string()
+        .contains("VLAN 1.1"));
+    }
+
+    #[test]
+    fn device_id_round_trip() {
+        assert_eq!(DeviceId::from_index(3).index(), 3);
+    }
+}

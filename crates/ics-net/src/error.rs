@@ -1,0 +1,50 @@
+//! Error types for topology construction and queries.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when building or querying a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// The specification cannot support an end-to-end attack scenario
+    /// (e.g. no historian server or no PLCs).
+    UnattackableSpec,
+    /// A node identifier did not refer to a node in this topology.
+    UnknownNode(usize),
+    /// A PLC identifier did not refer to a PLC in this topology.
+    UnknownPlc(usize),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::UnattackableSpec => {
+                write!(f, "topology spec cannot support an end-to-end attack")
+            }
+            TopologyError::UnknownNode(idx) => write!(f, "unknown node index {idx}"),
+            TopologyError::UnknownPlc(idx) => write!(f, "unknown plc index {idx}"),
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let msg = TopologyError::UnattackableSpec.to_string();
+        assert!(msg.starts_with("topology spec"));
+        assert!(TopologyError::UnknownNode(3).to_string().contains('3'));
+        assert!(TopologyError::UnknownPlc(9).to_string().contains('9'));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<TopologyError>();
+    }
+}

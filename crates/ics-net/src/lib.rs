@@ -1,0 +1,49 @@
+//! ICS network topology substrate for the ACSO reproduction.
+//!
+//! This crate models the *static* structure of an industrial control network
+//! organised according to the Purdue Enterprise Reference Architecture (PERA):
+//! computing nodes (workstations, servers, human-machine interfaces),
+//! programmable logic controllers (PLCs), and the networking devices
+//! (switches, routers, firewalls) that connect them into per-level VLANs.
+//!
+//! The dynamic behaviour (compromise states, attacker and defender actions,
+//! alerts) lives in the `ics-sim` crate; this crate only answers structural
+//! questions such as *"which devices does a message from node A to node B
+//! traverse?"* and *"which nodes share a VLAN with this switch?"*.
+//!
+//! # Example
+//!
+//! ```
+//! use ics_net::{Topology, TopologySpec};
+//!
+//! // The full-scale network used in the paper: 25 level-2 workstations,
+//! // 3 servers, 5 level-1 HMIs and 50 PLCs.
+//! let topo = Topology::build(&TopologySpec::paper_full());
+//! assert_eq!(topo.workstations().count(), 25);
+//! assert_eq!(topo.plc_count(), 50);
+//!
+//! // Messages crossing from level 2 to level 1 pass through a firewall,
+//! // which multiplies the alert probability by 5.
+//! let l2 = topo.workstations().next().unwrap().id;
+//! let hmi = topo.hmis().next().unwrap().id;
+//! assert!(topo.path_device_factor(l2, hmi) >= 5.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod address;
+pub mod device;
+pub mod node;
+pub mod plc;
+pub mod spec;
+pub mod topology;
+
+mod error;
+
+pub use address::{IpAddr, VlanId};
+pub use device::{Device, DeviceId, DeviceKind};
+pub use error::TopologyError;
+pub use node::{Level, Node, NodeId, NodeKind, ServerRole};
+pub use plc::{Plc, PlcId};
+pub use spec::TopologySpec;
+pub use topology::Topology;

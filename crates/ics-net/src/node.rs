@@ -1,0 +1,205 @@
+//! Computing nodes: workstations, servers, and human-machine interfaces.
+
+use crate::address::VlanId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a computing node within a [`crate::Topology`].
+///
+/// Node identifiers are dense indices assigned at topology construction time,
+/// which makes them suitable as direct indices into per-node state vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// Creates a node identifier from a raw index.
+    ///
+    /// Intended for tests and for state containers that index per-node arrays;
+    /// topologies assign identifiers themselves.
+    pub fn from_index(index: usize) -> Self {
+        Self(index)
+    }
+
+    /// Raw dense index of the node.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node#{}", self.0)
+    }
+}
+
+/// PERA level a node or device belongs to.
+///
+/// The paper models level 2 (engineering: workstations and servers) and
+/// level 1 (plant: local HMIs and PLCs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Level {
+    /// Plant level: local HMIs and the PLCs they control.
+    Plant1,
+    /// Engineering level: operator workstations and servers.
+    Engineering2,
+}
+
+impl Level {
+    /// Numeric PERA level (1 or 2).
+    pub fn number(&self) -> u8 {
+        match self {
+            Level::Plant1 => 1,
+            Level::Engineering2 => 2,
+        }
+    }
+
+    /// All modelled levels, lowest (most critical) first.
+    pub fn all() -> [Level; 2] {
+        [Level::Plant1, Level::Engineering2]
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "level {}", self.number())
+    }
+}
+
+/// Functional role of a server node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServerRole {
+    /// Open Platform Communications server: provides direct access to scan and
+    /// control the PLCs from level 2.
+    Opc,
+    /// Data historian: records the performance of the controlled process. The
+    /// attacker must compromise and analyze it before executing an attack.
+    Historian,
+    /// Domain controller. In the paper's simulation its credential management
+    /// functionality is disabled, making it behave like a workstation, but it
+    /// is still a server for action-cost purposes.
+    DomainController,
+}
+
+impl fmt::Display for ServerRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerRole::Opc => write!(f, "OPC"),
+            ServerRole::Historian => write!(f, "historian"),
+            ServerRole::DomainController => write!(f, "domain controller"),
+        }
+    }
+}
+
+/// The kind of a computing node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A level-2 engineering workstation.
+    Workstation,
+    /// A level-2 server with a specific role.
+    Server(ServerRole),
+    /// A level-1 local human-machine interface workstation.
+    Hmi,
+}
+
+impl NodeKind {
+    /// Whether the node is a server (affects action costs and alert severity).
+    pub fn is_server(&self) -> bool {
+        matches!(self, NodeKind::Server(_))
+    }
+
+    /// Whether the node is a level-1 HMI.
+    pub fn is_hmi(&self) -> bool {
+        matches!(self, NodeKind::Hmi)
+    }
+
+    /// Whether the node is a level-2 workstation.
+    pub fn is_workstation(&self) -> bool {
+        matches!(self, NodeKind::Workstation)
+    }
+
+    /// The server role, if this node is a server.
+    pub fn server_role(&self) -> Option<ServerRole> {
+        match self {
+            NodeKind::Server(role) => Some(*role),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeKind::Workstation => write!(f, "workstation"),
+            NodeKind::Server(role) => write!(f, "{role} server"),
+            NodeKind::Hmi => write!(f, "HMI"),
+        }
+    }
+}
+
+/// A computing node in the topology.
+///
+/// Nodes carry only static structure; their dynamic compromise state lives in
+/// the simulator crate.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Node {
+    /// Dense identifier of the node.
+    pub id: NodeId,
+    /// What kind of node this is.
+    pub kind: NodeKind,
+    /// PERA level the node belongs to.
+    pub level: Level,
+    /// Operations VLAN the node is homed on. The simulator may move
+    /// workstations to the corresponding quarantine VLAN at run time.
+    pub home_vlan: VlanId,
+}
+
+impl Node {
+    /// Creates a node. Topology construction assigns identifiers.
+    pub fn new(id: NodeId, kind: NodeKind, level: Level, home_vlan: VlanId) -> Self {
+        Self {
+            id,
+            kind,
+            level,
+            home_vlan,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_numbers() {
+        assert_eq!(Level::Plant1.number(), 1);
+        assert_eq!(Level::Engineering2.number(), 2);
+        assert_eq!(Level::all().len(), 2);
+    }
+
+    #[test]
+    fn node_kind_predicates() {
+        assert!(NodeKind::Workstation.is_workstation());
+        assert!(!NodeKind::Workstation.is_server());
+        assert!(NodeKind::Server(ServerRole::Opc).is_server());
+        assert_eq!(
+            NodeKind::Server(ServerRole::Historian).server_role(),
+            Some(ServerRole::Historian)
+        );
+        assert!(NodeKind::Hmi.is_hmi());
+        assert_eq!(NodeKind::Hmi.server_role(), None);
+    }
+
+    #[test]
+    fn node_kind_display() {
+        assert_eq!(NodeKind::Workstation.to_string(), "workstation");
+        assert_eq!(NodeKind::Server(ServerRole::Opc).to_string(), "OPC server");
+        assert_eq!(NodeKind::Hmi.to_string(), "HMI");
+    }
+
+    #[test]
+    fn node_id_index_round_trip() {
+        let id = NodeId::from_index(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "node#7");
+    }
+}

@@ -1,0 +1,61 @@
+//! Programmable logic controllers.
+//!
+//! PLCs are the assets the attacker ultimately targets: disrupting their
+//! process or destroying the equipment they control. They are attached to the
+//! level-1 switch and are not general-purpose computing nodes (the APT cannot
+//! pivot *from* a PLC), so they are modelled separately from [`crate::Node`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a PLC within a [`crate::Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PlcId(pub(crate) usize);
+
+impl PlcId {
+    /// Creates a PLC identifier from a raw index.
+    pub fn from_index(index: usize) -> Self {
+        Self(index)
+    }
+
+    /// Raw dense index of the PLC.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for PlcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "plc#{}", self.0)
+    }
+}
+
+/// A programmable logic controller.
+///
+/// PLCs carry only static structure here; operational state (nominal,
+/// disrupted, destroyed, firmware-compromised) lives in the simulator.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Plc {
+    /// Dense identifier of the PLC.
+    pub id: PlcId,
+}
+
+impl Plc {
+    /// Creates a PLC. Topology construction assigns identifiers.
+    pub fn new(id: PlcId) -> Self {
+        Self { id }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plc_id_round_trip() {
+        let id = PlcId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "plc#42");
+        assert_eq!(Plc::new(id).id, id);
+    }
+}

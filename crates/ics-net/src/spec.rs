@@ -1,0 +1,146 @@
+//! Topology specifications: how many of each element to build.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters describing the shape of an ICS network to build.
+///
+/// The two presets match the networks used in the paper:
+///
+/// * [`TopologySpec::paper_full`] — the evaluation network of Fig. 2
+///   (25 level-2 workstations, 3 servers, 5 level-1 HMIs, 50 PLCs).
+/// * [`TopologySpec::paper_small`] — the reduced network used for the
+///   hyper-parameter grid search in §4.2 (10 level-2 workstations, 3 level-1
+///   HMIs, 30 PLCs).
+///
+/// ```
+/// use ics_net::TopologySpec;
+/// let spec = TopologySpec::paper_full();
+/// assert_eq!(spec.l2_workstations, 25);
+/// assert_eq!(spec.plcs, 50);
+/// assert_eq!(spec.total_nodes(), 33);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TopologySpec {
+    /// Number of engineering (level-2) workstations.
+    pub l2_workstations: usize,
+    /// Whether to include the OPC server.
+    pub opc_server: bool,
+    /// Whether to include the data historian server.
+    pub historian_server: bool,
+    /// Whether to include the domain controller.
+    pub domain_controller: bool,
+    /// Number of local HMI workstations on level 1.
+    pub l1_hmis: usize,
+    /// Number of PLCs on level 1.
+    pub plcs: usize,
+}
+
+impl TopologySpec {
+    /// The full-scale evaluation network of the paper (Fig. 2).
+    pub fn paper_full() -> Self {
+        Self {
+            l2_workstations: 25,
+            opc_server: true,
+            historian_server: true,
+            domain_controller: true,
+            l1_hmis: 5,
+            plcs: 50,
+        }
+    }
+
+    /// The reduced network used for hyper-parameter tuning (§4.2): ten level-2
+    /// workstations, three level-1 HMIs, thirty PLCs. Servers are retained so
+    /// every attack trajectory remains reachable.
+    pub fn paper_small() -> Self {
+        Self {
+            l2_workstations: 10,
+            opc_server: true,
+            historian_server: true,
+            domain_controller: true,
+            l1_hmis: 3,
+            plcs: 30,
+        }
+    }
+
+    /// A tiny network for fast unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            l2_workstations: 3,
+            opc_server: true,
+            historian_server: true,
+            domain_controller: false,
+            l1_hmis: 2,
+            plcs: 4,
+        }
+    }
+
+    /// Number of servers implied by the flags.
+    pub fn server_count(&self) -> usize {
+        usize::from(self.opc_server)
+            + usize::from(self.historian_server)
+            + usize::from(self.domain_controller)
+    }
+
+    /// Total number of computing nodes (workstations + servers + HMIs).
+    pub fn total_nodes(&self) -> usize {
+        self.l2_workstations + self.server_count() + self.l1_hmis
+    }
+
+    /// Validates that the specification can support an end-to-end attack:
+    /// at least one level-2 node to serve as a beachhead, at least one HMI or
+    /// the OPC server as an attack vector, the historian for process
+    /// discovery, and at least one PLC target.
+    pub fn is_attackable(&self) -> bool {
+        self.l2_workstations >= 1
+            && self.historian_server
+            && (self.l1_hmis >= 1 || self.opc_server)
+            && self.plcs >= 1
+    }
+}
+
+impl Default for TopologySpec {
+    fn default() -> Self {
+        Self::paper_full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_full_matches_figure_2() {
+        let spec = TopologySpec::paper_full();
+        assert_eq!(spec.l2_workstations, 25);
+        assert_eq!(spec.server_count(), 3);
+        assert_eq!(spec.l1_hmis, 5);
+        assert_eq!(spec.plcs, 50);
+        assert_eq!(spec.total_nodes(), 33);
+        assert!(spec.is_attackable());
+    }
+
+    #[test]
+    fn paper_small_matches_section_4_2() {
+        let spec = TopologySpec::paper_small();
+        assert_eq!(spec.l2_workstations, 10);
+        assert_eq!(spec.l1_hmis, 3);
+        assert_eq!(spec.plcs, 30);
+        assert!(spec.is_attackable());
+    }
+
+    #[test]
+    fn default_is_full() {
+        assert_eq!(TopologySpec::default(), TopologySpec::paper_full());
+    }
+
+    #[test]
+    fn attackability_requires_historian_and_targets() {
+        let mut spec = TopologySpec::tiny();
+        assert!(spec.is_attackable());
+        spec.historian_server = false;
+        assert!(!spec.is_attackable());
+        spec.historian_server = true;
+        spec.plcs = 0;
+        assert!(!spec.is_attackable());
+    }
+}

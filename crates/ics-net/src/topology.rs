@@ -1,0 +1,527 @@
+//! The [`Topology`] type: a concrete ICS network built from a [`TopologySpec`].
+
+use crate::address::{IpAddr, VlanId};
+use crate::device::{Device, DeviceId, DeviceKind};
+use crate::error::TopologyError;
+use crate::node::{Level, Node, NodeId, NodeKind, ServerRole};
+use crate::plc::{Plc, PlcId};
+use crate::spec::TopologySpec;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A static ICS network: nodes, PLCs and the networking devices connecting
+/// them, organised into per-level operations and quarantine VLANs as in the
+/// paper's Fig. 2.
+///
+/// The topology is immutable once built. Dynamic facts (which VLAN a
+/// workstation currently sits on after a quarantine action, which nodes are
+/// compromised) are owned by the simulator, which passes current VLAN
+/// assignments into the path queries below.
+///
+/// # Example
+///
+/// ```
+/// use ics_net::{Topology, TopologySpec, VlanId};
+///
+/// let topo = Topology::build(&TopologySpec::paper_full());
+///
+/// // Same-VLAN traffic only crosses the VLAN switch (device factor 1).
+/// let factor = topo.device_factor_between_vlans(VlanId::ops(2), VlanId::ops(2));
+/// assert_eq!(factor, 1.0);
+///
+/// // Cross-level traffic crosses switches, routers and the plant firewall.
+/// let cross = topo.device_factor_between_vlans(VlanId::ops(2), VlanId::ops(1));
+/// assert_eq!(cross, 20.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    spec: TopologySpec,
+    nodes: Vec<Node>,
+    devices: Vec<Device>,
+    plcs: Vec<Plc>,
+    node_ips: Vec<IpAddr>,
+    plc_ips: Vec<IpAddr>,
+    ip_to_node: HashMap<IpAddr, NodeId>,
+    vlan_switches: HashMap<VlanId, DeviceId>,
+    level_routers: HashMap<u8, DeviceId>,
+    plant_firewall: DeviceId,
+    engineering_firewall: DeviceId,
+}
+
+impl Topology {
+    /// Builds a topology from a specification.
+    ///
+    /// Node identifiers are assigned densely: level-2 workstations first, then
+    /// servers (OPC, historian, domain controller), then level-1 HMIs. PLCs
+    /// get their own dense identifier space.
+    pub fn build(spec: &TopologySpec) -> Self {
+        let mut nodes = Vec::new();
+        let mut node_ips = Vec::new();
+
+        let l2_ops = VlanId::ops(2);
+        let l1_ops = VlanId::ops(1);
+
+        let mut host_counter_l2: u8 = 10;
+        let mut host_counter_l1: u8 = 10;
+
+        let push_node = |nodes: &mut Vec<Node>,
+                             node_ips: &mut Vec<IpAddr>,
+                             kind: NodeKind,
+                             level: Level,
+                             vlan: VlanId,
+                             host: u8| {
+            let id = NodeId(nodes.len());
+            nodes.push(Node::new(id, kind, level, vlan));
+            node_ips.push(IpAddr::new(10, level.number(), 1, host));
+            id
+        };
+
+        for _ in 0..spec.l2_workstations {
+            push_node(
+                &mut nodes,
+                &mut node_ips,
+                NodeKind::Workstation,
+                Level::Engineering2,
+                l2_ops,
+                host_counter_l2,
+            );
+            host_counter_l2 = host_counter_l2.wrapping_add(1);
+        }
+        if spec.opc_server {
+            push_node(
+                &mut nodes,
+                &mut node_ips,
+                NodeKind::Server(ServerRole::Opc),
+                Level::Engineering2,
+                l2_ops,
+                host_counter_l2,
+            );
+            host_counter_l2 = host_counter_l2.wrapping_add(1);
+        }
+        if spec.historian_server {
+            push_node(
+                &mut nodes,
+                &mut node_ips,
+                NodeKind::Server(ServerRole::Historian),
+                Level::Engineering2,
+                l2_ops,
+                host_counter_l2,
+            );
+            host_counter_l2 = host_counter_l2.wrapping_add(1);
+        }
+        if spec.domain_controller {
+            push_node(
+                &mut nodes,
+                &mut node_ips,
+                NodeKind::Server(ServerRole::DomainController),
+                Level::Engineering2,
+                l2_ops,
+                host_counter_l2,
+            );
+        }
+        for _ in 0..spec.l1_hmis {
+            push_node(
+                &mut nodes,
+                &mut node_ips,
+                NodeKind::Hmi,
+                Level::Plant1,
+                l1_ops,
+                host_counter_l1,
+            );
+            host_counter_l1 = host_counter_l1.wrapping_add(1);
+        }
+
+        // Networking devices: one switch per VLAN (ops + quarantine per level),
+        // one router per level, one firewall per level.
+        let mut devices = Vec::new();
+        let mut vlan_switches = HashMap::new();
+        let mut level_routers = HashMap::new();
+
+        let push_device = |devices: &mut Vec<Device>, kind: DeviceKind, level: Level| {
+            let id = DeviceId(devices.len());
+            devices.push(Device::new(id, kind, level));
+            id
+        };
+
+        for level in [Level::Engineering2, Level::Plant1] {
+            for quarantine in [false, true] {
+                let vlan = VlanId::new(level.number(), quarantine);
+                let id = push_device(&mut devices, DeviceKind::Switch { vlan }, level);
+                vlan_switches.insert(vlan, id);
+            }
+            let router = push_device(&mut devices, DeviceKind::Router, level);
+            level_routers.insert(level.number(), router);
+        }
+        let engineering_firewall = push_device(&mut devices, DeviceKind::Firewall, Level::Engineering2);
+        let plant_firewall = push_device(&mut devices, DeviceKind::Firewall, Level::Plant1);
+
+        // PLCs are attached to the level-1 operations switch.
+        let mut plcs = Vec::new();
+        let mut plc_ips = Vec::new();
+        for i in 0..spec.plcs {
+            let id = PlcId(plcs.len());
+            plcs.push(Plc::new(id));
+            plc_ips.push(IpAddr::new(10, 1, 2, (100 + (i % 150)) as u8));
+        }
+
+        let ip_to_node = node_ips
+            .iter()
+            .enumerate()
+            .map(|(i, ip)| (*ip, NodeId(i)))
+            .collect();
+
+        Self {
+            spec: spec.clone(),
+            nodes,
+            devices,
+            plcs,
+            node_ips,
+            plc_ips,
+            ip_to_node,
+            vlan_switches,
+            level_routers,
+            plant_firewall,
+            engineering_firewall,
+        }
+    }
+
+    /// The specification this topology was built from.
+    pub fn spec(&self) -> &TopologySpec {
+        &self.spec
+    }
+
+    /// Number of computing nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of PLCs.
+    pub fn plc_count(&self) -> usize {
+        self.plcs.len()
+    }
+
+    /// Number of networking devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// All computing nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter()
+    }
+
+    /// All node identifiers, in dense index order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// All PLC identifiers, in dense index order.
+    pub fn plc_ids(&self) -> impl Iterator<Item = PlcId> + '_ {
+        (0..self.plcs.len()).map(PlcId)
+    }
+
+    /// Level-2 workstations.
+    pub fn workstations(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter().filter(|n| n.kind.is_workstation())
+    }
+
+    /// Servers of any role.
+    pub fn servers(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter().filter(|n| n.kind.is_server())
+    }
+
+    /// Level-1 HMIs.
+    pub fn hmis(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter().filter(|n| n.kind.is_hmi())
+    }
+
+    /// All networking devices.
+    pub fn devices(&self) -> impl Iterator<Item = &Device> {
+        self.devices.iter()
+    }
+
+    /// Looks up a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::UnknownNode`] if the identifier does not refer
+    /// to a node in this topology.
+    pub fn node(&self, id: NodeId) -> Result<&Node, TopologyError> {
+        self.nodes
+            .get(id.index())
+            .ok_or(TopologyError::UnknownNode(id.index()))
+    }
+
+    /// Looks up a PLC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::UnknownPlc`] if the identifier does not refer
+    /// to a PLC in this topology.
+    pub fn plc(&self, id: PlcId) -> Result<&Plc, TopologyError> {
+        self.plcs
+            .get(id.index())
+            .ok_or(TopologyError::UnknownPlc(id.index()))
+    }
+
+    /// The server node with the given role, if present.
+    pub fn server(&self, role: ServerRole) -> Option<&Node> {
+        self.nodes
+            .iter()
+            .find(|n| n.kind.server_role() == Some(role))
+    }
+
+    /// IP address assigned to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a node of this topology. Use [`Topology::node`]
+    /// first if the identifier may come from untrusted input.
+    pub fn ip_of(&self, id: NodeId) -> IpAddr {
+        self.node_ips[id.index()]
+    }
+
+    /// IP address assigned to a PLC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a PLC of this topology.
+    pub fn plc_ip(&self, id: PlcId) -> IpAddr {
+        self.plc_ips[id.index()]
+    }
+
+    /// Node owning an IP address, if any.
+    pub fn node_by_ip(&self, ip: IpAddr) -> Option<NodeId> {
+        self.ip_to_node.get(&ip).copied()
+    }
+
+    /// All node identifiers whose *home* VLAN is `vlan`.
+    ///
+    /// Run-time VLAN reassignment (quarantine) is owned by the simulator,
+    /// which should filter by its own assignment map instead when relevant.
+    pub fn nodes_homed_on(&self, vlan: VlanId) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .filter(move |n| n.home_vlan == vlan)
+            .map(|n| n.id)
+    }
+
+    /// The switch serving a VLAN, if the VLAN exists in this topology.
+    pub fn switch_for_vlan(&self, vlan: VlanId) -> Option<DeviceId> {
+        self.vlan_switches.get(&vlan).copied()
+    }
+
+    /// The router of a PERA level.
+    pub fn router_for_level(&self, level: Level) -> Option<DeviceId> {
+        self.level_routers.get(&level.number()).copied()
+    }
+
+    /// All VLANs present in the topology (ops and quarantine for each level).
+    pub fn vlans(&self) -> Vec<VlanId> {
+        let mut v: Vec<VlanId> = self.vlan_switches.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Operations VLANs only (the VLANs attackers scan for hosts).
+    pub fn ops_vlans(&self) -> Vec<VlanId> {
+        self.vlans()
+            .into_iter()
+            .filter(|v| !v.is_quarantine())
+            .collect()
+    }
+
+    /// Devices a message crosses travelling from a host on `from` to a host on
+    /// `to`, in traversal order.
+    ///
+    /// * Same VLAN: the VLAN switch only.
+    /// * Same level, different VLAN: switch, level router, switch.
+    /// * Different level: switch, source router, plant firewall, destination
+    ///   router, switch.
+    pub fn devices_between_vlans(&self, from: VlanId, to: VlanId) -> Vec<DeviceId> {
+        let from_switch = self.vlan_switches[&from];
+        let to_switch = self.vlan_switches[&to];
+        if from == to {
+            return vec![from_switch];
+        }
+        if from.level_number() == to.level_number() {
+            let router = self.level_routers[&from.level_number()];
+            return vec![from_switch, router, to_switch];
+        }
+        let from_router = self.level_routers[&from.level_number()];
+        let to_router = self.level_routers[&to.level_number()];
+        vec![
+            from_switch,
+            from_router,
+            self.plant_firewall,
+            to_router,
+            to_switch,
+        ]
+    }
+
+    /// Product of the alert factors of every device on the path between two
+    /// VLANs (switch 1x, router 2x, firewall 5x).
+    pub fn device_factor_between_vlans(&self, from: VlanId, to: VlanId) -> f64 {
+        self.devices_between_vlans(from, to)
+            .into_iter()
+            .map(|d| self.devices[d.index()].alert_factor())
+            .product()
+    }
+
+    /// Convenience: device factor between two nodes using their *home* VLANs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either identifier is not a node of this topology.
+    pub fn path_device_factor(&self, from: NodeId, to: NodeId) -> f64 {
+        let from_vlan = self.nodes[from.index()].home_vlan;
+        let to_vlan = self.nodes[to.index()].home_vlan;
+        self.device_factor_between_vlans(from_vlan, to_vlan)
+    }
+
+    /// Device factor for a message sent from a host on `from` to the PLCs
+    /// (the PLCs sit on the level-1 operations switch).
+    pub fn device_factor_to_plcs(&self, from: VlanId) -> f64 {
+        self.device_factor_between_vlans(from, VlanId::ops(1))
+    }
+
+    /// The level-1 ("plant") firewall crossed by inter-level traffic.
+    pub fn plant_firewall(&self) -> DeviceId {
+        self.plant_firewall
+    }
+
+    /// The level-2 ("engineering") external firewall.
+    pub fn engineering_firewall(&self) -> DeviceId {
+        self.engineering_firewall
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full() -> Topology {
+        Topology::build(&TopologySpec::paper_full())
+    }
+
+    #[test]
+    fn full_topology_counts_match_paper() {
+        let t = full();
+        assert_eq!(t.workstations().count(), 25);
+        assert_eq!(t.servers().count(), 3);
+        assert_eq!(t.hmis().count(), 5);
+        assert_eq!(t.node_count(), 33);
+        assert_eq!(t.plc_count(), 50);
+        // 4 switches (2 per level) + 2 routers + 2 firewalls.
+        assert_eq!(t.device_count(), 8);
+    }
+
+    #[test]
+    fn servers_have_expected_roles() {
+        let t = full();
+        assert!(t.server(ServerRole::Opc).is_some());
+        assert!(t.server(ServerRole::Historian).is_some());
+        assert!(t.server(ServerRole::DomainController).is_some());
+        let small = Topology::build(&TopologySpec::tiny());
+        assert!(small.server(ServerRole::DomainController).is_none());
+    }
+
+    #[test]
+    fn node_ids_are_dense_and_resolvable() {
+        let t = full();
+        for (i, id) in t.node_ids().enumerate() {
+            assert_eq!(id.index(), i);
+            assert!(t.node(id).is_ok());
+        }
+        assert_eq!(
+            t.node(NodeId::from_index(999)),
+            Err(TopologyError::UnknownNode(999))
+        );
+        assert_eq!(
+            t.plc(PlcId::from_index(999)),
+            Err(TopologyError::UnknownPlc(999))
+        );
+    }
+
+    #[test]
+    fn ips_are_unique_and_reverse_resolvable() {
+        let t = full();
+        let mut seen = std::collections::HashSet::new();
+        for id in t.node_ids() {
+            let ip = t.ip_of(id);
+            assert!(seen.insert(ip), "duplicate ip {ip}");
+            assert_eq!(t.node_by_ip(ip), Some(id));
+        }
+    }
+
+    #[test]
+    fn same_vlan_factor_is_one() {
+        let t = full();
+        assert_eq!(
+            t.device_factor_between_vlans(VlanId::ops(2), VlanId::ops(2)),
+            1.0
+        );
+    }
+
+    #[test]
+    fn same_level_cross_vlan_factor_is_two() {
+        let t = full();
+        // switch (1) * router (2) * switch (1) = 2
+        assert_eq!(
+            t.device_factor_between_vlans(VlanId::ops(2), VlanId::quarantine(2)),
+            2.0
+        );
+    }
+
+    #[test]
+    fn cross_level_factor_is_twenty() {
+        let t = full();
+        // switch (1) * router (2) * firewall (5) * router (2) * switch (1) = 20
+        assert_eq!(
+            t.device_factor_between_vlans(VlanId::ops(2), VlanId::ops(1)),
+            20.0
+        );
+        // Commanding PLCs from level 2 is noisier than from level-1 HMIs,
+        // which is the asymmetry §3.2 of the paper relies on.
+        assert!(t.device_factor_to_plcs(VlanId::ops(2)) > t.device_factor_to_plcs(VlanId::ops(1)));
+    }
+
+    #[test]
+    fn path_between_levels_contains_firewall() {
+        let t = full();
+        let path = t.devices_between_vlans(VlanId::ops(2), VlanId::ops(1));
+        assert_eq!(path.len(), 5);
+        assert!(path.contains(&t.plant_firewall()));
+    }
+
+    #[test]
+    fn path_factor_between_nodes_uses_home_vlans() {
+        let t = full();
+        let ws = t.workstations().next().unwrap().id;
+        let hmi = t.hmis().next().unwrap().id;
+        assert_eq!(t.path_device_factor(ws, hmi), 20.0);
+        let ws2 = t.workstations().nth(1).unwrap().id;
+        assert_eq!(t.path_device_factor(ws, ws2), 1.0);
+    }
+
+    #[test]
+    fn vlan_queries() {
+        let t = full();
+        assert_eq!(t.vlans().len(), 4);
+        assert_eq!(t.ops_vlans().len(), 2);
+        assert_eq!(t.nodes_homed_on(VlanId::ops(2)).count(), 28);
+        assert_eq!(t.nodes_homed_on(VlanId::ops(1)).count(), 5);
+        assert_eq!(t.nodes_homed_on(VlanId::quarantine(2)).count(), 0);
+        assert!(t.switch_for_vlan(VlanId::quarantine(1)).is_some());
+        assert!(t.switch_for_vlan(VlanId::ops(3)).is_none());
+        assert!(t.router_for_level(Level::Plant1).is_some());
+    }
+
+    #[test]
+    fn small_topology_matches_grid_search_spec() {
+        let t = Topology::build(&TopologySpec::paper_small());
+        assert_eq!(t.workstations().count(), 10);
+        assert_eq!(t.hmis().count(), 3);
+        assert_eq!(t.plc_count(), 30);
+    }
+}

@@ -1,0 +1,122 @@
+//! Intrusion-detection alerts.
+//!
+//! Alerts are what the defender actually observes: the IP address of the node
+//! or networking device that generated the alert and a severity from 1
+//! (lowest) to 3 (highest), with severity based on the state of the node that
+//! generated it.
+
+use ics_net::{DeviceId, IpAddr, NodeId, PlcId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Alert severity, 1 (lowest) to 3 (highest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Severity(u8);
+
+impl Severity {
+    /// Lowest severity.
+    pub const LOW: Severity = Severity(1);
+    /// Medium severity.
+    pub const MEDIUM: Severity = Severity(2);
+    /// Highest severity.
+    pub const HIGH: Severity = Severity(3);
+
+    /// Creates a severity, clamping to the valid 1..=3 range.
+    pub fn new(level: u8) -> Self {
+        Severity(level.clamp(1, 3))
+    }
+
+    /// Numeric severity level (1..=3).
+    pub fn level(&self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sev{}", self.0)
+    }
+}
+
+/// Where an alert was generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AlertSource {
+    /// A computing node generated the alert.
+    Node(NodeId),
+    /// A networking device generated the alert (message-traffic alerts).
+    Device(DeviceId),
+    /// A PLC generated the alert (process state change).
+    Plc(PlcId),
+    /// No attributable source (false alarm).
+    Unattributed,
+}
+
+/// What caused an alert. Hidden from the defender in principle (the defender
+/// only sees source and severity), but useful for diagnostics and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AlertCause {
+    /// Triggered by an APT action.
+    AptAction,
+    /// Passive detection on a compromised node.
+    Passive,
+    /// Result of a defender investigation.
+    Investigation,
+    /// A false alarm.
+    FalseAlarm,
+}
+
+/// A single IDS alert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Alert {
+    /// Simulation hour at which the alert was raised.
+    pub time: u64,
+    /// Node, device or PLC the alert is attributed to.
+    pub source: AlertSource,
+    /// IP address reported with the alert (what a real SIEM would show).
+    pub ip: IpAddr,
+    /// Severity from 1 to 3.
+    pub severity: Severity,
+    /// Ground-truth cause (used by diagnostics and the DBN training data
+    /// generator; a deployed defender would not see this field).
+    pub cause: AlertCause,
+}
+
+impl Alert {
+    /// Convenience predicate: alert attributed to the given node.
+    pub fn is_for_node(&self, node: NodeId) -> bool {
+        matches!(self.source, AlertSource::Node(n) if n == node)
+    }
+}
+
+impl fmt::Display for Alert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[t={}] {} from {}", self.time, self.severity, self.ip)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_clamps_to_valid_range() {
+        assert_eq!(Severity::new(0).level(), 1);
+        assert_eq!(Severity::new(2).level(), 2);
+        assert_eq!(Severity::new(9).level(), 3);
+        assert!(Severity::LOW < Severity::HIGH);
+    }
+
+    #[test]
+    fn alert_node_predicate() {
+        let alert = Alert {
+            time: 5,
+            source: AlertSource::Node(NodeId::from_index(3)),
+            ip: IpAddr::new(10, 2, 1, 13),
+            severity: Severity::MEDIUM,
+            cause: AlertCause::AptAction,
+        };
+        assert!(alert.is_for_node(NodeId::from_index(3)));
+        assert!(!alert.is_for_node(NodeId::from_index(4)));
+        assert!(alert.to_string().contains("sev2"));
+    }
+}

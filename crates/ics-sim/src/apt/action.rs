@@ -1,0 +1,298 @@
+//! APT attacker actions (Table 5 of the paper).
+
+use ics_net::{NodeId, PlcId, VlanId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kinds of action available to the attacker (Table 5), plus
+/// [`AptActionKind::InitialIntrusion`], which re-establishes a beachhead after
+/// the defender has evicted the attacker from every node (the paper assumes a
+/// persistent, well-funded adversary that will re-enter via social
+/// engineering; without this the first successful re-image would trivially end
+/// every episode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AptActionKind {
+    // Lateral movement ----------------------------------------------------
+    /// Scan a targeted VLAN for nodes.
+    ScanVlan,
+    /// Gain initial control over a node.
+    Compromise,
+    /// Set reboot persistence on a controlled node.
+    RebootPersist,
+    /// Gain administrator access on a controlled node.
+    EscalatePrivilege,
+    /// Set credential-change persistence on an admin node.
+    CredentialPersist,
+    /// Remove malware files to reduce the probability of alerts.
+    Cleanup,
+    // Vertical movement ---------------------------------------------------
+    /// Scan for occupied VLANs.
+    DiscoverVlan,
+    /// Scan for a server on a VLAN.
+    DiscoverServer,
+    /// Analyze a compromised data historian.
+    AnalyzeHistorian,
+    // Attack ----------------------------------------------------------------
+    /// Scan a VLAN for PLCs.
+    DiscoverPlc,
+    /// Corrupt PLC firmware.
+    FlashFirmware,
+    /// Disrupt a PLC process.
+    DisruptPlc,
+    /// Destroy PLC equipment.
+    DestroyPlc,
+    // Re-entry (not in Table 5; see type-level docs) ------------------------
+    /// Re-establish an initial beachhead on the level-2 network after losing
+    /// control of every node.
+    InitialIntrusion,
+}
+
+impl AptActionKind {
+    /// All action kinds, in Table 5 order (re-entry last).
+    pub const ALL: [AptActionKind; 14] = [
+        AptActionKind::ScanVlan,
+        AptActionKind::Compromise,
+        AptActionKind::RebootPersist,
+        AptActionKind::EscalatePrivilege,
+        AptActionKind::CredentialPersist,
+        AptActionKind::Cleanup,
+        AptActionKind::DiscoverVlan,
+        AptActionKind::DiscoverServer,
+        AptActionKind::AnalyzeHistorian,
+        AptActionKind::DiscoverPlc,
+        AptActionKind::FlashFirmware,
+        AptActionKind::DisruptPlc,
+        AptActionKind::DestroyPlc,
+        AptActionKind::InitialIntrusion,
+    ];
+
+    /// Probability that an attempt of this action succeeds (Table 5).
+    pub fn success_prob(&self) -> f64 {
+        match self {
+            AptActionKind::Compromise => 0.9,
+            AptActionKind::InitialIntrusion => 0.75,
+            _ => 1.0,
+        }
+    }
+
+    /// Parameters `(n, p)` of the Binomial distribution the action's duration
+    /// (in hours) is drawn from (Table 5).
+    pub fn time_dist(&self) -> (u64, f64) {
+        match self {
+            AptActionKind::ScanVlan => (60, 0.9),
+            AptActionKind::Compromise => (60, 0.8),
+            AptActionKind::RebootPersist => (4, 0.9),
+            AptActionKind::EscalatePrivilege => (22, 0.9),
+            AptActionKind::CredentialPersist => (4, 0.9),
+            AptActionKind::Cleanup => (4, 0.9),
+            AptActionKind::DiscoverVlan => (60, 0.9),
+            AptActionKind::DiscoverServer => (60, 0.9),
+            AptActionKind::AnalyzeHistorian => (600, 0.9),
+            AptActionKind::DiscoverPlc => (24, 0.875),
+            AptActionKind::FlashFirmware => (1, 1.0),
+            AptActionKind::DisruptPlc => (8, 0.9),
+            AptActionKind::DestroyPlc => (1, 1.0),
+            // One to two weeks of renewed social engineering.
+            AptActionKind::InitialIntrusion => (336, 0.5),
+        }
+    }
+
+    /// Expected duration of the action in hours (`n * p`).
+    pub fn expected_duration(&self) -> f64 {
+        let (n, p) = self.time_dist();
+        n as f64 * p
+    }
+
+    /// Base probability that an attempt raises an IDS alert (Table 5). For
+    /// actions that generate network messages this rate is multiplied by the
+    /// device factor of every device the message crosses.
+    pub fn alert_rate(&self) -> f64 {
+        match self {
+            AptActionKind::ScanVlan => 0.01,
+            AptActionKind::Compromise => 0.05,
+            AptActionKind::RebootPersist => 0.05,
+            AptActionKind::EscalatePrivilege => 0.05,
+            AptActionKind::CredentialPersist => 0.05,
+            AptActionKind::Cleanup => 0.05,
+            AptActionKind::DiscoverVlan => 0.05,
+            AptActionKind::DiscoverServer => 0.01,
+            AptActionKind::AnalyzeHistorian => 0.0,
+            AptActionKind::DiscoverPlc => 0.03,
+            AptActionKind::FlashFirmware => 0.5,
+            AptActionKind::DisruptPlc => 0.9,
+            AptActionKind::DestroyPlc => 1.0,
+            AptActionKind::InitialIntrusion => 0.01,
+        }
+    }
+
+    /// Whether the action sends messages across the network (and therefore
+    /// has its alert rate multiplied by the device factors along the path).
+    pub fn generates_traffic(&self) -> bool {
+        matches!(
+            self,
+            AptActionKind::ScanVlan
+                | AptActionKind::Compromise
+                | AptActionKind::DiscoverVlan
+                | AptActionKind::DiscoverServer
+                | AptActionKind::DiscoverPlc
+                | AptActionKind::FlashFirmware
+                | AptActionKind::DisruptPlc
+                | AptActionKind::DestroyPlc
+        )
+    }
+}
+
+impl fmt::Display for AptActionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AptActionKind::ScanVlan => "scan",
+            AptActionKind::Compromise => "compromise",
+            AptActionKind::RebootPersist => "reboot persist",
+            AptActionKind::EscalatePrivilege => "escalate privilege",
+            AptActionKind::CredentialPersist => "credential persist",
+            AptActionKind::Cleanup => "cleanup",
+            AptActionKind::DiscoverVlan => "discover VLAN",
+            AptActionKind::DiscoverServer => "discover server",
+            AptActionKind::AnalyzeHistorian => "analyze historian",
+            AptActionKind::DiscoverPlc => "discover PLC",
+            AptActionKind::FlashFirmware => "flash firmware",
+            AptActionKind::DisruptPlc => "disrupt PLC",
+            AptActionKind::DestroyPlc => "destroy PLC",
+            AptActionKind::InitialIntrusion => "initial intrusion",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The target of an APT action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AptTarget {
+    /// A whole VLAN (scans and discovery actions).
+    Vlan(VlanId),
+    /// A specific computing node.
+    Node(NodeId),
+    /// A specific PLC.
+    Plc(PlcId),
+    /// No explicit target (e.g. VLAN discovery from the source node).
+    None,
+}
+
+/// A single attacker action attempt: the kind, the compromised node it is
+/// launched from (if any), and its target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AptAction {
+    /// What the attacker is attempting.
+    pub kind: AptActionKind,
+    /// The controlled node the action originates from. `None` only for
+    /// [`AptActionKind::InitialIntrusion`], which comes from outside the
+    /// modelled network.
+    pub source: Option<NodeId>,
+    /// What the action targets.
+    pub target: AptTarget,
+}
+
+impl AptAction {
+    /// Creates an action.
+    pub fn new(kind: AptActionKind, source: Option<NodeId>, target: AptTarget) -> Self {
+        Self {
+            kind,
+            source,
+            target,
+        }
+    }
+
+    /// The node target, if the target is a node.
+    pub fn target_node(&self) -> Option<NodeId> {
+        match self.target {
+            AptTarget::Node(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The PLC target, if the target is a PLC.
+    pub fn target_plc(&self) -> Option<PlcId> {
+        match self.target {
+            AptTarget::Plc(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AptAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind)?;
+        match self.target {
+            AptTarget::Vlan(v) => write!(f, " -> {v}")?,
+            AptTarget::Node(n) => write!(f, " -> {n}")?,
+            AptTarget::Plc(p) => write!(f, " -> {p}")?,
+            AptTarget::None => {}
+        }
+        if let Some(src) = self.source {
+            write!(f, " (from {src})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_5_success_probabilities() {
+        assert_eq!(AptActionKind::ScanVlan.success_prob(), 1.0);
+        assert_eq!(AptActionKind::Compromise.success_prob(), 0.9);
+        assert_eq!(AptActionKind::DisruptPlc.success_prob(), 1.0);
+    }
+
+    #[test]
+    fn table_5_time_distributions() {
+        assert_eq!(AptActionKind::ScanVlan.time_dist(), (60, 0.9));
+        assert_eq!(AptActionKind::Compromise.time_dist(), (60, 0.8));
+        assert_eq!(AptActionKind::RebootPersist.time_dist(), (4, 0.9));
+        assert_eq!(AptActionKind::EscalatePrivilege.time_dist(), (22, 0.9));
+        assert_eq!(AptActionKind::AnalyzeHistorian.time_dist(), (600, 0.9));
+        assert_eq!(AptActionKind::DiscoverPlc.time_dist(), (24, 0.875));
+        assert_eq!(AptActionKind::FlashFirmware.time_dist(), (1, 1.0));
+        assert_eq!(AptActionKind::DestroyPlc.time_dist(), (1, 1.0));
+    }
+
+    #[test]
+    fn table_5_alert_rates() {
+        assert_eq!(AptActionKind::ScanVlan.alert_rate(), 0.01);
+        assert_eq!(AptActionKind::Compromise.alert_rate(), 0.05);
+        assert_eq!(AptActionKind::AnalyzeHistorian.alert_rate(), 0.0);
+        assert_eq!(AptActionKind::FlashFirmware.alert_rate(), 0.5);
+        assert_eq!(AptActionKind::DisruptPlc.alert_rate(), 0.9);
+        assert_eq!(AptActionKind::DestroyPlc.alert_rate(), 1.0);
+    }
+
+    #[test]
+    fn traffic_generating_actions() {
+        assert!(AptActionKind::Compromise.generates_traffic());
+        assert!(AptActionKind::DisruptPlc.generates_traffic());
+        assert!(!AptActionKind::Cleanup.generates_traffic());
+        assert!(!AptActionKind::AnalyzeHistorian.generates_traffic());
+    }
+
+    #[test]
+    fn expected_duration_is_n_times_p() {
+        assert!((AptActionKind::ScanVlan.expected_duration() - 54.0).abs() < 1e-9);
+        assert!((AptActionKind::AnalyzeHistorian.expected_duration() - 540.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn action_accessors_and_display() {
+        let a = AptAction::new(
+            AptActionKind::Compromise,
+            Some(NodeId::from_index(0)),
+            AptTarget::Node(NodeId::from_index(3)),
+        );
+        assert_eq!(a.target_node(), Some(NodeId::from_index(3)));
+        assert_eq!(a.target_plc(), None);
+        let text = a.to_string();
+        assert!(text.contains("compromise"));
+        assert!(text.contains("node#3"));
+        assert!(text.contains("node#0"));
+    }
+}

@@ -1,0 +1,14 @@
+//! The APT agent module: attacker actions, parameters, knowledge and the
+//! baseline finite-state-machine attack policy (paper §3.2 and appendix).
+
+pub mod action;
+pub mod fsm;
+pub mod knowledge;
+pub mod params;
+pub mod policy;
+
+pub use action::{AptAction, AptActionKind, AptTarget};
+pub use fsm::{AptPhase, FsmAptPolicy};
+pub use knowledge::AptKnowledge;
+pub use params::{AptParams, AptProfile, AttackObjective, AttackVector};
+pub use policy::{AptContext, AptPolicy};

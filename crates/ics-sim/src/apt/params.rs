@@ -1,0 +1,265 @@
+//! APT attack parameters: objectives, vectors, thresholds and labor budgets.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The qualitative goal of the attack (§3.2, appendix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttackObjective {
+    /// Disrupt the ICS process. Does not require firmware compromise, so it is
+    /// easier to achieve, but the impact on the ICS is smaller.
+    Disrupt,
+    /// Destroy plant equipment. Requires flashing PLC firmware first.
+    Destroy,
+}
+
+impl fmt::Display for AttackObjective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackObjective::Disrupt => write!(f, "disrupt"),
+            AttackObjective::Destroy => write!(f, "destroy"),
+        }
+    }
+}
+
+/// How the APT reaches the PLCs (§3.2, appendix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttackVector {
+    /// Through the level-2 OPC server. Requires only one level-2 server, but
+    /// commands cross the plant firewall and generate more alerts.
+    Opc,
+    /// Through the level-1 HMI nodes. Requires capturing several HMIs, but
+    /// commands to the PLCs stay inside level 1.
+    Hmi,
+}
+
+impl fmt::Display for AttackVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackVector::Opc => write!(f, "OPC server"),
+            AttackVector::Hmi => write!(f, "level-1 HMI"),
+        }
+    }
+}
+
+/// A fully-specified attack configuration for one episode.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AptParams {
+    /// Whether the attack disrupts the process or destroys equipment.
+    pub objective: AttackObjective,
+    /// Whether the attack goes through the OPC server or the HMIs.
+    pub vector: AttackVector,
+    /// Number of level-2 nodes to compromise before escalating to the next
+    /// phase (also used as the number of HMIs to capture for the HMI vector).
+    pub lateral_threshold: usize,
+    /// Number of PLCs to discover before executing the attack.
+    pub plc_threshold: usize,
+    /// Maximum number of concurrently executing attacker actions (labor-hours
+    /// per clock hour).
+    pub labor_rate: usize,
+    /// How much the APT's cleanup reduces the probability of detection:
+    /// detection probabilities on cleaned nodes are multiplied by
+    /// `1 - cleanup_effectiveness`. The nominal (training) value is 0.5.
+    pub cleanup_effectiveness: f64,
+}
+
+impl AptParams {
+    /// The default APT1 configuration from §3.2: lateral threshold 3, PLC
+    /// threshold 15 when destroying / 25 when disrupting, two full-time
+    /// attackers, nominal cleanup effectiveness 0.5.
+    pub fn apt1(objective: AttackObjective, vector: AttackVector) -> Self {
+        Self {
+            objective,
+            vector,
+            lateral_threshold: 3,
+            plc_threshold: match objective {
+                AttackObjective::Destroy => 15,
+                AttackObjective::Disrupt => 25,
+            },
+            labor_rate: 2,
+            cleanup_effectiveness: 0.5,
+        }
+    }
+
+    /// The more aggressive APT2 configuration from §5: lateral threshold 1,
+    /// PLC threshold 5 when destroying / 10 when disrupting. APT2 moves faster
+    /// through the tactic graph but has less redundant access.
+    pub fn apt2(objective: AttackObjective, vector: AttackVector) -> Self {
+        Self {
+            objective,
+            vector,
+            lateral_threshold: 1,
+            plc_threshold: match objective {
+                AttackObjective::Destroy => 5,
+                AttackObjective::Disrupt => 10,
+            },
+            labor_rate: 2,
+            cleanup_effectiveness: 0.5,
+        }
+    }
+}
+
+/// A distribution over attack configurations, sampled once per episode.
+///
+/// The paper's evaluation draws attack objective and vector per episode; this
+/// profile captures the quantitative parameters shared by every draw and
+/// optionally pins objective or vector for targeted experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AptProfile {
+    /// Lateral threshold used for every sampled configuration.
+    pub lateral_threshold: usize,
+    /// PLC threshold when the sampled objective is destroy.
+    pub plc_threshold_destroy: usize,
+    /// PLC threshold when the sampled objective is disrupt.
+    pub plc_threshold_disrupt: usize,
+    /// Labor budget.
+    pub labor_rate: usize,
+    /// Cleanup effectiveness (see [`AptParams::cleanup_effectiveness`]).
+    pub cleanup_effectiveness: f64,
+    /// Pin the objective instead of sampling it.
+    pub fixed_objective: Option<AttackObjective>,
+    /// Pin the vector instead of sampling it.
+    pub fixed_vector: Option<AttackVector>,
+}
+
+impl AptProfile {
+    /// The nominal attacker the ACSO is trained against (APT1).
+    pub fn apt1() -> Self {
+        Self {
+            lateral_threshold: 3,
+            plc_threshold_destroy: 15,
+            plc_threshold_disrupt: 25,
+            labor_rate: 2,
+            cleanup_effectiveness: 0.5,
+            fixed_objective: None,
+            fixed_vector: None,
+        }
+    }
+
+    /// The aggressive attacker used for the robustness experiment (APT2).
+    pub fn apt2() -> Self {
+        Self {
+            lateral_threshold: 1,
+            plc_threshold_destroy: 5,
+            plc_threshold_disrupt: 10,
+            labor_rate: 2,
+            cleanup_effectiveness: 0.5,
+            ..Self::apt1()
+        }
+    }
+
+    /// Returns a copy with a different cleanup effectiveness (the Fig. 6
+    /// perturbation).
+    pub fn with_cleanup_effectiveness(mut self, effectiveness: f64) -> Self {
+        self.cleanup_effectiveness = effectiveness;
+        self
+    }
+
+    /// Returns a copy with the objective pinned.
+    pub fn with_objective(mut self, objective: AttackObjective) -> Self {
+        self.fixed_objective = Some(objective);
+        self
+    }
+
+    /// Returns a copy with the vector pinned.
+    pub fn with_vector(mut self, vector: AttackVector) -> Self {
+        self.fixed_vector = Some(vector);
+        self
+    }
+
+    /// Samples a concrete configuration for one episode.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> AptParams {
+        let objective = self.fixed_objective.unwrap_or(if rng.gen_bool(0.5) {
+            AttackObjective::Destroy
+        } else {
+            AttackObjective::Disrupt
+        });
+        let vector = self.fixed_vector.unwrap_or(if rng.gen_bool(0.5) {
+            AttackVector::Opc
+        } else {
+            AttackVector::Hmi
+        });
+        AptParams {
+            objective,
+            vector,
+            lateral_threshold: self.lateral_threshold,
+            plc_threshold: match objective {
+                AttackObjective::Destroy => self.plc_threshold_destroy,
+                AttackObjective::Disrupt => self.plc_threshold_disrupt,
+            },
+            labor_rate: self.labor_rate,
+            cleanup_effectiveness: self.cleanup_effectiveness,
+        }
+    }
+}
+
+impl Default for AptProfile {
+    fn default() -> Self {
+        Self::apt1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn apt1_matches_paper_defaults() {
+        let p = AptParams::apt1(AttackObjective::Destroy, AttackVector::Opc);
+        assert_eq!(p.lateral_threshold, 3);
+        assert_eq!(p.plc_threshold, 15);
+        assert_eq!(p.labor_rate, 2);
+        assert_eq!(p.cleanup_effectiveness, 0.5);
+        let p = AptParams::apt1(AttackObjective::Disrupt, AttackVector::Hmi);
+        assert_eq!(p.plc_threshold, 25);
+    }
+
+    #[test]
+    fn apt2_matches_paper_perturbation() {
+        let p = AptParams::apt2(AttackObjective::Destroy, AttackVector::Opc);
+        assert_eq!(p.lateral_threshold, 1);
+        assert_eq!(p.plc_threshold, 5);
+        let p = AptParams::apt2(AttackObjective::Disrupt, AttackVector::Hmi);
+        assert_eq!(p.plc_threshold, 10);
+    }
+
+    #[test]
+    fn profile_sampling_respects_pins() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let profile = AptProfile::apt1()
+            .with_objective(AttackObjective::Disrupt)
+            .with_vector(AttackVector::Hmi);
+        for _ in 0..10 {
+            let p = profile.sample(&mut rng);
+            assert_eq!(p.objective, AttackObjective::Disrupt);
+            assert_eq!(p.vector, AttackVector::Hmi);
+            assert_eq!(p.plc_threshold, 25);
+        }
+    }
+
+    #[test]
+    fn profile_sampling_varies_when_unpinned() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let profile = AptProfile::apt1();
+        let mut objectives = std::collections::HashSet::new();
+        let mut vectors = std::collections::HashSet::new();
+        for _ in 0..50 {
+            let p = profile.sample(&mut rng);
+            objectives.insert(format!("{}", p.objective));
+            vectors.insert(format!("{}", p.vector));
+        }
+        assert_eq!(objectives.len(), 2);
+        assert_eq!(vectors.len(), 2);
+    }
+
+    #[test]
+    fn cleanup_effectiveness_override() {
+        let profile = AptProfile::apt1().with_cleanup_effectiveness(0.9);
+        assert_eq!(profile.cleanup_effectiveness, 0.9);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(profile.sample(&mut rng).cleanup_effectiveness, 0.9);
+    }
+}

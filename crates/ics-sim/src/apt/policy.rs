@@ -1,0 +1,100 @@
+//! The attacker policy interface.
+//!
+//! Any attacker policy can be plugged into the environment by implementing
+//! [`AptPolicy`]; the baseline finite-state-machine attacker of the paper is
+//! [`crate::apt::FsmAptPolicy`].
+
+use crate::apt::action::AptAction;
+use crate::apt::knowledge::AptKnowledge;
+use crate::apt::params::AptParams;
+use crate::state::NetworkState;
+use ics_net::Topology;
+use rand::rngs::StdRng;
+
+/// Everything the attacker is allowed to see when deciding its next actions.
+///
+/// The attacker has ground-truth knowledge of the nodes it controls and of
+/// its own accumulated discoveries, but no visibility into defender actions
+/// that have not yet affected nodes it controls.
+#[derive(Debug)]
+pub struct AptContext<'a> {
+    /// The static network topology.
+    pub topology: &'a Topology,
+    /// The ground-truth network state. Policies should only read facts about
+    /// nodes they control (enforced by convention, as in the paper).
+    pub state: &'a NetworkState,
+    /// The attacker's accumulated discoveries.
+    pub knowledge: &'a AptKnowledge,
+    /// The episode's attack configuration.
+    pub params: &'a AptParams,
+    /// Actions already in flight (to avoid duplicating work).
+    pub in_progress: &'a [AptAction],
+    /// Number of additional actions the labor budget allows this hour.
+    pub free_labor: usize,
+    /// Current simulation hour.
+    pub time: u64,
+}
+
+/// An attacker decision policy.
+///
+/// Policies are called once per simulated hour and may start up to
+/// `free_labor` new actions. The environment handles success sampling,
+/// durations, alerts and effects.
+pub trait AptPolicy: Send {
+    /// Resets internal state at the start of an episode.
+    fn reset(&mut self, params: &AptParams);
+
+    /// Chooses up to `ctx.free_labor` new actions to start this hour.
+    fn decide(&mut self, ctx: &AptContext<'_>, rng: &mut StdRng) -> Vec<AptAction>;
+
+    /// A short human-readable description of the policy's current phase, used
+    /// for diagnostics and logging.
+    fn phase_name(&self) -> &'static str {
+        "unknown"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apt::params::{AttackObjective, AttackVector};
+    use ics_net::TopologySpec;
+    use rand::SeedableRng;
+
+    /// A do-nothing policy used to verify the trait is object safe and the
+    /// context is usable.
+    struct IdleApt;
+
+    impl AptPolicy for IdleApt {
+        fn reset(&mut self, _params: &AptParams) {}
+        fn decide(&mut self, ctx: &AptContext<'_>, _rng: &mut StdRng) -> Vec<AptAction> {
+            assert!(ctx.free_labor <= ctx.params.labor_rate);
+            Vec::new()
+        }
+        fn phase_name(&self) -> &'static str {
+            "idle"
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe_and_callable() {
+        let topo = Topology::build(&TopologySpec::tiny());
+        let state = NetworkState::new(&topo);
+        let knowledge = AptKnowledge::new();
+        let params = AptParams::apt1(AttackObjective::Disrupt, AttackVector::Opc);
+        let mut policy: Box<dyn AptPolicy> = Box::new(IdleApt);
+        policy.reset(&params);
+        let ctx = AptContext {
+            topology: &topo,
+            state: &state,
+            knowledge: &knowledge,
+            params: &params,
+            in_progress: &[],
+            free_labor: 2,
+            time: 0,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(policy.decide(&ctx, &mut rng).is_empty());
+        assert_eq!(policy.phase_name(), "idle");
+    }
+}

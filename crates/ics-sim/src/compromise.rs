@@ -1,0 +1,432 @@
+//! Node compromise conditions (Table 1 of the paper).
+//!
+//! A node may carry several compromise conditions at once. Conditions have a
+//! required precondition (e.g. a node must be scanned before it can be
+//! initially compromised) and each enables different attacker capabilities or
+//! defeats different defender mitigations.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single compromise condition a node may experience (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CompromiseCondition {
+    /// The APT has scanned the node, allowing it to gain command and control.
+    Scanned,
+    /// The APT can take actions on and from the node.
+    InitialCompromise,
+    /// Control survives a defender reboot.
+    RebootPersistence,
+    /// The APT has administrator access, enabling additional actions.
+    AdminAccess,
+    /// Control survives a defender password reset.
+    CredentialPersistence,
+    /// Malware artifacts were removed, reducing the probability of alerts and
+    /// of investigation detections.
+    MalwareCleaned,
+}
+
+impl CompromiseCondition {
+    /// All conditions, in escalation order.
+    pub const ALL: [CompromiseCondition; 6] = [
+        CompromiseCondition::Scanned,
+        CompromiseCondition::InitialCompromise,
+        CompromiseCondition::RebootPersistence,
+        CompromiseCondition::AdminAccess,
+        CompromiseCondition::CredentialPersistence,
+        CompromiseCondition::MalwareCleaned,
+    ];
+
+    /// The condition that must already be present before this one can be set
+    /// (Table 1's "required condition" column). `None` means no prerequisite.
+    pub fn required(&self) -> Option<CompromiseCondition> {
+        match self {
+            CompromiseCondition::Scanned => None,
+            CompromiseCondition::InitialCompromise => Some(CompromiseCondition::Scanned),
+            CompromiseCondition::RebootPersistence => Some(CompromiseCondition::InitialCompromise),
+            CompromiseCondition::AdminAccess => Some(CompromiseCondition::InitialCompromise),
+            CompromiseCondition::CredentialPersistence => Some(CompromiseCondition::AdminAccess),
+            CompromiseCondition::MalwareCleaned => Some(CompromiseCondition::AdminAccess),
+        }
+    }
+
+    fn bit(&self) -> u8 {
+        match self {
+            CompromiseCondition::Scanned => 1 << 0,
+            CompromiseCondition::InitialCompromise => 1 << 1,
+            CompromiseCondition::RebootPersistence => 1 << 2,
+            CompromiseCondition::AdminAccess => 1 << 3,
+            CompromiseCondition::CredentialPersistence => 1 << 4,
+            CompromiseCondition::MalwareCleaned => 1 << 5,
+        }
+    }
+}
+
+impl fmt::Display for CompromiseCondition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CompromiseCondition::Scanned => "scanned",
+            CompromiseCondition::InitialCompromise => "initial compromise",
+            CompromiseCondition::RebootPersistence => "reboot persistence",
+            CompromiseCondition::AdminAccess => "admin access",
+            CompromiseCondition::CredentialPersistence => "credential persistence",
+            CompromiseCondition::MalwareCleaned => "malware cleaned",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The set of compromise conditions currently present on a node.
+///
+/// The set enforces Table 1's prerequisite structure: a condition can only be
+/// inserted when its required condition is already present, and removing a
+/// condition also removes everything that depended on it.
+///
+/// ```
+/// use ics_sim::{CompromiseCondition as C, CompromiseSet};
+///
+/// let mut set = CompromiseSet::clean();
+/// assert!(!set.try_insert(C::InitialCompromise)); // requires Scanned
+/// assert!(set.try_insert(C::Scanned));
+/// assert!(set.try_insert(C::InitialCompromise));
+/// assert!(set.is_compromised());
+/// set.clear_all();
+/// assert!(set.is_clean());
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CompromiseSet {
+    bits: u8,
+}
+
+impl CompromiseSet {
+    /// An empty (clean) set.
+    pub fn clean() -> Self {
+        Self::default()
+    }
+
+    /// Whether no conditions are present.
+    pub fn is_clean(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Whether the condition is present.
+    pub fn contains(&self, cond: CompromiseCondition) -> bool {
+        self.bits & cond.bit() != 0
+    }
+
+    /// Whether the APT has command and control (initial compromise or beyond).
+    pub fn is_compromised(&self) -> bool {
+        self.contains(CompromiseCondition::InitialCompromise)
+    }
+
+    /// Whether the APT has administrator access.
+    pub fn has_admin(&self) -> bool {
+        self.contains(CompromiseCondition::AdminAccess)
+    }
+
+    /// Attempts to insert a condition, returning whether it is now present.
+    ///
+    /// Insertion fails (returns `false`) when Table 1's required condition is
+    /// not yet present. Inserting an already-present condition returns `true`.
+    pub fn try_insert(&mut self, cond: CompromiseCondition) -> bool {
+        if let Some(req) = cond.required() {
+            if !self.contains(req) {
+                return false;
+            }
+        }
+        self.bits |= cond.bit();
+        true
+    }
+
+    /// Removes a condition and, transitively, every condition that required it.
+    pub fn remove(&mut self, cond: CompromiseCondition) {
+        if !self.contains(cond) {
+            return;
+        }
+        self.bits &= !cond.bit();
+        // Cascade: drop any condition whose prerequisite is now missing.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for c in CompromiseCondition::ALL {
+                if self.contains(c) {
+                    if let Some(req) = c.required() {
+                        if !self.contains(req) {
+                            self.bits &= !c.bit();
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes every condition (full remediation, e.g. a re-image).
+    pub fn clear_all(&mut self) {
+        self.bits = 0;
+    }
+
+    /// Iterates over present conditions in escalation order.
+    pub fn iter(&self) -> impl Iterator<Item = CompromiseCondition> + '_ {
+        CompromiseCondition::ALL
+            .into_iter()
+            .filter(move |c| self.contains(*c))
+    }
+
+    /// Number of present conditions.
+    pub fn len(&self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// Whether the set is empty. Alias of [`CompromiseSet::is_clean`].
+    pub fn is_empty(&self) -> bool {
+        self.is_clean()
+    }
+
+    /// Collapses the condition set into the coarse class used by the dynamic
+    /// Bayes network filter and the defender's belief state.
+    pub fn class(&self) -> CompromiseClass {
+        if self.has_admin() {
+            if self.contains(CompromiseCondition::CredentialPersistence) {
+                CompromiseClass::AdminPersistent
+            } else {
+                CompromiseClass::Admin
+            }
+        } else if self.is_compromised() {
+            if self.contains(CompromiseCondition::RebootPersistence) {
+                CompromiseClass::CompromisedPersistent
+            } else {
+                CompromiseClass::Compromised
+            }
+        } else if self.contains(CompromiseCondition::Scanned) {
+            CompromiseClass::Scanned
+        } else {
+            CompromiseClass::Clean
+        }
+    }
+}
+
+impl fmt::Display for CompromiseSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "clean");
+        }
+        let mut first = true;
+        for c in self.iter() {
+            if !first {
+                write!(f, " + ")?;
+            }
+            write!(f, "{c}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<CompromiseCondition> for CompromiseSet {
+    /// Builds a set by repeatedly calling [`CompromiseSet::try_insert`];
+    /// conditions whose prerequisites are missing at insertion time are
+    /// silently dropped, so order matters.
+    fn from_iter<T: IntoIterator<Item = CompromiseCondition>>(iter: T) -> Self {
+        let mut set = CompromiseSet::clean();
+        for c in iter {
+            set.try_insert(c);
+        }
+        set
+    }
+}
+
+/// Coarse compromise classes used as the hidden state of the DBN filter.
+///
+/// The full condition set (Table 1) has 2^6 combinations, most of which are
+/// unreachable; the filter instead tracks this six-value ladder, which
+/// captures everything the defender's action selection depends on: how deep
+/// the attacker is and which mitigation the persistence defeats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CompromiseClass {
+    /// No attacker presence.
+    Clean,
+    /// Scanned but not controlled.
+    Scanned,
+    /// Initial compromise without reboot persistence.
+    Compromised,
+    /// Initial compromise with reboot persistence (a reboot will not help).
+    CompromisedPersistent,
+    /// Administrator access without credential persistence.
+    Admin,
+    /// Administrator access with credential persistence (only a re-image
+    /// fully remediates).
+    AdminPersistent,
+}
+
+impl CompromiseClass {
+    /// All classes, in escalation order.
+    pub const ALL: [CompromiseClass; 6] = [
+        CompromiseClass::Clean,
+        CompromiseClass::Scanned,
+        CompromiseClass::Compromised,
+        CompromiseClass::CompromisedPersistent,
+        CompromiseClass::Admin,
+        CompromiseClass::AdminPersistent,
+    ];
+
+    /// Number of classes.
+    pub const COUNT: usize = 6;
+
+    /// Dense index of the class (0..COUNT), usable for probability tables.
+    pub fn index(&self) -> usize {
+        match self {
+            CompromiseClass::Clean => 0,
+            CompromiseClass::Scanned => 1,
+            CompromiseClass::Compromised => 2,
+            CompromiseClass::CompromisedPersistent => 3,
+            CompromiseClass::Admin => 4,
+            CompromiseClass::AdminPersistent => 5,
+        }
+    }
+
+    /// Class corresponding to a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= CompromiseClass::COUNT`.
+    pub fn from_index(index: usize) -> Self {
+        Self::ALL[index]
+    }
+
+    /// Whether the class implies attacker command and control.
+    pub fn is_compromised(&self) -> bool {
+        matches!(
+            self,
+            CompromiseClass::Compromised
+                | CompromiseClass::CompromisedPersistent
+                | CompromiseClass::Admin
+                | CompromiseClass::AdminPersistent
+        )
+    }
+
+    /// IDS alert severity associated with activity in this class:
+    /// 1 for scanning, 2 for user-level compromise, 3 for admin-level.
+    pub fn severity_level(&self) -> u8 {
+        match self {
+            CompromiseClass::Clean => 1,
+            CompromiseClass::Scanned => 1,
+            CompromiseClass::Compromised | CompromiseClass::CompromisedPersistent => 2,
+            CompromiseClass::Admin | CompromiseClass::AdminPersistent => 3,
+        }
+    }
+}
+
+impl fmt::Display for CompromiseClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CompromiseClass::Clean => "clean",
+            CompromiseClass::Scanned => "scanned",
+            CompromiseClass::Compromised => "compromised",
+            CompromiseClass::CompromisedPersistent => "compromised (persistent)",
+            CompromiseClass::Admin => "admin",
+            CompromiseClass::AdminPersistent => "admin (persistent)",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use CompromiseCondition as C;
+
+    #[test]
+    fn prerequisites_match_table_1() {
+        assert_eq!(C::Scanned.required(), None);
+        assert_eq!(C::InitialCompromise.required(), Some(C::Scanned));
+        assert_eq!(C::RebootPersistence.required(), Some(C::InitialCompromise));
+        assert_eq!(C::AdminAccess.required(), Some(C::InitialCompromise));
+        assert_eq!(C::CredentialPersistence.required(), Some(C::AdminAccess));
+        assert_eq!(C::MalwareCleaned.required(), Some(C::AdminAccess));
+    }
+
+    #[test]
+    fn insert_requires_prerequisite() {
+        let mut s = CompromiseSet::clean();
+        assert!(!s.try_insert(C::InitialCompromise));
+        assert!(!s.try_insert(C::AdminAccess));
+        assert!(s.try_insert(C::Scanned));
+        assert!(s.try_insert(C::InitialCompromise));
+        assert!(s.try_insert(C::AdminAccess));
+        assert!(s.try_insert(C::CredentialPersistence));
+        assert!(s.try_insert(C::MalwareCleaned));
+        assert!(s.try_insert(C::RebootPersistence));
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn remove_cascades_to_dependents() {
+        let mut s: CompromiseSet = [
+            C::Scanned,
+            C::InitialCompromise,
+            C::AdminAccess,
+            C::CredentialPersistence,
+            C::MalwareCleaned,
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(s.len(), 5);
+        s.remove(C::InitialCompromise);
+        // Everything that required initial compromise (directly or not) drops.
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(C::Scanned));
+        assert!(!s.is_compromised());
+    }
+
+    #[test]
+    fn clear_all_resets_to_clean() {
+        let mut s: CompromiseSet = [C::Scanned, C::InitialCompromise].into_iter().collect();
+        s.clear_all();
+        assert!(s.is_clean());
+        assert!(s.is_empty());
+        assert_eq!(s.class(), CompromiseClass::Clean);
+    }
+
+    #[test]
+    fn class_mapping_follows_escalation_ladder() {
+        let mut s = CompromiseSet::clean();
+        assert_eq!(s.class(), CompromiseClass::Clean);
+        s.try_insert(C::Scanned);
+        assert_eq!(s.class(), CompromiseClass::Scanned);
+        s.try_insert(C::InitialCompromise);
+        assert_eq!(s.class(), CompromiseClass::Compromised);
+        s.try_insert(C::RebootPersistence);
+        assert_eq!(s.class(), CompromiseClass::CompromisedPersistent);
+        s.try_insert(C::AdminAccess);
+        assert_eq!(s.class(), CompromiseClass::Admin);
+        s.try_insert(C::CredentialPersistence);
+        assert_eq!(s.class(), CompromiseClass::AdminPersistent);
+    }
+
+    #[test]
+    fn class_index_round_trip() {
+        for (i, class) in CompromiseClass::ALL.into_iter().enumerate() {
+            assert_eq!(class.index(), i);
+            assert_eq!(CompromiseClass::from_index(i), class);
+        }
+    }
+
+    #[test]
+    fn class_severity_levels() {
+        assert_eq!(CompromiseClass::Scanned.severity_level(), 1);
+        assert_eq!(CompromiseClass::Compromised.severity_level(), 2);
+        assert_eq!(CompromiseClass::AdminPersistent.severity_level(), 3);
+        assert!(!CompromiseClass::Scanned.is_compromised());
+        assert!(CompromiseClass::Admin.is_compromised());
+    }
+
+    #[test]
+    fn display_lists_conditions() {
+        let s: CompromiseSet = [C::Scanned, C::InitialCompromise].into_iter().collect();
+        let text = s.to_string();
+        assert!(text.contains("scanned"));
+        assert!(text.contains("initial compromise"));
+        assert_eq!(CompromiseSet::clean().to_string(), "clean");
+    }
+}

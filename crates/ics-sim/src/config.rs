@@ -1,0 +1,120 @@
+//! Simulation configuration presets.
+
+use crate::apt::AptProfile;
+use crate::ids::IdsConfig;
+use crate::reward::{RewardConfig, ShapingConfig};
+use ics_net::TopologySpec;
+use serde::{Deserialize, Serialize};
+
+/// Everything needed to instantiate an [`crate::IcsEnvironment`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Shape of the network to simulate.
+    pub topology: TopologySpec,
+    /// Attacker profile sampled at each episode reset.
+    pub apt: AptProfile,
+    /// Intrusion detection system parameters.
+    pub ids: IdsConfig,
+    /// Task reward parameters.
+    pub reward: RewardConfig,
+    /// Shaping reward parameters (training only).
+    pub shaping: ShapingConfig,
+    /// Seed for the environment's random number generator.
+    pub seed: u64,
+    /// Number of PLCs discovered per completed PLC-discovery action.
+    pub plc_discovery_batch: usize,
+}
+
+impl SimConfig {
+    /// The full-scale evaluation configuration of the paper: Fig. 2 topology,
+    /// APT1 attacker, baseline IDS, 5 000-hour episodes.
+    pub fn full() -> Self {
+        Self {
+            topology: TopologySpec::paper_full(),
+            apt: AptProfile::apt1(),
+            ids: IdsConfig::paper_baseline(),
+            reward: RewardConfig::paper(),
+            shaping: ShapingConfig::paper(),
+            seed: 0,
+            plc_discovery_batch: 5,
+        }
+    }
+
+    /// The reduced configuration used for hyper-parameter tuning (§4.2):
+    /// smaller topology, same attacker and reward structure.
+    pub fn small() -> Self {
+        Self {
+            topology: TopologySpec::paper_small(),
+            ..Self::full()
+        }
+    }
+
+    /// A tiny, short-horizon configuration for unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            topology: TopologySpec::tiny(),
+            reward: RewardConfig::paper().with_max_time(200),
+            ..Self::full()
+        }
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with a different attacker profile.
+    pub fn with_apt(mut self, apt: AptProfile) -> Self {
+        self.apt = apt;
+        self
+    }
+
+    /// Returns a copy with a different episode horizon (hours).
+    pub fn with_max_time(mut self, max_time: u64) -> Self {
+        self.reward.max_time = max_time;
+        self
+    }
+
+    /// Returns a copy with a different shaping configuration.
+    pub fn with_shaping(mut self, shaping: ShapingConfig) -> Self {
+        self.shaping = shaping;
+        self
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        let full = SimConfig::full();
+        assert_eq!(full.topology.plcs, 50);
+        assert_eq!(full.reward.max_time, 5_000);
+        let small = SimConfig::small();
+        assert_eq!(small.topology.plcs, 30);
+        let tiny = SimConfig::tiny();
+        assert!(tiny.reward.max_time < 1_000);
+        assert_eq!(SimConfig::default(), SimConfig::full());
+    }
+
+    #[test]
+    fn builder_methods() {
+        let cfg = SimConfig::small()
+            .with_seed(42)
+            .with_max_time(100)
+            .with_apt(AptProfile::apt2())
+            .with_shaping(crate::reward::ShapingConfig::disabled());
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.reward.max_time, 100);
+        assert_eq!(cfg.apt.lateral_threshold, 1);
+        assert_eq!(cfg.shaping.weight, 0.0);
+    }
+}

@@ -1,0 +1,353 @@
+//! The IDS module: how alerts are generated from network activity.
+//!
+//! Three mechanisms produce alerts (paper §3.1 and appendix):
+//!
+//! 1. **Action alerts** — every APT action attempt may raise an alert with the
+//!    action's base alert rate; if the action sends messages across the
+//!    network, the rate is multiplied by the alert factor of every device the
+//!    message passes through (switch 1x, router 2x, firewall 5x).
+//! 2. **Passive alerts** — every compromised node passively raises an alert
+//!    each hour with probability 0.1 (reduced when the APT has cleaned
+//!    malware on the node).
+//! 3. **False alerts** — each level raises spurious alerts each hour with
+//!    probability 5e-2, 5e-3 and 2.5e-3 for severities 1, 2 and 3.
+
+use crate::alert::{Alert, AlertCause, AlertSource, Severity};
+use crate::apt::action::{AptAction, AptTarget};
+use crate::compromise::CompromiseCondition;
+use crate::state::NetworkState;
+use ics_net::{Level, Topology, VlanId};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Tunable parameters of the intrusion detection system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IdsConfig {
+    /// Hourly probability that a compromised node passively raises an alert.
+    pub passive_alert_prob: f64,
+    /// Hourly probability of a false severity-1 alert per level.
+    pub false_alert_prob_sev1: f64,
+    /// Hourly probability of a false severity-2 alert per level.
+    pub false_alert_prob_sev2: f64,
+    /// Hourly probability of a false severity-3 alert per level.
+    pub false_alert_prob_sev3: f64,
+}
+
+impl IdsConfig {
+    /// The paper's baseline IDS parameters.
+    pub fn paper_baseline() -> Self {
+        Self {
+            passive_alert_prob: 0.1,
+            false_alert_prob_sev1: 5e-2,
+            false_alert_prob_sev2: 5e-3,
+            false_alert_prob_sev3: 2.5e-3,
+        }
+    }
+
+    /// False-alert probability for a severity level (1..=3).
+    pub fn false_alert_prob(&self, severity: Severity) -> f64 {
+        match severity.level() {
+            1 => self.false_alert_prob_sev1,
+            2 => self.false_alert_prob_sev2,
+            _ => self.false_alert_prob_sev3,
+        }
+    }
+}
+
+impl Default for IdsConfig {
+    fn default() -> Self {
+        Self::paper_baseline()
+    }
+}
+
+/// The intrusion detection system.
+#[derive(Debug, Clone)]
+pub struct IdsModule {
+    config: IdsConfig,
+}
+
+impl IdsModule {
+    /// Creates an IDS with the given configuration.
+    pub fn new(config: IdsConfig) -> Self {
+        Self { config }
+    }
+
+    /// The IDS configuration.
+    pub fn config(&self) -> &IdsConfig {
+        &self.config
+    }
+
+    /// Severity of an alert attributed to a node, based on how deeply that
+    /// node is compromised.
+    pub fn severity_for_node(state: &NetworkState, node: ics_net::NodeId) -> Severity {
+        Severity::new(state.compromise(node).class().severity_level())
+    }
+
+    /// Probability that an APT action attempt raises an alert, given its base
+    /// alert rate, the devices its messages cross, and whether the source
+    /// node has had its malware cleaned.
+    pub fn action_alert_prob(
+        &self,
+        action: &AptAction,
+        topology: &Topology,
+        state: &NetworkState,
+        cleanup_effectiveness: f64,
+    ) -> f64 {
+        let mut p = action.kind.alert_rate();
+        if action.kind.generates_traffic() {
+            if let Some(src) = action.source {
+                let from = state.vlan_of(src);
+                let to = match action.target {
+                    AptTarget::Vlan(v) => v,
+                    AptTarget::Node(n) => state.vlan_of(n),
+                    AptTarget::Plc(_) => VlanId::ops(1),
+                    AptTarget::None => from,
+                };
+                p *= topology.device_factor_between_vlans(from, to);
+            }
+        }
+        if let Some(src) = action.source {
+            if state
+                .compromise(src)
+                .contains(CompromiseCondition::MalwareCleaned)
+            {
+                p *= 1.0 - cleanup_effectiveness;
+            }
+        }
+        p.clamp(0.0, 1.0)
+    }
+
+    /// Rolls for an alert caused by an APT action attempt. The alert is
+    /// attributed to the node the action was launched from (or its target
+    /// node for the initial intrusion).
+    pub fn roll_action_alert(
+        &self,
+        action: &AptAction,
+        topology: &Topology,
+        state: &NetworkState,
+        cleanup_effectiveness: f64,
+        time: u64,
+        rng: &mut StdRng,
+    ) -> Option<Alert> {
+        let p = self.action_alert_prob(action, topology, state, cleanup_effectiveness);
+        if !rng.gen_bool(p) {
+            return None;
+        }
+        let node = action.source.or(action.target_node())?;
+        Some(Alert {
+            time,
+            source: AlertSource::Node(node),
+            ip: topology.ip_of(node),
+            severity: Self::severity_for_node(state, node),
+            cause: AlertCause::AptAction,
+        })
+    }
+
+    /// Rolls passive alerts on every compromised node for one hour.
+    pub fn passive_alerts(
+        &self,
+        topology: &Topology,
+        state: &NetworkState,
+        cleanup_effectiveness: f64,
+        time: u64,
+        rng: &mut StdRng,
+    ) -> Vec<Alert> {
+        let mut alerts = Vec::new();
+        for node in state.compromised_nodes() {
+            let mut p = self.config.passive_alert_prob;
+            if state
+                .compromise(node)
+                .contains(CompromiseCondition::MalwareCleaned)
+            {
+                p *= 1.0 - cleanup_effectiveness;
+            }
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                alerts.push(Alert {
+                    time,
+                    source: AlertSource::Node(node),
+                    ip: topology.ip_of(node),
+                    severity: Self::severity_for_node(state, node),
+                    cause: AlertCause::Passive,
+                });
+            }
+        }
+        alerts
+    }
+
+    /// Rolls false alerts for one hour. Each level can produce one false
+    /// alert per severity per hour; false alerts are attributed to a random
+    /// node on that level.
+    pub fn false_alerts(
+        &self,
+        topology: &Topology,
+        time: u64,
+        rng: &mut StdRng,
+    ) -> Vec<Alert> {
+        let mut alerts = Vec::new();
+        for level in Level::all() {
+            let nodes: Vec<_> = topology
+                .nodes()
+                .filter(|n| n.level == level)
+                .map(|n| n.id)
+                .collect();
+            if nodes.is_empty() {
+                continue;
+            }
+            for severity in [Severity::LOW, Severity::MEDIUM, Severity::HIGH] {
+                if rng.gen_bool(self.config.false_alert_prob(severity)) {
+                    let node = nodes[rng.gen_range(0..nodes.len())];
+                    alerts.push(Alert {
+                        time,
+                        source: AlertSource::Node(node),
+                        ip: topology.ip_of(node),
+                        severity,
+                        cause: AlertCause::FalseAlarm,
+                    });
+                }
+            }
+        }
+        alerts
+    }
+}
+
+impl Default for IdsModule {
+    fn default() -> Self {
+        Self::new(IdsConfig::paper_baseline())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apt::action::AptActionKind;
+    use crate::compromise::CompromiseCondition as C;
+    use ics_net::{NodeId, TopologySpec};
+    use rand::SeedableRng;
+
+    fn fixture() -> (Topology, NetworkState, IdsModule) {
+        let topo = Topology::build(&TopologySpec::paper_full());
+        let state = NetworkState::new(&topo);
+        (topo, state, IdsModule::default())
+    }
+
+    fn compromise(state: &mut NetworkState, node: NodeId, cleaned: bool) {
+        let c = state.compromise_mut(node);
+        c.try_insert(C::Scanned);
+        c.try_insert(C::InitialCompromise);
+        if cleaned {
+            c.try_insert(C::AdminAccess);
+            c.try_insert(C::MalwareCleaned);
+        }
+    }
+
+    #[test]
+    fn config_matches_paper_baseline() {
+        let cfg = IdsConfig::paper_baseline();
+        assert_eq!(cfg.passive_alert_prob, 0.1);
+        assert_eq!(cfg.false_alert_prob(Severity::LOW), 5e-2);
+        assert_eq!(cfg.false_alert_prob(Severity::MEDIUM), 5e-3);
+        assert_eq!(cfg.false_alert_prob(Severity::HIGH), 2.5e-3);
+    }
+
+    #[test]
+    fn single_node_actions_use_base_rate() {
+        let (topo, mut state, ids) = fixture();
+        let ws = topo.workstations().next().unwrap().id;
+        compromise(&mut state, ws, false);
+        let action = AptAction::new(AptActionKind::Cleanup, Some(ws), AptTarget::Node(ws));
+        let p = ids.action_alert_prob(&action, &topo, &state, 0.5);
+        assert!((p - AptActionKind::Cleanup.alert_rate()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_level_traffic_multiplies_alert_rate() {
+        let (topo, mut state, ids) = fixture();
+        let ws = topo.workstations().next().unwrap().id;
+        let hmi = topo.hmis().next().unwrap().id;
+        compromise(&mut state, ws, false);
+        let same_level_target = topo.workstations().nth(1).unwrap().id;
+        let local = AptAction::new(
+            AptActionKind::Compromise,
+            Some(ws),
+            AptTarget::Node(same_level_target),
+        );
+        let cross = AptAction::new(AptActionKind::Compromise, Some(ws), AptTarget::Node(hmi));
+        let p_local = ids.action_alert_prob(&local, &topo, &state, 0.5);
+        let p_cross = ids.action_alert_prob(&cross, &topo, &state, 0.5);
+        assert!((p_local - 0.05).abs() < 1e-12);
+        assert!((p_cross - 1.0).abs() < 1e-12, "0.05 * 20 saturates at 1.0");
+        assert!(p_cross > p_local);
+    }
+
+    #[test]
+    fn plc_attacks_from_level_2_are_noisier_than_from_level_1() {
+        let (topo, mut state, ids) = fixture();
+        let opc = topo.server(ics_net::ServerRole::Opc).unwrap().id;
+        let hmi = topo.hmis().next().unwrap().id;
+        compromise(&mut state, opc, false);
+        compromise(&mut state, hmi, false);
+        let plc = topo.plc_ids().next().unwrap();
+        let from_opc = AptAction::new(AptActionKind::DiscoverPlc, Some(opc), AptTarget::Plc(plc));
+        let from_hmi = AptAction::new(AptActionKind::DiscoverPlc, Some(hmi), AptTarget::Plc(plc));
+        let p_opc = ids.action_alert_prob(&from_opc, &topo, &state, 0.5);
+        let p_hmi = ids.action_alert_prob(&from_hmi, &topo, &state, 0.5);
+        assert!(p_opc > p_hmi);
+        assert!((p_hmi - 0.03).abs() < 1e-12);
+        assert!((p_opc - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cleanup_reduces_alert_probability() {
+        let (topo, mut state, ids) = fixture();
+        let ws = topo.workstations().next().unwrap().id;
+        compromise(&mut state, ws, true);
+        let action = AptAction::new(AptActionKind::EscalatePrivilege, Some(ws), AptTarget::Node(ws));
+        let p_half = ids.action_alert_prob(&action, &topo, &state, 0.5);
+        let p_nine = ids.action_alert_prob(&action, &topo, &state, 0.9);
+        assert!((p_half - 0.025).abs() < 1e-12);
+        assert!(p_nine < p_half);
+    }
+
+    #[test]
+    fn passive_alert_rate_is_approximately_nominal() {
+        let (topo, mut state, ids) = fixture();
+        let ws = topo.workstations().next().unwrap().id;
+        compromise(&mut state, ws, false);
+        let mut rng = StdRng::seed_from_u64(0);
+        let trials = 20_000;
+        let mut hits = 0;
+        for t in 0..trials {
+            hits += ids.passive_alerts(&topo, &state, 0.5, t, &mut rng).len();
+        }
+        let rate = hits as f64 / trials as f64;
+        assert!((rate - 0.1).abs() < 0.01, "passive rate {rate} should be near 0.1");
+    }
+
+    #[test]
+    fn false_alerts_prefer_low_severity() {
+        let (topo, _state, ids) = fixture();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut by_sev = [0usize; 3];
+        for t in 0..20_000 {
+            for a in ids.false_alerts(&topo, t, &mut rng) {
+                by_sev[(a.severity.level() - 1) as usize] += 1;
+                assert_eq!(a.cause, AlertCause::FalseAlarm);
+            }
+        }
+        assert!(by_sev[0] > by_sev[1]);
+        assert!(by_sev[1] > by_sev[2]);
+        assert!(by_sev[2] > 0);
+    }
+
+    #[test]
+    fn alert_severity_scales_with_compromise_depth() {
+        let (topo, mut state, _ids) = fixture();
+        let ws = topo.workstations().next().unwrap().id;
+        assert_eq!(IdsModule::severity_for_node(&state, ws), Severity::LOW);
+        compromise(&mut state, ws, false);
+        assert_eq!(IdsModule::severity_for_node(&state, ws), Severity::MEDIUM);
+        state.compromise_mut(ws).try_insert(C::AdminAccess);
+        assert_eq!(IdsModule::severity_for_node(&state, ws), Severity::HIGH);
+    }
+}

@@ -1,0 +1,68 @@
+//! INASIM — the ICS network attack simulator from the ACSO paper.
+//!
+//! This crate implements the simulation environment of §3.1 and the appendix
+//! of *Autonomous Attack Mitigation for Industrial Control Systems*: an
+//! event-driven, hour-resolution model of an advanced persistent threat (APT)
+//! working its way through a Purdue-model ICS network while a defender
+//! (the Autonomous Cyber Security Orchestrator, ACSO) investigates alerts and
+//! mitigates compromises.
+//!
+//! The crate is organised into the same modules as the paper's Fig. 7:
+//!
+//! * [`state`] / [`env`] — the network simulation module (node and PLC state,
+//!   event queue, time model, the environment API);
+//! * [`apt`] — the APT agent module (Table 5 action set, the finite-state
+//!   machine attacker of Fig. 3, APT1/APT2 parameter presets);
+//! * [`ids`] — the IDS module (per-action alerts scaled by device factors,
+//!   passive alerts, false alerts);
+//! * [`orchestrator`] — the defender action set (Tables 3–4) with durations,
+//!   costs and countermeasures;
+//! * [`reward`] — the reward module (eqs. 1–4) and the shaping potential
+//!   (eq. 6);
+//! * [`observation`] — what the defender gets to see each hour;
+//! * [`metrics`] — the evaluation metrics reported in Table 2.
+//!
+//! # Example
+//!
+//! ```
+//! use ics_sim::{IcsEnvironment, SimConfig};
+//! use ics_sim::orchestrator::DefenderAction;
+//!
+//! // A small, fast configuration (the §4.2 grid-search network).
+//! let mut env = IcsEnvironment::new(SimConfig::small().with_seed(7));
+//! let mut obs = env.reset();
+//! let mut total_reward = 0.0;
+//! for _ in 0..48 {
+//!     let step = env.step(&[DefenderAction::NoAction]);
+//!     total_reward += step.reward;
+//!     obs = step.observation;
+//! }
+//! assert_eq!(obs.time, 48);
+//! assert!(total_reward > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod alert;
+pub mod apt;
+pub mod compromise;
+pub mod config;
+pub mod env;
+pub mod ids;
+pub mod metrics;
+pub mod observation;
+pub mod orchestrator;
+pub mod plc_state;
+pub mod reward;
+pub mod state;
+pub mod trace;
+
+pub use alert::{Alert, AlertSource, Severity};
+pub use compromise::{CompromiseClass, CompromiseCondition, CompromiseSet};
+pub use config::SimConfig;
+pub use env::{IcsEnvironment, StepResult};
+pub use metrics::EpisodeMetrics;
+pub use observation::{NodeObservation, Observation};
+pub use orchestrator::DefenderAction;
+pub use plc_state::{PlcState, PlcStatus};
+pub use state::NetworkState;

@@ -1,0 +1,207 @@
+//! Evaluation metrics (Table 2 of the paper).
+//!
+//! Each episode is scored by four quantities: the discounted task return, the
+//! number of PLCs offline at the end of the episode, the average per-step IT
+//! disruption cost, and the average number of compromised nodes per hour.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulates the paper's evaluation metrics over one episode.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EpisodeMetrics {
+    /// Discounted sum of task rewards.
+    pub discounted_return: f64,
+    /// Undiscounted sum of task rewards.
+    pub undiscounted_return: f64,
+    /// Number of PLCs offline at the end of the episode.
+    pub final_plcs_offline: usize,
+    /// Number of steps recorded.
+    pub steps: u64,
+    sum_it_cost: f64,
+    sum_nodes_compromised: f64,
+    max_plcs_offline: usize,
+}
+
+impl EpisodeMetrics {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one environment step.
+    ///
+    /// `discount` is γ^t for the step; `it_cost` is the total cost of
+    /// defender actions completing this step; `nodes_compromised` and
+    /// `plcs_offline` are read from the post-step state.
+    pub fn record_step(
+        &mut self,
+        reward: f64,
+        discount: f64,
+        it_cost: f64,
+        nodes_compromised: usize,
+        plcs_offline: usize,
+    ) {
+        self.discounted_return += discount * reward;
+        self.undiscounted_return += reward;
+        self.sum_it_cost += it_cost;
+        self.sum_nodes_compromised += nodes_compromised as f64;
+        self.max_plcs_offline = self.max_plcs_offline.max(plcs_offline);
+        self.final_plcs_offline = plcs_offline;
+        self.steps += 1;
+    }
+
+    /// Average IT disruption cost per step.
+    pub fn average_it_cost(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.sum_it_cost / self.steps as f64
+        }
+    }
+
+    /// Average number of compromised nodes per hour.
+    pub fn average_nodes_compromised(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.sum_nodes_compromised / self.steps as f64
+        }
+    }
+
+    /// The largest number of PLCs simultaneously offline during the episode.
+    pub fn max_plcs_offline(&self) -> usize {
+        self.max_plcs_offline
+    }
+}
+
+/// Mean and standard error of a sample, as reported in the paper's tables.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MeanStdErr {
+    /// Sample mean.
+    pub mean: f64,
+    /// Standard error of the mean.
+    pub std_err: f64,
+}
+
+impl MeanStdErr {
+    /// Computes mean and standard error from a sample.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        if samples.len() < 2 {
+            return Self { mean, std_err: 0.0 };
+        }
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        Self {
+            mean,
+            std_err: (var / n).sqrt(),
+        }
+    }
+}
+
+impl std::fmt::Display for MeanStdErr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2} ± {:.2}", self.mean, self.std_err)
+    }
+}
+
+/// Aggregate of [`EpisodeMetrics`] over many evaluation episodes: one row of
+/// Table 2.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EvaluationSummary {
+    /// Number of episodes aggregated.
+    pub episodes: usize,
+    /// Discounted return.
+    pub discounted_return: MeanStdErr,
+    /// Final PLCs offline.
+    pub final_plcs_offline: MeanStdErr,
+    /// Average IT cost per step.
+    pub average_it_cost: MeanStdErr,
+    /// Average nodes compromised per hour.
+    pub average_nodes_compromised: MeanStdErr,
+}
+
+impl EvaluationSummary {
+    /// Aggregates per-episode metrics into a summary row.
+    pub fn from_episodes(episodes: &[EpisodeMetrics]) -> Self {
+        let collect = |f: &dyn Fn(&EpisodeMetrics) -> f64| {
+            episodes.iter().map(f).collect::<Vec<f64>>()
+        };
+        Self {
+            episodes: episodes.len(),
+            discounted_return: MeanStdErr::from_samples(&collect(&|m| m.discounted_return)),
+            final_plcs_offline: MeanStdErr::from_samples(&collect(&|m| m.final_plcs_offline as f64)),
+            average_it_cost: MeanStdErr::from_samples(&collect(&|m| m.average_it_cost())),
+            average_nodes_compromised: MeanStdErr::from_samples(
+                &collect(&|m| m.average_nodes_compromised()),
+            ),
+        }
+    }
+}
+
+impl std::fmt::Display for EvaluationSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "return {} | PLCs offline {} | IT cost {} | nodes compromised {}",
+            self.discounted_return,
+            self.final_plcs_offline,
+            self.average_it_cost,
+            self.average_nodes_compromised
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_accumulate() {
+        let mut m = EpisodeMetrics::new();
+        m.record_step(1.0, 1.0, 0.1, 2, 0);
+        m.record_step(0.5, 0.5, 0.3, 4, 3);
+        assert!((m.discounted_return - 1.25).abs() < 1e-12);
+        assert!((m.undiscounted_return - 1.5).abs() < 1e-12);
+        assert_eq!(m.final_plcs_offline, 3);
+        assert_eq!(m.max_plcs_offline(), 3);
+        assert!((m.average_it_cost() - 0.2).abs() < 1e-12);
+        assert!((m.average_nodes_compromised() - 3.0).abs() < 1e-12);
+        assert_eq!(m.steps, 2);
+    }
+
+    #[test]
+    fn empty_metrics_do_not_divide_by_zero() {
+        let m = EpisodeMetrics::new();
+        assert_eq!(m.average_it_cost(), 0.0);
+        assert_eq!(m.average_nodes_compromised(), 0.0);
+    }
+
+    #[test]
+    fn mean_std_err() {
+        let s = MeanStdErr::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        // variance = 5/3, std err = sqrt(5/3/4) ≈ 0.6455
+        assert!((s.std_err - 0.6454972243679028).abs() < 1e-9);
+        assert_eq!(MeanStdErr::from_samples(&[]).mean, 0.0);
+        assert_eq!(MeanStdErr::from_samples(&[7.0]).std_err, 0.0);
+        assert!(s.to_string().contains('±'));
+    }
+
+    #[test]
+    fn summary_aggregates_episodes() {
+        let mut a = EpisodeMetrics::new();
+        a.record_step(1.0, 1.0, 0.2, 1, 0);
+        let mut b = EpisodeMetrics::new();
+        b.record_step(3.0, 1.0, 0.4, 3, 2);
+        let summary = EvaluationSummary::from_episodes(&[a, b]);
+        assert_eq!(summary.episodes, 2);
+        assert!((summary.discounted_return.mean - 2.0).abs() < 1e-12);
+        assert!((summary.average_it_cost.mean - 0.3).abs() < 1e-12);
+        assert!((summary.final_plcs_offline.mean - 1.0).abs() < 1e-12);
+        assert!(!summary.to_string().is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! What the defender observes each hour.
+//!
+//! The defender never sees ground-truth compromise state. It sees the alert
+//! stream from the IDS, the results of its own completed investigations, and
+//! the operational status of the PLCs (which the paper assumes is directly
+//! observable).
+
+use crate::alert::Alert;
+use crate::orchestrator::{InvestigationKind, MitigationKind};
+use crate::plc_state::PlcStatus;
+use ics_net::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Per-node observation for one time step.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeObservation {
+    /// The node this observation refers to.
+    pub node: NodeId,
+    /// Number of alerts attributed to the node this step, by severity
+    /// (index 0 = severity 1).
+    pub alert_counts: [u32; 3],
+    /// An investigation that completed on the node this step, with whether it
+    /// detected a compromise.
+    pub investigation: Option<(InvestigationKind, bool)>,
+    /// A mitigation that completed on the node this step.
+    pub mitigation: Option<MitigationKind>,
+    /// Whether the node is currently on its quarantine VLAN.
+    pub quarantined: bool,
+}
+
+impl NodeObservation {
+    /// A fully quiet observation for a node.
+    pub fn quiet(node: NodeId, quarantined: bool) -> Self {
+        Self {
+            node,
+            alert_counts: [0; 3],
+            investigation: None,
+            mitigation: None,
+            quarantined,
+        }
+    }
+
+    /// Total number of alerts attributed to the node this step.
+    pub fn total_alerts(&self) -> u32 {
+        self.alert_counts.iter().sum()
+    }
+
+    /// Highest alert severity seen this step (0 when there were no alerts).
+    pub fn max_severity(&self) -> u8 {
+        for sev in (0..3).rev() {
+            if self.alert_counts[sev] > 0 {
+                return (sev + 1) as u8;
+            }
+        }
+        0
+    }
+
+    /// Whether a completed investigation detected a compromise this step.
+    pub fn detection(&self) -> bool {
+        matches!(self.investigation, Some((_, true)))
+    }
+}
+
+/// The full observation returned by the environment each hour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// Current simulation hour.
+    pub time: u64,
+    /// Per-node observations, index-aligned with node identifiers.
+    pub nodes: Vec<NodeObservation>,
+    /// Directly observable PLC statuses, index-aligned with PLC identifiers.
+    pub plc_status: Vec<PlcStatus>,
+    /// The raw alert stream for the step (the per-node counts above are an
+    /// aggregation of these).
+    pub alerts: Vec<Alert>,
+}
+
+impl Observation {
+    /// Number of PLCs currently offline according to the observation.
+    pub fn plcs_offline(&self) -> usize {
+        self.plc_status.iter().filter(|s| s.is_offline()).count()
+    }
+
+    /// Total number of alerts across all nodes this step.
+    pub fn total_alerts(&self) -> usize {
+        self.alerts.len()
+    }
+
+    /// The per-node observation for a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node index is out of range for this observation.
+    pub fn node(&self, node: NodeId) -> &NodeObservation {
+        &self.nodes[node.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_observation() {
+        let o = NodeObservation::quiet(NodeId::from_index(3), false);
+        assert_eq!(o.total_alerts(), 0);
+        assert_eq!(o.max_severity(), 0);
+        assert!(!o.detection());
+        assert!(!o.quarantined);
+    }
+
+    #[test]
+    fn severity_and_detection_accessors() {
+        let mut o = NodeObservation::quiet(NodeId::from_index(0), true);
+        o.alert_counts = [2, 0, 1];
+        assert_eq!(o.total_alerts(), 3);
+        assert_eq!(o.max_severity(), 3);
+        o.investigation = Some((InvestigationKind::SimpleScan, true));
+        assert!(o.detection());
+        o.investigation = Some((InvestigationKind::SimpleScan, false));
+        assert!(!o.detection());
+    }
+
+    #[test]
+    fn observation_aggregates() {
+        let obs = Observation {
+            time: 7,
+            nodes: vec![
+                NodeObservation::quiet(NodeId::from_index(0), false),
+                NodeObservation::quiet(NodeId::from_index(1), false),
+            ],
+            plc_status: vec![PlcStatus::Nominal, PlcStatus::Disrupted, PlcStatus::Destroyed],
+            alerts: Vec::new(),
+        };
+        assert_eq!(obs.plcs_offline(), 2);
+        assert_eq!(obs.total_alerts(), 0);
+        assert_eq!(obs.node(NodeId::from_index(1)).node.index(), 1);
+    }
+}

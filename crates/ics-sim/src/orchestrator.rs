@@ -1,0 +1,395 @@
+//! The orchestrator module: the defender's action space (Tables 3 and 4).
+//!
+//! The ACSO may take investigation actions (which stochastically surface the
+//! compromise status of a node without changing it) and mitigation actions
+//! (which change node or PLC state to impede the attack), each with a
+//! duration in hours and a disruption cost charged against nominal network
+//! operations.
+
+use ics_net::{NodeId, PlcId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Investigation actions available to the defender (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InvestigationKind {
+    /// Simple background malware scan.
+    SimpleScan,
+    /// Disruptive malware scan; keeps scanning until it detects something or
+    /// its maximum duration elapses.
+    AdvancedScan,
+    /// Task a human analyst to the node.
+    HumanAnalysis,
+}
+
+impl InvestigationKind {
+    /// All investigation kinds.
+    pub const ALL: [InvestigationKind; 3] = [
+        InvestigationKind::SimpleScan,
+        InvestigationKind::AdvancedScan,
+        InvestigationKind::HumanAnalysis,
+    ];
+
+    /// Per-attempt detection probability when malware is present and has
+    /// *not* been cleaned (Table 3, first value).
+    pub fn detect_prob(&self) -> f64 {
+        match self {
+            InvestigationKind::SimpleScan => 0.03,
+            InvestigationKind::AdvancedScan => 0.05,
+            InvestigationKind::HumanAnalysis => 0.5,
+        }
+    }
+
+    /// Per-attempt detection probability when the APT has cleaned malware on
+    /// the node (Table 3, second value) at the nominal cleanup effectiveness
+    /// of 0.5.
+    pub fn detect_prob_cleaned(&self) -> f64 {
+        match self {
+            InvestigationKind::SimpleScan => 0.01,
+            InvestigationKind::AdvancedScan => 0.02,
+            InvestigationKind::HumanAnalysis => 0.25,
+        }
+    }
+
+    /// Action duration in hours (Table 3). For the advanced scan this is the
+    /// maximum duration: one detection draw is made per hour and the scan
+    /// stops early if it raises an alert.
+    pub fn duration(&self) -> u64 {
+        match self {
+            InvestigationKind::SimpleScan => 2,
+            InvestigationKind::AdvancedScan => 8,
+            InvestigationKind::HumanAnalysis => 8,
+        }
+    }
+
+    /// Disruption cost of the investigation (Table 3).
+    pub fn cost(&self) -> f64 {
+        match self {
+            InvestigationKind::SimpleScan => 0.01,
+            InvestigationKind::AdvancedScan => 0.03,
+            InvestigationKind::HumanAnalysis => 0.05,
+        }
+    }
+}
+
+impl fmt::Display for InvestigationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InvestigationKind::SimpleScan => "simple scan",
+            InvestigationKind::AdvancedScan => "advanced scan",
+            InvestigationKind::HumanAnalysis => "human analysis",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Node mitigation actions available to the defender (Table 4, first group).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MitigationKind {
+    /// Power-cycle the node. Countered by reboot persistence.
+    Reboot,
+    /// Clear cached credentials. Countered by credential persistence.
+    ResetPassword,
+    /// Clean the disk and reinstall the operating system. No countermeasure.
+    ReimageNode,
+    /// Move the node to (or back from) the quarantine VLAN on its level.
+    Quarantine,
+}
+
+impl MitigationKind {
+    /// All node mitigation kinds.
+    pub const ALL: [MitigationKind; 4] = [
+        MitigationKind::Reboot,
+        MitigationKind::ResetPassword,
+        MitigationKind::ReimageNode,
+        MitigationKind::Quarantine,
+    ];
+
+    /// Disruption cost when applied to a workstation or HMI (Table 4).
+    pub fn cost_host(&self) -> f64 {
+        match self {
+            MitigationKind::Reboot => 0.01,
+            MitigationKind::ResetPassword => 0.03,
+            MitigationKind::ReimageNode => 0.05,
+            // Not listed in Table 4; chosen between reboot and re-image to
+            // reflect that an isolated workstation still degrades operations.
+            MitigationKind::Quarantine => 0.02,
+        }
+    }
+
+    /// Disruption cost when applied to a server (Table 4).
+    pub fn cost_server(&self) -> f64 {
+        match self {
+            MitigationKind::Reboot => 0.03,
+            MitigationKind::ResetPassword => 0.05,
+            MitigationKind::ReimageNode => 0.1,
+            MitigationKind::Quarantine => 0.06,
+        }
+    }
+
+    /// Duration in hours. Table 4 does not list durations; these values keep
+    /// low-cost actions fast and the re-image a multi-hour outage.
+    pub fn duration(&self) -> u64 {
+        match self {
+            MitigationKind::Reboot => 1,
+            MitigationKind::ResetPassword => 1,
+            MitigationKind::ReimageNode => 8,
+            MitigationKind::Quarantine => 1,
+        }
+    }
+
+    /// The compromise condition that, when present on the node, prevents the
+    /// mitigation from remediating it (Table 4 "countermeasures").
+    pub fn countermeasure(&self) -> Option<crate::compromise::CompromiseCondition> {
+        use crate::compromise::CompromiseCondition as C;
+        match self {
+            MitigationKind::Reboot => Some(C::RebootPersistence),
+            MitigationKind::ResetPassword => Some(C::CredentialPersistence),
+            MitigationKind::ReimageNode => None,
+            MitigationKind::Quarantine => None,
+        }
+    }
+}
+
+impl fmt::Display for MitigationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MitigationKind::Reboot => "reboot",
+            MitigationKind::ResetPassword => "reset password",
+            MitigationKind::ReimageNode => "re-image",
+            MitigationKind::Quarantine => "quarantine",
+        };
+        f.write_str(s)
+    }
+}
+
+/// PLC recovery actions (Table 4, second group).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlcRecoveryKind {
+    /// Reset PLC conditions: recovers a disrupted process and clears flashed
+    /// firmware, but cannot recover destroyed equipment.
+    ResetPlc,
+    /// Replace a destroyed PLC with new equipment.
+    ReplacePlc,
+}
+
+impl PlcRecoveryKind {
+    /// All PLC recovery kinds.
+    pub const ALL: [PlcRecoveryKind; 2] = [PlcRecoveryKind::ResetPlc, PlcRecoveryKind::ReplacePlc];
+
+    /// Disruption cost (Table 4).
+    pub fn cost(&self) -> f64 {
+        match self {
+            PlcRecoveryKind::ResetPlc => 0.02,
+            PlcRecoveryKind::ReplacePlc => 0.04,
+        }
+    }
+
+    /// Duration in hours (not listed in Table 4: a reset is quick, sourcing
+    /// and installing replacement equipment takes a day).
+    pub fn duration(&self) -> u64 {
+        match self {
+            PlcRecoveryKind::ResetPlc => 1,
+            PlcRecoveryKind::ReplacePlc => 24,
+        }
+    }
+}
+
+impl fmt::Display for PlcRecoveryKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PlcRecoveryKind::ResetPlc => "reset PLC",
+            PlcRecoveryKind::ReplacePlc => "replace PLC",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single defender action submitted to the environment for one time step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DefenderAction {
+    /// Take no action this step.
+    NoAction,
+    /// Investigate a node.
+    Investigate {
+        /// Which investigation to run.
+        kind: InvestigationKind,
+        /// The node to investigate.
+        node: NodeId,
+    },
+    /// Mitigate (remediate or isolate) a node.
+    Mitigate {
+        /// Which mitigation to apply.
+        kind: MitigationKind,
+        /// The node to mitigate.
+        node: NodeId,
+    },
+    /// Recover a PLC.
+    RecoverPlc {
+        /// Which recovery to apply.
+        kind: PlcRecoveryKind,
+        /// The PLC to recover.
+        plc: PlcId,
+    },
+}
+
+impl DefenderAction {
+    /// The node this action targets, if it targets a node.
+    pub fn target_node(&self) -> Option<NodeId> {
+        match self {
+            DefenderAction::Investigate { node, .. } | DefenderAction::Mitigate { node, .. } => {
+                Some(*node)
+            }
+            _ => None,
+        }
+    }
+
+    /// The PLC this action targets, if it targets a PLC.
+    pub fn target_plc(&self) -> Option<PlcId> {
+        match self {
+            DefenderAction::RecoverPlc { plc, .. } => Some(*plc),
+            _ => None,
+        }
+    }
+
+    /// Duration of the action in hours (0 for [`DefenderAction::NoAction`]).
+    pub fn duration(&self) -> u64 {
+        match self {
+            DefenderAction::NoAction => 0,
+            DefenderAction::Investigate { kind, .. } => kind.duration(),
+            DefenderAction::Mitigate { kind, .. } => kind.duration(),
+            DefenderAction::RecoverPlc { kind, .. } => kind.duration(),
+        }
+    }
+
+    /// Disruption cost of the action. Node costs depend on whether the target
+    /// is a server, so the caller supplies that fact.
+    pub fn cost(&self, target_is_server: bool) -> f64 {
+        match self {
+            DefenderAction::NoAction => 0.0,
+            DefenderAction::Investigate { kind, .. } => kind.cost(),
+            DefenderAction::Mitigate { kind, .. } => {
+                if target_is_server {
+                    kind.cost_server()
+                } else {
+                    kind.cost_host()
+                }
+            }
+            DefenderAction::RecoverPlc { kind, .. } => kind.cost(),
+        }
+    }
+}
+
+impl Default for DefenderAction {
+    fn default() -> Self {
+        DefenderAction::NoAction
+    }
+}
+
+impl fmt::Display for DefenderAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DefenderAction::NoAction => write!(f, "no action"),
+            DefenderAction::Investigate { kind, node } => write!(f, "{kind} on {node}"),
+            DefenderAction::Mitigate { kind, node } => write!(f, "{kind} on {node}"),
+            DefenderAction::RecoverPlc { kind, plc } => write!(f, "{kind} on {plc}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compromise::CompromiseCondition as C;
+
+    #[test]
+    fn investigation_table_3_values() {
+        assert_eq!(InvestigationKind::SimpleScan.detect_prob(), 0.03);
+        assert_eq!(InvestigationKind::SimpleScan.detect_prob_cleaned(), 0.01);
+        assert_eq!(InvestigationKind::SimpleScan.duration(), 2);
+        assert_eq!(InvestigationKind::SimpleScan.cost(), 0.01);
+
+        assert_eq!(InvestigationKind::AdvancedScan.detect_prob(), 0.05);
+        assert_eq!(InvestigationKind::AdvancedScan.detect_prob_cleaned(), 0.02);
+        assert_eq!(InvestigationKind::AdvancedScan.duration(), 8);
+        assert_eq!(InvestigationKind::AdvancedScan.cost(), 0.03);
+
+        assert_eq!(InvestigationKind::HumanAnalysis.detect_prob(), 0.5);
+        assert_eq!(InvestigationKind::HumanAnalysis.detect_prob_cleaned(), 0.25);
+        assert_eq!(InvestigationKind::HumanAnalysis.duration(), 8);
+        assert_eq!(InvestigationKind::HumanAnalysis.cost(), 0.05);
+    }
+
+    #[test]
+    fn mitigation_table_4_values() {
+        assert_eq!(MitigationKind::Reboot.cost_host(), 0.01);
+        assert_eq!(MitigationKind::Reboot.cost_server(), 0.03);
+        assert_eq!(MitigationKind::ResetPassword.cost_host(), 0.03);
+        assert_eq!(MitigationKind::ResetPassword.cost_server(), 0.05);
+        assert_eq!(MitigationKind::ReimageNode.cost_host(), 0.05);
+        assert_eq!(MitigationKind::ReimageNode.cost_server(), 0.1);
+
+        assert_eq!(MitigationKind::Reboot.countermeasure(), Some(C::RebootPersistence));
+        assert_eq!(
+            MitigationKind::ResetPassword.countermeasure(),
+            Some(C::CredentialPersistence)
+        );
+        assert_eq!(MitigationKind::ReimageNode.countermeasure(), None);
+    }
+
+    #[test]
+    fn plc_recovery_table_4_values() {
+        assert_eq!(PlcRecoveryKind::ResetPlc.cost(), 0.02);
+        assert_eq!(PlcRecoveryKind::ReplacePlc.cost(), 0.04);
+    }
+
+    #[test]
+    fn costlier_mitigations_are_more_effective() {
+        // The paper's design intent: effective actions cost more.
+        assert!(MitigationKind::ReimageNode.cost_host() > MitigationKind::Reboot.cost_host());
+        assert!(MitigationKind::ReimageNode.countermeasure().is_none());
+        assert!(MitigationKind::Reboot.countermeasure().is_some());
+    }
+
+    #[test]
+    fn action_accessors() {
+        let node = NodeId::from_index(2);
+        let plc = PlcId::from_index(5);
+        let a = DefenderAction::Investigate {
+            kind: InvestigationKind::SimpleScan,
+            node,
+        };
+        assert_eq!(a.target_node(), Some(node));
+        assert_eq!(a.target_plc(), None);
+        assert_eq!(a.duration(), 2);
+        assert_eq!(a.cost(false), 0.01);
+
+        let m = DefenderAction::Mitigate {
+            kind: MitigationKind::ReimageNode,
+            node,
+        };
+        assert_eq!(m.cost(true), 0.1);
+        assert_eq!(m.cost(false), 0.05);
+
+        let p = DefenderAction::RecoverPlc {
+            kind: PlcRecoveryKind::ReplacePlc,
+            plc,
+        };
+        assert_eq!(p.target_plc(), Some(plc));
+        assert_eq!(p.cost(false), 0.04);
+
+        assert_eq!(DefenderAction::NoAction.duration(), 0);
+        assert_eq!(DefenderAction::NoAction.cost(true), 0.0);
+        assert_eq!(DefenderAction::default(), DefenderAction::NoAction);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let a = DefenderAction::Mitigate {
+            kind: MitigationKind::Reboot,
+            node: NodeId::from_index(1),
+        };
+        assert!(a.to_string().contains("reboot"));
+        assert!(a.to_string().contains("node#1"));
+    }
+}

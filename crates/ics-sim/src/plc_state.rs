@@ -1,0 +1,114 @@
+//! Operational state of programmable logic controllers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Operational status of a PLC-controlled process.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlcStatus {
+    /// The process is operating nominally.
+    #[default]
+    Nominal,
+    /// The process has been disrupted (recoverable with a PLC reset).
+    Disrupted,
+    /// The equipment has been destroyed (requires replacing the PLC).
+    Destroyed,
+}
+
+impl PlcStatus {
+    /// Whether the PLC is offline (disrupted or destroyed) — the quantity the
+    /// paper's "PLCs offline" metric counts.
+    pub fn is_offline(&self) -> bool {
+        !matches!(self, PlcStatus::Nominal)
+    }
+}
+
+impl fmt::Display for PlcStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PlcStatus::Nominal => "nominal",
+            PlcStatus::Disrupted => "disrupted",
+            PlcStatus::Destroyed => "destroyed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Full dynamic state of a single PLC.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlcState {
+    /// Operational status of the controlled process.
+    pub status: PlcStatus,
+    /// Whether the APT has flashed malicious firmware onto the controller
+    /// (a prerequisite for destroying equipment).
+    pub firmware_compromised: bool,
+    /// Whether the APT has discovered this PLC during PLC discovery.
+    pub discovered_by_apt: bool,
+}
+
+impl PlcState {
+    /// A nominal, undiscovered PLC.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears process disruption and firmware compromise (defender "Reset
+    /// PLC" action). Has no effect on destroyed equipment.
+    pub fn reset(&mut self) {
+        if self.status == PlcStatus::Disrupted {
+            self.status = PlcStatus::Nominal;
+        }
+        self.firmware_compromised = false;
+    }
+
+    /// Replaces destroyed equipment with a fresh controller (defender
+    /// "Replace PLC" action). Restores nominal operation and clears firmware
+    /// compromise regardless of prior state.
+    pub fn replace(&mut self) {
+        self.status = PlcStatus::Nominal;
+        self.firmware_compromised = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_nominal_and_undiscovered() {
+        let p = PlcState::new();
+        assert_eq!(p.status, PlcStatus::Nominal);
+        assert!(!p.firmware_compromised);
+        assert!(!p.discovered_by_apt);
+        assert!(!p.status.is_offline());
+    }
+
+    #[test]
+    fn reset_recovers_disruption_but_not_destruction() {
+        let mut p = PlcState {
+            status: PlcStatus::Disrupted,
+            firmware_compromised: true,
+            discovered_by_apt: true,
+        };
+        p.reset();
+        assert_eq!(p.status, PlcStatus::Nominal);
+        assert!(!p.firmware_compromised);
+
+        let mut destroyed = PlcState {
+            status: PlcStatus::Destroyed,
+            ..PlcState::default()
+        };
+        destroyed.reset();
+        assert_eq!(destroyed.status, PlcStatus::Destroyed);
+        destroyed.replace();
+        assert_eq!(destroyed.status, PlcStatus::Nominal);
+    }
+
+    #[test]
+    fn offline_statuses() {
+        assert!(PlcStatus::Disrupted.is_offline());
+        assert!(PlcStatus::Destroyed.is_offline());
+        assert!(!PlcStatus::Nominal.is_offline());
+        assert_eq!(PlcStatus::Destroyed.to_string(), "destroyed");
+    }
+}

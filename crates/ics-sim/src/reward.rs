@@ -1,0 +1,244 @@
+//! The reward module: eqs. (1)–(4) of the paper plus the shaping potential of
+//! eq. (6).
+
+use crate::state::NetworkState;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the task reward (eqs. 1–4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RewardConfig {
+    /// Weight of the IT-disruption term relative to the PLC term (λ in eq. 1).
+    pub lambda: f64,
+    /// Discount factor γ; also sets the terminal-reward magnitude 1/(1−γ).
+    pub gamma: f64,
+    /// Episode length in hours (t_max).
+    pub max_time: u64,
+    /// Per-PLC penalty for a disrupted process (eq. 2).
+    pub disrupted_penalty: f64,
+    /// Per-PLC penalty for destroyed equipment (eq. 2).
+    pub destroyed_penalty: f64,
+}
+
+impl RewardConfig {
+    /// The paper's reward parameters: λ = 0.1, γ = 0.9995, 5 000-hour
+    /// episodes, penalties of 0.05 per disrupted and 0.1 per destroyed PLC.
+    pub fn paper() -> Self {
+        Self {
+            lambda: 0.1,
+            gamma: 0.9995,
+            max_time: 5_000,
+            disrupted_penalty: 0.05,
+            destroyed_penalty: 0.1,
+        }
+    }
+
+    /// A shortened-episode configuration for fast tests and CPU-budget
+    /// training runs. All weights stay at paper values; only the horizon
+    /// changes.
+    pub fn with_max_time(mut self, max_time: u64) -> Self {
+        self.max_time = max_time;
+        self
+    }
+
+    /// PLC operation term (eq. 2): `1 − 0.05·n_disrupted − 0.1·n_destroyed`.
+    pub fn plc_term(&self, state: &NetworkState) -> f64 {
+        1.0 - self.disrupted_penalty * state.disrupted_plc_count() as f64
+            - self.destroyed_penalty * state.destroyed_plc_count() as f64
+    }
+
+    /// IT disruption term (eq. 3): `1 − Σ cost(a)` over actions completing
+    /// this step.
+    pub fn it_term(&self, completed_action_cost: f64) -> f64 {
+        1.0 - completed_action_cost
+    }
+
+    /// Terminal term (eq. 4): `1/(1−γ)` when the episode reaches `t_max`.
+    pub fn terminal_term(&self, time: u64) -> f64 {
+        if time >= self.max_time {
+            1.0 / (1.0 - self.gamma)
+        } else {
+            0.0
+        }
+    }
+
+    /// The full per-step task reward (eq. 1).
+    pub fn step_reward(&self, state: &NetworkState, completed_action_cost: f64, time: u64) -> f64 {
+        self.plc_term(state) + self.lambda * self.it_term(completed_action_cost)
+            + self.terminal_term(time)
+    }
+
+    /// Upper bound on the discounted return of an episode (≈ 2 200 with paper
+    /// parameters), achieved by defending the network without taking any
+    /// action.
+    pub fn max_discounted_return(&self) -> f64 {
+        let per_step = 1.0 + self.lambda;
+        let t = self.max_time as f64;
+        let geometric = (1.0 - self.gamma.powf(t)) / (1.0 - self.gamma);
+        per_step * geometric + self.gamma.powf(t) / (1.0 - self.gamma)
+    }
+}
+
+impl Default for RewardConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Parameters of the potential-based shaping reward (eq. 6).
+///
+/// The shaping term rewards the agent for *reducing* the number of
+/// compromised workstations and servers between consecutive states, which is
+/// critical for learning over the paper's very long episodes. Only the task
+/// reward is used for evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShapingConfig {
+    /// Weight on the change in compromised workstations (A in eq. 6).
+    pub workstation_weight: f64,
+    /// Weight on the change in compromised servers (B in eq. 6).
+    pub server_weight: f64,
+    /// Discount factor γ used in the potential difference.
+    pub gamma: f64,
+    /// Overall weight of the shaping term added to the task reward
+    /// (the grid search of §4.2 selects 1/(1−γ) = 2 000 scaled down by the
+    /// per-node weights below; a weight of 0 disables shaping).
+    pub weight: f64,
+}
+
+impl ShapingConfig {
+    /// Shaping parameters used for training in this reproduction: unit
+    /// per-workstation weight, servers weighted 2x, γ from the paper.
+    pub fn paper() -> Self {
+        Self {
+            workstation_weight: 1.0,
+            server_weight: 2.0,
+            gamma: 0.9995,
+            weight: 1.0,
+        }
+    }
+
+    /// Disables shaping (ablation).
+    pub fn disabled() -> Self {
+        Self {
+            weight: 0.0,
+            ..Self::paper()
+        }
+    }
+
+    /// Potential of a state: minus the weighted count of compromised nodes.
+    /// Using a potential function keeps the shaped optimal policy identical
+    /// to the unshaped one (Ng et al., 1999).
+    pub fn potential(&self, state: &NetworkState) -> f64 {
+        -(self.workstation_weight * state.compromised_workstation_count() as f64
+            + self.server_weight * state.compromised_server_count() as f64)
+    }
+
+    /// Shaping reward for a transition (eq. 6): `γ·Φ(s') − Φ(s)`, scaled by
+    /// the overall weight.
+    pub fn shaping_reward(&self, prev: &NetworkState, next: &NetworkState) -> f64 {
+        self.weight * (self.gamma * self.potential(next) - self.potential(prev))
+    }
+}
+
+impl Default for ShapingConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compromise::CompromiseCondition as C;
+    use crate::plc_state::PlcStatus;
+    use ics_net::{PlcId, Topology, TopologySpec};
+
+    fn state() -> (Topology, NetworkState) {
+        let topo = Topology::build(&TopologySpec::paper_full());
+        let s = NetworkState::new(&topo);
+        (topo, s)
+    }
+
+    #[test]
+    fn paper_parameters() {
+        let cfg = RewardConfig::paper();
+        assert_eq!(cfg.lambda, 0.1);
+        assert_eq!(cfg.gamma, 0.9995);
+        assert_eq!(cfg.max_time, 5_000);
+    }
+
+    #[test]
+    fn plc_term_decreases_with_damage() {
+        let (_, mut s) = state();
+        let cfg = RewardConfig::paper();
+        assert_eq!(cfg.plc_term(&s), 1.0);
+        s.plc_mut(PlcId::from_index(0)).status = PlcStatus::Disrupted;
+        assert!((cfg.plc_term(&s) - 0.95).abs() < 1e-12);
+        s.plc_mut(PlcId::from_index(1)).status = PlcStatus::Destroyed;
+        assert!((cfg.plc_term(&s) - 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn it_term_penalises_action_cost() {
+        let cfg = RewardConfig::paper();
+        assert_eq!(cfg.it_term(0.0), 1.0);
+        assert!((cfg.it_term(0.15) - 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn terminal_reward_only_at_horizon() {
+        let cfg = RewardConfig::paper();
+        assert_eq!(cfg.terminal_term(4_999), 0.0);
+        assert!((cfg.terminal_term(5_000) - 2_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn step_reward_composes_terms() {
+        let (_, s) = state();
+        let cfg = RewardConfig::paper();
+        let r = cfg.step_reward(&s, 0.05, 10);
+        assert!((r - (1.0 + 0.1 * 0.95)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_return_matches_paper_estimate() {
+        let cfg = RewardConfig::paper();
+        let max = cfg.max_discounted_return();
+        // The paper states the maximum discounted return is about 2 200.
+        assert!(max > 2_100.0 && max < 2_300.0, "max return was {max}");
+    }
+
+    #[test]
+    fn shaping_rewards_cleaning_and_penalises_compromise() {
+        let (topo, clean) = state();
+        let mut compromised = clean.clone();
+        let ws = topo.workstations().next().unwrap().id;
+        let c = compromised.compromise_mut(ws);
+        c.try_insert(C::Scanned);
+        c.try_insert(C::InitialCompromise);
+
+        let shaping = ShapingConfig::paper();
+        // Getting compromised is penalised; getting cleaned is rewarded.
+        assert!(shaping.shaping_reward(&clean, &compromised) < 0.0);
+        assert!(shaping.shaping_reward(&compromised, &clean) > 0.0);
+        // No change in compromise ≈ no shaping signal.
+        assert!(shaping.shaping_reward(&clean, &clean).abs() < 1e-9);
+        assert_eq!(ShapingConfig::disabled().shaping_reward(&clean, &compromised), 0.0);
+    }
+
+    #[test]
+    fn servers_weigh_more_than_workstations_in_potential() {
+        let (topo, base) = state();
+        let shaping = ShapingConfig::paper();
+        let mut ws_comp = base.clone();
+        let ws = topo.workstations().next().unwrap().id;
+        let c = ws_comp.compromise_mut(ws);
+        c.try_insert(C::Scanned);
+        c.try_insert(C::InitialCompromise);
+        let mut srv_comp = base.clone();
+        let srv = topo.servers().next().unwrap().id;
+        let c = srv_comp.compromise_mut(srv);
+        c.try_insert(C::Scanned);
+        c.try_insert(C::InitialCompromise);
+        assert!(shaping.potential(&srv_comp) < shaping.potential(&ws_comp));
+    }
+}

@@ -1,0 +1,197 @@
+//! Episode trace recording.
+//!
+//! The paper's artifact ships scripts that log and plot campaign traces; this
+//! module provides the equivalent hooks: a [`TraceRecorder`] that captures a
+//! per-hour summary of an episode (attack phase, compromise counts, alert
+//! volume, defender activity, rewards) and can render it as CSV for external
+//! plotting.
+
+use crate::env::StepResult;
+use crate::orchestrator::DefenderAction;
+use serde::{Deserialize, Serialize};
+
+/// One recorded simulation hour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRow {
+    /// Simulation hour.
+    pub time: u64,
+    /// Attacker FSM phase name at the end of the hour.
+    pub apt_phase: String,
+    /// Number of compromised nodes.
+    pub nodes_compromised: usize,
+    /// Number of PLCs offline.
+    pub plcs_offline: usize,
+    /// Number of IDS alerts raised this hour.
+    pub alerts: usize,
+    /// Number of defender actions submitted this hour (excluding no-action).
+    pub defender_actions: usize,
+    /// Defender cost charged this hour.
+    pub it_cost: f64,
+    /// Task reward for the hour.
+    pub reward: f64,
+}
+
+/// Records an episode as a sequence of [`TraceRow`]s.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecorder {
+    rows: Vec<TraceRow>,
+}
+
+impl TraceRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one step: the actions submitted and the step result.
+    pub fn record(&mut self, actions: &[DefenderAction], step: &StepResult) {
+        let defender_actions = actions
+            .iter()
+            .filter(|a| !matches!(a, DefenderAction::NoAction))
+            .count();
+        self.rows.push(TraceRow {
+            time: step.observation.time,
+            apt_phase: step.info.apt_phase.to_string(),
+            nodes_compromised: step.info.nodes_compromised,
+            plcs_offline: step.info.plcs_offline,
+            alerts: step.observation.alerts.len(),
+            defender_actions,
+            it_cost: step.it_cost,
+            reward: step.reward,
+        });
+    }
+
+    /// The recorded rows in time order.
+    pub fn rows(&self) -> &[TraceRow] {
+        &self.rows
+    }
+
+    /// Number of recorded hours.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Hours at which the attacker's phase changed, with the new phase name.
+    pub fn phase_transitions(&self) -> Vec<(u64, String)> {
+        let mut out = Vec::new();
+        let mut last: Option<&str> = None;
+        for row in &self.rows {
+            if last != Some(row.apt_phase.as_str()) {
+                out.push((row.time, row.apt_phase.clone()));
+                last = Some(row.apt_phase.as_str());
+            }
+        }
+        out
+    }
+
+    /// Total number of alerts over the episode.
+    pub fn total_alerts(&self) -> usize {
+        self.rows.iter().map(|r| r.alerts).sum()
+    }
+
+    /// Largest number of PLCs simultaneously offline.
+    pub fn peak_plcs_offline(&self) -> usize {
+        self.rows.iter().map(|r| r.plcs_offline).max().unwrap_or(0)
+    }
+
+    /// Renders the trace as CSV (with header), suitable for plotting tools.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "time,apt_phase,nodes_compromised,plcs_offline,alerts,defender_actions,it_cost,reward\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{:.4},{:.4}\n",
+                r.time,
+                r.apt_phase,
+                r.nodes_compromised,
+                r.plcs_offline,
+                r.alerts,
+                r.defender_actions,
+                r.it_cost,
+                r.reward
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::env::IcsEnvironment;
+
+    #[test]
+    fn records_an_episode_and_exports_csv() {
+        let mut env = IcsEnvironment::new(SimConfig::tiny().with_seed(2).with_max_time(60));
+        let _ = env.reset();
+        let mut trace = TraceRecorder::new();
+        assert!(trace.is_empty());
+        loop {
+            let actions = vec![DefenderAction::NoAction];
+            let step = env.step(&actions);
+            trace.record(&actions, &step);
+            if step.done {
+                break;
+            }
+        }
+        assert_eq!(trace.len(), 60);
+        assert!(!trace.is_empty());
+        assert_eq!(trace.rows().first().unwrap().time, 1);
+        assert_eq!(trace.rows().last().unwrap().time, 60);
+
+        let csv = trace.to_csv();
+        assert!(csv.starts_with("time,apt_phase"));
+        // Header plus one line per hour.
+        assert_eq!(csv.lines().count(), 61);
+    }
+
+    #[test]
+    fn phase_transitions_are_deduplicated_and_ordered() {
+        let mut env = IcsEnvironment::new(SimConfig::tiny().with_seed(5).with_max_time(150));
+        let _ = env.reset();
+        let mut trace = TraceRecorder::new();
+        loop {
+            let actions = vec![DefenderAction::NoAction];
+            let step = env.step(&actions);
+            trace.record(&actions, &step);
+            if step.done {
+                break;
+            }
+        }
+        let transitions = trace.phase_transitions();
+        assert!(!transitions.is_empty());
+        // Transitions are strictly increasing in time and never repeat the
+        // previous phase.
+        for pair in transitions.windows(2) {
+            assert!(pair[0].0 < pair[1].0);
+            assert_ne!(pair[0].1, pair[1].1);
+        }
+        assert!(trace.peak_plcs_offline() <= env.topology().plc_count());
+    }
+
+    #[test]
+    fn counts_defender_actions_excluding_noops() {
+        let mut env = IcsEnvironment::new(SimConfig::tiny().with_seed(1).with_max_time(10));
+        let _ = env.reset();
+        let node = env.topology().workstations().next().unwrap().id;
+        let actions = vec![
+            DefenderAction::NoAction,
+            DefenderAction::Investigate {
+                kind: crate::orchestrator::InvestigationKind::SimpleScan,
+                node,
+            },
+        ];
+        let step = env.step(&actions);
+        let mut trace = TraceRecorder::new();
+        trace.record(&actions, &step);
+        assert_eq!(trace.rows()[0].defender_actions, 1);
+        assert_eq!(trace.total_alerts(), trace.rows()[0].alerts);
+    }
+}

@@ -1,0 +1,158 @@
+//! Element-wise activation layers.
+
+use crate::layers::Layer;
+use crate::matrix::Matrix;
+use crate::param::Param;
+use serde::{Deserialize, Serialize};
+
+/// Supported activation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ActivationKind {
+    /// Rectified linear unit.
+    Relu,
+    /// Leaky rectified linear unit with slope 0.01 for negative inputs
+    /// (the paper's baseline network uses LeakyReLU).
+    LeakyRelu,
+    /// Hyperbolic tangent (the paper's output heads use tanh).
+    Tanh,
+}
+
+impl ActivationKind {
+    fn apply(&self, x: f32) -> f32 {
+        match self {
+            ActivationKind::Relu => x.max(0.0),
+            ActivationKind::LeakyRelu => {
+                if x > 0.0 {
+                    x
+                } else {
+                    0.01 * x
+                }
+            }
+            ActivationKind::Tanh => x.tanh(),
+        }
+    }
+
+    fn derivative(&self, x: f32) -> f32 {
+        match self {
+            ActivationKind::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            ActivationKind::LeakyRelu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.01
+                }
+            }
+            ActivationKind::Tanh => 1.0 - x.tanh().powi(2),
+        }
+    }
+}
+
+/// An element-wise activation layer.
+#[derive(Debug, Clone)]
+pub struct Activation {
+    kind: ActivationKind,
+    cached_input: Option<Matrix>,
+}
+
+impl Activation {
+    /// Creates an activation layer of the given kind.
+    pub fn new(kind: ActivationKind) -> Self {
+        Self {
+            kind,
+            cached_input: None,
+        }
+    }
+
+    /// ReLU activation.
+    pub fn relu() -> Self {
+        Self::new(ActivationKind::Relu)
+    }
+
+    /// Leaky ReLU activation.
+    pub fn leaky_relu() -> Self {
+        Self::new(ActivationKind::LeakyRelu)
+    }
+
+    /// Tanh activation.
+    pub fn tanh() -> Self {
+        Self::new(ActivationKind::Tanh)
+    }
+
+    /// The activation kind.
+    pub fn kind(&self) -> ActivationKind {
+        self.kind
+    }
+}
+
+impl Layer for Activation {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        self.cached_input = Some(input.clone());
+        input.map(|x| self.kind.apply(x))
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        let deriv = input.map(|x| self.kind.derivative(x));
+        grad_output.hadamard(&deriv)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_forward_backward() {
+        let mut act = Activation::relu();
+        let x = Matrix::row_vector(&[-1.0, 0.5, 2.0]);
+        let y = act.forward(&x);
+        assert_eq!(y.data(), &[0.0, 0.5, 2.0]);
+        let g = act.backward(&Matrix::row_vector(&[1.0, 1.0, 1.0]));
+        assert_eq!(g.data(), &[0.0, 1.0, 1.0]);
+        assert_eq!(act.parameter_count(), 0);
+        assert_eq!(act.kind(), ActivationKind::Relu);
+    }
+
+    #[test]
+    fn leaky_relu_keeps_small_negative_slope() {
+        let mut act = Activation::leaky_relu();
+        let x = Matrix::row_vector(&[-2.0, 3.0]);
+        let y = act.forward(&x);
+        assert!((y.get(0, 0) + 0.02).abs() < 1e-6);
+        let g = act.backward(&Matrix::row_vector(&[1.0, 1.0]));
+        assert!((g.get(0, 0) - 0.01).abs() < 1e-6);
+        assert!((g.get(0, 1) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tanh_gradient_matches_finite_difference() {
+        let mut act = Activation::tanh();
+        let x = Matrix::row_vector(&[0.3]);
+        let _ = act.forward(&x);
+        let g = act.backward(&Matrix::row_vector(&[1.0]));
+        let eps = 1e-3f32;
+        let numeric = ((0.3f32 + eps).tanh() - (0.3f32 - eps).tanh()) / (2.0 * eps);
+        assert!((g.get(0, 0) - numeric).abs() < 1e-4);
+    }
+
+    #[test]
+    fn tanh_output_is_bounded() {
+        let mut act = Activation::tanh();
+        let x = Matrix::row_vector(&[-100.0, 0.0, 100.0]);
+        let y = act.forward(&x);
+        assert!(y.data().iter().all(|v| v.abs() <= 1.0));
+    }
+}

@@ -1,0 +1,223 @@
+//! Scaled dot-product self-attention over a set of input rows.
+//!
+//! This is the mechanism the ACSO network uses to give every node a view of
+//! the rest of the network without growing the parameter count with the
+//! number of nodes: the same query/key/value projections apply to every node
+//! embedding, and the attention matrix mixes information across nodes.
+
+use crate::init::xavier_uniform;
+use crate::layers::Layer;
+use crate::matrix::Matrix;
+use crate::param::Param;
+
+/// Single-head scaled dot-product self-attention with an output projection.
+///
+/// For an input `X` of shape `[n, d_in]`:
+///
+/// ```text
+/// Q = X·Wq, K = X·Wk, V = X·Wv          (each [n, d_attn])
+/// A = softmax(Q·Kᵀ / sqrt(d_attn))       ([n, n])
+/// Y = A·V·Wo                             ([n, d_out])
+/// ```
+///
+/// The number of parameters is independent of `n`, the number of nodes.
+#[derive(Debug, Clone)]
+pub struct SelfAttention {
+    wq: Param,
+    wk: Param,
+    wv: Param,
+    wo: Param,
+    attn_dim: usize,
+    cache: Option<Cache>,
+}
+
+#[derive(Debug, Clone)]
+struct Cache {
+    input: Matrix,
+    q: Matrix,
+    k: Matrix,
+    v: Matrix,
+    attn: Matrix,
+    mixed: Matrix,
+}
+
+impl SelfAttention {
+    /// Creates a self-attention layer.
+    ///
+    /// `input_dim` is the per-row input feature size, `attn_dim` the
+    /// query/key/value size, and `output_dim` the per-row output size.
+    pub fn new(input_dim: usize, attn_dim: usize, output_dim: usize, seed: u64) -> Self {
+        Self {
+            wq: Param::new(xavier_uniform(input_dim, attn_dim, seed.wrapping_add(1))),
+            wk: Param::new(xavier_uniform(input_dim, attn_dim, seed.wrapping_add(2))),
+            wv: Param::new(xavier_uniform(input_dim, attn_dim, seed.wrapping_add(3))),
+            wo: Param::new(xavier_uniform(attn_dim, output_dim, seed.wrapping_add(4))),
+            attn_dim,
+            cache: None,
+        }
+    }
+
+    /// Per-row output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.wo.value.cols()
+    }
+
+    /// The attention weights from the most recent forward pass, if any.
+    /// Useful for diagnostics (which nodes the network attends to).
+    pub fn last_attention(&self) -> Option<&Matrix> {
+        self.cache.as_ref().map(|c| &c.attn)
+    }
+}
+
+impl Layer for SelfAttention {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        let q = input.matmul(&self.wq.value);
+        let k = input.matmul(&self.wk.value);
+        let v = input.matmul(&self.wv.value);
+        let scale = 1.0 / (self.attn_dim as f32).sqrt();
+        let scores = q.matmul(&k.transpose()).scale(scale);
+        let attn = scores.softmax_rows();
+        let mixed = attn.matmul(&v);
+        let output = mixed.matmul(&self.wo.value);
+        self.cache = Some(Cache {
+            input: input.clone(),
+            q,
+            k,
+            v,
+            attn,
+            mixed,
+        });
+        output
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let cache = self.cache.as_ref().expect("backward called before forward");
+        let scale = 1.0 / (self.attn_dim as f32).sqrt();
+
+        // Output projection.
+        self.wo
+            .accumulate_grad(&cache.mixed.transpose().matmul(grad_output));
+        let grad_mixed = grad_output.matmul(&self.wo.value.transpose());
+
+        // Y = A·V
+        let grad_attn = grad_mixed.matmul(&cache.v.transpose());
+        let grad_v = cache.attn.transpose().matmul(&grad_mixed);
+
+        // Softmax backward, row by row: dS_i = A_i ⊙ (dA_i − (dA_i·A_i))
+        let n = cache.attn.rows();
+        let mut grad_scores = Matrix::zeros(n, n);
+        for i in 0..n {
+            let a_row = cache.attn.row(i);
+            let da_row = grad_attn.row(i);
+            let dot: f32 = a_row.iter().zip(da_row).map(|(a, d)| a * d).sum();
+            for j in 0..n {
+                grad_scores.set(i, j, a_row[j] * (da_row[j] - dot));
+            }
+        }
+        let grad_scores = grad_scores.scale(scale);
+
+        // scores = Q·Kᵀ
+        let grad_q = grad_scores.matmul(&cache.k);
+        let grad_k = grad_scores.transpose().matmul(&cache.q);
+
+        // Projections.
+        self.wq
+            .accumulate_grad(&cache.input.transpose().matmul(&grad_q));
+        self.wk
+            .accumulate_grad(&cache.input.transpose().matmul(&grad_k));
+        self.wv
+            .accumulate_grad(&cache.input.transpose().matmul(&grad_v));
+
+        let mut grad_input = grad_q.matmul(&self.wq.value.transpose());
+        grad_input.accumulate(&grad_k.matmul(&self.wk.value.transpose()));
+        grad_input.accumulate(&grad_v.matmul(&self.wv.value.transpose()));
+        grad_input
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.wq, &mut self.wk, &mut self.wv, &mut self.wo]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shapes_are_independent_of_row_count() {
+        let mut attn = SelfAttention::new(8, 16, 4, 0);
+        for n in [1usize, 3, 10, 33] {
+            let x = Matrix::full(n, 8, 0.1);
+            let y = attn.forward(&x);
+            assert_eq!(y.shape(), (n, 4));
+        }
+        assert_eq!(attn.output_dim(), 4);
+        // Parameter count does not depend on the number of rows.
+        assert_eq!(attn.parameter_count(), 8 * 16 * 3 + 16 * 4);
+        assert!(attn.last_attention().is_some());
+    }
+
+    #[test]
+    fn attention_rows_sum_to_one() {
+        let mut attn = SelfAttention::new(4, 8, 2, 1);
+        let x = Matrix::from_rows(&[&[1.0, 0.0, 0.0, 0.0], &[0.0, 1.0, 0.0, 0.0], &[0.0, 0.0, 1.0, 0.0]]);
+        let _ = attn.forward(&x);
+        let a = attn.last_attention().unwrap();
+        for i in 0..a.rows() {
+            let sum: f32 = a.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gradient_check_with_finite_differences() {
+        let mut attn = SelfAttention::new(3, 4, 2, 7);
+        let x = Matrix::from_rows(&[&[0.5, -0.2, 0.1], &[0.3, 0.8, -0.5]]);
+
+        // Loss = sum of outputs.
+        let out = attn.forward(&x);
+        let ones = Matrix::full(out.rows(), out.cols(), 1.0);
+        attn.zero_grad();
+        let grad_input = attn.backward(&ones);
+
+        // Numerically check the gradient wrt one input element.
+        let eps = 1e-3f32;
+        let mut x_plus = x.clone();
+        x_plus.set(0, 1, x.get(0, 1) + eps);
+        let mut x_minus = x.clone();
+        x_minus.set(0, 1, x.get(0, 1) - eps);
+        let f_plus = attn.forward(&x_plus).sum();
+        let f_minus = attn.forward(&x_minus).sum();
+        let numeric = (f_plus - f_minus) / (2.0 * eps);
+        assert!(
+            (grad_input.get(0, 1) - numeric).abs() < 2e-2,
+            "analytic {} vs numeric {}",
+            grad_input.get(0, 1),
+            numeric
+        );
+    }
+
+    #[test]
+    fn parameter_gradient_check() {
+        let mut attn = SelfAttention::new(3, 4, 2, 11);
+        let x = Matrix::from_rows(&[&[0.2, 0.4, -0.3], &[-0.6, 0.1, 0.9]]);
+        let out = attn.forward(&x);
+        let ones = Matrix::full(out.rows(), out.cols(), 1.0);
+        attn.zero_grad();
+        let _ = attn.backward(&ones);
+        let analytic = attn.params_mut()[0].grad.get(1, 2); // wq[1][2]
+
+        let eps = 1e-3f32;
+        let orig = attn.params_mut()[0].value.get(1, 2);
+        attn.params_mut()[0].value.set(1, 2, orig + eps);
+        let f_plus = attn.forward(&x).sum();
+        attn.params_mut()[0].value.set(1, 2, orig - eps);
+        let f_minus = attn.forward(&x).sum();
+        attn.params_mut()[0].value.set(1, 2, orig);
+        let numeric = (f_plus - f_minus) / (2.0 * eps);
+        assert!(
+            (analytic - numeric).abs() < 2e-2,
+            "analytic {analytic} vs numeric {numeric}"
+        );
+    }
+}

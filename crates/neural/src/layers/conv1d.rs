@@ -1,0 +1,196 @@
+//! One-dimensional convolution over a temporal axis.
+//!
+//! The paper's baseline architecture (Table 7) applies 1-D convolutions that
+//! stride over the observation-history axis, treating each time step's
+//! feature vector as the channel dimension.
+
+use crate::init::xavier_uniform;
+use crate::layers::Layer;
+use crate::matrix::Matrix;
+use crate::param::Param;
+
+/// A 1-D convolution: input `[time, channels_in]`, output
+/// `[time_out, channels_out]` with `time_out = (time - kernel) / stride + 1`.
+#[derive(Debug, Clone)]
+pub struct Conv1d {
+    weight: Param, // [kernel * channels_in, channels_out]
+    bias: Param,   // [1, channels_out]
+    kernel: usize,
+    stride: usize,
+    channels_in: usize,
+    cached_input: Option<Matrix>,
+}
+
+impl Conv1d {
+    /// Creates a 1-D convolution layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(
+        channels_in: usize,
+        channels_out: usize,
+        kernel: usize,
+        stride: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        Self {
+            weight: Param::new(xavier_uniform(kernel * channels_in, channels_out, seed)),
+            bias: Param::new(Matrix::zeros(1, channels_out)),
+            kernel,
+            stride,
+            channels_in,
+            cached_input: None,
+        }
+    }
+
+    /// Number of output time steps for a given number of input time steps
+    /// (zero if the input is shorter than the kernel).
+    pub fn output_len(&self, input_len: usize) -> usize {
+        if input_len < self.kernel {
+            0
+        } else {
+            (input_len - self.kernel) / self.stride + 1
+        }
+    }
+
+    /// Output channel count.
+    pub fn channels_out(&self) -> usize {
+        self.weight.value.cols()
+    }
+
+    fn window(&self, input: &Matrix, t_out: usize) -> Matrix {
+        let start = t_out * self.stride;
+        let mut data = Vec::with_capacity(self.kernel * self.channels_in);
+        for k in 0..self.kernel {
+            data.extend_from_slice(input.row(start + k));
+        }
+        Matrix::from_vec(1, self.kernel * self.channels_in, data)
+    }
+}
+
+impl Layer for Conv1d {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        assert_eq!(
+            input.cols(),
+            self.channels_in,
+            "conv1d channel mismatch: expected {}, got {}",
+            self.channels_in,
+            input.cols()
+        );
+        self.cached_input = Some(input.clone());
+        let t_out = self.output_len(input.rows());
+        let mut out = Matrix::zeros(t_out, self.channels_out());
+        for t in 0..t_out {
+            let window = self.window(input, t);
+            let y = window
+                .matmul(&self.weight.value)
+                .add_row_broadcast(&self.bias.value);
+            for j in 0..self.channels_out() {
+                out.set(t, j, y.get(0, j));
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward")
+            .clone();
+        let t_out = self.output_len(input.rows());
+        assert_eq!(grad_output.rows(), t_out, "conv1d grad shape mismatch");
+        let mut grad_input = Matrix::zeros(input.rows(), input.cols());
+        for t in 0..t_out {
+            let grad_row = grad_output.row_matrix(t);
+            let window = self.window(&input, t);
+            self.weight
+                .accumulate_grad(&window.transpose().matmul(&grad_row));
+            self.bias.accumulate_grad(&grad_row);
+            let grad_window = grad_row.matmul(&self.weight.value.transpose());
+            let start = t * self.stride;
+            for k in 0..self.kernel {
+                for c in 0..self.channels_in {
+                    let v = grad_input.get(start + k, c) + grad_window.get(0, k * self.channels_in + c);
+                    grad_input.set(start + k, c, v);
+                }
+            }
+        }
+        grad_input
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_length_follows_stride() {
+        let conv = Conv1d::new(4, 8, 4, 4, 0);
+        assert_eq!(conv.output_len(16), 4);
+        assert_eq!(conv.output_len(4), 1);
+        assert_eq!(conv.output_len(3), 0);
+        assert_eq!(conv.channels_out(), 8);
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut conv = Conv1d::new(3, 5, 2, 2, 1);
+        let x = Matrix::full(8, 3, 0.5);
+        let y = conv.forward(&x);
+        assert_eq!(y.shape(), (4, 5));
+    }
+
+    #[test]
+    fn gradient_check_on_input() {
+        let mut conv = Conv1d::new(2, 3, 2, 1, 5);
+        let x = Matrix::from_rows(&[&[0.1, -0.2], &[0.4, 0.3], &[-0.5, 0.6]]);
+        let out = conv.forward(&x);
+        let ones = Matrix::full(out.rows(), out.cols(), 1.0);
+        conv.zero_grad();
+        let grad_in = conv.backward(&ones);
+
+        let eps = 1e-3f32;
+        let mut x_plus = x.clone();
+        x_plus.set(1, 0, x.get(1, 0) + eps);
+        let mut x_minus = x.clone();
+        x_minus.set(1, 0, x.get(1, 0) - eps);
+        let numeric = (conv.forward(&x_plus).sum() - conv.forward(&x_minus).sum()) / (2.0 * eps);
+        assert!(
+            (grad_in.get(1, 0) - numeric).abs() < 2e-2,
+            "analytic {} vs numeric {}",
+            grad_in.get(1, 0),
+            numeric
+        );
+    }
+
+    #[test]
+    fn gradient_check_on_weights() {
+        let mut conv = Conv1d::new(2, 2, 2, 2, 9);
+        let x = Matrix::from_rows(&[&[0.3, 0.1], &[-0.4, 0.7], &[0.2, -0.6], &[0.9, 0.05]]);
+        let out = conv.forward(&x);
+        let ones = Matrix::full(out.rows(), out.cols(), 1.0);
+        conv.zero_grad();
+        let _ = conv.backward(&ones);
+        let analytic = conv.params_mut()[0].grad.get(2, 1);
+
+        let eps = 1e-3f32;
+        let orig = conv.params_mut()[0].value.get(2, 1);
+        conv.params_mut()[0].value.set(2, 1, orig + eps);
+        let plus = conv.forward(&x).sum();
+        conv.params_mut()[0].value.set(2, 1, orig - eps);
+        let minus = conv.forward(&x).sum();
+        conv.params_mut()[0].value.set(2, 1, orig);
+        let numeric = (plus - minus) / (2.0 * eps);
+        assert!(
+            (analytic - numeric).abs() < 2e-2,
+            "analytic {analytic} vs numeric {numeric}"
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! Fully-connected layer.
+
+use crate::init::xavier_uniform;
+use crate::layers::Layer;
+use crate::matrix::Matrix;
+use crate::param::Param;
+
+/// A fully-connected (affine) layer: `output = input · W + b`.
+///
+/// The same weights apply to every row of the input, so a `[n, in]` matrix of
+/// per-node features maps to `[n, out]` without growing the parameter count —
+/// the property the paper's attention architecture relies on.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    weight: Param,
+    bias: Param,
+    cached_input: Option<Matrix>,
+}
+
+impl Dense {
+    /// Creates a dense layer with Xavier-initialised weights.
+    ///
+    /// The `seed` keeps initialisation deterministic across runs.
+    pub fn new(input_dim: usize, output_dim: usize, seed: u64) -> Self {
+        Self {
+            weight: Param::new(xavier_uniform(input_dim, output_dim, seed)),
+            bias: Param::new(Matrix::zeros(1, output_dim)),
+            cached_input: None,
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn input_dim(&self) -> usize {
+        self.weight.value.rows()
+    }
+
+    /// Output feature dimension.
+    pub fn output_dim(&self) -> usize {
+        self.weight.value.cols()
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        self.cached_input = Some(input.clone());
+        input.matmul(&self.weight.value).add_row_broadcast(&self.bias.value)
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        self.weight
+            .accumulate_grad(&input.transpose().matmul(grad_output));
+        self.bias.accumulate_grad(&grad_output.sum_rows());
+        grad_output.matmul(&self.weight.value.transpose())
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut layer = Dense::new(3, 2, 1);
+        assert_eq!(layer.input_dim(), 3);
+        assert_eq!(layer.output_dim(), 2);
+        let x = Matrix::zeros(4, 3);
+        let y = layer.forward(&x);
+        assert_eq!(y.shape(), (4, 2));
+        // Zero input -> output equals (zero) bias.
+        assert_eq!(y.sum(), 0.0);
+        assert_eq!(layer.parameter_count(), 3 * 2 + 2);
+    }
+
+    #[test]
+    fn gradient_check_against_finite_differences() {
+        let mut layer = Dense::new(2, 2, 3);
+        let x = Matrix::from_rows(&[&[0.3, -0.7], &[1.2, 0.4]]);
+        // Loss = sum of outputs; dL/dout = ones.
+        let out = layer.forward(&x);
+        let ones = Matrix::full(out.rows(), out.cols(), 1.0);
+        layer.zero_grad();
+        let grad_in = layer.backward(&ones);
+
+        // Finite-difference check on one weight entry and one input entry.
+        let eps = 1e-3f32;
+        let analytic_w = layer.params_mut()[0].grad.get(0, 1);
+        {
+            let w = &mut layer.params_mut()[0].value;
+            let orig = w.get(0, 1);
+            w.set(0, 1, orig + eps);
+        }
+        let plus = layer.forward(&x).sum();
+        {
+            let w = &mut layer.params_mut()[0].value;
+            let orig = w.get(0, 1);
+            w.set(0, 1, orig - 2.0 * eps);
+        }
+        let minus = layer.forward(&x).sum();
+        let numeric_w = (plus - minus) / (2.0 * eps);
+        assert!(
+            (analytic_w - numeric_w).abs() < 1e-2,
+            "weight grad {analytic_w} vs numeric {numeric_w}"
+        );
+
+        // Input gradient: column sums of W.
+        {
+            let w = &mut layer.params_mut()[0].value;
+            w.set(0, 1, w.get(0, 1) + eps); // restore original value
+        }
+        let w = layer.params_mut()[0].value.clone();
+        let expected = w.get(0, 0) + w.get(0, 1);
+        assert!((grad_in.get(0, 0) - expected).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn backward_requires_forward() {
+        let mut layer = Dense::new(2, 2, 0);
+        let _ = layer.backward(&Matrix::zeros(1, 2));
+    }
+}

@@ -1,0 +1,55 @@
+//! Neural-network layers with explicit forward and backward passes.
+
+mod activation;
+mod attention;
+mod conv1d;
+mod dense;
+mod sequential;
+
+pub use activation::{Activation, ActivationKind};
+pub use attention::SelfAttention;
+pub use conv1d::Conv1d;
+pub use dense::Dense;
+pub use sequential::Sequential;
+
+use crate::matrix::Matrix;
+use crate::param::Param;
+
+/// A differentiable layer.
+///
+/// Layers cache whatever they need from the most recent [`Layer::forward`]
+/// call; [`Layer::backward`] consumes that cache, accumulates parameter
+/// gradients, and returns the gradient with respect to the layer's input.
+/// The intended calling pattern is strictly `forward` then `backward` for one
+/// sample (or one stacked matrix of rows) at a time, with parameter gradients
+/// accumulating across samples until the optimizer steps and
+/// [`Layer::zero_grad`] is called.
+pub trait Layer: Send {
+    /// Computes the layer output for an input, caching intermediate values
+    /// needed by [`Layer::backward`].
+    fn forward(&mut self, input: &Matrix) -> Matrix;
+
+    /// Propagates the gradient of the loss with respect to the layer output
+    /// back to the layer input, accumulating parameter gradients.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called before [`Layer::forward`] or with a
+    /// gradient whose shape does not match the cached forward output.
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix;
+
+    /// Mutable access to the layer's trainable parameters.
+    fn params_mut(&mut self) -> Vec<&mut Param>;
+
+    /// Clears the accumulated gradients of all parameters.
+    fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total number of trainable scalar values in the layer.
+    fn parameter_count(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.len()).sum()
+    }
+}

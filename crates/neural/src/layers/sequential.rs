@@ -1,0 +1,100 @@
+//! A container that chains layers.
+
+use crate::layers::Layer;
+use crate::matrix::Matrix;
+use crate::param::Param;
+
+/// A stack of layers applied in order.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates a sequential model from a list of layers.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Self { layers }
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the model has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sequential({} layers)", self.layers.len())
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let mut grad = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad);
+        }
+        grad
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Activation, Dense};
+    use crate::loss::huber;
+    use crate::optim::Adam;
+
+    #[test]
+    fn empty_and_len() {
+        let s = Sequential::new(vec![]);
+        assert!(s.is_empty());
+        let s = Sequential::new(vec![Box::new(Dense::new(2, 2, 0)) as Box<dyn Layer>]);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+        assert!(format!("{s:?}").contains('1'));
+    }
+
+    #[test]
+    fn mlp_learns_xor_like_separation() {
+        // Train a small MLP to map two clusters to distinct outputs; this
+        // exercises forward, backward and the optimizer end to end.
+        let mut net = Sequential::new(vec![
+            Box::new(Dense::new(2, 16, 1)),
+            Box::new(Activation::relu()),
+            Box::new(Dense::new(16, 1, 2)),
+        ]);
+        let mut opt = Adam::new(5e-3);
+        let x = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]);
+        let y = Matrix::from_rows(&[&[0.0], &[1.0], &[1.0], &[0.0]]);
+        let mut last_loss = f32::MAX;
+        for _ in 0..2_000 {
+            let pred = net.forward(&x);
+            let (loss, grad) = huber(&pred, &y, 1.0);
+            last_loss = loss;
+            net.zero_grad();
+            net.backward(&grad);
+            opt.step(&mut net.params_mut());
+        }
+        assert!(last_loss < 0.03, "XOR loss did not converge: {last_loss}");
+    }
+}

@@ -1,0 +1,58 @@
+//! A minimal CPU neural-network library built for the ACSO reproduction.
+//!
+//! The paper trains its defender with PyTorch on a GPU; this crate provides
+//! the pieces of that stack the reproduction actually needs, implemented from
+//! scratch with explicit forward/backward passes:
+//!
+//! * a dense row-major [`Matrix`] type with the linear algebra used by the
+//!   layers;
+//! * [`layers`] — fully-connected, activation, scaled-dot-product
+//!   self-attention and 1-D convolution layers, each implementing [`Layer`]
+//!   with a manual backward pass;
+//! * [`optim`] — Adam and SGD optimizers over [`Param`] collections;
+//! * [`loss`] — the Huber loss used by the DQN temporal-difference update.
+//!
+//! The library is deliberately small: no autograd graph, no broadcasting
+//! rules, no GPU. Layers cache whatever they need from the forward pass and
+//! `backward` consumes that cache, which is exactly the discipline a DQN
+//! training loop needs.
+//!
+//! # Example
+//!
+//! ```
+//! use neural::{layers::{Activation, Dense, Sequential}, Layer, Matrix};
+//! use neural::optim::Adam;
+//! use neural::loss::huber;
+//!
+//! // A tiny regression: y = 2x, learned by a 2-layer MLP.
+//! let mut net = Sequential::new(vec![
+//!     Box::new(Dense::new(1, 8, 1)),
+//!     Box::new(Activation::relu()),
+//!     Box::new(Dense::new(8, 1, 2)),
+//! ]);
+//! let mut opt = Adam::new(1e-2);
+//! for _ in 0..300 {
+//!     let x = Matrix::from_rows(&[&[0.0], &[0.5], &[1.0], &[1.5]]);
+//!     let target = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0]]);
+//!     let pred = net.forward(&x);
+//!     let (_, grad) = huber(&pred, &target, 1.0);
+//!     net.zero_grad();
+//!     net.backward(&grad);
+//!     opt.step(&mut net.params_mut());
+//! }
+//! let pred = net.forward(&Matrix::from_rows(&[&[2.0]]));
+//! assert!((pred.get(0, 0) - 4.0).abs() < 0.5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod matrix;
+pub mod optim;
+pub mod param;
+
+pub use layers::Layer;
+pub use matrix::Matrix;
+pub use param::Param;

@@ -1,0 +1,101 @@
+//! Loss functions.
+
+use crate::matrix::Matrix;
+
+/// Huber loss between predictions and targets, element-wise averaged.
+///
+/// Returns `(loss, gradient)` where the gradient has the same shape as the
+/// predictions and is already divided by the number of elements, so it can be
+/// fed straight into a backward pass.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn huber(pred: &Matrix, target: &Matrix, delta: f32) -> (f32, Matrix) {
+    assert_eq!(pred.shape(), target.shape(), "huber shape mismatch");
+    let n = pred.len().max(1) as f32;
+    let mut loss = 0.0;
+    let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+    for i in 0..pred.rows() {
+        for j in 0..pred.cols() {
+            let diff = pred.get(i, j) - target.get(i, j);
+            if diff.abs() <= delta {
+                loss += 0.5 * diff * diff;
+                grad.set(i, j, diff / n);
+            } else {
+                loss += delta * (diff.abs() - 0.5 * delta);
+                grad.set(i, j, delta * diff.signum() / n);
+            }
+        }
+    }
+    (loss / n, grad)
+}
+
+/// Mean-squared-error loss; returns `(loss, gradient)` like [`huber`].
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn mse(pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
+    assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
+    let n = pred.len().max(1) as f32;
+    let diff = pred.sub(target);
+    let loss = diff.data().iter().map(|d| d * d).sum::<f32>() / (2.0 * n);
+    let grad = diff.scale(1.0 / n);
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn huber_is_quadratic_inside_delta() {
+        let pred = Matrix::row_vector(&[0.5]);
+        let target = Matrix::row_vector(&[0.0]);
+        let (loss, grad) = huber(&pred, &target, 1.0);
+        assert!((loss - 0.125).abs() < 1e-6);
+        assert!((grad.get(0, 0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn huber_is_linear_outside_delta() {
+        let pred = Matrix::row_vector(&[3.0]);
+        let target = Matrix::row_vector(&[0.0]);
+        let (loss, grad) = huber(&pred, &target, 1.0);
+        assert!((loss - 2.5).abs() < 1e-6);
+        assert!((grad.get(0, 0) - 1.0).abs() < 1e-6);
+        let (_, neg_grad) = huber(&target, &pred, 1.0);
+        assert!((neg_grad.get(0, 0) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn huber_zero_when_equal() {
+        let x = Matrix::row_vector(&[1.0, -2.0, 3.0]);
+        let (loss, grad) = huber(&x, &x, 1.0);
+        assert_eq!(loss, 0.0);
+        assert_eq!(grad.sum(), 0.0);
+    }
+
+    #[test]
+    fn mse_matches_hand_computation() {
+        let pred = Matrix::row_vector(&[1.0, 2.0]);
+        let target = Matrix::row_vector(&[0.0, 0.0]);
+        let (loss, grad) = mse(&pred, &target);
+        assert!((loss - 1.25).abs() < 1e-6);
+        assert!((grad.get(0, 0) - 0.5).abs() < 1e-6);
+        assert!((grad.get(0, 1) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_descent_on_huber_converges() {
+        // Minimise huber(x, 2.0) by gradient descent on x.
+        let target = Matrix::row_vector(&[2.0]);
+        let mut x = Matrix::row_vector(&[-3.0]);
+        for _ in 0..500 {
+            let (_, grad) = huber(&x, &target, 1.0);
+            x = x.sub(&grad.scale(0.1));
+        }
+        assert!((x.get(0, 0) - 2.0).abs() < 1e-2);
+    }
+}

@@ -1,0 +1,509 @@
+//! A dense, row-major `f32` matrix with the operations the layers need.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense row-major matrix of `f32` values.
+///
+/// This is the only tensor type in the library; vectors are represented as
+/// single-row or single-column matrices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix filled with a constant value.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix from a slice of equal-length rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have differing lengths or `rows` is empty.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "all rows must have the same length");
+            data.extend_from_slice(row);
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Creates a single-row matrix from a slice.
+    pub fn row_vector(values: &[f32]) -> Self {
+        Self::from_vec(1, values.len(), values.to_vec())
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Raw row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw row-major data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Value at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the value at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: f32) {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// A view of one row as a slice.
+    pub fn row(&self, row: usize) -> &[f32] {
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Copies one row into a new single-row matrix.
+    pub fn row_matrix(&self, row: usize) -> Matrix {
+        Matrix::from_vec(1, self.cols, self.row(row).to_vec())
+    }
+
+    /// Builds a matrix by stacking the selected rows (in the given order).
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        Matrix::from_vec(indices.len(), self.cols, data)
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
+                for (o, b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// Element-wise sum; shapes must match.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "add shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Element-wise difference; shapes must match.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "sub shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Element-wise product; shapes must match.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "hadamard shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Adds a single-row matrix to every row (bias broadcast).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 x self.cols()`.
+    pub fn add_row_broadcast(&self, bias: &Matrix) -> Matrix {
+        assert_eq!(bias.rows, 1, "bias must be a row vector");
+        assert_eq!(bias.cols, self.cols, "bias width mismatch");
+        let mut out = self.clone();
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[i * self.cols + j] += bias.data[j];
+            }
+        }
+        out
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&self, factor: f32) -> Matrix {
+        let data = self.data.iter().map(|x| x * factor).collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Applies a function to every element.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        let data = self.data.iter().map(|x| f(*x)).collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// In-place element-wise accumulation (`self += other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn accumulate(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "accumulate shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Sum over rows, returning a `1 x cols` matrix.
+    pub fn sum_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j] += self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// Mean over rows, returning a `1 x cols` matrix.
+    pub fn mean_rows(&self) -> Matrix {
+        if self.rows == 0 {
+            return Matrix::zeros(1, self.cols);
+        }
+        self.sum_rows().scale(1.0 / self.rows as f32)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&self) -> Matrix {
+        let mut out = self.clone();
+        for i in 0..self.rows {
+            let row = &mut out.data[i * self.cols..(i + 1) * self.cols];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            if sum > 0.0 {
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
+            }
+        }
+        out
+    }
+
+    /// Horizontally concatenates two matrices with equal row counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts differ.
+    pub fn hcat(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "hcat row mismatch");
+        let cols = self.cols + other.cols;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for i in 0..self.rows {
+            data.extend_from_slice(self.row(i));
+            data.extend_from_slice(other.row(i));
+        }
+        Matrix::from_vec(self.rows, cols, data)
+    }
+
+    /// Vertically stacks two matrices with equal column counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column counts differ.
+    pub fn vcat(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "vcat column mismatch");
+        let mut data = self.data.clone();
+        data.extend_from_slice(&other.data);
+        Matrix::from_vec(self.rows + other.rows, self.cols, data)
+    }
+
+    /// Splits the matrix after `left_cols` columns into two matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `left_cols > self.cols()`.
+    pub fn hsplit(&self, left_cols: usize) -> (Matrix, Matrix) {
+        assert!(left_cols <= self.cols, "hsplit out of bounds");
+        let mut left = Matrix::zeros(self.rows, left_cols);
+        let mut right = Matrix::zeros(self.rows, self.cols - left_cols);
+        for i in 0..self.rows {
+            left.data[i * left_cols..(i + 1) * left_cols]
+                .copy_from_slice(&self.row(i)[..left_cols]);
+            right.data[i * (self.cols - left_cols)..(i + 1) * (self.cols - left_cols)]
+                .copy_from_slice(&self.row(i)[left_cols..]);
+        }
+        (left, right)
+    }
+
+    /// Index of the maximum element of a single-row matrix.
+    pub fn argmax_row(&self, row: usize) -> usize {
+        let slice = self.row(row);
+        slice
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{}", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            let row: Vec<String> = self.row(i).iter().take(8).map(|v| format!("{v:.4}")).collect();
+            writeln!(f, "  [{}]", row.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.shape(), (2, 2));
+        assert_eq!(m.get(1, 0), 3.0);
+        let mut m = m;
+        m.set(1, 0, 5.0);
+        assert_eq!(m.get(1, 0), 5.0);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert_eq!(Matrix::zeros(2, 3).sum(), 0.0);
+        assert_eq!(Matrix::full(2, 2, 3.0).sum(), 12.0);
+        assert_eq!(Matrix::row_vector(&[1.0, 2.0, 3.0]).shape(), (1, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_checks_length() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let t = a.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 4.0]]);
+        assert_eq!(a.add(&b).data(), &[4.0, 6.0]);
+        assert_eq!(b.sub(&a).data(), &[2.0, 2.0]);
+        assert_eq!(a.hadamard(&b).data(), &[3.0, 8.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0]);
+        assert_eq!(a.map(|x| x + 1.0).data(), &[2.0, 3.0]);
+        let mut acc = Matrix::zeros(1, 2);
+        acc.accumulate(&a);
+        acc.accumulate(&a);
+        assert_eq!(acc.data(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn broadcast_and_reductions() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let bias = Matrix::row_vector(&[10.0, 20.0]);
+        assert_eq!(x.add_row_broadcast(&bias).data(), &[11.0, 22.0, 13.0, 24.0]);
+        assert_eq!(x.sum_rows().data(), &[4.0, 6.0]);
+        assert_eq!(x.mean_rows().data(), &[2.0, 3.0]);
+        assert_eq!(x.mean(), 2.5);
+        assert!((x.norm() - (30.0f32).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_rows_are_normalised() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[0.0, 0.0, 0.0]]);
+        let s = x.softmax_rows();
+        for i in 0..2 {
+            let sum: f32 = s.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        assert!(s.get(0, 2) > s.get(0, 0));
+        assert!((s.get(1, 0) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn concatenation_and_splitting() {
+        let a = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]);
+        let cat = a.hcat(&b);
+        assert_eq!(cat.shape(), (2, 3));
+        let (left, right) = cat.hsplit(1);
+        assert_eq!(left, a);
+        assert_eq!(right, b);
+        let stacked = a.vcat(&a);
+        assert_eq!(stacked.shape(), (4, 1));
+    }
+
+    #[test]
+    fn row_selection_and_argmax() {
+        let m = Matrix::from_rows(&[&[1.0, 9.0, 2.0], &[7.0, 0.0, 3.0]]);
+        assert_eq!(m.argmax_row(0), 1);
+        assert_eq!(m.argmax_row(1), 0);
+        let sel = m.select_rows(&[1, 0, 1]);
+        assert_eq!(sel.shape(), (3, 3));
+        assert_eq!(sel.row(0), m.row(1));
+        assert_eq!(sel.row(2), m.row(1));
+        assert_eq!(m.row_matrix(1).row(0), m.row(1));
+    }
+}

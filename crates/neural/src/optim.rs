@@ -1,0 +1,166 @@
+//! Optimizers.
+
+use crate::matrix::Matrix;
+use crate::param::Param;
+
+/// Plain stochastic gradient descent.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    learning_rate: f32,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer with the given learning rate.
+    pub fn new(learning_rate: f32) -> Self {
+        Self { learning_rate }
+    }
+
+    /// Applies one update to every parameter using its accumulated gradient.
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        for p in params.iter_mut() {
+            let update = p.grad.scale(self.learning_rate);
+            p.value = p.value.sub(&update);
+        }
+    }
+}
+
+/// The Adam optimizer (Kingma & Ba, 2015), used for all training in the paper
+/// with an initial learning rate of 1e-4.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    learning_rate: f32,
+    beta1: f32,
+    beta2: f32,
+    epsilon: f32,
+    step_count: u64,
+    first_moments: Vec<Matrix>,
+    second_moments: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the given learning rate and standard
+    /// moment decay rates (0.9, 0.999).
+    pub fn new(learning_rate: f32) -> Self {
+        Self {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            step_count: 0,
+            first_moments: Vec::new(),
+            second_moments: Vec::new(),
+        }
+    }
+
+    /// The optimizer's learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.learning_rate
+    }
+
+    /// Sets a new learning rate (e.g. for decay schedules).
+    pub fn set_learning_rate(&mut self, learning_rate: f32) {
+        self.learning_rate = learning_rate;
+    }
+
+    /// Number of updates applied so far.
+    pub fn steps(&self) -> u64 {
+        self.step_count
+    }
+
+    /// Applies one Adam update to every parameter using its accumulated
+    /// gradient. Parameters must be passed in the same order on every call:
+    /// moment estimates are matched positionally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of parameters changes between calls.
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        if self.first_moments.is_empty() {
+            self.first_moments = params
+                .iter()
+                .map(|p| Matrix::zeros(p.value.rows(), p.value.cols()))
+                .collect();
+            self.second_moments = self.first_moments.clone();
+        }
+        assert_eq!(
+            params.len(),
+            self.first_moments.len(),
+            "parameter count changed between Adam steps"
+        );
+        self.step_count += 1;
+        let t = self.step_count as f32;
+        let bias1 = 1.0 - self.beta1.powf(t);
+        let bias2 = 1.0 - self.beta2.powf(t);
+        for (i, p) in params.iter_mut().enumerate() {
+            let m = &mut self.first_moments[i];
+            let v = &mut self.second_moments[i];
+            *m = m.scale(self.beta1).add(&p.grad.scale(1.0 - self.beta1));
+            *v = v
+                .scale(self.beta2)
+                .add(&p.grad.hadamard(&p.grad).scale(1.0 - self.beta2));
+            let m_hat = m.scale(1.0 / bias1);
+            let v_hat = v.scale(1.0 / bias2);
+            let mut update = Matrix::zeros(p.value.rows(), p.value.cols());
+            for idx in 0..update.len() {
+                let denom = v_hat.data()[idx].sqrt() + self.epsilon;
+                update.data_mut()[idx] = self.learning_rate * m_hat.data()[idx] / denom;
+            }
+            p.value = p.value.sub(&update);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_grad(p: &Param) -> Matrix {
+        // d/dx (x - 3)^2 = 2(x - 3)
+        p.value.map(|x| 2.0 * (x - 3.0))
+    }
+
+    #[test]
+    fn sgd_minimises_quadratic() {
+        let mut p = Param::new(Matrix::row_vector(&[0.0]));
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..200 {
+            p.zero_grad();
+            let g = quadratic_grad(&p);
+            p.accumulate_grad(&g);
+            opt.step(&mut [&mut p]);
+        }
+        assert!((p.value.get(0, 0) - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn adam_minimises_quadratic_faster_than_sgd_with_tiny_lr() {
+        let mut p = Param::new(Matrix::row_vector(&[-5.0]));
+        let mut opt = Adam::new(0.05);
+        for _ in 0..2_000 {
+            p.zero_grad();
+            let g = quadratic_grad(&p);
+            p.accumulate_grad(&g);
+            opt.step(&mut [&mut p]);
+        }
+        assert!((p.value.get(0, 0) - 3.0).abs() < 1e-2);
+        assert_eq!(opt.steps(), 2_000);
+    }
+
+    #[test]
+    fn adam_learning_rate_accessors() {
+        let mut opt = Adam::new(1e-4);
+        assert_eq!(opt.learning_rate(), 1e-4);
+        opt.set_learning_rate(1e-3);
+        assert_eq!(opt.learning_rate(), 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter count changed")]
+    fn adam_rejects_changing_parameter_sets() {
+        let mut p1 = Param::new(Matrix::row_vector(&[0.0]));
+        let mut p2 = Param::new(Matrix::row_vector(&[0.0]));
+        let mut opt = Adam::new(0.01);
+        opt.step(&mut [&mut p1, &mut p2]);
+        opt.step(&mut [&mut p1]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based gradient checks: for randomly sized layers and random
+//! inputs, the analytic backward pass must agree with central finite
+//! differences, and optimizer updates must decrease simple convex losses.
+
+use neural::layers::{Activation, Conv1d, Dense, SelfAttention, Sequential};
+use neural::loss::{huber, mse};
+use neural::optim::{Adam, Sgd};
+use neural::{Layer, Matrix, Param};
+use proptest::prelude::*;
+
+/// Strategy for a small random matrix with values in [-1, 1].
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-1.0f32..1.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+fn finite_diff_input<L: Layer>(layer: &mut L, x: &Matrix, row: usize, col: usize) -> f32 {
+    let eps = 1e-2f32;
+    let mut plus = x.clone();
+    plus.set(row, col, x.get(row, col) + eps);
+    let mut minus = x.clone();
+    minus.set(row, col, x.get(row, col) - eps);
+    let f_plus = layer.forward(&plus).sum();
+    let f_minus = layer.forward(&minus).sum();
+    (f_plus - f_minus) / (2.0 * eps)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn dense_input_gradient_matches_finite_differences(
+        x in matrix(3, 4),
+        seed in 0u64..1_000,
+    ) {
+        let mut layer = Dense::new(4, 5, seed);
+        let out = layer.forward(&x);
+        let ones = Matrix::full(out.rows(), out.cols(), 1.0);
+        layer.zero_grad();
+        let grad_in = layer.backward(&ones);
+        let numeric = finite_diff_input(&mut layer, &x, 1, 2);
+        prop_assert!((grad_in.get(1, 2) - numeric).abs() < 5e-2,
+            "analytic {} vs numeric {}", grad_in.get(1, 2), numeric);
+    }
+
+    #[test]
+    fn attention_input_gradient_matches_finite_differences(
+        x in matrix(3, 4),
+        seed in 0u64..1_000,
+    ) {
+        let mut layer = SelfAttention::new(4, 6, 3, seed);
+        let out = layer.forward(&x);
+        let ones = Matrix::full(out.rows(), out.cols(), 1.0);
+        layer.zero_grad();
+        let grad_in = layer.backward(&ones);
+        let numeric = finite_diff_input(&mut layer, &x, 2, 1);
+        prop_assert!((grad_in.get(2, 1) - numeric).abs() < 8e-2,
+            "analytic {} vs numeric {}", grad_in.get(2, 1), numeric);
+    }
+
+    #[test]
+    fn conv1d_input_gradient_matches_finite_differences(
+        x in matrix(6, 3),
+        seed in 0u64..1_000,
+    ) {
+        let mut layer = Conv1d::new(3, 4, 2, 2, seed);
+        let out = layer.forward(&x);
+        let ones = Matrix::full(out.rows(), out.cols(), 1.0);
+        layer.zero_grad();
+        let grad_in = layer.backward(&ones);
+        let numeric = finite_diff_input(&mut layer, &x, 2, 1);
+        prop_assert!((grad_in.get(2, 1) - numeric).abs() < 5e-2,
+            "analytic {} vs numeric {}", grad_in.get(2, 1), numeric);
+    }
+
+    #[test]
+    fn activations_never_amplify_gradients_beyond_unity(
+        x in matrix(2, 6),
+        grad in matrix(2, 6),
+    ) {
+        for mut act in [Activation::relu(), Activation::leaky_relu(), Activation::tanh()] {
+            let _ = act.forward(&x);
+            let g = act.backward(&grad);
+            for i in 0..g.rows() {
+                for j in 0..g.cols() {
+                    prop_assert!(g.get(i, j).abs() <= grad.get(i, j).abs() + 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn losses_are_non_negative_and_zero_only_at_target(
+        pred in matrix(2, 3),
+        target in matrix(2, 3),
+    ) {
+        let (h, hg) = huber(&pred, &target, 1.0);
+        let (m, mg) = mse(&pred, &target);
+        prop_assert!(h >= 0.0 && m >= 0.0);
+        prop_assert_eq!(hg.shape(), pred.shape());
+        prop_assert_eq!(mg.shape(), pred.shape());
+        let (h_self, _) = huber(&pred, &pred, 1.0);
+        prop_assert_eq!(h_self, 0.0);
+    }
+
+    #[test]
+    fn sgd_and_adam_reduce_a_quadratic_loss(start in -3.0f32..3.0) {
+        for use_adam in [false, true] {
+            let mut p = Param::new(Matrix::row_vector(&[start]));
+            let mut adam = Adam::new(0.05);
+            let mut sgd = Sgd::new(0.1);
+            let initial = (start - 1.5).abs();
+            for _ in 0..300 {
+                p.zero_grad();
+                let g = p.value.map(|x| 2.0 * (x - 1.5));
+                p.accumulate_grad(&g);
+                if use_adam {
+                    adam.step(&mut [&mut p]);
+                } else {
+                    sgd.step(&mut [&mut p]);
+                }
+            }
+            let finald = (p.value.get(0, 0) - 1.5).abs();
+            prop_assert!(finald <= initial + 1e-3);
+            prop_assert!(finald < 0.2, "optimizer did not converge: {finald}");
+        }
+    }
+}
+
+#[test]
+fn deep_network_gradients_remain_finite() {
+    // A deeper stack than any used by the agent: check numerical stability.
+    let mut net = Sequential::new(vec![
+        Box::new(Dense::new(8, 32, 1)),
+        Box::new(Activation::relu()),
+        Box::new(Dense::new(32, 32, 2)),
+        Box::new(Activation::tanh()),
+        Box::new(Dense::new(32, 32, 3)),
+        Box::new(Activation::leaky_relu()),
+        Box::new(Dense::new(32, 4, 4)),
+    ]);
+    let x = Matrix::full(5, 8, 0.3);
+    let out = net.forward(&x);
+    let (_, grad) = mse(&out, &Matrix::zeros(5, 4));
+    net.zero_grad();
+    let grad_in = net.backward(&grad);
+    assert!(grad_in.data().iter().all(|v| v.is_finite()));
+    for p in net.params_mut() {
+        assert!(p.grad.data().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,34 @@
+//! Deep Q-learning machinery for the ACSO defender.
+//!
+//! The paper trains its agent with an augmented DQN: double DQN targets,
+//! prioritized experience replay, n-step temporal-difference returns and an
+//! ε-greedy exploration schedule (§4.2). This crate provides those pieces in
+//! a domain-agnostic form — it knows nothing about ICS networks or neural
+//! architectures, only about transitions over a generic state type:
+//!
+//! * [`replay`] — a sum-tree backed prioritized replay buffer with
+//!   importance-sampling weights;
+//! * [`nstep`] — an n-step return accumulator;
+//! * [`schedule`] — ε-greedy and linear schedules;
+//! * [`trainer`] — [`trainer::DqnTrainer`], which wires the above together
+//!   and tells the caller when to sample a batch, what the bootstrap discount
+//!   is, and when to refresh the target network;
+//! * [`policy`] — ε-greedy action selection over a slice of Q-values.
+//!
+//! The Q-function itself (the attention network of the paper) lives in the
+//! `acso-core` crate, which implements target computation and gradient steps
+//! on top of this crate's sampling and bookkeeping.
+
+#![warn(missing_docs)]
+
+pub mod nstep;
+pub mod policy;
+pub mod replay;
+pub mod schedule;
+pub mod trainer;
+
+pub use nstep::{NStepBuffer, NStepTransition, Transition};
+pub use policy::epsilon_greedy;
+pub use replay::PrioritizedReplay;
+pub use schedule::{EpsilonSchedule, LinearSchedule};
+pub use trainer::{DqnConfig, DqnTrainer};

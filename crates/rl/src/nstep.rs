@@ -1,0 +1,221 @@
+//! n-step return accumulation.
+//!
+//! The paper computes its TD targets over n = 8 steps: the stored transition
+//! pairs the state at time `t` with the discounted sum of the next n rewards
+//! and the state at time `t + n`, from which the target network bootstraps.
+
+use std::collections::VecDeque;
+
+/// A single-step transition observed from the environment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition<S> {
+    /// State the action was taken from.
+    pub state: S,
+    /// Index of the action taken.
+    pub action: usize,
+    /// Reward received (task reward plus any shaping).
+    pub reward: f64,
+    /// State reached.
+    pub next_state: S,
+    /// Whether the episode ended at `next_state`.
+    pub done: bool,
+}
+
+/// An n-step transition ready to be stored in the replay buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NStepTransition<S> {
+    /// State the first action was taken from.
+    pub state: S,
+    /// Index of the first action.
+    pub action: usize,
+    /// Discounted sum of the intermediate rewards: `Σ γ^k r_{t+k}`.
+    pub return_n: f64,
+    /// State at the end of the n-step window.
+    pub final_state: S,
+    /// Whether the episode ended within the window.
+    pub done: bool,
+    /// Number of steps actually accumulated (≤ n; shorter at episode end).
+    pub steps: usize,
+}
+
+impl<S> NStepTransition<S> {
+    /// The factor `γ^steps` to apply to the bootstrap value (zero if the
+    /// window ended the episode).
+    pub fn bootstrap_discount(&self, gamma: f64) -> f64 {
+        if self.done {
+            0.0
+        } else {
+            gamma.powi(self.steps as i32)
+        }
+    }
+}
+
+/// Accumulates single-step transitions into n-step transitions.
+#[derive(Debug, Clone)]
+pub struct NStepBuffer<S> {
+    n: usize,
+    gamma: f64,
+    window: VecDeque<Transition<S>>,
+}
+
+impl<S: Clone> NStepBuffer<S> {
+    /// Creates an accumulator for `n`-step returns with discount `gamma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, gamma: f64) -> Self {
+        assert!(n > 0, "n-step horizon must be positive");
+        Self {
+            n,
+            gamma,
+            window: VecDeque::with_capacity(n),
+        }
+    }
+
+    /// The configured horizon n.
+    pub fn horizon(&self) -> usize {
+        self.n
+    }
+
+    fn emit_front(&mut self) -> Option<NStepTransition<S>> {
+        let first = self.window.front()?.clone();
+        let mut return_n = 0.0;
+        let mut discount = 1.0;
+        let mut final_state = first.next_state.clone();
+        let mut done = first.done;
+        let mut steps = 0;
+        for t in self.window.iter() {
+            return_n += discount * t.reward;
+            discount *= self.gamma;
+            final_state = t.next_state.clone();
+            done = t.done;
+            steps += 1;
+            if t.done {
+                break;
+            }
+        }
+        self.window.pop_front();
+        Some(NStepTransition {
+            state: first.state,
+            action: first.action,
+            return_n,
+            final_state,
+            done,
+            steps,
+        })
+    }
+
+    /// Pushes a transition; returns an n-step transition once the window is
+    /// full (or the episode ends — see [`NStepBuffer::flush`]).
+    pub fn push(&mut self, transition: Transition<S>) -> Vec<NStepTransition<S>> {
+        let terminal = transition.done;
+        self.window.push_back(transition);
+        let mut out = Vec::new();
+        if terminal {
+            while !self.window.is_empty() {
+                if let Some(t) = self.emit_front() {
+                    out.push(t);
+                }
+            }
+        } else if self.window.len() >= self.n {
+            if let Some(t) = self.emit_front() {
+                out.push(t);
+            }
+        }
+        out
+    }
+
+    /// Flushes any partially-accumulated transitions (call at episode end if
+    /// the final transition was not marked `done`).
+    pub fn flush(&mut self) -> Vec<NStepTransition<S>> {
+        let mut out = Vec::new();
+        while !self.window.is_empty() {
+            if let Some(t) = self.emit_front() {
+                out.push(t);
+            }
+        }
+        out
+    }
+
+    /// Number of buffered single-step transitions not yet emitted.
+    pub fn pending(&self) -> usize {
+        self.window.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tr(state: i32, reward: f64, done: bool) -> Transition<i32> {
+        Transition {
+            state,
+            action: state as usize,
+            reward,
+            next_state: state + 1,
+            done,
+        }
+    }
+
+    #[test]
+    fn emits_after_n_steps_with_discounted_return() {
+        let mut buf = NStepBuffer::new(3, 0.5);
+        assert_eq!(buf.horizon(), 3);
+        assert!(buf.push(tr(0, 1.0, false)).is_empty());
+        assert!(buf.push(tr(1, 1.0, false)).is_empty());
+        let out = buf.push(tr(2, 1.0, false));
+        assert_eq!(out.len(), 1);
+        let t = &out[0];
+        assert_eq!(t.state, 0);
+        assert_eq!(t.steps, 3);
+        assert!((t.return_n - (1.0 + 0.5 + 0.25)).abs() < 1e-12);
+        assert_eq!(t.final_state, 3);
+        assert!(!t.done);
+        assert!((t.bootstrap_discount(0.5) - 0.125).abs() < 1e-12);
+        assert_eq!(buf.pending(), 2);
+    }
+
+    #[test]
+    fn terminal_transition_flushes_window() {
+        let mut buf = NStepBuffer::new(4, 0.9);
+        buf.push(tr(0, 1.0, false));
+        buf.push(tr(1, 2.0, false));
+        let out = buf.push(tr(2, 3.0, true));
+        // All three pending transitions are emitted, each truncated at the
+        // terminal step.
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|t| t.done));
+        assert_eq!(out[0].steps, 3);
+        assert_eq!(out[2].steps, 1);
+        assert_eq!(out[0].bootstrap_discount(0.9), 0.0);
+        assert_eq!(buf.pending(), 0);
+    }
+
+    #[test]
+    fn flush_emits_partial_windows() {
+        let mut buf = NStepBuffer::new(5, 1.0);
+        buf.push(tr(0, 1.0, false));
+        buf.push(tr(1, 1.0, false));
+        let out = buf.flush();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].steps, 2);
+        assert_eq!(out[0].return_n, 2.0);
+        assert_eq!(out[1].steps, 1);
+    }
+
+    #[test]
+    fn one_step_horizon_degenerates_to_plain_transitions() {
+        let mut buf = NStepBuffer::new(1, 0.99);
+        let out = buf.push(tr(7, 4.0, false));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].return_n, 4.0);
+        assert_eq!(out[0].steps, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_horizon_is_rejected() {
+        let _: NStepBuffer<i32> = NStepBuffer::new(0, 0.9);
+    }
+}

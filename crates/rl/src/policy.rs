@@ -1,0 +1,78 @@
+//! Action-selection helpers.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// ε-greedy selection over a slice of action values.
+///
+/// With probability `epsilon` a uniformly random action index is returned;
+/// otherwise the index of the maximum value (ties broken by the first
+/// maximum).
+///
+/// # Panics
+///
+/// Panics if `q_values` is empty.
+pub fn epsilon_greedy(q_values: &[f32], epsilon: f64, rng: &mut StdRng) -> usize {
+    assert!(!q_values.is_empty(), "cannot select an action from no values");
+    if rng.gen_bool(epsilon.clamp(0.0, 1.0)) {
+        rng.gen_range(0..q_values.len())
+    } else {
+        greedy(q_values)
+    }
+}
+
+/// Index of the maximum action value (first maximum wins on ties).
+///
+/// # Panics
+///
+/// Panics if `q_values` is empty.
+pub fn greedy(q_values: &[f32]) -> usize {
+    assert!(!q_values.is_empty(), "cannot select an action from no values");
+    let mut best = 0;
+    let mut best_value = q_values[0];
+    for (i, v) in q_values.iter().enumerate().skip(1) {
+        if *v > best_value {
+            best = i;
+            best_value = *v;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn greedy_picks_maximum() {
+        assert_eq!(greedy(&[0.1, 0.9, 0.3]), 1);
+        assert_eq!(greedy(&[2.0]), 0);
+        // Ties go to the first maximum.
+        assert_eq!(greedy(&[1.0, 1.0, 0.0]), 0);
+    }
+
+    #[test]
+    fn epsilon_zero_is_greedy() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..50 {
+            assert_eq!(epsilon_greedy(&[0.0, 5.0, 1.0], 0.0, &mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn epsilon_one_is_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(epsilon_greedy(&[0.0, 5.0, 1.0], 1.0, &mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no values")]
+    fn empty_values_panic() {
+        greedy(&[]);
+    }
+}

@@ -1,0 +1,276 @@
+//! Prioritized experience replay (Schaul et al., 2016).
+//!
+//! Transitions are stored in a ring buffer; sampling probability is
+//! proportional to `priority^alpha`, maintained in a sum tree so sampling and
+//! priority updates are O(log n). Samples carry importance-sampling weights
+//! `(N * P(i))^-beta`, normalised by the maximum weight in the batch.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A binary sum tree over leaf priorities.
+#[derive(Debug, Clone)]
+struct SumTree {
+    capacity: usize,
+    nodes: Vec<f64>,
+}
+
+impl SumTree {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            nodes: vec![0.0; 2 * capacity],
+        }
+    }
+
+    fn total(&self) -> f64 {
+        self.nodes[1]
+    }
+
+    fn set(&mut self, index: usize, priority: f64) {
+        let mut i = index + self.capacity;
+        self.nodes[i] = priority;
+        i /= 2;
+        while i >= 1 {
+            self.nodes[i] = self.nodes[2 * i] + self.nodes[2 * i + 1];
+            if i == 1 {
+                break;
+            }
+            i /= 2;
+        }
+    }
+
+    fn get(&self, index: usize) -> f64 {
+        self.nodes[index + self.capacity]
+    }
+
+    /// Finds the leaf index whose cumulative priority interval contains `value`.
+    fn find(&self, mut value: f64) -> usize {
+        let mut i = 1;
+        while i < self.capacity {
+            let left = 2 * i;
+            if value <= self.nodes[left] || self.nodes[left + 1] <= 0.0 {
+                i = left;
+            } else {
+                value -= self.nodes[left];
+                i = left + 1;
+            }
+        }
+        i - self.capacity
+    }
+}
+
+/// A sampled item together with its buffer index and importance weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sampled<T> {
+    /// Index to pass back to [`PrioritizedReplay::update_priority`].
+    pub index: usize,
+    /// Importance-sampling weight, normalised to at most 1 within the batch.
+    pub weight: f64,
+    /// The stored transition.
+    pub item: T,
+}
+
+/// A prioritized replay buffer.
+#[derive(Debug, Clone)]
+pub struct PrioritizedReplay<T> {
+    capacity: usize,
+    alpha: f64,
+    items: Vec<Option<T>>,
+    tree: SumTree,
+    next_slot: usize,
+    len: usize,
+    max_priority: f64,
+}
+
+impl<T: Clone> PrioritizedReplay<T> {
+    /// Creates a buffer holding at most `capacity` transitions.
+    ///
+    /// `alpha` controls how strongly priorities skew sampling (0 = uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, alpha: f64) -> Self {
+        assert!(capacity > 0, "replay capacity must be positive");
+        let capacity = capacity.next_power_of_two();
+        Self {
+            capacity,
+            alpha,
+            items: vec![None; capacity],
+            tree: SumTree::new(capacity),
+            next_slot: 0,
+            len: 0,
+            max_priority: 1.0,
+        }
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Maximum number of transitions the buffer can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Adds a transition with maximal priority (so new experience is sampled
+    /// at least once before its priority is refined).
+    pub fn push(&mut self, item: T) {
+        let slot = self.next_slot;
+        self.items[slot] = Some(item);
+        self.tree.set(slot, self.max_priority.powf(self.alpha));
+        self.next_slot = (self.next_slot + 1) % self.capacity;
+        self.len = (self.len + 1).min(self.capacity);
+    }
+
+    /// Samples `batch` transitions with probability proportional to priority.
+    ///
+    /// `beta` is the importance-sampling exponent (1 fully corrects the
+    /// sampling bias). Returns fewer than `batch` items only if the buffer
+    /// holds fewer transitions.
+    pub fn sample(&self, batch: usize, beta: f64, rng: &mut StdRng) -> Vec<Sampled<T>> {
+        if self.is_empty() || self.tree.total() <= 0.0 {
+            return Vec::new();
+        }
+        let batch = batch.min(self.len);
+        let total = self.tree.total();
+        let mut out = Vec::with_capacity(batch);
+        let mut max_weight: f64 = 0.0;
+        let mut raw = Vec::with_capacity(batch);
+        for _ in 0..batch {
+            let target = rng.gen_range(0.0..total);
+            let mut index = self.tree.find(target);
+            // Guard against landing on an empty slot due to rounding.
+            if self.items[index].is_none() {
+                index = rng.gen_range(0..self.len);
+            }
+            let priority = self.tree.get(index).max(1e-12);
+            let prob = priority / total;
+            let weight = (self.len as f64 * prob).powf(-beta);
+            max_weight = max_weight.max(weight);
+            raw.push((index, weight));
+        }
+        for (index, weight) in raw {
+            let item = self.items[index]
+                .clone()
+                .expect("sampled index must hold an item");
+            out.push(Sampled {
+                index,
+                weight: if max_weight > 0.0 { weight / max_weight } else { 1.0 },
+                item,
+            });
+        }
+        out
+    }
+
+    /// Updates the priority of a stored transition (typically to its most
+    /// recent absolute TD error).
+    pub fn update_priority(&mut self, index: usize, priority: f64) {
+        let priority = priority.abs().max(1e-6);
+        self.max_priority = self.max_priority.max(priority);
+        self.tree.set(index, priority.powf(self.alpha));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn push_and_len_respect_capacity() {
+        let mut buf: PrioritizedReplay<u32> = PrioritizedReplay::new(4, 0.6);
+        assert!(buf.is_empty());
+        for i in 0..10 {
+            buf.push(i);
+        }
+        assert_eq!(buf.len(), 4);
+        assert_eq!(buf.capacity(), 4);
+    }
+
+    #[test]
+    fn sampling_returns_requested_batch_with_weights() {
+        let mut buf = PrioritizedReplay::new(64, 0.6);
+        for i in 0..50u32 {
+            buf.push(i);
+        }
+        let mut rng = StdRng::seed_from_u64(0);
+        let batch = buf.sample(16, 0.4, &mut rng);
+        assert_eq!(batch.len(), 16);
+        for s in &batch {
+            assert!(s.weight > 0.0 && s.weight <= 1.0 + 1e-9);
+            assert!(s.item < 50);
+        }
+    }
+
+    #[test]
+    fn empty_buffer_samples_nothing() {
+        let buf: PrioritizedReplay<u32> = PrioritizedReplay::new(8, 0.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(buf.sample(4, 0.4, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn high_priority_items_are_sampled_more_often() {
+        let mut buf = PrioritizedReplay::new(8, 1.0);
+        for i in 0..8u32 {
+            buf.push(i);
+        }
+        // Give item 3 a much higher priority than the rest.
+        for i in 0..8 {
+            buf.update_priority(i, if i == 3 { 10.0 } else { 0.1 });
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut count_3 = 0;
+        let mut total = 0;
+        for _ in 0..200 {
+            for s in buf.sample(4, 0.4, &mut rng) {
+                total += 1;
+                if s.item == 3 {
+                    count_3 += 1;
+                }
+            }
+        }
+        let frac = count_3 as f64 / total as f64;
+        assert!(frac > 0.5, "high-priority item sampled only {frac:.2} of the time");
+    }
+
+    #[test]
+    fn importance_weights_penalise_over_sampled_items() {
+        let mut buf = PrioritizedReplay::new(8, 1.0);
+        for i in 0..8u32 {
+            buf.push(i);
+        }
+        for i in 0..8 {
+            buf.update_priority(i, if i == 0 { 5.0 } else { 0.5 });
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let batch = buf.sample(8, 1.0, &mut rng);
+        let w_hot = batch
+            .iter()
+            .filter(|s| s.item == 0)
+            .map(|s| s.weight)
+            .fold(f64::NAN, f64::min);
+        let w_cold = batch
+            .iter()
+            .filter(|s| s.item != 0)
+            .map(|s| s.weight)
+            .fold(0.0, f64::max);
+        if w_hot.is_finite() && w_cold > 0.0 {
+            assert!(w_hot <= w_cold + 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let _: PrioritizedReplay<u32> = PrioritizedReplay::new(0, 0.5);
+    }
+}

@@ -1,0 +1,132 @@
+//! Exploration and annealing schedules.
+
+use serde::{Deserialize, Serialize};
+
+/// An exponentially decaying ε-greedy schedule.
+///
+/// ε starts at `start`, is multiplied by `decay` on every call to
+/// [`EpsilonSchedule::step`], and never falls below `end`. The paper's grid
+/// search considers decay rates of 0.999 and 0.9999 per episode.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpsilonSchedule {
+    start: f64,
+    end: f64,
+    decay: f64,
+    current: f64,
+}
+
+impl EpsilonSchedule {
+    /// Creates a schedule from `start` decaying by `decay` per step toward
+    /// `end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are outside `[0, 1]` or `end > start`.
+    pub fn new(start: f64, end: f64, decay: f64) -> Self {
+        assert!((0.0..=1.0).contains(&start), "start must be in [0, 1]");
+        assert!((0.0..=1.0).contains(&end), "end must be in [0, 1]");
+        assert!((0.0..=1.0).contains(&decay), "decay must be in [0, 1]");
+        assert!(end <= start, "end must not exceed start");
+        Self {
+            start,
+            end,
+            decay,
+            current: start,
+        }
+    }
+
+    /// The paper's selected schedule: ε from 1.0 to 0.05 with a 0.999 decay.
+    pub fn paper() -> Self {
+        Self::new(1.0, 0.05, 0.999)
+    }
+
+    /// Current ε.
+    pub fn value(&self) -> f64 {
+        self.current
+    }
+
+    /// Decays ε by one step and returns the new value.
+    pub fn step(&mut self) -> f64 {
+        self.current = (self.current * self.decay).max(self.end);
+        self.current
+    }
+
+    /// Resets ε to its starting value.
+    pub fn reset(&mut self) {
+        self.current = self.start;
+    }
+}
+
+/// A linear interpolation schedule, used for annealing the prioritized-replay
+/// importance exponent β from its initial value to 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearSchedule {
+    start: f64,
+    end: f64,
+    steps: u64,
+    current_step: u64,
+}
+
+impl LinearSchedule {
+    /// Creates a schedule moving from `start` to `end` over `steps` steps.
+    pub fn new(start: f64, end: f64, steps: u64) -> Self {
+        Self {
+            start,
+            end,
+            steps: steps.max(1),
+            current_step: 0,
+        }
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        let frac = (self.current_step as f64 / self.steps as f64).min(1.0);
+        self.start + (self.end - self.start) * frac
+    }
+
+    /// Advances the schedule by one step and returns the new value.
+    pub fn step(&mut self) -> f64 {
+        self.current_step = self.current_step.saturating_add(1);
+        self.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_decays_to_floor() {
+        let mut eps = EpsilonSchedule::new(1.0, 0.1, 0.5);
+        assert_eq!(eps.value(), 1.0);
+        assert_eq!(eps.step(), 0.5);
+        assert_eq!(eps.step(), 0.25);
+        assert_eq!(eps.step(), 0.125);
+        assert_eq!(eps.step(), 0.1);
+        assert_eq!(eps.step(), 0.1);
+        eps.reset();
+        assert_eq!(eps.value(), 1.0);
+    }
+
+    #[test]
+    fn paper_schedule_parameters() {
+        let eps = EpsilonSchedule::paper();
+        assert_eq!(eps.value(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "end must not exceed start")]
+    fn invalid_epsilon_bounds_are_rejected() {
+        let _ = EpsilonSchedule::new(0.1, 0.5, 0.9);
+    }
+
+    #[test]
+    fn linear_schedule_interpolates_and_saturates() {
+        let mut beta = LinearSchedule::new(0.4, 1.0, 3);
+        assert!((beta.value() - 0.4).abs() < 1e-12);
+        assert!((beta.step() - 0.6).abs() < 1e-12);
+        assert!((beta.step() - 0.8).abs() < 1e-12);
+        assert!((beta.step() - 1.0).abs() < 1e-12);
+        assert!((beta.step() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,312 @@
+//! The DQN trainer: bookkeeping that ties replay, n-step returns and
+//! schedules together.
+//!
+//! The trainer is generic over the state representation. The caller owns the
+//! Q-networks; the trainer decides *when* to train, *what* to train on and
+//! *when* to refresh the target network, and receives TD errors back to keep
+//! the replay priorities current.
+
+use crate::nstep::{NStepBuffer, NStepTransition, Transition};
+use crate::replay::{PrioritizedReplay, Sampled};
+use crate::schedule::{EpsilonSchedule, LinearSchedule};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of the augmented DQN of §4.2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DqnConfig {
+    /// Discount factor γ.
+    pub gamma: f64,
+    /// n-step TD horizon (the paper uses n = 8).
+    pub n_step: usize,
+    /// Batch size (the paper uses 64).
+    pub batch_size: usize,
+    /// Replay buffer capacity.
+    pub buffer_capacity: usize,
+    /// Environment steps between gradient updates.
+    pub update_every: u64,
+    /// Gradient updates between target-network refreshes (the paper's grid
+    /// search selects 5 000).
+    pub target_update_interval: u64,
+    /// Minimum number of stored transitions before training starts.
+    pub warmup_transitions: usize,
+    /// Prioritized replay exponent α.
+    pub priority_alpha: f64,
+    /// Initial importance-sampling exponent β (annealed to 1).
+    pub priority_beta_start: f64,
+    /// Number of updates over which β anneals to 1.
+    pub priority_beta_steps: u64,
+    /// ε-greedy starting value.
+    pub epsilon_start: f64,
+    /// ε-greedy floor.
+    pub epsilon_end: f64,
+    /// ε decay factor applied once per episode (the paper's selected value is
+    /// 0.999).
+    pub epsilon_decay: f64,
+}
+
+impl DqnConfig {
+    /// The paper's training hyper-parameters (γ = 0.9995, n = 8, batch 64,
+    /// target update every 5 000 updates, ε decay 0.999).
+    pub fn paper() -> Self {
+        Self {
+            gamma: 0.9995,
+            n_step: 8,
+            batch_size: 64,
+            buffer_capacity: 1 << 17,
+            update_every: 8,
+            target_update_interval: 5_000,
+            warmup_transitions: 1_000,
+            priority_alpha: 0.6,
+            priority_beta_start: 0.4,
+            priority_beta_steps: 100_000,
+            epsilon_start: 1.0,
+            epsilon_end: 0.05,
+            epsilon_decay: 0.999,
+        }
+    }
+
+    /// A small-scale configuration suitable for CPU smoke training: shorter
+    /// warm-up and more frequent target refreshes.
+    pub fn smoke() -> Self {
+        Self {
+            buffer_capacity: 1 << 14,
+            update_every: 16,
+            target_update_interval: 500,
+            warmup_transitions: 200,
+            priority_beta_steps: 5_000,
+            ..Self::paper()
+        }
+    }
+}
+
+impl Default for DqnConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// A training batch entry: an n-step transition plus its replay index and
+/// importance weight.
+pub type Batch<S> = Vec<Sampled<NStepTransition<S>>>;
+
+/// Bookkeeping for augmented DQN training.
+#[derive(Debug)]
+pub struct DqnTrainer<S> {
+    config: DqnConfig,
+    replay: PrioritizedReplay<NStepTransition<S>>,
+    nstep: NStepBuffer<S>,
+    epsilon: EpsilonSchedule,
+    beta: LinearSchedule,
+    env_steps: u64,
+    updates: u64,
+    updates_since_sync: u64,
+}
+
+impl<S: Clone> DqnTrainer<S> {
+    /// Creates a trainer from a configuration.
+    pub fn new(config: DqnConfig) -> Self {
+        Self {
+            replay: PrioritizedReplay::new(config.buffer_capacity, config.priority_alpha),
+            nstep: NStepBuffer::new(config.n_step, config.gamma),
+            epsilon: EpsilonSchedule::new(
+                config.epsilon_start,
+                config.epsilon_end,
+                config.epsilon_decay,
+            ),
+            beta: LinearSchedule::new(config.priority_beta_start, 1.0, config.priority_beta_steps),
+            env_steps: 0,
+            updates: 0,
+            updates_since_sync: 0,
+            config,
+        }
+    }
+
+    /// The trainer's configuration.
+    pub fn config(&self) -> &DqnConfig {
+        &self.config
+    }
+
+    /// Current exploration rate.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon.value()
+    }
+
+    /// Decays the exploration rate (call once per episode).
+    pub fn end_episode(&mut self) {
+        self.epsilon.step();
+        // Flush any partial n-step windows so no experience is lost.
+        for t in self.nstep.flush() {
+            self.replay.push(t);
+        }
+    }
+
+    /// Number of transitions stored in the replay buffer.
+    pub fn buffered(&self) -> usize {
+        self.replay.len()
+    }
+
+    /// Total environment steps observed.
+    pub fn env_steps(&self) -> u64 {
+        self.env_steps
+    }
+
+    /// Total gradient updates performed (as reported via
+    /// [`DqnTrainer::record_update`]).
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Records a single-step transition from the environment.
+    pub fn observe(&mut self, transition: Transition<S>) {
+        self.env_steps += 1;
+        for t in self.nstep.push(transition) {
+            self.replay.push(t);
+        }
+    }
+
+    /// Whether enough experience has accumulated and enough environment steps
+    /// have elapsed for the caller to run a gradient update now.
+    pub fn should_update(&self) -> bool {
+        self.replay.len() >= self.config.warmup_transitions
+            && self.env_steps % self.config.update_every == 0
+    }
+
+    /// Samples a prioritized batch for training.
+    pub fn sample_batch(&mut self, rng: &mut StdRng) -> Batch<S> {
+        let beta = self.beta.value();
+        self.replay.sample(self.config.batch_size, beta, rng)
+    }
+
+    /// Reports the absolute TD errors of a just-trained batch so replay
+    /// priorities stay current, and advances the update counters.
+    ///
+    /// Returns `true` when the caller should copy the online network into the
+    /// target network.
+    pub fn record_update(&mut self, indexed_errors: &[(usize, f64)]) -> bool {
+        for (index, error) in indexed_errors {
+            self.replay.update_priority(*index, *error);
+        }
+        self.updates += 1;
+        self.updates_since_sync += 1;
+        self.beta.step();
+        if self.updates_since_sync >= self.config.target_update_interval {
+            self.updates_since_sync = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Discount to apply to the bootstrap term of an n-step transition.
+    pub fn bootstrap_discount(&self, transition: &NStepTransition<S>) -> f64 {
+        transition.bootstrap_discount(self.config.gamma)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn transition(step: u64, done: bool) -> Transition<u64> {
+        Transition {
+            state: step,
+            action: (step % 3) as usize,
+            reward: 1.0,
+            next_state: step + 1,
+            done,
+        }
+    }
+
+    #[test]
+    fn paper_config_values() {
+        let cfg = DqnConfig::paper();
+        assert_eq!(cfg.gamma, 0.9995);
+        assert_eq!(cfg.n_step, 8);
+        assert_eq!(cfg.batch_size, 64);
+        assert_eq!(cfg.target_update_interval, 5_000);
+        assert_eq!(cfg.epsilon_decay, 0.999);
+        assert_eq!(DqnConfig::default(), DqnConfig::paper());
+    }
+
+    #[test]
+    fn warmup_gates_training() {
+        let cfg = DqnConfig {
+            warmup_transitions: 20,
+            update_every: 1,
+            n_step: 1,
+            ..DqnConfig::smoke()
+        };
+        let mut trainer: DqnTrainer<u64> = DqnTrainer::new(cfg);
+        for i in 0..10 {
+            trainer.observe(transition(i, false));
+            assert!(!trainer.should_update());
+        }
+        for i in 10..40 {
+            trainer.observe(transition(i, false));
+        }
+        assert!(trainer.should_update());
+        assert_eq!(trainer.env_steps(), 40);
+        assert!(trainer.buffered() >= 20);
+    }
+
+    #[test]
+    fn sampling_and_priority_updates_round_trip() {
+        let cfg = DqnConfig {
+            warmup_transitions: 5,
+            update_every: 1,
+            n_step: 2,
+            batch_size: 8,
+            target_update_interval: 3,
+            ..DqnConfig::smoke()
+        };
+        let mut trainer: DqnTrainer<u64> = DqnTrainer::new(cfg);
+        for i in 0..50 {
+            trainer.observe(transition(i, i % 25 == 24));
+        }
+        let mut rng = StdRng::seed_from_u64(0);
+        let batch = trainer.sample_batch(&mut rng);
+        assert_eq!(batch.len(), 8);
+        let errors: Vec<(usize, f64)> = batch.iter().map(|s| (s.index, 0.5)).collect();
+        // Target sync fires after `target_update_interval` updates.
+        assert!(!trainer.record_update(&errors));
+        assert!(!trainer.record_update(&errors));
+        assert!(trainer.record_update(&errors));
+        assert!(!trainer.record_update(&errors));
+        assert_eq!(trainer.updates(), 4);
+    }
+
+    #[test]
+    fn end_episode_decays_epsilon_and_flushes() {
+        let cfg = DqnConfig {
+            n_step: 4,
+            epsilon_decay: 0.5,
+            ..DqnConfig::smoke()
+        };
+        let mut trainer: DqnTrainer<u64> = DqnTrainer::new(cfg);
+        trainer.observe(transition(0, false));
+        trainer.observe(transition(1, false));
+        let before = trainer.buffered();
+        let eps_before = trainer.epsilon();
+        trainer.end_episode();
+        assert!(trainer.buffered() > before);
+        assert!(trainer.epsilon() < eps_before);
+    }
+
+    #[test]
+    fn bootstrap_discount_respects_termination() {
+        let trainer: DqnTrainer<u64> = DqnTrainer::new(DqnConfig { gamma: 0.9, ..DqnConfig::smoke() });
+        let alive = NStepTransition {
+            state: 0u64,
+            action: 0,
+            return_n: 1.0,
+            final_state: 3,
+            done: false,
+            steps: 3,
+        };
+        let dead = NStepTransition { done: true, ..alive.clone() };
+        assert!((trainer.bootstrap_discount(&alive) - 0.9f64.powi(3)).abs() < 1e-12);
+        assert_eq!(trainer.bootstrap_discount(&dead), 0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests of the replay buffer, n-step accumulator and
+//! schedules: invariants that must hold for any sequence of pushes, samples
+//! and priority updates.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rl::{EpsilonSchedule, LinearSchedule, NStepBuffer, PrioritizedReplay, Transition};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Sampling never yields items that were not pushed, never exceeds the
+    /// requested batch, and produces weights in (0, 1].
+    #[test]
+    fn replay_samples_are_valid(
+        capacity in 1usize..64,
+        pushes in prop::collection::vec(0u32..10_000, 0..128),
+        batch in 1usize..32,
+        seed in 0u64..1_000,
+    ) {
+        let mut buf = PrioritizedReplay::new(capacity, 0.6);
+        for p in &pushes {
+            buf.push(*p);
+        }
+        prop_assert!(buf.len() <= buf.capacity());
+        prop_assert_eq!(buf.len(), pushes.len().min(buf.capacity()));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples = buf.sample(batch, 0.5, &mut rng);
+        prop_assert!(samples.len() <= batch.min(buf.len().max(1)));
+        for s in samples {
+            prop_assert!(pushes.contains(&s.item));
+            prop_assert!(s.weight > 0.0 && s.weight <= 1.0 + 1e-9);
+            prop_assert!(s.index < buf.capacity());
+        }
+    }
+
+    /// Priority updates never panic and never corrupt sampling, even with
+    /// extreme error magnitudes.
+    #[test]
+    fn priority_updates_accept_any_magnitude(
+        errors in prop::collection::vec(-1e6f64..1e6, 1..64),
+        seed in 0u64..1_000,
+    ) {
+        let mut buf = PrioritizedReplay::new(64, 1.0);
+        for i in 0..errors.len() as u32 {
+            buf.push(i);
+        }
+        for (i, e) in errors.iter().enumerate() {
+            buf.update_priority(i, *e);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples = buf.sample(16, 1.0, &mut rng);
+        prop_assert!(!samples.is_empty());
+    }
+
+    /// The n-step accumulator conserves transitions: every pushed transition
+    /// is eventually emitted exactly once (after a flush), with returns that
+    /// equal the discounted sum of the rewards in its window.
+    #[test]
+    fn nstep_conserves_transitions(
+        rewards in prop::collection::vec(-5.0f64..5.0, 1..40),
+        n in 1usize..6,
+    ) {
+        let gamma = 0.9;
+        let mut buf = NStepBuffer::new(n, gamma);
+        let mut emitted = Vec::new();
+        for (i, r) in rewards.iter().enumerate() {
+            emitted.extend(buf.push(Transition {
+                state: i as i64,
+                action: i % 3,
+                reward: *r,
+                next_state: i as i64 + 1,
+                done: false,
+            }));
+        }
+        emitted.extend(buf.flush());
+        prop_assert_eq!(emitted.len(), rewards.len());
+        prop_assert_eq!(buf.pending(), 0);
+        for (i, t) in emitted.iter().enumerate() {
+            prop_assert_eq!(t.state, i as i64);
+            prop_assert!(t.steps >= 1 && t.steps <= n);
+            let expected: f64 = rewards[i..(i + t.steps).min(rewards.len())]
+                .iter()
+                .enumerate()
+                .map(|(k, r)| gamma.powi(k as i32) * r)
+                .sum();
+            prop_assert!((t.return_n - expected).abs() < 1e-9);
+        }
+    }
+
+    /// Epsilon schedules are monotonically non-increasing and bounded by
+    /// their configured floor; linear schedules stay within [start, end].
+    #[test]
+    fn schedules_are_monotone_and_bounded(
+        decay in 0.5f64..1.0,
+        end in 0.0f64..0.5,
+        steps in 1u64..50,
+    ) {
+        let mut eps = EpsilonSchedule::new(1.0, end, decay);
+        let mut prev = eps.value();
+        for _ in 0..200 {
+            let v = eps.step();
+            prop_assert!(v <= prev + 1e-12);
+            prop_assert!(v >= end - 1e-12);
+            prev = v;
+        }
+        let mut beta = LinearSchedule::new(0.4, 1.0, steps);
+        let mut prev = beta.value();
+        for _ in 0..(steps + 10) {
+            let v = beta.step();
+            prop_assert!(v >= prev - 1e-12);
+            prop_assert!(v <= 1.0 + 1e-12);
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Train the attention-based ACSO defender end to end (DBN fit + augmented
+//! DQN) at a small scale, then compare it with the playbook baseline on a
+//! matched evaluation.
+//!
+//! This is the full training pipeline of §4.2 at a CPU-sized budget; expect a
+//! few minutes of wall-clock. Increase `EPISODES` for a stronger agent.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example train_acso
+//! ```
+
+use acso_core::baselines::PlaybookPolicy;
+use acso_core::eval::{evaluate_policy, EvalConfig};
+use acso_core::train::{train_attention_acso, TrainConfig};
+use ics_sim::SimConfig;
+
+const EPISODES: usize = 8;
+
+fn main() {
+    let train_sim = SimConfig::tiny().with_max_time(600);
+    let config = TrainConfig {
+        sim: train_sim.clone(),
+        episodes: EPISODES,
+        dbn_episodes: 5,
+        ..TrainConfig::smoke(EPISODES)
+    };
+
+    println!("Fitting the DBN filter and training the ACSO for {EPISODES} episodes...");
+    let start = std::time::Instant::now();
+    let mut trained = train_attention_acso(&config);
+    println!(
+        "Training finished in {:.1?}: {} env steps, {} gradient updates.",
+        start.elapsed(),
+        trained.report.env_steps,
+        trained.report.updates
+    );
+    for (i, ret) in trained.report.episode_returns.iter().enumerate() {
+        println!("  episode {:>2}: discounted return {:.1}", i + 1, ret);
+    }
+
+    let eval = EvalConfig {
+        sim: train_sim,
+        episodes: 3,
+        seed: 1_000,
+    };
+    println!();
+    println!("Evaluating on {} held-out attack episodes...", eval.episodes);
+    let acso = evaluate_policy(&mut trained.agent, &eval);
+    let playbook = evaluate_policy(&mut PlaybookPolicy::new(), &eval);
+
+    println!();
+    println!("                    {:>14} {:>14}", "ACSO", "Playbook");
+    println!(
+        "discounted return   {:>14.1} {:>14.1}",
+        acso.discounted_return.mean, playbook.discounted_return.mean
+    );
+    println!(
+        "final PLCs offline  {:>14.2} {:>14.2}",
+        acso.final_plcs_offline.mean, playbook.final_plcs_offline.mean
+    );
+    println!(
+        "average IT cost     {:>14.3} {:>14.3}",
+        acso.average_it_cost.mean, playbook.average_it_cost.mean
+    );
+    println!(
+        "nodes compromised   {:>14.2} {:>14.2}",
+        acso.average_nodes_compromised.mean, playbook.average_nodes_compromised.mean
+    );
+    println!();
+    println!("For the paper-scale comparison run: cargo run --release -p acso-bench --bin table2");
+}

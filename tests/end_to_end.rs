@@ -1,0 +1,121 @@
+//! Cross-crate integration tests: topology -> simulator -> DBN -> agent ->
+//! evaluation, exercised together the way the experiment binaries use them.
+
+use acso_core::baselines::{DbnExpertPolicy, PlaybookPolicy, SemiRandomPolicy};
+use acso_core::eval::{evaluate_policy, evaluate_policy_detailed, EvalConfig};
+use acso_core::experiments::{prepare, table2, ExperimentScale};
+use acso_core::policy::{DefenderPolicy, NullPolicy};
+use acso_core::train::{train_attention_acso, TrainConfig};
+use dbn::learn::{learn_model, LearnConfig};
+use ics_sim::apt::{AptProfile, AttackObjective, AttackVector};
+use ics_sim::{DefenderAction, IcsEnvironment, SimConfig};
+
+fn short_eval(episodes: usize, seed: u64) -> EvalConfig {
+    EvalConfig {
+        sim: SimConfig::tiny().with_max_time(200),
+        episodes,
+        seed,
+    }
+}
+
+#[test]
+fn trained_acso_agent_evaluates_cleanly_end_to_end() {
+    let trained = train_attention_acso(&TrainConfig::smoke(1).with_seed(42));
+    let mut agent = trained.agent;
+    let summary = evaluate_policy(&mut agent, &short_eval(2, 5));
+    assert_eq!(summary.episodes, 2);
+    assert!(summary.discounted_return.mean.is_finite());
+    assert!(summary.average_it_cost.mean >= 0.0);
+}
+
+#[test]
+fn every_policy_runs_on_the_full_paper_topology() {
+    // One short episode on the full 33-node / 50-PLC network per policy, to
+    // catch any assumption that only holds on the small test topologies.
+    let config = EvalConfig {
+        sim: SimConfig::full().with_max_time(150),
+        episodes: 1,
+        seed: 9,
+    };
+    let model = learn_model(&LearnConfig {
+        episodes: 1,
+        seed: 1,
+        sim: SimConfig::tiny().with_max_time(100),
+    });
+    let mut policies: Vec<Box<dyn DefenderPolicy>> = vec![
+        Box::new(NullPolicy::new()),
+        Box::new(SemiRandomPolicy::new()),
+        Box::new(PlaybookPolicy::new()),
+        Box::new(DbnExpertPolicy::new(model)),
+    ];
+    for policy in &mut policies {
+        let eval = evaluate_policy_detailed(policy.as_mut(), &config);
+        assert_eq!(eval.episodes.len(), 1);
+        assert_eq!(eval.episodes[0].steps, 150);
+    }
+}
+
+#[test]
+fn undefended_attack_damages_more_plcs_than_playbook_defense() {
+    // The headline qualitative claim behind Table 2: automated coordinated
+    // response protects the PLCs better than no response.
+    let sim = SimConfig::small()
+        .with_max_time(3_500)
+        .with_apt(
+            AptProfile::apt2()
+                .with_objective(AttackObjective::Disrupt)
+                .with_vector(AttackVector::Opc),
+        );
+    let episodes = 3;
+
+    let mut undefended_damage = 0usize;
+    let mut defended_damage = 0usize;
+    for i in 0..episodes {
+        let mut env = IcsEnvironment::new(sim.clone().with_seed(100 + i));
+        let metrics = env.run_episode(|_, _| vec![DefenderAction::NoAction]);
+        undefended_damage += metrics.max_plcs_offline();
+
+        let mut env = IcsEnvironment::new(sim.clone().with_seed(100 + i));
+        let mut policy = PlaybookPolicy::new();
+        policy.reset(env.topology());
+        let mut rng = rand::SeedableRng::seed_from_u64(i);
+        let metrics = env.run_episode(|obs, env| policy.decide(obs, env.topology(), &mut rng));
+        defended_damage += metrics.max_plcs_offline();
+    }
+    assert!(
+        undefended_damage > defended_damage,
+        "undefended damage {undefended_damage} should exceed defended damage {defended_damage}"
+    );
+}
+
+#[test]
+fn table2_experiment_reports_all_policies_and_metrics() {
+    let mut ctx = prepare(ExperimentScale::smoke());
+    let result = table2(&mut ctx);
+    assert_eq!(result.evaluations.len(), 4);
+    for eval in &result.evaluations {
+        assert!(eval.summary.discounted_return.mean.is_finite());
+        assert!(eval.summary.average_nodes_compromised.mean >= 0.0);
+        assert!(eval.summary.average_it_cost.mean >= 0.0);
+    }
+    // The semi-random policy takes uncoordinated actions constantly, so its
+    // IT cost must exceed the playbook's, as in the paper.
+    let cost = |name: &str| {
+        result
+            .evaluations
+            .iter()
+            .find(|e| e.policy == name)
+            .map(|e| e.summary.average_it_cost.mean)
+            .expect("policy present")
+    };
+    assert!(cost("Semi Random") > cost("Playbook"));
+}
+
+#[test]
+fn evaluation_is_deterministic_for_identical_policies_and_seeds() {
+    let a = evaluate_policy(&mut PlaybookPolicy::new(), &short_eval(2, 77));
+    let b = evaluate_policy(&mut PlaybookPolicy::new(), &short_eval(2, 77));
+    assert_eq!(a, b);
+    let c = evaluate_policy(&mut PlaybookPolicy::new(), &short_eval(2, 78));
+    assert!(a != c || a.discounted_return.mean != c.discounted_return.mean);
+}
