@@ -27,7 +27,10 @@ fn state_for(spec: TopologySpec) -> (acso_core::StateFeatures, ActionSpace) {
     let obs = env.reset();
     let encoder = NodeFeatureEncoder::new(env.topology());
     let filter = DbnFilter::new(model, env.topology().node_count());
-    (encoder.encode(&obs, &filter), ActionSpace::new(env.topology()))
+    (
+        encoder.encode(&obs, &filter),
+        ActionSpace::new(env.topology()),
+    )
 }
 
 fn bench_networks(c: &mut Criterion) {

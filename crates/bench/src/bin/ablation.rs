@@ -59,7 +59,10 @@ fn run_variant(variant: &Variant, base: &TrainConfig) -> f64 {
 
 fn main() {
     let scale = Scale::from_args(std::env::args().skip(1));
-    print_header("Design-choice ablations (shaping, architecture, replay)", scale);
+    print_header(
+        "Design-choice ablations (shaping, architecture, replay)",
+        scale,
+    );
     let experiment = scale.experiment_scale();
     let base = TrainConfig {
         sim: experiment.train_sim.clone(),
@@ -74,10 +77,30 @@ fn main() {
     };
 
     let variants = [
-        Variant { name: "full ACSO (attention + shaping + prioritized)", shaping: true, attention: true, priority_alpha: 0.6 },
-        Variant { name: "no shaping reward", shaping: false, attention: true, priority_alpha: 0.6 },
-        Variant { name: "baseline flattened network", shaping: true, attention: false, priority_alpha: 0.6 },
-        Variant { name: "uniform replay (alpha = 0)", shaping: true, attention: true, priority_alpha: 0.0 },
+        Variant {
+            name: "full ACSO (attention + shaping + prioritized)",
+            shaping: true,
+            attention: true,
+            priority_alpha: 0.6,
+        },
+        Variant {
+            name: "no shaping reward",
+            shaping: false,
+            attention: true,
+            priority_alpha: 0.6,
+        },
+        Variant {
+            name: "baseline flattened network",
+            shaping: true,
+            attention: false,
+            priority_alpha: 0.6,
+        },
+        Variant {
+            name: "uniform replay (alpha = 0)",
+            shaping: true,
+            attention: true,
+            priority_alpha: 0.0,
+        },
     ];
 
     let start = std::time::Instant::now();

@@ -18,7 +18,10 @@ fn main() {
     println!("samples evaluated:        {}", report.samples);
     println!("max KL divergence:        {:.3}", report.max_kl);
     println!("mean KL divergence:       {:.4}", report.mean_kl);
-    println!("MAP class accuracy:       {:.1}%", report.map_accuracy * 100.0);
+    println!(
+        "MAP class accuracy:       {:.1}%",
+        report.map_accuracy * 100.0
+    );
     println!(
         "compromised/clean accuracy: {:.1}%",
         report.compromise_accuracy * 100.0

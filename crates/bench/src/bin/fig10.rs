@@ -17,7 +17,11 @@ fn main() {
     println!("Evaluating against APT1 and APT2...");
     let result = fig10(&mut ctx);
 
-    for metric in ["(a) Final PLCs offline", "(b) Average IT cost", "(c) Average nodes compromised"] {
+    for metric in [
+        "(a) Final PLCs offline",
+        "(b) Average IT cost",
+        "(c) Average nodes compromised",
+    ] {
         println!();
         println!("{metric}");
         println!("{:<14} {:>18} {:>18}", "policy", "APT1", "APT2");

@@ -28,7 +28,10 @@ fn main() {
             row.epsilon_decay,
             row.mean_return
         );
-        if best.map(|b| row.mean_return > b.mean_return).unwrap_or(true) {
+        if best
+            .map(|b| row.mean_return > b.mean_return)
+            .unwrap_or(true)
+        {
             best = Some(row);
         }
     }

@@ -22,7 +22,10 @@ fn main() {
         start.elapsed()
     );
 
-    println!("Evaluating policies ({} episodes each)...", ctx.scale.eval_episodes);
+    println!(
+        "Evaluating policies ({} episodes each)...",
+        ctx.scale.eval_episodes
+    );
     let result = table2(&mut ctx);
     println!();
     println!("{}", format_table(&result.evaluations));

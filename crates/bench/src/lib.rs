@@ -76,18 +76,12 @@ mod tests {
     #[test]
     fn scale_parsing_defaults_to_quick() {
         assert_eq!(Scale::from_args(Vec::<String>::new()), Scale::Quick);
-        assert_eq!(
-            Scale::from_args(vec!["--smoke".to_string()]),
-            Scale::Smoke
-        );
+        assert_eq!(Scale::from_args(vec!["--smoke".to_string()]), Scale::Smoke);
         assert_eq!(
             Scale::from_args(vec!["prog".to_string(), "--paper".to_string()]),
             Scale::Paper
         );
-        assert_eq!(
-            Scale::from_args(vec!["--full".to_string()]),
-            Scale::Paper
-        );
+        assert_eq!(Scale::from_args(vec!["--full".to_string()]), Scale::Paper);
         assert_eq!(
             Scale::from_args(vec!["--unknown".to_string()]),
             Scale::Quick

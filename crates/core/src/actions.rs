@@ -6,9 +6,7 @@
 //! maps between flat indices and [`DefenderAction`]s.
 
 use ics_net::{NodeId, PlcId, Topology};
-use ics_sim::orchestrator::{
-    DefenderAction, InvestigationKind, MitigationKind, PlcRecoveryKind,
-};
+use ics_sim::orchestrator::{DefenderAction, InvestigationKind, MitigationKind, PlcRecoveryKind};
 use serde::{Deserialize, Serialize};
 
 /// Number of distinct per-node action kinds (3 investigations + 4 mitigations).
@@ -181,9 +179,16 @@ mod tests {
     fn encode_decode_round_trips_every_action() {
         let space = ActionSpace::from_counts(5, 3);
         for (index, action) in space.iter() {
-            assert_eq!(space.encode(&action), index, "round trip failed for {action}");
+            assert_eq!(
+                space.encode(&action),
+                index,
+                "round trip failed for {action}"
+            );
         }
-        assert_eq!(space.decode(space.no_action_index()), DefenderAction::NoAction);
+        assert_eq!(
+            space.decode(space.no_action_index()),
+            DefenderAction::NoAction
+        );
     }
 
     #[test]

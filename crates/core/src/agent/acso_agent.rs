@@ -127,7 +127,11 @@ impl<N: QNetwork + Clone> AcsoAgent<N> {
         self.filter.update(observation);
         let features = self.encoder.encode(observation, &self.filter);
         let q = self.online.q_values(&features);
-        let epsilon = if self.explore { self.trainer.epsilon() } else { 0.0 };
+        let epsilon = if self.explore {
+            self.trainer.epsilon()
+        } else {
+            0.0
+        };
         let action = epsilon_greedy(&q, epsilon, &mut self.rng);
         (action, features)
     }
@@ -307,7 +311,7 @@ mod tests {
         assert!(trained, "agent should perform at least one gradient update");
         assert!(agent.env_steps() > 0);
         assert!(agent.updates() > 0);
-        assert!(agent.recent_loss() >= 0.0 || agent.recent_loss().is_nan() == false);
+        assert!(agent.recent_loss() >= 0.0 || !agent.recent_loss().is_nan());
     }
 
     #[test]

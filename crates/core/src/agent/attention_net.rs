@@ -123,7 +123,9 @@ impl QNetwork for AttentionQNet {
         let p = features.plc_count();
 
         // Shared per-node embedding.
-        let e = self.embed_act1.forward(&self.embed1.forward(&features.nodes));
+        let e = self
+            .embed_act1
+            .forward(&self.embed1.forward(&features.nodes));
         let e = self.embed_act2.forward(&self.embed2.forward(&e));
         let e = self.embed_act3.forward(&self.embed3.forward(&e));
 
@@ -148,7 +150,9 @@ impl QNetwork for AttentionQNet {
         let q_server = if features.server_rows.is_empty() {
             Matrix::zeros(0, ACTIONS_PER_NODE)
         } else {
-            let x = self.server_act.forward(&self.server_head1.forward(&server_in));
+            let x = self
+                .server_act
+                .forward(&self.server_head1.forward(&server_in));
             self.server_out.forward(&self.server_head2.forward(&x))
         };
 
@@ -199,7 +203,11 @@ impl QNetwork for AttentionQNet {
         let cache = self.cache.clone().expect("backward called before q_values");
         let n = cache.node_count;
         let p = cache.plc_count;
-        assert_eq!(grad_q.len(), self.action_space.len(), "gradient length mismatch");
+        assert_eq!(
+            grad_q.len(),
+            self.action_space.len(),
+            "gradient length mismatch"
+        );
 
         // Split the flat gradient back into per-head blocks.
         let mut grad_host = Matrix::zeros(cache.host_rows.len(), ACTIONS_PER_NODE);
@@ -315,7 +323,7 @@ mod tests {
     use crate::features::NodeFeatureEncoder;
     use dbn::learn::{learn_model, LearnConfig};
     use dbn::DbnFilter;
-    use ics_net::{Topology, TopologySpec};
+    use ics_net::TopologySpec;
     use ics_sim::{IcsEnvironment, SimConfig};
 
     fn features_for(spec: &TopologySpec, seed: u64) -> (StateFeatures, ActionSpace) {
@@ -344,7 +352,10 @@ mod tests {
         let mut net = AttentionQNet::new(space.clone(), 0);
         let q = net.q_values(&features);
         assert_eq!(q.len(), space.len());
-        assert!(q.iter().all(|v| v.abs() <= 1.0), "tanh heads bound Q values");
+        assert!(
+            q.iter().all(|v| v.abs() <= 1.0),
+            "tanh heads bound Q values"
+        );
         assert_eq!(net.action_space().len(), space.len());
     }
 
@@ -370,7 +381,10 @@ mod tests {
         net.zero_grad();
         net.backward(&grad);
         let total_grad: f32 = net.params_mut().iter().map(|p| p.grad.norm()).sum();
-        assert!(total_grad > 0.0, "backward should produce non-zero gradients");
+        assert!(
+            total_grad > 0.0,
+            "backward should produce non-zero gradients"
+        );
     }
 
     #[test]

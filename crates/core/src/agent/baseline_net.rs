@@ -79,7 +79,11 @@ impl QNetwork for BaselineConvQNet {
     }
 
     fn backward(&mut self, grad_q: &[f32]) {
-        assert_eq!(grad_q.len(), self.action_space.len(), "gradient length mismatch");
+        assert_eq!(
+            grad_q.len(),
+            self.action_space.len(),
+            "gradient length mismatch"
+        );
         let grad = Matrix::row_vector(grad_q);
         let g = self.out.backward(&grad);
         let g = self.fc3.backward(&g);

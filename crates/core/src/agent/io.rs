@@ -145,7 +145,10 @@ mod tests {
         let obs = env.reset();
         let encoder = NodeFeatureEncoder::new(env.topology());
         let filter = DbnFilter::new(model, env.topology().node_count());
-        (encoder.encode(&obs, &filter), ActionSpace::new(env.topology()))
+        (
+            encoder.encode(&obs, &filter),
+            ActionSpace::new(env.topology()),
+        )
     }
 
     #[test]

@@ -51,8 +51,11 @@ pub trait QNetwork: Send {
     /// Copies parameter values from another network of the same shape
     /// (used to refresh the target network).
     fn copy_params_from(&mut self, source: &mut dyn QNetwork) {
-        let source_values: Vec<neural::Matrix> =
-            source.params_mut().iter().map(|p| p.value.clone()).collect();
+        let source_values: Vec<neural::Matrix> = source
+            .params_mut()
+            .iter()
+            .map(|p| p.value.clone())
+            .collect();
         for (dst, src) in self.params_mut().into_iter().zip(source_values) {
             dst.value = src;
         }

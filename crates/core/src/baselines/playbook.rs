@@ -8,9 +8,7 @@
 
 use crate::policy::DefenderPolicy;
 use ics_net::{NodeId, PlcId, Topology};
-use ics_sim::orchestrator::{
-    DefenderAction, InvestigationKind, MitigationKind, PlcRecoveryKind,
-};
+use ics_sim::orchestrator::{DefenderAction, InvestigationKind, MitigationKind, PlcRecoveryKind};
 use ics_sim::{Observation, PlcStatus};
 use rand::rngs::StdRng;
 
@@ -100,7 +98,8 @@ impl DefenderPolicy for PlaybookPolicy {
                 CoaState::AwaitingScan => {
                     if let Some((_, detected)) = node_obs.investigation {
                         if detected {
-                            actions.push(Self::mitigation_for_escalation(self.escalation[idx], node));
+                            actions
+                                .push(Self::mitigation_for_escalation(self.escalation[idx], node));
                             self.escalation[idx] += 1;
                             self.states[idx] = CoaState::AwaitingMitigation;
                         } else {

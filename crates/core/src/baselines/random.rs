@@ -3,9 +3,7 @@
 
 use crate::policy::DefenderPolicy;
 use ics_net::{NodeId, PlcId, Topology};
-use ics_sim::orchestrator::{
-    DefenderAction, InvestigationKind, MitigationKind, PlcRecoveryKind,
-};
+use ics_sim::orchestrator::{DefenderAction, InvestigationKind, MitigationKind, PlcRecoveryKind};
 use ics_sim::{Observation, PlcStatus};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -125,7 +123,10 @@ mod tests {
             total += policy.decide(&obs, &topo, &mut rng).len();
         }
         let per_hour = total as f64 / 20.0;
-        assert!(per_hour > 5.0 && per_hour < 16.0, "unexpected rate {per_hour}");
+        assert!(
+            per_hour > 5.0 && per_hour < 16.0,
+            "unexpected rate {per_hour}"
+        );
         assert_eq!(policy.name(), "Semi Random");
     }
 

@@ -60,7 +60,10 @@ pub fn evaluate_policy_detailed(
 ) -> PolicyEvaluation {
     let mut episodes = Vec::with_capacity(config.episodes);
     for i in 0..config.episodes {
-        let sim = config.sim.clone().with_seed(config.seed.wrapping_add(i as u64));
+        let sim = config
+            .sim
+            .clone()
+            .with_seed(config.seed.wrapping_add(i as u64));
         let mut env = IcsEnvironment::new(sim);
         let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(10_000 + i as u64));
         policy.reset(env.topology());

@@ -325,7 +325,12 @@ pub fn dbn_validation(scale: &ExperimentScale) -> ValidationReport {
         seed: scale.seed,
         sim: scale.eval_sim.clone(),
     });
-    validate_filter(&model, &scale.eval_sim, scale.eval_episodes.min(10), scale.seed)
+    validate_filter(
+        &model,
+        &scale.eval_sim,
+        scale.eval_episodes.min(10),
+        scale.seed,
+    )
 }
 
 #[cfg(test)]
@@ -337,7 +342,11 @@ mod tests {
         let mut ctx = prepare(ExperimentScale::smoke());
         let result = table2(&mut ctx);
         assert_eq!(result.evaluations.len(), 4);
-        let names: Vec<&str> = result.evaluations.iter().map(|e| e.policy.as_str()).collect();
+        let names: Vec<&str> = result
+            .evaluations
+            .iter()
+            .map(|e| e.policy.as_str())
+            .collect();
         assert_eq!(names, vec!["ACSO", "DBN Expert", "Playbook", "Semi Random"]);
         for eval in &result.evaluations {
             assert_eq!(eval.episodes.len(), 2);

@@ -218,7 +218,10 @@ mod tests {
         // and must sum to one.
         for i in 0..features.node_count() {
             let belief_sum: f32 = features.nodes.row(i)[..CompromiseClass::COUNT].iter().sum();
-            assert!((belief_sum - 1.0).abs() < 1e-4, "row {i} belief sum {belief_sum}");
+            assert!(
+                (belief_sum - 1.0).abs() < 1e-4,
+                "row {i} belief sum {belief_sum}"
+            );
         }
     }
 }

@@ -6,8 +6,8 @@
 //! and every few steps a double-DQN update is applied. Only the task reward
 //! is reported in the returned history, matching the paper's evaluation rule.
 
-use crate::agent::{AcsoAgent, AgentConfig, AttentionQNet, QNetwork};
 use crate::actions::ActionSpace;
+use crate::agent::{AcsoAgent, AgentConfig, AttentionQNet, QNetwork};
 use dbn::learn::{learn_model, LearnConfig};
 use dbn::DbnModel;
 use ics_sim::{IcsEnvironment, SimConfig};
@@ -194,7 +194,7 @@ mod tests {
         assert!(trained.report.recent_mean_return(2).is_finite());
         // Exploration is disabled after training so the agent is ready for
         // greedy evaluation.
-        assert_eq!(trained.agent.epsilon() < 1.0, true);
+        assert!(trained.agent.epsilon() < 1.0);
     }
 
     #[test]

@@ -49,7 +49,8 @@ impl TransitionCpt {
         to: CompromiseClass,
     ) -> f64 {
         let base = Self::idx(from.index(), mu.index(), action.index(), 0);
-        let total: f64 = self.counts[base..base + S].iter().sum::<f64>() + self.smoothing * S as f64;
+        let total: f64 =
+            self.counts[base..base + S].iter().sum::<f64>() + self.smoothing * S as f64;
         (self.counts[base + to.index()] + self.smoothing) / total
     }
 
@@ -101,7 +102,8 @@ impl ObservationCpt {
     /// Probability of the observation symbol given state and action.
     pub fn prob(&self, state: CompromiseClass, action: ActionCategory, obs: ObsSymbol) -> f64 {
         let base = Self::idx(state.index(), action.index(), 0);
-        let total: f64 = self.counts[base..base + O].iter().sum::<f64>() + self.smoothing * O as f64;
+        let total: f64 =
+            self.counts[base..base + O].iter().sum::<f64>() + self.smoothing * O as f64;
         (self.counts[base + obs.index()] + self.smoothing) / total
     }
 
@@ -126,7 +128,10 @@ mod tests {
         let sum: f64 = d.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9);
         assert!(d[C::Clean.index()] > d[C::Scanned.index()]);
-        assert!(d[C::AdminPersistent.index()] > 0.0, "smoothing keeps support");
+        assert!(
+            d[C::AdminPersistent.index()] > 0.0,
+            "smoothing keeps support"
+        );
         assert_eq!(t.total_observations(), 3.0);
     }
 

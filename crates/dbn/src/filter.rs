@@ -124,11 +124,15 @@ impl DbnFilter {
                 // Predict: sum over previous states.
                 let mut predicted = 0.0;
                 for (prev_i, prev_class) in CompromiseClass::ALL.into_iter().enumerate() {
-                    predicted +=
-                        self.model.transition.prob(prev_class, mu, action, next_class) * prior[prev_i];
+                    predicted += self
+                        .model
+                        .transition
+                        .prob(prev_class, mu, action, next_class)
+                        * prior[prev_i];
                 }
                 // Correct: weight by the observation likelihood.
-                posterior[next_i] = self.model.observation.prob(next_class, action, symbol) * predicted;
+                posterior[next_i] =
+                    self.model.observation.prob(next_class, action, symbol) * predicted;
             }
             let norm: f64 = posterior.iter().sum();
             if norm > 0.0 {
@@ -155,7 +159,12 @@ mod tests {
     fn toy_model() -> DbnModel {
         let mut transition = TransitionCpt::new(0.05);
         let mut observation = ObservationCpt::new(0.05);
-        for mu in [MuBucket::None, MuBucket::Few, MuBucket::Several, MuBucket::Many] {
+        for mu in [
+            MuBucket::None,
+            MuBucket::Few,
+            MuBucket::Several,
+            MuBucket::Many,
+        ] {
             for action in [ActionCategory::None, ActionCategory::Investigate] {
                 for _ in 0..20 {
                     // Mostly persistence of state, some escalation from clean.

@@ -10,9 +10,7 @@ use crate::cpt::{ObservationCpt, TransitionCpt};
 use crate::filter::DbnModel;
 use crate::types::{ActionCategory, MuBucket, ObsSymbol};
 use ics_net::{NodeId, PlcId};
-use ics_sim::orchestrator::{
-    DefenderAction, InvestigationKind, MitigationKind, PlcRecoveryKind,
-};
+use ics_sim::orchestrator::{DefenderAction, InvestigationKind, MitigationKind, PlcRecoveryKind};
 use ics_sim::{CompromiseClass, IcsEnvironment, SimConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -121,15 +119,15 @@ pub fn learn_model(config: &LearnConfig) -> DbnModel {
             let actions = vec![random_defender_action(node_count, plc_count, &mut rng)];
             let step = env.step(&actions);
 
-            for idx in 0..node_count {
+            for (idx, prev_class) in prev_classes.iter_mut().enumerate() {
                 let node = NodeId::from_index(idx);
                 let next_class = env.state().compromise(node).class();
                 let node_obs = &step.observation.nodes[idx];
                 let action = ActionCategory::from_observation(node_obs);
                 let symbol = ObsSymbol::from_observation(node_obs);
-                transition.record(prev_classes[idx], prev_mu, action, next_class);
+                transition.record(*prev_class, prev_mu, action, next_class);
                 observation.record(next_class, action, symbol);
-                prev_classes[idx] = next_class;
+                *prev_class = next_class;
             }
             prev_mu = MuBucket::from_count(env.state().compromised_count() as f64);
 
@@ -195,18 +193,23 @@ mod tests {
             ActionCategory::None,
             CompromiseClass::Clean,
         );
-        assert!(p_stay_clean > 0.5, "clean self-transition was {p_stay_clean}");
+        assert!(
+            p_stay_clean > 0.5,
+            "clean self-transition was {p_stay_clean}"
+        );
 
         // Quiet observations should be more likely from clean nodes than
         // severity-2 alerts are.
         let quiet = ObsSymbol::from_index(0);
         let sev2 = ObsSymbol::from_index(4);
-        let p_quiet_clean = model
-            .observation
-            .prob(CompromiseClass::Clean, ActionCategory::None, quiet);
-        let p_sev2_clean = model
-            .observation
-            .prob(CompromiseClass::Clean, ActionCategory::None, sev2);
+        let p_quiet_clean =
+            model
+                .observation
+                .prob(CompromiseClass::Clean, ActionCategory::None, quiet);
+        let p_sev2_clean =
+            model
+                .observation
+                .prob(CompromiseClass::Clean, ActionCategory::None, sev2);
         assert!(p_quiet_clean > p_sev2_clean);
     }
 }

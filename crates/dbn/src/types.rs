@@ -154,7 +154,10 @@ mod tests {
             ActionCategory::Investigate
         );
         obs.mitigation = Some(MitigationKind::ReimageNode);
-        assert_eq!(ActionCategory::from_observation(&obs), ActionCategory::Reimage);
+        assert_eq!(
+            ActionCategory::from_observation(&obs),
+            ActionCategory::Reimage
+        );
         obs.mitigation = Some(MitigationKind::Quarantine);
         assert_eq!(
             ActionCategory::from_observation(&obs),

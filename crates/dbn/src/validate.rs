@@ -46,7 +46,9 @@ pub fn validate_filter(
     let mut compromise_hits = 0u64;
 
     for episode in 0..episodes {
-        let cfg = sim.clone().with_seed(seed.wrapping_add(1000 + episode as u64));
+        let cfg = sim
+            .clone()
+            .with_seed(seed.wrapping_add(1000 + episode as u64));
         let mut env = IcsEnvironment::new(cfg);
         let _ = env.reset();
         let node_count = env.topology().node_count();
@@ -84,7 +86,11 @@ pub fn validate_filter(
     ValidationReport {
         samples,
         max_kl,
-        mean_kl: if samples > 0 { sum_kl / samples as f64 } else { 0.0 },
+        mean_kl: if samples > 0 {
+            sum_kl / samples as f64
+        } else {
+            0.0
+        },
         map_accuracy: if samples > 0 {
             map_hits as f64 / samples as f64
         } else {
@@ -122,6 +128,10 @@ mod tests {
             "compromise accuracy {}",
             report.compromise_accuracy
         );
-        assert!(report.map_accuracy > 0.4, "map accuracy {}", report.map_accuracy);
+        assert!(
+            report.map_accuracy > 0.4,
+            "map accuracy {}",
+            report.map_accuracy
+        );
     }
 }

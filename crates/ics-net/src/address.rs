@@ -186,7 +186,7 @@ mod tests {
 
     #[test]
     fn vlan_ordering_is_total() {
-        let mut vlans = vec![
+        let mut vlans = [
             VlanId::quarantine(2),
             VlanId::ops(1),
             VlanId::ops(2),

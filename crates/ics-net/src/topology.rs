@@ -65,11 +65,11 @@ impl Topology {
         let mut host_counter_l1: u8 = 10;
 
         let push_node = |nodes: &mut Vec<Node>,
-                             node_ips: &mut Vec<IpAddr>,
-                             kind: NodeKind,
-                             level: Level,
-                             vlan: VlanId,
-                             host: u8| {
+                         node_ips: &mut Vec<IpAddr>,
+                         kind: NodeKind,
+                         level: Level,
+                         vlan: VlanId,
+                         host: u8| {
             let id = NodeId(nodes.len());
             nodes.push(Node::new(id, kind, level, vlan));
             node_ips.push(IpAddr::new(10, level.number(), 1, host));
@@ -152,7 +152,8 @@ impl Topology {
             let router = push_device(&mut devices, DeviceKind::Router, level);
             level_routers.insert(level.number(), router);
         }
-        let engineering_firewall = push_device(&mut devices, DeviceKind::Firewall, Level::Engineering2);
+        let engineering_firewall =
+            push_device(&mut devices, DeviceKind::Firewall, Level::Engineering2);
         let plant_firewall = push_device(&mut devices, DeviceKind::Firewall, Level::Plant1);
 
         // PLCs are attached to the level-1 operations switch.

@@ -167,7 +167,11 @@ impl FsmAptPolicy {
 
     /// A controlled node usable as the source of an action, preferring nodes
     /// on the given level.
-    fn pick_source(ctx: &AptContext<'_>, prefer_level: Option<Level>, rng: &mut StdRng) -> Option<NodeId> {
+    fn pick_source(
+        ctx: &AptContext<'_>,
+        prefer_level: Option<Level>,
+        rng: &mut StdRng,
+    ) -> Option<NodeId> {
         let controlled: Vec<NodeId> = ctx
             .state
             .compromised_nodes()
@@ -198,13 +202,17 @@ impl FsmAptPolicy {
                 .topology
                 .server(ServerRole::Opc)
                 .map(|n| n.id)
-                .filter(|n| ctx.state.compromise(*n).is_compromised() && !ctx.state.is_quarantined(*n)),
+                .filter(|n| {
+                    ctx.state.compromise(*n).is_compromised() && !ctx.state.is_quarantined(*n)
+                }),
             AttackVector::Hmi => {
                 let hmis: Vec<NodeId> = ctx
                     .topology
                     .hmis()
                     .map(|n| n.id)
-                    .filter(|n| ctx.state.compromise(*n).is_compromised() && !ctx.state.is_quarantined(*n))
+                    .filter(|n| {
+                        ctx.state.compromise(*n).is_compromised() && !ctx.state.is_quarantined(*n)
+                    })
                     .collect();
                 hmis.choose(rng).copied()
             }
@@ -334,7 +342,8 @@ impl FsmAptPolicy {
                     None => {
                         let target = AptTarget::Vlan(VlanId::ops(2));
                         if !Self::in_progress(ctx, AptActionKind::DiscoverServer, target) {
-                            if let Some(src) = Self::pick_source(ctx, Some(Level::Engineering2), rng)
+                            if let Some(src) =
+                                Self::pick_source(ctx, Some(Level::Engineering2), rng)
                             {
                                 actions.push(AptAction::new(
                                     AptActionKind::DiscoverServer,
@@ -382,7 +391,8 @@ impl FsmAptPolicy {
                     None => {
                         let target = AptTarget::Vlan(VlanId::ops(2));
                         if !Self::in_progress(ctx, AptActionKind::DiscoverServer, target) {
-                            if let Some(src) = Self::pick_source(ctx, Some(Level::Engineering2), rng)
+                            if let Some(src) =
+                                Self::pick_source(ctx, Some(Level::Engineering2), rng)
                             {
                                 actions.push(AptAction::new(
                                     AptActionKind::DiscoverServer,
@@ -395,7 +405,8 @@ impl FsmAptPolicy {
                     Some(opc) => {
                         let target = AptTarget::Node(opc);
                         if !Self::in_progress(ctx, AptActionKind::Compromise, target) {
-                            if let Some(src) = Self::pick_source(ctx, Some(Level::Engineering2), rng)
+                            if let Some(src) =
+                                Self::pick_source(ctx, Some(Level::Engineering2), rng)
                             {
                                 actions.push(AptAction::new(
                                     AptActionKind::Compromise,
@@ -420,7 +431,11 @@ impl FsmAptPolicy {
                     let target = AptTarget::Vlan(VlanId::ops(1));
                     if !Self::in_progress(ctx, AptActionKind::ScanVlan, target) {
                         if let Some(src) = Self::pick_source(ctx, Some(Level::Engineering2), rng) {
-                            actions.push(AptAction::new(AptActionKind::ScanVlan, Some(src), target));
+                            actions.push(AptAction::new(
+                                AptActionKind::ScanVlan,
+                                Some(src),
+                                target,
+                            ));
                         }
                     }
                 } else {
@@ -444,7 +459,11 @@ impl FsmAptPolicy {
                 let target = AptTarget::Vlan(VlanId::ops(1));
                 if !Self::in_progress(ctx, AptActionKind::DiscoverPlc, target) {
                     if let Some(src) = Self::attack_access_node(ctx, rng) {
-                        actions.push(AptAction::new(AptActionKind::DiscoverPlc, Some(src), target));
+                        actions.push(AptAction::new(
+                            AptActionKind::DiscoverPlc,
+                            Some(src),
+                            target,
+                        ));
                     }
                 }
                 actions
@@ -454,7 +473,8 @@ impl FsmAptPolicy {
                 if let Some(src) = Self::attack_access_node(ctx, rng) {
                     for plc in &k.discovered_plcs {
                         let plc_state = s.plc(*plc);
-                        if plc_state.firmware_compromised || plc_state.status == PlcStatus::Destroyed
+                        if plc_state.firmware_compromised
+                            || plc_state.status == PlcStatus::Destroyed
                         {
                             continue;
                         }
@@ -577,7 +597,10 @@ mod tests {
     #[test]
     fn phase_is_reestablish_with_no_footholds() {
         let f = Fixture::new();
-        assert_eq!(FsmAptPolicy::derive_phase(&f.ctx(&[])), AptPhase::Reestablish);
+        assert_eq!(
+            FsmAptPolicy::derive_phase(&f.ctx(&[])),
+            AptPhase::Reestablish
+        );
     }
 
     #[test]
@@ -718,7 +741,10 @@ mod tests {
             f.knowledge.discovered_vlans.insert(v);
         }
         f.knowledge.historian_analysis_started = true;
-        assert_eq!(FsmAptPolicy::derive_phase(&f.ctx(&[])), AptPhase::HmiCapture);
+        assert_eq!(
+            FsmAptPolicy::derive_phase(&f.ctx(&[])),
+            AptPhase::HmiCapture
+        );
         let hmis: Vec<NodeId> = f.topo.hmis().map(|n| n.id).collect();
         f.compromise(hmis[0], false);
         assert_eq!(

@@ -263,7 +263,10 @@ impl IcsEnvironment {
             self.time,
             &mut self.rng,
         ));
-        alerts.extend(self.ids.false_alerts(&self.topology, self.time, &mut self.rng));
+        alerts.extend(
+            self.ids
+                .false_alerts(&self.topology, self.time, &mut self.rng),
+        );
 
         // 6. Aggregate alerts into per-node counts.
         for alert in &alerts {
@@ -282,8 +285,8 @@ impl IcsEnvironment {
             .reward
             .step_reward(&self.state, it_cost, self.time);
         let next_potential = self.config.shaping.potential(&self.state);
-        let shaping_reward =
-            self.config.shaping.weight * (self.config.shaping.gamma * next_potential - prev_potential);
+        let shaping_reward = self.config.shaping.weight
+            * (self.config.shaping.gamma * next_potential - prev_potential);
         let done = self.time >= self.config.reward.max_time;
 
         let observation = Observation {
@@ -407,7 +410,8 @@ impl IcsEnvironment {
                     let comp = self.state.compromise_mut(node);
                     comp.try_insert(C::Scanned);
                     comp.try_insert(C::InitialCompromise);
-                    self.knowledge.record_location(node, self.state.vlan_of(node));
+                    self.knowledge
+                        .record_location(node, self.state.vlan_of(node));
                     self.knowledge.discovered_vlans.insert(VlanId::ops(2));
                 }
             }
@@ -434,7 +438,9 @@ impl IcsEnvironment {
                         self.knowledge.forget_location(target);
                         return;
                     }
-                    self.state.compromise_mut(target).try_insert(C::InitialCompromise);
+                    self.state
+                        .compromise_mut(target)
+                        .try_insert(C::InitialCompromise);
                     if self.state.compromise(target).is_compromised() {
                         self.state.dirty_node(target);
                     }
@@ -442,7 +448,9 @@ impl IcsEnvironment {
             }
             AptActionKind::RebootPersist => {
                 if let Some(target) = action.target_node() {
-                    self.state.compromise_mut(target).try_insert(C::RebootPersistence);
+                    self.state
+                        .compromise_mut(target)
+                        .try_insert(C::RebootPersistence);
                 }
             }
             AptActionKind::EscalatePrivilege => {
@@ -459,7 +467,9 @@ impl IcsEnvironment {
             }
             AptActionKind::Cleanup => {
                 if let Some(target) = action.target_node() {
-                    self.state.compromise_mut(target).try_insert(C::MalwareCleaned);
+                    self.state
+                        .compromise_mut(target)
+                        .try_insert(C::MalwareCleaned);
                 }
             }
             AptActionKind::DiscoverVlan => {
@@ -491,7 +501,10 @@ impl IcsEnvironment {
                     .plc_ids()
                     .filter(|p| !self.state.plc(*p).discovered_by_apt)
                     .collect();
-                for plc in undiscovered.into_iter().take(self.config.plc_discovery_batch) {
+                for plc in undiscovered
+                    .into_iter()
+                    .take(self.config.plc_discovery_batch)
+                {
                     self.state.plc_mut(plc).discovered_by_apt = true;
                     self.knowledge.record_plc(plc);
                 }
@@ -692,7 +705,10 @@ mod tests {
             "PLC discovery",
             "execute attack",
         ] {
-            assert!(phases.contains(expected), "missing phase {expected}: {phases:?}");
+            assert!(
+                phases.contains(expected),
+                "missing phase {expected}: {phases:?}"
+            );
         }
     }
 
@@ -812,7 +828,8 @@ mod tests {
     #[test]
     fn episodes_are_reproducible_for_a_fixed_seed() {
         let run = |seed: u64| {
-            let mut env = IcsEnvironment::new(no_defense_config().with_seed(seed).with_max_time(600));
+            let mut env =
+                IcsEnvironment::new(no_defense_config().with_seed(seed).with_max_time(600));
             env.run_episode(|_, _| vec![DefenderAction::NoAction])
         };
         let a = run(17);

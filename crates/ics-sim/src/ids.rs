@@ -178,12 +178,7 @@ impl IdsModule {
     /// Rolls false alerts for one hour. Each level can produce one false
     /// alert per severity per hour; false alerts are attributed to a random
     /// node on that level.
-    pub fn false_alerts(
-        &self,
-        topology: &Topology,
-        time: u64,
-        rng: &mut StdRng,
-    ) -> Vec<Alert> {
+    pub fn false_alerts(&self, topology: &Topology, time: u64, rng: &mut StdRng) -> Vec<Alert> {
         let mut alerts = Vec::new();
         for level in Level::all() {
             let nodes: Vec<_> = topology
@@ -302,7 +297,11 @@ mod tests {
         let (topo, mut state, ids) = fixture();
         let ws = topo.workstations().next().unwrap().id;
         compromise(&mut state, ws, true);
-        let action = AptAction::new(AptActionKind::EscalatePrivilege, Some(ws), AptTarget::Node(ws));
+        let action = AptAction::new(
+            AptActionKind::EscalatePrivilege,
+            Some(ws),
+            AptTarget::Node(ws),
+        );
         let p_half = ids.action_alert_prob(&action, &topo, &state, 0.5);
         let p_nine = ids.action_alert_prob(&action, &topo, &state, 0.9);
         assert!((p_half - 0.025).abs() < 1e-12);
@@ -321,7 +320,10 @@ mod tests {
             hits += ids.passive_alerts(&topo, &state, 0.5, t, &mut rng).len();
         }
         let rate = hits as f64 / trials as f64;
-        assert!((rate - 0.1).abs() < 0.01, "passive rate {rate} should be near 0.1");
+        assert!(
+            (rate - 0.1).abs() < 0.01,
+            "passive rate {rate} should be near 0.1"
+        );
     }
 
     #[test]

@@ -127,17 +127,18 @@ pub struct EvaluationSummary {
 impl EvaluationSummary {
     /// Aggregates per-episode metrics into a summary row.
     pub fn from_episodes(episodes: &[EpisodeMetrics]) -> Self {
-        let collect = |f: &dyn Fn(&EpisodeMetrics) -> f64| {
-            episodes.iter().map(f).collect::<Vec<f64>>()
-        };
+        let collect =
+            |f: &dyn Fn(&EpisodeMetrics) -> f64| episodes.iter().map(f).collect::<Vec<f64>>();
         Self {
             episodes: episodes.len(),
             discounted_return: MeanStdErr::from_samples(&collect(&|m| m.discounted_return)),
-            final_plcs_offline: MeanStdErr::from_samples(&collect(&|m| m.final_plcs_offline as f64)),
+            final_plcs_offline: MeanStdErr::from_samples(&collect(&|m| {
+                m.final_plcs_offline as f64
+            })),
             average_it_cost: MeanStdErr::from_samples(&collect(&|m| m.average_it_cost())),
-            average_nodes_compromised: MeanStdErr::from_samples(
-                &collect(&|m| m.average_nodes_compromised()),
-            ),
+            average_nodes_compromised: MeanStdErr::from_samples(&collect(&|m| {
+                m.average_nodes_compromised()
+            })),
         }
     }
 }

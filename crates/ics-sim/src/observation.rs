@@ -129,7 +129,11 @@ mod tests {
                 NodeObservation::quiet(NodeId::from_index(0), false),
                 NodeObservation::quiet(NodeId::from_index(1), false),
             ],
-            plc_status: vec![PlcStatus::Nominal, PlcStatus::Disrupted, PlcStatus::Destroyed],
+            plc_status: vec![
+                PlcStatus::Nominal,
+                PlcStatus::Disrupted,
+                PlcStatus::Destroyed,
+            ],
             alerts: Vec::new(),
         };
         assert_eq!(obs.plcs_offline(), 2);

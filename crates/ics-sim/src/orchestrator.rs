@@ -206,9 +206,10 @@ impl fmt::Display for PlcRecoveryKind {
 }
 
 /// A single defender action submitted to the environment for one time step.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum DefenderAction {
     /// Take no action this step.
+    #[default]
     NoAction,
     /// Investigate a node.
     Investigate {
@@ -280,12 +281,6 @@ impl DefenderAction {
     }
 }
 
-impl Default for DefenderAction {
-    fn default() -> Self {
-        DefenderAction::NoAction
-    }
-}
-
 impl fmt::Display for DefenderAction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -329,7 +324,10 @@ mod tests {
         assert_eq!(MitigationKind::ReimageNode.cost_host(), 0.05);
         assert_eq!(MitigationKind::ReimageNode.cost_server(), 0.1);
 
-        assert_eq!(MitigationKind::Reboot.countermeasure(), Some(C::RebootPersistence));
+        assert_eq!(
+            MitigationKind::Reboot.countermeasure(),
+            Some(C::RebootPersistence)
+        );
         assert_eq!(
             MitigationKind::ResetPassword.countermeasure(),
             Some(C::CredentialPersistence)

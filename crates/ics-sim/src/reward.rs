@@ -63,7 +63,8 @@ impl RewardConfig {
 
     /// The full per-step task reward (eq. 1).
     pub fn step_reward(&self, state: &NetworkState, completed_action_cost: f64, time: u64) -> f64 {
-        self.plc_term(state) + self.lambda * self.it_term(completed_action_cost)
+        self.plc_term(state)
+            + self.lambda * self.it_term(completed_action_cost)
             + self.terminal_term(time)
     }
 
@@ -222,7 +223,10 @@ mod tests {
         assert!(shaping.shaping_reward(&compromised, &clean) > 0.0);
         // No change in compromise ≈ no shaping signal.
         assert!(shaping.shaping_reward(&clean, &clean).abs() < 1e-9);
-        assert_eq!(ShapingConfig::disabled().shaping_reward(&clean, &compromised), 0.0);
+        assert_eq!(
+            ShapingConfig::disabled().shaping_reward(&clean, &compromised),
+            0.0
+        );
     }
 
     #[test]

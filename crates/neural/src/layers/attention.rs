@@ -160,7 +160,11 @@ mod tests {
     #[test]
     fn attention_rows_sum_to_one() {
         let mut attn = SelfAttention::new(4, 8, 2, 1);
-        let x = Matrix::from_rows(&[&[1.0, 0.0, 0.0, 0.0], &[0.0, 1.0, 0.0, 0.0], &[0.0, 0.0, 1.0, 0.0]]);
+        let x = Matrix::from_rows(&[
+            &[1.0, 0.0, 0.0, 0.0],
+            &[0.0, 1.0, 0.0, 0.0],
+            &[0.0, 0.0, 1.0, 0.0],
+        ]);
         let _ = attn.forward(&x);
         let a = attn.last_attention().unwrap();
         for i in 0..a.rows() {

@@ -34,7 +34,10 @@ impl Conv1d {
         stride: usize,
         seed: u64,
     ) -> Self {
-        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        assert!(
+            kernel > 0 && stride > 0,
+            "kernel and stride must be positive"
+        );
         Self {
             weight: Param::new(xavier_uniform(kernel * channels_in, channels_out, seed)),
             bias: Param::new(Matrix::zeros(1, channels_out)),
@@ -113,7 +116,8 @@ impl Layer for Conv1d {
             let start = t * self.stride;
             for k in 0..self.kernel {
                 for c in 0..self.channels_in {
-                    let v = grad_input.get(start + k, c) + grad_window.get(0, k * self.channels_in + c);
+                    let v =
+                        grad_input.get(start + k, c) + grad_window.get(0, k * self.channels_in + c);
                     grad_input.set(start + k, c, v);
                 }
             }

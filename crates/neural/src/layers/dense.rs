@@ -43,7 +43,9 @@ impl Dense {
 impl Layer for Dense {
     fn forward(&mut self, input: &Matrix) -> Matrix {
         self.cached_input = Some(input.clone());
-        input.matmul(&self.weight.value).add_row_broadcast(&self.bias.value)
+        input
+            .matmul(&self.weight.value)
+            .add_row_broadcast(&self.bias.value)
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {

@@ -397,7 +397,12 @@ impl fmt::Display for Matrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Matrix {}x{}", self.rows, self.cols)?;
         for i in 0..self.rows.min(8) {
-            let row: Vec<String> = self.row(i).iter().take(8).map(|v| format!("{v:.4}")).collect();
+            let row: Vec<String> = self
+                .row(i)
+                .iter()
+                .take(8)
+                .map(|v| format!("{v:.4}"))
+                .collect();
             writeln!(f, "  [{}]", row.join(", "))?;
         }
         Ok(())

@@ -13,7 +13,10 @@ use rand::Rng;
 ///
 /// Panics if `q_values` is empty.
 pub fn epsilon_greedy(q_values: &[f32], epsilon: f64, rng: &mut StdRng) -> usize {
-    assert!(!q_values.is_empty(), "cannot select an action from no values");
+    assert!(
+        !q_values.is_empty(),
+        "cannot select an action from no values"
+    );
     if rng.gen_bool(epsilon.clamp(0.0, 1.0)) {
         rng.gen_range(0..q_values.len())
     } else {
@@ -27,7 +30,10 @@ pub fn epsilon_greedy(q_values: &[f32], epsilon: f64, rng: &mut StdRng) -> usize
 ///
 /// Panics if `q_values` is empty.
 pub fn greedy(q_values: &[f32]) -> usize {
-    assert!(!q_values.is_empty(), "cannot select an action from no values");
+    assert!(
+        !q_values.is_empty(),
+        "cannot select an action from no values"
+    );
     let mut best = 0;
     let mut best_value = q_values[0];
     for (i, v) in q_values.iter().enumerate().skip(1) {

@@ -163,7 +163,11 @@ impl<T: Clone> PrioritizedReplay<T> {
                 .expect("sampled index must hold an item");
             out.push(Sampled {
                 index,
-                weight: if max_weight > 0.0 { weight / max_weight } else { 1.0 },
+                weight: if max_weight > 0.0 {
+                    weight / max_weight
+                } else {
+                    1.0
+                },
                 item,
             });
         }
@@ -239,7 +243,10 @@ mod tests {
             }
         }
         let frac = count_3 as f64 / total as f64;
-        assert!(frac > 0.5, "high-priority item sampled only {frac:.2} of the time");
+        assert!(
+            frac > 0.5,
+            "high-priority item sampled only {frac:.2} of the time"
+        );
     }
 
     #[test]

@@ -169,7 +169,7 @@ impl<S: Clone> DqnTrainer<S> {
     /// have elapsed for the caller to run a gradient update now.
     pub fn should_update(&self) -> bool {
         self.replay.len() >= self.config.warmup_transitions
-            && self.env_steps % self.config.update_every == 0
+            && self.env_steps.is_multiple_of(self.config.update_every)
     }
 
     /// Samples a prioritized batch for training.
@@ -296,7 +296,10 @@ mod tests {
 
     #[test]
     fn bootstrap_discount_respects_termination() {
-        let trainer: DqnTrainer<u64> = DqnTrainer::new(DqnConfig { gamma: 0.9, ..DqnConfig::smoke() });
+        let trainer: DqnTrainer<u64> = DqnTrainer::new(DqnConfig {
+            gamma: 0.9,
+            ..DqnConfig::smoke()
+        });
         let alive = NStepTransition {
             state: 0u64,
             action: 0,
@@ -305,7 +308,10 @@ mod tests {
             done: false,
             steps: 3,
         };
-        let dead = NStepTransition { done: true, ..alive.clone() };
+        let dead = NStepTransition {
+            done: true,
+            ..alive.clone()
+        };
         assert!((trainer.bootstrap_discount(&alive) - 0.9f64.powi(3)).abs() < 1e-12);
         assert_eq!(trainer.bootstrap_discount(&dead), 0.0);
     }

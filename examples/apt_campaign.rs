@@ -34,7 +34,7 @@ fn main() {
         alerts_in_window += step.observation.total_alerts();
 
         let phase_changed = step.info.apt_phase != last_phase;
-        let report_interval = step.observation.time % 500 == 0;
+        let report_interval = step.observation.time.is_multiple_of(500);
         if phase_changed || report_interval {
             println!(
                 "{:>4} | {:<20} | {:>11} | {:>6} | {:>12}",

@@ -62,5 +62,8 @@ fn main() {
     println!("  samples:              {}", report.samples);
     println!("  mean KL divergence:   {:.4}", report.mean_kl);
     println!("  max KL divergence:    {:.3}", report.max_kl);
-    println!("  compromise accuracy:  {:.1}%", report.compromise_accuracy * 100.0);
+    println!(
+        "  compromise accuracy:  {:.1}%",
+        report.compromise_accuracy * 100.0
+    );
 }

@@ -33,9 +33,15 @@ fn main() {
 
     println!();
     println!("Defender: {}", policy.name());
-    println!("  discounted return:        {:.1}", metrics.discounted_return);
+    println!(
+        "  discounted return:        {:.1}",
+        metrics.discounted_return
+    );
     println!("  final PLCs offline:       {}", metrics.final_plcs_offline);
-    println!("  average IT cost per hour: {:.3}", metrics.average_it_cost());
+    println!(
+        "  average IT cost per hour: {:.3}",
+        metrics.average_it_cost()
+    );
     println!(
         "  average nodes compromised: {:.2}",
         metrics.average_nodes_compromised()

@@ -46,7 +46,10 @@ fn main() {
         seed: 1_000,
     };
     println!();
-    println!("Evaluating on {} held-out attack episodes...", eval.episodes);
+    println!(
+        "Evaluating on {} held-out attack episodes...",
+        eval.episodes
+    );
     let acso = evaluate_policy(&mut trained.agent, &eval);
     let playbook = evaluate_policy(&mut PlaybookPolicy::new(), &eval);
 

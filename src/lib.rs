@@ -1,0 +1,33 @@
+//! ACSO — reproduction of *Autonomous Attack Mitigation for Industrial
+//! Control Systems* (DSN 2022).
+//!
+//! This facade crate re-exports the workspace's seven crates under one roof
+//! so integration tests, examples and downstream users can depend on a
+//! single package. The functional split mirrors the paper's Fig. 7:
+//!
+//! * [`net`] (`ics-net`) — static Purdue-model network topology;
+//! * [`sim`] (`ics-sim`) — the INASIM attack/defence simulator (§3.1);
+//! * [`dbn`] — the dynamic Bayesian network belief filter (§3.2);
+//! * [`neural`] — from-scratch NN layers used by the Q-networks;
+//! * [`rl`] — DQN machinery (replay, n-step returns, schedules);
+//! * [`core`] (`acso-core`) — the agent, baselines, training and evaluation;
+//! * [`bench`] (`acso-bench`) — paper-figure experiment plumbing.
+//!
+//! # Example
+//!
+//! ```
+//! // Run a short undefended episode on the tiny topology.
+//! use acso::sim::{DefenderAction, IcsEnvironment, SimConfig};
+//!
+//! let mut env = IcsEnvironment::new(SimConfig::tiny().with_max_time(10).with_seed(1));
+//! let metrics = env.run_episode(|_obs, _env| vec![DefenderAction::NoAction]);
+//! assert!(metrics.steps > 0);
+//! ```
+
+pub use acso_bench as bench;
+pub use acso_core as core;
+pub use dbn;
+pub use ics_net as net;
+pub use ics_sim as sim;
+pub use neural;
+pub use rl;

@@ -1,0 +1,81 @@
+//! CI smoke test: a short tiny-topology episode under each baseline policy.
+//!
+//! This is deliberately small (48 simulated hours, one seed per policy) so it
+//! finishes in seconds while still exercising the full sim → DBN filter →
+//! policy → environment loop end-to-end: the expert baseline carries a DBN
+//! filter updated from real observations, and all three policies submit their
+//! actions back into the simulator every step.
+
+use acso_core::baselines::{DbnExpertPolicy, PlaybookPolicy, SemiRandomPolicy};
+use acso_core::policy::DefenderPolicy;
+use dbn::learn::{learn_model, LearnConfig};
+use ics_sim::{IcsEnvironment, SimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const EPISODE_HOURS: u64 = 48;
+
+fn run_episode(policy: &mut dyn DefenderPolicy) -> (usize, f64) {
+    let sim = SimConfig::tiny().with_max_time(EPISODE_HOURS).with_seed(99);
+    let mut env = IcsEnvironment::new(sim);
+    let mut obs = env.reset();
+    policy.reset(env.topology());
+    let mut rng = StdRng::seed_from_u64(7);
+
+    let mut steps = 0usize;
+    let mut total_reward = 0.0f64;
+    loop {
+        let actions = policy.decide(&obs, env.topology(), &mut rng);
+        assert!(
+            !actions.is_empty(),
+            "{}: policies must always submit at least one action (NoAction counts)",
+            policy.name()
+        );
+        let step = env.step(&actions);
+        assert!(
+            step.reward.is_finite(),
+            "{}: non-finite reward at step {steps}",
+            policy.name()
+        );
+        steps += 1;
+        total_reward += step.reward;
+        obs = step.observation;
+        if step.done {
+            break;
+        }
+        assert!(
+            steps <= EPISODE_HOURS as usize + 1,
+            "{}: episode failed to terminate by max_time",
+            policy.name()
+        );
+    }
+    (steps, total_reward)
+}
+
+#[test]
+fn all_baselines_complete_a_48_step_tiny_episode() {
+    let model = learn_model(&LearnConfig {
+        episodes: 1,
+        seed: 5,
+        sim: SimConfig::tiny().with_max_time(EPISODE_HOURS),
+    });
+
+    let mut random = SemiRandomPolicy::new();
+    let mut playbook = PlaybookPolicy::new();
+    let mut expert = DbnExpertPolicy::new(model);
+    let policies: [&mut dyn DefenderPolicy; 3] = [&mut random, &mut playbook, &mut expert];
+
+    for policy in policies {
+        let (steps, total_reward) = run_episode(policy);
+        assert!(
+            steps >= EPISODE_HOURS as usize / 2,
+            "{}: episode ended suspiciously early after {steps} steps",
+            policy.name()
+        );
+        assert!(
+            total_reward.is_finite(),
+            "{}: total reward must be finite",
+            policy.name()
+        );
+    }
+}

@@ -59,13 +59,11 @@ fn every_policy_runs_on_the_full_paper_topology() {
 fn undefended_attack_damages_more_plcs_than_playbook_defense() {
     // The headline qualitative claim behind Table 2: automated coordinated
     // response protects the PLCs better than no response.
-    let sim = SimConfig::small()
-        .with_max_time(3_500)
-        .with_apt(
-            AptProfile::apt2()
-                .with_objective(AttackObjective::Disrupt)
-                .with_vector(AttackVector::Opc),
-        );
+    let sim = SimConfig::small().with_max_time(3_500).with_apt(
+        AptProfile::apt2()
+            .with_objective(AttackObjective::Disrupt)
+            .with_vector(AttackVector::Opc),
+    );
     let episodes = 3;
 
     let mut undefended_damage = 0usize;

@@ -1,0 +1,10 @@
+//! Vendored facade standing in for [`serde`](https://serde.rs) in an
+//! offline build environment.
+//!
+//! It re-exports the no-op `Serialize`/`Deserialize` derives from the
+//! sibling `serde_derive` stub so that `use serde::{Deserialize, Serialize}`
+//! and `#[derive(Serialize, Deserialize)]` compile unchanged across the
+//! workspace. No serialisation framework is provided because nothing in the
+//! workspace serialises yet; see `vendor/README.md` for the swap-out path.
+
+pub use serde_derive::{Deserialize, Serialize};
