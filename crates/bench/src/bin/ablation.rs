@@ -73,6 +73,7 @@ fn main() {
         },
         episodes: experiment.train_episodes,
         dbn_episodes: experiment.dbn_episodes,
+        dbn_threads: None,
         seed: experiment.seed,
     };
 

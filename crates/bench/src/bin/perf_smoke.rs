@@ -1,0 +1,185 @@
+//! Perf-trajectory smoke benchmark: measures simulator rollout throughput
+//! (serial vs parallel) and neural forward/backward cost, and emits a
+//! `BENCH_<n>.json` snapshot so the repository tracks performance across
+//! PRs.
+//!
+//! Usage:
+//!
+//! ```sh
+//! cargo run --release -p acso-bench --bin perf_smoke -- [--quick] [--out BENCH_x.json]
+//! ```
+//!
+//! `--quick` shrinks the workload for CI; `--out` writes the JSON snapshot
+//! (stdout always gets a human-readable summary). `ACSO_THREADS` pins the
+//! parallel worker count.
+
+use acso_core::agent::{AttentionQNet, BaselineConvQNet, QNetwork};
+use acso_core::baselines::PlaybookPolicy;
+use acso_core::features::NodeFeatureEncoder;
+use acso_core::rollout::{rollout, rollout_serial, RolloutPlan};
+use acso_core::{ActionSpace, StateFeatures};
+use dbn::learn::{learn_model, LearnConfig};
+use dbn::DbnFilter;
+use ics_net::TopologySpec;
+use ics_sim::{IcsEnvironment, SimConfig};
+use std::time::Instant;
+
+struct SimThroughput {
+    episodes: usize,
+    hours: u64,
+    serial_steps_per_sec: f64,
+    parallel_steps_per_sec: f64,
+    threads: usize,
+}
+
+fn measure_sim_throughput(episodes: usize, hours: u64) -> SimThroughput {
+    let sim = SimConfig::small().with_max_time(hours);
+    let serial_plan = RolloutPlan::new(sim.clone(), episodes, 7).with_threads(1);
+    let parallel_plan = RolloutPlan::new(sim, episodes, 7);
+    let total_steps = (episodes as u64 * hours) as f64;
+
+    // Warm-up (page in code and allocator state), then timed runs.
+    let _ = rollout_serial(&mut PlaybookPolicy::new(), &serial_plan);
+    let start = Instant::now();
+    let serial = rollout_serial(&mut PlaybookPolicy::new(), &serial_plan);
+    let serial_time = start.elapsed();
+    let start = Instant::now();
+    let parallel = rollout(&parallel_plan, || Box::new(PlaybookPolicy::new()));
+    let parallel_time = start.elapsed();
+    assert_eq!(serial, parallel, "parallel rollout must be bit-identical");
+
+    SimThroughput {
+        episodes,
+        hours,
+        serial_steps_per_sec: total_steps / serial_time.as_secs_f64(),
+        parallel_steps_per_sec: total_steps / parallel_time.as_secs_f64(),
+        threads: parallel_plan.threads,
+    }
+}
+
+fn features_for(spec: TopologySpec) -> (StateFeatures, ActionSpace) {
+    let sim = SimConfig {
+        topology: spec,
+        ..SimConfig::tiny()
+    }
+    .with_max_time(50);
+    let model = learn_model(&LearnConfig {
+        episodes: 1,
+        seed: 0,
+        sim: sim.clone(),
+    });
+    let mut env = IcsEnvironment::new(sim);
+    let obs = env.reset();
+    let encoder = NodeFeatureEncoder::new(env.topology());
+    let filter = DbnFilter::new(model, env.topology().node_count());
+    (
+        encoder.encode(&obs, &filter),
+        ActionSpace::new(env.topology()),
+    )
+}
+
+struct NnForward {
+    attention_forward_ns: f64,
+    attention_forward_backward_ns: f64,
+    baseline_forward_ns: f64,
+}
+
+fn measure_nn_forward(iters: usize) -> NnForward {
+    let (features, space) = features_for(TopologySpec::paper_small());
+    let mut attention = AttentionQNet::new(space.clone(), 0);
+    let mut baseline = BaselineConvQNet::new(space, 0);
+
+    let time_per_op = |f: &mut dyn FnMut()| {
+        f(); // warm-up (fills the scratch pools)
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        start.elapsed().as_nanos() as f64 / iters as f64
+    };
+
+    let attention_forward_ns = time_per_op(&mut || {
+        std::hint::black_box(attention.q_values(&features));
+    });
+    let attention_forward_backward_ns = time_per_op(&mut || {
+        let q = attention.q_values(&features);
+        let mut grad = vec![0.0f32; q.len()];
+        grad[1] = 1.0;
+        attention.backward(&grad);
+        std::hint::black_box(q);
+    });
+    let baseline_forward_ns = time_per_op(&mut || {
+        std::hint::black_box(baseline.q_values(&features));
+    });
+
+    NnForward {
+        attention_forward_ns,
+        attention_forward_backward_ns,
+        baseline_forward_ns,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let (episodes, hours, iters) = if quick { (8, 250, 100) } else { (32, 500, 400) };
+
+    println!(
+        "== perf_smoke ({}) ==",
+        if quick { "quick" } else { "full" }
+    );
+    let sim = measure_sim_throughput(episodes, hours);
+    println!(
+        "sim_throughput: {} episodes x {} h (playbook, small topology)",
+        sim.episodes, sim.hours
+    );
+    println!("  serial:   {:>12.0} steps/sec", sim.serial_steps_per_sec);
+    println!(
+        "  parallel: {:>12.0} steps/sec ({} threads, {:.2}x)",
+        sim.parallel_steps_per_sec,
+        sim.threads,
+        sim.parallel_steps_per_sec / sim.serial_steps_per_sec
+    );
+
+    let nn = measure_nn_forward(iters);
+    println!("nn_forward (paper_small topology, {iters} iters):");
+    println!(
+        "  attention forward:          {:>10.0} ns/op",
+        nn.attention_forward_ns
+    );
+    println!(
+        "  attention forward+backward: {:>10.0} ns/op",
+        nn.attention_forward_backward_ns
+    );
+    println!(
+        "  baseline forward:           {:>10.0} ns/op",
+        nn.baseline_forward_ns
+    );
+
+    let json = format!(
+        "{{\n  \"schema\": \"acso-bench-smoke/v1\",\n  \"mode\": \"{mode}\",\n  \"threads\": {threads},\n  \"sim_throughput\": {{\n    \"policy\": \"Playbook\",\n    \"topology\": \"paper_small\",\n    \"episodes\": {episodes},\n    \"hours_per_episode\": {hours},\n    \"serial_steps_per_sec\": {serial:.0},\n    \"parallel_steps_per_sec\": {parallel:.0},\n    \"parallel_speedup\": {speedup:.3}\n  }},\n  \"nn_forward\": {{\n    \"topology\": \"paper_small\",\n    \"iters\": {iters},\n    \"attention_forward_ns_per_op\": {af:.0},\n    \"attention_forward_backward_ns_per_op\": {afb:.0},\n    \"baseline_forward_ns_per_op\": {bf:.0}\n  }}\n}}\n",
+        mode = if quick { "quick" } else { "full" },
+        threads = sim.threads,
+        episodes = sim.episodes,
+        hours = sim.hours,
+        serial = sim.serial_steps_per_sec,
+        parallel = sim.parallel_steps_per_sec,
+        speedup = sim.parallel_steps_per_sec / sim.serial_steps_per_sec,
+        iters = iters,
+        af = nn.attention_forward_ns,
+        afb = nn.attention_forward_backward_ns,
+        bf = nn.baseline_forward_ns,
+    );
+    if let Some(path) = out_path {
+        std::fs::write(&path, &json).expect("failed to write benchmark snapshot");
+        println!("wrote {path}");
+    } else {
+        println!("{json}");
+    }
+}

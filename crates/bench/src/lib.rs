@@ -54,12 +54,17 @@ impl Scale {
     }
 }
 
-/// Prints the standard experiment header: what is being reproduced and at
-/// which scale.
+/// Prints the standard experiment header: what is being reproduced, at which
+/// scale, and over how many rollout worker threads.
 pub fn print_header(artefact: &str, scale: Scale) {
     println!("==========================================================");
     println!("Reproducing {artefact}");
     println!("Scale: {}", scale.label());
+    println!(
+        "Rollout threads: {} (override with {})",
+        acso_runtime::available_threads(),
+        acso_runtime::THREADS_ENV_VAR
+    );
     println!("(Use --smoke / --quick / --paper to change; see EXPERIMENTS.md)");
     println!("==========================================================");
 }

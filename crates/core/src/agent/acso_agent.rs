@@ -47,6 +47,11 @@ impl AgentConfig {
 }
 
 /// The ACSO defender agent.
+///
+/// `Clone` snapshots the whole agent — networks, filter, replay contents —
+/// which is how the parallel rollout engine gives every evaluation worker
+/// its own instance of a trained agent.
+#[derive(Clone)]
 pub struct AcsoAgent<N: QNetwork + Clone> {
     online: N,
     target: N,
@@ -60,6 +65,11 @@ pub struct AcsoAgent<N: QNetwork + Clone> {
     /// (evaluation).
     explore: bool,
     losses: Vec<f32>,
+    /// Reusable feature buffer for the greedy evaluation path, where the
+    /// encoding is dead as soon as the action is chosen.
+    eval_features: StateFeatures,
+    /// Reusable flat-gradient buffer for training updates.
+    grad_buf: Vec<f32>,
 }
 
 impl<N: QNetwork + Clone> AcsoAgent<N> {
@@ -81,12 +91,36 @@ impl<N: QNetwork + Clone> AcsoAgent<N> {
             rng: StdRng::seed_from_u64(config.seed),
             explore: true,
             losses: Vec::new(),
+            eval_features: StateFeatures::empty(),
+            grad_buf: Vec::new(),
         }
     }
 
     /// The flat action space the agent selects from.
     pub fn action_space(&self) -> &ActionSpace {
         &self.action_space
+    }
+
+    /// A lightweight copy for evaluation workers: networks, belief filter
+    /// and encoder are cloned, but the replay buffer, n-step window and
+    /// optimizer state are reset — greedy evaluation never reads them, and
+    /// a full `Clone` would otherwise copy the entire training history per
+    /// worker. The copy starts with exploration disabled.
+    pub fn eval_clone(&self) -> Self {
+        Self {
+            online: self.online.clone(),
+            target: self.target.clone(),
+            trainer: DqnTrainer::new(*self.trainer.config()),
+            optimizer: Adam::new(self.optimizer.learning_rate()),
+            action_space: self.action_space.clone(),
+            encoder: self.encoder.clone(),
+            filter: self.filter.clone(),
+            rng: self.rng.clone(),
+            explore: false,
+            losses: Vec::new(),
+            eval_features: StateFeatures::empty(),
+            grad_buf: Vec::new(),
+        }
     }
 
     /// Current exploration rate.
@@ -136,6 +170,17 @@ impl<N: QNetwork + Clone> AcsoAgent<N> {
         (action, features)
     }
 
+    /// Greedy action selection for evaluation: encodes into a reusable
+    /// buffer (no per-step feature allocation) and consumes no randomness,
+    /// so cloned agents decide identically regardless of call history.
+    fn act_greedy(&mut self, observation: &Observation) -> usize {
+        self.filter.update(observation);
+        self.encoder
+            .encode_into(observation, &self.filter, &mut self.eval_features);
+        let q = self.online.q_values(&self.eval_features);
+        rl::policy::greedy(&q)
+    }
+
     /// Records a transition for learning.
     pub fn store_transition(
         &mut self,
@@ -156,30 +201,47 @@ impl<N: QNetwork + Clone> AcsoAgent<N> {
 
     /// Runs one gradient update if the trainer says it is time. Returns the
     /// batch loss when an update happened.
+    ///
+    /// The update is structured for throughput: transitions are read from
+    /// the replay buffer by reference (no per-sample clone of two feature
+    /// sets), the double-DQN bootstrap runs as one batched forward through
+    /// each network (a single matmul chain where the network supports it),
+    /// and the flat action-gradient buffer is reused across samples.
     pub fn maybe_train(&mut self) -> Option<f32> {
         if !self.trainer.should_update() {
             return None;
         }
-        let batch = self.trainer.sample_batch(&mut self.rng);
-        if batch.is_empty() {
+        let picks = self.trainer.sample_batch_indices(&mut self.rng);
+        if picks.is_empty() {
             return None;
         }
         let gamma = self.trainer.config().gamma;
-        let mut errors = Vec::with_capacity(batch.len());
+        let batch_len = picks.len();
+        let mut errors = Vec::with_capacity(batch_len);
         let mut loss_sum = 0.0f32;
         self.online.zero_grad();
 
-        for sample in &batch {
-            let t = &sample.item;
-            // Double DQN target: the online network chooses the bootstrap
-            // action, the target network evaluates it.
+        // Double-DQN bootstrap for every non-terminal sample, batched: the
+        // online network chooses the bootstrap action, the target network
+        // evaluates it. Neither pass needs a backward, so batching is safe.
+        let boot_states: Vec<&StateFeatures> = picks
+            .iter()
+            .filter(|(index, _)| !self.trainer.transition(*index).done)
+            .map(|(index, _)| &self.trainer.transition(*index).final_state)
+            .collect();
+        let online_next = self.online.q_values_batch(&boot_states);
+        let target_next = self.target.q_values_batch(&boot_states);
+        let mut bootstraps = online_next
+            .iter()
+            .zip(&target_next)
+            .map(|(online_q, target_q)| f64::from(target_q[rl::policy::greedy(online_q)]));
+
+        for (index, weight) in &picks {
+            let t = self.trainer.transition(*index);
             let bootstrap = if t.done {
                 0.0
             } else {
-                let online_next = self.online.q_values(&t.final_state);
-                let best = rl::policy::greedy(&online_next);
-                let target_next = self.target.q_values(&t.final_state);
-                f64::from(target_next[best])
+                bootstraps.next().expect("one bootstrap per live sample")
             };
             let td_target = t.return_n + t.bootstrap_discount(gamma) * bootstrap;
 
@@ -189,10 +251,11 @@ impl<N: QNetwork + Clone> AcsoAgent<N> {
 
             // Huber gradient on the selected action only, importance-weighted.
             let delta = 1.0f64;
-            let grad_value = td_error.clamp(-delta, delta) * sample.weight / batch.len() as f64;
-            let mut grad = vec![0.0f32; q.len()];
-            grad[t.action] = grad_value as f32;
-            self.online.backward(&grad);
+            let grad_value = td_error.clamp(-delta, delta) * weight / batch_len as f64;
+            self.grad_buf.clear();
+            self.grad_buf.resize(q.len(), 0.0);
+            self.grad_buf[t.action] = grad_value as f32;
+            self.online.backward(&self.grad_buf);
 
             let huber = if td_error.abs() <= delta {
                 0.5 * td_error * td_error
@@ -200,7 +263,7 @@ impl<N: QNetwork + Clone> AcsoAgent<N> {
                 delta * (td_error.abs() - 0.5 * delta)
             };
             loss_sum += huber as f32;
-            errors.push((sample.index, td_error.abs()));
+            errors.push((*index, td_error.abs()));
         }
 
         self.optimizer.step(&mut self.online.params_mut());
@@ -208,7 +271,7 @@ impl<N: QNetwork + Clone> AcsoAgent<N> {
         if sync {
             self.target.copy_params_from(&mut self.online);
         }
-        let loss = loss_sum / batch.len() as f32;
+        let loss = loss_sum / batch_len as f32;
         self.losses.push(loss);
         Some(loss)
     }
@@ -239,10 +302,7 @@ impl<N: QNetwork + Clone> DefenderPolicy for AcsoAgent<N> {
         _topology: &Topology,
         _rng: &mut StdRng,
     ) -> Vec<DefenderAction> {
-        let explore = self.explore;
-        self.explore = false;
-        let (action, _) = self.select_action(observation);
-        self.explore = explore;
+        let action = self.act_greedy(observation);
         vec![self.action_space.decode(action)]
     }
 }

@@ -11,7 +11,7 @@ use crate::actions::{ActionSpace, ACTIONS_PER_NODE, ACTIONS_PER_PLC};
 use crate::agent::QNetwork;
 use crate::features::{StateFeatures, NODE_FEATURE_DIM, PLC_FEATURE_DIM, PLC_SUMMARY_DIM};
 use neural::layers::{Activation, Dense, SelfAttention};
-use neural::{Layer, Matrix, Param};
+use neural::{Layer, Matrix, Param, Scratch};
 
 const EMBED_HIDDEN: usize = 64;
 const EMBED_OUT: usize = 32;
@@ -53,6 +53,7 @@ pub struct AttentionQNet {
     noact_head2: Dense,
     noact_out: Activation,
 
+    scratch: Scratch,
     cache: Option<ForwardCache>,
 }
 
@@ -97,6 +98,7 @@ impl AttentionQNet {
             noact_act: Activation::relu(),
             noact_head2: Dense::new(HEAD_HIDDEN, 1, seed.wrapping_add(13)),
             noact_out: Activation::tanh(),
+            scratch: Scratch::new(),
             cache: None,
         }
     }
@@ -105,15 +107,17 @@ impl AttentionQNet {
     pub fn action_space(&self) -> &ActionSpace {
         &self.action_space
     }
+}
 
-    fn broadcast_rows(row: &Matrix, rows: usize) -> Matrix {
-        let mut out = Matrix::zeros(rows, row.cols());
-        for i in 0..rows {
-            for j in 0..row.cols() {
-                out.set(i, j, row.get(0, j));
-            }
-        }
-        out
+/// `hcat` of two row blocks written into a pooled matrix: every output row
+/// is `left.row(i) ++ right_row` (with `right` broadcast when single-row).
+fn hcat_broadcast_into(left: &Matrix, right: &Matrix, out: &mut Matrix) {
+    let lc = left.cols();
+    for i in 0..out.rows() {
+        let right_row = if right.rows() == 1 { 0 } else { i };
+        let row = out.row_mut(i);
+        row[..lc].copy_from_slice(left.row(i));
+        row[lc..].copy_from_slice(right.row(right_row));
     }
 }
 
@@ -121,86 +125,135 @@ impl QNetwork for AttentionQNet {
     fn q_values(&mut self, features: &StateFeatures) -> Vec<f32> {
         let n = features.node_count();
         let p = features.plc_count();
+        let s = &mut self.scratch;
 
         // Shared per-node embedding.
-        let e = self
-            .embed_act1
-            .forward(&self.embed1.forward(&features.nodes));
-        let e = self.embed_act2.forward(&self.embed2.forward(&e));
-        let e = self.embed_act3.forward(&self.embed3.forward(&e));
+        let x = self.embed1.forward(&features.nodes, s);
+        let y = self.embed_act1.forward(&x, s);
+        s.recycle(x);
+        let x = self.embed2.forward(&y, s);
+        s.recycle(y);
+        let y = self.embed_act2.forward(&x, s);
+        s.recycle(x);
+        let x = self.embed3.forward(&y, s);
+        s.recycle(y);
+        let e = self.embed_act3.forward(&x, s);
+        s.recycle(x);
 
         // Global attention over node embeddings.
-        let ctx = self.attn1.forward(&e);
-        let ctx = self.attn2.forward(&ctx);
-        let mean_ctx = ctx.mean_rows();
+        let x = self.attn1.forward(&e, s);
+        s.recycle(e);
+        let ctx = self.attn2.forward(&x, s);
+        s.recycle(x);
+        let mut mean_ctx = s.take(1, CTX_DIM);
+        ctx.mean_rows_into(&mut mean_ctx);
 
-        // Per-node head input: context + PLC summary.
-        let plc_sum = Self::broadcast_rows(&features.plc_summary, n);
-        let h = ctx.hcat(&plc_sum);
-
-        let host_in = h.select_rows(&features.host_rows);
-        let server_in = h.select_rows(&features.server_rows);
+        // Per-node head input: context + PLC summary (broadcast).
+        let mut h = s.take(n, CTX_DIM + PLC_SUMMARY_DIM);
+        hcat_broadcast_into(&ctx, &features.plc_summary, &mut h);
+        s.recycle(ctx);
 
         let q_host = if features.host_rows.is_empty() {
-            Matrix::zeros(0, ACTIONS_PER_NODE)
+            s.take(0, ACTIONS_PER_NODE)
         } else {
-            let x = self.host_act.forward(&self.host_head1.forward(&host_in));
-            self.host_out.forward(&self.host_head2.forward(&x))
+            let mut host_in = s.take(features.host_rows.len(), h.cols());
+            h.select_rows_into(&features.host_rows, &mut host_in);
+            let x = self.host_head1.forward(&host_in, s);
+            s.recycle(host_in);
+            let y = self.host_act.forward(&x, s);
+            s.recycle(x);
+            let x = self.host_head2.forward(&y, s);
+            s.recycle(y);
+            let q = self.host_out.forward(&x, s);
+            s.recycle(x);
+            q
         };
         let q_server = if features.server_rows.is_empty() {
-            Matrix::zeros(0, ACTIONS_PER_NODE)
+            s.take(0, ACTIONS_PER_NODE)
         } else {
-            let x = self
-                .server_act
-                .forward(&self.server_head1.forward(&server_in));
-            self.server_out.forward(&self.server_head2.forward(&x))
+            let mut server_in = s.take(features.server_rows.len(), h.cols());
+            h.select_rows_into(&features.server_rows, &mut server_in);
+            let x = self.server_head1.forward(&server_in, s);
+            s.recycle(server_in);
+            let y = self.server_act.forward(&x, s);
+            s.recycle(x);
+            let x = self.server_head2.forward(&y, s);
+            s.recycle(y);
+            let q = self.server_out.forward(&x, s);
+            s.recycle(x);
+            q
         };
+        s.recycle(h);
 
         // No-action value from the pooled context.
-        let noact_in = mean_ctx.hcat(&features.plc_summary);
-        let x = self.noact_act.forward(&self.noact_head1.forward(&noact_in));
-        let q_noact = self.noact_out.forward(&self.noact_head2.forward(&x));
+        let mut noact_in = s.take(1, CTX_DIM + PLC_SUMMARY_DIM);
+        hcat_broadcast_into(&mean_ctx, &features.plc_summary, &mut noact_in);
+        let x = self.noact_head1.forward(&noact_in, s);
+        s.recycle(noact_in);
+        let y = self.noact_act.forward(&x, s);
+        s.recycle(x);
+        let x = self.noact_head2.forward(&y, s);
+        s.recycle(y);
+        let q_noact = self.noact_out.forward(&x, s);
+        s.recycle(x);
 
-        // PLC head: per-PLC status one-hot + pooled context.
+        // PLC head: per-PLC status one-hot + pooled context (broadcast).
         let q_plc = if p == 0 {
-            Matrix::zeros(0, ACTIONS_PER_PLC)
+            s.take(0, ACTIONS_PER_PLC)
         } else {
-            let plc_in = features.plcs.hcat(&Self::broadcast_rows(&mean_ctx, p));
-            let x = self.plc_act.forward(&self.plc_head1.forward(&plc_in));
-            self.plc_out.forward(&self.plc_head2.forward(&x))
+            let mut plc_in = s.take(p, PLC_FEATURE_DIM + CTX_DIM);
+            hcat_broadcast_into(&features.plcs, &mean_ctx, &mut plc_in);
+            let x = self.plc_head1.forward(&plc_in, s);
+            s.recycle(plc_in);
+            let y = self.plc_act.forward(&x, s);
+            s.recycle(x);
+            let x = self.plc_head2.forward(&y, s);
+            s.recycle(y);
+            let q = self.plc_out.forward(&x, s);
+            s.recycle(x);
+            q
         };
+        s.recycle(mean_ctx);
 
         // Assemble the flat Q-vector in action-space order.
         let mut q = vec![0.0f32; self.action_space.len()];
         q[0] = q_noact.get(0, 0);
         for (row, node) in features.host_rows.iter().enumerate() {
-            for a in 0..ACTIONS_PER_NODE {
-                q[1 + node * ACTIONS_PER_NODE + a] = q_host.get(row, a);
-            }
+            let base = 1 + node * ACTIONS_PER_NODE;
+            q[base..base + ACTIONS_PER_NODE].copy_from_slice(q_host.row(row));
         }
         for (row, node) in features.server_rows.iter().enumerate() {
-            for a in 0..ACTIONS_PER_NODE {
-                q[1 + node * ACTIONS_PER_NODE + a] = q_server.get(row, a);
-            }
+            let base = 1 + node * ACTIONS_PER_NODE;
+            q[base..base + ACTIONS_PER_NODE].copy_from_slice(q_server.row(row));
         }
         let plc_base = 1 + ACTIONS_PER_NODE * n;
         for plc in 0..p {
-            for a in 0..ACTIONS_PER_PLC {
-                q[plc_base + plc * ACTIONS_PER_PLC + a] = q_plc.get(plc, a);
-            }
+            let base = plc_base + plc * ACTIONS_PER_PLC;
+            q[base..base + ACTIONS_PER_PLC].copy_from_slice(q_plc.row(plc));
         }
+        s.recycle(q_host);
+        s.recycle(q_server);
+        s.recycle(q_noact);
+        s.recycle(q_plc);
 
-        self.cache = Some(ForwardCache {
-            node_count: n,
-            plc_count: p,
-            host_rows: features.host_rows.clone(),
-            server_rows: features.server_rows.clone(),
+        // Refresh the forward cache, reusing its row-index buffers.
+        let cache = self.cache.get_or_insert_with(|| ForwardCache {
+            node_count: 0,
+            plc_count: 0,
+            host_rows: Vec::new(),
+            server_rows: Vec::new(),
         });
+        cache.node_count = n;
+        cache.plc_count = p;
+        cache.host_rows.clear();
+        cache.host_rows.extend_from_slice(&features.host_rows);
+        cache.server_rows.clear();
+        cache.server_rows.extend_from_slice(&features.server_rows);
         q
     }
 
     fn backward(&mut self, grad_q: &[f32]) {
-        let cache = self.cache.clone().expect("backward called before q_values");
+        let cache = self.cache.take().expect("backward called before q_values");
         let n = cache.node_count;
         let p = cache.plc_count;
         assert_eq!(
@@ -208,94 +261,137 @@ impl QNetwork for AttentionQNet {
             self.action_space.len(),
             "gradient length mismatch"
         );
-
-        // Split the flat gradient back into per-head blocks.
-        let mut grad_host = Matrix::zeros(cache.host_rows.len(), ACTIONS_PER_NODE);
-        for (row, node) in cache.host_rows.iter().enumerate() {
-            for a in 0..ACTIONS_PER_NODE {
-                grad_host.set(row, a, grad_q[1 + node * ACTIONS_PER_NODE + a]);
-            }
-        }
-        let mut grad_server = Matrix::zeros(cache.server_rows.len(), ACTIONS_PER_NODE);
-        for (row, node) in cache.server_rows.iter().enumerate() {
-            for a in 0..ACTIONS_PER_NODE {
-                grad_server.set(row, a, grad_q[1 + node * ACTIONS_PER_NODE + a]);
-            }
-        }
-        let grad_noact = Matrix::row_vector(&[grad_q[0]]);
-        let plc_base = 1 + ACTIONS_PER_NODE * n;
-        let mut grad_plc = Matrix::zeros(p, ACTIONS_PER_PLC);
-        for plc in 0..p {
-            for a in 0..ACTIONS_PER_PLC {
-                grad_plc.set(plc, a, grad_q[plc_base + plc * ACTIONS_PER_PLC + a]);
-            }
-        }
+        let s = &mut self.scratch;
 
         let head_in = CTX_DIM + PLC_SUMMARY_DIM;
-        let mut grad_h = Matrix::zeros(n, head_in);
+        let mut grad_h = s.take(n, head_in);
 
         // Host head.
         if !cache.host_rows.is_empty() {
-            let g = self.host_out.backward(&grad_host);
-            let g = self.host_head2.backward(&g);
-            let g = self.host_act.backward(&g);
-            let g = self.host_head1.backward(&g);
+            let mut grad_host = s.take(cache.host_rows.len(), ACTIONS_PER_NODE);
             for (row, node) in cache.host_rows.iter().enumerate() {
-                for c in 0..head_in {
-                    grad_h.set(*node, c, grad_h.get(*node, c) + g.get(row, c));
+                let base = 1 + node * ACTIONS_PER_NODE;
+                grad_host
+                    .row_mut(row)
+                    .copy_from_slice(&grad_q[base..base + ACTIONS_PER_NODE]);
+            }
+            let x = self.host_out.backward(&grad_host, s);
+            s.recycle(grad_host);
+            let y = self.host_head2.backward(&x, s);
+            s.recycle(x);
+            let x = self.host_act.backward(&y, s);
+            s.recycle(y);
+            let g = self.host_head1.backward(&x, s);
+            s.recycle(x);
+            for (row, node) in cache.host_rows.iter().enumerate() {
+                for (d, &v) in grad_h.row_mut(*node).iter_mut().zip(g.row(row)) {
+                    *d += v;
                 }
             }
+            s.recycle(g);
         }
         // Server head.
         if !cache.server_rows.is_empty() {
-            let g = self.server_out.backward(&grad_server);
-            let g = self.server_head2.backward(&g);
-            let g = self.server_act.backward(&g);
-            let g = self.server_head1.backward(&g);
+            let mut grad_server = s.take(cache.server_rows.len(), ACTIONS_PER_NODE);
             for (row, node) in cache.server_rows.iter().enumerate() {
-                for c in 0..head_in {
-                    grad_h.set(*node, c, grad_h.get(*node, c) + g.get(row, c));
+                let base = 1 + node * ACTIONS_PER_NODE;
+                grad_server
+                    .row_mut(row)
+                    .copy_from_slice(&grad_q[base..base + ACTIONS_PER_NODE]);
+            }
+            let x = self.server_out.backward(&grad_server, s);
+            s.recycle(grad_server);
+            let y = self.server_head2.backward(&x, s);
+            s.recycle(x);
+            let x = self.server_act.backward(&y, s);
+            s.recycle(y);
+            let g = self.server_head1.backward(&x, s);
+            s.recycle(x);
+            for (row, node) in cache.server_rows.iter().enumerate() {
+                for (d, &v) in grad_h.row_mut(*node).iter_mut().zip(g.row(row)) {
+                    *d += v;
                 }
             }
+            s.recycle(g);
         }
 
         // No-action head -> gradient on the pooled context.
-        let g = self.noact_out.backward(&grad_noact);
-        let g = self.noact_head2.backward(&g);
-        let g = self.noact_act.backward(&g);
-        let grad_noact_in = self.noact_head1.backward(&g);
-        let (mut grad_mean_ctx, _grad_plc_summary) = grad_noact_in.hsplit(CTX_DIM);
+        let mut grad_noact = s.take(1, 1);
+        grad_noact.row_mut(0)[0] = grad_q[0];
+        let x = self.noact_out.backward(&grad_noact, s);
+        s.recycle(grad_noact);
+        let y = self.noact_head2.backward(&x, s);
+        s.recycle(x);
+        let x = self.noact_act.backward(&y, s);
+        s.recycle(y);
+        let grad_noact_in = self.noact_head1.backward(&x, s);
+        s.recycle(x);
+        let mut grad_mean_ctx = s.take(1, CTX_DIM);
+        grad_mean_ctx
+            .row_mut(0)
+            .copy_from_slice(&grad_noact_in.row(0)[..CTX_DIM]);
+        s.recycle(grad_noact_in);
 
         // PLC head -> more gradient on the pooled context.
         if p > 0 {
-            let g = self.plc_out.backward(&grad_plc);
-            let g = self.plc_head2.backward(&g);
-            let g = self.plc_act.backward(&g);
-            let grad_plc_in = self.plc_head1.backward(&g);
-            let (_grad_plc_feats, grad_ctx_from_plc) = grad_plc_in.hsplit(PLC_FEATURE_DIM);
-            grad_mean_ctx.accumulate(&grad_ctx_from_plc.sum_rows());
+            let mut grad_plc = s.take(p, ACTIONS_PER_PLC);
+            let plc_base = 1 + ACTIONS_PER_NODE * n;
+            for plc in 0..p {
+                let base = plc_base + plc * ACTIONS_PER_PLC;
+                grad_plc
+                    .row_mut(plc)
+                    .copy_from_slice(&grad_q[base..base + ACTIONS_PER_PLC]);
+            }
+            let x = self.plc_out.backward(&grad_plc, s);
+            s.recycle(grad_plc);
+            let y = self.plc_head2.backward(&x, s);
+            s.recycle(x);
+            let x = self.plc_act.backward(&y, s);
+            s.recycle(y);
+            let grad_plc_in = self.plc_head1.backward(&x, s);
+            s.recycle(x);
+            for i in 0..p {
+                let src = &grad_plc_in.row(i)[PLC_FEATURE_DIM..];
+                for (d, &v) in grad_mean_ctx.row_mut(0).iter_mut().zip(src) {
+                    *d += v;
+                }
+            }
+            s.recycle(grad_plc_in);
         }
 
-        // Split the per-node head gradient into context and PLC-summary parts.
-        let (mut grad_ctx, _grad_plc_sum) = grad_h.hsplit(CTX_DIM);
-
-        // Mean pooling backward: each row receives 1/n of the pooled gradient.
-        let pooled = grad_mean_ctx.scale(1.0 / n.max(1) as f32);
+        // Context gradient: the per-node head slice plus 1/n of the pooled
+        // gradient (mean-pooling backward).
+        let mut grad_ctx = s.take(n, CTX_DIM);
+        let inv_n = 1.0 / n.max(1) as f32;
         for i in 0..n {
-            for c in 0..CTX_DIM {
-                grad_ctx.set(i, c, grad_ctx.get(i, c) + pooled.get(0, c));
+            let dst = grad_ctx.row_mut(i);
+            dst.copy_from_slice(&grad_h.row(i)[..CTX_DIM]);
+            for (d, &g) in dst.iter_mut().zip(grad_mean_ctx.row(0)) {
+                *d += g * inv_n;
             }
         }
+        s.recycle(grad_h);
+        s.recycle(grad_mean_ctx);
 
         // Attention and embedding backward.
-        let g = self.attn2.backward(&grad_ctx);
-        let g = self.attn1.backward(&g);
-        let g = self.embed_act3.backward(&g);
-        let g = self.embed3.backward(&g);
-        let g = self.embed_act2.backward(&g);
-        let g = self.embed2.backward(&g);
-        let g = self.embed_act1.backward(&g);
-        let _ = self.embed1.backward(&g);
+        let x = self.attn2.backward(&grad_ctx, s);
+        s.recycle(grad_ctx);
+        let y = self.attn1.backward(&x, s);
+        s.recycle(x);
+        let x = self.embed_act3.backward(&y, s);
+        s.recycle(y);
+        let y = self.embed3.backward(&x, s);
+        s.recycle(x);
+        let x = self.embed_act2.backward(&y, s);
+        s.recycle(y);
+        let y = self.embed2.backward(&x, s);
+        s.recycle(x);
+        let x = self.embed_act1.backward(&y, s);
+        s.recycle(y);
+        let y = self.embed1.backward(&x, s);
+        s.recycle(x);
+        s.recycle(y);
+        self.cache = Some(cache);
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {

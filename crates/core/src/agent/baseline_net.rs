@@ -13,7 +13,7 @@ use crate::actions::ActionSpace;
 use crate::agent::QNetwork;
 use crate::features::{StateFeatures, NODE_FEATURE_DIM, PLC_FEATURE_DIM, PLC_SUMMARY_DIM};
 use neural::layers::{Activation, Dense};
-use neural::{Layer, Matrix, Param};
+use neural::{Layer, Matrix, Param, Scratch};
 
 const HIDDEN1: usize = 256;
 const HIDDEN2: usize = 128;
@@ -29,6 +29,7 @@ pub struct BaselineConvQNet {
     act2: Activation,
     fc3: Dense,
     out: Activation,
+    scratch: Scratch,
 }
 
 impl BaselineConvQNet {
@@ -46,6 +47,7 @@ impl BaselineConvQNet {
             out: Activation::tanh(),
             input_dim,
             action_space,
+            scratch: Scratch::new(),
         }
     }
 
@@ -59,23 +61,66 @@ impl BaselineConvQNet {
         &self.action_space
     }
 
-    fn flatten(&self, features: &StateFeatures) -> Matrix {
-        let mut data = Vec::with_capacity(self.input_dim);
-        data.extend_from_slice(features.nodes.data());
-        data.extend_from_slice(features.plcs.data());
-        data.extend_from_slice(features.plc_summary.data());
-        data.resize(self.input_dim, 0.0);
-        Matrix::from_vec(1, self.input_dim, data)
+    /// Writes one state's flattened features into row `row` of `out`.
+    fn flatten_into(&self, features: &StateFeatures, out: &mut Matrix, row: usize) {
+        let dst = out.row_mut(row);
+        let mut at = 0;
+        for src in [
+            features.nodes.data(),
+            features.plcs.data(),
+            features.plc_summary.data(),
+        ] {
+            dst[at..at + src.len()].copy_from_slice(src);
+            at += src.len();
+        }
+        dst[at..].fill(0.0);
+    }
+
+    /// Runs the MLP over a pre-flattened `[batch, input_dim]` matrix.
+    fn forward_rows(&mut self, x: Matrix) -> Matrix {
+        let s = &mut self.scratch;
+        let y = self.fc1.forward(&x, s);
+        s.recycle(x);
+        let x = self.act1.forward(&y, s);
+        s.recycle(y);
+        let y = self.fc2.forward(&x, s);
+        s.recycle(x);
+        let x = self.act2.forward(&y, s);
+        s.recycle(y);
+        let y = self.fc3.forward(&x, s);
+        s.recycle(x);
+        let q = self.out.forward(&y, s);
+        s.recycle(y);
+        q
     }
 }
 
 impl QNetwork for BaselineConvQNet {
     fn q_values(&mut self, features: &StateFeatures) -> Vec<f32> {
-        let x = self.flatten(features);
-        let x = self.act1.forward(&self.fc1.forward(&x));
-        let x = self.act2.forward(&self.fc2.forward(&x));
-        let q = self.out.forward(&self.fc3.forward(&x));
-        q.row(0).to_vec()
+        let mut x = self.scratch.take(1, self.input_dim);
+        self.flatten_into(features, &mut x, 0);
+        let q = self.forward_rows(x);
+        let out = q.row(0).to_vec();
+        self.scratch.recycle(q);
+        out
+    }
+
+    /// Batched forward: all states are flattened into one `[batch,
+    /// input_dim]` matrix and pushed through a single matmul chain — the
+    /// replay-minibatch path (64 rows through one matmul rather than 64
+    /// single-row passes).
+    fn q_values_batch(&mut self, features: &[&StateFeatures]) -> Vec<Vec<f32>> {
+        if features.is_empty() {
+            return Vec::new();
+        }
+        let mut x = self.scratch.take(features.len(), self.input_dim);
+        for (row, f) in features.iter().enumerate() {
+            self.flatten_into(f, &mut x, row);
+        }
+        let q = self.forward_rows(x);
+        let out = (0..features.len()).map(|i| q.row(i).to_vec()).collect();
+        self.scratch.recycle(q);
+        out
     }
 
     fn backward(&mut self, grad_q: &[f32]) {
@@ -84,13 +129,22 @@ impl QNetwork for BaselineConvQNet {
             self.action_space.len(),
             "gradient length mismatch"
         );
-        let grad = Matrix::row_vector(grad_q);
-        let g = self.out.backward(&grad);
-        let g = self.fc3.backward(&g);
-        let g = self.act2.backward(&g);
-        let g = self.fc2.backward(&g);
-        let g = self.act1.backward(&g);
-        let _ = self.fc1.backward(&g);
+        let mut grad = self.scratch.take(1, grad_q.len());
+        grad.row_mut(0).copy_from_slice(grad_q);
+        let s = &mut self.scratch;
+        let x = self.out.backward(&grad, s);
+        s.recycle(grad);
+        let y = self.fc3.backward(&x, s);
+        s.recycle(x);
+        let x = self.act2.backward(&y, s);
+        s.recycle(y);
+        let y = self.fc2.backward(&x, s);
+        s.recycle(x);
+        let x = self.act1.backward(&y, s);
+        s.recycle(y);
+        let y = self.fc1.backward(&x, s);
+        s.recycle(x);
+        s.recycle(y);
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {

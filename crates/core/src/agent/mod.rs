@@ -23,6 +23,17 @@ pub trait QNetwork: Send {
     /// forward pass for a subsequent [`QNetwork::backward`].
     fn q_values(&mut self, features: &StateFeatures) -> Vec<f32>;
 
+    /// Q-values for a batch of states, used for passes that do not need a
+    /// backward (e.g. the double-DQN bootstrap over a replay minibatch).
+    ///
+    /// The default runs [`QNetwork::q_values`] per state; networks whose
+    /// forward is row-wise (the flattened baseline) override this to push
+    /// the whole batch through one matmul. Clobbers the forward cache — do
+    /// not call between a cached forward and its backward.
+    fn q_values_batch(&mut self, features: &[&StateFeatures]) -> Vec<Vec<f32>> {
+        features.iter().map(|f| self.q_values(f)).collect()
+    }
+
     /// Backpropagates a gradient with respect to the Q-values returned by the
     /// most recent [`QNetwork::q_values`] call, accumulating parameter
     /// gradients.

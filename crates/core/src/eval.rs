@@ -1,11 +1,15 @@
 //! The evaluation protocol: run a defender policy for many episodes and
 //! aggregate the paper's four metrics (Table 2).
+//!
+//! Episodes run through the [`crate::rollout`] engine. The policy-factory
+//! entry points ([`evaluate_factory_detailed`]) fan episodes out over worker
+//! threads with bit-identical results to the serial `&mut dyn` entry points,
+//! which are kept for policies that cannot be constructed per worker.
 
 use crate::policy::DefenderPolicy;
+use crate::rollout::{self, RolloutPlan};
 use ics_sim::metrics::{EpisodeMetrics, EvaluationSummary};
-use ics_sim::{IcsEnvironment, SimConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ics_sim::SimConfig;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of an evaluation run.
@@ -15,7 +19,7 @@ pub struct EvalConfig {
     pub sim: SimConfig,
     /// Number of attack episodes to run (the paper uses 100).
     pub episodes: usize,
-    /// Base seed; episode `i` uses `seed + i` so runs are reproducible and
+    /// Base seed; episode `i` uses `seed ^ i` so runs are reproducible and
     /// every policy sees the same sequence of attack scenarios.
     pub seed: u64,
 }
@@ -52,33 +56,52 @@ pub struct PolicyEvaluation {
     pub summary: EvaluationSummary,
 }
 
-/// Runs a policy through the evaluation protocol and returns per-episode
-/// metrics and their aggregate.
+fn plan_for(config: &EvalConfig) -> RolloutPlan {
+    RolloutPlan::new(config.sim.clone(), config.episodes, config.seed)
+}
+
+fn package(policy: String, episodes: Vec<EpisodeMetrics>) -> PolicyEvaluation {
+    let summary = EvaluationSummary::from_episodes(&episodes);
+    PolicyEvaluation {
+        policy,
+        episodes,
+        summary,
+    }
+}
+
+/// Runs a policy through the evaluation protocol serially and returns
+/// per-episode metrics and their aggregate.
+///
+/// Episode transcripts are identical to [`evaluate_factory_detailed`] with a
+/// factory producing equivalent policies — both run through
+/// [`rollout::run_episode`].
 pub fn evaluate_policy_detailed(
     policy: &mut dyn DefenderPolicy,
     config: &EvalConfig,
 ) -> PolicyEvaluation {
-    let mut episodes = Vec::with_capacity(config.episodes);
-    for i in 0..config.episodes {
-        let sim = config
-            .sim
-            .clone()
-            .with_seed(config.seed.wrapping_add(i as u64));
-        let mut env = IcsEnvironment::new(sim);
-        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(10_000 + i as u64));
-        policy.reset(env.topology());
-        let metrics = {
-            let policy_ref: &mut dyn DefenderPolicy = policy;
-            env.run_episode(|obs, env| policy_ref.decide(obs, env.topology(), &mut rng))
-        };
-        episodes.push(metrics);
-    }
-    let summary = EvaluationSummary::from_episodes(&episodes);
-    PolicyEvaluation {
-        policy: policy.name().to_string(),
-        episodes,
-        summary,
-    }
+    let episodes = rollout::rollout_serial(policy, &plan_for(config));
+    package(policy.name().to_string(), episodes)
+}
+
+/// Runs the evaluation protocol with episodes fanned out over worker threads
+/// (`ACSO_THREADS`, default: available parallelism), building one policy per
+/// worker with `make_policy`. Results are bit-identical to the serial
+/// evaluator.
+pub fn evaluate_factory_detailed<F>(make_policy: F, config: &EvalConfig) -> PolicyEvaluation
+where
+    F: Fn() -> Box<dyn DefenderPolicy> + Sync,
+{
+    let name = make_policy().name().to_string();
+    let episodes = rollout::rollout(&plan_for(config), make_policy);
+    package(name, episodes)
+}
+
+/// Aggregate-only variant of [`evaluate_factory_detailed`].
+pub fn evaluate_factory<F>(make_policy: F, config: &EvalConfig) -> EvaluationSummary
+where
+    F: Fn() -> Box<dyn DefenderPolicy> + Sync,
+{
+    evaluate_factory_detailed(make_policy, config).summary
 }
 
 /// Runs a policy through the evaluation protocol and returns the aggregate
@@ -133,6 +156,18 @@ mod tests {
         let a = evaluate_policy(&mut PlaybookPolicy::new(), &cfg);
         let b = evaluate_policy(&mut PlaybookPolicy::new(), &cfg);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn factory_evaluation_matches_serial_evaluation() {
+        let cfg = tiny_eval(4);
+        let serial = evaluate_policy_detailed(&mut PlaybookPolicy::new(), &cfg);
+        let parallel = evaluate_factory_detailed(|| Box::new(PlaybookPolicy::new()), &cfg);
+        assert_eq!(serial, parallel);
+        assert_eq!(
+            evaluate_factory(|| Box::new(PlaybookPolicy::new()), &cfg),
+            serial.summary
+        );
     }
 
     #[test]

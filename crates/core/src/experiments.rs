@@ -6,7 +6,7 @@
 //! which scale produced the numbers in the repository.
 
 use crate::baselines::{DbnExpertPolicy, PlaybookPolicy, SemiRandomPolicy};
-use crate::eval::{evaluate_policy_detailed, EvalConfig, PolicyEvaluation};
+use crate::eval::{evaluate_factory_detailed, EvalConfig, PolicyEvaluation};
 use crate::policy::DefenderPolicy;
 use crate::train::{train_attention_acso, TrainConfig, TrainedAcso};
 use dbn::validate::{validate_filter, ValidationReport};
@@ -91,6 +91,7 @@ impl ExperimentScale {
             .clamp(0.5, 0.999);
         TrainConfig {
             sim: self.train_sim.clone(),
+            dbn_threads: None,
             agent: if self.train_episodes <= 2 {
                 crate::agent::AgentConfig::smoke()
             } else {
@@ -126,11 +127,21 @@ pub fn prepare(scale: ExperimentScale) -> ExperimentContext {
     ExperimentContext { trained, scale }
 }
 
-fn baseline_policies(ctx: &ExperimentContext) -> Vec<Box<dyn DefenderPolicy>> {
+/// One factory per policy of the paper's comparison, in presentation order
+/// (ACSO first, as in Table 2). Factories let the rollout engine build a
+/// private policy instance per worker thread; the trained agent is copied
+/// via [`crate::AcsoAgent::eval_clone`] (networks and filter, not the
+/// replay history), the baselines are constructed fresh.
+type PolicyFactory<'a> = Box<dyn Fn() -> Box<dyn DefenderPolicy> + Sync + 'a>;
+
+fn policy_factories(ctx: &ExperimentContext) -> Vec<PolicyFactory<'_>> {
+    let agent = &ctx.trained.agent;
+    let model = &ctx.trained.dbn_model;
     vec![
-        Box::new(DbnExpertPolicy::new(ctx.trained.dbn_model.clone())),
-        Box::new(PlaybookPolicy::new()),
-        Box::new(SemiRandomPolicy::new()),
+        Box::new(move || Box::new(agent.eval_clone()) as Box<dyn DefenderPolicy>),
+        Box::new(move || Box::new(DbnExpertPolicy::new(model.clone()))),
+        Box::new(|| Box::new(PlaybookPolicy::new())),
+        Box::new(|| Box::new(SemiRandomPolicy::new())),
     ]
 }
 
@@ -142,15 +153,15 @@ pub struct Table2Result {
 }
 
 /// Reproduces Table 2: nominal evaluation of the ACSO and the three baseline
-/// policies under the training attacker (APT1).
+/// policies under the training attacker (APT1). Each policy's episodes fan
+/// out over the rollout engine's worker threads.
 pub fn table2(ctx: &mut ExperimentContext) -> Table2Result {
     let config = ctx.scale.eval_config();
-    let mut evaluations = Vec::new();
     ctx.trained.agent.set_explore(false);
-    evaluations.push(evaluate_policy_detailed(&mut ctx.trained.agent, &config));
-    for mut policy in baseline_policies(ctx) {
-        evaluations.push(evaluate_policy_detailed(policy.as_mut(), &config));
-    }
+    let evaluations = policy_factories(ctx)
+        .iter()
+        .map(|factory| evaluate_factory_detailed(factory, &config))
+        .collect();
     Table2Result { evaluations }
 }
 
@@ -180,34 +191,25 @@ pub struct Fig6Result {
 /// is perturbed away from the nominal 0.5 used in training.
 pub fn fig6(ctx: &mut ExperimentContext) -> Fig6Result {
     let effectiveness = vec![0.1, 0.3, 0.5, 0.7, 0.8, 0.9];
-    let mut series: Vec<SweepSeries> = Vec::new();
     ctx.trained.agent.set_explore(false);
 
-    for (name_idx, policy_name) in ["ACSO", "DBN Expert", "Playbook", "Semi Random"]
-        .iter()
-        .enumerate()
-    {
+    let mut series: Vec<SweepSeries> = Vec::new();
+    for factory in policy_factories(ctx) {
+        let mut name = String::new();
         let mut plcs = Vec::new();
         let mut nodes = Vec::new();
         let mut cost = Vec::new();
         for eff in &effectiveness {
             let mut config = ctx.scale.eval_config();
             config.sim.apt = config.sim.apt.with_cleanup_effectiveness(*eff);
-            let evaluation = match name_idx {
-                0 => evaluate_policy_detailed(&mut ctx.trained.agent, &config),
-                1 => evaluate_policy_detailed(
-                    &mut DbnExpertPolicy::new(ctx.trained.dbn_model.clone()),
-                    &config,
-                ),
-                2 => evaluate_policy_detailed(&mut PlaybookPolicy::new(), &config),
-                _ => evaluate_policy_detailed(&mut SemiRandomPolicy::new(), &config),
-            };
+            let evaluation = evaluate_factory_detailed(&factory, &config);
+            name = evaluation.policy.clone();
             plcs.push(evaluation.summary.final_plcs_offline);
             nodes.push(evaluation.summary.average_nodes_compromised);
             cost.push(evaluation.summary.average_it_cost);
         }
         series.push(SweepSeries {
-            policy: policy_name.to_string(),
+            policy: name,
             plcs_offline: plcs,
             nodes_compromised: nodes,
             it_cost: cost,
@@ -252,16 +254,8 @@ pub fn fig10(ctx: &mut ExperimentContext) -> Fig10Result {
             cleanup_effectiveness: config.sim.apt.cleanup_effectiveness,
             ..profile
         };
-        for idx in 0..4usize {
-            let evaluation = match idx {
-                0 => evaluate_policy_detailed(&mut ctx.trained.agent, &config),
-                1 => evaluate_policy_detailed(
-                    &mut DbnExpertPolicy::new(ctx.trained.dbn_model.clone()),
-                    &config,
-                ),
-                2 => evaluate_policy_detailed(&mut PlaybookPolicy::new(), &config),
-                _ => evaluate_policy_detailed(&mut SemiRandomPolicy::new(), &config),
-            };
+        for factory in policy_factories(ctx) {
+            let evaluation = evaluate_factory_detailed(&factory, &config);
             cells.push(Fig10Cell {
                 policy: evaluation.policy.clone(),
                 attacker: attacker_name.to_string(),
@@ -289,32 +283,47 @@ pub struct GridSearchRow {
 
 /// Reproduces the §4.2 hyper-parameter grid search protocol on the small
 /// network: shaping reward on/off, target-update interval, and ε decay.
+///
+/// The eight configurations are independent training runs, so they fan out
+/// over the rollout worker pool (one full training per task); results come
+/// back in grid order regardless of the thread count.
 pub fn grid_search(scale: &ExperimentScale) -> Vec<GridSearchRow> {
-    let mut rows = Vec::new();
+    let mut grid = Vec::new();
     for shaping in [true, false] {
         for target_update_interval in [500u64, 5_000] {
             for epsilon_decay in [0.999, 0.9999] {
-                let mut config = scale.train_config();
-                config.sim = if shaping {
-                    config.sim.clone()
-                } else {
-                    config.sim.clone().with_shaping(ShapingConfig::disabled())
-                };
-                config.agent.dqn.target_update_interval = target_update_interval;
-                config.agent.dqn.epsilon_decay = epsilon_decay;
-                let trained = train_attention_acso(&config);
-                let n = trained.report.episode_returns.len().max(1);
-                let mean_return = trained.report.recent_mean_return(n / 2 + 1);
-                rows.push(GridSearchRow {
-                    shaping,
-                    target_update_interval,
-                    epsilon_decay,
-                    mean_return,
-                });
+                grid.push((shaping, target_update_interval, epsilon_decay));
             }
         }
     }
-    rows
+    // Each concurrent training run holds its own replay buffer (at paper
+    // scale, 2^17 n-step transitions carrying two feature sets each), so
+    // concurrency is capped to bound peak memory; `ACSO_THREADS=1` restores
+    // the fully sequential behaviour.
+    let threads = acso_runtime::available_threads().min(4);
+    acso_runtime::run_indexed(grid.len(), threads, |i| {
+        let (shaping, target_update_interval, epsilon_decay) = grid[i];
+        let mut config = scale.train_config();
+        // Each grid cell already occupies one pool worker; keep its inner
+        // DBN data-collection serial so the fan-outs do not multiply.
+        config.dbn_threads = Some(1);
+        config.sim = if shaping {
+            config.sim.clone()
+        } else {
+            config.sim.clone().with_shaping(ShapingConfig::disabled())
+        };
+        config.agent.dqn.target_update_interval = target_update_interval;
+        config.agent.dqn.epsilon_decay = epsilon_decay;
+        let trained = train_attention_acso(&config);
+        let n = trained.report.episode_returns.len().max(1);
+        let mean_return = trained.report.recent_mean_return(n / 2 + 1);
+        GridSearchRow {
+            shaping,
+            target_update_interval,
+            epsilon_decay,
+            mean_return,
+        }
+    })
 }
 
 /// Reproduces the §4.3 DBN validation: learn the filter from random-defender

@@ -35,6 +35,18 @@ pub struct StateFeatures {
 }
 
 impl StateFeatures {
+    /// An empty placeholder whose buffers [`NodeFeatureEncoder::encode_into`]
+    /// will size on first use.
+    pub fn empty() -> Self {
+        Self {
+            nodes: Matrix::zeros(0, NODE_FEATURE_DIM),
+            plcs: Matrix::zeros(0, PLC_FEATURE_DIM),
+            plc_summary: Matrix::zeros(1, PLC_SUMMARY_DIM),
+            host_rows: Vec::new(),
+            server_rows: Vec::new(),
+        }
+    }
+
     /// Number of nodes in the encoded state.
     pub fn node_count(&self) -> usize {
         self.nodes.rows()
@@ -83,17 +95,46 @@ impl NodeFeatureEncoder {
     /// Encodes one decision point from the current observation and the DBN
     /// filter's beliefs.
     pub fn encode(&self, observation: &Observation, filter: &DbnFilter) -> StateFeatures {
+        let mut out = StateFeatures::empty();
+        self.encode_into(observation, filter, &mut out);
+        out
+    }
+
+    /// Encodes one decision point into a caller-owned [`StateFeatures`],
+    /// reusing its buffers — the zero-allocation path for per-step action
+    /// selection, where the previous encoding is dead the moment the next
+    /// observation arrives.
+    pub fn encode_into(
+        &self,
+        observation: &Observation,
+        filter: &DbnFilter,
+        out: &mut StateFeatures,
+    ) {
         let n = self.node_kinds.len();
-        let mut nodes = Matrix::zeros(n, NODE_FEATURE_DIM);
-        let mut host_rows = Vec::new();
-        let mut server_rows = Vec::new();
+        let plc_count = observation.plc_status.len();
+        if out.nodes.shape() != (n, NODE_FEATURE_DIM) {
+            out.nodes = Matrix::zeros(n, NODE_FEATURE_DIM);
+        } else {
+            out.nodes.fill(0.0);
+        }
+        if out.plcs.shape() != (plc_count, PLC_FEATURE_DIM) {
+            out.plcs = Matrix::zeros(plc_count, PLC_FEATURE_DIM);
+        } else {
+            out.plcs.fill(0.0);
+        }
+        if out.plc_summary.shape() != (1, PLC_SUMMARY_DIM) {
+            out.plc_summary = Matrix::zeros(1, PLC_SUMMARY_DIM);
+        }
+        out.host_rows.clear();
+        out.server_rows.clear();
 
         for (i, kind) in self.node_kinds.iter().enumerate() {
             let belief = filter.beliefs()[i];
             let obs = &observation.nodes[i];
+            let row = out.nodes.row_mut(i);
             let mut col = 0;
             for b in belief {
-                nodes.set(i, col, b as f32);
+                row[col] = b as f32;
                 col += 1;
             }
             // Node type one-hot.
@@ -102,24 +143,22 @@ impl NodeFeatureEncoder {
                 NodeKindClass::Server => 1,
                 NodeKindClass::Hmi => 2,
             };
-            nodes.set(i, col + type_index, 1.0);
+            row[col + type_index] = 1.0;
             col += 3;
-            nodes.set(i, col, if obs.quarantined { 1.0 } else { 0.0 });
+            row[col] = if obs.quarantined { 1.0 } else { 0.0 };
             col += 1;
             for (s, count) in obs.alert_counts.iter().enumerate() {
-                nodes.set(i, col + s, (*count as f32).min(5.0) / 5.0);
+                row[col + s] = (*count as f32).min(5.0) / 5.0;
             }
             col += 3;
-            nodes.set(i, col, if obs.detection() { 1.0 } else { 0.0 });
+            row[col] = if obs.detection() { 1.0 } else { 0.0 };
 
             match kind {
-                NodeKindClass::Server => server_rows.push(i),
-                NodeKindClass::Workstation | NodeKindClass::Hmi => host_rows.push(i),
+                NodeKindClass::Server => out.server_rows.push(i),
+                NodeKindClass::Workstation | NodeKindClass::Hmi => out.host_rows.push(i),
             }
         }
 
-        let plc_count = observation.plc_status.len();
-        let mut plcs = Matrix::zeros(plc_count, PLC_FEATURE_DIM);
         let mut counts = [0usize; 3];
         for (i, status) in observation.plc_status.iter().enumerate() {
             let idx = match status {
@@ -127,23 +166,14 @@ impl NodeFeatureEncoder {
                 PlcStatus::Disrupted => 1,
                 PlcStatus::Destroyed => 2,
             };
-            plcs.set(i, idx, 1.0);
+            out.plcs.row_mut(i)[idx] = 1.0;
             counts[idx] += 1;
         }
         let denom = plc_count.max(1) as f32;
-        let plc_summary = Matrix::row_vector(&[
-            counts[0] as f32 / denom,
-            counts[1] as f32 / denom,
-            counts[2] as f32 / denom,
-        ]);
-
-        StateFeatures {
-            nodes,
-            plcs,
-            plc_summary,
-            host_rows,
-            server_rows,
-        }
+        let summary = out.plc_summary.row_mut(0);
+        summary[0] = counts[0] as f32 / denom;
+        summary[1] = counts[1] as f32 / denom;
+        summary[2] = counts[2] as f32 / denom;
     }
 }
 

@@ -19,6 +19,9 @@
 //! * [`train`] — the augmented-DQN training loop of §4.2 (double DQN,
 //!   prioritized replay, n-step returns, shaping reward);
 //! * [`eval`] — the 100-episode evaluation protocol and its metrics;
+//! * [`rollout`] — the parallel episode rollout engine: deterministic
+//!   per-episode seeding fanned out over `ACSO_THREADS` workers, bit-identical
+//!   to serial evaluation;
 //! * [`experiments`] — one entry point per table/figure of the paper
 //!   (Table 2, Fig. 6, Fig. 10, the grid search, the DBN validation).
 //!
@@ -48,6 +51,7 @@ pub mod eval;
 pub mod experiments;
 pub mod features;
 pub mod policy;
+pub mod rollout;
 pub mod train;
 
 pub use actions::ActionSpace;
@@ -55,3 +59,4 @@ pub use agent::{AcsoAgent, AttentionQNet, BaselineConvQNet};
 pub use eval::{evaluate_policy, EvalConfig};
 pub use features::{NodeFeatureEncoder, StateFeatures};
 pub use policy::DefenderPolicy;
+pub use rollout::RolloutPlan;

@@ -1,0 +1,133 @@
+//! The parallel episode rollout engine.
+//!
+//! Every evaluation episode is independent: its environment and its policy
+//! RNG are seeded from the episode *index*, and stateful policies are fully
+//! reset at the episode boundary. [`rollout`] therefore fans episodes out
+//! over scoped worker threads (via [`acso_runtime`]) with one policy
+//! instance per worker, and the resulting per-episode metrics are
+//! **bit-identical** to a serial run for any thread count — the property the
+//! determinism tests in `tests/rollout_determinism.rs` (root package) pin
+//! down.
+//!
+//! The thread count comes from the `ACSO_THREADS` environment variable,
+//! defaulting to the machine's available parallelism
+//! ([`acso_runtime::available_threads`]).
+
+use crate::policy::DefenderPolicy;
+use ics_sim::metrics::EpisodeMetrics;
+use ics_sim::{IcsEnvironment, SimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Salt separating the policy's decision RNG stream from the environment
+/// stream (kept at the historical `+10_000` offset of the serial evaluator).
+const POLICY_SEED_OFFSET: u64 = 10_000;
+
+/// A batch of episodes to roll out.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RolloutPlan {
+    /// Simulation configuration shared by every episode (per-episode seeds
+    /// are derived on top of it).
+    pub sim: SimConfig,
+    /// Number of episodes.
+    pub episodes: usize,
+    /// Base seed; episode `i` runs with [`acso_runtime::episode_seed`]`(seed, i)`.
+    pub seed: u64,
+    /// Worker threads; `1` runs inline on the calling thread.
+    pub threads: usize,
+}
+
+impl RolloutPlan {
+    /// A plan using the auto-detected thread count (`ACSO_THREADS` or
+    /// available parallelism).
+    pub fn new(sim: SimConfig, episodes: usize, seed: u64) -> Self {
+        Self {
+            sim,
+            episodes,
+            seed,
+            threads: acso_runtime::available_threads(),
+        }
+    }
+
+    /// Overrides the worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+/// Runs one evaluation episode of a plan against a policy. This is the
+/// single code path behind both the serial and the parallel evaluator, so
+/// their transcripts cannot diverge.
+pub fn run_episode(
+    policy: &mut dyn DefenderPolicy,
+    sim: &SimConfig,
+    base_seed: u64,
+    episode: usize,
+) -> EpisodeMetrics {
+    let episode_seed = acso_runtime::episode_seed(base_seed, episode);
+    let sim = sim.clone().with_seed(episode_seed);
+    let mut env = IcsEnvironment::new(sim);
+    let mut rng = StdRng::seed_from_u64(episode_seed.wrapping_add(POLICY_SEED_OFFSET));
+    policy.reset(env.topology());
+    env.run_episode(|obs, env| policy.decide(obs, env.topology(), &mut rng))
+}
+
+/// Rolls out a plan's episodes serially through one policy instance.
+pub fn rollout_serial(policy: &mut dyn DefenderPolicy, plan: &RolloutPlan) -> Vec<EpisodeMetrics> {
+    (0..plan.episodes)
+        .map(|i| run_episode(policy, &plan.sim, plan.seed, i))
+        .collect()
+}
+
+/// Rolls out a plan's episodes across worker threads, building one policy
+/// per worker with `make_policy`. Returns per-episode metrics in episode
+/// order, bit-identical to [`rollout_serial`] with a policy from the same
+/// factory.
+pub fn rollout<F>(plan: &RolloutPlan, make_policy: F) -> Vec<EpisodeMetrics>
+where
+    F: Fn() -> Box<dyn DefenderPolicy> + Sync,
+{
+    acso_runtime::run_indexed_with(plan.episodes, plan.threads, &make_policy, |policy, i| {
+        run_episode(policy.as_mut(), &plan.sim, plan.seed, i)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::PlaybookPolicy;
+
+    fn plan(threads: usize) -> RolloutPlan {
+        RolloutPlan {
+            sim: SimConfig::tiny().with_max_time(120),
+            episodes: 6,
+            seed: 21,
+            threads,
+        }
+    }
+
+    #[test]
+    fn parallel_rollout_matches_serial_exactly() {
+        let serial = rollout_serial(&mut PlaybookPolicy::new(), &plan(1));
+        let parallel = rollout(&plan(4), || Box::new(PlaybookPolicy::new()));
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.len(), 6);
+    }
+
+    #[test]
+    fn episodes_differ_across_indices_and_repeat_across_runs() {
+        let a = rollout(&plan(2), || Box::new(PlaybookPolicy::new()));
+        let b = rollout(&plan(3), || Box::new(PlaybookPolicy::new()));
+        assert_eq!(a, b);
+        // Different seeds per episode: not all episodes can be identical.
+        assert!(a.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn plan_builder_detects_threads() {
+        let p = RolloutPlan::new(SimConfig::tiny(), 3, 0);
+        assert!(p.threads >= 1);
+        assert_eq!(p.with_threads(2).threads, 2);
+    }
+}

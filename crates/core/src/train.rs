@@ -25,6 +25,11 @@ pub struct TrainConfig {
     /// Number of random-defender episodes used to fit the DBN filter before
     /// training starts (the paper uses 1 000).
     pub dbn_episodes: usize,
+    /// Worker threads for the DBN data-collection fan-out. `None` uses
+    /// `ACSO_THREADS`/available parallelism; callers that already run inside
+    /// a thread pool (the grid search) pin this to `Some(1)` so nested
+    /// fan-outs do not oversubscribe the machine.
+    pub dbn_threads: Option<usize>,
     /// Seed for environment and DBN data collection.
     pub seed: u64,
 }
@@ -39,6 +44,7 @@ impl TrainConfig {
             agent: AgentConfig::default(),
             episodes,
             dbn_episodes: 50,
+            dbn_threads: None,
             seed: 0,
         }
     }
@@ -51,6 +57,7 @@ impl TrainConfig {
             agent: AgentConfig::smoke(),
             episodes,
             dbn_episodes: 2,
+            dbn_threads: None,
             seed: 0,
         }
     }
@@ -95,6 +102,15 @@ impl TrainReport {
 
 /// Trains an agent that already wraps a Q-network. Returns the training
 /// history; the agent is trained in place.
+///
+/// The episode loop is inherently serial — each episode's ε-greedy decisions
+/// depend on everything learned before it — so unlike evaluation it does not
+/// fan out over the rollout engine. The parallelism in a training run lives
+/// in the DBN data-collection phase ([`dbn::learn::learn_model`] fans
+/// episodes over `ACSO_THREADS` workers) and, one level up, in
+/// [`crate::experiments::grid_search`] running independent training
+/// configurations concurrently. Per-episode seeds use the engine's
+/// derivation so the environment stream depends only on the episode index.
 pub fn train_agent<N: QNetwork + Clone>(
     agent: &mut AcsoAgent<N>,
     sim: &SimConfig,
@@ -105,7 +121,9 @@ pub fn train_agent<N: QNetwork + Clone>(
     agent.set_explore(true);
 
     for episode in 0..episodes {
-        let sim = sim.clone().with_seed(seed.wrapping_add(episode as u64));
+        let sim = sim
+            .clone()
+            .with_seed(acso_runtime::episode_seed(seed, episode));
         let mut env = IcsEnvironment::new(sim);
         let gamma = env.gamma();
         agent.begin_episode();
@@ -158,11 +176,15 @@ pub struct TrainedAcso {
 /// End-to-end training of the attention-based ACSO: fit the DBN filter from
 /// random-defender episodes, then run the augmented DQN loop.
 pub fn train_attention_acso(config: &TrainConfig) -> TrainedAcso {
-    let dbn_model = learn_model(&LearnConfig {
+    let learn_config = LearnConfig {
         episodes: config.dbn_episodes,
         seed: config.seed,
         sim: config.sim.clone(),
-    });
+    };
+    let dbn_model = match config.dbn_threads {
+        Some(threads) => dbn::learn::learn_model_with_threads(&learn_config, threads),
+        None => learn_model(&learn_config),
+    };
     let env = IcsEnvironment::new(config.sim.clone().with_seed(config.seed));
     let action_space = ActionSpace::new(env.topology());
     let network = AttentionQNet::new(action_space, config.seed);

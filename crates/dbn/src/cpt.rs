@@ -72,6 +72,15 @@ impl TransitionCpt {
     pub fn total_observations(&self) -> f64 {
         self.counts.iter().sum()
     }
+
+    /// Adds another table's counts into this one (episode-shard merging for
+    /// parallel data collection). Merging shards in a fixed order keeps the
+    /// learned model bit-identical to a serial run.
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
 }
 
 /// Observation model `P(o | s, a)` over observation symbols.
@@ -110,6 +119,14 @@ impl ObservationCpt {
     /// Total number of recorded emissions.
     pub fn total_observations(&self) -> f64 {
         self.counts.iter().sum()
+    }
+
+    /// Adds another table's counts into this one (episode-shard merging for
+    /// parallel data collection).
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
     }
 }
 

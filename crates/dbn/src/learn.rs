@@ -90,53 +90,83 @@ pub fn random_defender_action(
     }
 }
 
-/// Runs random-defender episodes against the simulator and estimates the
-/// transition and observation tables by counting.
-pub fn learn_model(config: &LearnConfig) -> DbnModel {
+/// Records one random-defender episode into a fresh pair of count tables.
+///
+/// All randomness derives from the episode index: the environment seed uses
+/// the same hash as the historical serial collector, and the defender's
+/// action RNG gets its own per-episode stream. That makes episodes
+/// independent, so [`learn_model`] can fan them out over worker threads and
+/// still produce a bit-identical model for any thread count.
+fn collect_episode(config: &LearnConfig, episode: usize) -> (TransitionCpt, ObservationCpt) {
     let mut transition = TransitionCpt::new(0.5);
     let mut observation = ObservationCpt::new(0.5);
-    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0x5eed));
+    let mut rng = StdRng::seed_from_u64(acso_runtime::stream_seed(config.seed, episode, 0x5eed));
 
-    for episode in 0..config.episodes {
-        let sim = config.sim.clone().with_seed(
-            config
-                .sim
-                .seed
-                .wrapping_add(episode as u64)
-                .wrapping_mul(2654435761),
-        );
-        let mut env = IcsEnvironment::new(sim);
-        let _ = env.reset();
-        let node_count = env.topology().node_count();
-        let plc_count = env.topology().plc_count();
+    let sim = config.sim.clone().with_seed(
+        config
+            .sim
+            .seed
+            .wrapping_add(episode as u64)
+            .wrapping_mul(2654435761),
+    );
+    let mut env = IcsEnvironment::new(sim);
+    let _ = env.reset();
+    let node_count = env.topology().node_count();
+    let plc_count = env.topology().plc_count();
 
-        let mut prev_classes: Vec<CompromiseClass> = (0..node_count)
-            .map(|i| env.state().compromise(NodeId::from_index(i)).class())
-            .collect();
-        let mut prev_mu = MuBucket::from_count(env.state().compromised_count() as f64);
+    let mut prev_classes: Vec<CompromiseClass> = (0..node_count)
+        .map(|i| env.state().compromise(NodeId::from_index(i)).class())
+        .collect();
+    let mut prev_mu = MuBucket::from_count(env.state().compromised_count() as f64);
 
-        loop {
-            let actions = vec![random_defender_action(node_count, plc_count, &mut rng)];
-            let step = env.step(&actions);
+    loop {
+        let actions = vec![random_defender_action(node_count, plc_count, &mut rng)];
+        let step = env.step(&actions);
 
-            for (idx, prev_class) in prev_classes.iter_mut().enumerate() {
-                let node = NodeId::from_index(idx);
-                let next_class = env.state().compromise(node).class();
-                let node_obs = &step.observation.nodes[idx];
-                let action = ActionCategory::from_observation(node_obs);
-                let symbol = ObsSymbol::from_observation(node_obs);
-                transition.record(*prev_class, prev_mu, action, next_class);
-                observation.record(next_class, action, symbol);
-                *prev_class = next_class;
-            }
-            prev_mu = MuBucket::from_count(env.state().compromised_count() as f64);
+        for (idx, prev_class) in prev_classes.iter_mut().enumerate() {
+            let node = NodeId::from_index(idx);
+            let next_class = env.state().compromise(node).class();
+            let node_obs = &step.observation.nodes[idx];
+            let action = ActionCategory::from_observation(node_obs);
+            let symbol = ObsSymbol::from_observation(node_obs);
+            transition.record(*prev_class, prev_mu, action, next_class);
+            observation.record(next_class, action, symbol);
+            *prev_class = next_class;
+        }
+        prev_mu = MuBucket::from_count(env.state().compromised_count() as f64);
 
-            if step.done {
-                break;
-            }
+        if step.done {
+            break;
         }
     }
+    (transition, observation)
+}
 
+/// Runs random-defender episodes against the simulator and estimates the
+/// transition and observation tables by counting.
+///
+/// Episodes are independent and fan out over `ACSO_THREADS` workers (default:
+/// available parallelism); per-episode count shards are merged in episode
+/// order, so the learned model is identical for any thread count.
+pub fn learn_model(config: &LearnConfig) -> DbnModel {
+    learn_model_with_threads(config, acso_runtime::available_threads())
+}
+
+/// [`learn_model`] with an explicit worker count. Callers that are already
+/// running inside a thread pool (e.g. a grid search training several models
+/// concurrently) pass `1` to avoid oversubscribing the machine; the result
+/// is identical for any value.
+pub fn learn_model_with_threads(config: &LearnConfig, threads: usize) -> DbnModel {
+    let shards = acso_runtime::run_indexed(config.episodes, threads, |episode| {
+        collect_episode(config, episode)
+    });
+
+    let mut transition = TransitionCpt::new(0.5);
+    let mut observation = ObservationCpt::new(0.5);
+    for (t, o) in &shards {
+        transition.merge(t);
+        observation.merge(o);
+    }
     DbnModel {
         transition,
         observation,

@@ -1,8 +1,9 @@
 //! Element-wise activation layers.
 
-use crate::layers::Layer;
+use crate::layers::{cache_input, Layer};
 use crate::matrix::Matrix;
 use crate::param::Param;
+use crate::scratch::Scratch;
 use serde::{Deserialize, Serialize};
 
 /// Supported activation functions.
@@ -32,23 +33,28 @@ impl ActivationKind {
         }
     }
 
-    fn derivative(&self, x: f32) -> f32 {
+    /// The derivative expressed in terms of the activation *output*
+    /// `y = f(x)` — cheap for every supported kind (`1 − y²` for tanh; the
+    /// ReLUs' input sign is recoverable from the output sign since both are
+    /// strictly increasing with `f(x) > 0 ⇔ x > 0`). Bit-identical to the
+    /// textbook input-based derivative at the corresponding input.
+    fn derivative_from_output(&self, y: f32) -> f32 {
         match self {
             ActivationKind::Relu => {
-                if x > 0.0 {
+                if y > 0.0 {
                     1.0
                 } else {
                     0.0
                 }
             }
             ActivationKind::LeakyRelu => {
-                if x > 0.0 {
+                if y > 0.0 {
                     1.0
                 } else {
                     0.01
                 }
             }
-            ActivationKind::Tanh => 1.0 - x.tanh().powi(2),
+            ActivationKind::Tanh => 1.0 - y * y,
         }
     }
 }
@@ -57,7 +63,11 @@ impl ActivationKind {
 #[derive(Debug, Clone)]
 pub struct Activation {
     kind: ActivationKind,
-    cached_input: Option<Matrix>,
+    /// The *output* of the most recent forward pass: every supported kind's
+    /// derivative is recoverable from it (see
+    /// [`ActivationKind::derivative_from_output`]), which keeps tanh out of
+    /// the backward pass entirely.
+    cached_output: Option<Matrix>,
 }
 
 impl Activation {
@@ -65,7 +75,7 @@ impl Activation {
     pub fn new(kind: ActivationKind) -> Self {
         Self {
             kind,
-            cached_input: None,
+            cached_output: None,
         }
     }
 
@@ -91,18 +101,33 @@ impl Activation {
 }
 
 impl Layer for Activation {
-    fn forward(&mut self, input: &Matrix) -> Matrix {
-        self.cached_input = Some(input.clone());
-        input.map(|x| self.kind.apply(x))
+    fn forward(&mut self, input: &Matrix, scratch: &mut Scratch) -> Matrix {
+        let mut out = scratch.take_copy(input);
+        out.map_inplace(|x| self.kind.apply(x));
+        cache_input(&mut self.cached_output, &out);
+        out
     }
 
-    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
-        let input = self
-            .cached_input
+    fn backward(&mut self, grad_output: &Matrix, scratch: &mut Scratch) -> Matrix {
+        let output = self
+            .cached_output
             .as_ref()
             .expect("backward called before forward");
-        let deriv = input.map(|x| self.kind.derivative(x));
-        grad_output.hadamard(&deriv)
+        assert_eq!(
+            grad_output.shape(),
+            output.shape(),
+            "activation gradient shape mismatch"
+        );
+        let mut grad_input = scratch.take(output.rows(), output.cols());
+        for ((g, &go), &y) in grad_input
+            .data_mut()
+            .iter_mut()
+            .zip(grad_output.data())
+            .zip(output.data())
+        {
+            *g = go * self.kind.derivative_from_output(y);
+        }
+        grad_input
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -116,11 +141,12 @@ mod tests {
 
     #[test]
     fn relu_forward_backward() {
+        let mut scratch = Scratch::new();
         let mut act = Activation::relu();
         let x = Matrix::row_vector(&[-1.0, 0.5, 2.0]);
-        let y = act.forward(&x);
+        let y = act.forward(&x, &mut scratch);
         assert_eq!(y.data(), &[0.0, 0.5, 2.0]);
-        let g = act.backward(&Matrix::row_vector(&[1.0, 1.0, 1.0]));
+        let g = act.backward(&Matrix::row_vector(&[1.0, 1.0, 1.0]), &mut scratch);
         assert_eq!(g.data(), &[0.0, 1.0, 1.0]);
         assert_eq!(act.parameter_count(), 0);
         assert_eq!(act.kind(), ActivationKind::Relu);
@@ -128,31 +154,69 @@ mod tests {
 
     #[test]
     fn leaky_relu_keeps_small_negative_slope() {
+        let mut scratch = Scratch::new();
         let mut act = Activation::leaky_relu();
         let x = Matrix::row_vector(&[-2.0, 3.0]);
-        let y = act.forward(&x);
+        let y = act.forward(&x, &mut scratch);
         assert!((y.get(0, 0) + 0.02).abs() < 1e-6);
-        let g = act.backward(&Matrix::row_vector(&[1.0, 1.0]));
+        let g = act.backward(&Matrix::row_vector(&[1.0, 1.0]), &mut scratch);
         assert!((g.get(0, 0) - 0.01).abs() < 1e-6);
         assert!((g.get(0, 1) - 1.0).abs() < 1e-6);
     }
 
     #[test]
     fn tanh_gradient_matches_finite_difference() {
+        let mut scratch = Scratch::new();
         let mut act = Activation::tanh();
         let x = Matrix::row_vector(&[0.3]);
-        let _ = act.forward(&x);
-        let g = act.backward(&Matrix::row_vector(&[1.0]));
+        let _ = act.forward(&x, &mut scratch);
+        let g = act.backward(&Matrix::row_vector(&[1.0]), &mut scratch);
         let eps = 1e-3f32;
         let numeric = ((0.3f32 + eps).tanh() - (0.3f32 - eps).tanh()) / (2.0 * eps);
         assert!((g.get(0, 0) - numeric).abs() < 1e-4);
     }
 
     #[test]
+    fn output_based_derivative_matches_input_based_derivative() {
+        // The backward pass computes derivatives from the cached *output*;
+        // it must agree with the textbook input-based definition.
+        let input_based = |kind: ActivationKind, x: f32| match kind {
+            ActivationKind::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            ActivationKind::LeakyRelu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.01
+                }
+            }
+            ActivationKind::Tanh => 1.0 - x.tanh().powi(2),
+        };
+        for kind in [
+            ActivationKind::Relu,
+            ActivationKind::LeakyRelu,
+            ActivationKind::Tanh,
+        ] {
+            for x in [-3.0f32, -0.5, -0.0, 0.0, 0.25, 2.0] {
+                assert_eq!(
+                    input_based(kind, x),
+                    kind.derivative_from_output(kind.apply(x)),
+                    "{kind:?} at {x}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn tanh_output_is_bounded() {
         let mut act = Activation::tanh();
         let x = Matrix::row_vector(&[-100.0, 0.0, 100.0]);
-        let y = act.forward(&x);
+        let y = act.forward(&x, &mut Scratch::new());
         assert!(y.data().iter().all(|v| v.abs() <= 1.0));
     }
 }

@@ -9,6 +9,7 @@ use crate::init::xavier_uniform;
 use crate::layers::Layer;
 use crate::matrix::Matrix;
 use crate::param::Param;
+use crate::scratch::Scratch;
 
 /// Single-head scaled dot-product self-attention with an output projection.
 ///
@@ -29,6 +30,12 @@ pub struct SelfAttention {
     wo: Param,
     attn_dim: usize,
     cache: Option<Cache>,
+    /// Persistent buffers holding `Wqᵀ/Wkᵀ/Wvᵀ/Woᵀ` for the backward pass
+    /// (fast tiled matmuls instead of strided ones); refreshed lazily and
+    /// invalidated by [`SelfAttention::params_mut`], the only path that can
+    /// mutate the weights.
+    weights_t: [Matrix; 4],
+    weights_t_valid: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -54,6 +61,13 @@ impl SelfAttention {
             wo: Param::new(xavier_uniform(attn_dim, output_dim, seed.wrapping_add(4))),
             attn_dim,
             cache: None,
+            weights_t: [
+                Matrix::zeros(attn_dim, input_dim),
+                Matrix::zeros(attn_dim, input_dim),
+                Matrix::zeros(attn_dim, input_dim),
+                Matrix::zeros(output_dim, attn_dim),
+            ],
+            weights_t_valid: false,
         }
     }
 
@@ -70,17 +84,39 @@ impl SelfAttention {
 }
 
 impl Layer for SelfAttention {
-    fn forward(&mut self, input: &Matrix) -> Matrix {
-        let q = input.matmul(&self.wq.value);
-        let k = input.matmul(&self.wk.value);
-        let v = input.matmul(&self.wv.value);
+    fn forward(&mut self, input: &Matrix, scratch: &mut Scratch) -> Matrix {
+        // Return last call's cache buffers to the pool so the steady state
+        // cycles the same allocations instead of growing new ones.
+        if let Some(old) = self.cache.take() {
+            scratch.recycle(old.input);
+            scratch.recycle(old.q);
+            scratch.recycle(old.k);
+            scratch.recycle(old.v);
+            scratch.recycle(old.attn);
+            scratch.recycle(old.mixed);
+        }
+        let n = input.rows();
+        let mut q = scratch.take(n, self.attn_dim);
+        input.matmul_into(&self.wq.value, &mut q);
+        let mut k = scratch.take(n, self.attn_dim);
+        input.matmul_into(&self.wk.value, &mut k);
+        let mut v = scratch.take(n, self.attn_dim);
+        input.matmul_into(&self.wv.value, &mut v);
+
         let scale = 1.0 / (self.attn_dim as f32).sqrt();
-        let scores = q.matmul(&k.transpose()).scale(scale);
-        let attn = scores.softmax_rows();
-        let mixed = attn.matmul(&v);
-        let output = mixed.matmul(&self.wo.value);
+        // scores = Q·Kᵀ, computed without materialising Kᵀ.
+        let mut attn = scratch.take(n, n);
+        q.matmul_transb_into(&k, &mut attn);
+        attn.scale_inplace(scale);
+        attn.softmax_rows_inplace();
+
+        let mut mixed = scratch.take(n, self.attn_dim);
+        attn.matmul_into(&v, &mut mixed);
+        let mut output = scratch.take(n, self.wo.value.cols());
+        mixed.matmul_into(&self.wo.value, &mut output);
+
         self.cache = Some(Cache {
-            input: input.clone(),
+            input: scratch.take_copy(input),
             q,
             k,
             v,
@@ -90,51 +126,69 @@ impl Layer for SelfAttention {
         output
     }
 
-    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+    fn backward(&mut self, grad_output: &Matrix, scratch: &mut Scratch) -> Matrix {
+        if !self.weights_t_valid {
+            self.wq.value.transpose_into(&mut self.weights_t[0]);
+            self.wk.value.transpose_into(&mut self.weights_t[1]);
+            self.wv.value.transpose_into(&mut self.weights_t[2]);
+            self.wo.value.transpose_into(&mut self.weights_t[3]);
+            self.weights_t_valid = true;
+        }
         let cache = self.cache.as_ref().expect("backward called before forward");
+        let n = cache.attn.rows();
         let scale = 1.0 / (self.attn_dim as f32).sqrt();
 
-        // Output projection.
-        self.wo
-            .accumulate_grad(&cache.mixed.transpose().matmul(grad_output));
-        let grad_mixed = grad_output.matmul(&self.wo.value.transpose());
+        // Output projection: Wo.grad += mixedᵀ·G, grad_mixed = G·Woᵀ.
+        self.wo.grad.add_matmul_transa(&cache.mixed, grad_output);
+        let mut grad_mixed = scratch.take(n, self.attn_dim);
+        grad_output.matmul_into(&self.weights_t[3], &mut grad_mixed);
 
         // Y = A·V
-        let grad_attn = grad_mixed.matmul(&cache.v.transpose());
-        let grad_v = cache.attn.transpose().matmul(&grad_mixed);
+        let mut grad_attn = scratch.take(n, n);
+        grad_mixed.matmul_transb_into(&cache.v, &mut grad_attn);
+        let mut grad_v = scratch.take(n, self.attn_dim);
+        cache.attn.matmul_transa_into(&grad_mixed, &mut grad_v);
 
-        // Softmax backward, row by row: dS_i = A_i ⊙ (dA_i − (dA_i·A_i))
-        let n = cache.attn.rows();
-        let mut grad_scores = Matrix::zeros(n, n);
+        // Softmax backward, row by row: dS_i = A_i ⊙ (dA_i − (dA_i·A_i)),
+        // written back into the grad_attn buffer, then pre-scaled.
         for i in 0..n {
             let a_row = cache.attn.row(i);
-            let da_row = grad_attn.row(i);
-            let dot: f32 = a_row.iter().zip(da_row).map(|(a, d)| a * d).sum();
-            for j in 0..n {
-                grad_scores.set(i, j, a_row[j] * (da_row[j] - dot));
+            let da_row = &mut grad_attn.row_mut(i)[..];
+            let dot: f32 = a_row.iter().zip(da_row.iter()).map(|(a, d)| a * d).sum();
+            for (d, &a) in da_row.iter_mut().zip(a_row) {
+                *d = a * (*d - dot) * scale;
             }
         }
-        let grad_scores = grad_scores.scale(scale);
+        let grad_scores = grad_attn;
 
         // scores = Q·Kᵀ
-        let grad_q = grad_scores.matmul(&cache.k);
-        let grad_k = grad_scores.transpose().matmul(&cache.q);
+        let mut grad_q = scratch.take(n, self.attn_dim);
+        grad_scores.matmul_into(&cache.k, &mut grad_q);
+        let mut grad_k = scratch.take(n, self.attn_dim);
+        grad_scores.matmul_transa_into(&cache.q, &mut grad_k);
 
         // Projections.
-        self.wq
-            .accumulate_grad(&cache.input.transpose().matmul(&grad_q));
-        self.wk
-            .accumulate_grad(&cache.input.transpose().matmul(&grad_k));
-        self.wv
-            .accumulate_grad(&cache.input.transpose().matmul(&grad_v));
+        self.wq.grad.add_matmul_transa(&cache.input, &grad_q);
+        self.wk.grad.add_matmul_transa(&cache.input, &grad_k);
+        self.wv.grad.add_matmul_transa(&cache.input, &grad_v);
 
-        let mut grad_input = grad_q.matmul(&self.wq.value.transpose());
-        grad_input.accumulate(&grad_k.matmul(&self.wk.value.transpose()));
-        grad_input.accumulate(&grad_v.matmul(&self.wv.value.transpose()));
+        let mut grad_input = scratch.take(n, self.wq.value.rows());
+        grad_q.matmul_into(&self.weights_t[0], &mut grad_input);
+        grad_input.add_matmul(&grad_k, &self.weights_t[1]);
+        grad_input.add_matmul(&grad_v, &self.weights_t[2]);
+
+        scratch.recycle(grad_mixed);
+        scratch.recycle(grad_scores);
+        scratch.recycle(grad_q);
+        scratch.recycle(grad_k);
+        scratch.recycle(grad_v);
         grad_input
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
+        // Handing out `&mut Param` is the only way the weights can change,
+        // so the cached transposes must be considered stale from here on.
+        self.weights_t_valid = false;
         vec![&mut self.wq, &mut self.wk, &mut self.wv, &mut self.wo]
     }
 }
@@ -145,10 +199,11 @@ mod tests {
 
     #[test]
     fn forward_shapes_are_independent_of_row_count() {
+        let mut scratch = Scratch::new();
         let mut attn = SelfAttention::new(8, 16, 4, 0);
         for n in [1usize, 3, 10, 33] {
             let x = Matrix::full(n, 8, 0.1);
-            let y = attn.forward(&x);
+            let y = attn.forward(&x, &mut scratch);
             assert_eq!(y.shape(), (n, 4));
         }
         assert_eq!(attn.output_dim(), 4);
@@ -165,7 +220,7 @@ mod tests {
             &[0.0, 1.0, 0.0, 0.0],
             &[0.0, 0.0, 1.0, 0.0],
         ]);
-        let _ = attn.forward(&x);
+        let _ = attn.forward(&x, &mut Scratch::new());
         let a = attn.last_attention().unwrap();
         for i in 0..a.rows() {
             let sum: f32 = a.row(i).iter().sum();
@@ -175,14 +230,15 @@ mod tests {
 
     #[test]
     fn gradient_check_with_finite_differences() {
+        let mut scratch = Scratch::new();
         let mut attn = SelfAttention::new(3, 4, 2, 7);
         let x = Matrix::from_rows(&[&[0.5, -0.2, 0.1], &[0.3, 0.8, -0.5]]);
 
         // Loss = sum of outputs.
-        let out = attn.forward(&x);
+        let out = attn.forward(&x, &mut scratch);
         let ones = Matrix::full(out.rows(), out.cols(), 1.0);
         attn.zero_grad();
-        let grad_input = attn.backward(&ones);
+        let grad_input = attn.backward(&ones, &mut scratch);
 
         // Numerically check the gradient wrt one input element.
         let eps = 1e-3f32;
@@ -190,8 +246,8 @@ mod tests {
         x_plus.set(0, 1, x.get(0, 1) + eps);
         let mut x_minus = x.clone();
         x_minus.set(0, 1, x.get(0, 1) - eps);
-        let f_plus = attn.forward(&x_plus).sum();
-        let f_minus = attn.forward(&x_minus).sum();
+        let f_plus = attn.forward(&x_plus, &mut scratch).sum();
+        let f_minus = attn.forward(&x_minus, &mut scratch).sum();
         let numeric = (f_plus - f_minus) / (2.0 * eps);
         assert!(
             (grad_input.get(0, 1) - numeric).abs() < 2e-2,
@@ -203,20 +259,21 @@ mod tests {
 
     #[test]
     fn parameter_gradient_check() {
+        let mut scratch = Scratch::new();
         let mut attn = SelfAttention::new(3, 4, 2, 11);
         let x = Matrix::from_rows(&[&[0.2, 0.4, -0.3], &[-0.6, 0.1, 0.9]]);
-        let out = attn.forward(&x);
+        let out = attn.forward(&x, &mut scratch);
         let ones = Matrix::full(out.rows(), out.cols(), 1.0);
         attn.zero_grad();
-        let _ = attn.backward(&ones);
+        let _ = attn.backward(&ones, &mut scratch);
         let analytic = attn.params_mut()[0].grad.get(1, 2); // wq[1][2]
 
         let eps = 1e-3f32;
         let orig = attn.params_mut()[0].value.get(1, 2);
         attn.params_mut()[0].value.set(1, 2, orig + eps);
-        let f_plus = attn.forward(&x).sum();
+        let f_plus = attn.forward(&x, &mut scratch).sum();
         attn.params_mut()[0].value.set(1, 2, orig - eps);
-        let f_minus = attn.forward(&x).sum();
+        let f_minus = attn.forward(&x, &mut scratch).sum();
         attn.params_mut()[0].value.set(1, 2, orig);
         let numeric = (f_plus - f_minus) / (2.0 * eps);
         assert!(

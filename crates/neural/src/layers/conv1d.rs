@@ -5,9 +5,10 @@
 //! feature vector as the channel dimension.
 
 use crate::init::xavier_uniform;
-use crate::layers::Layer;
+use crate::layers::{cache_input, Layer};
 use crate::matrix::Matrix;
 use crate::param::Param;
+use crate::scratch::Scratch;
 
 /// A 1-D convolution: input `[time, channels_in]`, output
 /// `[time_out, channels_out]` with `time_out = (time - kernel) / stride + 1`.
@@ -63,18 +64,19 @@ impl Conv1d {
         self.weight.value.cols()
     }
 
-    fn window(&self, input: &Matrix, t_out: usize) -> Matrix {
+    /// Copies the strided input window for output step `t_out` into `win`
+    /// (a `1 x kernel*channels_in` buffer), without allocating.
+    fn window_into(&self, input: &Matrix, t_out: usize, win: &mut Matrix) {
         let start = t_out * self.stride;
-        let mut data = Vec::with_capacity(self.kernel * self.channels_in);
         for k in 0..self.kernel {
-            data.extend_from_slice(input.row(start + k));
+            win.row_mut(0)[k * self.channels_in..(k + 1) * self.channels_in]
+                .copy_from_slice(input.row(start + k));
         }
-        Matrix::from_vec(1, self.kernel * self.channels_in, data)
     }
 }
 
 impl Layer for Conv1d {
-    fn forward(&mut self, input: &Matrix) -> Matrix {
+    fn forward(&mut self, input: &Matrix, scratch: &mut Scratch) -> Matrix {
         assert_eq!(
             input.cols(),
             self.channels_in,
@@ -82,46 +84,55 @@ impl Layer for Conv1d {
             self.channels_in,
             input.cols()
         );
-        self.cached_input = Some(input.clone());
+        cache_input(&mut self.cached_input, input);
         let t_out = self.output_len(input.rows());
-        let mut out = Matrix::zeros(t_out, self.channels_out());
+        let c_out = self.channels_out();
+        let mut out = scratch.take(t_out, c_out);
+        let mut win = scratch.take(1, self.kernel * self.channels_in);
+        let mut y = scratch.take(1, c_out);
         for t in 0..t_out {
-            let window = self.window(input, t);
-            let y = window
-                .matmul(&self.weight.value)
-                .add_row_broadcast(&self.bias.value);
-            for j in 0..self.channels_out() {
-                out.set(t, j, y.get(0, j));
-            }
+            self.window_into(input, t, &mut win);
+            win.matmul_into(&self.weight.value, &mut y);
+            y.add_row_inplace(&self.bias.value);
+            out.row_mut(t).copy_from_slice(y.row(0));
         }
+        scratch.recycle(win);
+        scratch.recycle(y);
         out
     }
 
-    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+    fn backward(&mut self, grad_output: &Matrix, scratch: &mut Scratch) -> Matrix {
         let input = self
             .cached_input
-            .as_ref()
-            .expect("backward called before forward")
-            .clone();
+            .take()
+            .expect("backward called before forward");
         let t_out = self.output_len(input.rows());
         assert_eq!(grad_output.rows(), t_out, "conv1d grad shape mismatch");
-        let mut grad_input = Matrix::zeros(input.rows(), input.cols());
+        let mut grad_input = scratch.take(input.rows(), input.cols());
+        let mut win = scratch.take(1, self.kernel * self.channels_in);
         for t in 0..t_out {
-            let grad_row = grad_output.row_matrix(t);
-            let window = self.window(&input, t);
-            self.weight
-                .accumulate_grad(&window.transpose().matmul(&grad_row));
-            self.bias.accumulate_grad(&grad_row);
-            let grad_window = grad_row.matmul(&self.weight.value.transpose());
+            let grad_row = grad_output.row(t);
+            self.window_into(&input, t, &mut win);
+            // W.grad += windowᵀ · grad_row (rank-1), b.grad += grad_row.
+            self.weight.grad.add_outer(win.row(0), grad_row);
+            for (b, &g) in self.bias.grad.row_mut(0).iter_mut().zip(grad_row) {
+                *b += g;
+            }
+            // grad_window = grad_row · Wᵀ, scattered back onto the input.
             let start = t * self.stride;
             for k in 0..self.kernel {
                 for c in 0..self.channels_in {
-                    let v =
-                        grad_input.get(start + k, c) + grad_window.get(0, k * self.channels_in + c);
-                    grad_input.set(start + k, c, v);
+                    let w_row = self.weight.value.row(k * self.channels_in + c);
+                    let mut acc = 0.0f32;
+                    for (&g, &w) in grad_row.iter().zip(w_row) {
+                        acc += g * w;
+                    }
+                    grad_input.row_mut(start + k)[c] += acc;
                 }
             }
         }
+        scratch.recycle(win);
+        self.cached_input = Some(input);
         grad_input
     }
 
@@ -147,25 +158,28 @@ mod tests {
     fn forward_shapes() {
         let mut conv = Conv1d::new(3, 5, 2, 2, 1);
         let x = Matrix::full(8, 3, 0.5);
-        let y = conv.forward(&x);
+        let y = conv.forward(&x, &mut Scratch::new());
         assert_eq!(y.shape(), (4, 5));
     }
 
     #[test]
     fn gradient_check_on_input() {
+        let mut scratch = Scratch::new();
         let mut conv = Conv1d::new(2, 3, 2, 1, 5);
         let x = Matrix::from_rows(&[&[0.1, -0.2], &[0.4, 0.3], &[-0.5, 0.6]]);
-        let out = conv.forward(&x);
+        let out = conv.forward(&x, &mut scratch);
         let ones = Matrix::full(out.rows(), out.cols(), 1.0);
         conv.zero_grad();
-        let grad_in = conv.backward(&ones);
+        let grad_in = conv.backward(&ones, &mut scratch);
 
         let eps = 1e-3f32;
         let mut x_plus = x.clone();
         x_plus.set(1, 0, x.get(1, 0) + eps);
         let mut x_minus = x.clone();
         x_minus.set(1, 0, x.get(1, 0) - eps);
-        let numeric = (conv.forward(&x_plus).sum() - conv.forward(&x_minus).sum()) / (2.0 * eps);
+        let numeric = (conv.forward(&x_plus, &mut scratch).sum()
+            - conv.forward(&x_minus, &mut scratch).sum())
+            / (2.0 * eps);
         assert!(
             (grad_in.get(1, 0) - numeric).abs() < 2e-2,
             "analytic {} vs numeric {}",
@@ -176,20 +190,21 @@ mod tests {
 
     #[test]
     fn gradient_check_on_weights() {
+        let mut scratch = Scratch::new();
         let mut conv = Conv1d::new(2, 2, 2, 2, 9);
         let x = Matrix::from_rows(&[&[0.3, 0.1], &[-0.4, 0.7], &[0.2, -0.6], &[0.9, 0.05]]);
-        let out = conv.forward(&x);
+        let out = conv.forward(&x, &mut scratch);
         let ones = Matrix::full(out.rows(), out.cols(), 1.0);
         conv.zero_grad();
-        let _ = conv.backward(&ones);
+        let _ = conv.backward(&ones, &mut scratch);
         let analytic = conv.params_mut()[0].grad.get(2, 1);
 
         let eps = 1e-3f32;
         let orig = conv.params_mut()[0].value.get(2, 1);
         conv.params_mut()[0].value.set(2, 1, orig + eps);
-        let plus = conv.forward(&x).sum();
+        let plus = conv.forward(&x, &mut scratch).sum();
         conv.params_mut()[0].value.set(2, 1, orig - eps);
-        let minus = conv.forward(&x).sum();
+        let minus = conv.forward(&x, &mut scratch).sum();
         conv.params_mut()[0].value.set(2, 1, orig);
         let numeric = (plus - minus) / (2.0 * eps);
         assert!(

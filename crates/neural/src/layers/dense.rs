@@ -1,9 +1,10 @@
 //! Fully-connected layer.
 
 use crate::init::xavier_uniform;
-use crate::layers::Layer;
+use crate::layers::{cache_input, Layer};
 use crate::matrix::Matrix;
 use crate::param::Param;
+use crate::scratch::Scratch;
 
 /// A fully-connected (affine) layer: `output = input · W + b`.
 ///
@@ -15,6 +16,12 @@ pub struct Dense {
     weight: Param,
     bias: Param,
     cached_input: Option<Matrix>,
+    /// Persistent buffer holding `Wᵀ` for the backward pass, so `G·Wᵀ` runs
+    /// through the fast tiled `matmul` kernel instead of a strided one. The
+    /// transpose is refreshed lazily; [`Dense::params_mut`] — the only path
+    /// that can mutate the weights — invalidates it.
+    weight_t: Matrix,
+    weight_t_valid: bool,
 }
 
 impl Dense {
@@ -26,6 +33,8 @@ impl Dense {
             weight: Param::new(xavier_uniform(input_dim, output_dim, seed)),
             bias: Param::new(Matrix::zeros(1, output_dim)),
             cached_input: None,
+            weight_t: Matrix::zeros(output_dim, input_dim),
+            weight_t_valid: false,
         }
     }
 
@@ -41,25 +50,35 @@ impl Dense {
 }
 
 impl Layer for Dense {
-    fn forward(&mut self, input: &Matrix) -> Matrix {
-        self.cached_input = Some(input.clone());
-        input
-            .matmul(&self.weight.value)
-            .add_row_broadcast(&self.bias.value)
+    fn forward(&mut self, input: &Matrix, scratch: &mut Scratch) -> Matrix {
+        cache_input(&mut self.cached_input, input);
+        let mut out = scratch.take(input.rows(), self.weight.value.cols());
+        input.matmul_into(&self.weight.value, &mut out);
+        out.add_row_inplace(&self.bias.value);
+        out
     }
 
-    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+    fn backward(&mut self, grad_output: &Matrix, scratch: &mut Scratch) -> Matrix {
         let input = self
             .cached_input
             .as_ref()
             .expect("backward called before forward");
-        self.weight
-            .accumulate_grad(&input.transpose().matmul(grad_output));
-        self.bias.accumulate_grad(&grad_output.sum_rows());
-        grad_output.matmul(&self.weight.value.transpose())
+        self.weight.grad.add_matmul_transa(input, grad_output);
+        self.bias.grad.add_sum_rows(grad_output);
+        if !self.weight_t_valid {
+            self.weight.value.transpose_into(&mut self.weight_t);
+            self.weight_t_valid = true;
+        }
+        let mut grad_input = scratch.take(grad_output.rows(), self.weight.value.rows());
+        grad_output.matmul_into(&self.weight_t, &mut grad_input);
+        grad_input
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
+        // Handing out `&mut Param` is the only way the weights can change
+        // (optimizer steps, target-network copies), so the cached transpose
+        // must be considered stale from here on.
+        self.weight_t_valid = false;
         vec![&mut self.weight, &mut self.bias]
     }
 }
@@ -70,11 +89,12 @@ mod tests {
 
     #[test]
     fn forward_shape_and_bias() {
+        let mut scratch = Scratch::new();
         let mut layer = Dense::new(3, 2, 1);
         assert_eq!(layer.input_dim(), 3);
         assert_eq!(layer.output_dim(), 2);
         let x = Matrix::zeros(4, 3);
-        let y = layer.forward(&x);
+        let y = layer.forward(&x, &mut scratch);
         assert_eq!(y.shape(), (4, 2));
         // Zero input -> output equals (zero) bias.
         assert_eq!(y.sum(), 0.0);
@@ -83,13 +103,14 @@ mod tests {
 
     #[test]
     fn gradient_check_against_finite_differences() {
+        let mut scratch = Scratch::new();
         let mut layer = Dense::new(2, 2, 3);
         let x = Matrix::from_rows(&[&[0.3, -0.7], &[1.2, 0.4]]);
         // Loss = sum of outputs; dL/dout = ones.
-        let out = layer.forward(&x);
+        let out = layer.forward(&x, &mut scratch);
         let ones = Matrix::full(out.rows(), out.cols(), 1.0);
         layer.zero_grad();
-        let grad_in = layer.backward(&ones);
+        let grad_in = layer.backward(&ones, &mut scratch);
 
         // Finite-difference check on one weight entry and one input entry.
         let eps = 1e-3f32;
@@ -99,13 +120,13 @@ mod tests {
             let orig = w.get(0, 1);
             w.set(0, 1, orig + eps);
         }
-        let plus = layer.forward(&x).sum();
+        let plus = layer.forward(&x, &mut scratch).sum();
         {
             let w = &mut layer.params_mut()[0].value;
             let orig = w.get(0, 1);
             w.set(0, 1, orig - 2.0 * eps);
         }
-        let minus = layer.forward(&x).sum();
+        let minus = layer.forward(&x, &mut scratch).sum();
         let numeric_w = (plus - minus) / (2.0 * eps);
         assert!(
             (analytic_w - numeric_w).abs() < 1e-2,
@@ -126,6 +147,6 @@ mod tests {
     #[should_panic(expected = "backward called before forward")]
     fn backward_requires_forward() {
         let mut layer = Dense::new(2, 2, 0);
-        let _ = layer.backward(&Matrix::zeros(1, 2));
+        let _ = layer.backward(&Matrix::zeros(1, 2), &mut Scratch::new());
     }
 }

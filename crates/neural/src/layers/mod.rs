@@ -14,6 +14,7 @@ pub use sequential::Sequential;
 
 use crate::matrix::Matrix;
 use crate::param::Param;
+use crate::scratch::Scratch;
 
 /// A differentiable layer.
 ///
@@ -24,19 +25,26 @@ use crate::param::Param;
 /// sample (or one stacked matrix of rows) at a time, with parameter gradients
 /// accumulating across samples until the optimizer steps and
 /// [`Layer::zero_grad`] is called.
+///
+/// Both passes draw their output and temporary matrices from the caller's
+/// [`Scratch`] pool; returned matrices should eventually be
+/// [`Scratch::recycle`]d so the steady-state pass allocates nothing. Layers
+/// reuse their internal caches across calls for the same reason.
 pub trait Layer: Send {
     /// Computes the layer output for an input, caching intermediate values
-    /// needed by [`Layer::backward`].
-    fn forward(&mut self, input: &Matrix) -> Matrix;
+    /// needed by [`Layer::backward`]. The returned matrix comes from
+    /// `scratch`.
+    fn forward(&mut self, input: &Matrix, scratch: &mut Scratch) -> Matrix;
 
     /// Propagates the gradient of the loss with respect to the layer output
-    /// back to the layer input, accumulating parameter gradients.
+    /// back to the layer input, accumulating parameter gradients. The
+    /// returned matrix comes from `scratch`.
     ///
     /// # Panics
     ///
     /// Implementations may panic if called before [`Layer::forward`] or with a
     /// gradient whose shape does not match the cached forward output.
-    fn backward(&mut self, grad_output: &Matrix) -> Matrix;
+    fn backward(&mut self, grad_output: &Matrix, scratch: &mut Scratch) -> Matrix;
 
     /// Mutable access to the layer's trainable parameters.
     fn params_mut(&mut self) -> Vec<&mut Param>;
@@ -51,5 +59,14 @@ pub trait Layer: Send {
     /// Total number of trainable scalar values in the layer.
     fn parameter_count(&mut self) -> usize {
         self.params_mut().iter().map(|p| p.len()).sum()
+    }
+}
+
+/// Refreshes a layer's cached copy of its forward input, reusing the cache
+/// allocation after the first call.
+pub(crate) fn cache_input(cache: &mut Option<Matrix>, input: &Matrix) {
+    match cache {
+        Some(held) => held.copy_from(input),
+        None => *cache = Some(input.clone()),
     }
 }

@@ -3,6 +3,7 @@
 use crate::layers::Layer;
 use crate::matrix::Matrix;
 use crate::param::Param;
+use crate::scratch::Scratch;
 
 /// A stack of layers applied in order.
 pub struct Sequential {
@@ -33,18 +34,22 @@ impl std::fmt::Debug for Sequential {
 }
 
 impl Layer for Sequential {
-    fn forward(&mut self, input: &Matrix) -> Matrix {
-        let mut x = input.clone();
+    fn forward(&mut self, input: &Matrix, scratch: &mut Scratch) -> Matrix {
+        let mut x = scratch.take_copy(input);
         for layer in &mut self.layers {
-            x = layer.forward(&x);
+            let y = layer.forward(&x, scratch);
+            scratch.recycle(x);
+            x = y;
         }
         x
     }
 
-    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
-        let mut grad = grad_output.clone();
+    fn backward(&mut self, grad_output: &Matrix, scratch: &mut Scratch) -> Matrix {
+        let mut grad = scratch.take_copy(grad_output);
         for layer in self.layers.iter_mut().rev() {
-            grad = layer.backward(&grad);
+            let g = layer.backward(&grad, scratch);
+            scratch.recycle(grad);
+            grad = g;
         }
         grad
     }
@@ -84,15 +89,18 @@ mod tests {
             Box::new(Dense::new(16, 1, 2)),
         ]);
         let mut opt = Adam::new(5e-3);
+        let mut scratch = Scratch::new();
         let x = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]);
         let y = Matrix::from_rows(&[&[0.0], &[1.0], &[1.0], &[0.0]]);
         let mut last_loss = f32::MAX;
         for _ in 0..2_000 {
-            let pred = net.forward(&x);
+            let pred = net.forward(&x, &mut scratch);
             let (loss, grad) = huber(&pred, &y, 1.0);
             last_loss = loss;
             net.zero_grad();
-            net.backward(&grad);
+            let grad_in = net.backward(&grad, &mut scratch);
+            scratch.recycle(pred);
+            scratch.recycle(grad_in);
             opt.step(&mut net.params_mut());
         }
         assert!(last_loss < 0.03, "XOR loss did not converge: {last_loss}");

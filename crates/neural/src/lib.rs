@@ -17,10 +17,13 @@
 //! `backward` consumes that cache, which is exactly the discipline a DQN
 //! training loop needs.
 //!
+//! Every forward/backward pass takes a [`Scratch`] buffer pool; at steady
+//! state the layers perform zero heap allocations (see [`scratch`]).
+//!
 //! # Example
 //!
 //! ```
-//! use neural::{layers::{Activation, Dense, Sequential}, Layer, Matrix};
+//! use neural::{layers::{Activation, Dense, Sequential}, Layer, Matrix, Scratch};
 //! use neural::optim::Adam;
 //! use neural::loss::huber;
 //!
@@ -31,16 +34,19 @@
 //!     Box::new(Dense::new(8, 1, 2)),
 //! ]);
 //! let mut opt = Adam::new(1e-2);
+//! let mut scratch = Scratch::new();
 //! for _ in 0..300 {
 //!     let x = Matrix::from_rows(&[&[0.0], &[0.5], &[1.0], &[1.5]]);
 //!     let target = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0]]);
-//!     let pred = net.forward(&x);
+//!     let pred = net.forward(&x, &mut scratch);
 //!     let (_, grad) = huber(&pred, &target, 1.0);
 //!     net.zero_grad();
-//!     net.backward(&grad);
+//!     let grad_in = net.backward(&grad, &mut scratch);
+//!     scratch.recycle(pred);
+//!     scratch.recycle(grad_in);
 //!     opt.step(&mut net.params_mut());
 //! }
-//! let pred = net.forward(&Matrix::from_rows(&[&[2.0]]));
+//! let pred = net.forward(&Matrix::from_rows(&[&[2.0]]), &mut scratch);
 //! assert!((pred.get(0, 0) - 4.0).abs() < 0.5);
 //! ```
 
@@ -52,7 +58,9 @@ pub mod loss;
 pub mod matrix;
 pub mod optim;
 pub mod param;
+pub mod scratch;
 
 pub use layers::Layer;
 pub use matrix::Matrix;
 pub use param::Param;
+pub use scratch::Scratch;

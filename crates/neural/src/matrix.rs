@@ -145,37 +145,258 @@ impl Matrix {
     ///
     /// Panics if `self.cols() != other.rows()`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(
-            self.cols, other.rows,
-            "matmul shape mismatch: {}x{} * {}x{}",
-            self.rows, self.cols, other.rows, other.cols
-        );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// Writes `self * other` into `out` without allocating: the register
+    /// tiles are stored directly, so `out`'s previous contents are neither
+    /// read nor zeroed first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()` or `out` is not
+    /// `self.rows() x other.cols()`.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        out.matmul_impl::<false>(self, other);
+    }
+
+    /// Accumulates `a * b` into `self` (`self += a·b`) without allocating.
+    ///
+    /// The kernel is blocked into 32-column register tiles: each tile of the
+    /// output row accumulates in registers across the entire `k` loop (the
+    /// output is loaded and stored once per tile instead of once per `k`),
+    /// and the 32-lane tile auto-vectorizes. Within every output element the
+    /// accumulation order is ascending `k` — the naive dot-product order —
+    /// so `matmul_into` (which starts from zero) reproduces the naive kernel
+    /// bit-for-bit at every size. Dense inputs take no data-dependent
+    /// branches (`0 × NaN` correctly propagates `NaN`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch.
+    pub fn add_matmul(&mut self, a: &Matrix, b: &Matrix) {
+        self.matmul_impl::<true>(a, b);
+    }
+
+    /// Shared tiled kernel behind [`Matrix::matmul_into`] (`ACCUMULATE =
+    /// false`: tiles stored directly) and [`Matrix::add_matmul`]
+    /// (`ACCUMULATE = true`: tiles added onto the existing contents).
+    fn matmul_impl<const ACCUMULATE: bool>(&mut self, a: &Matrix, b: &Matrix) {
+        assert_eq!(
+            a.cols, b.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            a.rows, a.cols, b.rows, b.cols
+        );
+        assert_eq!(
+            (self.rows, self.cols),
+            (a.rows, b.cols),
+            "matmul output shape mismatch"
+        );
+        const JT: usize = 32;
+        let (m, kk, n) = (a.rows, a.cols, b.cols);
+        for i in 0..m {
+            let a_row = &a.data[i * kk..(i + 1) * kk];
+            let mut j0 = 0;
+            // Hot path: full 32-lane tiles with compile-time-known widths.
+            while j0 + JT <= n {
+                let mut acc = [0.0f32; JT];
+                for (k, &av) in a_row.iter().enumerate() {
+                    let b_tile = &b.data[k * n + j0..k * n + j0 + JT];
+                    for (o, &bv) in acc.iter_mut().zip(b_tile) {
+                        *o += av * bv;
+                    }
                 }
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
-                for (o, b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+                let out = &mut self.data[i * n + j0..i * n + j0 + JT];
+                for (o, &v) in out.iter_mut().zip(&acc) {
+                    if ACCUMULATE {
+                        *o += v;
+                    } else {
+                        *o = v;
+                    }
+                }
+                j0 += JT;
+            }
+            // Ragged tail: same ascending-k accumulation, runtime width.
+            if j0 < n {
+                let jb = n - j0;
+                let mut acc = [0.0f32; JT];
+                for (k, &av) in a_row.iter().enumerate() {
+                    let b_tile = &b.data[k * n + j0..k * n + j0 + jb];
+                    for (o, &bv) in acc[..jb].iter_mut().zip(b_tile) {
+                        *o += av * bv;
+                    }
+                }
+                let out = &mut self.data[i * n + j0..i * n + j0 + jb];
+                for (o, &v) in out.iter_mut().zip(&acc[..jb]) {
+                    if ACCUMULATE {
+                        *o += v;
+                    } else {
+                        *o = v;
+                    }
                 }
             }
         }
-        out
+    }
+
+    /// Writes `selfᵀ * other` into `out` without materialising the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch.
+    pub fn matmul_transa_into(&self, other: &Matrix, out: &mut Matrix) {
+        out.fill(0.0);
+        out.add_matmul_transa(self, other);
+    }
+
+    /// Accumulates `aᵀ * b` into `self` without materialising the transpose
+    /// or allocating — the gradient-accumulation kernel (`W.grad += Xᵀ·G`).
+    /// Uses the same 32-lane register tiling as [`Matrix::add_matmul`]: each
+    /// output tile accumulates in registers across the shared (`k`) row
+    /// dimension, ascending `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch.
+    pub fn add_matmul_transa(&mut self, a: &Matrix, b: &Matrix) {
+        assert_eq!(
+            a.rows, b.rows,
+            "matmul_transa shape mismatch: {}x{}ᵀ * {}x{}",
+            a.rows, a.cols, b.rows, b.cols
+        );
+        assert_eq!(
+            (self.rows, self.cols),
+            (a.cols, b.cols),
+            "matmul_transa output shape mismatch"
+        );
+        const JT: usize = 32;
+        let (m, r, c) = (a.rows, a.cols, b.cols);
+        for i in 0..r {
+            let mut j0 = 0;
+            while j0 + JT <= c {
+                let mut acc = [0.0f32; JT];
+                for k in 0..m {
+                    let av = a.data[k * r + i];
+                    let b_tile = &b.data[k * c + j0..k * c + j0 + JT];
+                    for (o, &bv) in acc.iter_mut().zip(b_tile) {
+                        *o += av * bv;
+                    }
+                }
+                let out = &mut self.data[i * c + j0..i * c + j0 + JT];
+                for (o, &v) in out.iter_mut().zip(&acc) {
+                    *o += v;
+                }
+                j0 += JT;
+            }
+            if j0 < c {
+                let jb = c - j0;
+                let mut acc = [0.0f32; JT];
+                for k in 0..m {
+                    let av = a.data[k * r + i];
+                    let b_tile = &b.data[k * c + j0..k * c + j0 + jb];
+                    for (o, &bv) in acc[..jb].iter_mut().zip(b_tile) {
+                        *o += av * bv;
+                    }
+                }
+                let out = &mut self.data[i * c + j0..i * c + j0 + jb];
+                for (o, &v) in out.iter_mut().zip(&acc[..jb]) {
+                    *o += v;
+                }
+            }
+        }
+    }
+
+    /// Writes `self * otherᵀ` into `out` without materialising the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch.
+    pub fn matmul_transb_into(&self, other: &Matrix, out: &mut Matrix) {
+        out.fill(0.0);
+        out.add_matmul_transb(self, other);
+    }
+
+    /// Accumulates `a * bᵀ` into `self` without materialising the transpose
+    /// or allocating. Both operands stream row-major, so this is the
+    /// cache-friendly form of every `X·Wᵀ` backward product and of the
+    /// attention score matrix `Q·Kᵀ`.
+    ///
+    /// Each dot product runs over eight independent accumulator lanes so
+    /// the reduction vectorizes; the summation order therefore differs from
+    /// the naive kernel by a few ulps (the layers' gradient tolerances
+    /// absorb this, and [`Matrix::matmul_into`] — the kernel with the exact
+    /// ordering contract — is unaffected).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch.
+    pub fn add_matmul_transb(&mut self, a: &Matrix, b: &Matrix) {
+        assert_eq!(
+            a.cols, b.cols,
+            "matmul_transb shape mismatch: {}x{} * {}x{}ᵀ",
+            a.rows, a.cols, b.rows, b.cols
+        );
+        assert_eq!(
+            (self.rows, self.cols),
+            (a.rows, b.rows),
+            "matmul_transb output shape mismatch"
+        );
+        let (kk, n) = (a.cols, b.rows);
+        for i in 0..a.rows {
+            let a_row = &a.data[i * a.cols..(i + 1) * a.cols];
+            let out_row = &mut self.data[i * n..(i + 1) * n];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &b.data[j * kk..(j + 1) * kk];
+                *o += dot_lanes(a_row, b_row);
+            }
+        }
+    }
+
+    /// Accumulates the outer product of two vectors into `self`
+    /// (`self[i][j] += col[i] * row[j]`) — the rank-1 gradient update of a
+    /// single-row layer input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not `col.len() x row.len()`.
+    pub fn add_outer(&mut self, col: &[f32], row: &[f32]) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (col.len(), row.len()),
+            "outer-product shape mismatch"
+        );
+        for (i, &cv) in col.iter().enumerate() {
+            let out_row = &mut self.data[i * self.cols..(i + 1) * self.cols];
+            for (o, &rv) in out_row.iter_mut().zip(row) {
+                *o += cv * rv;
+            }
+        }
     }
 
     /// Transpose.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// Writes the transpose into `out` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not `self.cols() x self.rows()`.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.cols, self.rows),
+            "transpose output shape mismatch"
+        );
         for i in 0..self.rows {
             for j in 0..self.cols {
                 out.data[j * self.rows + i] = self.data[i * self.cols + j];
             }
         }
-        out
     }
 
     /// Element-wise sum; shapes must match.
@@ -260,21 +481,163 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics on shape mismatch.
-    pub fn accumulate(&mut self, other: &Matrix) {
+    pub fn add_assign(&mut self, other: &Matrix) {
         assert_eq!(self.shape(), other.shape(), "accumulate shape mismatch");
         for (a, b) in self.data.iter_mut().zip(&other.data) {
             *a += b;
         }
     }
 
+    /// Alias of [`Matrix::add_assign`], kept for existing call sites.
+    pub fn accumulate(&mut self, other: &Matrix) {
+        self.add_assign(other);
+    }
+
+    /// In-place scaled accumulation (`self += factor * other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_scaled(&mut self, other: &Matrix, factor: f32) {
+        assert_eq!(self.shape(), other.shape(), "add_scaled shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += factor * b;
+        }
+    }
+
+    /// Sets every element to `value` (zero-allocation reset).
+    pub fn fill(&mut self, value: f32) {
+        self.data.fill(value);
+    }
+
+    /// Copies another matrix's shape and contents into `self`, reusing the
+    /// existing allocation whenever its capacity suffices.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
+    /// Applies a function to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Multiplies every element by a scalar in place.
+    pub fn scale_inplace(&mut self, factor: f32) {
+        for v in &mut self.data {
+            *v *= factor;
+        }
+    }
+
+    /// Adds a single-row matrix to every row in place (bias broadcast).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 x self.cols()`.
+    pub fn add_row_inplace(&mut self, bias: &Matrix) {
+        assert_eq!(bias.rows, 1, "bias must be a row vector");
+        assert_eq!(bias.cols, self.cols, "bias width mismatch");
+        for i in 0..self.rows {
+            let row = &mut self.data[i * self.cols..(i + 1) * self.cols];
+            for (v, b) in row.iter_mut().zip(&bias.data) {
+                *v += b;
+            }
+        }
+    }
+
+    /// Accumulates the column sums of `other` into this `1 x cols` matrix
+    /// (the bias-gradient kernel: `b.grad += Σ_rows G`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not `1 x other.cols()`.
+    pub fn add_sum_rows(&mut self, other: &Matrix) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (1, other.cols),
+            "add_sum_rows shape mismatch"
+        );
+        for i in 0..other.rows {
+            let row = &other.data[i * other.cols..(i + 1) * other.cols];
+            for (o, v) in self.data.iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+    }
+
+    /// Writes the column means of `self` into a `1 x cols` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not `1 x self.cols()`.
+    pub fn mean_rows_into(&self, out: &mut Matrix) {
+        assert_eq!(
+            (out.rows, out.cols),
+            (1, self.cols),
+            "mean_rows output shape mismatch"
+        );
+        out.fill(0.0);
+        out.add_sum_rows(self);
+        if self.rows > 0 {
+            out.scale_inplace(1.0 / self.rows as f32);
+        }
+    }
+
+    /// Row-wise softmax in place.
+    pub fn softmax_rows_inplace(&mut self) {
+        for i in 0..self.rows {
+            let row = &mut self.data[i * self.cols..(i + 1) * self.cols];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            if sum > 0.0 {
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
+            }
+        }
+    }
+
+    /// Stacks the selected rows (in the given order) into `out` without
+    /// allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not `indices.len() x self.cols()` or any index is
+    /// out of bounds.
+    pub fn select_rows_into(&self, indices: &[usize], out: &mut Matrix) {
+        assert_eq!(
+            (out.rows, out.cols),
+            (indices.len(), self.cols),
+            "select_rows output shape mismatch"
+        );
+        for (slot, &i) in indices.iter().enumerate() {
+            let src = &self.data[i * self.cols..(i + 1) * self.cols];
+            out.data[slot * self.cols..(slot + 1) * self.cols].copy_from_slice(src);
+        }
+    }
+
+    /// A mutable view of one row as a slice.
+    pub fn row_mut(&mut self, row: usize) -> &mut [f32] {
+        &mut self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Consumes the matrix, returning its backing buffer (for buffer pools).
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
     /// Sum over rows, returning a `1 x cols` matrix.
     pub fn sum_rows(&self) -> Matrix {
         let mut out = Matrix::zeros(1, self.cols);
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                out.data[j] += self.data[i * self.cols + j];
-            }
-        }
+        out.add_sum_rows(self);
         out
     }
 
@@ -303,20 +666,7 @@ impl Matrix {
     /// Row-wise softmax.
     pub fn softmax_rows(&self) -> Matrix {
         let mut out = self.clone();
-        for i in 0..self.rows {
-            let row = &mut out.data[i * self.cols..(i + 1) * self.cols];
-            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut sum = 0.0;
-            for v in row.iter_mut() {
-                *v = (*v - max).exp();
-                sum += *v;
-            }
-            if sum > 0.0 {
-                for v in row.iter_mut() {
-                    *v /= sum;
-                }
-            }
-        }
+        out.softmax_rows_inplace();
         out
     }
 
@@ -391,6 +741,28 @@ impl Matrix {
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
     }
+}
+
+/// Dot product over eight independent accumulator lanes (vectorizable
+/// reduction), with a scalar tail for the remainder.
+fn dot_lanes(a: &[f32], b: &[f32]) -> f32 {
+    const LANES: usize = 8;
+    let mut acc = [0.0f32; LANES];
+    let mut a_chunks = a.chunks_exact(LANES);
+    let mut b_chunks = b.chunks_exact(LANES);
+    for (ac, bc) in (&mut a_chunks).zip(&mut b_chunks) {
+        for l in 0..LANES {
+            acc[l] += ac[l] * bc[l];
+        }
+    }
+    let mut total = 0.0f32;
+    for v in acc {
+        total += v;
+    }
+    for (&av, &bv) in a_chunks.remainder().iter().zip(b_chunks.remainder()) {
+        total += av * bv;
+    }
+    total
 }
 
 impl fmt::Display for Matrix {
@@ -498,6 +870,84 @@ mod tests {
         assert_eq!(right, b);
         let stacked = a.vcat(&a);
         assert_eq!(stacked.shape(), (4, 1));
+    }
+
+    #[test]
+    fn matmul_propagates_non_finite_values() {
+        // The dense kernel must not skip zero entries: 0 * NaN is NaN and
+        // 0 * inf is NaN, exactly as IEEE 754 requires.
+        let a = Matrix::from_rows(&[&[0.0, 1.0]]);
+        let b = Matrix::from_rows(&[&[f32::NAN], &[2.0]]);
+        assert!(a.matmul(&b).get(0, 0).is_nan());
+        let c = Matrix::from_rows(&[&[f32::INFINITY], &[2.0]]);
+        assert!(a.matmul(&c).get(0, 0).is_nan());
+    }
+
+    #[test]
+    fn transposed_kernels_match_materialised_transposes() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let c = Matrix::from_rows(&[&[7.0, 8.0], &[9.0, 10.0]]);
+        let mut ta = Matrix::zeros(3, 2);
+        a.matmul_transa_into(&c, &mut ta);
+        assert_eq!(ta, a.transpose().matmul(&c));
+        let mut tb = Matrix::zeros(2, 2);
+        a.matmul_transb_into(&a, &mut tb);
+        assert_eq!(tb, a.matmul(&a.transpose()));
+        let mut t = Matrix::zeros(3, 2);
+        a.transpose_into(&mut t);
+        assert_eq!(t, a.transpose());
+    }
+
+    #[test]
+    fn in_place_ops_match_allocating_ops() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0], &[3.0, 4.0]]);
+        let bias = Matrix::row_vector(&[10.0, 20.0]);
+
+        let mut m = a.clone();
+        m.add_row_inplace(&bias);
+        assert_eq!(m, a.add_row_broadcast(&bias));
+
+        let mut m = a.clone();
+        m.map_inplace(|x| x.max(0.0));
+        assert_eq!(m, a.map(|x| x.max(0.0)));
+
+        let mut m = a.clone();
+        m.scale_inplace(0.5);
+        assert_eq!(m, a.scale(0.5));
+
+        let mut m = a.clone();
+        m.softmax_rows_inplace();
+        assert_eq!(m, a.softmax_rows());
+
+        let mut sums = Matrix::zeros(1, 2);
+        sums.add_sum_rows(&a);
+        assert_eq!(sums, a.sum_rows());
+        let mut means = Matrix::zeros(1, 2);
+        a.mean_rows_into(&mut means);
+        assert_eq!(means, a.mean_rows());
+
+        let mut m = Matrix::zeros(1, 1);
+        m.copy_from(&a);
+        assert_eq!(m, a);
+        m.fill(0.0);
+        assert_eq!(m.sum(), 0.0);
+
+        let mut sel = Matrix::zeros(2, 2);
+        a.select_rows_into(&[1, 0], &mut sel);
+        assert_eq!(sel, a.select_rows(&[1, 0]));
+
+        let mut acc = a.clone();
+        acc.add_scaled(&a, 2.0);
+        assert_eq!(acc, a.scale(3.0));
+
+        let mut outer = Matrix::zeros(2, 2);
+        outer.add_outer(&[1.0, 2.0], &[3.0, 4.0]);
+        assert_eq!(outer.data(), &[3.0, 4.0, 6.0, 8.0]);
+
+        let mut row = a.clone();
+        row.row_mut(0)[0] = 9.0;
+        assert_eq!(row.get(0, 0), 9.0);
+        assert_eq!(a.clone().into_data(), a.data());
     }
 
     #[test]

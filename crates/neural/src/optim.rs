@@ -15,11 +15,12 @@ impl Sgd {
         Self { learning_rate }
     }
 
-    /// Applies one update to every parameter using its accumulated gradient.
+    /// Applies one update to every parameter using its accumulated gradient
+    /// (in place, no allocation).
     pub fn step(&mut self, params: &mut [&mut Param]) {
         for p in params.iter_mut() {
-            let update = p.grad.scale(self.learning_rate);
-            p.value = p.value.sub(&update);
+            let lr = self.learning_rate;
+            p.value.add_scaled(&p.grad, -lr);
         }
     }
 }
@@ -91,21 +92,26 @@ impl Adam {
         let t = self.step_count as f32;
         let bias1 = 1.0 - self.beta1.powf(t);
         let bias2 = 1.0 - self.beta2.powf(t);
+        let inv_bias1 = 1.0 / bias1;
+        let inv_bias2 = 1.0 / bias2;
+        // Everything below runs element-wise over pre-allocated moment
+        // buffers: the steady-state optimizer step performs no allocation.
         for (i, p) in params.iter_mut().enumerate() {
             let m = &mut self.first_moments[i];
             let v = &mut self.second_moments[i];
-            *m = m.scale(self.beta1).add(&p.grad.scale(1.0 - self.beta1));
-            *v = v
-                .scale(self.beta2)
-                .add(&p.grad.hadamard(&p.grad).scale(1.0 - self.beta2));
-            let m_hat = m.scale(1.0 / bias1);
-            let v_hat = v.scale(1.0 / bias2);
-            let mut update = Matrix::zeros(p.value.rows(), p.value.cols());
-            for idx in 0..update.len() {
-                let denom = v_hat.data()[idx].sqrt() + self.epsilon;
-                update.data_mut()[idx] = self.learning_rate * m_hat.data()[idx] / denom;
+            for (((mv, vv), value), &g) in m
+                .data_mut()
+                .iter_mut()
+                .zip(v.data_mut())
+                .zip(p.value.data_mut())
+                .zip(p.grad.data())
+            {
+                *mv = self.beta1 * *mv + (1.0 - self.beta1) * g;
+                *vv = self.beta2 * *vv + (1.0 - self.beta2) * (g * g);
+                let m_hat = *mv * inv_bias1;
+                let v_hat = *vv * inv_bias2;
+                *value -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
             }
-            p.value = p.value.sub(&update);
         }
     }
 }

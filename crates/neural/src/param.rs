@@ -23,9 +23,9 @@ impl Param {
         Self { value, grad }
     }
 
-    /// Clears the accumulated gradient.
+    /// Clears the accumulated gradient in place (no allocation).
     pub fn zero_grad(&mut self) {
-        self.grad = Matrix::zeros(self.value.rows(), self.value.cols());
+        self.grad.fill(0.0);
     }
 
     /// Adds a gradient contribution.

@@ -1,0 +1,115 @@
+//! A reusable buffer pool for intermediate matrices.
+//!
+//! Every layer's forward/backward pass needs short-lived output and
+//! temporary matrices. Allocating them per call dominated the per-step cost
+//! of the networks, so the [`crate::Layer`] API threads a [`Scratch`] pool
+//! through every pass: layers [`Scratch::take`] their outputs from the pool
+//! and callers [`Scratch::recycle`] matrices they are done with. After a few
+//! warm-up passes the pool holds a buffer for every shape in flight and the
+//! steady-state forward/backward path performs **zero heap allocations**.
+
+use crate::matrix::Matrix;
+
+/// Upper bound on pooled buffers; beyond this, recycled buffers are dropped.
+/// Generous compared to the ~30 intermediates of the deepest network here.
+const MAX_POOLED: usize = 64;
+
+/// A pool of reusable `f32` buffers handed out as [`Matrix`] values.
+///
+/// Buffers are matched by capacity, not shape: a recycled `4x8` matrix can
+/// satisfy a later `2x16` request without reallocating. Cloning a pool
+/// clones its (idle) buffers, so `#[derive(Clone)]` types may own one.
+#[derive(Debug, Clone, Default)]
+pub struct Scratch {
+    pool: Vec<Vec<f32>>,
+}
+
+impl Scratch {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a zero-filled `rows x cols` matrix, reusing a pooled buffer
+    /// when one with sufficient capacity exists.
+    pub fn take(&mut self, rows: usize, cols: usize) -> Matrix {
+        let len = rows * cols;
+        if len == 0 {
+            // Don't tie a pooled buffer up in an empty matrix.
+            return Matrix::from_vec(rows, cols, Vec::new());
+        }
+        let position = self.pool.iter().position(|v| v.capacity() >= len);
+        let mut data = match position {
+            Some(i) => self.pool.swap_remove(i),
+            // No pooled buffer fits: regrow whichever was recycled most
+            // recently (or start fresh). Capacities only ever grow, so
+            // mixed-size traffic converges to a reusable set after warm-up.
+            None => self.pool.pop().unwrap_or_default(),
+        };
+        data.clear();
+        data.resize(len, 0.0);
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    /// Returns a pooled copy of `src`.
+    pub fn take_copy(&mut self, src: &Matrix) -> Matrix {
+        let mut out = self.take(src.rows(), src.cols());
+        out.data_mut().copy_from_slice(src.data());
+        out
+    }
+
+    /// Returns a matrix's buffer to the pool for reuse.
+    pub fn recycle(&mut self, matrix: Matrix) {
+        if self.pool.len() < MAX_POOLED {
+            self.pool.push(matrix.into_data());
+        }
+    }
+
+    /// Number of idle pooled buffers (diagnostics/tests).
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_returns_zeroed_matrices_of_the_requested_shape() {
+        let mut scratch = Scratch::new();
+        let mut m = scratch.take(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.sum(), 0.0);
+        m.fill(7.0);
+        scratch.recycle(m);
+        // The recycled buffer comes back zeroed even though it was dirtied.
+        let again = scratch.take(2, 6);
+        assert_eq!(again.shape(), (2, 6));
+        assert_eq!(again.sum(), 0.0);
+    }
+
+    #[test]
+    fn steady_state_reuses_buffers_without_allocating() {
+        let mut scratch = Scratch::new();
+        let first = scratch.take(8, 8);
+        let ptr = first.data().as_ptr();
+        scratch.recycle(first);
+        // Same-size request must reuse the identical allocation.
+        let second = scratch.take(8, 8);
+        assert_eq!(second.data().as_ptr(), ptr);
+        // A smaller request also fits in the same buffer.
+        scratch.recycle(second);
+        let third = scratch.take(2, 2);
+        assert_eq!(third.data().as_ptr(), ptr);
+        assert_eq!(scratch.pooled(), 0);
+    }
+
+    #[test]
+    fn take_copy_matches_source() {
+        let mut scratch = Scratch::new();
+        let src = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let copy = scratch.take_copy(&src);
+        assert_eq!(copy, src);
+    }
+}

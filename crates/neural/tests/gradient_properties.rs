@@ -5,7 +5,7 @@
 use neural::layers::{Activation, Conv1d, Dense, SelfAttention, Sequential};
 use neural::loss::{huber, mse};
 use neural::optim::{Adam, Sgd};
-use neural::{Layer, Matrix, Param};
+use neural::{Layer, Matrix, Param, Scratch};
 use proptest::prelude::*;
 
 /// Strategy for a small random matrix with values in [-1, 1].
@@ -14,14 +14,20 @@ fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
         .prop_map(move |data| Matrix::from_vec(rows, cols, data))
 }
 
-fn finite_diff_input<L: Layer>(layer: &mut L, x: &Matrix, row: usize, col: usize) -> f32 {
+fn finite_diff_input<L: Layer>(
+    layer: &mut L,
+    x: &Matrix,
+    row: usize,
+    col: usize,
+    scratch: &mut Scratch,
+) -> f32 {
     let eps = 1e-2f32;
     let mut plus = x.clone();
     plus.set(row, col, x.get(row, col) + eps);
     let mut minus = x.clone();
     minus.set(row, col, x.get(row, col) - eps);
-    let f_plus = layer.forward(&plus).sum();
-    let f_minus = layer.forward(&minus).sum();
+    let f_plus = layer.forward(&plus, scratch).sum();
+    let f_minus = layer.forward(&minus, scratch).sum();
     (f_plus - f_minus) / (2.0 * eps)
 }
 
@@ -33,12 +39,13 @@ proptest! {
         x in matrix(3, 4),
         seed in 0u64..1_000,
     ) {
+        let mut scratch = Scratch::new();
         let mut layer = Dense::new(4, 5, seed);
-        let out = layer.forward(&x);
+        let out = layer.forward(&x, &mut scratch);
         let ones = Matrix::full(out.rows(), out.cols(), 1.0);
         layer.zero_grad();
-        let grad_in = layer.backward(&ones);
-        let numeric = finite_diff_input(&mut layer, &x, 1, 2);
+        let grad_in = layer.backward(&ones, &mut scratch);
+        let numeric = finite_diff_input(&mut layer, &x, 1, 2, &mut scratch);
         prop_assert!((grad_in.get(1, 2) - numeric).abs() < 5e-2,
             "analytic {} vs numeric {}", grad_in.get(1, 2), numeric);
     }
@@ -48,12 +55,13 @@ proptest! {
         x in matrix(3, 4),
         seed in 0u64..1_000,
     ) {
+        let mut scratch = Scratch::new();
         let mut layer = SelfAttention::new(4, 6, 3, seed);
-        let out = layer.forward(&x);
+        let out = layer.forward(&x, &mut scratch);
         let ones = Matrix::full(out.rows(), out.cols(), 1.0);
         layer.zero_grad();
-        let grad_in = layer.backward(&ones);
-        let numeric = finite_diff_input(&mut layer, &x, 2, 1);
+        let grad_in = layer.backward(&ones, &mut scratch);
+        let numeric = finite_diff_input(&mut layer, &x, 2, 1, &mut scratch);
         prop_assert!((grad_in.get(2, 1) - numeric).abs() < 8e-2,
             "analytic {} vs numeric {}", grad_in.get(2, 1), numeric);
     }
@@ -63,12 +71,13 @@ proptest! {
         x in matrix(6, 3),
         seed in 0u64..1_000,
     ) {
+        let mut scratch = Scratch::new();
         let mut layer = Conv1d::new(3, 4, 2, 2, seed);
-        let out = layer.forward(&x);
+        let out = layer.forward(&x, &mut scratch);
         let ones = Matrix::full(out.rows(), out.cols(), 1.0);
         layer.zero_grad();
-        let grad_in = layer.backward(&ones);
-        let numeric = finite_diff_input(&mut layer, &x, 2, 1);
+        let grad_in = layer.backward(&ones, &mut scratch);
+        let numeric = finite_diff_input(&mut layer, &x, 2, 1, &mut scratch);
         prop_assert!((grad_in.get(2, 1) - numeric).abs() < 5e-2,
             "analytic {} vs numeric {}", grad_in.get(2, 1), numeric);
     }
@@ -78,9 +87,10 @@ proptest! {
         x in matrix(2, 6),
         grad in matrix(2, 6),
     ) {
+        let mut scratch = Scratch::new();
         for mut act in [Activation::relu(), Activation::leaky_relu(), Activation::tanh()] {
-            let _ = act.forward(&x);
-            let g = act.backward(&grad);
+            let _ = act.forward(&x, &mut scratch);
+            let g = act.backward(&grad, &mut scratch);
             for i in 0..g.rows() {
                 for j in 0..g.cols() {
                     prop_assert!(g.get(i, j).abs() <= grad.get(i, j).abs() + 1e-6);
@@ -139,11 +149,12 @@ fn deep_network_gradients_remain_finite() {
         Box::new(Activation::leaky_relu()),
         Box::new(Dense::new(32, 4, 4)),
     ]);
+    let mut scratch = Scratch::new();
     let x = Matrix::full(5, 8, 0.3);
-    let out = net.forward(&x);
+    let out = net.forward(&x, &mut scratch);
     let (_, grad) = mse(&out, &Matrix::zeros(5, 4));
     net.zero_grad();
-    let grad_in = net.backward(&grad);
+    let grad_in = net.backward(&grad, &mut scratch);
     assert!(grad_in.data().iter().all(|v| v.is_finite()));
     for p in net.params_mut() {
         assert!(p.grad.data().iter().all(|v| v.is_finite()));

@@ -17,7 +17,10 @@ pub fn epsilon_greedy(q_values: &[f32], epsilon: f64, rng: &mut StdRng) -> usize
         !q_values.is_empty(),
         "cannot select an action from no values"
     );
-    if rng.gen_bool(epsilon.clamp(0.0, 1.0)) {
+    // Purely-greedy selection (ε ≤ 0) consumes no randomness at all, so
+    // greedy evaluation is deterministic regardless of the RNG's history —
+    // the property the parallel rollout engine relies on for cloned agents.
+    if epsilon > 0.0 && rng.gen_bool(epsilon.clamp(0.0, 1.0)) {
         rng.gen_range(0..q_values.len())
     } else {
         greedy(q_values)

@@ -130,18 +130,19 @@ impl<T: Clone> PrioritizedReplay<T> {
         self.len = (self.len + 1).min(self.capacity);
     }
 
-    /// Samples `batch` transitions with probability proportional to priority.
+    /// Samples `batch` buffer indices with probability proportional to
+    /// priority, without cloning the stored transitions (pair with
+    /// [`PrioritizedReplay::get`] on the hot path).
     ///
     /// `beta` is the importance-sampling exponent (1 fully corrects the
-    /// sampling bias). Returns fewer than `batch` items only if the buffer
+    /// sampling bias). Returns fewer than `batch` entries only if the buffer
     /// holds fewer transitions.
-    pub fn sample(&self, batch: usize, beta: f64, rng: &mut StdRng) -> Vec<Sampled<T>> {
+    pub fn sample_indices(&self, batch: usize, beta: f64, rng: &mut StdRng) -> Vec<(usize, f64)> {
         if self.is_empty() || self.tree.total() <= 0.0 {
             return Vec::new();
         }
         let batch = batch.min(self.len);
         let total = self.tree.total();
-        let mut out = Vec::with_capacity(batch);
         let mut max_weight: f64 = 0.0;
         let mut raw = Vec::with_capacity(batch);
         for _ in 0..batch {
@@ -157,21 +158,40 @@ impl<T: Clone> PrioritizedReplay<T> {
             max_weight = max_weight.max(weight);
             raw.push((index, weight));
         }
-        for (index, weight) in raw {
-            let item = self.items[index]
-                .clone()
-                .expect("sampled index must hold an item");
-            out.push(Sampled {
-                index,
-                weight: if max_weight > 0.0 {
-                    weight / max_weight
-                } else {
-                    1.0
-                },
-                item,
-            });
+        for entry in &mut raw {
+            entry.1 = if max_weight > 0.0 {
+                entry.1 / max_weight
+            } else {
+                1.0
+            };
         }
-        out
+        raw
+    }
+
+    /// The stored transition at a sampled index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty (an index not returned by
+    /// [`PrioritizedReplay::sample_indices`]).
+    pub fn get(&self, index: usize) -> &T {
+        self.items[index]
+            .as_ref()
+            .expect("sampled index must hold an item")
+    }
+
+    /// Samples `batch` transitions with probability proportional to priority,
+    /// cloning each sampled item. See [`PrioritizedReplay::sample_indices`]
+    /// for the clone-free variant used by the training hot path.
+    pub fn sample(&self, batch: usize, beta: f64, rng: &mut StdRng) -> Vec<Sampled<T>> {
+        self.sample_indices(batch, beta, rng)
+            .into_iter()
+            .map(|(index, weight)| Sampled {
+                index,
+                weight,
+                item: self.get(index).clone(),
+            })
+            .collect()
     }
 
     /// Updates the priority of a stored transition (typically to its most

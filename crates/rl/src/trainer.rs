@@ -91,7 +91,10 @@ impl Default for DqnConfig {
 pub type Batch<S> = Vec<Sampled<NStepTransition<S>>>;
 
 /// Bookkeeping for augmented DQN training.
-#[derive(Debug)]
+///
+/// `Clone` is derived so evaluation harnesses can snapshot a trained agent
+/// (replay contents included) per rollout worker.
+#[derive(Debug, Clone)]
 pub struct DqnTrainer<S> {
     config: DqnConfig,
     replay: PrioritizedReplay<NStepTransition<S>>,
@@ -176,6 +179,22 @@ impl<S: Clone> DqnTrainer<S> {
     pub fn sample_batch(&mut self, rng: &mut StdRng) -> Batch<S> {
         let beta = self.beta.value();
         self.replay.sample(self.config.batch_size, beta, rng)
+    }
+
+    /// Samples a prioritized batch as `(replay index, importance weight)`
+    /// pairs without cloning any stored transition; resolve each index with
+    /// [`DqnTrainer::transition`]. This is the zero-copy path the training
+    /// loop uses.
+    pub fn sample_batch_indices(&mut self, rng: &mut StdRng) -> Vec<(usize, f64)> {
+        let beta = self.beta.value();
+        self.replay
+            .sample_indices(self.config.batch_size, beta, rng)
+    }
+
+    /// The stored n-step transition at a replay index returned by
+    /// [`DqnTrainer::sample_batch_indices`].
+    pub fn transition(&self, index: usize) -> &NStepTransition<S> {
+        self.replay.get(index)
     }
 
     /// Reports the absolute TD errors of a just-trained batch so replay
