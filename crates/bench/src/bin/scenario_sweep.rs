@@ -1,0 +1,208 @@
+//! Evaluates the trained ACSO and the three baselines across the whole
+//! scenario registry and prints a per-scenario results table.
+//!
+//! Usage:
+//!
+//! ```sh
+//! cargo run --release -p acso-bench --bin scenario_sweep -- \
+//!     [--smoke|--quick|--paper] [--scenario NAME]... [--toml FILE]... \
+//!     [--gen-seed N]... [--out RESULTS.json] [--list]
+//! ```
+//!
+//! * `--scenario NAME` restricts the sweep to the named scenarios;
+//! * `--toml FILE` registers an extra scenario from a TOML file;
+//! * `--gen-seed N` registers the procedurally generated scenario `seed-N`
+//!   (Mersenne-prime hash seed streams — reproducible from the id alone);
+//! * `--out FILE` additionally writes the results as JSON;
+//! * `--list` prints the registry catalog and exits.
+//!
+//! At `--smoke` scale the sweep is run twice — pinned to 1 worker thread and
+//! to 4 — and the binary fails unless both transcripts are bit-identical,
+//! which is the determinism contract CI enforces.
+
+use acso_bench::{print_header, Scale};
+use acso_core::experiments::{scenario_sweep, ScenarioSweepResult, ScenarioSweepScale};
+use acso_core::scenario::ScenarioRegistry;
+use ics_sim::Scenario;
+use std::fmt::Write as _;
+
+fn sweep_scale(scale: Scale) -> ScenarioSweepScale {
+    match scale {
+        Scale::Smoke => ScenarioSweepScale::smoke(),
+        Scale::Quick => ScenarioSweepScale::quick(),
+        Scale::Paper => ScenarioSweepScale::paper(),
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal (names and tags
+/// may come from user TOML files).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn results_json(result: &ScenarioSweepResult, threads: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"acso-scenario-sweep/v1\",\n");
+    let _ = writeln!(out, "  \"threads\": {threads},");
+    out.push_str("  \"scenarios\": [\n");
+    for (i, row) in result.rows.iter().enumerate() {
+        let tags: Vec<String> = row.tags.iter().map(|t| json_str(t)).collect();
+        let _ = writeln!(
+            out,
+            "    {{\n      \"scenario\": {},\n      \"tags\": [{}],\n      \"policies\": [",
+            json_str(&row.scenario),
+            tags.join(", ")
+        );
+        for (j, eval) in row.evaluations.iter().enumerate() {
+            let s = &eval.summary;
+            let _ = write!(
+                out,
+                "        {{\"policy\": {}, \"episodes\": {}, \
+                 \"discounted_return\": {:.3}, \"discounted_return_stderr\": {:.3}, \
+                 \"final_plcs_offline\": {:.3}, \"avg_it_cost\": {:.4}, \
+                 \"avg_nodes_compromised\": {:.3}}}",
+                json_str(&eval.policy),
+                s.episodes,
+                s.discounted_return.mean,
+                s.discounted_return.std_err,
+                s.final_plcs_offline.mean,
+                s.average_it_cost.mean,
+                s.average_nodes_compromised.mean,
+            );
+            out.push_str(if j + 1 < row.evaluations.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("      ]\n    }");
+        out.push_str(if i + 1 < result.rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(args.iter().cloned());
+
+    let mut registry = ScenarioRegistry::builtin();
+    let mut wanted: Vec<String> = Vec::new();
+    let mut out_path: Option<String> = None;
+    let mut list_only = false;
+    let mut i = 0;
+    while i < args.len() {
+        let next = |i: usize| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{} needs a value", args[i]))
+                .clone()
+        };
+        match args[i].as_str() {
+            "--scenario" => {
+                wanted.push(next(i));
+                i += 1;
+            }
+            "--toml" => {
+                let path = next(i);
+                let text = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+                let scenario = Scenario::from_toml(&text)
+                    .unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
+                registry
+                    .register(scenario)
+                    .unwrap_or_else(|e| panic!("cannot register {path}: {e}"));
+                i += 1;
+            }
+            "--gen-seed" => {
+                let seed: u64 = next(i).parse().expect("--gen-seed needs a u64");
+                registry
+                    .register_seeded(seed)
+                    .unwrap_or_else(|e| panic!("cannot register seed {seed}: {e}"));
+                i += 1;
+            }
+            "--out" => {
+                out_path = Some(next(i));
+                i += 1;
+            }
+            "--list" => list_only = true,
+            _ => {}
+        }
+        i += 1;
+    }
+    if !wanted.is_empty() {
+        registry.retain_named(&wanted);
+        assert!(
+            !registry.is_empty(),
+            "no scenario matched --scenario filters {wanted:?}"
+        );
+    }
+
+    if list_only {
+        println!("{} scenarios registered:", registry.len());
+        for s in &registry {
+            println!("  {:<16} [{}] {}", s.name, s.tags.join(", "), s.description);
+        }
+        return;
+    }
+
+    print_header("Scenario sweep — registry-wide robustness", scale);
+    println!(
+        "Sweeping {} scenarios: {}",
+        registry.len(),
+        registry.names().join(", ")
+    );
+
+    let start = std::time::Instant::now();
+    let scale_cfg = sweep_scale(scale);
+    let result = if scale == Scale::Smoke {
+        // The determinism contract: the whole sweep (training included) must
+        // be bit-identical for any worker-thread count. Run it pinned to 1
+        // and to 4 workers and report the (identical) serial transcript.
+        let prev = std::env::var(acso_runtime::THREADS_ENV_VAR).ok();
+        let run_with = |threads: &str| {
+            std::env::set_var(acso_runtime::THREADS_ENV_VAR, threads);
+            scenario_sweep(&registry, &scale_cfg)
+        };
+        let serial = run_with("1");
+        let parallel = run_with("4");
+        match prev {
+            Some(value) => std::env::set_var(acso_runtime::THREADS_ENV_VAR, value),
+            None => std::env::remove_var(acso_runtime::THREADS_ENV_VAR),
+        }
+        assert_eq!(
+            serial, parallel,
+            "scenario sweep must be bit-identical for ACSO_THREADS=1 vs 4"
+        );
+        println!("determinism: ACSO_THREADS=1 vs 4 bit-identical ✓");
+        serial
+    } else {
+        scenario_sweep(&registry, &scale_cfg)
+    };
+
+    println!();
+    println!("{}", result.format_table());
+    println!("Total wall-clock: {:.1?}", start.elapsed());
+
+    if let Some(path) = out_path {
+        let json = results_json(&result, acso_runtime::available_threads());
+        std::fs::write(&path, &json).expect("failed to write results JSON");
+        println!("wrote {path}");
+    }
+}

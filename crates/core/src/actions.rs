@@ -166,7 +166,7 @@ mod tests {
 
     #[test]
     fn full_topology_action_count_matches_paper_scale() {
-        let topo = Topology::build(&TopologySpec::paper_full());
+        let topo = Topology::build(&TopologySpec::paper_full()).unwrap();
         let space = ActionSpace::new(&topo);
         // 1 + 7*33 + 2*50 = 332, the same order as the paper's 329 outputs.
         assert_eq!(space.len(), 332);

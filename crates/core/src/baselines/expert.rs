@@ -148,7 +148,7 @@ mod tests {
 
     #[test]
     fn quiet_network_leads_to_little_action() {
-        let topo = Topology::build(&TopologySpec::tiny());
+        let topo = Topology::build(&TopologySpec::tiny()).unwrap();
         let mut policy = DbnExpertPolicy::new(model());
         policy.reset(&topo);
         let mut rng = StdRng::seed_from_u64(0);
@@ -162,7 +162,7 @@ mod tests {
 
     #[test]
     fn persistent_alerts_eventually_trigger_mitigation() {
-        let topo = Topology::build(&TopologySpec::tiny());
+        let topo = Topology::build(&TopologySpec::tiny()).unwrap();
         let mut policy = DbnExpertPolicy::new(model()).with_act_threshold(0.5);
         policy.reset(&topo);
         let mut rng = StdRng::seed_from_u64(1);
@@ -208,7 +208,7 @@ mod tests {
 
     #[test]
     fn repairs_offline_plcs() {
-        let topo = Topology::build(&TopologySpec::tiny());
+        let topo = Topology::build(&TopologySpec::tiny()).unwrap();
         let mut policy = DbnExpertPolicy::new(model());
         policy.reset(&topo);
         let mut rng = StdRng::seed_from_u64(3);

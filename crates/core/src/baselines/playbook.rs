@@ -161,7 +161,7 @@ mod tests {
 
     #[test]
     fn alert_triggers_scan_then_escalating_mitigations() {
-        let topo = Topology::build(&TopologySpec::tiny());
+        let topo = Topology::build(&TopologySpec::tiny()).unwrap();
         let mut policy = PlaybookPolicy::new();
         policy.reset(&topo);
         let mut rng = StdRng::seed_from_u64(0);
@@ -254,7 +254,7 @@ mod tests {
 
     #[test]
     fn offline_plcs_are_repaired() {
-        let topo = Topology::build(&TopologySpec::tiny());
+        let topo = Topology::build(&TopologySpec::tiny()).unwrap();
         let mut policy = PlaybookPolicy::new();
         policy.reset(&topo);
         let mut rng = StdRng::seed_from_u64(0);
@@ -269,7 +269,7 @@ mod tests {
 
     #[test]
     fn quiet_network_means_no_action() {
-        let topo = Topology::build(&TopologySpec::tiny());
+        let topo = Topology::build(&TopologySpec::tiny()).unwrap();
         let mut policy = PlaybookPolicy::new();
         policy.reset(&topo);
         let mut rng = StdRng::seed_from_u64(0);

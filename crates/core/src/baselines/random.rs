@@ -108,7 +108,7 @@ mod tests {
 
     #[test]
     fn generates_uncoordinated_actions_every_hour() {
-        let topo = Topology::build(&TopologySpec::paper_full());
+        let topo = Topology::build(&TopologySpec::paper_full()).unwrap();
         let mut policy = SemiRandomPolicy::new();
         policy.reset(&topo);
         let obs = Observation {
@@ -132,7 +132,7 @@ mod tests {
 
     #[test]
     fn repairs_offline_plcs_with_matching_action() {
-        let topo = Topology::build(&TopologySpec::tiny());
+        let topo = Topology::build(&TopologySpec::tiny()).unwrap();
         let mut policy = SemiRandomPolicy::with_activity_rate(1.0);
         let mut plc_status = vec![PlcStatus::Nominal; topo.plc_count()];
         plc_status[0] = PlcStatus::Destroyed;
@@ -168,7 +168,7 @@ mod tests {
 
     #[test]
     fn never_returns_an_empty_action_list() {
-        let topo = Topology::build(&TopologySpec::tiny());
+        let topo = Topology::build(&TopologySpec::tiny()).unwrap();
         let mut policy = SemiRandomPolicy::with_activity_rate(0.0);
         let obs = Observation {
             time: 1,

@@ -8,6 +8,7 @@
 use crate::baselines::{DbnExpertPolicy, PlaybookPolicy, SemiRandomPolicy};
 use crate::eval::{evaluate_factory_detailed, EvalConfig, PolicyEvaluation};
 use crate::policy::DefenderPolicy;
+use crate::scenario::ScenarioRegistry;
 use crate::train::{train_attention_acso, TrainConfig, TrainedAcso};
 use dbn::validate::{validate_filter, ValidationReport};
 use ics_sim::apt::AptProfile;
@@ -16,6 +17,7 @@ use ics_sim::reward::ShapingConfig;
 use ics_sim::SimConfig;
 use rl::DqnConfig;
 use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
 
 /// How big to run an experiment.
 #[derive(Debug, Clone, PartialEq)]
@@ -326,6 +328,150 @@ pub fn grid_search(scale: &ExperimentScale) -> Vec<GridSearchRow> {
     })
 }
 
+/// Scale knobs for the scenario sweep (the registry-wide robustness
+/// experiment; see [`scenario_sweep`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSweepScale {
+    /// Evaluation episodes per policy per scenario.
+    pub eval_episodes: usize,
+    /// Episode-horizon override applied to every scenario (`None` keeps each
+    /// scenario's own horizon).
+    pub max_time: Option<u64>,
+    /// ACSO training episodes per scenario (the agent is re-trained on each
+    /// scenario's own simulator, like `prepare` does for the paper network).
+    pub train_episodes: usize,
+    /// Random-defender episodes used to fit each scenario's DBN.
+    pub dbn_episodes: usize,
+    /// Base random seed shared by every scenario, so each policy sees the
+    /// same per-scenario attack sequences.
+    pub seed: u64,
+}
+
+impl ScenarioSweepScale {
+    /// Smoke scale: short horizons, two evaluation episodes — CI-friendly.
+    pub fn smoke() -> Self {
+        Self {
+            eval_episodes: 2,
+            max_time: Some(150),
+            train_episodes: 1,
+            dbn_episodes: 2,
+            seed: 0,
+        }
+    }
+
+    /// Reduced scale for laptop runs.
+    pub fn quick() -> Self {
+        Self {
+            eval_episodes: 6,
+            max_time: Some(1_000),
+            train_episodes: 8,
+            dbn_episodes: 10,
+            seed: 0,
+        }
+    }
+
+    /// Paper-style scale: every scenario at its own full horizon.
+    pub fn paper() -> Self {
+        Self {
+            eval_episodes: 100,
+            max_time: None,
+            train_episodes: 150,
+            dbn_episodes: 200,
+            seed: 0,
+        }
+    }
+}
+
+/// One scenario's row of the sweep: every policy's evaluation under that
+/// scenario's conditions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSweepRow {
+    /// Scenario name (registry key).
+    pub scenario: String,
+    /// The scenario's tags, echoed for grouping in reports.
+    pub tags: Vec<String>,
+    /// One evaluation per policy, in presentation order (ACSO first).
+    pub evaluations: Vec<PolicyEvaluation>,
+}
+
+/// The result of the scenario sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSweepResult {
+    /// One row per scenario, in registry order.
+    pub rows: Vec<ScenarioSweepRow>,
+}
+
+impl ScenarioSweepResult {
+    /// Formats the sweep as an aligned per-scenario results table.
+    pub fn format_table(&self) -> String {
+        let mut out = String::new();
+        writeln!(
+            out,
+            "{:<16} {:<14} {:>18} {:>14} {:>12} {:>16}",
+            "Scenario", "Policy", "Return", "PLCs Offline", "IT Cost", "Nodes Compromised"
+        )
+        .unwrap();
+        for row in &self.rows {
+            for (i, eval) in row.evaluations.iter().enumerate() {
+                let s = &eval.summary;
+                writeln!(
+                    out,
+                    "{:<16} {:<14} {:>10.1} ± {:<5.1} {:>8.2} ± {:<3.2} {:>6.3} ± {:<4.3} {:>9.2} ± {:<4.2}",
+                    if i == 0 { row.scenario.as_str() } else { "" },
+                    eval.policy,
+                    s.discounted_return.mean,
+                    s.discounted_return.std_err,
+                    s.final_plcs_offline.mean,
+                    s.final_plcs_offline.std_err,
+                    s.average_it_cost.mean,
+                    s.average_it_cost.std_err,
+                    s.average_nodes_compromised.mean,
+                    s.average_nodes_compromised.std_err,
+                )
+                .unwrap();
+            }
+        }
+        out
+    }
+}
+
+/// Evaluates a freshly trained ACSO and the three baselines across every
+/// scenario in the registry (the "can it defend networks it was not designed
+/// around?" experiment the ROADMAP's scenario goal asks for).
+///
+/// For each scenario the DBN and the agent are trained on that scenario's
+/// own simulator, then all four policies are evaluated through the parallel
+/// rollout engine; like every rollout consumer, results are bit-identical
+/// for any `ACSO_THREADS` setting.
+pub fn scenario_sweep(
+    registry: &ScenarioRegistry,
+    scale: &ScenarioSweepScale,
+) -> ScenarioSweepResult {
+    let mut rows = Vec::new();
+    for scenario in registry {
+        let mut sim = scenario.config.clone();
+        if let Some(max_time) = scale.max_time {
+            sim = sim.with_max_time(max_time);
+        }
+        let experiment = ExperimentScale {
+            eval_sim: sim.clone(),
+            train_sim: sim,
+            eval_episodes: scale.eval_episodes,
+            train_episodes: scale.train_episodes,
+            dbn_episodes: scale.dbn_episodes,
+            seed: scale.seed,
+        };
+        let mut ctx = prepare(experiment);
+        let result = table2(&mut ctx);
+        rows.push(ScenarioSweepRow {
+            scenario: scenario.name.clone(),
+            tags: scenario.tags.clone(),
+            evaluations: result.evaluations,
+        });
+    }
+    ScenarioSweepResult { rows }
+}
+
 /// Reproduces the §4.3 DBN validation: learn the filter from random-defender
 /// episodes and report its divergence from the true state.
 pub fn dbn_validation(scale: &ExperimentScale) -> ValidationReport {
@@ -369,6 +515,36 @@ mod tests {
         assert_eq!(result.cells.len(), 8);
         assert!(result.cells.iter().any(|c| c.attacker == "APT1"));
         assert!(result.cells.iter().any(|c| c.attacker == "APT2"));
+    }
+
+    #[test]
+    fn scenario_sweep_smoke_covers_registry_rows_in_order() {
+        let mut registry = ScenarioRegistry::builtin();
+        registry.retain_named(&["tiny".to_string()]);
+        registry
+            .register(
+                ics_sim::Scenario::new(
+                    "tiny-insider",
+                    "tiny network, insider foothold",
+                    ics_sim::SimConfig::tiny().with_apt(AptProfile::insider()),
+                )
+                .with_tags(["attacker"]),
+            )
+            .unwrap();
+        let result = scenario_sweep(&registry, &ScenarioSweepScale::smoke());
+        assert_eq!(result.rows.len(), 2);
+        assert_eq!(result.rows[0].scenario, "tiny");
+        assert_eq!(result.rows[1].scenario, "tiny-insider");
+        for row in &result.rows {
+            assert_eq!(row.evaluations.len(), 4);
+            assert_eq!(row.evaluations[0].policy, "ACSO");
+            for eval in &row.evaluations {
+                assert_eq!(eval.episodes.len(), 2);
+            }
+        }
+        let table = result.format_table();
+        assert!(table.contains("tiny-insider"));
+        assert!(table.contains("ACSO"));
     }
 
     #[test]

@@ -5,6 +5,13 @@
 //! investigation signals); the PLC population is summarised by a short global
 //! vector. The encoding is identical for the attention network and the
 //! baseline convolutional network so architecture comparisons are fair.
+//!
+//! Every *per-instance* dimension (node rows, PLC rows, host/server head
+//! routing) derives from the [`Topology`] the encoder was built for — never
+//! from paper constants — so any registry or seed-generated scenario encodes
+//! correctly. The fixed widths ([`NODE_FEATURE_DIM`], [`PLC_FEATURE_DIM`],
+//! [`PLC_SUMMARY_DIM`]) are structural: compromise classes, node-type
+//! one-hot, alert severities and PLC statuses do not vary across topologies.
 
 use dbn::DbnFilter;
 use ics_net::{NodeKind, Topology};
@@ -212,6 +219,42 @@ mod tests {
             features.node_count()
         );
         assert_eq!(encoder.node_count(), env.topology().node_count());
+    }
+
+    #[test]
+    fn encoding_adapts_to_generated_scenario_topologies() {
+        use crate::ActionSpace;
+        use ics_sim::Scenario;
+
+        for seed in [3u64, 11] {
+            let scenario = Scenario::from_seed(seed);
+            let sim = scenario.config.clone().with_max_time(40);
+            let mut env = ics_sim::IcsEnvironment::new(sim.clone());
+            let obs = env.reset();
+            let encoder = NodeFeatureEncoder::new(env.topology());
+            let model = learn_model(&LearnConfig {
+                episodes: 1,
+                seed: 5,
+                sim,
+            });
+            let filter = DbnFilter::new(model, env.topology().node_count());
+            let features = encoder.encode(&obs, &filter);
+            // Every dimension tracks the generated topology, not the paper
+            // network.
+            assert_eq!(features.node_count(), env.topology().node_count());
+            assert_eq!(features.plc_count(), env.topology().plc_count());
+            assert_eq!(
+                features.host_rows.len(),
+                env.topology().node_count() - env.topology().servers().count()
+            );
+            assert_eq!(features.server_rows.len(), env.topology().servers().count());
+            let space = ActionSpace::new(env.topology());
+            assert_eq!(
+                space.len(),
+                1 + crate::actions::ACTIONS_PER_NODE * env.topology().node_count()
+                    + crate::actions::ACTIONS_PER_PLC * env.topology().plc_count()
+            );
+        }
     }
 
     #[test]

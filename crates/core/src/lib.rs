@@ -23,7 +23,10 @@
 //!   per-episode seeding fanned out over `ACSO_THREADS` workers, bit-identical
 //!   to serial evaluation;
 //! * [`experiments`] — one entry point per table/figure of the paper
-//!   (Table 2, Fig. 6, Fig. 10, the grid search, the DBN validation).
+//!   (Table 2, Fig. 6, Fig. 10, the grid search, the DBN validation) plus
+//!   the registry-wide scenario sweep;
+//! * [`scenario`] — the scenario registry: the paper presets, attacker /
+//!   IDS / topology variants, TOML-loaded and seed-generated scenarios.
 //!
 //! # Quick start
 //!
@@ -52,6 +55,7 @@ pub mod experiments;
 pub mod features;
 pub mod policy;
 pub mod rollout;
+pub mod scenario;
 pub mod train;
 
 pub use actions::ActionSpace;
@@ -60,3 +64,4 @@ pub use eval::{evaluate_policy, EvalConfig};
 pub use features::{NodeFeatureEncoder, StateFeatures};
 pub use policy::DefenderPolicy;
 pub use rollout::RolloutPlan;
+pub use scenario::ScenarioRegistry;

@@ -63,7 +63,7 @@ mod tests {
 
     #[test]
     fn null_policy_never_acts() {
-        let topo = Topology::build(&TopologySpec::tiny());
+        let topo = Topology::build(&TopologySpec::tiny()).unwrap();
         let mut policy = NullPolicy::new();
         policy.reset(&topo);
         assert_eq!(policy.name(), "No defense");

@@ -1,0 +1,300 @@
+//! The scenario registry: every workload the evaluation harness can run.
+//!
+//! The registry maps scenario names to [`Scenario`]s. It ships with the
+//! paper's three preset networks plus attacker-archetype, IDS-tier and
+//! topology variants, and can grow at run time from TOML files
+//! ([`Scenario::from_toml`]) or procedural generation
+//! ([`Scenario::from_seed`], Mersenne-prime hash seed streams).
+//!
+//! ```
+//! use acso_core::scenario::ScenarioRegistry;
+//!
+//! let registry = ScenarioRegistry::builtin();
+//! assert!(registry.len() >= 8);
+//! assert!(registry.get("paper-full").is_some());
+//! assert!(registry.get("insider").unwrap().has_tag("attacker"));
+//! ```
+
+use ics_net::{DeviceFactors, ServerMix, TopologyParams};
+use ics_sim::apt::AptProfile;
+use ics_sim::ids::IdsConfig;
+use ics_sim::{Scenario, SimConfig};
+
+/// An ordered, name-indexed collection of scenarios.
+///
+/// Iteration order is registration order, so results tables are stable.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioRegistry {
+    scenarios: Vec<Scenario>,
+}
+
+impl ScenarioRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The built-in catalog: the paper presets plus attacker, IDS and
+    /// topology variants. Non-paper scenarios run on the small (§4.2)
+    /// network so full-registry sweeps stay CPU-friendly.
+    pub fn builtin() -> Self {
+        let mut registry = Self::new();
+        let mut add = |s: Scenario| {
+            registry
+                .register(s)
+                .expect("built-in scenario names are unique")
+        };
+
+        add(Scenario::new(
+            "paper-full",
+            "Fig. 2 evaluation network, APT1 attacker, baseline IDS (Table 2 conditions)",
+            SimConfig::full(),
+        )
+        .with_tags(["paper", "topology"]));
+        add(Scenario::new(
+            "paper-small",
+            "reduced §4.2 grid-search network, APT1 attacker, baseline IDS",
+            SimConfig::small(),
+        )
+        .with_tags(["paper"]));
+        add(Scenario::new(
+            "tiny",
+            "minimal unit-test network (3 workstations, 2 HMIs, 4 PLCs)",
+            SimConfig::tiny(),
+        )
+        .with_tags(["paper", "test"]));
+
+        add(Scenario::new(
+            "apt2",
+            "the aggressive APT2 robustness attacker of §5 on the small network",
+            SimConfig::small().with_apt(AptProfile::apt2()),
+        )
+        .with_tags(["attacker", "hard"]));
+        add(Scenario::new(
+            "stealth",
+            "single patient operator, 0.9 cleanup effectiveness: a low-noise campaign",
+            SimConfig::small().with_apt(AptProfile::stealth()),
+        )
+        .with_tags(["attacker", "hard"]));
+        add(Scenario::new(
+            "smash-and-grab",
+            "four concurrent operators racing to the PLCs with minimal cleanup",
+            SimConfig::small().with_apt(AptProfile::smash_and_grab()),
+        )
+        .with_tags(["attacker"]));
+        add(Scenario::new(
+            "insider",
+            "APT1 parameters, but the foothold starts on a level-1 HMI inside operations",
+            SimConfig::small().with_apt(AptProfile::insider()),
+        )
+        .with_tags(["attacker", "hard"]));
+        add(Scenario::new(
+            "disruption",
+            "disrupt-only APT1: attacks land sooner but recover with cheap PLC resets",
+            SimConfig::small().with_apt(AptProfile::disruption()),
+        )
+        .with_tags(["attacker", "easy"]));
+
+        add(Scenario::new(
+            "ids-degraded",
+            "under-maintained IDS: half the detection rate, double the false alarms",
+            SimConfig {
+                ids: IdsConfig::degraded(),
+                ..SimConfig::small()
+            },
+        )
+        .with_tags(["ids", "hard"]));
+        add(Scenario::new(
+            "ids-enhanced",
+            "well-tuned IDS: 1.5x detection rate, half the false alarms",
+            SimConfig {
+                ids: IdsConfig::enhanced(),
+                ..SimConfig::small()
+            },
+        )
+        .with_tags(["ids", "easy"]));
+
+        let segmented = TopologyParams {
+            levels: 2,
+            vlans_per_level: [2, 2],
+            nodes_per_vlan: [2, 5],
+            servers: ServerMix::full(),
+            plcs: 30,
+            device_factors: DeviceFactors::paper(),
+        };
+        add(Scenario::new(
+            "segmented",
+            "micro-segmented plant: two ops VLANs per level force lateral traffic \
+             through the level routers",
+            SimConfig {
+                topology: segmented
+                    .into_spec()
+                    .expect("segmented preset parameters are valid"),
+                ..SimConfig::small()
+            },
+        )
+        .with_tags(["topology"]));
+
+        registry
+    }
+
+    /// Registers a scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns the rejected scenario if its name (or an invalid topology
+    /// spec) collides with the registry's invariants.
+    pub fn register(&mut self, scenario: Scenario) -> Result<(), String> {
+        if scenario.name.is_empty() {
+            return Err("scenario name must not be empty".to_string());
+        }
+        if self.get(&scenario.name).is_some() {
+            return Err(format!("duplicate scenario name `{}`", scenario.name));
+        }
+        if let Err(e) = scenario.config.topology.validate() {
+            return Err(format!(
+                "scenario `{}` has an invalid topology: {e}",
+                scenario.name
+            ));
+        }
+        self.scenarios.push(scenario);
+        Ok(())
+    }
+
+    /// Generates a scenario from a seed (see [`Scenario::from_seed`]) and
+    /// registers it, returning its name.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the generated name is already registered (the
+    /// same seed registered twice).
+    pub fn register_seeded(&mut self, seed: u64) -> Result<String, String> {
+        let scenario = Scenario::from_seed(seed);
+        let name = scenario.name.clone();
+        self.register(scenario)?;
+        Ok(name)
+    }
+
+    /// Looks up a scenario by name.
+    pub fn get(&self, name: &str) -> Option<&Scenario> {
+        self.scenarios.iter().find(|s| s.name == name)
+    }
+
+    /// Scenario names in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.scenarios.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// Iterates over scenarios in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &Scenario> {
+        self.scenarios.iter()
+    }
+
+    /// Number of registered scenarios.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+
+    /// Keeps only the scenarios with the given names (unknown names are
+    /// ignored), preserving registration order.
+    pub fn retain_named(&mut self, names: &[String]) {
+        self.scenarios.retain(|s| names.contains(&s.name));
+    }
+}
+
+impl<'a> IntoIterator for &'a ScenarioRegistry {
+    type Item = &'a Scenario;
+    type IntoIter = std::slice::Iter<'a, Scenario>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.scenarios.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_catalog_has_the_required_coverage() {
+        let registry = ScenarioRegistry::builtin();
+        assert!(registry.len() >= 8, "only {} scenarios", registry.len());
+        // The three paper presets.
+        for name in ["paper-full", "paper-small", "tiny"] {
+            assert!(registry.get(name).unwrap().has_tag("paper"), "{name}");
+        }
+        // At least five non-paper variants spanning attacker / IDS /
+        // topology dimensions.
+        let variants: Vec<_> = registry.iter().filter(|s| !s.has_tag("paper")).collect();
+        assert!(variants.len() >= 5);
+        assert!(variants.iter().any(|s| s.has_tag("attacker")));
+        assert!(variants.iter().any(|s| s.has_tag("ids")));
+        assert!(variants.iter().any(|s| s.has_tag("topology")));
+        // Every scenario builds a valid topology.
+        for s in &registry {
+            assert!(s.config.topology.validate().is_ok(), "{}", s.name);
+            assert!(!s.description.is_empty(), "{}", s.name);
+        }
+        // The segmented variant actually uses multiple segments.
+        assert!(
+            registry
+                .get("segmented")
+                .unwrap()
+                .config
+                .topology
+                .l2_segments
+                > 1
+        );
+    }
+
+    #[test]
+    fn paper_presets_are_untouched() {
+        let registry = ScenarioRegistry::builtin();
+        assert_eq!(
+            registry.get("paper-full").unwrap().config,
+            SimConfig::full()
+        );
+        assert_eq!(
+            registry.get("paper-small").unwrap().config,
+            SimConfig::small()
+        );
+        assert_eq!(registry.get("tiny").unwrap().config, SimConfig::tiny());
+    }
+
+    #[test]
+    fn register_rejects_duplicates_and_invalid_topologies() {
+        let mut registry = ScenarioRegistry::builtin();
+        let dup = Scenario::new("tiny", "again", SimConfig::tiny());
+        assert!(registry.register(dup).unwrap_err().contains("duplicate"));
+
+        let mut bad = SimConfig::tiny();
+        bad.topology.plcs = 0;
+        let invalid = Scenario::new("broken", "", bad);
+        assert!(registry.register(invalid).unwrap_err().contains("topology"));
+
+        let unnamed = Scenario::new("", "", SimConfig::tiny());
+        assert!(registry.register(unnamed).is_err());
+    }
+
+    #[test]
+    fn seeded_registration_round_trips() {
+        let mut registry = ScenarioRegistry::new();
+        let name = registry.register_seeded(7).unwrap();
+        assert!(registry.get(&name).is_some());
+        assert!(registry.register_seeded(7).is_err());
+        assert_eq!(registry.names(), vec![name.as_str()]);
+    }
+
+    #[test]
+    fn retain_named_filters_in_order() {
+        let mut registry = ScenarioRegistry::builtin();
+        registry.retain_named(&["tiny".to_string(), "paper-full".to_string()]);
+        assert_eq!(registry.names(), vec!["paper-full", "tiny"]);
+        assert!(!registry.is_empty());
+    }
+}

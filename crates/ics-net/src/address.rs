@@ -74,37 +74,60 @@ impl From<[u8; 4]> for IpAddr {
 
 /// Identifier of a VLAN within the topology.
 ///
-/// Each PERA level has an operations VLAN holding the nominal nodes and a
-/// (nominally empty) quarantine VLAN that the defender can move suspicious
-/// workstations into.
+/// Each PERA level has one or more operations VLAN *segments* holding the
+/// nominal nodes, and for each segment a (nominally empty) quarantine VLAN
+/// that the defender can move suspicious workstations into. The paper's
+/// networks use a single segment per level; generated scenarios may split a
+/// level across several segments, which forces same-level attacker traffic
+/// through the level router.
 ///
 /// ```
 /// use ics_net::VlanId;
 /// let v = VlanId::new(2, true);
 /// assert_eq!(v.level_number(), 2);
+/// assert_eq!(v.segment(), 0);
 /// assert!(v.is_quarantine());
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct VlanId {
     level: u8,
+    segment: u8,
     quarantine: bool,
 }
 
 impl VlanId {
-    /// Creates a VLAN identifier for the given PERA level.
+    /// Creates a VLAN identifier for the given PERA level (segment 0).
     ///
     /// `quarantine` selects the quarantine VLAN of that level rather than the
     /// operations VLAN.
     pub fn new(level: u8, quarantine: bool) -> Self {
-        Self { level, quarantine }
+        Self {
+            level,
+            segment: 0,
+            quarantine,
+        }
     }
 
-    /// The operations VLAN of a level.
+    /// Creates a VLAN identifier for a specific segment of a level.
+    pub fn segmented(level: u8, segment: u8, quarantine: bool) -> Self {
+        Self {
+            level,
+            segment,
+            quarantine,
+        }
+    }
+
+    /// The (segment-0) operations VLAN of a level.
     pub fn ops(level: u8) -> Self {
         Self::new(level, false)
     }
 
-    /// The quarantine VLAN of a level.
+    /// The operations VLAN of a specific segment of a level.
+    pub fn ops_segment(level: u8, segment: u8) -> Self {
+        Self::segmented(level, segment, false)
+    }
+
+    /// The (segment-0) quarantine VLAN of a level.
     pub fn quarantine(level: u8) -> Self {
         Self::new(level, true)
     }
@@ -114,12 +137,17 @@ impl VlanId {
         self.level
     }
 
+    /// Segment index of the VLAN within its level (0 in the paper's network).
+    pub fn segment(&self) -> u8 {
+        self.segment
+    }
+
     /// Whether this is a quarantine VLAN.
     pub fn is_quarantine(&self) -> bool {
         self.quarantine
     }
 
-    /// The counterpart VLAN on the same level (ops <-> quarantine).
+    /// The counterpart VLAN on the same level and segment (ops <-> quarantine).
     ///
     /// ```
     /// use ics_net::VlanId;
@@ -129,6 +157,7 @@ impl VlanId {
     pub fn counterpart(&self) -> Self {
         Self {
             level: self.level,
+            segment: self.segment,
             quarantine: !self.quarantine,
         }
     }
@@ -136,10 +165,12 @@ impl VlanId {
 
 impl fmt::Display for VlanId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.quarantine {
-            write!(f, "VLAN {}.q", self.level)
-        } else {
-            write!(f, "VLAN {}.1", self.level)
+        // Segment 0 keeps the paper's historical labels ("VLAN 2.1" /
+        // "VLAN 2.q"); further segments count up from there.
+        match (self.quarantine, self.segment) {
+            (false, s) => write!(f, "VLAN {}.{}", self.level, s + 1),
+            (true, 0) => write!(f, "VLAN {}.q", self.level),
+            (true, s) => write!(f, "VLAN {}.q{}", self.level, s + 1),
         }
     }
 }
@@ -182,6 +213,19 @@ mod tests {
     fn vlan_display() {
         assert_eq!(VlanId::ops(2).to_string(), "VLAN 2.1");
         assert_eq!(VlanId::quarantine(1).to_string(), "VLAN 1.q");
+    }
+
+    #[test]
+    fn segmented_vlans_are_distinct_and_display() {
+        assert_eq!(VlanId::ops_segment(2, 0), VlanId::ops(2));
+        let b = VlanId::ops_segment(2, 1);
+        assert_ne!(b, VlanId::ops(2));
+        assert_eq!(b.segment(), 1);
+        assert_eq!(b.level_number(), 2);
+        assert_eq!(b.to_string(), "VLAN 2.2");
+        assert_eq!(b.counterpart().to_string(), "VLAN 2.q2");
+        assert_eq!(b.counterpart().counterpart(), b);
+        assert_eq!(VlanId::segmented(1, 2, true).to_string(), "VLAN 1.q3");
     }
 
     #[test]

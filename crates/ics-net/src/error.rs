@@ -1,10 +1,11 @@
 //! Error types for topology construction and queries.
 
+use crate::address::IpAddr;
 use std::error::Error;
 use std::fmt;
 
 /// Errors produced when building or querying a topology.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum TopologyError {
     /// The specification cannot support an end-to-end attack scenario
@@ -14,6 +15,16 @@ pub enum TopologyError {
     UnknownNode(usize),
     /// A PLC identifier did not refer to a PLC in this topology.
     UnknownPlc(usize),
+    /// A generative parameter was outside its supported range.
+    InvalidParameter {
+        /// Which parameter was rejected.
+        field: &'static str,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+    /// Address assignment produced a duplicate IP (a spec packed more hosts
+    /// into a subnet than the addressing scheme supports).
+    DuplicateIp(IpAddr),
 }
 
 impl fmt::Display for TopologyError {
@@ -24,6 +35,10 @@ impl fmt::Display for TopologyError {
             }
             TopologyError::UnknownNode(idx) => write!(f, "unknown node index {idx}"),
             TopologyError::UnknownPlc(idx) => write!(f, "unknown plc index {idx}"),
+            TopologyError::InvalidParameter { field, reason } => {
+                write!(f, "invalid topology parameter `{field}`: {reason}")
+            }
+            TopologyError::DuplicateIp(ip) => write!(f, "duplicate ip address {ip}"),
         }
     }
 }
@@ -40,6 +55,19 @@ mod tests {
         assert!(msg.starts_with("topology spec"));
         assert!(TopologyError::UnknownNode(3).to_string().contains('3'));
         assert!(TopologyError::UnknownPlc(9).to_string().contains('9'));
+    }
+
+    #[test]
+    fn validation_variants_name_the_offender() {
+        let msg = TopologyError::InvalidParameter {
+            field: "plcs",
+            reason: "must be at least 1",
+        }
+        .to_string();
+        assert!(msg.contains("plcs"));
+        assert!(msg.contains("at least 1"));
+        let dup = TopologyError::DuplicateIp(IpAddr::new(10, 1, 2, 100)).to_string();
+        assert!(dup.contains("10.1.2.100"));
     }
 
     #[test]

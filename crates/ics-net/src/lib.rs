@@ -18,7 +18,7 @@
 //!
 //! // The full-scale network used in the paper: 25 level-2 workstations,
 //! // 3 servers, 5 level-1 HMIs and 50 PLCs.
-//! let topo = Topology::build(&TopologySpec::paper_full());
+//! let topo = Topology::build(&TopologySpec::paper_full()).unwrap();
 //! assert_eq!(topo.workstations().count(), 25);
 //! assert_eq!(topo.plc_count(), 50);
 //!
@@ -45,5 +45,5 @@ pub use device::{Device, DeviceId, DeviceKind};
 pub use error::TopologyError;
 pub use node::{Level, Node, NodeId, NodeKind, ServerRole};
 pub use plc::{Plc, PlcId};
-pub use spec::TopologySpec;
+pub use spec::{DeviceFactors, ServerMix, TopologyParams, TopologySpec};
 pub use topology::Topology;

@@ -1,16 +1,247 @@
 //! Topology specifications: how many of each element to build.
+//!
+//! Two layers describe a network:
+//!
+//! * [`TopologyParams`] — the *generative* surface: PERA levels, VLAN
+//!   segments per level, nodes per segment, the server mix, the PLC count and
+//!   the per-device alert-cost factors. Parameters validate into a
+//!   [`TopologySpec`].
+//! * [`TopologySpec`] — the concrete, validated element counts that
+//!   [`crate::Topology::build`] consumes. The paper's three networks are kept
+//!   as named instances ([`TopologySpec::paper_full`],
+//!   [`TopologySpec::paper_small`], [`TopologySpec::tiny`]).
 
+use crate::device::DeviceKind;
+use crate::error::TopologyError;
 use serde::{Deserialize, Serialize};
+
+/// Number of PERA levels the simulator models (plant level 1 and engineering
+/// level 2 — see [`crate::Level`]).
+pub const PERA_LEVELS: usize = 2;
+
+/// Maximum operations-VLAN segments per level. Bounded so segment subnets
+/// (third IP octet `1 + segment`) stay clear of reserved address space.
+pub const MAX_SEGMENTS_PER_LEVEL: usize = 8;
+
+/// Maximum hosts homed on one VLAN segment. Host numbers start at 10 and must
+/// stay below 100 so node addresses never collide with the PLC host range
+/// (100+) even when a level-1 segment shares a /24 third octet with a PLC
+/// subnet.
+pub const MAX_HOSTS_PER_SEGMENT: usize = 89;
+
+/// Maximum PLCs. PLC subnets start at third octet 2 and hold 150 PLCs each;
+/// four subnets keep them clear of segment subnets' host ranges.
+pub const MAX_PLCS: usize = 600;
+
+/// Alert-probability multipliers of the three networking device kinds.
+///
+/// Every device a malicious message crosses multiplies the probability that
+/// the IDS raises an alert; the paper's appendix fixes switch 1x, router 2x,
+/// firewall 5x. Generated scenarios may strengthen or weaken the monitoring
+/// fabric by scaling these factors.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceFactors {
+    /// Multiplier of a VLAN switch.
+    pub switch: f64,
+    /// Multiplier of a level router.
+    pub router: f64,
+    /// Multiplier of a firewall.
+    pub firewall: f64,
+}
+
+impl DeviceFactors {
+    /// The paper's factors: switch 1x, router 2x, firewall 5x.
+    pub fn paper() -> Self {
+        Self {
+            switch: 1.0,
+            router: 2.0,
+            firewall: 5.0,
+        }
+    }
+
+    /// The factor for a device kind.
+    pub fn factor(&self, kind: &DeviceKind) -> f64 {
+        match kind {
+            DeviceKind::Switch { .. } => self.switch,
+            DeviceKind::Router => self.router,
+            DeviceKind::Firewall => self.firewall,
+        }
+    }
+
+    /// Validates that every factor is finite and positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InvalidParameter`] on a non-finite,
+    /// non-positive or implausibly large factor.
+    pub fn validate(&self) -> Result<(), TopologyError> {
+        for (field, value) in [
+            ("device_factors.switch", self.switch),
+            ("device_factors.router", self.router),
+            ("device_factors.firewall", self.firewall),
+        ] {
+            if !value.is_finite() || value <= 0.0 || value > 1_000.0 {
+                return Err(TopologyError::InvalidParameter {
+                    field,
+                    reason: "must be finite and in (0, 1000]",
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for DeviceFactors {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Which level-2 servers a network contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerMix {
+    /// Include the OPC server.
+    pub opc: bool,
+    /// Include the data historian.
+    pub historian: bool,
+    /// Include the domain controller.
+    pub domain_controller: bool,
+}
+
+impl ServerMix {
+    /// All three servers (the paper's full and small networks).
+    pub fn full() -> Self {
+        Self {
+            opc: true,
+            historian: true,
+            domain_controller: true,
+        }
+    }
+
+    /// OPC + historian only (the tiny test network).
+    pub fn minimal() -> Self {
+        Self {
+            opc: true,
+            historian: true,
+            domain_controller: false,
+        }
+    }
+
+    /// Number of servers in the mix.
+    pub fn count(&self) -> usize {
+        usize::from(self.opc) + usize::from(self.historian) + usize::from(self.domain_controller)
+    }
+}
+
+/// Generative parameters for an ICS network: the shape knobs a scenario can
+/// turn, validated down to a [`TopologySpec`].
+///
+/// ```
+/// use ics_net::{TopologyParams, TopologySpec};
+///
+/// // The paper's full network, expressed generatively.
+/// let spec = TopologyParams::paper_full().into_spec().unwrap();
+/// assert_eq!(spec, TopologySpec::paper_full());
+///
+/// // A segmented variant: two engineering VLANs of 8 workstations each.
+/// let mut params = TopologyParams::paper_small();
+/// params.vlans_per_level = [1, 2];
+/// params.nodes_per_vlan = [3, 8];
+/// let spec = params.into_spec().unwrap();
+/// assert_eq!(spec.l2_workstations, 16);
+/// assert_eq!(spec.l2_segments, 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TopologyParams {
+    /// Number of PERA levels. The simulator models exactly
+    /// [`PERA_LEVELS`] (plant 1 + engineering 2); other values are rejected
+    /// by validation rather than silently reinterpreted.
+    pub levels: usize,
+    /// Operations-VLAN segments per level, indexed `[level-1, level-2]`.
+    pub vlans_per_level: [usize; PERA_LEVELS],
+    /// Hosts homed on each segment, indexed `[level-1, level-2]`: HMIs per
+    /// level-1 segment, workstations per level-2 segment (servers are homed
+    /// on level-2 segment 0 in addition to these).
+    pub nodes_per_vlan: [usize; PERA_LEVELS],
+    /// Which level-2 servers exist.
+    pub servers: ServerMix,
+    /// Number of PLCs on level 1.
+    pub plcs: usize,
+    /// Alert-cost multipliers of switches, routers and firewalls.
+    pub device_factors: DeviceFactors,
+}
+
+impl TopologyParams {
+    /// The full-scale evaluation network of the paper (Fig. 2), generatively.
+    pub fn paper_full() -> Self {
+        Self {
+            levels: PERA_LEVELS,
+            vlans_per_level: [1, 1],
+            nodes_per_vlan: [5, 25],
+            servers: ServerMix::full(),
+            plcs: 50,
+            device_factors: DeviceFactors::paper(),
+        }
+    }
+
+    /// The reduced grid-search network (§4.2), generatively.
+    pub fn paper_small() -> Self {
+        Self {
+            vlans_per_level: [1, 1],
+            nodes_per_vlan: [3, 10],
+            plcs: 30,
+            ..Self::paper_full()
+        }
+    }
+
+    /// Validates the parameters and produces the concrete spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InvalidParameter`] for out-of-range values
+    /// and [`TopologyError::UnattackableSpec`] if the resulting network could
+    /// not host an end-to-end attack.
+    pub fn into_spec(self) -> Result<TopologySpec, TopologyError> {
+        if self.levels != PERA_LEVELS {
+            return Err(TopologyError::InvalidParameter {
+                field: "levels",
+                reason: "the PERA model has exactly 2 levels (plant 1 + engineering 2)",
+            });
+        }
+        let spec = TopologySpec {
+            l2_workstations: self.nodes_per_vlan[1] * self.vlans_per_level[1],
+            opc_server: self.servers.opc,
+            historian_server: self.servers.historian,
+            domain_controller: self.servers.domain_controller,
+            l1_hmis: self.nodes_per_vlan[0] * self.vlans_per_level[0],
+            plcs: self.plcs,
+            l2_segments: self.vlans_per_level[1],
+            l1_segments: self.vlans_per_level[0],
+            device_factors: self.device_factors,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+impl Default for TopologyParams {
+    fn default() -> Self {
+        Self::paper_full()
+    }
+}
 
 /// Parameters describing the shape of an ICS network to build.
 ///
-/// The two presets match the networks used in the paper:
+/// The presets match the networks used in the paper:
 ///
 /// * [`TopologySpec::paper_full`] — the evaluation network of Fig. 2
 ///   (25 level-2 workstations, 3 servers, 5 level-1 HMIs, 50 PLCs).
 /// * [`TopologySpec::paper_small`] — the reduced network used for the
 ///   hyper-parameter grid search in §4.2 (10 level-2 workstations, 3 level-1
 ///   HMIs, 30 PLCs).
+///
+/// Arbitrary shapes come from [`TopologyParams`], which validates into this
+/// type.
 ///
 /// ```
 /// use ics_net::TopologySpec;
@@ -19,7 +250,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(spec.plcs, 50);
 /// assert_eq!(spec.total_nodes(), 33);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TopologySpec {
     /// Number of engineering (level-2) workstations.
     pub l2_workstations: usize,
@@ -33,6 +264,14 @@ pub struct TopologySpec {
     pub l1_hmis: usize,
     /// Number of PLCs on level 1.
     pub plcs: usize,
+    /// Operations-VLAN segments on level 2 (workstations round-robin across
+    /// them; servers stay on segment 0).
+    pub l2_segments: usize,
+    /// Operations-VLAN segments on level 1 (HMIs round-robin across them;
+    /// PLCs stay attached to segment 0's switch).
+    pub l1_segments: usize,
+    /// Alert-cost multipliers of switches, routers and firewalls.
+    pub device_factors: DeviceFactors,
 }
 
 impl TopologySpec {
@@ -45,6 +284,9 @@ impl TopologySpec {
             domain_controller: true,
             l1_hmis: 5,
             plcs: 50,
+            l2_segments: 1,
+            l1_segments: 1,
+            device_factors: DeviceFactors::paper(),
         }
     }
 
@@ -54,11 +296,9 @@ impl TopologySpec {
     pub fn paper_small() -> Self {
         Self {
             l2_workstations: 10,
-            opc_server: true,
-            historian_server: true,
-            domain_controller: true,
             l1_hmis: 3,
             plcs: 30,
+            ..Self::paper_full()
         }
     }
 
@@ -66,11 +306,10 @@ impl TopologySpec {
     pub fn tiny() -> Self {
         Self {
             l2_workstations: 3,
-            opc_server: true,
-            historian_server: true,
             domain_controller: false,
             l1_hmis: 2,
             plcs: 4,
+            ..Self::paper_full()
         }
     }
 
@@ -86,6 +325,15 @@ impl TopologySpec {
         self.l2_workstations + self.server_count() + self.l1_hmis
     }
 
+    /// Segment count for a PERA level number.
+    pub fn segments_for_level(&self, level: u8) -> usize {
+        if level == 1 {
+            self.l1_segments
+        } else {
+            self.l2_segments
+        }
+    }
+
     /// Validates that the specification can support an end-to-end attack:
     /// at least one level-2 node to serve as a beachhead, at least one HMI or
     /// the OPC server as an attack vector, the historian for process
@@ -95,6 +343,63 @@ impl TopologySpec {
             && self.historian_server
             && (self.l1_hmis >= 1 || self.opc_server)
             && self.plcs >= 1
+    }
+
+    /// The heaviest host load of any one segment on a level: hosts are dealt
+    /// round-robin, and level-2 segment 0 additionally homes the servers.
+    fn max_segment_load(&self, level: u8) -> usize {
+        let (hosts, segments, extra) = if level == 1 {
+            (self.l1_hmis, self.l1_segments, 0)
+        } else {
+            (self.l2_workstations, self.l2_segments, self.server_count())
+        };
+        hosts.div_ceil(segments.max(1)) + extra
+    }
+
+    /// Validates the spec against the addressing scheme and the attack model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InvalidParameter`] for structurally degenerate
+    /// specs (zero or excessive segments, a segment too dense for its /24
+    /// subnet, too many PLCs, bad device factors) and
+    /// [`TopologyError::UnattackableSpec`] when the network cannot host an
+    /// end-to-end attack.
+    pub fn validate(&self) -> Result<(), TopologyError> {
+        for (field, segments) in [
+            ("l1_segments", self.l1_segments),
+            ("l2_segments", self.l2_segments),
+        ] {
+            if segments == 0 || segments > MAX_SEGMENTS_PER_LEVEL {
+                return Err(TopologyError::InvalidParameter {
+                    field,
+                    reason: "segments per level must be in 1..=8",
+                });
+            }
+        }
+        if self.plcs > MAX_PLCS {
+            return Err(TopologyError::InvalidParameter {
+                field: "plcs",
+                reason: "at most 600 PLCs fit the PLC subnets",
+            });
+        }
+        for level in [1u8, 2] {
+            if self.max_segment_load(level) > MAX_HOSTS_PER_SEGMENT {
+                return Err(TopologyError::InvalidParameter {
+                    field: if level == 1 {
+                        "l1_hmis"
+                    } else {
+                        "l2_workstations"
+                    },
+                    reason: "a VLAN segment holds at most 89 hosts",
+                });
+            }
+        }
+        self.device_factors.validate()?;
+        if !self.is_attackable() {
+            return Err(TopologyError::UnattackableSpec);
+        }
+        Ok(())
     }
 }
 
@@ -117,6 +422,7 @@ mod tests {
         assert_eq!(spec.plcs, 50);
         assert_eq!(spec.total_nodes(), 33);
         assert!(spec.is_attackable());
+        assert!(spec.validate().is_ok());
     }
 
     #[test]
@@ -131,6 +437,10 @@ mod tests {
     #[test]
     fn default_is_full() {
         assert_eq!(TopologySpec::default(), TopologySpec::paper_full());
+        assert_eq!(
+            TopologyParams::default().into_spec().unwrap(),
+            TopologySpec::paper_full()
+        );
     }
 
     #[test]
@@ -139,8 +449,116 @@ mod tests {
         assert!(spec.is_attackable());
         spec.historian_server = false;
         assert!(!spec.is_attackable());
+        assert_eq!(spec.validate(), Err(TopologyError::UnattackableSpec));
         spec.historian_server = true;
         spec.plcs = 0;
         assert!(!spec.is_attackable());
+    }
+
+    #[test]
+    fn params_reproduce_paper_presets() {
+        assert_eq!(
+            TopologyParams::paper_full().into_spec().unwrap(),
+            TopologySpec::paper_full()
+        );
+        assert_eq!(
+            TopologyParams::paper_small().into_spec().unwrap(),
+            TopologySpec::paper_small()
+        );
+    }
+
+    #[test]
+    fn params_validation_rejects_degenerate_shapes() {
+        let mut params = TopologyParams::paper_small();
+        params.levels = 3;
+        assert!(matches!(
+            params.into_spec(),
+            Err(TopologyError::InvalidParameter {
+                field: "levels",
+                ..
+            })
+        ));
+
+        let mut params = TopologyParams::paper_small();
+        params.vlans_per_level = [1, 0];
+        assert!(matches!(
+            params.into_spec(),
+            Err(TopologyError::InvalidParameter {
+                field: "l2_segments",
+                ..
+            })
+        ));
+
+        let mut params = TopologyParams::paper_small();
+        params.nodes_per_vlan = [3, 120];
+        assert!(matches!(
+            params.into_spec(),
+            Err(TopologyError::InvalidParameter {
+                field: "l2_workstations",
+                ..
+            })
+        ));
+
+        let mut params = TopologyParams::paper_small();
+        params.plcs = MAX_PLCS + 1;
+        assert!(matches!(
+            params.into_spec(),
+            Err(TopologyError::InvalidParameter { field: "plcs", .. })
+        ));
+
+        let mut params = TopologyParams::paper_small();
+        params.device_factors.firewall = f64::NAN;
+        assert!(matches!(
+            params.into_spec(),
+            Err(TopologyError::InvalidParameter {
+                field: "device_factors.firewall",
+                ..
+            })
+        ));
+
+        let mut params = TopologyParams::paper_small();
+        params.plcs = 0;
+        assert_eq!(params.into_spec(), Err(TopologyError::UnattackableSpec));
+    }
+
+    #[test]
+    fn segment_loads_account_for_servers_on_segment_zero() {
+        let mut spec = TopologySpec::paper_full();
+        // 25 workstations over 1 segment + 3 servers = 28 <= 89.
+        assert!(spec.validate().is_ok());
+        spec.l2_workstations = 87;
+        // 87 + 3 servers = 90 > 89: one host too many.
+        assert!(spec.validate().is_err());
+        spec.l2_segments = 2;
+        // ceil(87/2) + 3 = 47: fits again.
+        assert!(spec.validate().is_ok());
+        assert_eq!(spec.segments_for_level(2), 2);
+        assert_eq!(spec.segments_for_level(1), 1);
+    }
+
+    #[test]
+    fn device_factor_presets_and_lookup() {
+        let f = DeviceFactors::paper();
+        assert_eq!(f.factor(&DeviceKind::Router), 2.0);
+        assert_eq!(f.factor(&DeviceKind::Firewall), 5.0);
+        assert_eq!(
+            f.factor(&DeviceKind::Switch {
+                vlan: crate::VlanId::ops(2)
+            }),
+            1.0
+        );
+        assert_eq!(DeviceFactors::default(), DeviceFactors::paper());
+        assert!(f.validate().is_ok());
+        let bad = DeviceFactors {
+            router: 0.0,
+            ..DeviceFactors::paper()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn server_mix_counts() {
+        assert_eq!(ServerMix::full().count(), 3);
+        assert_eq!(ServerMix::minimal().count(), 2);
     }
 }

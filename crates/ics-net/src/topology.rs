@@ -23,7 +23,7 @@ use std::collections::HashMap;
 /// ```
 /// use ics_net::{Topology, TopologySpec, VlanId};
 ///
-/// let topo = Topology::build(&TopologySpec::paper_full());
+/// let topo = Topology::build(&TopologySpec::paper_full()).unwrap();
 ///
 /// // Same-VLAN traffic only crosses the VLAN switch (device factor 1).
 /// let factor = topo.device_factor_between_vlans(VlanId::ops(2), VlanId::ops(2));
@@ -53,86 +53,83 @@ impl Topology {
     ///
     /// Node identifiers are assigned densely: level-2 workstations first, then
     /// servers (OPC, historian, domain controller), then level-1 HMIs. PLCs
-    /// get their own dense identifier space.
-    pub fn build(spec: &TopologySpec) -> Self {
+    /// get their own dense identifier space. Hosts are dealt round-robin
+    /// across a level's operations-VLAN segments (servers stay on level-2
+    /// segment 0); each segment owns the `10.<level>.<1 + segment>.0/24`
+    /// subnet, PLC subnets start at `10.1.2.0/24` in the 100+ host range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InvalidParameter`] /
+    /// [`TopologyError::UnattackableSpec`] when the spec fails
+    /// [`TopologySpec::validate`], and [`TopologyError::DuplicateIp`] if
+    /// address assignment would alias two elements (unreachable for a spec
+    /// that validates; kept as a hard backstop).
+    pub fn build(spec: &TopologySpec) -> Result<Self, TopologyError> {
+        spec.validate()?;
+
         let mut nodes = Vec::new();
         let mut node_ips = Vec::new();
 
-        let l2_ops = VlanId::ops(2);
-        let l1_ops = VlanId::ops(1);
+        // Per-segment host counters; hosts start at 10 within each subnet.
+        let mut host_counters_l2 = vec![10u8; spec.l2_segments];
+        let mut host_counters_l1 = vec![10u8; spec.l1_segments];
 
-        let mut host_counter_l2: u8 = 10;
-        let mut host_counter_l1: u8 = 10;
-
-        let push_node = |nodes: &mut Vec<Node>,
-                         node_ips: &mut Vec<IpAddr>,
-                         kind: NodeKind,
-                         level: Level,
-                         vlan: VlanId,
-                         host: u8| {
+        let mut push_node = |nodes: &mut Vec<Node>,
+                             node_ips: &mut Vec<IpAddr>,
+                             kind: NodeKind,
+                             level: Level,
+                             segment: usize| {
+            let counters = if level == Level::Engineering2 {
+                &mut host_counters_l2
+            } else {
+                &mut host_counters_l1
+            };
+            let host = counters[segment];
+            counters[segment] += 1;
+            let vlan = VlanId::ops_segment(level.number(), segment as u8);
             let id = NodeId(nodes.len());
             nodes.push(Node::new(id, kind, level, vlan));
-            node_ips.push(IpAddr::new(10, level.number(), 1, host));
+            node_ips.push(IpAddr::new(10, level.number(), 1 + segment as u8, host));
             id
         };
 
-        for _ in 0..spec.l2_workstations {
+        for i in 0..spec.l2_workstations {
             push_node(
                 &mut nodes,
                 &mut node_ips,
                 NodeKind::Workstation,
                 Level::Engineering2,
-                l2_ops,
-                host_counter_l2,
-            );
-            host_counter_l2 = host_counter_l2.wrapping_add(1);
-        }
-        if spec.opc_server {
-            push_node(
-                &mut nodes,
-                &mut node_ips,
-                NodeKind::Server(ServerRole::Opc),
-                Level::Engineering2,
-                l2_ops,
-                host_counter_l2,
-            );
-            host_counter_l2 = host_counter_l2.wrapping_add(1);
-        }
-        if spec.historian_server {
-            push_node(
-                &mut nodes,
-                &mut node_ips,
-                NodeKind::Server(ServerRole::Historian),
-                Level::Engineering2,
-                l2_ops,
-                host_counter_l2,
-            );
-            host_counter_l2 = host_counter_l2.wrapping_add(1);
-        }
-        if spec.domain_controller {
-            push_node(
-                &mut nodes,
-                &mut node_ips,
-                NodeKind::Server(ServerRole::DomainController),
-                Level::Engineering2,
-                l2_ops,
-                host_counter_l2,
+                i % spec.l2_segments,
             );
         }
-        for _ in 0..spec.l1_hmis {
+        for (present, role) in [
+            (spec.opc_server, ServerRole::Opc),
+            (spec.historian_server, ServerRole::Historian),
+            (spec.domain_controller, ServerRole::DomainController),
+        ] {
+            if present {
+                push_node(
+                    &mut nodes,
+                    &mut node_ips,
+                    NodeKind::Server(role),
+                    Level::Engineering2,
+                    0,
+                );
+            }
+        }
+        for i in 0..spec.l1_hmis {
             push_node(
                 &mut nodes,
                 &mut node_ips,
                 NodeKind::Hmi,
                 Level::Plant1,
-                l1_ops,
-                host_counter_l1,
+                i % spec.l1_segments,
             );
-            host_counter_l1 = host_counter_l1.wrapping_add(1);
         }
 
-        // Networking devices: one switch per VLAN (ops + quarantine per level),
-        // one router per level, one firewall per level.
+        // Networking devices: one switch per VLAN (ops + quarantine per
+        // segment), one router per level, one firewall per level.
         let mut devices = Vec::new();
         let mut vlan_switches = HashMap::new();
         let mut level_routers = HashMap::new();
@@ -144,10 +141,12 @@ impl Topology {
         };
 
         for level in [Level::Engineering2, Level::Plant1] {
-            for quarantine in [false, true] {
-                let vlan = VlanId::new(level.number(), quarantine);
-                let id = push_device(&mut devices, DeviceKind::Switch { vlan }, level);
-                vlan_switches.insert(vlan, id);
+            for segment in 0..spec.segments_for_level(level.number()) {
+                for quarantine in [false, true] {
+                    let vlan = VlanId::segmented(level.number(), segment as u8, quarantine);
+                    let id = push_device(&mut devices, DeviceKind::Switch { vlan }, level);
+                    vlan_switches.insert(vlan, id);
+                }
             }
             let router = push_device(&mut devices, DeviceKind::Router, level);
             level_routers.insert(level.number(), router);
@@ -156,22 +155,36 @@ impl Topology {
             push_device(&mut devices, DeviceKind::Firewall, Level::Engineering2);
         let plant_firewall = push_device(&mut devices, DeviceKind::Firewall, Level::Plant1);
 
-        // PLCs are attached to the level-1 operations switch.
+        // PLCs are attached to the level-1 segment-0 operations switch; 150
+        // PLCs per /24, subnets counting up from 10.1.2.0/24.
         let mut plcs = Vec::new();
         let mut plc_ips = Vec::new();
         for i in 0..spec.plcs {
             let id = PlcId(plcs.len());
             plcs.push(Plc::new(id));
-            plc_ips.push(IpAddr::new(10, 1, 2, (100 + (i % 150)) as u8));
+            plc_ips.push(IpAddr::new(
+                10,
+                1,
+                (2 + i / 150) as u8,
+                (100 + (i % 150)) as u8,
+            ));
         }
 
-        let ip_to_node = node_ips
-            .iter()
-            .enumerate()
-            .map(|(i, ip)| (*ip, NodeId(i)))
-            .collect();
+        let mut ip_to_node = HashMap::new();
+        let mut seen = std::collections::HashSet::new();
+        for (i, ip) in node_ips.iter().enumerate() {
+            if !seen.insert(*ip) {
+                return Err(TopologyError::DuplicateIp(*ip));
+            }
+            ip_to_node.insert(*ip, NodeId(i));
+        }
+        for ip in &plc_ips {
+            if !seen.insert(*ip) {
+                return Err(TopologyError::DuplicateIp(*ip));
+            }
+        }
 
-        Self {
+        Ok(Self {
             spec: spec.clone(),
             nodes,
             devices,
@@ -183,7 +196,7 @@ impl Topology {
             level_routers,
             plant_firewall,
             engineering_firewall,
-        }
+        })
     }
 
     /// The specification this topology was built from.
@@ -361,11 +374,16 @@ impl Topology {
     }
 
     /// Product of the alert factors of every device on the path between two
-    /// VLANs (switch 1x, router 2x, firewall 5x).
+    /// VLANs, using the spec's [`crate::DeviceFactors`] (paper values:
+    /// switch 1x, router 2x, firewall 5x).
     pub fn device_factor_between_vlans(&self, from: VlanId, to: VlanId) -> f64 {
         self.devices_between_vlans(from, to)
             .into_iter()
-            .map(|d| self.devices[d.index()].alert_factor())
+            .map(|d| {
+                self.spec
+                    .device_factors
+                    .factor(&self.devices[d.index()].kind)
+            })
             .product()
     }
 
@@ -402,7 +420,7 @@ mod tests {
     use super::*;
 
     fn full() -> Topology {
-        Topology::build(&TopologySpec::paper_full())
+        Topology::build(&TopologySpec::paper_full()).unwrap()
     }
 
     #[test]
@@ -423,7 +441,7 @@ mod tests {
         assert!(t.server(ServerRole::Opc).is_some());
         assert!(t.server(ServerRole::Historian).is_some());
         assert!(t.server(ServerRole::DomainController).is_some());
-        let small = Topology::build(&TopologySpec::tiny());
+        let small = Topology::build(&TopologySpec::tiny()).unwrap();
         assert!(small.server(ServerRole::DomainController).is_none());
     }
 
@@ -520,9 +538,101 @@ mod tests {
 
     #[test]
     fn small_topology_matches_grid_search_spec() {
-        let t = Topology::build(&TopologySpec::paper_small());
+        let t = Topology::build(&TopologySpec::paper_small()).unwrap();
         assert_eq!(t.workstations().count(), 10);
         assert_eq!(t.hmis().count(), 3);
         assert_eq!(t.plc_count(), 30);
+    }
+
+    #[test]
+    fn degenerate_specs_are_rejected_not_panicked() {
+        let mut spec = TopologySpec::paper_small();
+        spec.plcs = 0;
+        assert!(matches!(
+            Topology::build(&spec),
+            Err(TopologyError::UnattackableSpec)
+        ));
+
+        let mut spec = TopologySpec::paper_small();
+        spec.l2_segments = 0;
+        assert!(matches!(
+            Topology::build(&spec),
+            Err(TopologyError::InvalidParameter { .. })
+        ));
+
+        // 150 hosts would previously have wrapped the u8 host counter into
+        // silently duplicated IPs; now the spec is rejected up front.
+        let mut spec = TopologySpec::paper_small();
+        spec.l2_workstations = 150;
+        assert!(matches!(
+            Topology::build(&spec),
+            Err(TopologyError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn segmented_build_spreads_hosts_round_robin() {
+        let mut spec = TopologySpec::paper_small();
+        spec.l2_segments = 2;
+        spec.l1_segments = 2;
+        let t = Topology::build(&spec).unwrap();
+        // 2 levels x 2 segments x (ops + quarantine) switches + 2 routers +
+        // 2 firewalls.
+        assert_eq!(t.device_count(), 12);
+        assert_eq!(t.vlans().len(), 8);
+        assert_eq!(t.ops_vlans().len(), 4);
+        assert_eq!(t.nodes_homed_on(VlanId::ops_segment(2, 0)).count(), 5 + 3);
+        assert_eq!(t.nodes_homed_on(VlanId::ops_segment(2, 1)).count(), 5);
+        // Servers stay on segment 0.
+        for server in t.servers() {
+            assert_eq!(server.home_vlan, VlanId::ops_segment(2, 0));
+        }
+        // Same level, different segment: traffic crosses the level router.
+        assert_eq!(
+            t.device_factor_between_vlans(VlanId::ops_segment(2, 0), VlanId::ops_segment(2, 1)),
+            2.0
+        );
+        // Cross-level still crosses the plant firewall.
+        let path = t.devices_between_vlans(VlanId::ops_segment(2, 1), VlanId::ops_segment(1, 1));
+        assert!(path.contains(&t.plant_firewall()));
+        // All IPs are still unique.
+        let mut seen = std::collections::HashSet::new();
+        for id in t.node_ids() {
+            assert!(seen.insert(t.ip_of(id)));
+        }
+        for plc in t.plc_ids() {
+            assert!(seen.insert(t.plc_ip(plc)));
+        }
+    }
+
+    #[test]
+    fn custom_device_factors_flow_into_path_costs() {
+        let mut spec = TopologySpec::paper_small();
+        spec.device_factors = crate::DeviceFactors {
+            switch: 1.0,
+            router: 3.0,
+            firewall: 10.0,
+        };
+        let t = Topology::build(&spec).unwrap();
+        // switch * router * firewall * router * switch = 3 * 10 * 3 = 90.
+        assert_eq!(
+            t.device_factor_between_vlans(VlanId::ops(2), VlanId::ops(1)),
+            90.0
+        );
+    }
+
+    #[test]
+    fn many_plcs_span_multiple_subnets() {
+        let mut spec = TopologySpec::paper_small();
+        spec.plcs = 400;
+        let t = Topology::build(&spec).unwrap();
+        assert_eq!(t.plc_count(), 400);
+        assert_eq!(t.plc_ip(PlcId::from_index(0)).octets(), [10, 1, 2, 100]);
+        assert_eq!(t.plc_ip(PlcId::from_index(150)).octets(), [10, 1, 3, 100]);
+        assert_eq!(t.plc_ip(PlcId::from_index(399)).octets(), [10, 1, 4, 199]);
+        let mut seen = std::collections::HashSet::new();
+        for plc in t.plc_ids() {
+            assert!(seen.insert(t.plc_ip(plc)));
+        }
     }
 }

@@ -1,0 +1,163 @@
+//! Property-based invariants of the generative topology builder.
+//!
+//! For randomized [`TopologyParams`], any parameters that validate must
+//! build a topology upholding the structural invariants the simulator
+//! depends on; parameters that do not validate must be rejected with a typed
+//! error, never a panic.
+
+use ics_net::{
+    DeviceFactors, DeviceKind, ServerMix, Topology, TopologyError, TopologyParams, VlanId,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary — frequently degenerate — generative parameters: the ranges
+    /// deliberately exceed the validated bounds so rejection paths are
+    /// exercised alongside construction paths.
+    fn built_topologies_uphold_invariants(
+        levels in 1usize..4,
+        l1_vlans in 0usize..11,
+        l2_vlans in 0usize..11,
+        hmis_per_vlan in 0usize..100,
+        ws_per_vlan in 0usize..100,
+        opc in 0u8..2,
+        historian in 0u8..2,
+        dc in 0u8..2,
+        plcs in 0usize..700,
+        router_factor in 0.0f64..12.0,
+    ) {
+        let params = TopologyParams {
+            levels,
+            vlans_per_level: [l1_vlans, l2_vlans],
+            nodes_per_vlan: [hmis_per_vlan, ws_per_vlan],
+            servers: ServerMix {
+                opc: opc == 1,
+                historian: historian == 1,
+                domain_controller: dc == 1,
+            },
+            plcs,
+            device_factors: DeviceFactors {
+                router: router_factor,
+                ..DeviceFactors::paper()
+            },
+        };
+
+        // Validation and construction must agree, and neither may panic.
+        let spec = match params.into_spec() {
+            Ok(spec) => spec,
+            Err(
+                TopologyError::InvalidParameter { .. } | TopologyError::UnattackableSpec,
+            ) => return Ok(()),
+            Err(other) => {
+                prop_assert!(false, "unexpected validation error {other:?}");
+                unreachable!()
+            }
+        };
+        let topo = match Topology::build(&spec) {
+            Ok(topo) => topo,
+            Err(e) => {
+                prop_assert!(false, "validated spec failed to build: {e}");
+                unreachable!()
+            }
+        };
+
+        // Counts match the spec.
+        prop_assert_eq!(topo.node_count(), spec.total_nodes());
+        prop_assert_eq!(topo.plc_count(), spec.plcs);
+
+        // Unique IPs across nodes and PLCs.
+        let mut seen = std::collections::HashSet::new();
+        for id in topo.node_ids() {
+            prop_assert!(seen.insert(topo.ip_of(id)), "duplicate node ip");
+        }
+        for plc in topo.plc_ids() {
+            prop_assert!(seen.insert(topo.plc_ip(plc)), "duplicate plc ip");
+        }
+
+        // Every node is reachable from its home VLAN's switch, and that
+        // switch serves the node's VLAN.
+        for node in topo.nodes() {
+            let switch = topo.switch_for_vlan(node.home_vlan);
+            prop_assert!(switch.is_some(), "node {} has no switch", node.id);
+            let device = topo
+                .devices()
+                .find(|d| Some(d.id) == switch)
+                .expect("switch id resolves");
+            prop_assert!(
+                matches!(device.kind, DeviceKind::Switch { vlan } if vlan == node.home_vlan)
+            );
+            prop_assert_eq!(device.level, node.level);
+        }
+
+        // A router exists for every level, and every VLAN has a quarantine
+        // counterpart switch.
+        for vlan in topo.vlans() {
+            prop_assert!(topo
+                .router_for_level(if vlan.level_number() == 1 {
+                    ics_net::Level::Plant1
+                } else {
+                    ics_net::Level::Engineering2
+                })
+                .is_some());
+            prop_assert!(topo.switch_for_vlan(vlan.counterpart()).is_some());
+        }
+
+        // Every cross-level path crosses the plant firewall exactly once;
+        // same-level paths never do.
+        for from in topo.vlans() {
+            for to in topo.vlans() {
+                let path = topo.devices_between_vlans(from, to);
+                let firewalls = path
+                    .iter()
+                    .filter(|d| **d == topo.plant_firewall())
+                    .count();
+                if from.level_number() == to.level_number() {
+                    prop_assert_eq!(firewalls, 0);
+                } else {
+                    prop_assert_eq!(firewalls, 1);
+                }
+                prop_assert!(topo.device_factor_between_vlans(from, to) > 0.0);
+            }
+        }
+    }
+
+    /// Generated scenario parameter ranges (`Scenario::from_seed` draws
+    /// segments up to 3x2, hosts up to 20, PLCs up to 80) always validate.
+    fn scenario_generation_ranges_always_validate(
+        l1_vlans in 1usize..3,
+        l2_vlans in 1usize..4,
+        hmis_per_vlan in 2usize..7,
+        ws_per_vlan in 4usize..21,
+        plcs in 10usize..81,
+    ) {
+        let params = TopologyParams {
+            levels: 2,
+            vlans_per_level: [l1_vlans, l2_vlans],
+            nodes_per_vlan: [hmis_per_vlan, ws_per_vlan],
+            servers: ServerMix::full(),
+            plcs,
+            device_factors: DeviceFactors::paper(),
+        };
+        let spec = params.into_spec();
+        prop_assert!(spec.is_ok(), "{spec:?}");
+        prop_assert!(Topology::build(&spec.unwrap()).is_ok());
+    }
+}
+
+#[test]
+fn paper_preset_still_single_segment() {
+    // Guard that the property-test machinery exercises the same builder the
+    // presets use: segment-0-only presets keep the paper's VLAN set.
+    let topo = Topology::build(&ics_net::TopologySpec::paper_full()).unwrap();
+    assert_eq!(
+        topo.vlans(),
+        vec![
+            VlanId::ops(1),
+            VlanId::quarantine(1),
+            VlanId::ops(2),
+            VlanId::quarantine(2),
+        ]
+    );
+}

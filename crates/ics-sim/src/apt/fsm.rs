@@ -226,7 +226,6 @@ impl FsmAptPolicy {
         rng: &mut StdRng,
     ) -> Vec<AptAction> {
         let mut actions = Vec::new();
-        let vlan = VlanId::ops(level.number());
         let s = ctx.state;
         let topo = ctx.topology;
 
@@ -242,16 +241,24 @@ impl FsmAptPolicy {
             })
             .collect();
 
-        // 1. Scan the level's operations VLAN if we have no fresh targets.
-        if known_uncompromised.is_empty()
-            && !Self::in_progress(ctx, AptActionKind::ScanVlan, AptTarget::Vlan(vlan))
-        {
-            if let Some(src) = Self::pick_source(ctx, Some(level), rng) {
-                actions.push(AptAction::new(
-                    AptActionKind::ScanVlan,
-                    Some(src),
-                    AptTarget::Vlan(vlan),
-                ));
+        // 1. Scan the level's operations VLANs (every segment) if we have no
+        //    fresh targets.
+        if known_uncompromised.is_empty() {
+            for vlan in topo
+                .ops_vlans()
+                .into_iter()
+                .filter(|v| v.level_number() == level.number())
+            {
+                if Self::in_progress(ctx, AptActionKind::ScanVlan, AptTarget::Vlan(vlan)) {
+                    continue;
+                }
+                if let Some(src) = Self::pick_source(ctx, Some(level), rng) {
+                    actions.push(AptAction::new(
+                        AptActionKind::ScanVlan,
+                        Some(src),
+                        AptTarget::Vlan(vlan),
+                    ));
+                }
             }
         }
 
@@ -428,8 +435,15 @@ impl FsmAptPolicy {
                     .filter(|id| !s.compromise(*id).is_compromised())
                     .collect();
                 if known_hmis.is_empty() {
-                    let target = AptTarget::Vlan(VlanId::ops(1));
-                    if !Self::in_progress(ctx, AptActionKind::ScanVlan, target) {
+                    for vlan in topo
+                        .ops_vlans()
+                        .into_iter()
+                        .filter(|v| v.level_number() == 1)
+                    {
+                        let target = AptTarget::Vlan(vlan);
+                        if Self::in_progress(ctx, AptActionKind::ScanVlan, target) {
+                            continue;
+                        }
                         if let Some(src) = Self::pick_source(ctx, Some(Level::Engineering2), rng) {
                             actions.push(AptAction::new(
                                 AptActionKind::ScanVlan,
@@ -560,7 +574,7 @@ mod tests {
 
     impl Fixture {
         fn new() -> Self {
-            let topo = Topology::build(&TopologySpec::paper_small());
+            let topo = Topology::build(&TopologySpec::paper_small()).unwrap();
             let state = NetworkState::new(&topo);
             let knowledge = AptKnowledge::new();
             let params = AptParams::apt1(AttackObjective::Disrupt, AttackVector::Opc);

@@ -10,5 +10,5 @@ pub mod policy;
 pub use action::{AptAction, AptActionKind, AptTarget};
 pub use fsm::{AptPhase, FsmAptPolicy};
 pub use knowledge::AptKnowledge;
-pub use params::{AptParams, AptProfile, AttackObjective, AttackVector};
+pub use params::{AptParams, AptProfile, AttackObjective, AttackVector, InitialAccess};
 pub use policy::{AptContext, AptPolicy};

@@ -43,6 +43,27 @@ impl fmt::Display for AttackVector {
     }
 }
 
+/// Where the APT's initial foothold (and any re-entry after full eviction)
+/// lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InitialAccess {
+    /// A phishing-style entry through a random level-2 engineering
+    /// workstation (the paper's model).
+    EngineeringWorkstation,
+    /// An insider foothold: the attacker starts on a random level-1 HMI,
+    /// already inside the operations perimeter.
+    OperationsHmi,
+}
+
+impl fmt::Display for InitialAccess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InitialAccess::EngineeringWorkstation => write!(f, "level-2 workstation"),
+            InitialAccess::OperationsHmi => write!(f, "level-1 HMI (insider)"),
+        }
+    }
+}
+
 /// A fully-specified attack configuration for one episode.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AptParams {
@@ -50,6 +71,8 @@ pub struct AptParams {
     pub objective: AttackObjective,
     /// Whether the attack goes through the OPC server or the HMIs.
     pub vector: AttackVector,
+    /// Where the initial foothold lands.
+    pub initial_access: InitialAccess,
     /// Number of level-2 nodes to compromise before escalating to the next
     /// phase (also used as the number of HMIs to capture for the HMI vector).
     pub lateral_threshold: usize,
@@ -72,6 +95,7 @@ impl AptParams {
         Self {
             objective,
             vector,
+            initial_access: InitialAccess::EngineeringWorkstation,
             lateral_threshold: 3,
             plc_threshold: match objective {
                 AttackObjective::Destroy => 15,
@@ -89,6 +113,7 @@ impl AptParams {
         Self {
             objective,
             vector,
+            initial_access: InitialAccess::EngineeringWorkstation,
             lateral_threshold: 1,
             plc_threshold: match objective {
                 AttackObjective::Destroy => 5,
@@ -117,6 +142,8 @@ pub struct AptProfile {
     pub labor_rate: usize,
     /// Cleanup effectiveness (see [`AptParams::cleanup_effectiveness`]).
     pub cleanup_effectiveness: f64,
+    /// Where the initial foothold lands.
+    pub initial_access: InitialAccess,
     /// Pin the objective instead of sampling it.
     pub fixed_objective: Option<AttackObjective>,
     /// Pin the vector instead of sampling it.
@@ -132,6 +159,7 @@ impl AptProfile {
             plc_threshold_disrupt: 25,
             labor_rate: 2,
             cleanup_effectiveness: 0.5,
+            initial_access: InitialAccess::EngineeringWorkstation,
             fixed_objective: None,
             fixed_vector: None,
         }
@@ -143,8 +171,51 @@ impl AptProfile {
             lateral_threshold: 1,
             plc_threshold_destroy: 5,
             plc_threshold_disrupt: 10,
-            labor_rate: 2,
-            cleanup_effectiveness: 0.5,
+            ..Self::apt1()
+        }
+    }
+
+    /// A stealth archetype: a single patient operator with very effective
+    /// anti-forensics. Few actions per hour and a 0.9 cleanup effectiveness
+    /// make the campaign much harder to spot in the alert stream.
+    pub fn stealth() -> Self {
+        Self {
+            labor_rate: 1,
+            cleanup_effectiveness: 0.9,
+            ..Self::apt1()
+        }
+    }
+
+    /// A smash-and-grab archetype: a large crew racing to the PLCs with no
+    /// regard for noise. Double the labor budget, minimal redundancy, low
+    /// PLC thresholds, and barely any cleanup.
+    pub fn smash_and_grab() -> Self {
+        Self {
+            lateral_threshold: 1,
+            plc_threshold_destroy: 5,
+            plc_threshold_disrupt: 10,
+            labor_rate: 4,
+            cleanup_effectiveness: 0.1,
+            ..Self::apt1()
+        }
+    }
+
+    /// An insider archetype: APT1 parameters, but the initial foothold lands
+    /// on a level-1 HMI inside the operations perimeter, skipping the noisy
+    /// engineering-level traversal.
+    pub fn insider() -> Self {
+        Self {
+            initial_access: InitialAccess::OperationsHmi,
+            ..Self::apt1()
+        }
+    }
+
+    /// A disruption-objective variant of APT1: the attacker always disrupts
+    /// (never flashes firmware), so attacks land sooner but are recoverable
+    /// with cheap PLC resets.
+    pub fn disruption() -> Self {
+        Self {
+            fixed_objective: Some(AttackObjective::Disrupt),
             ..Self::apt1()
         }
     }
@@ -183,6 +254,7 @@ impl AptProfile {
         AptParams {
             objective,
             vector,
+            initial_access: self.initial_access,
             lateral_threshold: self.lateral_threshold,
             plc_threshold: match objective {
                 AttackObjective::Destroy => self.plc_threshold_destroy,
@@ -253,6 +325,49 @@ mod tests {
         }
         assert_eq!(objectives.len(), 2);
         assert_eq!(vectors.len(), 2);
+    }
+
+    #[test]
+    fn archetypes_differ_from_apt1_in_the_documented_knobs() {
+        let apt1 = AptProfile::apt1();
+
+        let stealth = AptProfile::stealth();
+        assert_eq!(stealth.labor_rate, 1);
+        assert_eq!(stealth.cleanup_effectiveness, 0.9);
+        assert_eq!(stealth.lateral_threshold, apt1.lateral_threshold);
+
+        let smash = AptProfile::smash_and_grab();
+        assert_eq!(smash.labor_rate, 4);
+        assert_eq!(smash.lateral_threshold, 1);
+        assert!(smash.cleanup_effectiveness < apt1.cleanup_effectiveness);
+        assert!(smash.plc_threshold_destroy < apt1.plc_threshold_destroy);
+
+        let insider = AptProfile::insider();
+        assert_eq!(insider.initial_access, InitialAccess::OperationsHmi);
+        assert_eq!(insider.labor_rate, apt1.labor_rate);
+        let mut rng = StdRng::seed_from_u64(9);
+        assert_eq!(
+            insider.sample(&mut rng).initial_access,
+            InitialAccess::OperationsHmi
+        );
+
+        let disruption = AptProfile::disruption();
+        assert_eq!(disruption.fixed_objective, Some(AttackObjective::Disrupt));
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..5 {
+            assert_eq!(
+                disruption.sample(&mut rng).objective,
+                AttackObjective::Disrupt
+            );
+        }
+    }
+
+    #[test]
+    fn initial_access_display() {
+        assert!(InitialAccess::EngineeringWorkstation
+            .to_string()
+            .contains("workstation"));
+        assert!(InitialAccess::OperationsHmi.to_string().contains("insider"));
     }
 
     #[test]

@@ -78,7 +78,7 @@ mod tests {
 
     #[test]
     fn trait_is_object_safe_and_callable() {
-        let topo = Topology::build(&TopologySpec::tiny());
+        let topo = Topology::build(&TopologySpec::tiny()).unwrap();
         let state = NetworkState::new(&topo);
         let knowledge = AptKnowledge::new();
         let params = AptParams::apt1(AttackObjective::Disrupt, AttackVector::Opc);

@@ -8,7 +8,7 @@
 use crate::alert::{Alert, AlertCause, AlertSource};
 use crate::apt::{
     AptAction, AptActionKind, AptContext, AptKnowledge, AptParams, AptPolicy, AptTarget,
-    FsmAptPolicy,
+    FsmAptPolicy, InitialAccess,
 };
 use crate::compromise::CompromiseCondition as C;
 use crate::config::SimConfig;
@@ -17,7 +17,7 @@ use crate::observation::{NodeObservation, Observation};
 use crate::orchestrator::{DefenderAction, InvestigationKind, MitigationKind, PlcRecoveryKind};
 use crate::plc_state::PlcStatus;
 use crate::state::NetworkState;
-use ics_net::{NodeId, ServerRole, Topology, VlanId};
+use ics_net::{NodeId, ServerRole, Topology};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -99,13 +99,48 @@ impl std::fmt::Debug for IcsEnvironment {
 
 impl IcsEnvironment {
     /// Creates an environment with the baseline finite-state-machine attacker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured topology spec fails validation; use
+    /// [`IcsEnvironment::try_new`] for untrusted configurations (e.g.
+    /// scenarios loaded from files).
     pub fn new(config: SimConfig) -> Self {
-        Self::with_apt_policy(config, Box::new(FsmAptPolicy::new()))
+        Self::try_new(config).expect("invalid topology spec in SimConfig")
+    }
+
+    /// Fallible constructor: validates the topology spec instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ics_net::TopologyError`] produced by
+    /// [`Topology::build`] when the configured spec is degenerate.
+    pub fn try_new(config: SimConfig) -> Result<Self, ics_net::TopologyError> {
+        Self::try_with_apt_policy(config, Box::new(FsmAptPolicy::new()))
     }
 
     /// Creates an environment with a custom attacker policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured topology spec fails validation; use
+    /// [`IcsEnvironment::try_with_apt_policy`] for untrusted configurations.
     pub fn with_apt_policy(config: SimConfig, apt_policy: Box<dyn AptPolicy>) -> Self {
-        let topology = Topology::build(&config.topology);
+        Self::try_with_apt_policy(config, apt_policy).expect("invalid topology spec in SimConfig")
+    }
+
+    /// Fallible variant of [`IcsEnvironment::with_apt_policy`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ics_net::TopologyError`] produced by
+    /// [`Topology::build`] when the configured spec is degenerate.
+    pub fn try_with_apt_policy(
+        config: SimConfig,
+        apt_policy: Box<dyn AptPolicy>,
+    ) -> Result<Self, ics_net::TopologyError> {
+        let topology = Topology::build(&config.topology)?;
         let state = NetworkState::new(&topology);
         let ids = IdsModule::new(config.ids);
         let mut rng = StdRng::seed_from_u64(config.seed);
@@ -124,7 +159,7 @@ impl IcsEnvironment {
             rng,
         };
         env.reset_internal();
-        env
+        Ok(env)
     }
 
     /// The static topology being simulated.
@@ -186,18 +221,30 @@ impl IcsEnvironment {
         self.establish_beachhead();
     }
 
-    /// Gives the attacker its initial foothold: one random level-2
-    /// workstation is scanned and compromised, and the attacker knows the
-    /// level-2 operations VLAN it landed on.
+    /// Candidate nodes for the attacker's initial foothold, per the sampled
+    /// [`InitialAccess`]: level-2 workstations for the paper's phishing-style
+    /// entry, level-1 HMIs for the insider archetype.
+    fn beachhead_candidates(&self) -> Vec<NodeId> {
+        match self.apt_params.initial_access {
+            InitialAccess::EngineeringWorkstation => {
+                self.topology.workstations().map(|n| n.id).collect()
+            }
+            InitialAccess::OperationsHmi => self.topology.hmis().map(|n| n.id).collect(),
+        }
+    }
+
+    /// Gives the attacker its initial foothold: one random entry node (see
+    /// [`IcsEnvironment::beachhead_candidates`]) is scanned and compromised,
+    /// and the attacker knows the operations VLAN it landed on.
     fn establish_beachhead(&mut self) {
-        let workstations: Vec<NodeId> = self.topology.workstations().map(|n| n.id).collect();
-        if let Some(beachhead) = workstations.choose(&mut self.rng).copied() {
+        let candidates = self.beachhead_candidates();
+        if let Some(beachhead) = candidates.choose(&mut self.rng).copied() {
             let comp = self.state.compromise_mut(beachhead);
             comp.try_insert(C::Scanned);
             comp.try_insert(C::InitialCompromise);
-            self.knowledge
-                .record_location(beachhead, self.state.vlan_of(beachhead));
-            self.knowledge.discovered_vlans.insert(VlanId::ops(2));
+            let vlan = self.state.vlan_of(beachhead);
+            self.knowledge.record_location(beachhead, vlan);
+            self.knowledge.discovered_vlans.insert(vlan);
         }
     }
 
@@ -401,18 +448,17 @@ impl IcsEnvironment {
         match action.kind {
             AptActionKind::InitialIntrusion => {
                 let candidates: Vec<NodeId> = self
-                    .topology
-                    .workstations()
-                    .map(|n| n.id)
+                    .beachhead_candidates()
+                    .into_iter()
                     .filter(|n| !self.state.is_quarantined(*n))
                     .collect();
                 if let Some(node) = candidates.choose(&mut self.rng).copied() {
                     let comp = self.state.compromise_mut(node);
                     comp.try_insert(C::Scanned);
                     comp.try_insert(C::InitialCompromise);
-                    self.knowledge
-                        .record_location(node, self.state.vlan_of(node));
-                    self.knowledge.discovered_vlans.insert(VlanId::ops(2));
+                    let vlan = self.state.vlan_of(node);
+                    self.knowledge.record_location(node, vlan);
+                    self.knowledge.discovered_vlans.insert(vlan);
                 }
             }
             AptActionKind::ScanVlan => {

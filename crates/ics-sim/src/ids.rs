@@ -45,6 +45,31 @@ impl IdsConfig {
         }
     }
 
+    /// A degraded IDS tier: half the passive detection rate of the baseline
+    /// and double the false-alarm rates — an under-maintained sensor fleet
+    /// that both misses more and cries wolf more.
+    pub fn degraded() -> Self {
+        let base = Self::paper_baseline();
+        Self {
+            passive_alert_prob: base.passive_alert_prob * 0.5,
+            false_alert_prob_sev1: base.false_alert_prob_sev1 * 2.0,
+            false_alert_prob_sev2: base.false_alert_prob_sev2 * 2.0,
+            false_alert_prob_sev3: base.false_alert_prob_sev3 * 2.0,
+        }
+    }
+
+    /// An enhanced IDS tier: 1.5x the passive detection rate of the baseline
+    /// and half the false-alarm rates — a well-tuned deployment.
+    pub fn enhanced() -> Self {
+        let base = Self::paper_baseline();
+        Self {
+            passive_alert_prob: (base.passive_alert_prob * 1.5).min(1.0),
+            false_alert_prob_sev1: base.false_alert_prob_sev1 * 0.5,
+            false_alert_prob_sev2: base.false_alert_prob_sev2 * 0.5,
+            false_alert_prob_sev3: base.false_alert_prob_sev3 * 0.5,
+        }
+    }
+
     /// False-alert probability for a severity level (1..=3).
     pub fn false_alert_prob(&self, severity: Severity) -> f64 {
         match severity.level() {
@@ -221,7 +246,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn fixture() -> (Topology, NetworkState, IdsModule) {
-        let topo = Topology::build(&TopologySpec::paper_full());
+        let topo = Topology::build(&TopologySpec::paper_full()).unwrap();
         let state = NetworkState::new(&topo);
         (topo, state, IdsModule::default())
     }
@@ -243,6 +268,20 @@ mod tests {
         assert_eq!(cfg.false_alert_prob(Severity::LOW), 5e-2);
         assert_eq!(cfg.false_alert_prob(Severity::MEDIUM), 5e-3);
         assert_eq!(cfg.false_alert_prob(Severity::HIGH), 2.5e-3);
+    }
+
+    #[test]
+    fn ids_tiers_order_sensibly() {
+        let degraded = IdsConfig::degraded();
+        let baseline = IdsConfig::paper_baseline();
+        let enhanced = IdsConfig::enhanced();
+        assert!(degraded.passive_alert_prob < baseline.passive_alert_prob);
+        assert!(baseline.passive_alert_prob < enhanced.passive_alert_prob);
+        for sev in [Severity::LOW, Severity::MEDIUM, Severity::HIGH] {
+            assert!(degraded.false_alert_prob(sev) > baseline.false_alert_prob(sev));
+            assert!(baseline.false_alert_prob(sev) > enhanced.false_alert_prob(sev));
+        }
+        assert!(enhanced.passive_alert_prob <= 1.0);
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub mod observation;
 pub mod orchestrator;
 pub mod plc_state;
 pub mod reward;
+pub mod scenario;
 pub mod state;
 pub mod trace;
 
@@ -65,4 +66,5 @@ pub use metrics::EpisodeMetrics;
 pub use observation::{NodeObservation, Observation};
 pub use orchestrator::DefenderAction;
 pub use plc_state::{PlcState, PlcStatus};
+pub use scenario::{Scenario, ScenarioError};
 pub use state::NetworkState;

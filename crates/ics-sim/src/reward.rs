@@ -154,7 +154,7 @@ mod tests {
     use ics_net::{PlcId, Topology, TopologySpec};
 
     fn state() -> (Topology, NetworkState) {
-        let topo = Topology::build(&TopologySpec::paper_full());
+        let topo = Topology::build(&TopologySpec::paper_full()).unwrap();
         let s = NetworkState::new(&topo);
         (topo, s)
     }

@@ -1,0 +1,928 @@
+//! Scenarios: a named, tagged, fully-specified simulation configuration.
+//!
+//! A [`Scenario`] bundles a [`SimConfig`] with human-facing metadata (name,
+//! description, difficulty tags). Scenarios come from three places:
+//!
+//! * the built-in registry in `acso-core` (the paper presets plus attacker /
+//!   IDS / topology variants);
+//! * [`Scenario::from_seed`] — procedural generation where every randomized
+//!   component draws from an independent Mersenne-prime
+//!   ([`acso_runtime::MERSENNE_61`]) hash stream of the scenario identifier,
+//!   so a scenario is exactly reproducible from its `u64` id alone;
+//! * TOML files, via [`Scenario::to_toml`] / [`Scenario::from_toml`].
+//!
+//! The TOML support is hand-rolled against a small, documented subset of the
+//! format (tables, `key = value` pairs, strings, string arrays, numbers,
+//! booleans) because the workspace's vendored `serde` stand-in provides no-op
+//! derives only (see `vendor/README.md`).
+
+use crate::apt::{AptProfile, AttackObjective, AttackVector, InitialAccess};
+use crate::config::SimConfig;
+use crate::ids::IdsConfig;
+use crate::reward::{RewardConfig, ShapingConfig};
+use acso_runtime::mersenne_stream;
+use ics_net::{DeviceFactors, ServerMix, TopologyParams, TopologySpec};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Salts separating the independent hash streams a generated scenario draws
+/// from (see [`mersenne_stream`]).
+mod salt {
+    pub const TOPOLOGY: u64 = 0x01;
+    pub const APT: u64 = 0x02;
+    pub const IDS: u64 = 0x03;
+    pub const HORIZON: u64 = 0x04;
+    pub const EPISODES: u64 = 0x05;
+}
+
+/// A named simulation scenario: configuration plus metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Unique name (registry key, CLI argument, results-table row label).
+    pub name: String,
+    /// One-line human description.
+    pub description: String,
+    /// Free-form difficulty/category tags (e.g. `"paper"`, `"attacker"`,
+    /// `"hard"`).
+    pub tags: Vec<String>,
+    /// The full simulation configuration.
+    pub config: SimConfig,
+}
+
+impl Scenario {
+    /// Creates a scenario with no tags.
+    pub fn new(name: impl Into<String>, description: impl Into<String>, config: SimConfig) -> Self {
+        Self {
+            name: name.into(),
+            description: description.into(),
+            tags: Vec::new(),
+            config,
+        }
+    }
+
+    /// Returns the scenario with the given tags.
+    pub fn with_tags<I, S>(mut self, tags: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.tags = tags.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Whether the scenario carries a tag.
+    pub fn has_tag(&self, tag: &str) -> bool {
+        self.tags.iter().any(|t| t == tag)
+    }
+
+    /// Procedurally generates a scenario from a `u64` identifier.
+    ///
+    /// Each randomized component (topology shape, attacker archetype, IDS
+    /// tier, horizon, episode seed base) is derived from its own
+    /// Mersenne-prime hash stream of `seed`, so the scenario — topology, APT
+    /// parameters and episode transcripts — is exactly reproducible from the
+    /// identifier, and composes with the rollout engine's
+    /// `episode_seed = base ^ index` scheme.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut topo_rng = StdRng::seed_from_u64(mersenne_stream(seed, salt::TOPOLOGY));
+        let l2_segments = topo_rng.gen_range(1usize..=3);
+        let l1_segments = topo_rng.gen_range(1usize..=2);
+        let params = TopologyParams {
+            levels: 2,
+            vlans_per_level: [l1_segments, l2_segments],
+            nodes_per_vlan: [
+                topo_rng.gen_range(2usize..=6),
+                topo_rng.gen_range(4usize..=20),
+            ],
+            servers: ServerMix {
+                opc: true,
+                historian: true,
+                domain_controller: topo_rng.gen_bool(0.5),
+            },
+            plcs: topo_rng.gen_range(10usize..=80),
+            device_factors: DeviceFactors {
+                switch: 1.0,
+                router: *[1.5, 2.0, 3.0]
+                    .choose(&mut topo_rng)
+                    .expect("non-empty factor list"),
+                firewall: *[4.0, 5.0, 8.0]
+                    .choose(&mut topo_rng)
+                    .expect("non-empty factor list"),
+            },
+        };
+        let spec = params
+            .into_spec()
+            .expect("generated topology parameters stay inside validated ranges");
+
+        let mut apt_rng = StdRng::seed_from_u64(mersenne_stream(seed, salt::APT));
+        let archetypes: [(&str, AptProfile); 6] = [
+            ("apt1", AptProfile::apt1()),
+            ("apt2", AptProfile::apt2()),
+            ("stealth", AptProfile::stealth()),
+            ("smash-and-grab", AptProfile::smash_and_grab()),
+            ("insider", AptProfile::insider()),
+            ("disruption", AptProfile::disruption()),
+        ];
+        let (apt_name, apt) = archetypes[apt_rng.gen_range(0usize..archetypes.len())];
+
+        let mut ids_rng = StdRng::seed_from_u64(mersenne_stream(seed, salt::IDS));
+        let tiers: [(&str, IdsConfig); 3] = [
+            ("degraded", IdsConfig::degraded()),
+            ("baseline", IdsConfig::paper_baseline()),
+            ("enhanced", IdsConfig::enhanced()),
+        ];
+        let (ids_name, ids) = tiers[ids_rng.gen_range(0usize..tiers.len())];
+
+        let mut horizon_rng = StdRng::seed_from_u64(mersenne_stream(seed, salt::HORIZON));
+        let max_time = horizon_rng.gen_range(15u64..=40) * 100;
+
+        let config = SimConfig {
+            topology: spec.clone(),
+            apt,
+            ids,
+            reward: RewardConfig::paper().with_max_time(max_time),
+            shaping: ShapingConfig::paper(),
+            seed: mersenne_stream(seed, salt::EPISODES),
+            plc_discovery_batch: 5,
+        };
+        Scenario {
+            // Decimal, matching the `--gen-seed N` -> `seed-N` contract in
+            // the scenario_sweep CLI and README.
+            name: format!("seed-{seed}"),
+            description: format!(
+                "generated: {} ws / {} hmi / {} plc over {}+{} segments, {apt_name} attacker, \
+                 {ids_name} IDS, {max_time} h",
+                spec.l2_workstations, spec.l1_hmis, spec.plcs, spec.l2_segments, spec.l1_segments,
+            ),
+            tags: vec!["generated".to_string()],
+            config,
+        }
+    }
+
+    /// Serializes the scenario to the TOML subset documented at module level.
+    pub fn to_toml(&self) -> String {
+        let c = &self.config;
+        let t = &c.topology;
+        let a = &c.apt;
+        let mut out = String::new();
+        use fmt::Write as _;
+
+        writeln!(out, "[scenario]").unwrap();
+        writeln!(out, "name = {}", toml_str(&self.name)).unwrap();
+        writeln!(out, "description = {}", toml_str(&self.description)).unwrap();
+        let tags: Vec<String> = self.tags.iter().map(|t| toml_str(t)).collect();
+        writeln!(out, "tags = [{}]", tags.join(", ")).unwrap();
+        writeln!(out, "seed = {}", c.seed).unwrap();
+        writeln!(out, "plc_discovery_batch = {}", c.plc_discovery_batch).unwrap();
+
+        writeln!(out, "\n[topology]").unwrap();
+        writeln!(out, "l2_workstations = {}", t.l2_workstations).unwrap();
+        writeln!(out, "opc_server = {}", t.opc_server).unwrap();
+        writeln!(out, "historian_server = {}", t.historian_server).unwrap();
+        writeln!(out, "domain_controller = {}", t.domain_controller).unwrap();
+        writeln!(out, "l1_hmis = {}", t.l1_hmis).unwrap();
+        writeln!(out, "plcs = {}", t.plcs).unwrap();
+        writeln!(out, "l2_segments = {}", t.l2_segments).unwrap();
+        writeln!(out, "l1_segments = {}", t.l1_segments).unwrap();
+
+        writeln!(out, "\n[topology.device_factors]").unwrap();
+        writeln!(out, "switch = {}", fmt_f64(t.device_factors.switch)).unwrap();
+        writeln!(out, "router = {}", fmt_f64(t.device_factors.router)).unwrap();
+        writeln!(out, "firewall = {}", fmt_f64(t.device_factors.firewall)).unwrap();
+
+        writeln!(out, "\n[apt]").unwrap();
+        writeln!(out, "lateral_threshold = {}", a.lateral_threshold).unwrap();
+        writeln!(out, "plc_threshold_destroy = {}", a.plc_threshold_destroy).unwrap();
+        writeln!(out, "plc_threshold_disrupt = {}", a.plc_threshold_disrupt).unwrap();
+        writeln!(out, "labor_rate = {}", a.labor_rate).unwrap();
+        writeln!(
+            out,
+            "cleanup_effectiveness = {}",
+            fmt_f64(a.cleanup_effectiveness)
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "initial_access = {}",
+            toml_str(initial_access_key(a.initial_access))
+        )
+        .unwrap();
+        if let Some(objective) = a.fixed_objective {
+            writeln!(
+                out,
+                "fixed_objective = {}",
+                toml_str(objective_key(objective))
+            )
+            .unwrap();
+        }
+        if let Some(vector) = a.fixed_vector {
+            writeln!(out, "fixed_vector = {}", toml_str(vector_key(vector))).unwrap();
+        }
+
+        writeln!(out, "\n[ids]").unwrap();
+        writeln!(
+            out,
+            "passive_alert_prob = {}",
+            fmt_f64(c.ids.passive_alert_prob)
+        )
+        .unwrap();
+        for (key, value) in [
+            ("false_alert_prob_sev1", c.ids.false_alert_prob_sev1),
+            ("false_alert_prob_sev2", c.ids.false_alert_prob_sev2),
+            ("false_alert_prob_sev3", c.ids.false_alert_prob_sev3),
+        ] {
+            writeln!(out, "{key} = {}", fmt_f64(value)).unwrap();
+        }
+
+        writeln!(out, "\n[reward]").unwrap();
+        writeln!(out, "lambda = {}", fmt_f64(c.reward.lambda)).unwrap();
+        writeln!(out, "gamma = {}", fmt_f64(c.reward.gamma)).unwrap();
+        writeln!(out, "max_time = {}", c.reward.max_time).unwrap();
+        writeln!(
+            out,
+            "disrupted_penalty = {}",
+            fmt_f64(c.reward.disrupted_penalty)
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "destroyed_penalty = {}",
+            fmt_f64(c.reward.destroyed_penalty)
+        )
+        .unwrap();
+
+        writeln!(out, "\n[shaping]").unwrap();
+        writeln!(
+            out,
+            "workstation_weight = {}",
+            fmt_f64(c.shaping.workstation_weight)
+        )
+        .unwrap();
+        writeln!(out, "server_weight = {}", fmt_f64(c.shaping.server_weight)).unwrap();
+        writeln!(out, "gamma = {}", fmt_f64(c.shaping.gamma)).unwrap();
+        writeln!(out, "weight = {}", fmt_f64(c.shaping.weight)).unwrap();
+
+        out
+    }
+
+    /// Parses a scenario from the TOML subset written by
+    /// [`Scenario::to_toml`]. Missing sections and keys fall back to the
+    /// paper defaults, so a minimal file only needs a `[scenario]` name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError`] on syntax errors, type mismatches, unknown
+    /// enum keys, or a topology spec that fails validation.
+    pub fn from_toml(text: &str) -> Result<Self, ScenarioError> {
+        let doc = TomlDoc::parse(text)?;
+        // A typo must not silently fall back to a paper default: reject any
+        // table or key outside the documented schema.
+        doc.reject_unknown(&[
+            (
+                "scenario",
+                &["name", "description", "tags", "seed", "plc_discovery_batch"],
+            ),
+            (
+                "topology",
+                &[
+                    "l2_workstations",
+                    "opc_server",
+                    "historian_server",
+                    "domain_controller",
+                    "l1_hmis",
+                    "plcs",
+                    "l2_segments",
+                    "l1_segments",
+                ],
+            ),
+            ("topology.device_factors", &["switch", "router", "firewall"]),
+            (
+                "apt",
+                &[
+                    "lateral_threshold",
+                    "plc_threshold_destroy",
+                    "plc_threshold_disrupt",
+                    "labor_rate",
+                    "cleanup_effectiveness",
+                    "initial_access",
+                    "fixed_objective",
+                    "fixed_vector",
+                ],
+            ),
+            (
+                "ids",
+                &[
+                    "passive_alert_prob",
+                    "false_alert_prob_sev1",
+                    "false_alert_prob_sev2",
+                    "false_alert_prob_sev3",
+                ],
+            ),
+            (
+                "reward",
+                &[
+                    "lambda",
+                    "gamma",
+                    "max_time",
+                    "disrupted_penalty",
+                    "destroyed_penalty",
+                ],
+            ),
+            (
+                "shaping",
+                &["workstation_weight", "server_weight", "gamma", "weight"],
+            ),
+        ])?;
+        let defaults = SimConfig::full();
+
+        let name = doc.str_or("scenario", "name", "")?;
+        if name.is_empty() {
+            return Err(ScenarioError::new("missing [scenario] name"));
+        }
+        let description = doc.str_or("scenario", "description", "")?;
+        let tags = doc.str_array_or("scenario", "tags")?;
+        let seed = doc.u64_or("scenario", "seed", defaults.seed)?;
+        let plc_discovery_batch = doc.usize_or(
+            "scenario",
+            "plc_discovery_batch",
+            defaults.plc_discovery_batch,
+        )?;
+
+        let dt = defaults.topology.clone();
+        let topology = TopologySpec {
+            l2_workstations: doc.usize_or("topology", "l2_workstations", dt.l2_workstations)?,
+            opc_server: doc.bool_or("topology", "opc_server", dt.opc_server)?,
+            historian_server: doc.bool_or("topology", "historian_server", dt.historian_server)?,
+            domain_controller: doc.bool_or(
+                "topology",
+                "domain_controller",
+                dt.domain_controller,
+            )?,
+            l1_hmis: doc.usize_or("topology", "l1_hmis", dt.l1_hmis)?,
+            plcs: doc.usize_or("topology", "plcs", dt.plcs)?,
+            l2_segments: doc.usize_or("topology", "l2_segments", dt.l2_segments)?,
+            l1_segments: doc.usize_or("topology", "l1_segments", dt.l1_segments)?,
+            device_factors: DeviceFactors {
+                switch: doc.f64_or("topology.device_factors", "switch", 1.0)?,
+                router: doc.f64_or("topology.device_factors", "router", 2.0)?,
+                firewall: doc.f64_or("topology.device_factors", "firewall", 5.0)?,
+            },
+        };
+        topology
+            .validate()
+            .map_err(|e| ScenarioError::new(format!("invalid [topology]: {e}")))?;
+
+        let da = defaults.apt;
+        let apt = AptProfile {
+            lateral_threshold: doc.usize_or("apt", "lateral_threshold", da.lateral_threshold)?,
+            plc_threshold_destroy: doc.usize_or(
+                "apt",
+                "plc_threshold_destroy",
+                da.plc_threshold_destroy,
+            )?,
+            plc_threshold_disrupt: doc.usize_or(
+                "apt",
+                "plc_threshold_disrupt",
+                da.plc_threshold_disrupt,
+            )?,
+            labor_rate: doc.usize_or("apt", "labor_rate", da.labor_rate)?,
+            cleanup_effectiveness: doc.f64_or(
+                "apt",
+                "cleanup_effectiveness",
+                da.cleanup_effectiveness,
+            )?,
+            initial_access: match doc
+                .str_or(
+                    "apt",
+                    "initial_access",
+                    initial_access_key(da.initial_access),
+                )?
+                .as_str()
+            {
+                "engineering-workstation" => InitialAccess::EngineeringWorkstation,
+                "operations-hmi" => InitialAccess::OperationsHmi,
+                other => {
+                    return Err(ScenarioError::new(format!(
+                        "unknown initial_access `{other}`"
+                    )))
+                }
+            },
+            fixed_objective: match doc.str_or("apt", "fixed_objective", "")?.as_str() {
+                "" => None,
+                "disrupt" => Some(AttackObjective::Disrupt),
+                "destroy" => Some(AttackObjective::Destroy),
+                other => {
+                    return Err(ScenarioError::new(format!(
+                        "unknown fixed_objective `{other}`"
+                    )))
+                }
+            },
+            fixed_vector: match doc.str_or("apt", "fixed_vector", "")?.as_str() {
+                "" => None,
+                "opc" => Some(AttackVector::Opc),
+                "hmi" => Some(AttackVector::Hmi),
+                other => {
+                    return Err(ScenarioError::new(format!(
+                        "unknown fixed_vector `{other}`"
+                    )))
+                }
+            },
+        };
+
+        let di = defaults.ids;
+        let ids = IdsConfig {
+            passive_alert_prob: doc.f64_or("ids", "passive_alert_prob", di.passive_alert_prob)?,
+            false_alert_prob_sev1: doc.f64_or(
+                "ids",
+                "false_alert_prob_sev1",
+                di.false_alert_prob_sev1,
+            )?,
+            false_alert_prob_sev2: doc.f64_or(
+                "ids",
+                "false_alert_prob_sev2",
+                di.false_alert_prob_sev2,
+            )?,
+            false_alert_prob_sev3: doc.f64_or(
+                "ids",
+                "false_alert_prob_sev3",
+                di.false_alert_prob_sev3,
+            )?,
+        };
+
+        let dr = defaults.reward;
+        let reward = RewardConfig {
+            lambda: doc.f64_or("reward", "lambda", dr.lambda)?,
+            gamma: doc.f64_or("reward", "gamma", dr.gamma)?,
+            max_time: doc.u64_or("reward", "max_time", dr.max_time)?,
+            disrupted_penalty: doc.f64_or("reward", "disrupted_penalty", dr.disrupted_penalty)?,
+            destroyed_penalty: doc.f64_or("reward", "destroyed_penalty", dr.destroyed_penalty)?,
+        };
+
+        let ds = defaults.shaping;
+        let shaping = ShapingConfig {
+            workstation_weight: doc.f64_or(
+                "shaping",
+                "workstation_weight",
+                ds.workstation_weight,
+            )?,
+            server_weight: doc.f64_or("shaping", "server_weight", ds.server_weight)?,
+            gamma: doc.f64_or("shaping", "gamma", ds.gamma)?,
+            weight: doc.f64_or("shaping", "weight", ds.weight)?,
+        };
+
+        Ok(Scenario {
+            name,
+            description,
+            tags,
+            config: SimConfig {
+                topology,
+                apt,
+                ids,
+                reward,
+                shaping,
+                seed,
+                plc_discovery_batch,
+            },
+        })
+    }
+}
+
+/// Stable string keys for the APT enums used in TOML files.
+fn initial_access_key(access: InitialAccess) -> &'static str {
+    match access {
+        InitialAccess::EngineeringWorkstation => "engineering-workstation",
+        InitialAccess::OperationsHmi => "operations-hmi",
+    }
+}
+
+fn objective_key(objective: AttackObjective) -> &'static str {
+    match objective {
+        AttackObjective::Disrupt => "disrupt",
+        AttackObjective::Destroy => "destroy",
+    }
+}
+
+fn vector_key(vector: AttackVector) -> &'static str {
+    match vector {
+        AttackVector::Opc => "opc",
+        AttackVector::Hmi => "hmi",
+    }
+}
+
+/// Formats an `f64` so it parses back bit-identically and is always
+/// recognisable as a float (a trailing `.0` for integral values).
+fn fmt_f64(value: f64) -> String {
+    let s = format!("{value}");
+    if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// Quotes a TOML basic string.
+fn toml_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Error produced when parsing a scenario TOML file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioError {
+    message: String,
+}
+
+impl ScenarioError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scenario toml: {}", self.message)
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// A parsed TOML value (subset).
+#[derive(Debug, Clone, PartialEq)]
+enum TomlValue {
+    Bool(bool),
+    Int(u64),
+    Float(f64),
+    Str(String),
+    StrArray(Vec<String>),
+}
+
+/// A parsed TOML document: `table name -> key -> value`.
+#[derive(Debug, Default)]
+struct TomlDoc {
+    tables: BTreeMap<String, BTreeMap<String, TomlValue>>,
+}
+
+impl TomlDoc {
+    fn parse(text: &str) -> Result<Self, ScenarioError> {
+        let mut doc = TomlDoc::default();
+        let mut table = String::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[') {
+                let header = header.strip_suffix(']').ok_or_else(|| {
+                    ScenarioError::new(format!("line {}: unterminated table header", lineno + 1))
+                })?;
+                table = header.trim().to_string();
+                doc.tables.entry(table.clone()).or_default();
+                continue;
+            }
+            let (key, value) = line.split_once('=').ok_or_else(|| {
+                ScenarioError::new(format!("line {}: expected `key = value`", lineno + 1))
+            })?;
+            let value = parse_value(value.trim())
+                .map_err(|e| ScenarioError::new(format!("line {}: {e}", lineno + 1)))?;
+            doc.tables
+                .entry(table.clone())
+                .or_default()
+                .insert(key.trim().to_string(), value);
+        }
+        Ok(doc)
+    }
+
+    fn get(&self, table: &str, key: &str) -> Option<&TomlValue> {
+        self.tables.get(table).and_then(|t| t.get(key))
+    }
+
+    /// Rejects tables and keys outside `schema` (pairs of table name and
+    /// allowed keys), so typos fail loudly instead of silently falling back
+    /// to defaults.
+    fn reject_unknown(&self, schema: &[(&str, &[&str])]) -> Result<(), ScenarioError> {
+        for (table, keys) in &self.tables {
+            let Some((_, allowed)) = schema.iter().find(|(name, _)| name == table) else {
+                return Err(ScenarioError::new(if table.is_empty() {
+                    "keys must live under a [table] header".to_string()
+                } else {
+                    format!("unknown table `[{table}]`")
+                }));
+            };
+            for key in keys.keys() {
+                if !allowed.contains(&key.as_str()) {
+                    return Err(ScenarioError::new(format!(
+                        "unknown key `{key}` in `[{table}]`"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn bool_or(&self, table: &str, key: &str, default: bool) -> Result<bool, ScenarioError> {
+        match self.get(table, key) {
+            None => Ok(default),
+            Some(TomlValue::Bool(b)) => Ok(*b),
+            Some(_) => Err(type_error(table, key, "a boolean")),
+        }
+    }
+
+    fn u64_or(&self, table: &str, key: &str, default: u64) -> Result<u64, ScenarioError> {
+        match self.get(table, key) {
+            None => Ok(default),
+            Some(TomlValue::Int(i)) => Ok(*i),
+            Some(_) => Err(type_error(table, key, "an integer")),
+        }
+    }
+
+    fn usize_or(&self, table: &str, key: &str, default: usize) -> Result<usize, ScenarioError> {
+        Ok(self.u64_or(table, key, default as u64)? as usize)
+    }
+
+    fn f64_or(&self, table: &str, key: &str, default: f64) -> Result<f64, ScenarioError> {
+        match self.get(table, key) {
+            None => Ok(default),
+            Some(TomlValue::Float(f)) => Ok(*f),
+            Some(TomlValue::Int(i)) => Ok(*i as f64),
+            Some(_) => Err(type_error(table, key, "a number")),
+        }
+    }
+
+    fn str_or(&self, table: &str, key: &str, default: &str) -> Result<String, ScenarioError> {
+        match self.get(table, key) {
+            None => Ok(default.to_string()),
+            Some(TomlValue::Str(s)) => Ok(s.clone()),
+            Some(_) => Err(type_error(table, key, "a string")),
+        }
+    }
+
+    fn str_array_or(&self, table: &str, key: &str) -> Result<Vec<String>, ScenarioError> {
+        match self.get(table, key) {
+            None => Ok(Vec::new()),
+            Some(TomlValue::StrArray(v)) => Ok(v.clone()),
+            Some(_) => Err(type_error(table, key, "an array of strings")),
+        }
+    }
+}
+
+fn type_error(table: &str, key: &str, expected: &str) -> ScenarioError {
+    ScenarioError::new(format!("[{table}] {key}: expected {expected}"))
+}
+
+/// Strips a `#` comment, respecting string quoting.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(text: &str) -> Result<TomlValue, String> {
+    if text == "true" {
+        return Ok(TomlValue::Bool(true));
+    }
+    if text == "false" {
+        return Ok(TomlValue::Bool(false));
+    }
+    if text.starts_with('"') {
+        return Ok(TomlValue::Str(parse_string(text)?));
+    }
+    if let Some(inner) = text.strip_prefix('[') {
+        let inner = inner
+            .strip_suffix(']')
+            .ok_or_else(|| "unterminated array".to_string())?
+            .trim();
+        if inner.is_empty() {
+            return Ok(TomlValue::StrArray(Vec::new()));
+        }
+        let mut items = Vec::new();
+        for item in split_array_items(inner)? {
+            items.push(parse_string(item.trim())?);
+        }
+        return Ok(TomlValue::StrArray(items));
+    }
+    if text.contains('.') || text.contains('e') || text.contains('E') {
+        return text
+            .parse::<f64>()
+            .map(TomlValue::Float)
+            .map_err(|e| format!("bad float `{text}`: {e}"));
+    }
+    text.parse::<u64>()
+        .map(TomlValue::Int)
+        .map_err(|e| format!("bad integer `{text}`: {e}"))
+}
+
+/// Splits a `"a", "b, c"` array body on commas outside strings.
+fn split_array_items(inner: &str) -> Result<Vec<&str>, String> {
+    let mut items = Vec::new();
+    let mut start = 0;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in inner.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            ',' if !in_string => {
+                items.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if in_string {
+        return Err("unterminated string in array".to_string());
+    }
+    items.push(&inner[start..]);
+    Ok(items)
+}
+
+fn parse_string(text: &str) -> Result<String, String> {
+    let inner = text
+        .strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .ok_or_else(|| format!("expected a quoted string, got `{text}`"))?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            other => return Err(format!("unsupported escape `\\{other:?}`")),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_seed_is_deterministic_and_valid() {
+        for seed in [0u64, 1, 42, u64::MAX] {
+            let a = Scenario::from_seed(seed);
+            let b = Scenario::from_seed(seed);
+            assert_eq!(a, b);
+            assert!(a.config.topology.validate().is_ok());
+            assert!(a.has_tag("generated"));
+            assert!(a.name.starts_with("seed-"));
+        }
+        assert_ne!(
+            Scenario::from_seed(1).config.seed,
+            Scenario::from_seed(2).config.seed
+        );
+    }
+
+    #[test]
+    fn from_seed_varies_components_across_seeds() {
+        let mut shapes = std::collections::HashSet::new();
+        let mut labor_rates = std::collections::HashSet::new();
+        for seed in 0..40u64 {
+            let s = Scenario::from_seed(seed);
+            shapes.insert((
+                s.config.topology.l2_workstations,
+                s.config.topology.plcs,
+                s.config.topology.l2_segments,
+            ));
+            labor_rates.insert(s.config.apt.labor_rate);
+        }
+        assert!(shapes.len() > 20, "only {} distinct shapes", shapes.len());
+        assert!(labor_rates.len() > 1);
+    }
+
+    #[test]
+    fn toml_round_trips_paper_preset() {
+        let scenario = Scenario::new("paper-full", "the Fig. 2 network", SimConfig::full())
+            .with_tags(["paper"]);
+        let toml = scenario.to_toml();
+        let parsed = Scenario::from_toml(&toml).unwrap();
+        assert_eq!(parsed, scenario);
+    }
+
+    #[test]
+    fn toml_round_trips_generated_scenarios() {
+        for seed in 0..20u64 {
+            let scenario = Scenario::from_seed(seed);
+            let parsed = Scenario::from_toml(&scenario.to_toml()).unwrap();
+            assert_eq!(parsed, scenario, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn toml_round_trips_pinned_apt_enums() {
+        let mut scenario = Scenario::new("pinned", "", SimConfig::tiny());
+        scenario.config.apt = AptProfile::insider()
+            .with_objective(AttackObjective::Destroy)
+            .with_vector(AttackVector::Hmi);
+        let parsed = Scenario::from_toml(&scenario.to_toml()).unwrap();
+        assert_eq!(parsed, scenario);
+    }
+
+    #[test]
+    fn minimal_toml_uses_paper_defaults() {
+        let scenario = Scenario::from_toml("[scenario]\nname = \"bare\"\n").unwrap();
+        assert_eq!(scenario.name, "bare");
+        assert_eq!(scenario.config, SimConfig::full());
+    }
+
+    #[test]
+    fn toml_comments_and_spacing_are_tolerated() {
+        let text = r##"
+# a custom scenario
+[scenario]
+name = "commented"   # inline comment
+tags = ["a", "b # not a comment"]
+
+[topology]
+plcs = 12
+"##;
+        let scenario = Scenario::from_toml(text).unwrap();
+        assert_eq!(scenario.name, "commented");
+        assert_eq!(scenario.tags, vec!["a", "b # not a comment"]);
+        assert_eq!(scenario.config.topology.plcs, 12);
+    }
+
+    #[test]
+    fn toml_errors_are_descriptive() {
+        assert!(Scenario::from_toml("")
+            .unwrap_err()
+            .to_string()
+            .contains("name"));
+        assert!(Scenario::from_toml("[scenario\nname = \"x\"")
+            .unwrap_err()
+            .to_string()
+            .contains("unterminated"));
+        assert!(
+            Scenario::from_toml("[scenario]\nname = \"x\"\nseed = \"not a number\"")
+                .unwrap_err()
+                .to_string()
+                .contains("integer")
+        );
+        let bad_topo = "[scenario]\nname = \"x\"\n[topology]\nplcs = 0\n";
+        assert!(Scenario::from_toml(bad_topo)
+            .unwrap_err()
+            .to_string()
+            .contains("topology"));
+        let bad_access = "[scenario]\nname = \"x\"\n[apt]\ninitial_access = \"magic\"\n";
+        assert!(Scenario::from_toml(bad_access)
+            .unwrap_err()
+            .to_string()
+            .contains("initial_access"));
+    }
+
+    #[test]
+    fn toml_rejects_typoed_keys_and_tables() {
+        // A typoed key must not silently fall back to the paper default.
+        let typo_key = "[scenario]\nname = \"x\"\n[topology]\nplc = 40\n";
+        let err = Scenario::from_toml(typo_key).unwrap_err().to_string();
+        assert!(err.contains("unknown key `plc`"), "{err}");
+
+        let typo_table = "[scenario]\nname = \"x\"\n[attacker]\nlabor_rate = 1\n";
+        let err = Scenario::from_toml(typo_table).unwrap_err().to_string();
+        assert!(err.contains("unknown table `[attacker]`"), "{err}");
+
+        let no_table = "name = \"x\"\n";
+        let err = Scenario::from_toml(no_table).unwrap_err().to_string();
+        assert!(err.contains("[table]"), "{err}");
+    }
+
+    #[test]
+    fn float_formatting_survives_round_trip() {
+        for v in [0.0, 1.0, 0.5, 0.9995, 2.5e-3, 1.0 / 3.0, 123.456] {
+            let s = fmt_f64(v);
+            assert_eq!(s.parse::<f64>().unwrap(), v, "{s}");
+            assert!(matches!(parse_value(&s), Ok(TomlValue::Float(f)) if f == v));
+        }
+    }
+}

@@ -184,7 +184,7 @@ mod tests {
     use ics_net::TopologySpec;
 
     fn state() -> (Topology, NetworkState) {
-        let topo = Topology::build(&TopologySpec::tiny());
+        let topo = Topology::build(&TopologySpec::tiny()).unwrap();
         let state = NetworkState::new(&topo);
         (topo, state)
     }

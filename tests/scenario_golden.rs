@@ -1,0 +1,143 @@
+//! Golden pinning for the paper presets.
+//!
+//! The scenario subsystem refactor (generative topology builder, scenario
+//! registry) must not disturb the paper's three preset networks or their
+//! episode transcripts. These tests compare a canonical textual serialization
+//! of each preset topology — and the metrics of deterministic playbook
+//! episodes run on it — against fixtures captured *before* the refactor.
+//!
+//! To re-bless the fixtures after an intentional change, run:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test scenario_golden
+//! ```
+
+use acso_core::baselines::PlaybookPolicy;
+use acso_core::rollout;
+use ics_net::{Topology, TopologySpec};
+use ics_sim::SimConfig;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Canonical, stable textual dump of a topology built from a spec. Uses only
+/// display-stable public API so the serialization survives internal
+/// refactors that do not change observable structure.
+fn describe_topology(topo: &Topology) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "nodes={} plcs={} devices={}",
+        topo.node_count(),
+        topo.plc_count(),
+        topo.device_count()
+    )
+    .unwrap();
+    for node in topo.nodes() {
+        writeln!(
+            out,
+            "node {} kind={} level={} vlan={} ip={}",
+            node.id,
+            node.kind,
+            node.level,
+            node.home_vlan,
+            topo.ip_of(node.id)
+        )
+        .unwrap();
+    }
+    for device in topo.devices() {
+        writeln!(
+            out,
+            "device {} kind={} level={}",
+            device.id, device.kind, device.level
+        )
+        .unwrap();
+    }
+    for plc in topo.plc_ids() {
+        writeln!(out, "plc#{} ip={}", plc.index(), topo.plc_ip(plc)).unwrap();
+    }
+    let vlans = topo.vlans();
+    for from in &vlans {
+        for to in &vlans {
+            writeln!(
+                out,
+                "factor {from} -> {to} = {}",
+                topo.device_factor_between_vlans(*from, *to)
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+/// Deterministic playbook transcripts: per-episode metrics for a short run.
+fn describe_transcript(sim: &SimConfig) -> String {
+    let mut policy = PlaybookPolicy::new();
+    let mut out = String::new();
+    for episode in 0..2 {
+        let metrics = rollout::run_episode(&mut policy, sim, 97, episode);
+        writeln!(out, "episode {episode}: {metrics:?}").unwrap();
+    }
+    out
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden fixture {}: {e}", path.display()));
+    assert_eq!(
+        expected, actual,
+        "{name} diverged from its pre-refactor golden fixture; \
+         if the change is intentional, re-bless with UPDATE_GOLDEN=1"
+    );
+}
+
+fn build(spec: &TopologySpec) -> Topology {
+    Topology::build(spec).expect("paper preset must build")
+}
+
+#[test]
+fn paper_full_topology_matches_golden() {
+    let dump = describe_topology(&build(&TopologySpec::paper_full()));
+    assert_matches_golden("topology_paper_full.txt", &dump);
+}
+
+#[test]
+fn paper_small_topology_matches_golden() {
+    let dump = describe_topology(&build(&TopologySpec::paper_small()));
+    assert_matches_golden("topology_paper_small.txt", &dump);
+}
+
+#[test]
+fn tiny_topology_matches_golden() {
+    let dump = describe_topology(&build(&TopologySpec::tiny()));
+    assert_matches_golden("topology_tiny.txt", &dump);
+}
+
+#[test]
+fn paper_full_transcript_matches_golden() {
+    let sim = SimConfig::full().with_max_time(400);
+    assert_matches_golden("transcript_paper_full.txt", &describe_transcript(&sim));
+}
+
+#[test]
+fn paper_small_transcript_matches_golden() {
+    let sim = SimConfig::small().with_max_time(400);
+    assert_matches_golden("transcript_paper_small.txt", &describe_transcript(&sim));
+}
+
+#[test]
+fn tiny_transcript_matches_golden() {
+    let sim = SimConfig::tiny().with_max_time(400);
+    assert_matches_golden("transcript_tiny.txt", &describe_transcript(&sim));
+}

@@ -17,7 +17,7 @@ fn action_sequence(space_len: usize) -> impl Strategy<Value = Vec<usize>> {
 
 fn tiny_space() -> (SimConfig, ActionSpace) {
     let sim = SimConfig::tiny().with_max_time(80);
-    let topo = Topology::build(&sim.topology);
+    let topo = Topology::build(&sim.topology).unwrap();
     let space = ActionSpace::new(&topo);
     (sim, space)
 }
@@ -121,7 +121,7 @@ proptest! {
 #[test]
 fn topology_paths_always_include_both_endpoints_switches() {
     // Structural sanity across every pair of VLANs in the full topology.
-    let topo = Topology::build(&TopologySpec::paper_full());
+    let topo = Topology::build(&TopologySpec::paper_full()).unwrap();
     for a in topo.vlans() {
         for b in topo.vlans() {
             let path = topo.devices_between_vlans(a, b);
