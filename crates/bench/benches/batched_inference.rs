@@ -1,0 +1,59 @@
+//! Benchmark: batched Q-network inference across batch sizes 1/8/32/128 for
+//! both architectures, versus the equivalent number of solo forward passes.
+//! This is the kernel the step-synchronized rollout engine leans on: one
+//! `q_values_batch` call per simulated hour instead of one `q_values` call
+//! per lane.
+
+use acso_bench::episode_states;
+use acso_core::agent::{AttentionQNet, BaselineConvQNet, QNetwork};
+use acso_core::StateFeatures;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ics_net::TopologySpec;
+
+fn bench_batched_inference(c: &mut Criterion) {
+    let (states, space) = episode_states(TopologySpec::paper_small(), 128);
+    let mut attention = AttentionQNet::new(space.clone(), 0);
+    let mut baseline = BaselineConvQNet::new(space, 0);
+
+    let mut group = c.benchmark_group("batched_inference");
+    group.sample_size(20);
+    for batch in [1usize, 8, 32, 128] {
+        let refs: Vec<&StateFeatures> = states[..batch].iter().collect();
+        group.bench_with_input(
+            BenchmarkId::new("attention_batched", batch),
+            &refs,
+            |b, refs| b.iter(|| attention.q_values_batch(refs)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("attention_solo_loop", batch),
+            &refs,
+            |b, refs| {
+                b.iter(|| {
+                    for f in refs.iter() {
+                        criterion::black_box(attention.q_values(f));
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("baseline_batched", batch),
+            &refs,
+            |b, refs| b.iter(|| baseline.q_values_batch(refs)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("baseline_solo_loop", batch),
+            &refs,
+            |b, refs| {
+                b.iter(|| {
+                    for f in refs.iter() {
+                        criterion::black_box(baseline.q_values(f));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batched_inference);
+criterion_main!(benches);

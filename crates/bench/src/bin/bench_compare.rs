@@ -1,0 +1,281 @@
+//! Summarises the repository's benchmark trajectory: loads every
+//! `BENCH_*.json` snapshot, prints a per-metric table across PRs, and exits
+//! nonzero when the newest snapshot regresses more than a threshold against
+//! the previous one (the trajectory was recorded since PR 2 but never
+//! summarised before).
+//!
+//! Usage:
+//!
+//! ```sh
+//! cargo run --release -p acso-bench --bin bench_compare -- \
+//!     [--dir PATH] [--threshold PCT]
+//! ```
+//!
+//! * `--dir PATH` — where to look for `BENCH_*.json` (default: `.`);
+//! * `--threshold PCT` — regression tolerance in percent (default: 25).
+//!
+//! Snapshots are ordered `BENCH_baseline.json` first, then `BENCH_<n>.json`
+//! by `n`; other `BENCH_*` files (live CI measurements such as
+//! `BENCH_ci.json`, scratch outputs) are ignored so they can never become
+//! the comparison target. Metrics missing from older snapshots (e.g. the
+//! batched-inference numbers added in PR 4) show as `-` and never count as
+//! regressions.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Whether larger or smaller values are better for a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    HigherIsBetter,
+    LowerIsBetter,
+}
+
+/// The tracked metrics: JSON key (unique across the snapshot schema), short
+/// label, and direction.
+const METRICS: &[(&str, &str, Direction)] = &[
+    (
+        "serial_steps_per_sec",
+        "sim serial steps/s",
+        Direction::HigherIsBetter,
+    ),
+    (
+        "parallel_steps_per_sec",
+        "sim parallel steps/s",
+        Direction::HigherIsBetter,
+    ),
+    (
+        "attention_forward_ns_per_op",
+        "attn fwd ns/op",
+        Direction::LowerIsBetter,
+    ),
+    (
+        "attention_forward_backward_ns_per_op",
+        "attn fwd+bwd ns/op",
+        Direction::LowerIsBetter,
+    ),
+    (
+        "baseline_forward_ns_per_op",
+        "base fwd ns/op",
+        Direction::LowerIsBetter,
+    ),
+    (
+        "attention_batched_ns_per_state",
+        "attn batched ns/state",
+        Direction::LowerIsBetter,
+    ),
+    (
+        "baseline_batched_ns_per_state",
+        "base batched ns/state",
+        Direction::LowerIsBetter,
+    ),
+];
+
+/// Extracts the number following `"key":` from a JSON document. The
+/// snapshot schema keeps every tracked key unique, so a flat scan suffices
+/// (the vendored serde is a no-op stand-in; see vendor/README.md).
+fn extract_metric(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = json.find(&needle)?;
+    let rest = &json[at + needle.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Sort key for trajectory snapshots: `BENCH_baseline` first, then
+/// `BENCH_<n>` by `n`. Anything else (`BENCH_ci.json`, scratch outputs) is
+/// **not** part of the recorded trajectory and returns `None` — a stray
+/// live-measurement file must never become the regression-gate comparison
+/// target.
+fn snapshot_order(stem: &str) -> Option<(u8, u64)> {
+    let suffix = stem.strip_prefix("BENCH_")?;
+    if suffix == "baseline" {
+        Some((0, 0))
+    } else {
+        suffix.parse::<u64>().ok().map(|n| (1, n))
+    }
+}
+
+fn find_snapshots(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| {
+                    let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                    name.ends_with(".json")
+                        && p.file_stem()
+                            .and_then(|s| s.to_str())
+                            .and_then(snapshot_order)
+                            .is_some()
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    files.sort_by_key(|p| {
+        let stem = p.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+        snapshot_order(stem)
+    });
+    files
+}
+
+fn fmt_value(v: Option<f64>) -> String {
+    match v {
+        Some(v) if v >= 10_000.0 => format!("{v:.0}"),
+        Some(v) => format!("{v:.1}"),
+        None => "-".to_string(),
+    }
+}
+
+/// Percentage change of `new` vs `old`, oriented so that positive means
+/// *regression* for the metric's direction.
+fn regression_pct(old: f64, new: f64, direction: Direction) -> f64 {
+    if old == 0.0 {
+        return 0.0;
+    }
+    match direction {
+        Direction::HigherIsBetter => (old - new) / old * 100.0,
+        Direction::LowerIsBetter => (new - old) / old * 100.0,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let dir = PathBuf::from(value_of("--dir").unwrap_or_else(|| ".".to_string()));
+    let threshold: f64 = value_of("--threshold")
+        .map(|v| v.parse().expect("--threshold needs a number"))
+        .unwrap_or(25.0);
+
+    let files = find_snapshots(&dir);
+    if files.len() < 2 {
+        eprintln!(
+            "bench_compare: need at least two BENCH_*.json snapshots in {} (found {})",
+            dir.display(),
+            files.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    let snapshots: Vec<(String, String)> = files
+        .iter()
+        .map(|p| {
+            let name = p
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("?")
+                .to_string();
+            let text = std::fs::read_to_string(p)
+                .unwrap_or_else(|e| panic!("cannot read {}: {e}", p.display()));
+            (name, text)
+        })
+        .collect();
+
+    println!("Benchmark trajectory ({} snapshots):", snapshots.len());
+    print!("{:<24}", "metric");
+    for (name, _) in &snapshots {
+        print!(" {:>16}", name.strip_prefix("BENCH_").unwrap_or(name));
+    }
+    // Positive Δ means the newest snapshot *regressed* (direction-aware).
+    println!(" {:>9}", "Δ regress");
+
+    let mut regressions = Vec::new();
+    for (key, label, direction) in METRICS {
+        let values: Vec<Option<f64>> = snapshots
+            .iter()
+            .map(|(_, text)| extract_metric(text, key))
+            .collect();
+        print!("{label:<24}");
+        for v in &values {
+            print!(" {:>16}", fmt_value(*v));
+        }
+        // The newest snapshot against the latest earlier one carrying the
+        // metric.
+        let newest = *values.last().unwrap();
+        let previous = values[..values.len() - 1].iter().rev().find_map(|v| *v);
+        match (previous, newest) {
+            (Some(old), Some(new)) => {
+                let pct = regression_pct(old, new, *direction);
+                println!(" {:>+8.1}%", pct);
+                if pct > threshold {
+                    regressions.push(format!(
+                        "{label}: {old:.0} -> {new:.0} ({pct:+.1}% worse, threshold {threshold}%)"
+                    ));
+                }
+            }
+            _ => println!(" {:>9}", "-"),
+        }
+    }
+
+    if regressions.is_empty() {
+        println!("\nno metric regressed more than {threshold}% in the newest snapshot ✓");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\nREGRESSIONS (> {threshold}%):");
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SNAPSHOT: &str = r#"{
+  "schema": "acso-bench-smoke/v2",
+  "sim_throughput": { "serial_steps_per_sec": 1000000, "parallel_steps_per_sec": 1500000 },
+  "nn_forward": { "attention_forward_ns_per_op": 92372 },
+  "batched_inference": { "attention_batched_ns_per_state": 74000 }
+}"#;
+
+    #[test]
+    fn metrics_extract_from_nested_json() {
+        assert_eq!(
+            extract_metric(SNAPSHOT, "serial_steps_per_sec"),
+            Some(1_000_000.0)
+        );
+        assert_eq!(
+            extract_metric(SNAPSHOT, "attention_forward_ns_per_op"),
+            Some(92_372.0)
+        );
+        assert_eq!(extract_metric(SNAPSHOT, "missing_metric"), None);
+    }
+
+    #[test]
+    fn snapshots_order_baseline_then_numbered() {
+        let mut names = vec!["BENCH_3", "BENCH_baseline", "BENCH_10", "BENCH_2"];
+        names.sort_by_key(|n| snapshot_order(n));
+        assert_eq!(
+            names,
+            vec!["BENCH_baseline", "BENCH_2", "BENCH_3", "BENCH_10"]
+        );
+        // Live-measurement and scratch files are not trajectory snapshots:
+        // they must never become the regression-gate comparison target.
+        assert_eq!(snapshot_order("BENCH_ci"), None);
+        assert_eq!(snapshot_order("BENCH_try2"), None);
+        assert_eq!(snapshot_order("SCENARIOS_ci"), None);
+    }
+
+    #[test]
+    fn regression_orientation_follows_direction() {
+        // Throughput halves: 50% regression.
+        let pct = regression_pct(1000.0, 500.0, Direction::HigherIsBetter);
+        assert!((pct - 50.0).abs() < 1e-9);
+        // Latency halves: an improvement, not a regression.
+        let pct = regression_pct(1000.0, 500.0, Direction::LowerIsBetter);
+        assert!((pct + 50.0).abs() < 1e-9);
+        // Latency doubles: 100% regression.
+        let pct = regression_pct(500.0, 1000.0, Direction::LowerIsBetter);
+        assert!((pct - 100.0).abs() < 1e-9);
+        assert_eq!(regression_pct(0.0, 10.0, Direction::LowerIsBetter), 0.0);
+    }
+}

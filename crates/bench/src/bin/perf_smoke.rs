@@ -1,7 +1,8 @@
 //! Perf-trajectory smoke benchmark: measures simulator rollout throughput
-//! (serial vs parallel) and neural forward/backward cost, and emits a
-//! `BENCH_<n>.json` snapshot so the repository tracks performance across
-//! PRs.
+//! (serial vs parallel vs lockstep-batched), neural forward/backward cost,
+//! and batched-inference speedup, and emits a `BENCH_<n>.json` snapshot so
+//! the repository tracks performance across PRs (summarise the trajectory
+//! with the `bench_compare` binary).
 //!
 //! Usage:
 //!
@@ -16,8 +17,8 @@
 use acso_core::agent::{AttentionQNet, BaselineConvQNet, QNetwork};
 use acso_core::baselines::PlaybookPolicy;
 use acso_core::features::NodeFeatureEncoder;
-use acso_core::rollout::{rollout, rollout_serial, RolloutPlan};
-use acso_core::{ActionSpace, StateFeatures};
+use acso_core::rollout::{rollout, rollout_serial, RolloutPlan, SyncBatchEngine};
+use acso_core::{ActionSpace, DefenderPolicy, StateFeatures};
 use dbn::learn::{learn_model, LearnConfig};
 use dbn::DbnFilter;
 use ics_net::TopologySpec;
@@ -47,6 +48,10 @@ fn measure_sim_throughput(episodes: usize, hours: u64) -> SimThroughput {
     let parallel = rollout(&parallel_plan, || Box::new(PlaybookPolicy::new()));
     let parallel_time = start.elapsed();
     assert_eq!(serial, parallel, "parallel rollout must be bit-identical");
+    let batched = SyncBatchEngine::new(16).rollout(&parallel_plan, &|| {
+        Box::new(PlaybookPolicy::new()) as Box<dyn DefenderPolicy>
+    });
+    assert_eq!(serial, batched, "batched rollout must be bit-identical");
 
     SimThroughput {
         episodes,
@@ -76,6 +81,68 @@ fn features_for(spec: TopologySpec) -> (StateFeatures, ActionSpace) {
         encoder.encode(&obs, &filter),
         ActionSpace::new(env.topology()),
     )
+}
+
+struct BatchedInference {
+    batch: usize,
+    attention_per_state_ns: f64,
+    attention_batched_ns_per_state: f64,
+    baseline_per_state_ns: f64,
+    baseline_batched_ns_per_state: f64,
+}
+
+impl BatchedInference {
+    fn attention_speedup(&self) -> f64 {
+        self.attention_per_state_ns / self.attention_batched_ns_per_state
+    }
+
+    fn baseline_speedup(&self) -> f64 {
+        self.baseline_per_state_ns / self.baseline_batched_ns_per_state
+    }
+}
+
+/// Measures per-state inference cost with and without batching: `batch`
+/// states answered by one `q_values_batch` call versus `batch` solo
+/// `q_values` calls (same states, bit-identical outputs).
+fn measure_batched_inference(iters: usize, batch: usize) -> BatchedInference {
+    let (states, space) = acso_bench::episode_states(TopologySpec::paper_small(), batch);
+    let refs: Vec<&StateFeatures> = states.iter().collect();
+    let mut attention = AttentionQNet::new(space.clone(), 0);
+    let mut baseline = BaselineConvQNet::new(space, 0);
+
+    let per_state = |f: &mut dyn FnMut()| {
+        f(); // warm-up (fills the scratch pools)
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        start.elapsed().as_nanos() as f64 / (iters * batch) as f64
+    };
+
+    let attention_per_state_ns = per_state(&mut || {
+        for f in &states {
+            std::hint::black_box(attention.q_values(f));
+        }
+    });
+    let attention_batched_ns_per_state = per_state(&mut || {
+        std::hint::black_box(attention.q_values_batch(&refs));
+    });
+    let baseline_per_state_ns = per_state(&mut || {
+        for f in &states {
+            std::hint::black_box(baseline.q_values(f));
+        }
+    });
+    let baseline_batched_ns_per_state = per_state(&mut || {
+        std::hint::black_box(baseline.q_values_batch(&refs));
+    });
+
+    BatchedInference {
+        batch,
+        attention_per_state_ns,
+        attention_batched_ns_per_state,
+        baseline_per_state_ns,
+        baseline_batched_ns_per_state,
+    }
 }
 
 struct NnForward {
@@ -162,8 +229,26 @@ fn main() {
         nn.baseline_forward_ns
     );
 
+    let batched = measure_batched_inference(iters.max(20) / 4, 32);
+    println!(
+        "batched_inference (paper_small topology, batch {}):",
+        batched.batch
+    );
+    println!(
+        "  attention: {:>8.0} -> {:>8.0} ns/state ({:.2}x)",
+        batched.attention_per_state_ns,
+        batched.attention_batched_ns_per_state,
+        batched.attention_speedup()
+    );
+    println!(
+        "  baseline:  {:>8.0} -> {:>8.0} ns/state ({:.2}x)",
+        batched.baseline_per_state_ns,
+        batched.baseline_batched_ns_per_state,
+        batched.baseline_speedup()
+    );
+
     let json = format!(
-        "{{\n  \"schema\": \"acso-bench-smoke/v1\",\n  \"mode\": \"{mode}\",\n  \"threads\": {threads},\n  \"sim_throughput\": {{\n    \"policy\": \"Playbook\",\n    \"topology\": \"paper_small\",\n    \"episodes\": {episodes},\n    \"hours_per_episode\": {hours},\n    \"serial_steps_per_sec\": {serial:.0},\n    \"parallel_steps_per_sec\": {parallel:.0},\n    \"parallel_speedup\": {speedup:.3}\n  }},\n  \"nn_forward\": {{\n    \"topology\": \"paper_small\",\n    \"iters\": {iters},\n    \"attention_forward_ns_per_op\": {af:.0},\n    \"attention_forward_backward_ns_per_op\": {afb:.0},\n    \"baseline_forward_ns_per_op\": {bf:.0}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"acso-bench-smoke/v2\",\n  \"mode\": \"{mode}\",\n  \"threads\": {threads},\n  \"sim_throughput\": {{\n    \"policy\": \"Playbook\",\n    \"topology\": \"paper_small\",\n    \"episodes\": {episodes},\n    \"hours_per_episode\": {hours},\n    \"serial_steps_per_sec\": {serial:.0},\n    \"parallel_steps_per_sec\": {parallel:.0},\n    \"parallel_speedup\": {speedup:.3}\n  }},\n  \"nn_forward\": {{\n    \"topology\": \"paper_small\",\n    \"iters\": {iters},\n    \"attention_forward_ns_per_op\": {af:.0},\n    \"attention_forward_backward_ns_per_op\": {afb:.0},\n    \"baseline_forward_ns_per_op\": {bf:.0}\n  }},\n  \"batched_inference\": {{\n    \"topology\": \"paper_small\",\n    \"batch\": {batch},\n    \"attention_per_state_ns\": {aps:.0},\n    \"attention_batched_ns_per_state\": {abs:.0},\n    \"attention_batched_speedup\": {asp:.3},\n    \"baseline_per_state_ns\": {bps:.0},\n    \"baseline_batched_ns_per_state\": {bbs:.0},\n    \"baseline_batched_speedup\": {bsp:.3}\n  }}\n}}\n",
         mode = if quick { "quick" } else { "full" },
         threads = sim.threads,
         episodes = sim.episodes,
@@ -175,6 +260,13 @@ fn main() {
         af = nn.attention_forward_ns,
         afb = nn.attention_forward_backward_ns,
         bf = nn.baseline_forward_ns,
+        batch = batched.batch,
+        aps = batched.attention_per_state_ns,
+        abs = batched.attention_batched_ns_per_state,
+        asp = batched.attention_speedup(),
+        bps = batched.baseline_per_state_ns,
+        bbs = batched.baseline_batched_ns_per_state,
+        bsp = batched.baseline_speedup(),
     );
     if let Some(path) = out_path {
         std::fs::write(&path, &json).expect("failed to write benchmark snapshot");

@@ -14,13 +14,16 @@
 //! * `--gen-seed N` registers the procedurally generated scenario `seed-N`
 //!   (Mersenne-prime hash seed streams — reproducible from the id alone);
 //! * `--out FILE` additionally writes the results as JSON;
+//! * `--batch N` evaluates through the lockstep batched engine with `N`
+//!   lanes (same as setting `ACSO_BATCH=N`);
 //! * `--list` prints the registry catalog and exits.
 //!
-//! At `--smoke` scale the sweep is run twice — pinned to 1 worker thread and
-//! to 4 — and the binary fails unless both transcripts are bit-identical,
+//! At `--smoke` scale the sweep is run once serially and then re-run across
+//! an engine matrix — worker threads 1 and 4, batched engine off / 1 lane /
+//! 16 lanes — and the binary fails unless every transcript is bit-identical,
 //! which is the determinism contract CI enforces.
 
-use acso_bench::{print_header, Scale};
+use acso_bench::{apply_batch_flag, print_header, Scale};
 use acso_core::experiments::{scenario_sweep, ScenarioSweepResult, ScenarioSweepScale};
 use acso_core::scenario::ScenarioRegistry;
 use ics_sim::Scenario;
@@ -102,6 +105,7 @@ fn results_json(result: &ScenarioSweepResult, threads: usize) -> String {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = Scale::from_args(args.iter().cloned());
+    apply_batch_flag(args.iter().cloned());
 
     let mut registry = ScenarioRegistry::builtin();
     let mut wanted: Vec<String> = Vec::new();
@@ -173,24 +177,37 @@ fn main() {
     let scale_cfg = sweep_scale(scale);
     let result = if scale == Scale::Smoke {
         // The determinism contract: the whole sweep (training included) must
-        // be bit-identical for any worker-thread count. Run it pinned to 1
-        // and to 4 workers and report the (identical) serial transcript.
-        let prev = std::env::var(acso_runtime::THREADS_ENV_VAR).ok();
-        let run_with = |threads: &str| {
+        // be bit-identical for any worker-thread count and any engine. Run
+        // the serial reference, then the engine matrix — episode-parallel
+        // with 4 workers, and the lockstep batched engine at 1 and 16 lanes
+        // — and fail on any transcript divergence.
+        let prev_threads = std::env::var(acso_runtime::THREADS_ENV_VAR).ok();
+        let prev_batch = std::env::var(acso_runtime::BATCH_ENV_VAR).ok();
+        let run_with = |threads: &str, batch: Option<&str>| {
             std::env::set_var(acso_runtime::THREADS_ENV_VAR, threads);
+            match batch {
+                Some(lanes) => std::env::set_var(acso_runtime::BATCH_ENV_VAR, lanes),
+                None => std::env::remove_var(acso_runtime::BATCH_ENV_VAR),
+            }
             scenario_sweep(&registry, &scale_cfg)
         };
-        let serial = run_with("1");
-        let parallel = run_with("4");
-        match prev {
-            Some(value) => std::env::set_var(acso_runtime::THREADS_ENV_VAR, value),
-            None => std::env::remove_var(acso_runtime::THREADS_ENV_VAR),
+        let serial = run_with("1", None);
+        for (threads, batch) in [("4", None), ("1", Some("1")), ("4", Some("16"))] {
+            let other = run_with(threads, batch);
+            assert_eq!(
+                serial,
+                other,
+                "scenario sweep must be bit-identical for ACSO_THREADS={threads}, ACSO_BATCH={}",
+                batch.unwrap_or("off")
+            );
         }
-        assert_eq!(
-            serial, parallel,
-            "scenario sweep must be bit-identical for ACSO_THREADS=1 vs 4"
-        );
-        println!("determinism: ACSO_THREADS=1 vs 4 bit-identical ✓");
+        let restore = |var: &str, value: Option<String>| match value {
+            Some(value) => std::env::set_var(var, value),
+            None => std::env::remove_var(var),
+        };
+        restore(acso_runtime::THREADS_ENV_VAR, prev_threads);
+        restore(acso_runtime::BATCH_ENV_VAR, prev_batch);
+        println!("determinism: threads 1/4 × batch off/1/16 bit-identical ✓");
         serial
     } else {
         scenario_sweep(&registry, &scale_cfg)

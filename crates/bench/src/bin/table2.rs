@@ -1,14 +1,17 @@
 //! Reproduces Table 2: nominal evaluation of the ACSO agent and the three
 //! baseline policies (DBN expert, playbook, semi-random) under APT1.
 //!
-//! Run with `--smoke`, `--quick` (default) or `--paper` to choose the scale.
+//! Run with `--smoke`, `--quick` (default) or `--paper` to choose the scale;
+//! `--batch N` (or `ACSO_BATCH=N`) evaluates through the lockstep batched
+//! engine with `N` lanes — same transcripts, batched inference.
 
-use acso_bench::{print_header, Scale};
+use acso_bench::{apply_batch_flag, print_header, Scale};
 use acso_core::eval::format_table;
 use acso_core::experiments::{prepare, table2};
 
 fn main() {
     let scale = Scale::from_args(std::env::args().skip(1));
+    apply_batch_flag(std::env::args().skip(1));
     print_header("Table 2 — Nominal Evaluation Results", scale);
 
     let start = std::time::Instant::now();

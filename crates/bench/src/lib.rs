@@ -7,6 +7,12 @@
 #![warn(missing_docs)]
 
 use acso_core::experiments::ExperimentScale;
+use acso_core::features::NodeFeatureEncoder;
+use acso_core::{ActionSpace, StateFeatures};
+use dbn::learn::{learn_model, LearnConfig};
+use dbn::DbnFilter;
+use ics_net::TopologySpec;
+use ics_sim::{DefenderAction, IcsEnvironment, SimConfig};
 
 /// Which scale an experiment binary should run at.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,8 +60,56 @@ impl Scale {
     }
 }
 
+/// Encodes `count` distinct decision-point states from one undefended
+/// episode on `spec` (beliefs and alerts evolve as the attack progresses),
+/// for benchmarks that need realistic, non-identical batch inputs. Shared by
+/// `perf_smoke` and the `batched_inference` criterion bench so their inputs
+/// cannot drift apart.
+pub fn episode_states(spec: TopologySpec, count: usize) -> (Vec<StateFeatures>, ActionSpace) {
+    let sim = SimConfig {
+        topology: spec,
+        ..SimConfig::tiny()
+    }
+    .with_max_time(4 * count as u64 + 50);
+    let model = learn_model(&LearnConfig {
+        episodes: 1,
+        seed: 0,
+        sim: sim.clone(),
+    });
+    let mut env = IcsEnvironment::new(sim);
+    let mut obs = env.reset();
+    let encoder = NodeFeatureEncoder::new(env.topology());
+    let mut filter = DbnFilter::new(model, env.topology().node_count());
+    let space = ActionSpace::new(env.topology());
+    let mut states = Vec::with_capacity(count);
+    for _ in 0..count {
+        filter.update(&obs);
+        states.push(encoder.encode(&obs, &filter));
+        for _ in 0..3 {
+            obs = env.step(&[DefenderAction::NoAction]).observation;
+        }
+    }
+    (states, space)
+}
+
+/// Applies the `--batch N` command-line flag: sets the `ACSO_BATCH`
+/// environment variable (the switch the evaluation pipeline reads) before
+/// any worker threads exist. Returns the lane count now in effect, if any.
+pub fn apply_batch_flag<I: IntoIterator<Item = String>>(args: I) -> Option<usize> {
+    let args: Vec<String> = args.into_iter().collect();
+    if let Some(i) = args.iter().position(|a| a == "--batch") {
+        let lanes = args
+            .get(i + 1)
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|n| *n > 0)
+            .expect("--batch needs a positive lane count");
+        std::env::set_var(acso_runtime::BATCH_ENV_VAR, lanes.to_string());
+    }
+    acso_runtime::batch_lanes()
+}
+
 /// Prints the standard experiment header: what is being reproduced, at which
-/// scale, and over how many rollout worker threads.
+/// scale, over how many rollout worker threads, and through which engine.
 pub fn print_header(artefact: &str, scale: Scale) {
     println!("==========================================================");
     println!("Reproducing {artefact}");
@@ -65,6 +119,16 @@ pub fn print_header(artefact: &str, scale: Scale) {
         acso_runtime::available_threads(),
         acso_runtime::THREADS_ENV_VAR
     );
+    match acso_runtime::batch_lanes() {
+        Some(lanes) => println!(
+            "Batched engine: {lanes} lockstep lanes per worker ({}=N / --batch N)",
+            acso_runtime::BATCH_ENV_VAR
+        ),
+        None => println!(
+            "Batched engine: off (enable with {}=N or --batch N)",
+            acso_runtime::BATCH_ENV_VAR
+        ),
+    }
     println!("(Use --smoke / --quick / --paper to change; see EXPERIMENTS.md)");
     println!("==========================================================");
 }

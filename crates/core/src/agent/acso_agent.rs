@@ -157,10 +157,19 @@ impl<N: QNetwork + Clone> AcsoAgent<N> {
 
     /// Updates the belief filter with an observation, encodes the state, and
     /// selects an action index (ε-greedy when exploring, greedy otherwise).
+    ///
+    /// Inference runs through [`QNetwork::q_values_batch`] as a batch of one
+    /// — bit-identical to the cached single-state forward, but (like every
+    /// inference call since the batch-first refactor) it leaves the training
+    /// cache untouched.
     pub fn select_action(&mut self, observation: &Observation) -> (usize, StateFeatures) {
         self.filter.update(observation);
         let features = self.encoder.encode(observation, &self.filter);
-        let q = self.online.q_values(&features);
+        let q = self
+            .online
+            .q_values_batch(&[&features])
+            .pop()
+            .expect("a batch of one state yields one Q-vector");
         let epsilon = if self.explore {
             self.trainer.epsilon()
         } else {
@@ -177,7 +186,11 @@ impl<N: QNetwork + Clone> AcsoAgent<N> {
         self.filter.update(observation);
         self.encoder
             .encode_into(observation, &self.filter, &mut self.eval_features);
-        let q = self.online.q_values(&self.eval_features);
+        let q = self
+            .online
+            .q_values_batch(&[&self.eval_features])
+            .pop()
+            .expect("a batch of one state yields one Q-vector");
         rl::policy::greedy(&q)
     }
 
@@ -223,7 +236,10 @@ impl<N: QNetwork + Clone> AcsoAgent<N> {
 
         // Double-DQN bootstrap for every non-terminal sample, batched: the
         // online network chooses the bootstrap action, the target network
-        // evaluates it. Neither pass needs a backward, so batching is safe.
+        // evaluates it. One batched forward per network covers the whole
+        // minibatch (for the attention net too, since the batch-first
+        // refactor), and the inference path never touches the training
+        // cache.
         let boot_states: Vec<&StateFeatures> = picks
             .iter()
             .filter(|(index, _)| !self.trainer.transition(*index).done)
@@ -287,7 +303,7 @@ impl<N: QNetwork + Clone> AcsoAgent<N> {
     }
 }
 
-impl<N: QNetwork + Clone> DefenderPolicy for AcsoAgent<N> {
+impl<N: QNetwork + Clone + 'static> DefenderPolicy for AcsoAgent<N> {
     fn name(&self) -> &str {
         "ACSO"
     }
@@ -304,6 +320,21 @@ impl<N: QNetwork + Clone> DefenderPolicy for AcsoAgent<N> {
     ) -> Vec<DefenderAction> {
         let action = self.act_greedy(observation);
         vec![self.action_space.decode(action)]
+    }
+
+    /// The agent's batched upgrade for the lockstep engine: one clone of the
+    /// online network shared by all lanes, one belief filter per lane.
+    /// Greedy like [`AcsoAgent::decide`] and bit-identical to it per lane
+    /// (the [`QNetwork::q_values_batch`] contract), so batched rollouts
+    /// reproduce serial transcripts exactly.
+    fn make_batch_policy(&self, lanes: usize) -> Option<Box<dyn crate::rollout::BatchPolicy>> {
+        Some(Box::new(crate::agent::BatchedAgentPolicy::new(
+            self.online.clone(),
+            self.action_space.clone(),
+            self.encoder.clone(),
+            self.filter.clone(),
+            lanes,
+        )))
     }
 }
 

@@ -11,7 +11,7 @@ use crate::actions::{ActionSpace, ACTIONS_PER_NODE, ACTIONS_PER_PLC};
 use crate::agent::QNetwork;
 use crate::features::{StateFeatures, NODE_FEATURE_DIM, PLC_FEATURE_DIM, PLC_SUMMARY_DIM};
 use neural::layers::{Activation, Dense, SelfAttention};
-use neural::{Layer, Matrix, Param, Scratch};
+use neural::{Batch, Layer, Matrix, Param, Scratch};
 
 const EMBED_HIDDEN: usize = 64;
 const EMBED_OUT: usize = 32;
@@ -121,7 +121,249 @@ fn hcat_broadcast_into(left: &Matrix, right: &Matrix, out: &mut Matrix) {
     }
 }
 
+/// Column mean over the row block `start .. start + rows` of `src`, written
+/// into `out`. Bit-identical to [`Matrix::mean_rows_into`] on the block
+/// alone: zero, accumulate rows in ascending order, scale by `1/rows`.
+fn mean_row_block(src: &Matrix, start: usize, rows: usize, out: &mut [f32]) {
+    out.fill(0.0);
+    for r in 0..rows {
+        for (o, v) in out.iter_mut().zip(src.row(start + r)) {
+            *o += v;
+        }
+    }
+    if rows > 0 {
+        let inv = 1.0 / rows as f32;
+        for o in out {
+            *o *= inv;
+        }
+    }
+}
+
+/// Runs a two-layer output head (dense → activation → dense → activation)
+/// over a batch, recycling every intermediate.
+fn head_chain_batch(
+    d1: &mut Dense,
+    a1: &mut Activation,
+    d2: &mut Dense,
+    a2: &mut Activation,
+    input: Batch,
+    s: &mut Scratch,
+) -> Batch {
+    let x = d1.forward_batch(&input, s);
+    s.recycle(input.into_matrix());
+    let y = a1.forward_batch(&x, s);
+    s.recycle(x.into_matrix());
+    let x = d2.forward_batch(&y, s);
+    s.recycle(y.into_matrix());
+    let q = a2.forward_batch(&x, s);
+    s.recycle(x.into_matrix());
+    q
+}
+
 impl QNetwork for AttentionQNet {
+    /// The batch-first inference path: all states are stacked along the row
+    /// axis and pushed through every stage in one pass — the per-node
+    /// embedding and the output heads as single stacked matmuls, the
+    /// attention layers with an explicit per-item boundary (each state's
+    /// nodes attend only to that state's nodes). Every state's Q-vector is
+    /// bit-identical to a solo [`AttentionQNet::q_values`] call, and the
+    /// training cache is left untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the states do not share one topology (node/PLC counts and
+    /// head routing must match — the batched engine only ever mixes lanes of
+    /// the same scenario).
+    fn q_values_batch(&mut self, features: &[&StateFeatures]) -> Vec<Vec<f32>> {
+        if features.is_empty() {
+            return Vec::new();
+        }
+        let b = features.len();
+        let f0 = features[0];
+        let n = f0.node_count();
+        let p = f0.plc_count();
+        for f in features {
+            assert_eq!(f.node_count(), n, "batched states must share a topology");
+            assert_eq!(f.plc_count(), p, "batched states must share a topology");
+            assert_eq!(
+                f.host_rows, f0.host_rows,
+                "batched states must share head routing"
+            );
+            assert_eq!(
+                f.server_rows, f0.server_rows,
+                "batched states must share head routing"
+            );
+        }
+        let hosts = f0.host_rows.len();
+        let servers = f0.server_rows.len();
+        let head_in = CTX_DIM + PLC_SUMMARY_DIM;
+        let s = &mut self.scratch;
+
+        // Shared per-node embedding over all states' node rows at once.
+        let mut x = Batch::take(s, b, n, NODE_FEATURE_DIM);
+        for (i, f) in features.iter().enumerate() {
+            x.write_item(i, &f.nodes);
+        }
+        let y = self.embed1.forward_batch(&x, s);
+        s.recycle(x.into_matrix());
+        let x = self.embed_act1.forward_batch(&y, s);
+        s.recycle(y.into_matrix());
+        let y = self.embed2.forward_batch(&x, s);
+        s.recycle(x.into_matrix());
+        let x = self.embed_act2.forward_batch(&y, s);
+        s.recycle(y.into_matrix());
+        let y = self.embed3.forward_batch(&x, s);
+        s.recycle(x.into_matrix());
+        let e = self.embed_act3.forward_batch(&y, s);
+        s.recycle(y.into_matrix());
+
+        // Global attention within each state (per-item boundary).
+        let x = self.attn1.forward_batch(&e, s);
+        s.recycle(e.into_matrix());
+        let ctx = self.attn2.forward_batch(&x, s);
+        s.recycle(x.into_matrix());
+
+        // Per-state pooled context.
+        let mut mean_ctx = s.take(b, CTX_DIM);
+        for i in 0..b {
+            mean_row_block(ctx.matrix(), i * n, n, mean_ctx.row_mut(i));
+        }
+
+        // Per-node head input: context ++ that state's PLC summary.
+        let mut h = s.take(b * n, head_in);
+        for (i, f) in features.iter().enumerate() {
+            for r in 0..n {
+                let row = h.row_mut(i * n + r);
+                row[..CTX_DIM].copy_from_slice(ctx.matrix().row(i * n + r));
+                row[CTX_DIM..].copy_from_slice(f.plc_summary.row(0));
+            }
+        }
+        s.recycle(ctx.into_matrix());
+
+        let q_host = if hosts == 0 {
+            None
+        } else {
+            let mut host_in = Batch::take(s, b, hosts, head_in);
+            for i in 0..b {
+                for (slot, &node) in f0.host_rows.iter().enumerate() {
+                    host_in
+                        .matrix_mut()
+                        .row_mut(i * hosts + slot)
+                        .copy_from_slice(h.row(i * n + node));
+                }
+            }
+            Some(head_chain_batch(
+                &mut self.host_head1,
+                &mut self.host_act,
+                &mut self.host_head2,
+                &mut self.host_out,
+                host_in,
+                s,
+            ))
+        };
+        let q_server = if servers == 0 {
+            None
+        } else {
+            let mut server_in = Batch::take(s, b, servers, head_in);
+            for i in 0..b {
+                for (slot, &node) in f0.server_rows.iter().enumerate() {
+                    server_in
+                        .matrix_mut()
+                        .row_mut(i * servers + slot)
+                        .copy_from_slice(h.row(i * n + node));
+                }
+            }
+            Some(head_chain_batch(
+                &mut self.server_head1,
+                &mut self.server_act,
+                &mut self.server_head2,
+                &mut self.server_out,
+                server_in,
+                s,
+            ))
+        };
+        s.recycle(h);
+
+        // No-action value from each state's pooled context.
+        let mut noact_in = Batch::take(s, b, 1, head_in);
+        for (i, f) in features.iter().enumerate() {
+            let row = noact_in.matrix_mut().row_mut(i);
+            row[..CTX_DIM].copy_from_slice(mean_ctx.row(i));
+            row[CTX_DIM..].copy_from_slice(f.plc_summary.row(0));
+        }
+        let q_noact = head_chain_batch(
+            &mut self.noact_head1,
+            &mut self.noact_act,
+            &mut self.noact_head2,
+            &mut self.noact_out,
+            noact_in,
+            s,
+        );
+
+        // PLC head: per-PLC status one-hot ++ pooled context.
+        let q_plc = if p == 0 {
+            None
+        } else {
+            let mut plc_in = Batch::take(s, b, p, PLC_FEATURE_DIM + CTX_DIM);
+            for (i, f) in features.iter().enumerate() {
+                for r in 0..p {
+                    let row = plc_in.matrix_mut().row_mut(i * p + r);
+                    row[..PLC_FEATURE_DIM].copy_from_slice(f.plcs.row(r));
+                    row[PLC_FEATURE_DIM..].copy_from_slice(mean_ctx.row(i));
+                }
+            }
+            Some(head_chain_batch(
+                &mut self.plc_head1,
+                &mut self.plc_act,
+                &mut self.plc_head2,
+                &mut self.plc_out,
+                plc_in,
+                s,
+            ))
+        };
+        s.recycle(mean_ctx);
+
+        // Assemble each state's flat Q-vector in action-space order.
+        let mut out = Vec::with_capacity(b);
+        let plc_base = 1 + ACTIONS_PER_NODE * n;
+        for i in 0..b {
+            let mut q = vec![0.0f32; self.action_space.len()];
+            q[0] = q_noact.matrix().get(i, 0);
+            if let Some(qh) = &q_host {
+                for (slot, &node) in f0.host_rows.iter().enumerate() {
+                    let base = 1 + node * ACTIONS_PER_NODE;
+                    q[base..base + ACTIONS_PER_NODE]
+                        .copy_from_slice(qh.matrix().row(i * hosts + slot));
+                }
+            }
+            if let Some(qs) = &q_server {
+                for (slot, &node) in f0.server_rows.iter().enumerate() {
+                    let base = 1 + node * ACTIONS_PER_NODE;
+                    q[base..base + ACTIONS_PER_NODE]
+                        .copy_from_slice(qs.matrix().row(i * servers + slot));
+                }
+            }
+            if let Some(qp) = &q_plc {
+                for plc in 0..p {
+                    let base = plc_base + plc * ACTIONS_PER_PLC;
+                    q[base..base + ACTIONS_PER_PLC].copy_from_slice(qp.matrix().row(i * p + plc));
+                }
+            }
+            out.push(q);
+        }
+        if let Some(qh) = q_host {
+            s.recycle(qh.into_matrix());
+        }
+        if let Some(qs) = q_server {
+            s.recycle(qs.into_matrix());
+        }
+        if let Some(qp) = q_plc {
+            s.recycle(qp.into_matrix());
+        }
+        s.recycle(q_noact.into_matrix());
+        out
+    }
+
     fn q_values(&mut self, features: &StateFeatures) -> Vec<f32> {
         let n = features.node_count();
         let p = features.plc_count();
@@ -440,6 +682,55 @@ mod tests {
         let filter = DbnFilter::new(model, env.topology().node_count());
         let space = ActionSpace::new(env.topology());
         (encoder.encode(&obs, &filter), space)
+    }
+
+    use crate::agent::test_states::episode_states;
+
+    #[test]
+    fn batched_q_values_are_bit_identical_to_solo_forwards() {
+        let (states, space) = episode_states(9, 3);
+        let mut net = AttentionQNet::new(space, 5);
+        // Solo answers first, then the batch — and again in the other order,
+        // so neither path depends on residue from the other.
+        let solo: Vec<Vec<f32>> = states.iter().map(|f| net.q_values(f)).collect();
+        let refs: Vec<&StateFeatures> = states.iter().collect();
+        let batched = net.q_values_batch(&refs);
+        assert_eq!(solo, batched, "batched Q-values diverged from solo");
+        let again: Vec<Vec<f32>> = states.iter().map(|f| net.q_values(f)).collect();
+        assert_eq!(solo, again);
+        // Not all states are identical, so the equality above is meaningful.
+        assert!(solo.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn batched_inference_does_not_clobber_the_training_cache() {
+        let (states, space) = episode_states(4, 7);
+        let make_grad = |len: usize| {
+            let mut g = vec![0.0f32; len];
+            g[2] = 1.0;
+            g[0] = -0.5;
+            g
+        };
+
+        let mut reference = AttentionQNet::new(space.clone(), 11);
+        let q = reference.q_values(&states[0]);
+        reference.zero_grad();
+        reference.backward(&make_grad(q.len()));
+
+        let mut interleaved = AttentionQNet::new(space, 11);
+        let q = interleaved.q_values(&states[0]);
+        let refs: Vec<&StateFeatures> = states.iter().collect();
+        let _ = interleaved.q_values_batch(&refs);
+        interleaved.zero_grad();
+        interleaved.backward(&make_grad(q.len()));
+
+        for (a, b) in reference
+            .params_mut()
+            .iter()
+            .zip(interleaved.params_mut().iter())
+        {
+            assert_eq!(a.grad.data(), b.grad.data(), "training gradients diverged");
+        }
     }
 
     #[test]

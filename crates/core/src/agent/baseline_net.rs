@@ -13,7 +13,7 @@ use crate::actions::ActionSpace;
 use crate::agent::QNetwork;
 use crate::features::{StateFeatures, NODE_FEATURE_DIM, PLC_FEATURE_DIM, PLC_SUMMARY_DIM};
 use neural::layers::{Activation, Dense};
-use neural::{Layer, Matrix, Param, Scratch};
+use neural::{Batch, Layer, Matrix, Param, Scratch};
 
 const HIDDEN1: usize = 256;
 const HIDDEN2: usize = 128;
@@ -96,29 +96,61 @@ impl BaselineConvQNet {
 }
 
 impl QNetwork for BaselineConvQNet {
+    /// Batched inference: all states are flattened into one `[batch,
+    /// input_dim]` matrix and pushed through a single matmul chain — 64
+    /// states cost one matmul chain rather than 64 single-row passes. Runs
+    /// through the layers' `forward_batch` path, so each state's values are
+    /// bit-identical to a solo [`BaselineConvQNet::q_values`] call and the
+    /// training cache is left untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any state's flattened width does not exactly fill the
+    /// network's fixed input (the flattened baseline is built for one
+    /// topology; silently zero-padding a smaller state would produce
+    /// plausible-looking Q-values for the wrong action space).
+    fn q_values_batch(&mut self, features: &[&StateFeatures]) -> Vec<Vec<f32>> {
+        if features.is_empty() {
+            return Vec::new();
+        }
+        for f in features {
+            let flattened = f.nodes.len() + f.plcs.len() + f.plc_summary.len();
+            assert_eq!(
+                flattened, self.input_dim,
+                "batched states must match the network's topology"
+            );
+        }
+        let mut x = Batch::take(&mut self.scratch, features.len(), 1, self.input_dim);
+        for (row, f) in features.iter().enumerate() {
+            self.flatten_into(f, x.matrix_mut(), row);
+        }
+        let s = &mut self.scratch;
+        let y = self.fc1.forward_batch(&x, s);
+        s.recycle(x.into_matrix());
+        let x = self.act1.forward_batch(&y, s);
+        s.recycle(y.into_matrix());
+        let y = self.fc2.forward_batch(&x, s);
+        s.recycle(x.into_matrix());
+        let x = self.act2.forward_batch(&y, s);
+        s.recycle(y.into_matrix());
+        let y = self.fc3.forward_batch(&x, s);
+        s.recycle(x.into_matrix());
+        let q = self.out.forward_batch(&y, s);
+        s.recycle(y.into_matrix());
+        let out = (0..features.len())
+            .map(|i| q.matrix().row(i).to_vec())
+            .collect();
+        s.recycle(q.into_matrix());
+        out
+    }
+
+    /// Cached single-state forward: the training path, whose intermediates
+    /// feed [`BaselineConvQNet::backward`].
     fn q_values(&mut self, features: &StateFeatures) -> Vec<f32> {
         let mut x = self.scratch.take(1, self.input_dim);
         self.flatten_into(features, &mut x, 0);
         let q = self.forward_rows(x);
         let out = q.row(0).to_vec();
-        self.scratch.recycle(q);
-        out
-    }
-
-    /// Batched forward: all states are flattened into one `[batch,
-    /// input_dim]` matrix and pushed through a single matmul chain — the
-    /// replay-minibatch path (64 rows through one matmul rather than 64
-    /// single-row passes).
-    fn q_values_batch(&mut self, features: &[&StateFeatures]) -> Vec<Vec<f32>> {
-        if features.is_empty() {
-            return Vec::new();
-        }
-        let mut x = self.scratch.take(features.len(), self.input_dim);
-        for (row, f) in features.iter().enumerate() {
-            self.flatten_into(f, &mut x, row);
-        }
-        let q = self.forward_rows(x);
-        let out = (0..features.len()).map(|i| q.row(i).to_vec()).collect();
         self.scratch.recycle(q);
         out
     }
@@ -210,6 +242,18 @@ mod tests {
         let mut attn_small = AttentionQNet::new(small_space, 0);
         let mut attn_large = AttentionQNet::new(large_space, 0);
         assert_eq!(attn_small.parameter_count(), attn_large.parameter_count());
+    }
+
+    #[test]
+    fn batched_q_values_are_bit_identical_to_solo_forwards() {
+        let (states, space) = crate::agent::test_states::episode_states(8, 9);
+        let mut net = BaselineConvQNet::new(space, 4);
+        let solo: Vec<Vec<f32>> = states.iter().map(|f| net.q_values(f)).collect();
+        let refs: Vec<&StateFeatures> = states.iter().collect();
+        let batched = net.q_values_batch(&refs);
+        assert_eq!(solo, batched, "batched Q-values diverged from solo");
+        assert!(solo.windows(2).any(|w| w[0] != w[1]));
+        assert!(net.q_values_batch(&[]).is_empty());
     }
 
     #[test]

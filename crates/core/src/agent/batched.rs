@@ -1,0 +1,128 @@
+//! The agent's lane policy for the lockstep batched rollout engine.
+//!
+//! One Q-network serves every lane: each lockstep round the lanes' belief
+//! filters are updated and encoded individually (belief state is
+//! per-episode), then a single [`QNetwork::q_values_batch`] call answers all
+//! lanes at once, and each lane takes its greedy action. Because batched
+//! inference is bit-identical per state to solo inference and greedy
+//! selection consumes no randomness, every lane decides exactly as a serial
+//! [`crate::AcsoAgent`] evaluation episode would.
+
+use crate::actions::ActionSpace;
+use crate::agent::QNetwork;
+use crate::features::{NodeFeatureEncoder, StateFeatures};
+use crate::rollout::{BatchPolicy, LaneDecision};
+use dbn::DbnFilter;
+use ics_net::Topology;
+
+/// Per-lane episode state: the belief filter and a reusable feature buffer.
+#[derive(Clone)]
+struct Lane {
+    filter: DbnFilter,
+    features: StateFeatures,
+}
+
+/// The trained agent behind the [`BatchPolicy`] interface: shared network,
+/// per-lane belief state.
+pub struct BatchedAgentPolicy<N: QNetwork> {
+    network: N,
+    action_space: ActionSpace,
+    encoder: NodeFeatureEncoder,
+    lanes: Vec<Lane>,
+}
+
+impl<N: QNetwork> BatchedAgentPolicy<N> {
+    /// Builds a policy for `lanes` lockstep lanes. `filter` is the agent's
+    /// belief filter used as the per-lane template (each lane's copy is
+    /// reset at its episode start).
+    pub(crate) fn new(
+        network: N,
+        action_space: ActionSpace,
+        encoder: NodeFeatureEncoder,
+        filter: DbnFilter,
+        lanes: usize,
+    ) -> Self {
+        let lane = Lane {
+            filter,
+            features: StateFeatures::empty(),
+        };
+        Self {
+            network,
+            action_space,
+            encoder,
+            lanes: vec![lane; lanes.max(1)],
+        }
+    }
+}
+
+impl<N: QNetwork> BatchPolicy for BatchedAgentPolicy<N> {
+    fn name(&self) -> &str {
+        "ACSO"
+    }
+
+    fn reset_lane(&mut self, lane: usize, _topology: &Topology) {
+        self.lanes[lane].filter.reset();
+    }
+
+    fn decide_lanes(&mut self, requests: &mut [LaneDecision<'_>]) {
+        // Per-lane belief update and encoding (stateful, must stay per
+        // episode), into each lane's reusable buffer.
+        for r in requests.iter_mut() {
+            let lane = &mut self.lanes[r.lane];
+            lane.filter.update(r.observation);
+            self.encoder
+                .encode_into(r.observation, &lane.filter, &mut lane.features);
+        }
+        // One batched forward answers every live lane.
+        let states: Vec<&StateFeatures> = requests
+            .iter()
+            .map(|r| &self.lanes[r.lane].features)
+            .collect();
+        let q_values = self.network.q_values_batch(&states);
+        for (r, q) in requests.iter_mut().zip(&q_values) {
+            let action = rl::policy::greedy(q);
+            r.actions.clear();
+            r.actions.push(self.action_space.decode(action));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::policy::DefenderPolicy;
+    use crate::rollout::{rollout_serial, RolloutPlan, SyncBatchEngine};
+    use crate::train::{train_attention_acso, TrainConfig};
+    use ics_sim::SimConfig;
+
+    #[test]
+    fn batched_agent_decides_exactly_like_the_serial_agent() {
+        let trained = train_attention_acso(&TrainConfig::smoke(1).with_seed(17));
+        let mut agent = trained.agent;
+        agent.set_explore(false);
+
+        let plan = |threads| RolloutPlan {
+            sim: SimConfig::tiny().with_max_time(80),
+            episodes: 6,
+            seed: 3,
+            threads,
+        };
+        let serial = rollout_serial(&mut agent, &plan(1));
+        for lanes in [1usize, 3, 8] {
+            let engine = SyncBatchEngine::new(lanes);
+            let batched = engine.rollout(&plan(2), &|| {
+                Box::new(agent.eval_clone()) as Box<dyn DefenderPolicy>
+            });
+            assert_eq!(serial, batched, "lanes={lanes} diverged from serial");
+        }
+    }
+
+    #[test]
+    fn the_agent_upgrades_itself_to_a_batch_policy() {
+        let trained = train_attention_acso(&TrainConfig::smoke(1).with_seed(19));
+        let policy = trained
+            .agent
+            .make_batch_policy(4)
+            .expect("the agent supports batched inference");
+        assert_eq!(policy.name(), "ACSO");
+    }
+}

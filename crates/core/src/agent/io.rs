@@ -182,6 +182,76 @@ mod tests {
     }
 
     #[test]
+    fn baseline_weights_round_trip_through_buffer_and_file() {
+        let (features, space) = features();
+        let mut original = BaselineConvQNet::new(space.clone(), 21);
+        let q_original = original.q_values(&features);
+
+        // Buffer round trip.
+        let mut buffer = Vec::new();
+        save_weights_to(&mut original, &mut buffer).unwrap();
+        let mut restored = BaselineConvQNet::new(space.clone(), 22);
+        assert_ne!(q_original, restored.q_values(&features));
+        load_weights_from(&mut restored, &mut buffer.as_slice()).unwrap();
+        assert_eq!(q_original, restored.q_values(&features));
+
+        // File round trip.
+        let path = std::env::temp_dir().join("acso_baseline_weights_round_trip_test.bin");
+        save_weights(&mut original, &path).unwrap();
+        let mut from_file = BaselineConvQNet::new(space, 23);
+        load_weights(&mut from_file, &path).unwrap();
+        assert_eq!(q_original, from_file.q_values(&features));
+        let _ = std::fs::remove_file(path);
+    }
+
+    /// Golden header test: the on-disk prefix (magic, version, parameter
+    /// count) is a compatibility contract — deployed weight files must stay
+    /// loadable — so its exact bytes are pinned here for both architectures.
+    #[test]
+    fn serialized_header_bytes_are_pinned() {
+        let (_, space) = features();
+        let golden = |count: u32| {
+            let mut expected = b"ACSOWTS\0".to_vec();
+            expected.extend_from_slice(&1u32.to_le_bytes()); // version
+            expected.extend_from_slice(&count.to_le_bytes()); // parameter count
+            expected
+        };
+
+        // The attention net's 13 weight/bias-carrying stages yield 30
+        // parameter tensors; the baseline MLP's 3 dense layers yield 6. The
+        // body is the shape table plus the values: 8 bytes of shape and 4
+        // bytes per scalar for every parameter.
+        let body_len = |net: &mut dyn QNetwork| -> usize {
+            net.params_mut().iter().map(|p| 8 + 4 * p.value.len()).sum()
+        };
+
+        let mut attention = AttentionQNet::new(space.clone(), 1);
+        let mut buffer = Vec::new();
+        save_weights_to(&mut attention, &mut buffer).unwrap();
+        assert_eq!(&buffer[..16], &golden(30)[..], "attention header changed");
+        assert_eq!(buffer.len(), 16 + body_len(&mut attention));
+
+        let mut baseline = BaselineConvQNet::new(space, 1);
+        let mut buffer = Vec::new();
+        save_weights_to(&mut baseline, &mut buffer).unwrap();
+        assert_eq!(&buffer[..16], &golden(6)[..], "baseline header changed");
+        assert_eq!(buffer.len(), 16 + body_len(&mut baseline));
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected() {
+        let (_, space) = features();
+        let mut net = AttentionQNet::new(space, 1);
+        let mut buffer = Vec::new();
+        save_weights_to(&mut net, &mut buffer).unwrap();
+        // Bump the version field (bytes 8..12).
+        buffer[8] = 9;
+        let err = load_weights_from(&mut net, &mut buffer.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
     fn corrupt_or_mismatched_files_are_rejected() {
         let (_, space) = features();
         let mut net = AttentionQNet::new(space.clone(), 1);

@@ -3,11 +3,13 @@
 mod acso_agent;
 mod attention_net;
 mod baseline_net;
+mod batched;
 pub mod io;
 
 pub use acso_agent::{AcsoAgent, AgentConfig};
 pub use attention_net::AttentionQNet;
 pub use baseline_net::BaselineConvQNet;
+pub use batched::BatchedAgentPolicy;
 pub use io::{load_weights, save_weights};
 
 use crate::features::StateFeatures;
@@ -18,20 +20,38 @@ use neural::Param;
 /// Implementations map a [`StateFeatures`] encoding to one value per flat
 /// action (see [`crate::ActionSpace`]) and support backpropagation of a
 /// gradient with respect to those values.
+///
+/// The interface is **batch-first**: [`QNetwork::q_values_batch`] is the
+/// required inference path (action selection, double-DQN bootstrap, the
+/// lockstep rollout engine), and the single-state [`QNetwork::q_values`] is
+/// by default the batch-of-1 special case. Networks that support training
+/// override `q_values` with a forward that caches intermediates for
+/// [`QNetwork::backward`].
 pub trait QNetwork: Send {
-    /// Q-values for every flat action, in action-space order. Caches the
-    /// forward pass for a subsequent [`QNetwork::backward`].
-    fn q_values(&mut self, features: &StateFeatures) -> Vec<f32>;
-
-    /// Q-values for a batch of states, used for passes that do not need a
-    /// backward (e.g. the double-DQN bootstrap over a replay minibatch).
+    /// Q-values for a batch of states: one `Vec` per state, each covering
+    /// every flat action in action-space order.
     ///
-    /// The default runs [`QNetwork::q_values`] per state; networks whose
-    /// forward is row-wise (the flattened baseline) override this to push
-    /// the whole batch through one matmul. Clobbers the forward cache — do
-    /// not call between a cached forward and its backward.
-    fn q_values_batch(&mut self, features: &[&StateFeatures]) -> Vec<Vec<f32>> {
-        features.iter().map(|f| self.q_values(f)).collect()
+    /// Two contracts every implementation upholds (pinned by tests):
+    ///
+    /// * state `i`'s values are **bit-identical** to a solo
+    ///   [`QNetwork::q_values`] call on state `i` — padding states into a
+    ///   batch never changes any individual answer, which is what lets the
+    ///   batched rollout engine promise transcripts identical to the serial
+    ///   engine;
+    /// * the call is **inference-only**: no backward cache is written or
+    ///   clobbered, so it may run between a cached `q_values` forward and
+    ///   its [`QNetwork::backward`].
+    fn q_values_batch(&mut self, features: &[&StateFeatures]) -> Vec<Vec<f32>>;
+
+    /// Q-values for every flat action of a single state, in action-space
+    /// order. Trainable networks override this with a forward pass that
+    /// caches intermediates for a subsequent [`QNetwork::backward`]; the
+    /// default is the batch-of-1 special case of
+    /// [`QNetwork::q_values_batch`] (inference-only, no backward cache).
+    fn q_values(&mut self, features: &StateFeatures) -> Vec<f32> {
+        self.q_values_batch(&[features])
+            .pop()
+            .expect("a batch of one state yields one Q-vector")
     }
 
     /// Backpropagates a gradient with respect to the Q-values returned by the
@@ -70,5 +90,40 @@ pub trait QNetwork: Send {
         for (dst, src) in self.params_mut().into_iter().zip(source_values) {
             dst.value = src;
         }
+    }
+}
+
+/// Shared fixture for the Q-network batching tests: distinct decision-point
+/// states from one undefended episode (beliefs and alerts evolve), so
+/// batched-vs-solo comparisons run over non-identical inputs.
+#[cfg(test)]
+pub(crate) mod test_states {
+    use crate::actions::ActionSpace;
+    use crate::features::{NodeFeatureEncoder, StateFeatures};
+    use dbn::learn::{learn_model, LearnConfig};
+    use dbn::DbnFilter;
+    use ics_sim::{DefenderAction, IcsEnvironment, SimConfig};
+
+    pub(crate) fn episode_states(count: usize, seed: u64) -> (Vec<StateFeatures>, ActionSpace) {
+        let sim = SimConfig::tiny().with_max_time(200).with_seed(seed);
+        let model = learn_model(&LearnConfig {
+            episodes: 1,
+            seed,
+            sim: sim.clone(),
+        });
+        let mut env = IcsEnvironment::new(sim);
+        let mut obs = env.reset();
+        let encoder = NodeFeatureEncoder::new(env.topology());
+        let mut filter = DbnFilter::new(model, env.topology().node_count());
+        let space = ActionSpace::new(env.topology());
+        let mut states = Vec::with_capacity(count);
+        for _ in 0..count {
+            filter.update(&obs);
+            states.push(encoder.encode(&obs, &filter));
+            for _ in 0..3 {
+                obs = env.step(&[DefenderAction::NoAction]).observation;
+            }
+        }
+        (states, space)
     }
 }

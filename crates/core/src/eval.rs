@@ -1,13 +1,16 @@
 //! The evaluation protocol: run a defender policy for many episodes and
 //! aggregate the paper's four metrics (Table 2).
 //!
-//! Episodes run through the [`crate::rollout`] engine. The policy-factory
+//! Episodes run through the [`crate::rollout`] engines. The policy-factory
 //! entry points ([`evaluate_factory_detailed`]) fan episodes out over worker
 //! threads with bit-identical results to the serial `&mut dyn` entry points,
-//! which are kept for policies that cannot be constructed per worker.
+//! which are kept for policies that cannot be constructed per worker. When
+//! the `ACSO_BATCH` environment variable is set, the factory entry points
+//! route through the lockstep [`SyncBatchEngine`] instead — same
+//! transcripts, batched inference.
 
 use crate::policy::DefenderPolicy;
-use crate::rollout::{self, RolloutPlan};
+use crate::rollout::{self, RolloutPlan, SyncBatchEngine};
 use ics_sim::metrics::{EpisodeMetrics, EvaluationSummary};
 use ics_sim::SimConfig;
 use serde::{Deserialize, Serialize};
@@ -85,14 +88,20 @@ pub fn evaluate_policy_detailed(
 
 /// Runs the evaluation protocol with episodes fanned out over worker threads
 /// (`ACSO_THREADS`, default: available parallelism), building one policy per
-/// worker with `make_policy`. Results are bit-identical to the serial
-/// evaluator.
+/// worker with `make_policy`. With `ACSO_BATCH=<lanes>` set, episodes run
+/// through the lockstep [`SyncBatchEngine`] instead (batched inference, one
+/// batch of lanes per worker). Results are bit-identical to the serial
+/// evaluator either way.
 pub fn evaluate_factory_detailed<F>(make_policy: F, config: &EvalConfig) -> PolicyEvaluation
 where
     F: Fn() -> Box<dyn DefenderPolicy> + Sync,
 {
     let name = make_policy().name().to_string();
-    let episodes = rollout::rollout(&plan_for(config), make_policy);
+    let plan = plan_for(config);
+    let episodes = match SyncBatchEngine::from_env() {
+        Some(engine) => engine.rollout(&plan, &make_policy),
+        None => rollout::rollout(&plan, make_policy),
+    };
     package(name, episodes)
 }
 

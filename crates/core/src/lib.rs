@@ -19,9 +19,11 @@
 //! * [`train`] — the augmented-DQN training loop of §4.2 (double DQN,
 //!   prioritized replay, n-step returns, shaping reward);
 //! * [`eval`] — the 100-episode evaluation protocol and its metrics;
-//! * [`rollout`] — the parallel episode rollout engine: deterministic
-//!   per-episode seeding fanned out over `ACSO_THREADS` workers, bit-identical
-//!   to serial evaluation;
+//! * [`rollout`] — the rollout engines: deterministic per-episode seeding
+//!   fanned out over `ACSO_THREADS` workers, plus the step-synchronized
+//!   [`rollout::SyncBatchEngine`] (`ACSO_BATCH`) that batches policy
+//!   inference across lockstep episodes — both bit-identical to serial
+//!   evaluation;
 //! * [`experiments`] — one entry point per table/figure of the paper
 //!   (Table 2, Fig. 6, Fig. 10, the grid search, the DBN validation) plus
 //!   the registry-wide scenario sweep;
@@ -63,5 +65,5 @@ pub use agent::{AcsoAgent, AttentionQNet, BaselineConvQNet};
 pub use eval::{evaluate_policy, EvalConfig};
 pub use features::{NodeFeatureEncoder, StateFeatures};
 pub use policy::DefenderPolicy;
-pub use rollout::RolloutPlan;
+pub use rollout::{RolloutPlan, SyncBatchEngine};
 pub use scenario::ScenarioRegistry;

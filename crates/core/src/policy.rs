@@ -1,5 +1,6 @@
 //! The defender policy interface shared by the ACSO agent and every baseline.
 
+use crate::rollout::BatchPolicy;
 use ics_net::Topology;
 use ics_sim::{DefenderAction, Observation};
 use rand::rngs::StdRng;
@@ -24,6 +25,17 @@ pub trait DefenderPolicy: Send {
         topology: &Topology,
         rng: &mut StdRng,
     ) -> Vec<DefenderAction>;
+
+    /// Upgrades a policy of this kind into a [`BatchPolicy`] managing
+    /// `lanes` lockstep episode lanes, when the policy supports batched
+    /// inference. `self` acts as the prototype (the returned policy must
+    /// decide exactly like `lanes` independent copies of it); the default
+    /// `None` makes the batched engine fall back to per-lane serial
+    /// instances ([`crate::rollout::PerLanePolicies`]).
+    fn make_batch_policy(&self, lanes: usize) -> Option<Box<dyn BatchPolicy>> {
+        let _ = lanes;
+        None
+    }
 }
 
 /// A defender that never acts. Useful as a lower bound on IT cost and an

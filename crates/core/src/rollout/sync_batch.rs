@@ -1,0 +1,273 @@
+//! The step-synchronized batched rollout engine.
+//!
+//! [`SyncBatchEngine`] steps `lanes` episodes in lockstep: each simulated
+//! hour it gathers the live lanes' observations, asks the policy for **one
+//! batched decision** ([`BatchPolicy::decide_lanes`]), and scatters the
+//! chosen actions back into the lanes' environments. Policies with batched
+//! inference (the neural agent) answer the whole gather with a single
+//! forward pass, retiring the per-observation hot path; policies without it
+//! are adapted per lane by [`PerLanePolicies`].
+//!
+//! Determinism is inherited, not re-proven: every lane derives its
+//! environment and decision-RNG streams from its episode index
+//! ([`acso_runtime::episode_seed`], exactly as the serial engine does), lane
+//! state never crosses lanes, and batched inference is bit-identical per
+//! item to solo inference (the [`crate::agent::QNetwork::q_values_batch`]
+//! contract). Transcripts are therefore bit-identical to
+//! [`super::rollout_serial`] for any lane count and any thread count —
+//! pinned by `tests/batch_determinism.rs` across every registry scenario and
+//! all four policy families.
+//!
+//! Batches compose with the [`acso_runtime`] worker pool: the episode range
+//! is chunked into consecutive `lanes`-sized batches and the chunks fan out
+//! over `ACSO_THREADS` workers, each worker owning one batch of lanes at a
+//! time (and one long-lived batch policy instance).
+
+use super::{EpisodeLane, RolloutPlan};
+use crate::policy::DefenderPolicy;
+use ics_net::Topology;
+use ics_sim::metrics::EpisodeMetrics;
+use ics_sim::{DefenderAction, Observation, SimConfig};
+use rand::rngs::StdRng;
+
+/// One live lane's slot in a lockstep decision round: what the policy may
+/// read (observation, topology, the lane's decision RNG) and where it writes
+/// the chosen actions.
+pub struct LaneDecision<'a> {
+    /// Lane index within the engine's batch (stable across the episode).
+    pub lane: usize,
+    /// The lane's latest observation.
+    pub observation: &'a Observation,
+    /// The lane's topology.
+    pub topology: &'a Topology,
+    /// The lane's per-episode decision RNG — the same stream the serial
+    /// evaluator would hand this episode's `decide` calls.
+    pub rng: &'a mut StdRng,
+    /// The actions to submit this hour (filled by the policy, empty on
+    /// entry).
+    pub actions: Vec<DefenderAction>,
+}
+
+/// A defender policy that decides for many lockstep episode lanes at once.
+///
+/// Implementations must keep lanes independent: lane `k`'s decisions may
+/// depend only on lane `k`'s observation history, reset state and RNG, so
+/// that every lane's transcript matches a serial episode bit for bit.
+pub trait BatchPolicy: Send {
+    /// A short name used in result tables ("ACSO", "Playbook", ...).
+    fn name(&self) -> &str;
+
+    /// Resets lane `lane`'s internal state at the start of its episode.
+    fn reset_lane(&mut self, lane: usize, topology: &Topology);
+
+    /// Decides actions for every live lane of this simulated hour. Requests
+    /// arrive in ascending lane order; finished lanes are absent.
+    fn decide_lanes(&mut self, requests: &mut [LaneDecision<'_>]);
+}
+
+/// Adapts policies without batched inference to the lane interface: one
+/// serial [`DefenderPolicy`] instance per lane, each seeing exactly the call
+/// sequence a serial episode would give it.
+pub struct PerLanePolicies {
+    name: String,
+    lanes: Vec<Box<dyn DefenderPolicy>>,
+}
+
+impl PerLanePolicies {
+    /// Builds `lanes` policy instances from a factory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn new<F>(lanes: usize, make_policy: F) -> Self
+    where
+        F: Fn() -> Box<dyn DefenderPolicy>,
+    {
+        assert!(lanes > 0, "a batch needs at least one lane");
+        let lanes: Vec<_> = (0..lanes).map(|_| make_policy()).collect();
+        let name = lanes[0].name().to_string();
+        Self { name, lanes }
+    }
+}
+
+impl BatchPolicy for PerLanePolicies {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn reset_lane(&mut self, lane: usize, topology: &Topology) {
+        self.lanes[lane].reset(topology);
+    }
+
+    fn decide_lanes(&mut self, requests: &mut [LaneDecision<'_>]) {
+        for r in requests {
+            r.actions = self.lanes[r.lane].decide(r.observation, r.topology, r.rng);
+        }
+    }
+}
+
+/// The lockstep batched rollout engine.
+///
+/// `lanes` is the number of episodes stepped together per worker batch (the
+/// inference batch size). Construct explicitly with [`SyncBatchEngine::new`]
+/// or from the `ACSO_BATCH` environment variable with
+/// [`SyncBatchEngine::from_env`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncBatchEngine {
+    lanes: usize,
+}
+
+impl SyncBatchEngine {
+    /// An engine stepping `lanes` episodes in lockstep (at least one).
+    pub fn new(lanes: usize) -> Self {
+        Self {
+            lanes: lanes.max(1),
+        }
+    }
+
+    /// The engine selected by `ACSO_BATCH`, or `None` when the variable is
+    /// unset (callers fall back to the episode-parallel engine).
+    pub fn from_env() -> Option<Self> {
+        acso_runtime::batch_lanes().map(Self::new)
+    }
+
+    /// Episodes stepped together per worker batch.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Rolls out a plan's episodes through lockstep batches fanned out over
+    /// the worker pool. Returns per-episode metrics in episode order,
+    /// bit-identical to [`super::rollout_serial`] with a policy from the
+    /// same factory.
+    ///
+    /// Each worker builds one long-lived batch policy: the factory's
+    /// prototype is asked to upgrade itself via
+    /// [`DefenderPolicy::make_batch_policy`] (the neural agent returns its
+    /// shared-network batched form) and falls back to [`PerLanePolicies`]
+    /// otherwise.
+    pub fn rollout<F>(&self, plan: &RolloutPlan, make_policy: &F) -> Vec<EpisodeMetrics>
+    where
+        F: Fn() -> Box<dyn DefenderPolicy> + Sync,
+    {
+        let lanes = self.lanes;
+        let batches = plan.episodes.div_ceil(lanes);
+        let results = acso_runtime::run_indexed_with(
+            batches,
+            plan.threads,
+            || {
+                let prototype = make_policy();
+                prototype
+                    .make_batch_policy(lanes)
+                    .unwrap_or_else(|| Box::new(PerLanePolicies::new(lanes, make_policy)))
+            },
+            |policy, batch| {
+                let first = batch * lanes;
+                let count = lanes.min(plan.episodes - first);
+                run_lockstep(policy.as_mut(), &plan.sim, plan.seed, first, count)
+            },
+        );
+        results.into_iter().flatten().collect()
+    }
+}
+
+/// Steps episodes `first_episode .. first_episode + count` in lockstep
+/// against one batch policy, returning their metrics in episode order.
+fn run_lockstep(
+    policy: &mut dyn BatchPolicy,
+    sim: &SimConfig,
+    base_seed: u64,
+    first_episode: usize,
+    count: usize,
+) -> Vec<EpisodeMetrics> {
+    let mut lanes: Vec<EpisodeLane> = (0..count)
+        .map(|k| EpisodeLane::start(sim, base_seed, first_episode + k))
+        .collect();
+    for (k, lane) in lanes.iter_mut().enumerate() {
+        policy.reset_lane(k, lane.env.topology());
+    }
+    loop {
+        // Gather the live lanes...
+        let mut requests: Vec<LaneDecision<'_>> = Vec::new();
+        for (k, lane) in lanes.iter_mut().enumerate() {
+            if lane.done {
+                continue;
+            }
+            let EpisodeLane { env, rng, obs, .. } = lane;
+            requests.push(LaneDecision {
+                lane: k,
+                observation: obs,
+                topology: env.topology(),
+                rng,
+                actions: Vec::new(),
+            });
+        }
+        if requests.is_empty() {
+            return lanes.into_iter().map(|lane| lane.metrics).collect();
+        }
+        // ...one batched decision...
+        policy.decide_lanes(&mut requests);
+        // ...and scatter the actions back into the environments.
+        let decided: Vec<(usize, Vec<DefenderAction>)> =
+            requests.into_iter().map(|r| (r.lane, r.actions)).collect();
+        for (k, actions) in decided {
+            lanes[k].advance(&actions);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{PlaybookPolicy, SemiRandomPolicy};
+    use crate::rollout::{rollout_serial, RolloutPlan};
+    use ics_sim::SimConfig;
+
+    fn plan(episodes: usize, threads: usize) -> RolloutPlan {
+        RolloutPlan {
+            sim: SimConfig::tiny().with_max_time(100),
+            episodes,
+            seed: 7,
+            threads,
+        }
+    }
+
+    #[test]
+    fn ragged_tail_batches_cover_every_episode() {
+        // 7 episodes in lanes of 3: batches of 3, 3 and 1.
+        let serial = rollout_serial(&mut PlaybookPolicy::new(), &plan(7, 1));
+        let engine = SyncBatchEngine::new(3);
+        let batched = engine.rollout(&plan(7, 2), &|| {
+            Box::new(PlaybookPolicy::new()) as Box<dyn DefenderPolicy>
+        });
+        assert_eq!(serial, batched);
+        assert_eq!(batched.len(), 7);
+    }
+
+    #[test]
+    fn rng_hungry_policies_keep_their_per_lane_streams() {
+        // The semi-random baseline consumes the decision RNG every step, so
+        // any cross-lane sharing of streams would change transcripts.
+        let serial = rollout_serial(&mut SemiRandomPolicy::new(), &plan(5, 1));
+        let engine = SyncBatchEngine::new(4);
+        let batched = engine.rollout(&plan(5, 2), &|| {
+            Box::new(SemiRandomPolicy::new()) as Box<dyn DefenderPolicy>
+        });
+        assert_eq!(serial, batched);
+    }
+
+    #[test]
+    fn engine_configuration_is_clamped_and_env_driven() {
+        assert_eq!(SyncBatchEngine::new(0).lanes(), 1);
+        assert_eq!(SyncBatchEngine::new(16).lanes(), 16);
+    }
+
+    #[test]
+    fn zero_episodes_yield_no_batches() {
+        let engine = SyncBatchEngine::new(8);
+        let out = engine.rollout(&plan(0, 2), &|| {
+            Box::new(PlaybookPolicy::new()) as Box<dyn DefenderPolicy>
+        });
+        assert!(out.is_empty());
+    }
+}

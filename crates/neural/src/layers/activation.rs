@@ -1,5 +1,6 @@
 //! Element-wise activation layers.
 
+use crate::batch::Batch;
 use crate::layers::{cache_input, Layer};
 use crate::matrix::Matrix;
 use crate::param::Param;
@@ -106,6 +107,15 @@ impl Layer for Activation {
         out.map_inplace(|x| self.kind.apply(x));
         cache_input(&mut self.cached_output, &out);
         out
+    }
+
+    fn forward_batch(&mut self, input: &Batch, scratch: &mut Scratch) -> Batch {
+        // Element-wise, so the stacked pass is trivially bit-identical per
+        // item; the backward cache (the last solo forward's output) is left
+        // untouched.
+        let mut out = scratch.take_copy(input.matrix());
+        out.map_inplace(|x| self.kind.apply(x));
+        Batch::new(out, input.items())
     }
 
     fn backward(&mut self, grad_output: &Matrix, scratch: &mut Scratch) -> Matrix {

@@ -5,6 +5,7 @@
 //! number of nodes: the same query/key/value projections apply to every node
 //! embedding, and the attention matrix mixes information across nodes.
 
+use crate::batch::Batch;
 use crate::init::xavier_uniform;
 use crate::layers::Layer;
 use crate::matrix::Matrix;
@@ -124,6 +125,59 @@ impl Layer for SelfAttention {
             mixed,
         });
         output
+    }
+
+    fn forward_batch(&mut self, input: &Batch, scratch: &mut Scratch) -> Batch {
+        // Attention mixes information across rows, so the batch's item
+        // boundary is load-bearing: the attention matrix is block-diagonal
+        // over items (each item's rows attend only to that item's rows).
+        // The projections are row-wise and run as single stacked matmuls;
+        // the score/softmax/mix stage runs per item on gathered blocks with
+        // exactly the kernel calls of the solo forward, so every item's
+        // output is bit-identical to [`SelfAttention::forward`] on that item
+        // alone — not approximately equal. The backward cache (including
+        // `last_attention`) is left untouched.
+        let b = input.items();
+        let n = input.rows_per_item();
+        let rows = b * n;
+        let mut q = scratch.take(rows, self.attn_dim);
+        input.matrix().matmul_into(&self.wq.value, &mut q);
+        let mut k = scratch.take(rows, self.attn_dim);
+        input.matrix().matmul_into(&self.wk.value, &mut k);
+        let mut v = scratch.take(rows, self.attn_dim);
+        input.matrix().matmul_into(&self.wv.value, &mut v);
+
+        let scale = 1.0 / (self.attn_dim as f32).sqrt();
+        let mut qi = scratch.take(n, self.attn_dim);
+        let mut ki = scratch.take(n, self.attn_dim);
+        let mut vi = scratch.take(n, self.attn_dim);
+        let mut attn = scratch.take(n, n);
+        let mut mixed_i = scratch.take(n, self.attn_dim);
+        let mut mixed = scratch.take(rows, self.attn_dim);
+        for item in 0..b {
+            let start = item * n;
+            q.copy_row_block_into(start, &mut qi);
+            k.copy_row_block_into(start, &mut ki);
+            v.copy_row_block_into(start, &mut vi);
+            qi.matmul_transb_into(&ki, &mut attn);
+            attn.scale_inplace(scale);
+            attn.softmax_rows_inplace();
+            attn.matmul_into(&vi, &mut mixed_i);
+            mixed.write_row_block(start, &mixed_i);
+        }
+        let mut out = Batch::take(scratch, b, n, self.wo.value.cols());
+        mixed.matmul_into(&self.wo.value, out.matrix_mut());
+
+        scratch.recycle(q);
+        scratch.recycle(k);
+        scratch.recycle(v);
+        scratch.recycle(qi);
+        scratch.recycle(ki);
+        scratch.recycle(vi);
+        scratch.recycle(attn);
+        scratch.recycle(mixed_i);
+        scratch.recycle(mixed);
+        out
     }
 
     fn backward(&mut self, grad_output: &Matrix, scratch: &mut Scratch) -> Matrix {

@@ -4,6 +4,7 @@
 //! stride over the observation-history axis, treating each time step's
 //! feature vector as the channel dimension.
 
+use crate::batch::Batch;
 use crate::init::xavier_uniform;
 use crate::layers::{cache_input, Layer};
 use crate::matrix::Matrix;
@@ -64,10 +65,9 @@ impl Conv1d {
         self.weight.value.cols()
     }
 
-    /// Copies the strided input window for output step `t_out` into `win`
-    /// (a `1 x kernel*channels_in` buffer), without allocating.
-    fn window_into(&self, input: &Matrix, t_out: usize, win: &mut Matrix) {
-        let start = t_out * self.stride;
+    /// Copies the input window starting at row `start` into `win` (a
+    /// `1 x kernel*channels_in` buffer), without allocating.
+    fn window_into(&self, input: &Matrix, start: usize, win: &mut Matrix) {
         for k in 0..self.kernel {
             win.row_mut(0)[k * self.channels_in..(k + 1) * self.channels_in]
                 .copy_from_slice(input.row(start + k));
@@ -91,10 +91,45 @@ impl Layer for Conv1d {
         let mut win = scratch.take(1, self.kernel * self.channels_in);
         let mut y = scratch.take(1, c_out);
         for t in 0..t_out {
-            self.window_into(input, t, &mut win);
+            self.window_into(input, t * self.stride, &mut win);
             win.matmul_into(&self.weight.value, &mut y);
             y.add_row_inplace(&self.bias.value);
             out.row_mut(t).copy_from_slice(y.row(0));
+        }
+        scratch.recycle(win);
+        scratch.recycle(y);
+        out
+    }
+
+    fn forward_batch(&mut self, input: &Batch, scratch: &mut Scratch) -> Batch {
+        assert_eq!(
+            input.cols(),
+            self.channels_in,
+            "conv1d channel mismatch: expected {}, got {}",
+            self.channels_in,
+            input.cols()
+        );
+        // The convolution strides over each item's own time axis: windows
+        // start at the item boundary, so no window ever straddles two items
+        // and every item's output matches a solo forward bit for bit. The
+        // backward cache is left untouched (inference path).
+        let t_in = input.rows_per_item();
+        let t_out = self.output_len(t_in);
+        let c_out = self.channels_out();
+        let mut out = Batch::take(scratch, input.items(), t_out, c_out);
+        let mut win = scratch.take(1, self.kernel * self.channels_in);
+        let mut y = scratch.take(1, c_out);
+        for item in 0..input.items() {
+            let in_base = item * t_in;
+            let out_base = item * t_out;
+            for t in 0..t_out {
+                self.window_into(input.matrix(), in_base + t * self.stride, &mut win);
+                win.matmul_into(&self.weight.value, &mut y);
+                y.add_row_inplace(&self.bias.value);
+                out.matrix_mut()
+                    .row_mut(out_base + t)
+                    .copy_from_slice(y.row(0));
+            }
         }
         scratch.recycle(win);
         scratch.recycle(y);
@@ -112,7 +147,7 @@ impl Layer for Conv1d {
         let mut win = scratch.take(1, self.kernel * self.channels_in);
         for t in 0..t_out {
             let grad_row = grad_output.row(t);
-            self.window_into(&input, t, &mut win);
+            self.window_into(&input, t * self.stride, &mut win);
             // W.grad += windowᵀ · grad_row (rank-1), b.grad += grad_row.
             self.weight.grad.add_outer(win.row(0), grad_row);
             for (b, &g) in self.bias.grad.row_mut(0).iter_mut().zip(grad_row) {

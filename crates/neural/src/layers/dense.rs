@@ -1,5 +1,6 @@
 //! Fully-connected layer.
 
+use crate::batch::Batch;
 use crate::init::xavier_uniform;
 use crate::layers::{cache_input, Layer};
 use crate::matrix::Matrix;
@@ -55,6 +56,25 @@ impl Layer for Dense {
         let mut out = scratch.take(input.rows(), self.weight.value.cols());
         input.matmul_into(&self.weight.value, &mut out);
         out.add_row_inplace(&self.bias.value);
+        out
+    }
+
+    fn forward_batch(&mut self, input: &Batch, scratch: &mut Scratch) -> Batch {
+        // The affine map is row-wise and the tiled kernel reduces each output
+        // element over ascending `k` independently of the row count, so one
+        // stacked matmul is bit-identical per item to a solo forward — no
+        // item boundary needed. The backward cache is deliberately left
+        // alone: this is the inference path.
+        let mut out = Batch::take(
+            scratch,
+            input.items(),
+            input.rows_per_item(),
+            self.weight.value.cols(),
+        );
+        input
+            .matrix()
+            .matmul_into(&self.weight.value, out.matrix_mut());
+        out.matrix_mut().add_row_inplace(&self.bias.value);
         out
     }
 

@@ -12,6 +12,7 @@ pub use conv1d::Conv1d;
 pub use dense::Dense;
 pub use sequential::Sequential;
 
+use crate::batch::Batch;
 use crate::matrix::Matrix;
 use crate::param::Param;
 use crate::scratch::Scratch;
@@ -26,7 +27,12 @@ use crate::scratch::Scratch;
 /// accumulating across samples until the optimizer steps and
 /// [`Layer::zero_grad`] is called.
 ///
-/// Both passes draw their output and temporary matrices from the caller's
+/// [`Layer::forward_batch`] is the inference-only batch-first path: it
+/// processes many independent items in one pass, leaves every backward cache
+/// untouched, and guarantees each item's output is bit-identical to a solo
+/// [`Layer::forward`] call on that item.
+///
+/// All passes draw their output and temporary matrices from the caller's
 /// [`Scratch`] pool; returned matrices should eventually be
 /// [`Scratch::recycle`]d so the steady-state pass allocates nothing. Layers
 /// reuse their internal caches across calls for the same reason.
@@ -35,6 +41,24 @@ pub trait Layer: Send {
     /// needed by [`Layer::backward`]. The returned matrix comes from
     /// `scratch`.
     fn forward(&mut self, input: &Matrix, scratch: &mut Scratch) -> Matrix;
+
+    /// Computes the layer output for a [`Batch`] of independent items.
+    ///
+    /// Two contracts distinguish this from [`Layer::forward`] on the stacked
+    /// matrix:
+    ///
+    /// * **per-item bit-exactness** — item `i` of the output is bit-identical
+    ///   to `forward` on item `i` alone. Row-wise layers get this for free
+    ///   (the tiled kernels reduce each output element over ascending `k`
+    ///   regardless of how many rows are stacked); layers that mix rows
+    ///   (self-attention, 1-D convolution) respect the batch's item boundary
+    ///   explicitly, so no information leaks between items.
+    /// * **inference-only** — no backward cache is written or clobbered; a
+    ///   `forward`/`backward` pair may bracket any number of
+    ///   `forward_batch` calls.
+    ///
+    /// The returned batch's buffers come from `scratch`.
+    fn forward_batch(&mut self, input: &Batch, scratch: &mut Scratch) -> Batch;
 
     /// Propagates the gradient of the loss with respect to the layer output
     /// back to the layer input, accumulating parameter gradients. The

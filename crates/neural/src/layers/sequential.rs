@@ -1,5 +1,6 @@
 //! A container that chains layers.
 
+use crate::batch::Batch;
 use crate::layers::Layer;
 use crate::matrix::Matrix;
 use crate::param::Param;
@@ -39,6 +40,16 @@ impl Layer for Sequential {
         for layer in &mut self.layers {
             let y = layer.forward(&x, scratch);
             scratch.recycle(x);
+            x = y;
+        }
+        x
+    }
+
+    fn forward_batch(&mut self, input: &Batch, scratch: &mut Scratch) -> Batch {
+        let mut x = Batch::new(scratch.take_copy(input.matrix()), input.items());
+        for layer in &mut self.layers {
+            let y = layer.forward_batch(&x, scratch);
+            scratch.recycle(x.into_matrix());
             x = y;
         }
         x

@@ -20,6 +20,11 @@
 //! Every forward/backward pass takes a [`Scratch`] buffer pool; at steady
 //! state the layers perform zero heap allocations (see [`scratch`]).
 //!
+//! Inference is batch-first: every layer also exposes
+//! [`Layer::forward_batch`] over a strided [`Batch`] of independent items,
+//! amortising kernel and dispatch overhead across items while keeping each
+//! item's output bit-identical to a solo forward pass (see [`batch`]).
+//!
 //! # Example
 //!
 //! ```
@@ -52,6 +57,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod init;
 pub mod layers;
 pub mod loss;
@@ -60,6 +66,7 @@ pub mod optim;
 pub mod param;
 pub mod scratch;
 
+pub use batch::Batch;
 pub use layers::Layer;
 pub use matrix::Matrix;
 pub use param::Param;

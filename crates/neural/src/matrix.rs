@@ -164,14 +164,18 @@ impl Matrix {
 
     /// Accumulates `a * b` into `self` (`self += a·b`) without allocating.
     ///
-    /// The kernel is blocked into 32-column register tiles: each tile of the
-    /// output row accumulates in registers across the entire `k` loop (the
-    /// output is loaded and stored once per tile instead of once per `k`),
-    /// and the 32-lane tile auto-vectorizes. Within every output element the
+    /// The kernel is blocked into register tiles of 4 output rows × 32
+    /// output columns: each tile accumulates in registers across the entire
+    /// `k` loop (outputs are loaded and stored once per tile instead of once
+    /// per `k`), every loaded 32-lane slice of `b` is reused by all four
+    /// rows of the tile (4× less streaming of the shared weight matrix —
+    /// what makes batched inference faster per state than solo inference),
+    /// and the 32-lane tiles auto-vectorize. Within every output element the
     /// accumulation order is ascending `k` — the naive dot-product order —
     /// so `matmul_into` (which starts from zero) reproduces the naive kernel
-    /// bit-for-bit at every size. Dense inputs take no data-dependent
-    /// branches (`0 × NaN` correctly propagates `NaN`).
+    /// bit-for-bit at every size, *including* every row-count: stacking more
+    /// rows into a batch never changes any row's result. Dense inputs take
+    /// no data-dependent branches (`0 × NaN` correctly propagates `NaN`).
     ///
     /// # Panics
     ///
@@ -194,49 +198,18 @@ impl Matrix {
             (a.rows, b.cols),
             "matmul output shape mismatch"
         );
-        const JT: usize = 32;
         let (m, kk, n) = (a.rows, a.cols, b.cols);
-        for i in 0..m {
-            let a_row = &a.data[i * kk..(i + 1) * kk];
-            let mut j0 = 0;
-            // Hot path: full 32-lane tiles with compile-time-known widths.
-            while j0 + JT <= n {
-                let mut acc = [0.0f32; JT];
-                for (k, &av) in a_row.iter().enumerate() {
-                    let b_tile = &b.data[k * n + j0..k * n + j0 + JT];
-                    for (o, &bv) in acc.iter_mut().zip(b_tile) {
-                        *o += av * bv;
-                    }
-                }
-                let out = &mut self.data[i * n + j0..i * n + j0 + JT];
-                for (o, &v) in out.iter_mut().zip(&acc) {
-                    if ACCUMULATE {
-                        *o += v;
-                    } else {
-                        *o = v;
-                    }
-                }
-                j0 += JT;
-            }
-            // Ragged tail: same ascending-k accumulation, runtime width.
-            if j0 < n {
-                let jb = n - j0;
-                let mut acc = [0.0f32; JT];
-                for (k, &av) in a_row.iter().enumerate() {
-                    let b_tile = &b.data[k * n + j0..k * n + j0 + jb];
-                    for (o, &bv) in acc[..jb].iter_mut().zip(b_tile) {
-                        *o += av * bv;
-                    }
-                }
-                let out = &mut self.data[i * n + j0..i * n + j0 + jb];
-                for (o, &v) in out.iter_mut().zip(&acc[..jb]) {
-                    if ACCUMULATE {
-                        *o += v;
-                    } else {
-                        *o = v;
-                    }
-                }
-            }
+        // Full 4-row blocks first (the shared-b hot path), then the ragged
+        // row tail one row at a time. Both paths are monomorphized over the
+        // block height so every accumulator tile stays in registers.
+        let mut i0 = 0;
+        while i0 + 4 <= m {
+            mm_row_block::<ACCUMULATE, 4>(&mut self.data, &a.data, &b.data, i0, kk, n);
+            i0 += 4;
+        }
+        while i0 < m {
+            mm_row_block::<ACCUMULATE, 1>(&mut self.data, &a.data, &b.data, i0, kk, n);
+            i0 += 1;
         }
     }
 
@@ -629,6 +602,45 @@ impl Matrix {
         &mut self.data[row * self.cols..(row + 1) * self.cols]
     }
 
+    /// Copies the contiguous row block `src_row .. src_row + out.rows()` into
+    /// `out` — the gather half of the batch view's per-item access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column counts differ or the block runs past the last row.
+    pub fn copy_row_block_into(&self, src_row: usize, out: &mut Matrix) {
+        assert_eq!(self.cols, out.cols, "row block column mismatch");
+        assert!(
+            src_row + out.rows <= self.rows,
+            "row block {}..{} out of {} rows",
+            src_row,
+            src_row + out.rows,
+            self.rows
+        );
+        let start = src_row * self.cols;
+        let len = out.data.len();
+        out.data.copy_from_slice(&self.data[start..start + len]);
+    }
+
+    /// Overwrites the contiguous row block starting at `dst_row` with `src` —
+    /// the scatter half of the batch view's per-item access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column counts differ or the block runs past the last row.
+    pub fn write_row_block(&mut self, dst_row: usize, src: &Matrix) {
+        assert_eq!(self.cols, src.cols, "row block column mismatch");
+        assert!(
+            dst_row + src.rows <= self.rows,
+            "row block {}..{} out of {} rows",
+            dst_row,
+            dst_row + src.rows,
+            self.rows
+        );
+        let start = dst_row * self.cols;
+        self.data[start..start + src.data.len()].copy_from_slice(&src.data);
+    }
+
     /// Consumes the matrix, returning its backing buffer (for buffer pools).
     pub fn into_data(self) -> Vec<f32> {
         self.data
@@ -740,6 +752,74 @@ impl Matrix {
     /// Whether the matrix has zero elements.
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
+    }
+}
+
+/// One `IB`-row × 32-column register-tile pass of the matmul kernel:
+/// computes output rows `i0 .. i0 + IB` across all `n` columns. Every loaded
+/// 32-lane slice of `b` feeds all `IB` rows (the weight-reuse that makes
+/// batched inference cheaper per state), each output element accumulates in
+/// ascending-`k` order (bit-identical to the naive kernel for every block
+/// height), and `IB` is a compile-time constant so the accumulator tile
+/// stays in registers.
+#[inline(always)]
+fn mm_row_block<const ACCUMULATE: bool, const IB: usize>(
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    i0: usize,
+    kk: usize,
+    n: usize,
+) {
+    const JT: usize = 32;
+    let mut j0 = 0;
+    // Hot path: full 32-lane tiles with compile-time-known widths.
+    while j0 + JT <= n {
+        let mut acc = [[0.0f32; JT]; IB];
+        for k in 0..kk {
+            let b_tile = &b[k * n + j0..k * n + j0 + JT];
+            for (r, acc_row) in acc.iter_mut().enumerate() {
+                let av = a[(i0 + r) * kk + k];
+                for (o, &bv) in acc_row.iter_mut().zip(b_tile) {
+                    *o += av * bv;
+                }
+            }
+        }
+        for (r, acc_row) in acc.iter().enumerate() {
+            let at = (i0 + r) * n + j0;
+            for (o, &v) in out[at..at + JT].iter_mut().zip(acc_row) {
+                if ACCUMULATE {
+                    *o += v;
+                } else {
+                    *o = v;
+                }
+            }
+        }
+        j0 += JT;
+    }
+    // Ragged column tail: same ascending-k accumulation, runtime width.
+    if j0 < n {
+        let jb = n - j0;
+        let mut acc = [[0.0f32; JT]; IB];
+        for k in 0..kk {
+            let b_tile = &b[k * n + j0..k * n + j0 + jb];
+            for (r, acc_row) in acc.iter_mut().enumerate() {
+                let av = a[(i0 + r) * kk + k];
+                for (o, &bv) in acc_row[..jb].iter_mut().zip(b_tile) {
+                    *o += av * bv;
+                }
+            }
+        }
+        for (r, acc_row) in acc.iter().enumerate() {
+            let at = (i0 + r) * n + j0;
+            for (o, &v) in out[at..at + jb].iter_mut().zip(&acc_row[..jb]) {
+                if ACCUMULATE {
+                    *o += v;
+                } else {
+                    *o = v;
+                }
+            }
+        }
     }
 }
 
@@ -948,6 +1028,19 @@ mod tests {
         row.row_mut(0)[0] = 9.0;
         assert_eq!(row.get(0, 0), 9.0);
         assert_eq!(a.clone().into_data(), a.data());
+    }
+
+    #[test]
+    fn row_blocks_gather_and_scatter() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0], &[7.0, 8.0]]);
+        let mut block = Matrix::zeros(2, 2);
+        m.copy_row_block_into(1, &mut block);
+        assert_eq!(block, Matrix::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]));
+        let mut out = Matrix::zeros(4, 2);
+        out.write_row_block(2, &block);
+        assert_eq!(out.row(2), &[3.0, 4.0]);
+        assert_eq!(out.row(3), &[5.0, 6.0]);
+        assert_eq!(out.row(0), &[0.0, 0.0]);
     }
 
     #[test]

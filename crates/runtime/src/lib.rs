@@ -40,6 +40,26 @@ pub fn threads_from(var: Option<&str>) -> usize {
     }
 }
 
+/// Environment variable that turns on the lockstep batched rollout engine
+/// and sets its lane count (`0`, empty or unparsable values leave the
+/// engine off). `ACSO_BATCH=1` runs the batched engine with a single lane —
+/// useful for pinning down that the engine itself, not the batch width, is
+/// transcript-neutral.
+pub const BATCH_ENV_VAR: &str = "ACSO_BATCH";
+
+/// Lockstep-batch lane count: `Some(n)` if `ACSO_BATCH` is set to a positive
+/// integer, `None` (engine off) otherwise.
+pub fn batch_lanes() -> Option<usize> {
+    batch_lanes_from(std::env::var(BATCH_ENV_VAR).ok().as_deref())
+}
+
+/// Parses a batch-lane override. Split out from [`batch_lanes`] so the
+/// parsing is testable without touching process-global environment state.
+pub fn batch_lanes_from(var: Option<&str>) -> Option<usize> {
+    var.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|n| *n > 0)
+}
+
 /// Deterministic per-episode base seed: `base ^ episode_index`.
 ///
 /// Episode `i` of a run seeded with `base` always sees the same RNG stream,
@@ -224,6 +244,16 @@ mod tests {
         assert!(detected >= 1);
         assert_eq!(threads_from(Some("0")), detected);
         assert_eq!(threads_from(Some("lots")), detected);
+    }
+
+    #[test]
+    fn batch_lane_parsing_requires_a_positive_integer() {
+        assert_eq!(batch_lanes_from(Some("16")), Some(16));
+        assert_eq!(batch_lanes_from(Some(" 1 ")), Some(1));
+        assert_eq!(batch_lanes_from(Some("0")), None);
+        assert_eq!(batch_lanes_from(Some("many")), None);
+        assert_eq!(batch_lanes_from(Some("")), None);
+        assert_eq!(batch_lanes_from(None), None);
     }
 
     #[test]

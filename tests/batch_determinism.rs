@@ -1,0 +1,109 @@
+//! The batched engine's core guarantee, pinned across the whole scenario
+//! registry: for **every built-in scenario** and **all four policy
+//! families** (trained neural agent, DBN expert, playbook, semi-random),
+//! the step-synchronized [`SyncBatchEngine`] produces per-episode
+//! transcripts bit-identical to the serial engine, for any lane count and
+//! any worker-thread count.
+//!
+//! Thread and lane counts are passed explicitly (no environment variables),
+//! so the matrix here composes with whatever `ACSO_THREADS`/`ACSO_BATCH`
+//! the surrounding CI job sets; the `batch-determinism` CI step additionally
+//! exercises the env-var routing end to end through the `table2` binary.
+
+use acso_core::baselines::{DbnExpertPolicy, PlaybookPolicy, SemiRandomPolicy};
+use acso_core::rollout::{rollout_serial, RolloutPlan, SyncBatchEngine};
+use acso_core::train::{train_attention_acso, TrainConfig};
+use acso_core::{DefenderPolicy, ScenarioRegistry};
+use ics_sim::metrics::EpisodeMetrics;
+use ics_sim::SimConfig;
+
+const EPISODES: usize = 4;
+const MAX_TIME: u64 = 50;
+
+/// (lanes, threads) pairs exercised for every scenario × policy cell:
+/// single-lane batches (the engine itself must be transcript-neutral) and
+/// multi-lane batches wider than the episode count (one lockstep batch
+/// covering everything), across serial and parallel workers. Ragged-tail
+/// lane splits are covered by the engine's own unit tests.
+const ENGINE_MATRIX: &[(usize, usize)] = &[(1, 1), (16, 4)];
+
+fn plan(sim: &SimConfig, threads: usize) -> RolloutPlan {
+    RolloutPlan {
+        sim: sim.clone().with_max_time(MAX_TIME),
+        episodes: EPISODES,
+        seed: 29,
+        threads,
+    }
+}
+
+/// Asserts serial-vs-batched equality for one policy factory on one
+/// scenario's simulator.
+fn assert_engine_matrix<F>(scenario: &str, policy: &str, sim: &SimConfig, make: F)
+where
+    F: Fn() -> Box<dyn DefenderPolicy> + Sync,
+{
+    let mut serial_policy = make();
+    let serial: Vec<EpisodeMetrics> = rollout_serial(serial_policy.as_mut(), &plan(sim, 1));
+    for &(lanes, threads) in ENGINE_MATRIX {
+        let batched = SyncBatchEngine::new(lanes).rollout(&plan(sim, threads), &make);
+        assert_eq!(
+            serial, batched,
+            "{scenario}/{policy}: lanes={lanes} threads={threads} diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn batched_transcripts_match_serial_for_every_scenario_and_policy() {
+    let registry = ScenarioRegistry::builtin();
+    assert!(
+        registry.len() >= 11,
+        "registry shrank to {} scenarios",
+        registry.len()
+    );
+    for scenario in &registry {
+        let sim = scenario.config.clone().with_max_time(MAX_TIME);
+
+        // Train this scenario's own agent and DBN filter (smoke scale): the
+        // agent's action space and beliefs must match the scenario topology.
+        let trained = train_attention_acso(&TrainConfig {
+            sim: sim.clone(),
+            agent: acso_core::agent::AgentConfig::smoke(),
+            episodes: 1,
+            dbn_episodes: 2,
+            dbn_threads: None,
+            seed: 0,
+        });
+        let mut agent = trained.agent;
+        agent.set_explore(false);
+        let model = trained.dbn_model;
+
+        assert_engine_matrix(&scenario.name, "ACSO", &sim, || {
+            Box::new(agent.eval_clone()) as Box<dyn DefenderPolicy>
+        });
+        assert_engine_matrix(&scenario.name, "DBN Expert", &sim, {
+            let model = model.clone();
+            move || Box::new(DbnExpertPolicy::new(model.clone())) as Box<dyn DefenderPolicy>
+        });
+        assert_engine_matrix(&scenario.name, "Playbook", &sim, || {
+            Box::new(PlaybookPolicy::new()) as Box<dyn DefenderPolicy>
+        });
+        assert_engine_matrix(&scenario.name, "Semi Random", &sim, || {
+            Box::new(SemiRandomPolicy::new()) as Box<dyn DefenderPolicy>
+        });
+    }
+}
+
+#[test]
+fn env_routed_evaluation_matches_the_explicit_engines() {
+    // The `ACSO_BATCH` routing in the evaluation pipeline must select an
+    // engine, never change results: compare the two engines' outputs through
+    // the public evaluation entry point's building blocks.
+    let sim = SimConfig::tiny().with_max_time(80);
+    let serial = rollout_serial(&mut PlaybookPolicy::new(), &plan(&sim, 1));
+    let engine = SyncBatchEngine::from_env().unwrap_or(SyncBatchEngine::new(8));
+    let batched = engine.rollout(&plan(&sim, 4), &|| {
+        Box::new(PlaybookPolicy::new()) as Box<dyn DefenderPolicy>
+    });
+    assert_eq!(serial, batched);
+}
