@@ -40,23 +40,23 @@ fn bench_training_slice(c: &mut Criterion) {
             let mut agent = AcsoAgent::new(env.topology(), model.clone(), net, config);
             agent.begin_episode();
             let obs = env.reset();
-            let (mut action, mut features) = agent.select_action(&obs);
+            let (mut action, mut state) = agent.select_action(&obs);
             let mut updates = 0u32;
             for _ in 0..64 {
                 let step = env.step(&[agent.action_space().decode(action)]);
-                let (next_action, next_features) = agent.select_action(&step.observation);
+                let (next_action, next_state) = agent.select_action(&step.observation);
                 agent.store_transition(
-                    features,
+                    state,
                     action,
                     step.reward + step.shaping_reward,
-                    next_features.clone(),
+                    next_state,
                     step.done,
                 );
                 if agent.maybe_train().is_some() {
                     updates += 1;
                 }
                 action = next_action;
-                features = next_features;
+                state = next_state;
             }
             updates
         })

@@ -69,6 +69,26 @@ const METRICS: &[(&str, &str, Direction)] = &[
         "base batched ns/state",
         Direction::LowerIsBetter,
     ),
+    (
+        "attention_batched_update_ns",
+        "attn update ns",
+        Direction::LowerIsBetter,
+    ),
+    (
+        "baseline_batched_update_ns",
+        "base update ns",
+        Direction::LowerIsBetter,
+    ),
+    (
+        "attention_update_speedup",
+        "attn update speedup",
+        Direction::HigherIsBetter,
+    ),
+    (
+        "baseline_update_speedup",
+        "base update speedup",
+        Direction::HigherIsBetter,
+    ),
 ];
 
 /// Extracts the number following `"key":` from a JSON document. The

@@ -1,8 +1,9 @@
 //! Perf-trajectory smoke benchmark: measures simulator rollout throughput
 //! (serial vs parallel vs lockstep-batched), neural forward/backward cost,
-//! and batched-inference speedup, and emits a `BENCH_<n>.json` snapshot so
-//! the repository tracks performance across PRs (summarise the trajectory
-//! with the `bench_compare` binary).
+//! batched-inference speedup, and the batched-vs-serial DQN update cost,
+//! and emits a `BENCH_<n>.json` snapshot so the repository tracks
+//! performance across PRs (summarise the trajectory with the
+//! `bench_compare` binary).
 //!
 //! Usage:
 //!
@@ -14,7 +15,8 @@
 //! (stdout always gets a human-readable summary). `ACSO_THREADS` pins the
 //! parallel worker count.
 
-use acso_core::agent::{AttentionQNet, BaselineConvQNet, QNetwork};
+use acso_bench::prefilled_update_agent;
+use acso_core::agent::{AttentionQNet, BaselineConvQNet, QNetwork, UpdateMode};
 use acso_core::baselines::PlaybookPolicy;
 use acso_core::features::NodeFeatureEncoder;
 use acso_core::rollout::{rollout, rollout_serial, RolloutPlan, SyncBatchEngine};
@@ -145,6 +147,67 @@ fn measure_batched_inference(iters: usize, batch: usize) -> BatchedInference {
     }
 }
 
+struct BatchedTraining {
+    batch: usize,
+    attention_batched_update_ns: f64,
+    attention_serial_update_ns: f64,
+    baseline_batched_update_ns: f64,
+    baseline_serial_update_ns: f64,
+}
+
+impl BatchedTraining {
+    fn attention_speedup(&self) -> f64 {
+        self.attention_serial_update_ns / self.attention_batched_update_ns
+    }
+
+    fn baseline_speedup(&self) -> f64 {
+        self.baseline_serial_update_ns / self.baseline_batched_update_ns
+    }
+}
+
+/// Measures one full DQN gradient update (bootstrap, forward, backward,
+/// optimizer step) per mode: the batched stacked pass versus the
+/// per-sample solo-loop reference. The two are bit-identical in result, so
+/// the ratio is pure implementation speedup.
+fn measure_batched_training(iters: usize, batch: usize) -> BatchedTraining {
+    let mut attention = prefilled_update_agent(|s| AttentionQNet::new(s, 0), batch);
+    let mut baseline = prefilled_update_agent(|s| BaselineConvQNet::new(s, 0), batch);
+
+    let per_update = |f: &mut dyn FnMut()| {
+        f(); // warm-up (fills the scratch pools)
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        start.elapsed().as_nanos() as f64 / iters as f64
+    };
+
+    attention.set_update_mode(UpdateMode::Batched);
+    let attention_batched_update_ns = per_update(&mut || {
+        std::hint::black_box(attention.maybe_train().expect("update"));
+    });
+    attention.set_update_mode(UpdateMode::Serial);
+    let attention_serial_update_ns = per_update(&mut || {
+        std::hint::black_box(attention.maybe_train().expect("update"));
+    });
+    baseline.set_update_mode(UpdateMode::Batched);
+    let baseline_batched_update_ns = per_update(&mut || {
+        std::hint::black_box(baseline.maybe_train().expect("update"));
+    });
+    baseline.set_update_mode(UpdateMode::Serial);
+    let baseline_serial_update_ns = per_update(&mut || {
+        std::hint::black_box(baseline.maybe_train().expect("update"));
+    });
+
+    BatchedTraining {
+        batch,
+        attention_batched_update_ns,
+        attention_serial_update_ns,
+        baseline_batched_update_ns,
+        baseline_serial_update_ns,
+    }
+}
+
 struct NnForward {
     attention_forward_ns: f64,
     attention_forward_backward_ns: f64,
@@ -247,8 +310,26 @@ fn main() {
         batched.baseline_speedup()
     );
 
+    let training = measure_batched_training(iters.max(40) / 8, 32);
+    println!(
+        "batched_training (paper_small topology, minibatch {}):",
+        training.batch
+    );
+    println!(
+        "  attention update: {:>10.0} -> {:>10.0} ns ({:.2}x)",
+        training.attention_serial_update_ns,
+        training.attention_batched_update_ns,
+        training.attention_speedup()
+    );
+    println!(
+        "  baseline update:  {:>10.0} -> {:>10.0} ns ({:.2}x)",
+        training.baseline_serial_update_ns,
+        training.baseline_batched_update_ns,
+        training.baseline_speedup()
+    );
+
     let json = format!(
-        "{{\n  \"schema\": \"acso-bench-smoke/v2\",\n  \"mode\": \"{mode}\",\n  \"threads\": {threads},\n  \"sim_throughput\": {{\n    \"policy\": \"Playbook\",\n    \"topology\": \"paper_small\",\n    \"episodes\": {episodes},\n    \"hours_per_episode\": {hours},\n    \"serial_steps_per_sec\": {serial:.0},\n    \"parallel_steps_per_sec\": {parallel:.0},\n    \"parallel_speedup\": {speedup:.3}\n  }},\n  \"nn_forward\": {{\n    \"topology\": \"paper_small\",\n    \"iters\": {iters},\n    \"attention_forward_ns_per_op\": {af:.0},\n    \"attention_forward_backward_ns_per_op\": {afb:.0},\n    \"baseline_forward_ns_per_op\": {bf:.0}\n  }},\n  \"batched_inference\": {{\n    \"topology\": \"paper_small\",\n    \"batch\": {batch},\n    \"attention_per_state_ns\": {aps:.0},\n    \"attention_batched_ns_per_state\": {abs:.0},\n    \"attention_batched_speedup\": {asp:.3},\n    \"baseline_per_state_ns\": {bps:.0},\n    \"baseline_batched_ns_per_state\": {bbs:.0},\n    \"baseline_batched_speedup\": {bsp:.3}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"acso-bench-smoke/v3\",\n  \"mode\": \"{mode}\",\n  \"threads\": {threads},\n  \"sim_throughput\": {{\n    \"policy\": \"Playbook\",\n    \"topology\": \"paper_small\",\n    \"episodes\": {episodes},\n    \"hours_per_episode\": {hours},\n    \"serial_steps_per_sec\": {serial:.0},\n    \"parallel_steps_per_sec\": {parallel:.0},\n    \"parallel_speedup\": {speedup:.3}\n  }},\n  \"nn_forward\": {{\n    \"topology\": \"paper_small\",\n    \"iters\": {iters},\n    \"attention_forward_ns_per_op\": {af:.0},\n    \"attention_forward_backward_ns_per_op\": {afb:.0},\n    \"baseline_forward_ns_per_op\": {bf:.0}\n  }},\n  \"batched_inference\": {{\n    \"topology\": \"paper_small\",\n    \"batch\": {batch},\n    \"attention_per_state_ns\": {aps:.0},\n    \"attention_batched_ns_per_state\": {abs:.0},\n    \"attention_batched_speedup\": {asp:.3},\n    \"baseline_per_state_ns\": {bps:.0},\n    \"baseline_batched_ns_per_state\": {bbs:.0},\n    \"baseline_batched_speedup\": {bsp:.3}\n  }},\n  \"batched_training\": {{\n    \"topology\": \"paper_small\",\n    \"minibatch\": {tbatch},\n    \"attention_batched_update_ns\": {tab:.0},\n    \"attention_serial_update_ns\": {tas:.0},\n    \"attention_update_speedup\": {tasp:.3},\n    \"baseline_batched_update_ns\": {tbb:.0},\n    \"baseline_serial_update_ns\": {tbs:.0},\n    \"baseline_update_speedup\": {tbsp:.3}\n  }}\n}}\n",
         mode = if quick { "quick" } else { "full" },
         threads = sim.threads,
         episodes = sim.episodes,
@@ -267,6 +348,13 @@ fn main() {
         bps = batched.baseline_per_state_ns,
         bbs = batched.baseline_batched_ns_per_state,
         bsp = batched.baseline_speedup(),
+        tbatch = training.batch,
+        tab = training.attention_batched_update_ns,
+        tas = training.attention_serial_update_ns,
+        tasp = training.attention_speedup(),
+        tbb = training.baseline_batched_update_ns,
+        tbs = training.baseline_serial_update_ns,
+        tbsp = training.baseline_speedup(),
     );
     if let Some(path) = out_path {
         std::fs::write(&path, &json).expect("failed to write benchmark snapshot");

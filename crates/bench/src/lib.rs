@@ -6,6 +6,7 @@
 
 #![warn(missing_docs)]
 
+use acso_core::agent::{AcsoAgent, AgentConfig, QNetwork};
 use acso_core::experiments::ExperimentScale;
 use acso_core::features::NodeFeatureEncoder;
 use acso_core::{ActionSpace, StateFeatures};
@@ -13,6 +14,7 @@ use dbn::learn::{learn_model, LearnConfig};
 use dbn::DbnFilter;
 use ics_net::TopologySpec;
 use ics_sim::{DefenderAction, IcsEnvironment, SimConfig};
+use rl::DqnConfig;
 
 /// Which scale an experiment binary should run at.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,6 +92,69 @@ pub fn episode_states(spec: TopologySpec, count: usize) -> (Vec<StateFeatures>, 
         }
     }
     (states, space)
+}
+
+/// Builds an agent on the `paper_small` topology with the given minibatch
+/// size and prefills its replay past warm-up by driving one exploring
+/// episode — the fixture for update benchmarks (`batched_training`,
+/// `perf_smoke`): each subsequent `maybe_train` call runs exactly one
+/// gradient update over a `batch_size` minibatch.
+pub fn prefilled_update_agent<N: QNetwork + Clone>(
+    make_network: impl FnOnce(ActionSpace) -> N,
+    batch_size: usize,
+) -> AcsoAgent<N> {
+    let steps = 200u64;
+    let sim = SimConfig {
+        topology: TopologySpec::paper_small(),
+        ..SimConfig::tiny()
+    }
+    .with_max_time(steps + 50);
+    let model = learn_model(&LearnConfig {
+        episodes: 1,
+        seed: 0,
+        sim: sim.clone(),
+    });
+    let mut env = IcsEnvironment::new(sim);
+    let space = ActionSpace::new(env.topology());
+    let config = AgentConfig {
+        dqn: DqnConfig {
+            batch_size,
+            // `maybe_train` is gated by the caller, so every explicit call
+            // during the benchmark runs one update...
+            update_every: 1,
+            warmup_transitions: 64,
+            // ...and the target network never syncs mid-measurement.
+            target_update_interval: u64::MAX,
+            ..DqnConfig::smoke()
+        },
+        learning_rate: 1e-4,
+        seed: 0,
+    };
+    let mut agent = AcsoAgent::new(env.topology(), model, make_network(space), config);
+    agent.begin_episode();
+    let obs = env.reset();
+    let (mut action, mut state) = agent.select_action(&obs);
+    for _ in 0..steps {
+        let step = env.step(&[agent.action_space().decode(action)]);
+        let (next_action, next_state) = agent.select_action(&step.observation);
+        agent.store_transition(
+            state,
+            action,
+            step.reward + step.shaping_reward,
+            next_state,
+            step.done,
+        );
+        action = next_action;
+        state = next_state;
+        if step.done {
+            break;
+        }
+    }
+    assert!(
+        agent.replay_buffered() >= 64,
+        "prefill left replay below warm-up"
+    );
+    agent
 }
 
 /// Applies the `--batch N` command-line flag: sets the `ACSO_BATCH`

@@ -10,9 +10,48 @@ use dbn::{DbnFilter, DbnModel};
 use ics_net::Topology;
 use ics_sim::{DefenderAction, Observation};
 use neural::optim::Adam;
+use neural::Matrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rl::{epsilon_greedy, DqnConfig, DqnTrainer, Transition};
+use rl::{epsilon_greedy, DqnConfig, DqnTrainer, FeatureId, Transition};
+
+/// Environment variable selecting the gradient-update implementation:
+/// unset or anything but `0`/`off`/`serial` uses the batched update (the
+/// default); `ACSO_TRAIN_BATCH=0` forces the per-sample serial loop the
+/// batched path is pinned bit-identical to.
+pub const TRAIN_BATCH_ENV_VAR: &str = "ACSO_TRAIN_BATCH";
+
+/// How [`AcsoAgent::maybe_train`] runs the double-DQN gradient update.
+///
+/// The two modes produce **bit-identical** training (weights, losses, TD
+/// errors, transcripts — pinned by `tests/train_determinism.rs`); `Serial`
+/// exists as the reference implementation and for benchmarking the batched
+/// path's speedup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UpdateMode {
+    /// One stacked forward and one stacked backward for the whole minibatch.
+    #[default]
+    Batched,
+    /// The pre-batching reference: forward/backward one replay sample at a
+    /// time.
+    Serial,
+}
+
+impl UpdateMode {
+    /// Reads [`TRAIN_BATCH_ENV_VAR`] (used at agent construction).
+    pub fn from_env() -> Self {
+        match std::env::var(TRAIN_BATCH_ENV_VAR) {
+            Ok(v)
+                if v == "0"
+                    || v.eq_ignore_ascii_case("off")
+                    || v.eq_ignore_ascii_case("serial") =>
+            {
+                UpdateMode::Serial
+            }
+            _ => UpdateMode::Batched,
+        }
+    }
+}
 
 /// Configuration of the agent's learner.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,8 +107,13 @@ pub struct AcsoAgent<N: QNetwork + Clone> {
     /// Reusable feature buffer for the greedy evaluation path, where the
     /// encoding is dead as soon as the action is chosen.
     eval_features: StateFeatures,
-    /// Reusable flat-gradient buffer for training updates.
+    /// Reusable flat-gradient buffer for the serial update path.
     grad_buf: Vec<f32>,
+    /// Reusable `[batch, action-space]` gradient matrix for the batched
+    /// update path.
+    grad_batch: Matrix,
+    /// Which gradient-update implementation [`AcsoAgent::maybe_train`] runs.
+    update_mode: UpdateMode,
 }
 
 impl<N: QNetwork + Clone> AcsoAgent<N> {
@@ -93,12 +137,20 @@ impl<N: QNetwork + Clone> AcsoAgent<N> {
             losses: Vec::new(),
             eval_features: StateFeatures::empty(),
             grad_buf: Vec::new(),
+            grad_batch: Matrix::zeros(0, 0),
+            update_mode: UpdateMode::from_env(),
         }
     }
 
     /// The flat action space the agent selects from.
     pub fn action_space(&self) -> &ActionSpace {
         &self.action_space
+    }
+
+    /// Mutable access to the online Q-network (weight serialization,
+    /// diagnostics).
+    pub fn network_mut(&mut self) -> &mut N {
+        &mut self.online
     }
 
     /// A lightweight copy for evaluation workers: networks, belief filter
@@ -120,7 +172,20 @@ impl<N: QNetwork + Clone> AcsoAgent<N> {
             losses: Vec::new(),
             eval_features: StateFeatures::empty(),
             grad_buf: Vec::new(),
+            grad_batch: Matrix::zeros(0, 0),
+            update_mode: self.update_mode,
         }
+    }
+
+    /// Selects the gradient-update implementation (both modes are pinned
+    /// bit-identical; `Serial` is the reference/benchmark path).
+    pub fn set_update_mode(&mut self, mode: UpdateMode) {
+        self.update_mode = mode;
+    }
+
+    /// The gradient-update implementation in use.
+    pub fn update_mode(&self) -> UpdateMode {
+        self.update_mode
     }
 
     /// Current exploration rate.
@@ -155,14 +220,27 @@ impl<N: QNetwork + Clone> AcsoAgent<N> {
         self.losses.clear();
     }
 
-    /// Updates the belief filter with an observation, encodes the state, and
-    /// selects an action index (ε-greedy when exploring, greedy otherwise).
+    /// Updates the belief filter with an observation, encodes the state into
+    /// the trainer's feature arena, and selects an action index (ε-greedy
+    /// when exploring, greedy otherwise).
+    ///
+    /// The returned [`FeatureId`] is the arena handle for this decision
+    /// point: the training loop passes it to
+    /// [`AcsoAgent::store_transition`] twice — as the next state of one
+    /// transition and the current state of the following one — so each
+    /// encoded state is stored exactly once. **Every id must reach
+    /// `store_transition`** (ending the episode right after the final call
+    /// is fine — that id was already stored as the last transition's next
+    /// state): an id that is selected but never stored keeps its arena slot
+    /// occupied for the life of the trainer. Loops that only need actions,
+    /// not learning, should use the greedy [`DefenderPolicy`] interface
+    /// instead, which touches no arena.
     ///
     /// Inference runs through [`QNetwork::q_values_batch`] as a batch of one
     /// — bit-identical to the cached single-state forward, but (like every
     /// inference call since the batch-first refactor) it leaves the training
     /// cache untouched.
-    pub fn select_action(&mut self, observation: &Observation) -> (usize, StateFeatures) {
+    pub fn select_action(&mut self, observation: &Observation) -> (usize, FeatureId) {
         self.filter.update(observation);
         let features = self.encoder.encode(observation, &self.filter);
         let q = self
@@ -170,13 +248,14 @@ impl<N: QNetwork + Clone> AcsoAgent<N> {
             .q_values_batch(&[&features])
             .pop()
             .expect("a batch of one state yields one Q-vector");
+        let id = self.trainer.intern(features);
         let epsilon = if self.explore {
             self.trainer.epsilon()
         } else {
             0.0
         };
         let action = epsilon_greedy(&q, epsilon, &mut self.rng);
-        (action, features)
+        (action, id)
     }
 
     /// Greedy action selection for evaluation: encodes into a reusable
@@ -194,13 +273,15 @@ impl<N: QNetwork + Clone> AcsoAgent<N> {
         rl::policy::greedy(&q)
     }
 
-    /// Records a transition for learning.
+    /// Records a transition for learning, by feature-arena ids (from
+    /// [`AcsoAgent::select_action`]) — no feature set is copied or cloned on
+    /// this path.
     pub fn store_transition(
         &mut self,
-        state: StateFeatures,
+        state: FeatureId,
         action: usize,
         reward: f64,
-        next_state: StateFeatures,
+        next_state: FeatureId,
         done: bool,
     ) {
         self.trainer.observe(Transition {
@@ -212,14 +293,28 @@ impl<N: QNetwork + Clone> AcsoAgent<N> {
         });
     }
 
+    /// Number of live feature sets in the replay arena (memory
+    /// diagnostics; see [`DqnTrainer::arena_live`]).
+    pub fn replay_arena_live(&self) -> usize {
+        self.trainer.arena_live()
+    }
+
+    /// Number of n-step transitions in the replay ring.
+    pub fn replay_buffered(&self) -> usize {
+        self.trainer.buffered()
+    }
+
     /// Runs one gradient update if the trainer says it is time. Returns the
     /// batch loss when an update happened.
     ///
-    /// The update is structured for throughput: transitions are read from
-    /// the replay buffer by reference (no per-sample clone of two feature
-    /// sets), the double-DQN bootstrap runs as one batched forward through
-    /// each network (a single matmul chain where the network supports it),
-    /// and the flat action-gradient buffer is reused across samples.
+    /// The default ([`UpdateMode::Batched`]) update is batch-first end to
+    /// end: the double-DQN bootstrap, the prediction forward *and* the
+    /// backward pass each run as one stacked pass over the whole minibatch
+    /// (gradients summed per parameter before a single optimizer step),
+    /// with per-sample TD errors still extracted for the priority updates.
+    /// Minibatch states are gathered from the replay feature arena by
+    /// index — nothing is cloned on this path. [`UpdateMode::Serial`] keeps
+    /// the per-sample reference loop; both produce bit-identical training.
     pub fn maybe_train(&mut self) -> Option<f32> {
         if !self.trainer.should_update() {
             return None;
@@ -228,31 +323,100 @@ impl<N: QNetwork + Clone> AcsoAgent<N> {
         if picks.is_empty() {
             return None;
         }
-        let gamma = self.trainer.config().gamma;
-        let batch_len = picks.len();
-        let mut errors = Vec::with_capacity(batch_len);
-        let mut loss_sum = 0.0f32;
-        self.online.zero_grad();
+        let loss = match self.update_mode {
+            UpdateMode::Batched => self.update_batched(&picks),
+            UpdateMode::Serial => self.update_serial(&picks),
+        };
+        self.losses.push(loss);
+        Some(loss)
+    }
 
-        // Double-DQN bootstrap for every non-terminal sample, batched: the
-        // online network chooses the bootstrap action, the target network
-        // evaluates it. One batched forward per network covers the whole
-        // minibatch (for the attention net too, since the batch-first
-        // refactor), and the inference path never touches the training
-        // cache.
+    /// Double-DQN bootstrap values for the non-terminal samples of a batch:
+    /// the online network chooses the bootstrap action, the target network
+    /// evaluates it. One batched (inference-only) forward per network
+    /// covers the whole minibatch and leaves the training cache untouched.
+    fn bootstrap_values(&mut self, picks: &[(usize, f64)]) -> Vec<f64> {
         let boot_states: Vec<&StateFeatures> = picks
             .iter()
             .filter(|(index, _)| !self.trainer.transition(*index).done)
-            .map(|(index, _)| &self.trainer.transition(*index).final_state)
+            .map(|(index, _)| {
+                self.trainer
+                    .features(self.trainer.transition(*index).final_state)
+            })
             .collect();
         let online_next = self.online.q_values_batch(&boot_states);
         let target_next = self.target.q_values_batch(&boot_states);
-        let mut bootstraps = online_next
+        online_next
             .iter()
             .zip(&target_next)
-            .map(|(online_q, target_q)| f64::from(target_q[rl::policy::greedy(online_q)]));
+            .map(|(online_q, target_q)| f64::from(target_q[rl::policy::greedy(online_q)]))
+            .collect()
+    }
 
-        for (index, weight) in &picks {
+    /// The batched update: one stacked training forward, one gradient row
+    /// per sample, one stacked backward, one optimizer step.
+    fn update_batched(&mut self, picks: &[(usize, f64)]) -> f32 {
+        let gamma = self.trainer.config().gamma;
+        let batch_len = picks.len();
+        self.online.zero_grad();
+        let bootstraps = self.bootstrap_values(picks);
+        let mut bootstraps = bootstraps.into_iter();
+
+        // One stacked forward over the whole minibatch, gathered from the
+        // arena; the per-sample predictions are bit-identical to solo cached
+        // forwards, so the TD errors (and the priorities they feed) match
+        // the serial path exactly.
+        let states: Vec<&StateFeatures> = picks
+            .iter()
+            .map(|(index, _)| self.trainer.features(self.trainer.transition(*index).state))
+            .collect();
+        let predictions = self.online.q_values_batch_train(&states);
+
+        let action_len = self.action_space.len();
+        if self.grad_batch.shape() != (batch_len, action_len) {
+            self.grad_batch = Matrix::zeros(batch_len, action_len);
+        } else {
+            self.grad_batch.fill(0.0);
+        }
+        let mut errors = Vec::with_capacity(batch_len);
+        let mut loss_sum = 0.0f32;
+        for (row, (index, weight)) in picks.iter().enumerate() {
+            let t = self.trainer.transition(*index);
+            let bootstrap = if t.done {
+                0.0
+            } else {
+                bootstraps.next().expect("one bootstrap per live sample")
+            };
+            let td_target = t.return_n + t.bootstrap_discount(gamma) * bootstrap;
+            let prediction = f64::from(predictions[row][t.action]);
+            let td_error = prediction - td_target;
+
+            // Huber gradient on the selected action only, importance-weighted.
+            let delta = 1.0f64;
+            let grad_value = td_error.clamp(-delta, delta) * weight / batch_len as f64;
+            self.grad_batch.row_mut(row)[t.action] = grad_value as f32;
+            loss_sum += huber_loss(td_error) as f32;
+            errors.push((*index, td_error.abs()));
+        }
+        self.online.backward_batch(&self.grad_batch);
+
+        self.finish_update(&errors);
+        loss_sum / batch_len as f32
+    }
+
+    /// The pre-batching reference update: forward/backward one sample at a
+    /// time. Kept as the bit-identity baseline (`ACSO_TRAIN_BATCH=0`) and
+    /// the benchmark comparison point.
+    fn update_serial(&mut self, picks: &[(usize, f64)]) -> f32 {
+        let gamma = self.trainer.config().gamma;
+        let batch_len = picks.len();
+        self.online.zero_grad();
+        let bootstraps = self.bootstrap_values(picks);
+        let mut bootstraps = bootstraps.into_iter();
+
+        let mut errors = Vec::with_capacity(batch_len);
+        let mut loss_sum = 0.0f32;
+        for (index, weight) in picks {
             let t = self.trainer.transition(*index);
             let bootstrap = if t.done {
                 0.0
@@ -261,11 +425,10 @@ impl<N: QNetwork + Clone> AcsoAgent<N> {
             };
             let td_target = t.return_n + t.bootstrap_discount(gamma) * bootstrap;
 
-            let q = self.online.q_values(&t.state);
+            let q = self.online.q_values(self.trainer.features(t.state));
             let prediction = f64::from(q[t.action]);
             let td_error = prediction - td_target;
 
-            // Huber gradient on the selected action only, importance-weighted.
             let delta = 1.0f64;
             let grad_value = td_error.clamp(-delta, delta) * weight / batch_len as f64;
             self.grad_buf.clear();
@@ -273,23 +436,22 @@ impl<N: QNetwork + Clone> AcsoAgent<N> {
             self.grad_buf[t.action] = grad_value as f32;
             self.online.backward(&self.grad_buf);
 
-            let huber = if td_error.abs() <= delta {
-                0.5 * td_error * td_error
-            } else {
-                delta * (td_error.abs() - 0.5 * delta)
-            };
-            loss_sum += huber as f32;
+            loss_sum += huber_loss(td_error) as f32;
             errors.push((*index, td_error.abs()));
         }
 
+        self.finish_update(&errors);
+        loss_sum / batch_len as f32
+    }
+
+    /// Shared tail of both update modes: optimizer step, priority refresh,
+    /// target-network sync.
+    fn finish_update(&mut self, errors: &[(usize, f64)]) {
         self.optimizer.step(&mut self.online.params_mut());
-        let sync = self.trainer.record_update(&errors);
+        let sync = self.trainer.record_update(errors);
         if sync {
             self.target.copy_params_from(&mut self.online);
         }
-        let loss = loss_sum / batch_len as f32;
-        self.losses.push(loss);
-        Some(loss)
     }
 
     /// Total environment steps the agent has observed.
@@ -300,6 +462,16 @@ impl<N: QNetwork + Clone> AcsoAgent<N> {
     /// Total gradient updates performed.
     pub fn updates(&self) -> u64 {
         self.trainer.updates()
+    }
+}
+
+/// Huber loss (δ = 1) of one TD error.
+fn huber_loss(td_error: f64) -> f64 {
+    let delta = 1.0f64;
+    if td_error.abs() <= delta {
+        0.5 * td_error * td_error
+    } else {
+        delta * (td_error.abs() - 0.5 * delta)
     }
 }
 
@@ -376,24 +548,24 @@ mod tests {
         let (mut env, mut agent) = make_agent(3);
         agent.begin_episode();
         let obs = env.reset();
-        let (mut action, mut features) = agent.select_action(&obs);
+        let (mut action, mut state) = agent.select_action(&obs);
         let mut trained = false;
         for _ in 0..80 {
             assert!(action < agent.action_space().len());
             let step = env.step(&[agent.action_space().decode(action)]);
-            let (next_action, next_features) = agent.select_action(&step.observation);
+            let (next_action, next_state) = agent.select_action(&step.observation);
             agent.store_transition(
-                features,
+                state,
                 action,
                 step.reward + step.shaping_reward,
-                next_features.clone(),
+                next_state,
                 step.done,
             );
             if agent.maybe_train().is_some() {
                 trained = true;
             }
             action = next_action;
-            features = next_features;
+            state = next_state;
             if step.done {
                 break;
             }
@@ -403,6 +575,56 @@ mod tests {
         assert!(agent.env_steps() > 0);
         assert!(agent.updates() > 0);
         assert!(agent.recent_loss() >= 0.0 || !agent.recent_loss().is_nan());
+        // The arena holds about one feature set per distinct decision point
+        // — half the two-per-transition pre-arena layout.
+        assert!(agent.replay_buffered() > 0);
+        assert!(agent.replay_arena_live() <= agent.replay_buffered() + 2);
+    }
+
+    /// The two update modes must produce bit-identical training: same
+    /// weights, same losses, same exploration stream.
+    #[test]
+    fn batched_and_serial_updates_are_bit_identical() {
+        let run = |mode: UpdateMode| {
+            let (mut env, mut agent) = make_agent(13);
+            agent.set_update_mode(mode);
+            agent.begin_episode();
+            let obs = env.reset();
+            let (mut action, mut state) = agent.select_action(&obs);
+            let mut losses = Vec::new();
+            for _ in 0..64 {
+                let step = env.step(&[agent.action_space().decode(action)]);
+                let (next_action, next_state) = agent.select_action(&step.observation);
+                agent.store_transition(
+                    state,
+                    action,
+                    step.reward + step.shaping_reward,
+                    next_state,
+                    step.done,
+                );
+                if let Some(loss) = agent.maybe_train() {
+                    losses.push(loss);
+                }
+                action = next_action;
+                state = next_state;
+                if step.done {
+                    break;
+                }
+            }
+            agent.end_episode();
+            let weights: Vec<Vec<f32>> = agent
+                .network_mut()
+                .params_mut()
+                .iter()
+                .map(|p| p.value.data().to_vec())
+                .collect();
+            (losses, weights)
+        };
+        let (batched_losses, batched_weights) = run(UpdateMode::Batched);
+        let (serial_losses, serial_weights) = run(UpdateMode::Serial);
+        assert!(!batched_losses.is_empty(), "no update ran");
+        assert_eq!(batched_losses, serial_losses, "losses diverged");
+        assert_eq!(batched_weights, serial_weights, "weights diverged");
     }
 
     #[test]

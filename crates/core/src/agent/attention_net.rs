@@ -55,10 +55,24 @@ pub struct AttentionQNet {
 
     scratch: Scratch,
     cache: Option<ForwardCache>,
+    batch_cache: Option<BatchForwardCache>,
 }
 
 #[derive(Debug, Clone)]
 struct ForwardCache {
+    node_count: usize,
+    plc_count: usize,
+    host_rows: Vec<usize>,
+    server_rows: Vec<usize>,
+}
+
+/// Routing cache of the batched training forward: every numeric
+/// intermediate lives in the layers' own batch caches, so the network only
+/// has to remember the minibatch shape and the (topology-shared) head
+/// routing to drive the batched backward's gathers and scatters.
+#[derive(Debug, Clone)]
+struct BatchForwardCache {
+    items: usize,
     node_count: usize,
     plc_count: usize,
     host_rows: Vec<usize>,
@@ -100,6 +114,7 @@ impl AttentionQNet {
             noact_out: Activation::tanh(),
             scratch: Scratch::new(),
             cache: None,
+            batch_cache: None,
         }
     }
 
@@ -107,74 +122,14 @@ impl AttentionQNet {
     pub fn action_space(&self) -> &ActionSpace {
         &self.action_space
     }
-}
 
-/// `hcat` of two row blocks written into a pooled matrix: every output row
-/// is `left.row(i) ++ right_row` (with `right` broadcast when single-row).
-fn hcat_broadcast_into(left: &Matrix, right: &Matrix, out: &mut Matrix) {
-    let lc = left.cols();
-    for i in 0..out.rows() {
-        let right_row = if right.rows() == 1 { 0 } else { i };
-        let row = out.row_mut(i);
-        row[..lc].copy_from_slice(left.row(i));
-        row[lc..].copy_from_slice(right.row(right_row));
-    }
-}
-
-/// Column mean over the row block `start .. start + rows` of `src`, written
-/// into `out`. Bit-identical to [`Matrix::mean_rows_into`] on the block
-/// alone: zero, accumulate rows in ascending order, scale by `1/rows`.
-fn mean_row_block(src: &Matrix, start: usize, rows: usize, out: &mut [f32]) {
-    out.fill(0.0);
-    for r in 0..rows {
-        for (o, v) in out.iter_mut().zip(src.row(start + r)) {
-            *o += v;
-        }
-    }
-    if rows > 0 {
-        let inv = 1.0 / rows as f32;
-        for o in out {
-            *o *= inv;
-        }
-    }
-}
-
-/// Runs a two-layer output head (dense → activation → dense → activation)
-/// over a batch, recycling every intermediate.
-fn head_chain_batch(
-    d1: &mut Dense,
-    a1: &mut Activation,
-    d2: &mut Dense,
-    a2: &mut Activation,
-    input: Batch,
-    s: &mut Scratch,
-) -> Batch {
-    let x = d1.forward_batch(&input, s);
-    s.recycle(input.into_matrix());
-    let y = a1.forward_batch(&x, s);
-    s.recycle(x.into_matrix());
-    let x = d2.forward_batch(&y, s);
-    s.recycle(y.into_matrix());
-    let q = a2.forward_batch(&x, s);
-    s.recycle(x.into_matrix());
-    q
-}
-
-impl QNetwork for AttentionQNet {
-    /// The batch-first inference path: all states are stacked along the row
-    /// axis and pushed through every stage in one pass — the per-node
-    /// embedding and the output heads as single stacked matmuls, the
-    /// attention layers with an explicit per-item boundary (each state's
-    /// nodes attend only to that state's nodes). Every state's Q-vector is
-    /// bit-identical to a solo [`AttentionQNet::q_values`] call, and the
-    /// training cache is left untouched.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the states do not share one topology (node/PLC counts and
-    /// head routing must match — the batched engine only ever mixes lanes of
-    /// the same scenario).
-    fn q_values_batch(&mut self, features: &[&StateFeatures]) -> Vec<Vec<f32>> {
+    /// Shared core of [`QNetwork::q_values_batch`] (`train = false`:
+    /// inference, no cache touched) and
+    /// [`QNetwork::q_values_batch_train`] (`train = true`: the layers write
+    /// their batch caches and the head-routing cache is refreshed for
+    /// [`QNetwork::backward_batch`]). One implementation of the stacked
+    /// pass keeps the two paths bit-identical by construction.
+    fn q_values_batch_impl(&mut self, features: &[&StateFeatures], train: bool) -> Vec<Vec<f32>> {
         if features.is_empty() {
             return Vec::new();
         }
@@ -204,23 +159,23 @@ impl QNetwork for AttentionQNet {
         for (i, f) in features.iter().enumerate() {
             x.write_item(i, &f.nodes);
         }
-        let y = self.embed1.forward_batch(&x, s);
+        let y = fwd(&mut self.embed1, &x, s, train);
         s.recycle(x.into_matrix());
-        let x = self.embed_act1.forward_batch(&y, s);
+        let x = fwd(&mut self.embed_act1, &y, s, train);
         s.recycle(y.into_matrix());
-        let y = self.embed2.forward_batch(&x, s);
+        let y = fwd(&mut self.embed2, &x, s, train);
         s.recycle(x.into_matrix());
-        let x = self.embed_act2.forward_batch(&y, s);
+        let x = fwd(&mut self.embed_act2, &y, s, train);
         s.recycle(y.into_matrix());
-        let y = self.embed3.forward_batch(&x, s);
+        let y = fwd(&mut self.embed3, &x, s, train);
         s.recycle(x.into_matrix());
-        let e = self.embed_act3.forward_batch(&y, s);
+        let e = fwd(&mut self.embed_act3, &y, s, train);
         s.recycle(y.into_matrix());
 
         // Global attention within each state (per-item boundary).
-        let x = self.attn1.forward_batch(&e, s);
+        let x = fwd(&mut self.attn1, &e, s, train);
         s.recycle(e.into_matrix());
-        let ctx = self.attn2.forward_batch(&x, s);
+        let ctx = fwd(&mut self.attn2, &x, s, train);
         s.recycle(x.into_matrix());
 
         // Per-state pooled context.
@@ -259,6 +214,7 @@ impl QNetwork for AttentionQNet {
                 &mut self.host_out,
                 host_in,
                 s,
+                train,
             ))
         };
         let q_server = if servers == 0 {
@@ -280,6 +236,7 @@ impl QNetwork for AttentionQNet {
                 &mut self.server_out,
                 server_in,
                 s,
+                train,
             ))
         };
         s.recycle(h);
@@ -298,6 +255,7 @@ impl QNetwork for AttentionQNet {
             &mut self.noact_out,
             noact_in,
             s,
+            train,
         );
 
         // PLC head: per-PLC status one-hot ++ pooled context.
@@ -319,6 +277,7 @@ impl QNetwork for AttentionQNet {
                 &mut self.plc_out,
                 plc_in,
                 s,
+                train,
             ))
         };
         s.recycle(mean_ctx);
@@ -361,7 +320,322 @@ impl QNetwork for AttentionQNet {
             s.recycle(qp.into_matrix());
         }
         s.recycle(q_noact.into_matrix());
+
+        if train {
+            // Refresh the batched routing cache, reusing its row-index buffers.
+            let cache = self.batch_cache.get_or_insert_with(|| BatchForwardCache {
+                items: 0,
+                node_count: 0,
+                plc_count: 0,
+                host_rows: Vec::new(),
+                server_rows: Vec::new(),
+            });
+            cache.items = b;
+            cache.node_count = n;
+            cache.plc_count = p;
+            cache.host_rows.clear();
+            cache.host_rows.extend_from_slice(&f0.host_rows);
+            cache.server_rows.clear();
+            cache.server_rows.extend_from_slice(&f0.server_rows);
+        }
         out
+    }
+}
+
+/// `hcat` of two row blocks written into a pooled matrix: every output row
+/// is `left.row(i) ++ right_row` (with `right` broadcast when single-row).
+fn hcat_broadcast_into(left: &Matrix, right: &Matrix, out: &mut Matrix) {
+    let lc = left.cols();
+    for i in 0..out.rows() {
+        let right_row = if right.rows() == 1 { 0 } else { i };
+        let row = out.row_mut(i);
+        row[..lc].copy_from_slice(left.row(i));
+        row[lc..].copy_from_slice(right.row(right_row));
+    }
+}
+
+/// Column mean over the row block `start .. start + rows` of `src`, written
+/// into `out`. Bit-identical to [`Matrix::mean_rows_into`] on the block
+/// alone: zero, accumulate rows in ascending order, scale by `1/rows`.
+fn mean_row_block(src: &Matrix, start: usize, rows: usize, out: &mut [f32]) {
+    out.fill(0.0);
+    for r in 0..rows {
+        for (o, v) in out.iter_mut().zip(src.row(start + r)) {
+            *o += v;
+        }
+    }
+    if rows > 0 {
+        let inv = 1.0 / rows as f32;
+        for o in out {
+            *o *= inv;
+        }
+    }
+}
+
+/// Dispatches one layer's batched forward: inference (`forward_batch`,
+/// caches untouched) or training (`forward_batch_train`, batch cache
+/// written). Keeping the dispatch in one place lets the whole stacked pass
+/// exist once for both modes — the structural guarantee that the training
+/// forward computes exactly what the inference forward computes.
+fn fwd(layer: &mut dyn Layer, x: &Batch, s: &mut Scratch, train: bool) -> Batch {
+    if train {
+        layer.forward_batch_train(x, s)
+    } else {
+        layer.forward_batch(x, s)
+    }
+}
+
+/// Runs a two-layer output head (dense → activation → dense → activation)
+/// over a batch, recycling every intermediate. `train` selects the
+/// cache-writing layer path (see [`fwd`]).
+fn head_chain_batch(
+    d1: &mut Dense,
+    a1: &mut Activation,
+    d2: &mut Dense,
+    a2: &mut Activation,
+    input: Batch,
+    s: &mut Scratch,
+    train: bool,
+) -> Batch {
+    let x = fwd(d1, &input, s, train);
+    s.recycle(input.into_matrix());
+    let y = fwd(a1, &x, s, train);
+    s.recycle(x.into_matrix());
+    let x = fwd(d2, &y, s, train);
+    s.recycle(y.into_matrix());
+    let q = fwd(a2, &x, s, train);
+    s.recycle(x.into_matrix());
+    q
+}
+
+/// Batched backward through a two-layer output head, returning the gradient
+/// with respect to the head input.
+fn head_chain_backward_batch(
+    d1: &mut Dense,
+    a1: &mut Activation,
+    d2: &mut Dense,
+    a2: &mut Activation,
+    grad: Batch,
+    s: &mut Scratch,
+) -> Batch {
+    let x = a2.backward_batch(&grad, s);
+    s.recycle(grad.into_matrix());
+    let y = d2.backward_batch(&x, s);
+    s.recycle(x.into_matrix());
+    let x = a1.backward_batch(&y, s);
+    s.recycle(y.into_matrix());
+    let g = d1.backward_batch(&x, s);
+    s.recycle(x.into_matrix());
+    g
+}
+
+impl QNetwork for AttentionQNet {
+    /// The batch-first inference path: all states are stacked along the row
+    /// axis and pushed through every stage in one pass — the per-node
+    /// embedding and the output heads as single stacked matmuls, the
+    /// attention layers with an explicit per-item boundary (each state's
+    /// nodes attend only to that state's nodes). Every state's Q-vector is
+    /// bit-identical to a solo [`AttentionQNet::q_values`] call, and the
+    /// training cache is left untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the states do not share one topology (node/PLC counts and
+    /// head routing must match — the batched engine only ever mixes lanes of
+    /// the same scenario).
+    fn q_values_batch(&mut self, features: &[&StateFeatures]) -> Vec<Vec<f32>> {
+        self.q_values_batch_impl(features, false)
+    }
+
+    /// The batched *training* forward: the same stacked pass as
+    /// [`AttentionQNet::q_values_batch`] (so every state's Q-vector is
+    /// bit-identical to a solo [`AttentionQNet::q_values`]), but run through
+    /// the layers' `forward_batch_train` path so batch-shaped caches feed
+    /// one [`AttentionQNet::backward_batch`] for the whole minibatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the states do not share one topology (the minibatch is
+    /// sampled from one scenario's replay, so they always do).
+    fn q_values_batch_train(&mut self, features: &[&StateFeatures]) -> Vec<Vec<f32>> {
+        self.q_values_batch_impl(features, true)
+    }
+
+    fn backward_batch(&mut self, grad_q: &Matrix) {
+        let cache = self
+            .batch_cache
+            .take()
+            .expect("backward_batch called before q_values_batch_train");
+        let b = cache.items;
+        let n = cache.node_count;
+        let p = cache.plc_count;
+        let hosts = cache.host_rows.len();
+        let servers = cache.server_rows.len();
+        assert_eq!(
+            grad_q.shape(),
+            (b, self.action_space.len()),
+            "batched gradient shape mismatch"
+        );
+        let s = &mut self.scratch;
+
+        let head_in = CTX_DIM + PLC_SUMMARY_DIM;
+        let mut grad_h = s.take(b * n, head_in);
+
+        // Host head.
+        if hosts > 0 {
+            let mut grad_host = Batch::take(s, b, hosts, ACTIONS_PER_NODE);
+            for i in 0..b {
+                for (slot, &node) in cache.host_rows.iter().enumerate() {
+                    let base = 1 + node * ACTIONS_PER_NODE;
+                    grad_host
+                        .matrix_mut()
+                        .row_mut(i * hosts + slot)
+                        .copy_from_slice(&grad_q.row(i)[base..base + ACTIONS_PER_NODE]);
+                }
+            }
+            let g = head_chain_backward_batch(
+                &mut self.host_head1,
+                &mut self.host_act,
+                &mut self.host_head2,
+                &mut self.host_out,
+                grad_host,
+                s,
+            );
+            for i in 0..b {
+                for (slot, &node) in cache.host_rows.iter().enumerate() {
+                    for (d, &v) in grad_h
+                        .row_mut(i * n + node)
+                        .iter_mut()
+                        .zip(g.matrix().row(i * hosts + slot))
+                    {
+                        *d += v;
+                    }
+                }
+            }
+            s.recycle(g.into_matrix());
+        }
+        // Server head.
+        if servers > 0 {
+            let mut grad_server = Batch::take(s, b, servers, ACTIONS_PER_NODE);
+            for i in 0..b {
+                for (slot, &node) in cache.server_rows.iter().enumerate() {
+                    let base = 1 + node * ACTIONS_PER_NODE;
+                    grad_server
+                        .matrix_mut()
+                        .row_mut(i * servers + slot)
+                        .copy_from_slice(&grad_q.row(i)[base..base + ACTIONS_PER_NODE]);
+                }
+            }
+            let g = head_chain_backward_batch(
+                &mut self.server_head1,
+                &mut self.server_act,
+                &mut self.server_head2,
+                &mut self.server_out,
+                grad_server,
+                s,
+            );
+            for i in 0..b {
+                for (slot, &node) in cache.server_rows.iter().enumerate() {
+                    for (d, &v) in grad_h
+                        .row_mut(i * n + node)
+                        .iter_mut()
+                        .zip(g.matrix().row(i * servers + slot))
+                    {
+                        *d += v;
+                    }
+                }
+            }
+            s.recycle(g.into_matrix());
+        }
+
+        // No-action head -> gradient on each state's pooled context.
+        let mut grad_noact = Batch::take(s, b, 1, 1);
+        for i in 0..b {
+            grad_noact.matrix_mut().row_mut(i)[0] = grad_q.row(i)[0];
+        }
+        let grad_noact_in = head_chain_backward_batch(
+            &mut self.noact_head1,
+            &mut self.noact_act,
+            &mut self.noact_head2,
+            &mut self.noact_out,
+            grad_noact,
+            s,
+        );
+        let mut grad_mean_ctx = s.take(b, CTX_DIM);
+        for i in 0..b {
+            grad_mean_ctx
+                .row_mut(i)
+                .copy_from_slice(&grad_noact_in.matrix().row(i)[..CTX_DIM]);
+        }
+        s.recycle(grad_noact_in.into_matrix());
+
+        // PLC head -> more gradient on each state's pooled context.
+        if p > 0 {
+            let mut grad_plc = Batch::take(s, b, p, ACTIONS_PER_PLC);
+            let plc_base = 1 + ACTIONS_PER_NODE * n;
+            for i in 0..b {
+                for plc in 0..p {
+                    let base = plc_base + plc * ACTIONS_PER_PLC;
+                    grad_plc
+                        .matrix_mut()
+                        .row_mut(i * p + plc)
+                        .copy_from_slice(&grad_q.row(i)[base..base + ACTIONS_PER_PLC]);
+                }
+            }
+            let grad_plc_in = head_chain_backward_batch(
+                &mut self.plc_head1,
+                &mut self.plc_act,
+                &mut self.plc_head2,
+                &mut self.plc_out,
+                grad_plc,
+                s,
+            );
+            for i in 0..b {
+                for r in 0..p {
+                    let src = &grad_plc_in.matrix().row(i * p + r)[PLC_FEATURE_DIM..];
+                    for (d, &v) in grad_mean_ctx.row_mut(i).iter_mut().zip(src) {
+                        *d += v;
+                    }
+                }
+            }
+            s.recycle(grad_plc_in.into_matrix());
+        }
+
+        // Context gradient per state: the per-node head slice plus 1/n of
+        // that state's pooled gradient (mean-pooling backward).
+        let mut grad_ctx = Batch::take(s, b, n, CTX_DIM);
+        let inv_n = 1.0 / n.max(1) as f32;
+        for i in 0..b {
+            for r in 0..n {
+                let dst = grad_ctx.matrix_mut().row_mut(i * n + r);
+                dst.copy_from_slice(&grad_h.row(i * n + r)[..CTX_DIM]);
+                for (d, &g) in dst.iter_mut().zip(grad_mean_ctx.row(i)) {
+                    *d += g * inv_n;
+                }
+            }
+        }
+        s.recycle(grad_h);
+        s.recycle(grad_mean_ctx);
+
+        // Attention and embedding backward, batch-first all the way down.
+        let x = self.attn2.backward_batch(&grad_ctx, s);
+        s.recycle(grad_ctx.into_matrix());
+        let y = self.attn1.backward_batch(&x, s);
+        s.recycle(x.into_matrix());
+        let x = self.embed_act3.backward_batch(&y, s);
+        s.recycle(y.into_matrix());
+        let y = self.embed3.backward_batch(&x, s);
+        s.recycle(x.into_matrix());
+        let x = self.embed_act2.backward_batch(&y, s);
+        s.recycle(y.into_matrix());
+        let y = self.embed2.backward_batch(&x, s);
+        s.recycle(x.into_matrix());
+        let x = self.embed_act1.backward_batch(&y, s);
+        s.recycle(y.into_matrix());
+        let y = self.embed1.backward_batch(&x, s);
+        s.recycle(x.into_matrix());
+        s.recycle(y.into_matrix());
+        self.batch_cache = Some(cache);
     }
 
     fn q_values(&mut self, features: &StateFeatures) -> Vec<f32> {

@@ -76,6 +76,25 @@ impl BaselineConvQNet {
         dst[at..].fill(0.0);
     }
 
+    /// Backward through the MLP for a `[rows, action-space]` gradient (one
+    /// row per state of the most recent cached forward).
+    fn backward_rows(&mut self, grad: Matrix) {
+        let s = &mut self.scratch;
+        let x = self.out.backward(&grad, s);
+        s.recycle(grad);
+        let y = self.fc3.backward(&x, s);
+        s.recycle(x);
+        let x = self.act2.backward(&y, s);
+        s.recycle(y);
+        let y = self.fc2.backward(&x, s);
+        s.recycle(x);
+        let x = self.act1.backward(&y, s);
+        s.recycle(y);
+        let y = self.fc1.backward(&x, s);
+        s.recycle(x);
+        s.recycle(y);
+    }
+
     /// Runs the MLP over a pre-flattened `[batch, input_dim]` matrix.
     fn forward_rows(&mut self, x: Matrix) -> Matrix {
         let s = &mut self.scratch;
@@ -163,20 +182,47 @@ impl QNetwork for BaselineConvQNet {
         );
         let mut grad = self.scratch.take(1, grad_q.len());
         grad.row_mut(0).copy_from_slice(grad_q);
-        let s = &mut self.scratch;
-        let x = self.out.backward(&grad, s);
-        s.recycle(grad);
-        let y = self.fc3.backward(&x, s);
-        s.recycle(x);
-        let x = self.act2.backward(&y, s);
-        s.recycle(y);
-        let y = self.fc2.backward(&x, s);
-        s.recycle(x);
-        let x = self.act1.backward(&y, s);
-        s.recycle(y);
-        let y = self.fc1.backward(&x, s);
-        s.recycle(x);
-        s.recycle(y);
+        self.backward_rows(grad);
+    }
+
+    /// The batched training path: every layer of the MLP is row-wise, so the
+    /// whole minibatch runs through the *cached* solo forward on one
+    /// `[batch, input_dim]` stacked matrix — per-state values bit-identical
+    /// to solo calls, and the cached inputs are exactly the stacked batch
+    /// caches [`BaselineConvQNet::backward_batch`] consumes.
+    fn q_values_batch_train(&mut self, features: &[&StateFeatures]) -> Vec<Vec<f32>> {
+        if features.is_empty() {
+            return Vec::new();
+        }
+        for f in features {
+            let flattened = f.nodes.len() + f.plcs.len() + f.plc_summary.len();
+            assert_eq!(
+                flattened, self.input_dim,
+                "batched states must match the network's topology"
+            );
+        }
+        let mut x = self.scratch.take(features.len(), self.input_dim);
+        for (row, f) in features.iter().enumerate() {
+            self.flatten_into(f, &mut x, row);
+        }
+        let q = self.forward_rows(x);
+        let out = (0..features.len()).map(|i| q.row(i).to_vec()).collect();
+        self.scratch.recycle(q);
+        out
+    }
+
+    /// One stacked backward matmul chain for the whole minibatch. Each
+    /// state contributes a single row, so the tiled kernels' ascending-`k`
+    /// accumulation reproduces the serial per-sample gradient sum bit for
+    /// bit.
+    fn backward_batch(&mut self, grad_q: &Matrix) {
+        assert_eq!(
+            grad_q.cols(),
+            self.action_space.len(),
+            "gradient width mismatch"
+        );
+        let grad = self.scratch.take_copy(grad_q);
+        self.backward_rows(grad);
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {

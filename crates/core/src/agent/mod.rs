@@ -6,14 +6,14 @@ mod baseline_net;
 mod batched;
 pub mod io;
 
-pub use acso_agent::{AcsoAgent, AgentConfig};
+pub use acso_agent::{AcsoAgent, AgentConfig, UpdateMode, TRAIN_BATCH_ENV_VAR};
 pub use attention_net::AttentionQNet;
 pub use baseline_net::BaselineConvQNet;
 pub use batched::BatchedAgentPolicy;
 pub use io::{load_weights, save_weights};
 
 use crate::features::StateFeatures;
-use neural::Param;
+use neural::{Matrix, Param};
 
 /// A Q-value network over the defender action space.
 ///
@@ -63,6 +63,33 @@ pub trait QNetwork: Send {
     /// Implementations may panic if called before [`QNetwork::q_values`] or
     /// with a gradient of the wrong length.
     fn backward(&mut self, grad_q: &[f32]);
+
+    /// The training-mode batched forward: Q-values for a whole minibatch in
+    /// one stacked pass, caching batch-shaped intermediates for a subsequent
+    /// [`QNetwork::backward_batch`].
+    ///
+    /// State `i`'s values are **bit-identical** to a solo
+    /// [`QNetwork::q_values`] call on state `i` (the same contract as
+    /// [`QNetwork::q_values_batch`]), but unlike the inference path this
+    /// call *does* overwrite the training cache — it replaces a loop of
+    /// cached solo forwards, not interleave with one.
+    fn q_values_batch_train(&mut self, features: &[&StateFeatures]) -> Vec<Vec<f32>>;
+
+    /// Backpropagates one gradient row per state of the most recent
+    /// [`QNetwork::q_values_batch_train`] call (a `[batch, action-space]`
+    /// matrix), accumulating parameter gradients summed over the minibatch.
+    ///
+    /// Gradient accumulation is bit-identical to running solo
+    /// `q_values`/`backward` per state in row order — the property that
+    /// makes the batched DQN update reproduce serial-update training
+    /// exactly (pinned by `tests/train_determinism.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called before
+    /// [`QNetwork::q_values_batch_train`] or with a gradient matrix whose
+    /// shape does not match the cached batch.
+    fn backward_batch(&mut self, grad_q: &Matrix);
 
     /// Mutable access to all trainable parameters (stable ordering).
     fn params_mut(&mut self) -> Vec<&mut Param>;

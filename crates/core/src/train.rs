@@ -105,9 +105,13 @@ impl TrainReport {
 ///
 /// The episode loop is inherently serial — each episode's ε-greedy decisions
 /// depend on everything learned before it — so unlike evaluation it does not
-/// fan out over the rollout engine. The parallelism in a training run lives
-/// in the DBN data-collection phase ([`dbn::learn::learn_model`] fans
-/// episodes over `ACSO_THREADS` workers) and, one level up, in
+/// fan out over the rollout engine. The gradient step, however, is
+/// batch-first: every DQN update runs one stacked forward and one stacked
+/// backward over the whole minibatch (see [`crate::agent::UpdateMode`];
+/// `ACSO_TRAIN_BATCH=0` selects the bit-identical per-sample reference
+/// loop). The parallelism in a training run lives in the DBN
+/// data-collection phase ([`dbn::learn::learn_model`] fans episodes over
+/// `ACSO_THREADS` workers) and, one level up, in
 /// [`crate::experiments::grid_search`] running independent training
 /// configurations concurrently. Per-episode seeds use the engine's
 /// derivation so the environment stream depends only on the episode index.
@@ -128,7 +132,7 @@ pub fn train_agent<N: QNetwork + Clone>(
         let gamma = env.gamma();
         agent.begin_episode();
         let obs = env.reset();
-        let (mut action, mut features) = agent.select_action(&obs);
+        let (mut action, mut state) = agent.select_action(&obs);
 
         let mut discounted_return = 0.0;
         let mut discount = 1.0;
@@ -137,18 +141,21 @@ pub fn train_agent<N: QNetwork + Clone>(
             discounted_return += discount * step.reward;
             discount *= gamma;
 
-            let (next_action, next_features) = agent.select_action(&step.observation);
+            // Each decision point is encoded into the replay arena exactly
+            // once; its id links this transition's next state to the next
+            // transition's start state with no feature clone.
+            let (next_action, next_state) = agent.select_action(&step.observation);
             agent.store_transition(
-                features,
+                state,
                 action,
                 step.reward + step.shaping_reward,
-                next_features.clone(),
+                next_state,
                 step.done,
             );
             agent.maybe_train();
 
             action = next_action;
-            features = next_features;
+            state = next_state;
             if step.done {
                 break;
             }

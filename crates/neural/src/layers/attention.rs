@@ -31,6 +31,7 @@ pub struct SelfAttention {
     wo: Param,
     attn_dim: usize,
     cache: Option<Cache>,
+    batch_cache: Option<BatchCache>,
     /// Persistent buffers holding `Wqᵀ/Wkᵀ/Wvᵀ/Woᵀ` for the backward pass
     /// (fast tiled matmuls instead of strided ones); refreshed lazily and
     /// invalidated by [`SelfAttention::params_mut`], the only path that can
@@ -41,6 +42,21 @@ pub struct SelfAttention {
 
 #[derive(Debug, Clone)]
 struct Cache {
+    input: Matrix,
+    q: Matrix,
+    k: Matrix,
+    v: Matrix,
+    attn: Matrix,
+    mixed: Matrix,
+}
+
+/// Batch-shaped training cache: the projections and the mixed values are
+/// stacked along the item axis exactly like the batch itself, and the
+/// per-item `n x n` attention blocks are stacked into one `[items * n, n]`
+/// matrix (block `i` at rows `i * n .. (i + 1) * n`).
+#[derive(Debug, Clone)]
+struct BatchCache {
+    items: usize,
     input: Matrix,
     q: Matrix,
     k: Matrix,
@@ -62,6 +78,7 @@ impl SelfAttention {
             wo: Param::new(xavier_uniform(attn_dim, output_dim, seed.wrapping_add(4))),
             attn_dim,
             cache: None,
+            batch_cache: None,
             weights_t: [
                 Matrix::zeros(attn_dim, input_dim),
                 Matrix::zeros(attn_dim, input_dim),
@@ -81,6 +98,101 @@ impl SelfAttention {
     /// Useful for diagnostics (which nodes the network attends to).
     pub fn last_attention(&self) -> Option<&Matrix> {
         self.cache.as_ref().map(|c| &c.attn)
+    }
+
+    /// Shared core of [`Layer::forward_batch`] (`cache_for_backward =
+    /// false`: every intermediate is recycled, no cache touched) and
+    /// [`Layer::forward_batch_train`] (`true`: the projections, per-item
+    /// attention blocks and mixed values become the batch-shaped training
+    /// cache). One implementation keeps the two paths bit-identical by
+    /// construction — the equivalence the batched DQN update's TD errors
+    /// rely on.
+    fn forward_batch_impl(
+        &mut self,
+        input: &Batch,
+        scratch: &mut Scratch,
+        cache_for_backward: bool,
+    ) -> Batch {
+        // A new training pass returns the previous training cache's buffers
+        // to the pool (steady state cycles allocations); an inference pass
+        // must leave the cache alone — it may be bracketed by a
+        // `forward_batch_train`/`backward_batch` pair.
+        if cache_for_backward {
+            if let Some(old) = self.batch_cache.take() {
+                scratch.recycle(old.input);
+                scratch.recycle(old.q);
+                scratch.recycle(old.k);
+                scratch.recycle(old.v);
+                scratch.recycle(old.attn);
+                scratch.recycle(old.mixed);
+            }
+        }
+        let b = input.items();
+        let n = input.rows_per_item();
+        let rows = b * n;
+        let mut q = scratch.take(rows, self.attn_dim);
+        input.matrix().matmul_into(&self.wq.value, &mut q);
+        let mut k = scratch.take(rows, self.attn_dim);
+        input.matrix().matmul_into(&self.wk.value, &mut k);
+        let mut v = scratch.take(rows, self.attn_dim);
+        input.matrix().matmul_into(&self.wv.value, &mut v);
+
+        let scale = 1.0 / (self.attn_dim as f32).sqrt();
+        let mut qi = scratch.take(n, self.attn_dim);
+        let mut ki = scratch.take(n, self.attn_dim);
+        let mut vi = scratch.take(n, self.attn_dim);
+        let mut attn_i = scratch.take(n, n);
+        let mut mixed_i = scratch.take(n, self.attn_dim);
+        // The stacked attention blocks are only materialised when they will
+        // be cached, so the inference path pays nothing for the seam.
+        let mut attn = if cache_for_backward {
+            Some(scratch.take(rows, n))
+        } else {
+            None
+        };
+        let mut mixed = scratch.take(rows, self.attn_dim);
+        for item in 0..b {
+            let start = item * n;
+            q.copy_row_block_into(start, &mut qi);
+            k.copy_row_block_into(start, &mut ki);
+            v.copy_row_block_into(start, &mut vi);
+            qi.matmul_transb_into(&ki, &mut attn_i);
+            attn_i.scale_inplace(scale);
+            attn_i.softmax_rows_inplace();
+            attn_i.matmul_into(&vi, &mut mixed_i);
+            if let Some(attn) = &mut attn {
+                attn.write_row_block(start, &attn_i);
+            }
+            mixed.write_row_block(start, &mixed_i);
+        }
+        let mut out = Batch::take(scratch, b, n, self.wo.value.cols());
+        mixed.matmul_into(&self.wo.value, out.matrix_mut());
+
+        scratch.recycle(qi);
+        scratch.recycle(ki);
+        scratch.recycle(vi);
+        scratch.recycle(attn_i);
+        scratch.recycle(mixed_i);
+        match attn {
+            Some(attn) => {
+                self.batch_cache = Some(BatchCache {
+                    items: b,
+                    input: scratch.take_copy(input.matrix()),
+                    q,
+                    k,
+                    v,
+                    attn,
+                    mixed,
+                });
+            }
+            None => {
+                scratch.recycle(q);
+                scratch.recycle(k);
+                scratch.recycle(v);
+                scratch.recycle(mixed);
+            }
+        }
+        out
     }
 }
 
@@ -137,47 +249,133 @@ impl Layer for SelfAttention {
         // output is bit-identical to [`SelfAttention::forward`] on that item
         // alone — not approximately equal. The backward cache (including
         // `last_attention`) is left untouched.
-        let b = input.items();
-        let n = input.rows_per_item();
-        let rows = b * n;
-        let mut q = scratch.take(rows, self.attn_dim);
-        input.matrix().matmul_into(&self.wq.value, &mut q);
-        let mut k = scratch.take(rows, self.attn_dim);
-        input.matrix().matmul_into(&self.wk.value, &mut k);
-        let mut v = scratch.take(rows, self.attn_dim);
-        input.matrix().matmul_into(&self.wv.value, &mut v);
+        self.forward_batch_impl(input, scratch, false)
+    }
 
+    fn forward_batch_train(&mut self, input: &Batch, scratch: &mut Scratch) -> Batch {
+        // The shared core guarantees this is bit-for-bit the `forward_batch`
+        // computation; the only difference is that the intermediates are
+        // kept as the batch-shaped training cache instead of being recycled.
+        self.forward_batch_impl(input, scratch, true)
+    }
+
+    fn backward_batch(&mut self, grad_output: &Batch, scratch: &mut Scratch) -> Batch {
+        if !self.weights_t_valid {
+            self.wq.value.transpose_into(&mut self.weights_t[0]);
+            self.wk.value.transpose_into(&mut self.weights_t[1]);
+            self.wv.value.transpose_into(&mut self.weights_t[2]);
+            self.wo.value.transpose_into(&mut self.weights_t[3]);
+            self.weights_t_valid = true;
+        }
+        let cache = self
+            .batch_cache
+            .take()
+            .expect("backward_batch called before forward_batch_train");
+        let b = cache.items;
+        assert_eq!(
+            grad_output.items(),
+            b,
+            "attention batch gradient item mismatch"
+        );
+        let n = grad_output.rows_per_item();
+        let rows = b * n;
         let scale = 1.0 / (self.attn_dim as f32).sqrt();
-        let mut qi = scratch.take(n, self.attn_dim);
-        let mut ki = scratch.take(n, self.attn_dim);
-        let mut vi = scratch.take(n, self.attn_dim);
-        let mut attn = scratch.take(n, n);
-        let mut mixed_i = scratch.take(n, self.attn_dim);
-        let mut mixed = scratch.take(rows, self.attn_dim);
+
+        // Output projection. The parameter gradient flushes once per item
+        // (multi-row contributions), matching the serial per-sample
+        // accumulation order bit for bit; the input-side gradient is a
+        // stacked row-wise matmul (rows are independent).
+        for item in 0..b {
+            self.wo
+                .grad
+                .add_matmul_transa_blocks(&cache.mixed, grad_output.matrix(), item * n, n);
+        }
+        let mut grad_mixed = scratch.take(rows, self.attn_dim);
+        grad_output
+            .matrix()
+            .matmul_into(&self.weights_t[3], &mut grad_mixed);
+
+        // Per-item attention backward: every kernel call below operates on
+        // one item's gathered blocks with exactly the solo backward's
+        // operations, so per-sample gradients cannot leak between items.
+        let mut gm_i = scratch.take(n, self.attn_dim);
+        let mut v_i = scratch.take(n, self.attn_dim);
+        let mut q_i = scratch.take(n, self.attn_dim);
+        let mut k_i = scratch.take(n, self.attn_dim);
+        let mut a_i = scratch.take(n, n);
+        let mut ga_i = scratch.take(n, n);
+        let mut gq_i = scratch.take(n, self.attn_dim);
+        let mut gk_i = scratch.take(n, self.attn_dim);
+        let mut gv_i = scratch.take(n, self.attn_dim);
+        let mut grad_q = scratch.take(rows, self.attn_dim);
+        let mut grad_k = scratch.take(rows, self.attn_dim);
+        let mut grad_v = scratch.take(rows, self.attn_dim);
         for item in 0..b {
             let start = item * n;
-            q.copy_row_block_into(start, &mut qi);
-            k.copy_row_block_into(start, &mut ki);
-            v.copy_row_block_into(start, &mut vi);
-            qi.matmul_transb_into(&ki, &mut attn);
-            attn.scale_inplace(scale);
-            attn.softmax_rows_inplace();
-            attn.matmul_into(&vi, &mut mixed_i);
-            mixed.write_row_block(start, &mixed_i);
-        }
-        let mut out = Batch::take(scratch, b, n, self.wo.value.cols());
-        mixed.matmul_into(&self.wo.value, out.matrix_mut());
+            grad_mixed.copy_row_block_into(start, &mut gm_i);
+            cache.v.copy_row_block_into(start, &mut v_i);
+            cache.attn.copy_row_block_into(start, &mut a_i);
 
-        scratch.recycle(q);
-        scratch.recycle(k);
-        scratch.recycle(v);
-        scratch.recycle(qi);
-        scratch.recycle(ki);
-        scratch.recycle(vi);
-        scratch.recycle(attn);
-        scratch.recycle(mixed_i);
-        scratch.recycle(mixed);
-        out
+            // Y = A·V
+            gm_i.matmul_transb_into(&v_i, &mut ga_i);
+            a_i.matmul_transa_into(&gm_i, &mut gv_i);
+
+            // Softmax backward, row by row: dS_i = A_i ⊙ (dA_i − (dA_i·A_i)),
+            // pre-scaled — the solo backward's expression verbatim.
+            for i in 0..n {
+                let a_row = a_i.row(i);
+                let da_row = &mut ga_i.row_mut(i)[..];
+                let dot: f32 = a_row.iter().zip(da_row.iter()).map(|(a, d)| a * d).sum();
+                for (d, &a) in da_row.iter_mut().zip(a_row) {
+                    *d = a * (*d - dot) * scale;
+                }
+            }
+
+            // scores = Q·Kᵀ
+            cache.k.copy_row_block_into(start, &mut k_i);
+            cache.q.copy_row_block_into(start, &mut q_i);
+            ga_i.matmul_into(&k_i, &mut gq_i);
+            ga_i.matmul_transa_into(&q_i, &mut gk_i);
+
+            grad_q.write_row_block(start, &gq_i);
+            grad_k.write_row_block(start, &gk_i);
+            grad_v.write_row_block(start, &gv_i);
+        }
+
+        // Projection parameter gradients: one flush per item, serial order.
+        for item in 0..b {
+            let start = item * n;
+            self.wq
+                .grad
+                .add_matmul_transa_blocks(&cache.input, &grad_q, start, n);
+            self.wk
+                .grad
+                .add_matmul_transa_blocks(&cache.input, &grad_k, start, n);
+            self.wv
+                .grad
+                .add_matmul_transa_blocks(&cache.input, &grad_v, start, n);
+        }
+
+        let mut grad_input = scratch.take(rows, self.wq.value.rows());
+        grad_q.matmul_into(&self.weights_t[0], &mut grad_input);
+        grad_input.add_matmul(&grad_k, &self.weights_t[1]);
+        grad_input.add_matmul(&grad_v, &self.weights_t[2]);
+
+        scratch.recycle(grad_mixed);
+        scratch.recycle(gm_i);
+        scratch.recycle(v_i);
+        scratch.recycle(q_i);
+        scratch.recycle(k_i);
+        scratch.recycle(a_i);
+        scratch.recycle(ga_i);
+        scratch.recycle(gq_i);
+        scratch.recycle(gk_i);
+        scratch.recycle(gv_i);
+        scratch.recycle(grad_q);
+        scratch.recycle(grad_k);
+        scratch.recycle(grad_v);
+        self.batch_cache = Some(cache);
+        Batch::new(grad_input, grad_output.items())
     }
 
     fn backward(&mut self, grad_output: &Matrix, scratch: &mut Scratch) -> Matrix {

@@ -21,6 +21,10 @@ pub struct Conv1d {
     stride: usize,
     channels_in: usize,
     cached_input: Option<Matrix>,
+    /// Training cache of the batched path: the stacked input and its item
+    /// count, kept separate from the solo cache so the two training modes
+    /// cannot corrupt each other.
+    cached_batch: Option<(Matrix, usize)>,
 }
 
 impl Conv1d {
@@ -47,6 +51,7 @@ impl Conv1d {
             stride,
             channels_in,
             cached_input: None,
+            cached_batch: None,
         }
     }
 
@@ -134,6 +139,70 @@ impl Layer for Conv1d {
         scratch.recycle(win);
         scratch.recycle(y);
         out
+    }
+
+    fn forward_batch_train(&mut self, input: &Batch, scratch: &mut Scratch) -> Batch {
+        // Identical computation to the inference `forward_batch` (per-item
+        // windows, bit-identical per item), plus the batch-shaped cache.
+        let out = self.forward_batch(input, scratch);
+        match &mut self.cached_batch {
+            Some((held, items)) => {
+                held.copy_from(input.matrix());
+                *items = input.items();
+            }
+            None => self.cached_batch = Some((input.matrix().clone(), input.items())),
+        }
+        out
+    }
+
+    fn backward_batch(&mut self, grad_output: &Batch, scratch: &mut Scratch) -> Batch {
+        let (input, items) = self
+            .cached_batch
+            .take()
+            .expect("backward_batch called before forward_batch_train");
+        assert_eq!(
+            grad_output.items(),
+            items,
+            "conv1d batch gradient item mismatch"
+        );
+        let t_in = input.rows() / items;
+        let t_out = self.output_len(t_in);
+        assert_eq!(
+            grad_output.rows_per_item(),
+            t_out,
+            "conv1d batch grad shape mismatch"
+        );
+        let mut grad_input = scratch.take(input.rows(), input.cols());
+        let mut win = scratch.take(1, self.kernel * self.channels_in);
+        // Items in order, windows in time order within each item — the
+        // serial per-sample backward's exact operation sequence, so the
+        // rank-1 parameter updates accumulate bit-identically.
+        for item in 0..items {
+            let in_base = item * t_in;
+            let out_base = item * t_out;
+            for t in 0..t_out {
+                let grad_row = grad_output.matrix().row(out_base + t);
+                self.window_into(&input, in_base + t * self.stride, &mut win);
+                self.weight.grad.add_outer(win.row(0), grad_row);
+                for (b, &g) in self.bias.grad.row_mut(0).iter_mut().zip(grad_row) {
+                    *b += g;
+                }
+                let start = in_base + t * self.stride;
+                for k in 0..self.kernel {
+                    for c in 0..self.channels_in {
+                        let w_row = self.weight.value.row(k * self.channels_in + c);
+                        let mut acc = 0.0f32;
+                        for (&g, &w) in grad_row.iter().zip(w_row) {
+                            acc += g * w;
+                        }
+                        grad_input.row_mut(start + k)[c] += acc;
+                    }
+                }
+            }
+        }
+        scratch.recycle(win);
+        self.cached_batch = Some((input, items));
+        Batch::new(grad_input, items)
     }
 
     fn backward(&mut self, grad_output: &Matrix, scratch: &mut Scratch) -> Matrix {

@@ -94,6 +94,56 @@ impl Layer for Dense {
         grad_input
     }
 
+    // `forward_batch_train` keeps the trait default: the affine map is
+    // row-wise, so the solo forward on the stacked matrix is bit-identical
+    // per item and its cached input is exactly the stacked batch cache.
+
+    fn backward_batch(&mut self, grad_output: &Batch, scratch: &mut Scratch) -> Batch {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward_batch called before forward_batch_train");
+        assert_eq!(
+            input.rows(),
+            grad_output.matrix().rows(),
+            "dense batch gradient row mismatch"
+        );
+        let rows_per_item = grad_output.rows_per_item();
+        if rows_per_item == 1 {
+            // Each item contributes a single rank-1 term, so the stacked
+            // kernel's ascending-k accumulation is literally the serial
+            // per-sample sequence of additions — one fast tiled call.
+            self.weight
+                .grad
+                .add_matmul_transa(input, grad_output.matrix());
+        } else {
+            // Multi-row items: flush the local tile accumulator once per
+            // item so the summation order matches a serial per-sample
+            // backward bit for bit.
+            for item in 0..grad_output.items() {
+                self.weight.grad.add_matmul_transa_blocks(
+                    input,
+                    grad_output.matrix(),
+                    item * rows_per_item,
+                    rows_per_item,
+                );
+            }
+        }
+        // Bias gradients accumulate row by row directly into the parameter
+        // (no local accumulator), so one stacked call is already the serial
+        // addition sequence.
+        self.bias.grad.add_sum_rows(grad_output.matrix());
+        if !self.weight_t_valid {
+            self.weight.value.transpose_into(&mut self.weight_t);
+            self.weight_t_valid = true;
+        }
+        let mut grad_input = scratch.take(grad_output.matrix().rows(), self.weight.value.rows());
+        grad_output
+            .matrix()
+            .matmul_into(&self.weight_t, &mut grad_input);
+        Batch::new(grad_input, grad_output.items())
+    }
+
     fn params_mut(&mut self) -> Vec<&mut Param> {
         // Handing out `&mut Param` is the only way the weights can change
         // (optimizer steps, target-network copies), so the cached transpose

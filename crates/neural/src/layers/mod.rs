@@ -70,6 +70,53 @@ pub trait Layer: Send {
     /// gradient whose shape does not match the cached forward output.
     fn backward(&mut self, grad_output: &Matrix, scratch: &mut Scratch) -> Matrix;
 
+    /// The training-mode batched forward: like [`Layer::forward_batch`] it
+    /// processes many independent items in one pass with per-item
+    /// bit-exactness, but it **does** write a batch-shaped forward cache for
+    /// a subsequent [`Layer::backward_batch`].
+    ///
+    /// The default suits row-wise layers (dense, activation): the solo
+    /// forward on the stacked matrix is already bit-identical per item (the
+    /// tiled kernels reduce each output element over ascending `k`
+    /// regardless of row count) and its cache *is* the stacked batch cache.
+    /// Layers that mix rows (self-attention, 1-D convolution) override this
+    /// with an explicit per-item boundary and a dedicated batch cache.
+    ///
+    /// A `forward_batch_train`/`backward_batch` pair may share cache storage
+    /// with the solo `forward`/`backward` pair; the two pairs must not be
+    /// interleaved. (The inference-only [`Layer::forward_batch`] remains safe
+    /// to call between any pair.)
+    fn forward_batch_train(&mut self, input: &Batch, scratch: &mut Scratch) -> Batch {
+        let out = self.forward(input.matrix(), scratch);
+        Batch::new(out, input.items())
+    }
+
+    /// Batched backward over the strided [`Batch`] view: consumes the cache
+    /// written by [`Layer::forward_batch_train`], accumulates parameter
+    /// gradients **summed over all items**, and returns the gradient with
+    /// respect to the stacked input.
+    ///
+    /// The bit-exactness contract mirrors the forward one, extended to
+    /// training: item `i`'s input gradient, and every parameter-gradient
+    /// accumulation, is bit-identical to running solo
+    /// `forward`/`backward` on each item in order — which is what lets the
+    /// batched DQN update reproduce serial-update training transcripts
+    /// exactly. The default serves row-wise layers whose per-item gradient
+    /// contribution is a single row (dense with flat items, element-wise
+    /// activations at any shape); layers with multi-row items flush their
+    /// parameter-gradient accumulator once per item to preserve the serial
+    /// summation order (see [`Matrix::add_matmul_transa_blocks`]).
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called before
+    /// [`Layer::forward_batch_train`] or with a gradient whose shape does not
+    /// match the cached forward output.
+    fn backward_batch(&mut self, grad_output: &Batch, scratch: &mut Scratch) -> Batch {
+        let grad_in = self.backward(grad_output.matrix(), scratch);
+        Batch::new(grad_in, grad_output.items())
+    }
+
     /// Mutable access to the layer's trainable parameters.
     fn params_mut(&mut self) -> Vec<&mut Param>;
 

@@ -65,6 +65,26 @@ impl Layer for Sequential {
         grad
     }
 
+    fn forward_batch_train(&mut self, input: &Batch, scratch: &mut Scratch) -> Batch {
+        let mut x = Batch::new(scratch.take_copy(input.matrix()), input.items());
+        for layer in &mut self.layers {
+            let y = layer.forward_batch_train(&x, scratch);
+            scratch.recycle(x.into_matrix());
+            x = y;
+        }
+        x
+    }
+
+    fn backward_batch(&mut self, grad_output: &Batch, scratch: &mut Scratch) -> Batch {
+        let mut grad = Batch::new(scratch.take_copy(grad_output.matrix()), grad_output.items());
+        for layer in self.layers.iter_mut().rev() {
+            let g = layer.backward_batch(&grad, scratch);
+            scratch.recycle(grad.into_matrix());
+            grad = g;
+        }
+        grad
+    }
+
     fn params_mut(&mut self) -> Vec<&mut Param> {
         self.layers
             .iter_mut()

@@ -233,6 +233,31 @@ impl Matrix {
     ///
     /// Panics on any shape mismatch.
     pub fn add_matmul_transa(&mut self, a: &Matrix, b: &Matrix) {
+        self.add_matmul_transa_blocks(a, b, 0, a.rows);
+    }
+
+    /// Accumulates `a[row_start .. row_start + rows]ᵀ * b[row_start ..
+    /// row_start + rows]` into `self` — the per-item form of
+    /// [`Matrix::add_matmul_transa`] over one row block of two stacked
+    /// batch matrices.
+    ///
+    /// The float operations are exactly those of `add_matmul_transa` on
+    /// copies of the two blocks (local tile accumulator over the block's
+    /// rows in ascending order, one flush into `self` per element), so a
+    /// per-item loop over a stacked batch reproduces a serial per-sample
+    /// gradient accumulation **bit for bit** — the property the batched
+    /// training path's determinism pin relies on for multi-row items.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch or if the block runs past the last row.
+    pub fn add_matmul_transa_blocks(
+        &mut self,
+        a: &Matrix,
+        b: &Matrix,
+        row_start: usize,
+        rows: usize,
+    ) {
         assert_eq!(
             a.rows, b.rows,
             "matmul_transa shape mismatch: {}x{}ᵀ * {}x{}",
@@ -243,13 +268,21 @@ impl Matrix {
             (a.cols, b.cols),
             "matmul_transa output shape mismatch"
         );
+        assert!(
+            row_start + rows <= a.rows,
+            "row block {}..{} out of {} rows",
+            row_start,
+            row_start + rows,
+            a.rows
+        );
         const JT: usize = 32;
-        let (m, r, c) = (a.rows, a.cols, b.cols);
+        let (r, c) = (a.cols, b.cols);
+        let krange = row_start..row_start + rows;
         for i in 0..r {
             let mut j0 = 0;
             while j0 + JT <= c {
                 let mut acc = [0.0f32; JT];
-                for k in 0..m {
+                for k in krange.clone() {
                     let av = a.data[k * r + i];
                     let b_tile = &b.data[k * c + j0..k * c + j0 + JT];
                     for (o, &bv) in acc.iter_mut().zip(b_tile) {
@@ -265,7 +298,7 @@ impl Matrix {
             if j0 < c {
                 let jb = c - j0;
                 let mut acc = [0.0f32; JT];
-                for k in 0..m {
+                for k in krange.clone() {
                     let av = a.data[k * r + i];
                     let b_tile = &b.data[k * c + j0..k * c + j0 + jb];
                     for (o, &bv) in acc[..jb].iter_mut().zip(b_tile) {
@@ -1028,6 +1061,47 @@ mod tests {
         row.row_mut(0)[0] = 9.0;
         assert_eq!(row.get(0, 0), 9.0);
         assert_eq!(a.clone().into_data(), a.data());
+    }
+
+    #[test]
+    fn transa_block_accumulation_matches_block_copies_bit_for_bit() {
+        // A per-item loop over a stacked pair must reproduce, bit for bit,
+        // the serial accumulation over copies of each block — the contract
+        // the batched backward pass builds its determinism pin on.
+        let mut state = 0x1234_5678u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % 2000) as f32 / 700.0 - 1.3
+        };
+        let mut a = Matrix::zeros(6, 3);
+        let mut b = Matrix::zeros(6, 37); // exercises the ragged column tail
+        for v in a.data_mut() {
+            *v = next();
+        }
+        for v in b.data_mut() {
+            *v = next();
+        }
+
+        let mut via_blocks = Matrix::zeros(3, 37);
+        let mut via_copies = Matrix::zeros(3, 37);
+        for item in 0..3 {
+            via_blocks.add_matmul_transa_blocks(&a, &b, item * 2, 2);
+            let mut ab = Matrix::zeros(2, 3);
+            a.copy_row_block_into(item * 2, &mut ab);
+            let mut bb = Matrix::zeros(2, 37);
+            b.copy_row_block_into(item * 2, &mut bb);
+            via_copies.add_matmul_transa(&ab, &bb);
+        }
+        assert_eq!(via_blocks.data(), via_copies.data());
+
+        // Single-row blocks degenerate to the stacked call exactly.
+        let mut stacked = Matrix::zeros(3, 37);
+        stacked.add_matmul_transa(&a, &b);
+        let mut rows = Matrix::zeros(3, 37);
+        for r in 0..6 {
+            rows.add_matmul_transa_blocks(&a, &b, r, 1);
+        }
+        assert_eq!(stacked.data(), rows.data());
     }
 
     #[test]

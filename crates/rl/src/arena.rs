@@ -1,0 +1,162 @@
+//! A reference-counted feature arena for replay storage.
+//!
+//! Before the arena, every replay transition owned two full feature sets
+//! (its start state and its bootstrap state), even though consecutive
+//! transitions share states: the state reached at step `t` is both the
+//! `final_state` of one n-step window and the `state` of another. Storing
+//! each encoded state **once** and letting transitions hold [`FeatureId`]
+//! indices halves the steady-state replay memory, and turns "stack the
+//! minibatch" into a strided gather over the arena instead of N feature
+//! clones.
+//!
+//! Ownership is reference-counted at the granularity the replay pipeline
+//! needs: [`FeatureArena::retain`] when a replay entry starts referencing an
+//! id, [`FeatureArena::release`] when that entry is evicted from the ring.
+//! A slot whose count returns to zero goes onto a free list and its storage
+//! is dropped immediately, so the live arena tracks the replay contents.
+
+/// An index into a [`FeatureArena`].
+///
+/// Deliberately small and `Copy`: transitions and n-step windows move these
+/// around instead of cloning feature matrices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FeatureId(u32);
+
+impl FeatureId {
+    /// The raw slot index (diagnostics).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A reference-counted slot arena for feature sets.
+#[derive(Debug, Clone, Default)]
+pub struct FeatureArena<S> {
+    slots: Vec<Option<S>>,
+    refs: Vec<u32>,
+    free: Vec<u32>,
+}
+
+impl<S> FeatureArena<S> {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self {
+            slots: Vec::new(),
+            refs: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Stores a feature set and returns its id, with a reference count of
+    /// zero — the caller is expected to [`FeatureArena::retain`] it once it
+    /// lands in a replay entry. Freed slots are reused before the arena
+    /// grows.
+    pub fn intern(&mut self, features: S) -> FeatureId {
+        match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.slots[slot as usize].is_none());
+                self.slots[slot as usize] = Some(features);
+                FeatureId(slot)
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("feature arena overflow");
+                self.slots.push(Some(features));
+                self.refs.push(0);
+                FeatureId(slot)
+            }
+        }
+    }
+
+    /// The feature set behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was already freed.
+    pub fn get(&self, id: FeatureId) -> &S {
+        self.slots[id.index()]
+            .as_ref()
+            .expect("feature id resolved after being freed")
+    }
+
+    /// Increments an id's reference count (a replay entry now points at it).
+    pub fn retain(&mut self, id: FeatureId) {
+        self.refs[id.index()] += 1;
+    }
+
+    /// Decrements an id's reference count; the slot is freed (storage
+    /// dropped, index recycled) when the count returns to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id's count is already zero.
+    pub fn release(&mut self, id: FeatureId) {
+        let count = &mut self.refs[id.index()];
+        assert!(*count > 0, "release of an unreferenced feature id");
+        *count -= 1;
+        if *count == 0 {
+            self.slots[id.index()] = None;
+            self.free.push(id.0);
+        }
+    }
+
+    /// Number of live (occupied) slots.
+    pub fn live(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Total slots ever allocated (live + free-listed).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_get_round_trips() {
+        let mut arena = FeatureArena::new();
+        let a = arena.intern("alpha".to_string());
+        let b = arena.intern("beta".to_string());
+        assert_ne!(a, b);
+        assert_eq!(arena.get(a), "alpha");
+        assert_eq!(arena.get(b), "beta");
+        assert_eq!(arena.live(), 2);
+    }
+
+    #[test]
+    fn release_frees_and_reuses_slots() {
+        let mut arena = FeatureArena::new();
+        let a = arena.intern(1u32);
+        arena.retain(a);
+        arena.retain(a);
+        arena.release(a);
+        assert_eq!(arena.live(), 1, "still one reference outstanding");
+        arena.release(a);
+        assert_eq!(arena.live(), 0);
+        // The freed index is recycled before the arena grows.
+        let b = arena.intern(2u32);
+        assert_eq!(b.index(), a.index());
+        assert_eq!(arena.capacity(), 1);
+        assert_eq!(*arena.get(b), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unreferenced")]
+    fn releasing_an_unreferenced_id_panics() {
+        let mut arena = FeatureArena::new();
+        let a = arena.intern(0u8);
+        arena.release(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "after being freed")]
+    fn resolving_a_freed_id_panics() {
+        let mut arena = FeatureArena::new();
+        let a = arena.intern(0u8);
+        arena.retain(a);
+        arena.release(a);
+        let _ = arena.get(a);
+    }
+}

@@ -8,6 +8,9 @@
 //!
 //! * [`replay`] — a sum-tree backed prioritized replay buffer with
 //!   importance-sampling weights;
+//! * [`arena`] — a reference-counted feature arena: states are stored once
+//!   and transitions hold [`arena::FeatureId`]s, halving replay memory and
+//!   making minibatch assembly an index gather;
 //! * [`nstep`] — an n-step return accumulator;
 //! * [`schedule`] — ε-greedy and linear schedules;
 //! * [`trainer`] — [`trainer::DqnTrainer`], which wires the above together
@@ -21,12 +24,14 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod nstep;
 pub mod policy;
 pub mod replay;
 pub mod schedule;
 pub mod trainer;
 
+pub use arena::{FeatureArena, FeatureId};
 pub use nstep::{NStepBuffer, NStepTransition, Transition};
 pub use policy::epsilon_greedy;
 pub use replay::PrioritizedReplay;

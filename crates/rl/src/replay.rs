@@ -60,17 +60,6 @@ impl SumTree {
     }
 }
 
-/// A sampled item together with its buffer index and importance weight.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Sampled<T> {
-    /// Index to pass back to [`PrioritizedReplay::update_priority`].
-    pub index: usize,
-    /// Importance-sampling weight, normalised to at most 1 within the batch.
-    pub weight: f64,
-    /// The stored transition.
-    pub item: T,
-}
-
 /// A prioritized replay buffer.
 #[derive(Debug, Clone)]
 pub struct PrioritizedReplay<T> {
@@ -121,13 +110,16 @@ impl<T: Clone> PrioritizedReplay<T> {
     }
 
     /// Adds a transition with maximal priority (so new experience is sampled
-    /// at least once before its priority is refined).
-    pub fn push(&mut self, item: T) {
+    /// at least once before its priority is refined). When the ring is full,
+    /// returns the transition this push evicted, so the caller can release
+    /// whatever external storage (e.g. an arena slot) it referenced.
+    pub fn push(&mut self, item: T) -> Option<T> {
         let slot = self.next_slot;
-        self.items[slot] = Some(item);
+        let evicted = self.items[slot].replace(item);
         self.tree.set(slot, self.max_priority.powf(self.alpha));
         self.next_slot = (self.next_slot + 1) % self.capacity;
         self.len = (self.len + 1).min(self.capacity);
+        evicted
     }
 
     /// Samples `batch` buffer indices with probability proportional to
@@ -180,20 +172,6 @@ impl<T: Clone> PrioritizedReplay<T> {
             .expect("sampled index must hold an item")
     }
 
-    /// Samples `batch` transitions with probability proportional to priority,
-    /// cloning each sampled item. See [`PrioritizedReplay::sample_indices`]
-    /// for the clone-free variant used by the training hot path.
-    pub fn sample(&self, batch: usize, beta: f64, rng: &mut StdRng) -> Vec<Sampled<T>> {
-        self.sample_indices(batch, beta, rng)
-            .into_iter()
-            .map(|(index, weight)| Sampled {
-                index,
-                weight,
-                item: self.get(index).clone(),
-            })
-            .collect()
-    }
-
     /// Updates the priority of a stored transition (typically to its most
     /// recent absolute TD error).
     pub fn update_priority(&mut self, index: usize, priority: f64) {
@@ -209,11 +187,15 @@ mod tests {
     use rand::SeedableRng;
 
     #[test]
-    fn push_and_len_respect_capacity() {
+    fn push_and_len_respect_capacity_and_report_evictions() {
         let mut buf: PrioritizedReplay<u32> = PrioritizedReplay::new(4, 0.6);
         assert!(buf.is_empty());
-        for i in 0..10 {
-            buf.push(i);
+        for i in 0..4 {
+            assert_eq!(buf.push(i), None, "no eviction while the ring fills");
+        }
+        for i in 4..10u32 {
+            // The ring overwrites oldest-first, so push i evicts i - capacity.
+            assert_eq!(buf.push(i), Some(i - 4));
         }
         assert_eq!(buf.len(), 4);
         assert_eq!(buf.capacity(), 4);
@@ -226,11 +208,11 @@ mod tests {
             buf.push(i);
         }
         let mut rng = StdRng::seed_from_u64(0);
-        let batch = buf.sample(16, 0.4, &mut rng);
+        let batch = buf.sample_indices(16, 0.4, &mut rng);
         assert_eq!(batch.len(), 16);
-        for s in &batch {
-            assert!(s.weight > 0.0 && s.weight <= 1.0 + 1e-9);
-            assert!(s.item < 50);
+        for (index, weight) in &batch {
+            assert!(*weight > 0.0 && *weight <= 1.0 + 1e-9);
+            assert!(*buf.get(*index) < 50);
         }
     }
 
@@ -238,7 +220,7 @@ mod tests {
     fn empty_buffer_samples_nothing() {
         let buf: PrioritizedReplay<u32> = PrioritizedReplay::new(8, 0.5);
         let mut rng = StdRng::seed_from_u64(1);
-        assert!(buf.sample(4, 0.4, &mut rng).is_empty());
+        assert!(buf.sample_indices(4, 0.4, &mut rng).is_empty());
     }
 
     #[test]
@@ -255,9 +237,9 @@ mod tests {
         let mut count_3 = 0;
         let mut total = 0;
         for _ in 0..200 {
-            for s in buf.sample(4, 0.4, &mut rng) {
+            for (index, _) in buf.sample_indices(4, 0.4, &mut rng) {
                 total += 1;
-                if s.item == 3 {
+                if *buf.get(index) == 3 {
                     count_3 += 1;
                 }
             }
@@ -279,16 +261,16 @@ mod tests {
             buf.update_priority(i, if i == 0 { 5.0 } else { 0.5 });
         }
         let mut rng = StdRng::seed_from_u64(3);
-        let batch = buf.sample(8, 1.0, &mut rng);
+        let batch = buf.sample_indices(8, 1.0, &mut rng);
         let w_hot = batch
             .iter()
-            .filter(|s| s.item == 0)
-            .map(|s| s.weight)
+            .filter(|(i, _)| *buf.get(*i) == 0)
+            .map(|(_, w)| *w)
             .fold(f64::NAN, f64::min);
         let w_cold = batch
             .iter()
-            .filter(|s| s.item != 0)
-            .map(|s| s.weight)
+            .filter(|(i, _)| *buf.get(*i) != 0)
+            .map(|(_, w)| *w)
             .fold(0.0, f64::max);
         if w_hot.is_finite() && w_cold > 0.0 {
             assert!(w_hot <= w_cold + 1e-9);

@@ -1,13 +1,21 @@
 //! The DQN trainer: bookkeeping that ties replay, n-step returns and
 //! schedules together.
 //!
-//! The trainer is generic over the state representation. The caller owns the
-//! Q-networks; the trainer decides *when* to train, *what* to train on and
-//! *when* to refresh the target network, and receives TD errors back to keep
-//! the replay priorities current.
+//! The trainer is generic over the state representation, but it no longer
+//! *stores* states inside transitions: encoded states live once in a
+//! reference-counted [`FeatureArena`] and every n-step transition holds two
+//! [`FeatureId`]s. Consecutive transitions share states (the state reached
+//! at step `t` is one window's `final_state` and another's `state`), so the
+//! arena halves steady-state replay memory, and minibatch assembly becomes
+//! an index gather instead of per-sample feature clones.
+//!
+//! The caller owns the Q-networks; the trainer decides *when* to train,
+//! *what* to train on and *when* to refresh the target network, and receives
+//! TD errors back to keep the replay priorities current.
 
+use crate::arena::{FeatureArena, FeatureId};
 use crate::nstep::{NStepBuffer, NStepTransition, Transition};
-use crate::replay::{PrioritizedReplay, Sampled};
+use crate::replay::PrioritizedReplay;
 use crate::schedule::{EpsilonSchedule, LinearSchedule};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
@@ -86,19 +94,16 @@ impl Default for DqnConfig {
     }
 }
 
-/// A training batch entry: an n-step transition plus its replay index and
-/// importance weight.
-pub type Batch<S> = Vec<Sampled<NStepTransition<S>>>;
-
 /// Bookkeeping for augmented DQN training.
 ///
 /// `Clone` is derived so evaluation harnesses can snapshot a trained agent
-/// (replay contents included) per rollout worker.
+/// (replay contents and feature arena included) per rollout worker.
 #[derive(Debug, Clone)]
 pub struct DqnTrainer<S> {
     config: DqnConfig,
-    replay: PrioritizedReplay<NStepTransition<S>>,
-    nstep: NStepBuffer<S>,
+    arena: FeatureArena<S>,
+    replay: PrioritizedReplay<NStepTransition<FeatureId>>,
+    nstep: NStepBuffer<FeatureId>,
     epsilon: EpsilonSchedule,
     beta: LinearSchedule,
     env_steps: u64,
@@ -106,10 +111,21 @@ pub struct DqnTrainer<S> {
     updates_since_sync: u64,
 }
 
-impl<S: Clone> DqnTrainer<S> {
+impl<S> DqnTrainer<S> {
     /// Creates a trainer from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replay capacity is smaller than the n-step horizon:
+    /// the arena's reference counting assumes an id still pending in the
+    /// n-step window cannot be evicted from replay first.
     pub fn new(config: DqnConfig) -> Self {
+        assert!(
+            config.buffer_capacity >= config.n_step,
+            "replay capacity must cover the n-step horizon"
+        );
         Self {
+            arena: FeatureArena::new(),
             replay: PrioritizedReplay::new(config.buffer_capacity, config.priority_alpha),
             nstep: NStepBuffer::new(config.n_step, config.gamma),
             epsilon: EpsilonSchedule::new(
@@ -140,7 +156,7 @@ impl<S: Clone> DqnTrainer<S> {
         self.epsilon.step();
         // Flush any partial n-step windows so no experience is lost.
         for t in self.nstep.flush() {
-            self.replay.push(t);
+            self.store(t);
         }
     }
 
@@ -160,11 +176,50 @@ impl<S: Clone> DqnTrainer<S> {
         self.updates
     }
 
-    /// Records a single-step transition from the environment.
-    pub fn observe(&mut self, transition: Transition<S>) {
+    /// Stores an encoded state in the feature arena, returning the id that
+    /// transitions reference it by. Each decision point is interned exactly
+    /// once — as the next state of one transition *and* the current state of
+    /// the following one.
+    ///
+    /// Every interned id is expected to reach [`DqnTrainer::observe`] (as
+    /// `state` or `next_state`): slots are freed by the reference counting
+    /// that replay eviction drives, so an id that never enters a transition
+    /// occupies its slot until the trainer is dropped. Don't intern
+    /// speculatively.
+    pub fn intern(&mut self, features: S) -> FeatureId {
+        self.arena.intern(features)
+    }
+
+    /// The encoded state behind an arena id (the minibatch gather).
+    pub fn features(&self, id: FeatureId) -> &S {
+        self.arena.get(id)
+    }
+
+    /// Number of live feature sets in the arena. The pre-arena layout held
+    /// two owned feature sets per replay transition; the arena holds about
+    /// one per *distinct* decision point, i.e. about half that.
+    pub fn arena_live(&self) -> usize {
+        self.arena.live()
+    }
+
+    /// Records a single-step transition (by arena ids) from the environment.
+    pub fn observe(&mut self, transition: Transition<FeatureId>) {
         self.env_steps += 1;
         for t in self.nstep.push(transition) {
-            self.replay.push(t);
+            self.store(t);
+        }
+    }
+
+    /// Moves an emitted n-step transition into replay, keeping the arena's
+    /// reference counts in sync: the new entry's two ids are retained, and
+    /// the ring eviction (if any) releases its entry's ids — freeing arena
+    /// slots the moment no replay entry references them.
+    fn store(&mut self, transition: NStepTransition<FeatureId>) {
+        self.arena.retain(transition.state);
+        self.arena.retain(transition.final_state);
+        if let Some(evicted) = self.replay.push(transition) {
+            self.arena.release(evicted.state);
+            self.arena.release(evicted.final_state);
         }
     }
 
@@ -175,16 +230,10 @@ impl<S: Clone> DqnTrainer<S> {
             && self.env_steps.is_multiple_of(self.config.update_every)
     }
 
-    /// Samples a prioritized batch for training.
-    pub fn sample_batch(&mut self, rng: &mut StdRng) -> Batch<S> {
-        let beta = self.beta.value();
-        self.replay.sample(self.config.batch_size, beta, rng)
-    }
-
     /// Samples a prioritized batch as `(replay index, importance weight)`
-    /// pairs without cloning any stored transition; resolve each index with
-    /// [`DqnTrainer::transition`]. This is the zero-copy path the training
-    /// loop uses.
+    /// pairs without cloning anything; resolve each index with
+    /// [`DqnTrainer::transition`] and its states with
+    /// [`DqnTrainer::features`].
     pub fn sample_batch_indices(&mut self, rng: &mut StdRng) -> Vec<(usize, f64)> {
         let beta = self.beta.value();
         self.replay
@@ -193,7 +242,7 @@ impl<S: Clone> DqnTrainer<S> {
 
     /// The stored n-step transition at a replay index returned by
     /// [`DqnTrainer::sample_batch_indices`].
-    pub fn transition(&self, index: usize) -> &NStepTransition<S> {
+    pub fn transition(&self, index: usize) -> &NStepTransition<FeatureId> {
         self.replay.get(index)
     }
 
@@ -218,7 +267,7 @@ impl<S: Clone> DqnTrainer<S> {
     }
 
     /// Discount to apply to the bootstrap term of an n-step transition.
-    pub fn bootstrap_discount(&self, transition: &NStepTransition<S>) -> f64 {
+    pub fn bootstrap_discount(&self, transition: &NStepTransition<FeatureId>) -> f64 {
         transition.bootstrap_discount(self.config.gamma)
     }
 }
@@ -228,13 +277,31 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
 
-    fn transition(step: u64, done: bool) -> Transition<u64> {
-        Transition {
-            state: step,
-            action: (step % 3) as usize,
-            reward: 1.0,
-            next_state: step + 1,
-            done,
+    /// Drives the trainer like the agent does: each decision point is
+    /// interned once and reused as the next transition's start state.
+    struct Driver {
+        last: Option<FeatureId>,
+    }
+
+    impl Driver {
+        fn new() -> Self {
+            Self { last: None }
+        }
+
+        fn step(&mut self, trainer: &mut DqnTrainer<u64>, step: u64, done: bool) {
+            let state = match self.last.take() {
+                Some(id) => id,
+                None => trainer.intern(step),
+            };
+            let next_state = trainer.intern(step + 1);
+            trainer.observe(Transition {
+                state,
+                action: (step % 3) as usize,
+                reward: 1.0,
+                next_state,
+                done,
+            });
+            self.last = if done { None } else { Some(next_state) };
         }
     }
 
@@ -258,12 +325,13 @@ mod tests {
             ..DqnConfig::smoke()
         };
         let mut trainer: DqnTrainer<u64> = DqnTrainer::new(cfg);
+        let mut driver = Driver::new();
         for i in 0..10 {
-            trainer.observe(transition(i, false));
+            driver.step(&mut trainer, i, false);
             assert!(!trainer.should_update());
         }
         for i in 10..40 {
-            trainer.observe(transition(i, false));
+            driver.step(&mut trainer, i, false);
         }
         assert!(trainer.should_update());
         assert_eq!(trainer.env_steps(), 40);
@@ -281,13 +349,23 @@ mod tests {
             ..DqnConfig::smoke()
         };
         let mut trainer: DqnTrainer<u64> = DqnTrainer::new(cfg);
+        let mut driver = Driver::new();
         for i in 0..50 {
-            trainer.observe(transition(i, i % 25 == 24));
+            driver.step(&mut trainer, i, i % 25 == 24);
         }
         let mut rng = StdRng::seed_from_u64(0);
-        let batch = trainer.sample_batch(&mut rng);
+        let batch = trainer.sample_batch_indices(&mut rng);
         assert_eq!(batch.len(), 8);
-        let errors: Vec<(usize, f64)> = batch.iter().map(|s| (s.index, 0.5)).collect();
+        // Sampled transitions resolve through the arena: the stored value is
+        // the step the window started from, the final state is `steps`
+        // later (both interned exactly once).
+        for (index, _) in &batch {
+            let t = trainer.transition(*index);
+            let state = *trainer.features(t.state);
+            let final_state = *trainer.features(t.final_state);
+            assert_eq!(final_state, state + t.steps as u64);
+        }
+        let errors: Vec<(usize, f64)> = batch.iter().map(|(i, _)| (*i, 0.5)).collect();
         // Target sync fires after `target_update_interval` updates.
         assert!(!trainer.record_update(&errors));
         assert!(!trainer.record_update(&errors));
@@ -304,8 +382,9 @@ mod tests {
             ..DqnConfig::smoke()
         };
         let mut trainer: DqnTrainer<u64> = DqnTrainer::new(cfg);
-        trainer.observe(transition(0, false));
-        trainer.observe(transition(1, false));
+        let mut driver = Driver::new();
+        driver.step(&mut trainer, 0, false);
+        driver.step(&mut trainer, 1, false);
         let before = trainer.buffered();
         let eps_before = trainer.epsilon();
         trainer.end_episode();
@@ -314,16 +393,71 @@ mod tests {
     }
 
     #[test]
+    fn arena_holds_one_feature_set_per_decision_point() {
+        // 40 steps in one episode: 41 distinct decision points, 40 n-step
+        // windows. The pre-arena layout would have owned 80 feature sets.
+        let cfg = DqnConfig {
+            n_step: 4,
+            ..DqnConfig::smoke()
+        };
+        let mut trainer: DqnTrainer<u64> = DqnTrainer::new(cfg);
+        let mut driver = Driver::new();
+        for i in 0..40 {
+            driver.step(&mut trainer, i, i == 39);
+        }
+        assert_eq!(trainer.buffered(), 40);
+        assert_eq!(trainer.arena_live(), 41);
+        assert!(trainer.arena_live() <= trainer.buffered() + 1);
+    }
+
+    #[test]
+    fn evicted_transitions_release_their_arena_slots() {
+        // Capacity 8 ring: after hundreds of steps the arena must track the
+        // ring contents, not the whole history.
+        let cfg = DqnConfig {
+            n_step: 2,
+            buffer_capacity: 8,
+            ..DqnConfig::smoke()
+        };
+        let mut trainer: DqnTrainer<u64> = DqnTrainer::new(cfg);
+        let mut driver = Driver::new();
+        for i in 0..300 {
+            driver.step(&mut trainer, i, false);
+        }
+        assert_eq!(trainer.buffered(), 8);
+        // 8 entries spanning n=2 steps each cover at most 8 + n + (window
+        // in flight) distinct states.
+        assert!(
+            trainer.arena_live() <= 8 + 2 + 2,
+            "arena leaked: {} live slots for 8 replay entries",
+            trainer.arena_live()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must cover")]
+    fn capacity_below_horizon_is_rejected() {
+        let cfg = DqnConfig {
+            n_step: 8,
+            buffer_capacity: 4,
+            ..DqnConfig::smoke()
+        };
+        let _: DqnTrainer<u64> = DqnTrainer::new(cfg);
+    }
+
+    #[test]
     fn bootstrap_discount_respects_termination() {
-        let trainer: DqnTrainer<u64> = DqnTrainer::new(DqnConfig {
+        let mut trainer: DqnTrainer<u64> = DqnTrainer::new(DqnConfig {
             gamma: 0.9,
             ..DqnConfig::smoke()
         });
+        let s0 = trainer.intern(0);
+        let s3 = trainer.intern(3);
         let alive = NStepTransition {
-            state: 0u64,
+            state: s0,
             action: 0,
             return_n: 1.0,
-            final_state: 3,
+            final_state: s3,
             done: false,
             steps: 3,
         };

@@ -5,6 +5,7 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rl::trainer::{DqnConfig, DqnTrainer};
 use rl::{EpsilonSchedule, LinearSchedule, NStepBuffer, PrioritizedReplay, Transition};
 
 proptest! {
@@ -26,12 +27,12 @@ proptest! {
         prop_assert!(buf.len() <= buf.capacity());
         prop_assert_eq!(buf.len(), pushes.len().min(buf.capacity()));
         let mut rng = StdRng::seed_from_u64(seed);
-        let samples = buf.sample(batch, 0.5, &mut rng);
+        let samples = buf.sample_indices(batch, 0.5, &mut rng);
         prop_assert!(samples.len() <= batch.min(buf.len().max(1)));
-        for s in samples {
-            prop_assert!(pushes.contains(&s.item));
-            prop_assert!(s.weight > 0.0 && s.weight <= 1.0 + 1e-9);
-            prop_assert!(s.index < buf.capacity());
+        for (index, weight) in samples {
+            prop_assert!(pushes.contains(buf.get(index)));
+            prop_assert!(weight > 0.0 && weight <= 1.0 + 1e-9);
+            prop_assert!(index < buf.capacity());
         }
     }
 
@@ -50,7 +51,7 @@ proptest! {
             buf.update_priority(i, *e);
         }
         let mut rng = StdRng::seed_from_u64(seed);
-        let samples = buf.sample(16, 1.0, &mut rng);
+        let samples = buf.sample_indices(16, 1.0, &mut rng);
         prop_assert!(!samples.is_empty());
     }
 
@@ -86,6 +87,46 @@ proptest! {
                 .map(|(k, r)| gamma.powi(k as i32) * r)
                 .sum();
             prop_assert!((t.return_n - expected).abs() < 1e-9);
+        }
+    }
+
+    /// Whatever the episode structure, the feature arena tracks the replay
+    /// contents: roughly one live feature set per distinct decision point
+    /// still referenced by the ring — never the pre-arena two-per-transition
+    /// layout, and never a leak proportional to history length.
+    #[test]
+    fn arena_tracks_replay_contents(
+        episode_lens in prop::collection::vec(1usize..30, 1..6),
+        n in 1usize..6,
+    ) {
+        let cfg = DqnConfig {
+            n_step: n,
+            buffer_capacity: 64,
+            ..DqnConfig::smoke()
+        };
+        let mut trainer: DqnTrainer<u64> = DqnTrainer::new(cfg);
+        let mut step = 0u64;
+        for len in &episode_lens {
+            let mut last = trainer.intern(step);
+            for i in 0..*len {
+                let next = trainer.intern(step + 1);
+                trainer.observe(Transition {
+                    state: last,
+                    action: 0,
+                    reward: 1.0,
+                    next_state: next,
+                    done: i + 1 == *len,
+                });
+                last = next;
+                step += 1;
+            }
+            trainer.end_episode();
+            prop_assert!(
+                trainer.arena_live() <= trainer.buffered() + episode_lens.len() + n + 1,
+                "arena {} live vs {} buffered",
+                trainer.arena_live(),
+                trainer.buffered()
+            );
         }
     }
 
