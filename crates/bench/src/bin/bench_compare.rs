@@ -89,6 +89,21 @@ const METRICS: &[(&str, &str, Direction)] = &[
         "base update speedup",
         Direction::HigherIsBetter,
     ),
+    (
+        "serve_episodes_per_sec_1_client",
+        "serve eps/s 1 client",
+        Direction::HigherIsBetter,
+    ),
+    (
+        "serve_episodes_per_sec_4_clients",
+        "serve eps/s 4 clients",
+        Direction::HigherIsBetter,
+    ),
+    (
+        "serve_batch_fill_4_clients",
+        "serve fill 4 clients",
+        Direction::HigherIsBetter,
+    ),
 ];
 
 /// Extracts the number following `"key":` from a JSON document. The

@@ -1,0 +1,209 @@
+//! Serve-path throughput benchmark: drives the `acso-serve` evaluation
+//! service with one synthetic client versus four pipelined clients and
+//! measures episodes/sec plus the lockstep batch-fill ratio. Coalescing is
+//! the daemon's whole reason to exist, so the run **asserts** that four
+//! clients fill the engine strictly better than one before reporting
+//! numbers.
+//!
+//! Usage:
+//!
+//! ```sh
+//! cargo run --release -p acso-bench --bin serve_bench -- \
+//!     [--quick] [--out PATH] [--merge BENCH_x.json]
+//! ```
+//!
+//! `--out` writes a standalone JSON snapshot; `--merge` splices the `serve`
+//! block into an existing `perf_smoke` snapshot (e.g. `BENCH_6.json`) so one
+//! file carries the PR's whole trajectory entry.
+
+use acso_serve::service::{EvalService, ServiceConfig};
+use std::time::Instant;
+
+/// One benchmark workload: `requests` evaluate calls of `episodes` episodes
+/// each on the tiny scenario, all against a warm playbook policy.
+struct Workload {
+    requests: usize,
+    episodes: u64,
+    max_time: u64,
+}
+
+fn evaluate_line(id: usize, seed: u64, episodes: u64, max_time: u64) -> String {
+    format!(
+        r#"{{"id":{id},"method":"evaluate","params":{{"handle":"playbook@1","scenario":"tiny","episodes":{episodes},"seed":{seed},"max_time":{max_time}}}}}"#
+    )
+}
+
+/// Fresh service with a warm playbook policy (loading is not part of the
+/// measurement — the daemon's point is that it happens once).
+fn warm_service(threads: usize) -> EvalService {
+    let mut service = EvalService::new(ServiceConfig {
+        lanes: 8,
+        threads,
+        fixed_time: true,
+    });
+    let response =
+        service.handle_line(r#"{"id":0,"method":"load_policy","params":{"policy":"playbook"}}"#);
+    assert!(response.contains(r#""ok":true"#), "{response}");
+    service
+}
+
+struct RunResult {
+    episodes_per_sec: f64,
+    fill_ratio: f64,
+}
+
+/// One client: every request arrives alone, so each is its own lockstep
+/// batch and short requests leave most engine lanes empty.
+fn run_solo(workload: &Workload, threads: usize) -> RunResult {
+    let mut service = warm_service(threads);
+    let start = Instant::now();
+    for i in 0..workload.requests {
+        let line = evaluate_line(i + 1, i as u64, workload.episodes, workload.max_time);
+        let response = service.handle_line(&line);
+        assert!(response.contains(r#""ok":true"#), "{response}");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    RunResult {
+        episodes_per_sec: (workload.requests as u64 * workload.episodes) as f64 / elapsed,
+        fill_ratio: service.metrics().batch_fill_ratio(),
+    }
+}
+
+/// `clients` pipelined clients: their requests land in the same transport
+/// drain, so the service coalesces them into shared lockstep batches.
+fn run_coalesced(workload: &Workload, threads: usize, clients: usize) -> RunResult {
+    let mut service = warm_service(threads);
+    let start = Instant::now();
+    let mut id = 0;
+    for round in 0..workload.requests / clients {
+        let lines: Vec<String> = (0..clients)
+            .map(|c| {
+                id += 1;
+                evaluate_line(
+                    id,
+                    (round * clients + c) as u64,
+                    workload.episodes,
+                    workload.max_time,
+                )
+            })
+            .collect();
+        let outcome = service.handle_batch(&lines);
+        for response in &outcome.responses {
+            assert!(response.contains(r#""ok":true"#), "{response}");
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    RunResult {
+        episodes_per_sec: (workload.requests as u64 * workload.episodes) as f64 / elapsed,
+        fill_ratio: service.metrics().batch_fill_ratio(),
+    }
+}
+
+/// Splices a `"serve": {...}` block into an existing snapshot by replacing
+/// its final closing brace.
+fn merge_into(path: &str, serve_block: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read merge target {path}: {e}"));
+    let trimmed = text.trim_end();
+    let body = trimmed
+        .strip_suffix('}')
+        .unwrap_or_else(|| panic!("{path} does not end with a JSON object"));
+    assert!(
+        !body.contains("\"serve\""),
+        "{path} already carries a serve block"
+    );
+    let merged = format!("{},\n  \"serve\": {serve_block}\n}}\n", body.trim_end());
+    std::fs::write(path, merged).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out_path = value_of("--out");
+    let merge_path = value_of("--merge");
+
+    let clients = 4;
+    let workload = if quick {
+        Workload {
+            requests: 8,
+            episodes: 2,
+            max_time: 150,
+        }
+    } else {
+        Workload {
+            requests: 32,
+            episodes: 2,
+            max_time: 300,
+        }
+    };
+    let threads = ServiceConfig::from_env().threads;
+
+    println!(
+        "== serve_bench ({}) == {} requests x {} episodes, max_time {}, {} threads",
+        if quick { "quick" } else { "full" },
+        workload.requests,
+        workload.episodes,
+        workload.max_time,
+        threads
+    );
+
+    // Warm-up pass (page in code, allocator state), then timed runs.
+    let _ = run_solo(
+        &Workload {
+            requests: 2,
+            ..workload
+        },
+        threads,
+    );
+    let solo = run_solo(&workload, threads);
+    let coalesced = run_coalesced(&workload, threads, clients);
+
+    // The point of the daemon: pipelined clients share lockstep batches.
+    // 2-episode requests fill an 8-lane engine at 0.25 alone; four coalesced
+    // requests fill it completely.
+    assert!(
+        coalesced.fill_ratio > solo.fill_ratio,
+        "coalescing must raise batch fill: solo {} vs {clients} clients {}",
+        solo.fill_ratio,
+        coalesced.fill_ratio
+    );
+
+    println!(
+        "  1 client : {:>10.1} episodes/sec, batch fill {:.3}",
+        solo.episodes_per_sec, solo.fill_ratio
+    );
+    println!(
+        "  {clients} clients: {:>10.1} episodes/sec, batch fill {:.3} ({:.2}x)",
+        coalesced.episodes_per_sec,
+        coalesced.fill_ratio,
+        coalesced.episodes_per_sec / solo.episodes_per_sec
+    );
+
+    let serve_block = format!(
+        "{{\n    \"scenario\": \"tiny\",\n    \"policy\": \"Playbook\",\n    \"lanes\": 8,\n    \"threads\": {threads},\n    \"requests\": {requests},\n    \"episodes_per_request\": {episodes},\n    \"clients\": {clients},\n    \"serve_episodes_per_sec_1_client\": {solo_eps:.1},\n    \"serve_episodes_per_sec_{clients}_clients\": {co_eps:.1},\n    \"serve_batch_fill_1_client\": {solo_fill:.4},\n    \"serve_batch_fill_{clients}_clients\": {co_fill:.4},\n    \"serve_coalesced_speedup\": {speedup:.3}\n  }}",
+        requests = workload.requests,
+        episodes = workload.episodes,
+        solo_eps = solo.episodes_per_sec,
+        co_eps = coalesced.episodes_per_sec,
+        solo_fill = solo.fill_ratio,
+        co_fill = coalesced.fill_ratio,
+        speedup = coalesced.episodes_per_sec / solo.episodes_per_sec,
+    );
+
+    if let Some(path) = merge_path {
+        merge_into(&path, &serve_block);
+        println!("merged serve block into {path}");
+    }
+    if let Some(path) = out_path {
+        let json =
+            format!("{{\n  \"schema\": \"acso-serve-bench/v1\",\n  \"serve\": {serve_block}\n}}\n");
+        std::fs::write(&path, &json).expect("failed to write benchmark snapshot");
+        println!("wrote {path}");
+    }
+}

@@ -90,6 +90,29 @@ impl AgentConfig {
 /// `Clone` snapshots the whole agent — networks, filter, replay contents —
 /// which is how the parallel rollout engine gives every evaluation worker
 /// its own instance of a trained agent.
+///
+/// # Example
+///
+/// Assemble an (untrained) agent from its three ingredients — a learned DBN
+/// model, a Q-network, a configuration — and roll out one greedy episode:
+///
+/// ```
+/// use acso_core::agent::{AcsoAgent, AgentConfig, AttentionQNet};
+/// use acso_core::rollout::{rollout_serial, RolloutPlan};
+/// use acso_core::ActionSpace;
+/// use dbn::learn::{learn_model, LearnConfig};
+/// use ics_sim::{IcsEnvironment, SimConfig};
+///
+/// let sim = SimConfig::tiny().with_max_time(30);
+/// let model = learn_model(&LearnConfig { episodes: 1, seed: 0, sim: sim.clone() });
+/// let env = IcsEnvironment::new(sim.clone());
+/// let network = AttentionQNet::new(ActionSpace::new(env.topology()), 0);
+/// let mut agent = AcsoAgent::new(env.topology(), model, network, AgentConfig::smoke());
+/// agent.set_explore(false); // greedy evaluation mode
+///
+/// let metrics = rollout_serial(&mut agent, &RolloutPlan::new(sim, 1, 0).with_threads(1));
+/// assert_eq!(metrics.len(), 1);
+/// ```
 #[derive(Clone)]
 pub struct AcsoAgent<N: QNetwork + Clone> {
     online: N,

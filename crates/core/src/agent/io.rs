@@ -12,7 +12,15 @@ use std::io::{self, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"ACSOWTS\0";
-const VERSION: u32 = 1;
+
+/// Version of the on-disk weights format this build reads and writes.
+///
+/// Serving-layer policy handles echo this number so clients can tell which
+/// artefact format a loaded policy round-trips through; bump it only with a
+/// migration path for existing weight files.
+pub const FORMAT_VERSION: u32 = 1;
+
+const VERSION: u32 = FORMAT_VERSION;
 
 fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())

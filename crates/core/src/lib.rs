@@ -66,4 +66,4 @@ pub use eval::{evaluate_policy, EvalConfig};
 pub use features::{NodeFeatureEncoder, StateFeatures};
 pub use policy::DefenderPolicy;
 pub use rollout::{RolloutPlan, SyncBatchEngine};
-pub use scenario::ScenarioRegistry;
+pub use scenario::{RegistryError, ScenarioRegistry};

@@ -12,7 +12,7 @@
 //!   decision, scatter the actions — so policies with batched inference
 //!   (the neural agent) amortise every forward pass across lanes.
 //!
-//! Both engines drive episodes through the same [`EpisodeLane`] state
+//! Both engines drive episodes through the same `EpisodeLane` state
 //! machine and derive all randomness from [`acso_runtime::episode_seed`], so
 //! their per-episode metrics are **bit-identical** to a serial run for any
 //! thread count and any batch width — the property the determinism tests in
@@ -25,7 +25,9 @@
 
 mod sync_batch;
 
-pub use sync_batch::{BatchPolicy, LaneDecision, PerLanePolicies, SyncBatchEngine};
+pub use sync_batch::{
+    BatchPolicy, BatchStats, EngineStats, LaneDecision, PerLanePolicies, SyncBatchEngine,
+};
 
 use crate::policy::DefenderPolicy;
 use ics_sim::metrics::EpisodeMetrics;
@@ -127,7 +129,7 @@ impl EpisodeLane {
 
 /// Runs one evaluation episode of a plan against a policy. This is the
 /// single code path behind the serial and the parallel evaluator, and the
-/// batched engine shares its [`EpisodeLane`] bookkeeping, so no engine's
+/// batched engine shares its `EpisodeLane` bookkeeping, so no engine's
 /// transcripts can diverge.
 pub fn run_episode(
     policy: &mut dyn DefenderPolicy,

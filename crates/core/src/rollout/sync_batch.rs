@@ -25,10 +25,60 @@
 
 use super::{EpisodeLane, RolloutPlan};
 use crate::policy::DefenderPolicy;
+use acso_runtime::PoolStats;
 use ics_net::Topology;
 use ics_sim::metrics::EpisodeMetrics;
-use ics_sim::{DefenderAction, Observation, SimConfig};
+use ics_sim::{DefenderAction, Observation};
 use rand::rngs::StdRng;
+
+/// How full the engine's lockstep batches ran: every decision round offers
+/// `lanes` slots (the engine's configured width) and fills one per live
+/// episode. The ratio of filled to offered slots is the *batch-fill ratio* —
+/// the number the serving layer watches to confirm that concurrent requests
+/// are actually being coalesced into shared batches instead of running in
+/// mostly-empty ones.
+///
+/// The counts are deterministic for a given plan set and lane width (they
+/// depend only on episode lengths), unlike the wall-clock numbers around
+/// them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Lockstep decision rounds executed, summed over all batches.
+    pub rounds: u64,
+    /// Live-lane slots filled across those rounds (one per episode still
+    /// running when its batch made a decision).
+    pub filled_slots: u64,
+    /// Slots offered across those rounds: `engine lanes x rounds`.
+    pub capacity_slots: u64,
+}
+
+impl BatchStats {
+    /// Filled slots over offered slots, in `0.0..=1.0` (`1.0` when no round
+    /// ran). Higher means batched inference amortised over more episodes.
+    pub fn fill_ratio(&self) -> f64 {
+        if self.capacity_slots == 0 {
+            return 1.0;
+        }
+        self.filled_slots as f64 / self.capacity_slots as f64
+    }
+
+    fn absorb(&mut self, other: BatchStats) {
+        self.rounds += other.rounds;
+        self.filled_slots += other.filled_slots;
+        self.capacity_slots += other.capacity_slots;
+    }
+}
+
+/// Observability side channel of one [`SyncBatchEngine::rollout_many`] call:
+/// the deterministic batch-fill accounting plus the (non-deterministic)
+/// worker-pool distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineStats {
+    /// Lockstep batch-fill accounting.
+    pub batch: BatchStats,
+    /// How the batches spread over the worker pool.
+    pub pool: PoolStats,
+}
 
 /// One live lane's slot in a lockstep decision round: what the policy may
 /// read (observation, topology, the lane's decision RNG) and where it writes
@@ -112,6 +162,24 @@ impl BatchPolicy for PerLanePolicies {
 /// inference batch size). Construct explicitly with [`SyncBatchEngine::new`]
 /// or from the `ACSO_BATCH` environment variable with
 /// [`SyncBatchEngine::from_env`].
+///
+/// # Example
+///
+/// ```
+/// use acso_core::baselines::PlaybookPolicy;
+/// use acso_core::policy::DefenderPolicy;
+/// use acso_core::rollout::{rollout_serial, RolloutPlan, SyncBatchEngine};
+/// use ics_sim::SimConfig;
+///
+/// let plan = RolloutPlan::new(SimConfig::tiny().with_max_time(60), 3, 7).with_threads(2);
+/// let engine = SyncBatchEngine::new(4);
+/// let batched = engine.rollout(&plan, &|| {
+///     Box::new(PlaybookPolicy::new()) as Box<dyn DefenderPolicy>
+/// });
+/// // Lockstep batching never changes transcripts, only how they are computed.
+/// let serial = rollout_serial(&mut PlaybookPolicy::new(), &plan);
+/// assert_eq!(batched, serial);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SyncBatchEngine {
     lanes: usize,
@@ -150,11 +218,52 @@ impl SyncBatchEngine {
     where
         F: Fn() -> Box<dyn DefenderPolicy> + Sync,
     {
+        let (mut results, _) = self.rollout_many(std::slice::from_ref(plan), make_policy);
+        results.pop().expect("one plan yields one result set")
+    }
+
+    /// Rolls out several plans' episodes through **shared** lockstep batches:
+    /// the episodes of every plan are flattened (plan order, then episode
+    /// order) and chunked into `lanes`-wide batches, so episodes from
+    /// different plans step through the same batched decisions. This is the
+    /// serving layer's coalescing primitive: concurrent `evaluate` requests
+    /// become one plan each and fill batches together instead of running
+    /// under-occupied ones.
+    ///
+    /// Returns per-plan metric vectors (in plan order, each in episode
+    /// order) plus the [`EngineStats`] side channel. Each episode's metrics
+    /// are **bit-identical** to running its plan alone — lanes never share
+    /// state, and every lane's seeds derive from its own plan's
+    /// `(seed, episode index)` exactly as in [`SyncBatchEngine::rollout`] —
+    /// so coalescing is invisible in transcripts and visible only in the
+    /// stats.
+    ///
+    /// Worker threads are taken as the maximum `threads` over the plans.
+    /// When the policy upgrades to batched inference
+    /// ([`DefenderPolicy::make_batch_policy`]), every plan must use the same
+    /// topology (batched Q-networks stack per-node features across lanes);
+    /// [`PerLanePolicies`] fallbacks have no such constraint.
+    pub fn rollout_many<F>(
+        &self,
+        plans: &[RolloutPlan],
+        make_policy: &F,
+    ) -> (Vec<Vec<EpisodeMetrics>>, EngineStats)
+    where
+        F: Fn() -> Box<dyn DefenderPolicy> + Sync,
+    {
         let lanes = self.lanes;
-        let batches = plan.episodes.div_ceil(lanes);
-        let results = acso_runtime::run_indexed_with(
+        // One ticket per episode, plan-major so per-plan results come back
+        // as consecutive runs.
+        let tickets: Vec<(usize, usize)> = plans
+            .iter()
+            .enumerate()
+            .flat_map(|(p, plan)| (0..plan.episodes).map(move |e| (p, e)))
+            .collect();
+        let batches = tickets.len().div_ceil(lanes.max(1));
+        let threads = plans.iter().map(|p| p.threads).max().unwrap_or(1);
+        let (results, pool) = acso_runtime::run_indexed_with_stats(
             batches,
-            plan.threads,
+            threads,
             || {
                 let prototype = make_policy();
                 prototype
@@ -162,27 +271,47 @@ impl SyncBatchEngine {
                     .unwrap_or_else(|| Box::new(PerLanePolicies::new(lanes, make_policy)))
             },
             |policy, batch| {
-                let first = batch * lanes;
-                let count = lanes.min(plan.episodes - first);
-                run_lockstep(policy.as_mut(), &plan.sim, plan.seed, first, count)
+                let chunk = &tickets[batch * lanes..((batch + 1) * lanes).min(tickets.len())];
+                let lanes_for_chunk: Vec<EpisodeLane> = chunk
+                    .iter()
+                    .map(|&(p, e)| EpisodeLane::start(&plans[p].sim, plans[p].seed, e))
+                    .collect();
+                run_lockstep_lanes(policy.as_mut(), lanes_for_chunk, lanes)
             },
         );
-        results.into_iter().flatten().collect()
+        let mut batch_stats = BatchStats::default();
+        let mut per_plan: Vec<Vec<EpisodeMetrics>> = plans
+            .iter()
+            .map(|p| Vec::with_capacity(p.episodes))
+            .collect();
+        let mut flat = tickets.iter();
+        for (metrics, stats) in results {
+            batch_stats.absorb(stats);
+            for m in metrics {
+                let &(p, _) = flat.next().expect("one ticket per episode result");
+                per_plan[p].push(m);
+            }
+        }
+        (
+            per_plan,
+            EngineStats {
+                batch: batch_stats,
+                pool,
+            },
+        )
     }
 }
 
-/// Steps episodes `first_episode .. first_episode + count` in lockstep
-/// against one batch policy, returning their metrics in episode order.
-fn run_lockstep(
+/// Steps a prepared set of lanes in lockstep against one batch policy,
+/// returning their metrics in lane order plus the batch-fill accounting.
+/// `capacity_lanes` is the engine's configured width (a ragged tail batch
+/// still *offers* the full width; the unfilled slots show up in the ratio).
+fn run_lockstep_lanes(
     policy: &mut dyn BatchPolicy,
-    sim: &SimConfig,
-    base_seed: u64,
-    first_episode: usize,
-    count: usize,
-) -> Vec<EpisodeMetrics> {
-    let mut lanes: Vec<EpisodeLane> = (0..count)
-        .map(|k| EpisodeLane::start(sim, base_seed, first_episode + k))
-        .collect();
+    mut lanes: Vec<EpisodeLane>,
+    capacity_lanes: usize,
+) -> (Vec<EpisodeMetrics>, BatchStats) {
+    let mut stats = BatchStats::default();
     for (k, lane) in lanes.iter_mut().enumerate() {
         policy.reset_lane(k, lane.env.topology());
     }
@@ -203,8 +332,12 @@ fn run_lockstep(
             });
         }
         if requests.is_empty() {
-            return lanes.into_iter().map(|lane| lane.metrics).collect();
+            let metrics = lanes.into_iter().map(|lane| lane.metrics).collect();
+            return (metrics, stats);
         }
+        stats.rounds += 1;
+        stats.filled_slots += requests.len() as u64;
+        stats.capacity_slots += capacity_lanes.max(1) as u64;
         // ...one batched decision...
         policy.decide_lanes(&mut requests);
         // ...and scatter the actions back into the environments.
@@ -269,5 +402,73 @@ mod tests {
             Box::new(PlaybookPolicy::new()) as Box<dyn DefenderPolicy>
         });
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn coalesced_plans_match_their_solo_rollouts() {
+        // Two "requests" with different seeds and episode counts, coalesced
+        // into shared batches: each plan's metrics must be bit-identical to
+        // rolling it out alone.
+        let factory = || Box::new(PlaybookPolicy::new()) as Box<dyn DefenderPolicy>;
+        let plans = [
+            RolloutPlan {
+                sim: SimConfig::tiny().with_max_time(100),
+                episodes: 3,
+                seed: 7,
+                threads: 1,
+            },
+            RolloutPlan {
+                sim: SimConfig::tiny().with_max_time(100),
+                episodes: 2,
+                seed: 99,
+                threads: 2,
+            },
+        ];
+        let engine = SyncBatchEngine::new(8);
+        let (coalesced, stats) = engine.rollout_many(&plans, &factory);
+        assert_eq!(coalesced.len(), 2);
+        for (plan, got) in plans.iter().zip(&coalesced) {
+            let solo = rollout_serial(&mut PlaybookPolicy::new(), plan);
+            assert_eq!(&solo, got, "coalescing changed plan transcripts");
+        }
+        // All 5 episodes fit one 8-lane batch: fill can never exceed 5/8.
+        assert_eq!(stats.pool.tasks, 1);
+        assert!(stats.batch.rounds > 0);
+        assert!(stats.batch.fill_ratio() <= 5.0 / 8.0 + 1e-12);
+        assert!(stats.batch.fill_ratio() > 0.0);
+    }
+
+    #[test]
+    fn coalescing_raises_the_fill_ratio() {
+        // One 2-episode request in an 8-lane engine wastes 6 slots per
+        // round; four such requests coalesced fill the batch.
+        let factory = || Box::new(PlaybookPolicy::new()) as Box<dyn DefenderPolicy>;
+        let engine = SyncBatchEngine::new(8);
+        let request = |seed: u64| RolloutPlan {
+            sim: SimConfig::tiny().with_max_time(100),
+            episodes: 2,
+            seed,
+            threads: 1,
+        };
+        let (_, solo) = engine.rollout_many(&[request(7)], &factory);
+        let plans: Vec<RolloutPlan> = (0..4).map(|i| request(7 + i)).collect();
+        let (_, coalesced) = engine.rollout_many(&plans, &factory);
+        assert!(
+            coalesced.batch.fill_ratio() > solo.batch.fill_ratio(),
+            "coalesced fill {} should beat solo fill {}",
+            coalesced.batch.fill_ratio(),
+            solo.batch.fill_ratio()
+        );
+    }
+
+    #[test]
+    fn batch_stats_ratio_handles_empty_runs() {
+        assert_eq!(BatchStats::default().fill_ratio(), 1.0);
+        let engine = SyncBatchEngine::new(4);
+        let (results, stats) = engine.rollout_many(&[], &|| {
+            Box::new(PlaybookPolicy::new()) as Box<dyn DefenderPolicy>
+        });
+        assert!(results.is_empty());
+        assert_eq!(stats.batch, BatchStats::default());
     }
 }

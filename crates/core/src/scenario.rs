@@ -15,10 +15,57 @@
 //! assert!(registry.get("insider").unwrap().has_tag("attacker"));
 //! ```
 
-use ics_net::{DeviceFactors, ServerMix, TopologyParams};
+use ics_net::{DeviceFactors, ServerMix, TopologyError, TopologyParams};
 use ics_sim::apt::AptProfile;
 use ics_sim::ids::IdsConfig;
 use ics_sim::{Scenario, SimConfig};
+use std::fmt;
+
+/// Why a scenario was rejected by [`ScenarioRegistry::register`].
+///
+/// The display strings carry the offending scenario's name so they can be
+/// embedded verbatim in service error responses; they are pinned by tests.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RegistryError {
+    /// The scenario's name was empty.
+    EmptyName,
+    /// A scenario with the same name is already registered.
+    DuplicateName {
+        /// The colliding name.
+        name: String,
+    },
+    /// The scenario's topology spec failed validation.
+    InvalidTopology {
+        /// The rejected scenario's name.
+        name: String,
+        /// The underlying topology error.
+        source: TopologyError,
+    },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::EmptyName => write!(f, "scenario name must not be empty"),
+            RegistryError::DuplicateName { name } => {
+                write!(f, "duplicate scenario name `{name}`")
+            }
+            RegistryError::InvalidTopology { name, source } => {
+                write!(f, "scenario `{name}` has an invalid topology: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RegistryError::InvalidTopology { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 /// An ordered, name-indexed collection of scenarios.
 ///
@@ -142,20 +189,23 @@ impl ScenarioRegistry {
     ///
     /// # Errors
     ///
-    /// Returns the rejected scenario if its name (or an invalid topology
-    /// spec) collides with the registry's invariants.
-    pub fn register(&mut self, scenario: Scenario) -> Result<(), String> {
+    /// Returns a [`RegistryError`] naming the rejected scenario when its
+    /// name is empty or already taken, or its topology spec fails
+    /// validation.
+    pub fn register(&mut self, scenario: Scenario) -> Result<(), RegistryError> {
         if scenario.name.is_empty() {
-            return Err("scenario name must not be empty".to_string());
+            return Err(RegistryError::EmptyName);
         }
         if self.get(&scenario.name).is_some() {
-            return Err(format!("duplicate scenario name `{}`", scenario.name));
+            return Err(RegistryError::DuplicateName {
+                name: scenario.name,
+            });
         }
-        if let Err(e) = scenario.config.topology.validate() {
-            return Err(format!(
-                "scenario `{}` has an invalid topology: {e}",
-                scenario.name
-            ));
+        if let Err(source) = scenario.config.topology.validate() {
+            return Err(RegistryError::InvalidTopology {
+                name: scenario.name,
+                source,
+            });
         }
         self.scenarios.push(scenario);
         Ok(())
@@ -168,7 +218,7 @@ impl ScenarioRegistry {
     ///
     /// Returns an error if the generated name is already registered (the
     /// same seed registered twice).
-    pub fn register_seeded(&mut self, seed: u64) -> Result<String, String> {
+    pub fn register_seeded(&mut self, seed: u64) -> Result<String, RegistryError> {
         let scenario = Scenario::from_seed(seed);
         let name = scenario.name.clone();
         self.register(scenario)?;
@@ -270,15 +320,38 @@ mod tests {
     fn register_rejects_duplicates_and_invalid_topologies() {
         let mut registry = ScenarioRegistry::builtin();
         let dup = Scenario::new("tiny", "again", SimConfig::tiny());
-        assert!(registry.register(dup).unwrap_err().contains("duplicate"));
+        let err = registry.register(dup).unwrap_err();
+        assert_eq!(
+            err,
+            RegistryError::DuplicateName {
+                name: "tiny".to_string()
+            }
+        );
+        // Service error responses embed these strings verbatim: pin them.
+        assert_eq!(err.to_string(), "duplicate scenario name `tiny`");
 
         let mut bad = SimConfig::tiny();
         bad.topology.plcs = 0;
         let invalid = Scenario::new("broken", "", bad);
-        assert!(registry.register(invalid).unwrap_err().contains("topology"));
+        let err = registry.register(invalid).unwrap_err();
+        assert!(matches!(
+            &err,
+            RegistryError::InvalidTopology { name, .. } if name == "broken"
+        ));
+        assert_eq!(
+            err.to_string(),
+            "scenario `broken` has an invalid topology: \
+             topology spec cannot support an end-to-end attack"
+        );
+        // The underlying topology error stays reachable for callers that
+        // want to branch on it.
+        use std::error::Error as _;
+        assert!(err.source().is_some());
 
         let unnamed = Scenario::new("", "", SimConfig::tiny());
-        assert!(registry.register(unnamed).is_err());
+        let err = registry.register(unnamed).unwrap_err();
+        assert_eq!(err, RegistryError::EmptyName);
+        assert_eq!(err.to_string(), "scenario name must not be empty");
     }
 
     #[test]

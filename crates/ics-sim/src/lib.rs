@@ -9,7 +9,7 @@
 //!
 //! The crate is organised into the same modules as the paper's Fig. 7:
 //!
-//! * [`state`] / [`env`] — the network simulation module (node and PLC state,
+//! * [`state`] / [`env`](mod@env) — the network simulation module (node and PLC state,
 //!   event queue, time model, the environment API);
 //! * [`apt`] — the APT agent module (Table 5 action set, the finite-state
 //!   machine attacker of Fig. 3, APT1/APT2 parameter presets);

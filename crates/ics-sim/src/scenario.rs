@@ -778,7 +778,8 @@ fn parse_string(text: &str) -> Result<String, String> {
             Some('\\') => out.push('\\'),
             Some('n') => out.push('\n'),
             Some('t') => out.push('\t'),
-            other => return Err(format!("unsupported escape `\\{other:?}`")),
+            Some(other) => return Err(format!("unsupported escape `\\{other}`")),
+            None => return Err("dangling `\\` at end of string".to_string()),
         }
     }
     Ok(out)
@@ -899,6 +900,22 @@ plcs = 12
             .unwrap_err()
             .to_string()
             .contains("initial_access"));
+    }
+
+    #[test]
+    fn string_escape_errors_render_the_offending_character() {
+        // Service error responses embed these strings verbatim, so they must
+        // read as messages, not as debug dumps (`Some('q')`): pin them.
+        let bad_escape = "[scenario]\nname = \"a\\qb\"\n";
+        assert_eq!(
+            Scenario::from_toml(bad_escape).unwrap_err().to_string(),
+            "scenario toml: line 2: unsupported escape `\\q`"
+        );
+        let dangling = "[scenario]\nname = \"a\\\"\n";
+        assert_eq!(
+            Scenario::from_toml(dangling).unwrap_err().to_string(),
+            "scenario toml: line 2: dangling `\\` at end of string"
+        );
     }
 
     #[test]

@@ -108,6 +108,39 @@ pub fn mersenne_stream(scenario_seed: u64, salt: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// How one [`run_indexed_with_stats`] fan-out distributed its tasks over the
+/// worker pool — the engine-utilization hook consumed by serving-layer
+/// observability (`acso-serve` renders it as a Prometheus gauge).
+///
+/// The per-worker counts depend on OS scheduling, so two runs of the same
+/// job may report different distributions; only the task total and worker
+/// count are deterministic. Treat the utilization number as telemetry, never
+/// as part of a result transcript.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Total tasks executed.
+    pub tasks: usize,
+    /// Workers the pool ran with (1 means the inline serial path).
+    pub workers: usize,
+    /// Tasks executed by each worker, in spawn order.
+    pub tasks_per_worker: Vec<usize>,
+}
+
+impl PoolStats {
+    /// Mean worker load divided by the busiest worker's load, in `0.0..=1.0`:
+    /// `1.0` means every worker executed the same number of tasks, values
+    /// near `1/workers` mean one worker did nearly everything. Empty pools
+    /// and zero-task runs report `1.0` (nothing was wasted).
+    pub fn utilization(&self) -> f64 {
+        let max = self.tasks_per_worker.iter().copied().max().unwrap_or(0);
+        if max == 0 {
+            return 1.0;
+        }
+        let mean = self.tasks as f64 / self.tasks_per_worker.len().max(1) as f64;
+        mean / max as f64
+    }
+}
+
 /// Runs `tasks` independent jobs, fanning out over at most `threads` scoped
 /// workers, and returns the results in task order.
 ///
@@ -136,14 +169,39 @@ where
     I: Fn() -> W + Sync,
     F: Fn(&mut W, usize) -> T + Sync,
 {
+    run_indexed_with_stats(tasks, threads, init, f).0
+}
+
+/// Like [`run_indexed_with`], but also reports how the tasks were spread
+/// over the workers ([`PoolStats`]). The result vector is bit-identical to
+/// [`run_indexed_with`]; only the stats side channel is new, so hot paths
+/// that ignore it pay nothing.
+pub fn run_indexed_with_stats<W, T, I, F>(
+    tasks: usize,
+    threads: usize,
+    init: I,
+    f: F,
+) -> (Vec<T>, PoolStats)
+where
+    T: Send,
+    I: Fn() -> W + Sync,
+    F: Fn(&mut W, usize) -> T + Sync,
+{
     let threads = threads.max(1).min(tasks.max(1));
     if threads <= 1 {
         let mut worker = init();
-        return (0..tasks).map(|i| f(&mut worker, i)).collect();
+        let results = (0..tasks).map(|i| f(&mut worker, i)).collect();
+        let stats = PoolStats {
+            tasks,
+            workers: 1,
+            tasks_per_worker: vec![tasks],
+        };
+        return (results, stats);
     }
 
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<T>> = (0..tasks).map(|_| None).collect();
+    let mut tasks_per_worker = Vec::with_capacity(threads);
     thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
@@ -162,15 +220,23 @@ where
             })
             .collect();
         for handle in handles {
-            for (i, value) in handle.join().expect("rollout worker panicked") {
+            let produced = handle.join().expect("rollout worker panicked");
+            tasks_per_worker.push(produced.len());
+            for (i, value) in produced {
                 slots[i] = Some(value);
             }
         }
     });
-    slots
+    let results = slots
         .into_iter()
         .map(|slot| slot.expect("every task index produced a result"))
-        .collect()
+        .collect();
+    let stats = PoolStats {
+        tasks,
+        workers: threads,
+        tasks_per_worker,
+    };
+    (results, stats)
 }
 
 #[cfg(test)]
@@ -254,6 +320,40 @@ mod tests {
         assert_eq!(batch_lanes_from(Some("many")), None);
         assert_eq!(batch_lanes_from(Some("")), None);
         assert_eq!(batch_lanes_from(None), None);
+    }
+
+    #[test]
+    fn stats_account_for_every_task() {
+        let (out, stats) = run_indexed_with_stats(40, 4, || (), |(), i| i);
+        assert_eq!(out.len(), 40);
+        assert_eq!(stats.tasks, 40);
+        assert_eq!(stats.workers, 4);
+        assert_eq!(stats.tasks_per_worker.len(), 4);
+        assert_eq!(stats.tasks_per_worker.iter().sum::<usize>(), 40);
+        let u = stats.utilization();
+        assert!(u > 0.0 && u <= 1.0, "utilization {u} out of range");
+
+        // The inline serial path reports a single fully-utilized worker.
+        let (_, serial) = run_indexed_with_stats(5, 1, || (), |(), i| i);
+        assert_eq!(serial.workers, 1);
+        assert_eq!(serial.tasks_per_worker, vec![5]);
+        assert_eq!(serial.utilization(), 1.0);
+    }
+
+    #[test]
+    fn utilization_of_degenerate_pools_is_one() {
+        let empty = PoolStats {
+            tasks: 0,
+            workers: 2,
+            tasks_per_worker: vec![0, 0],
+        };
+        assert_eq!(empty.utilization(), 1.0);
+        let lopsided = PoolStats {
+            tasks: 10,
+            workers: 2,
+            tasks_per_worker: vec![10, 0],
+        };
+        assert!((lopsided.utilization() - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! The structured event stream (`--events PATH`) and the daemon's clock.
+//!
+//! Events are one JSON object per line: `{"event": ..., "ts_ms": ..., ...}`.
+//! They exist for operators tailing a file, so they are strictly append-only
+//! side-channel output — protocol responses never depend on them.
+//!
+//! The [`Clock`] abstraction is what makes the PROTOCOL.md transcript replay
+//! byte-exact: under `--fixed-time` every timestamp is 0 and every measured
+//! duration is 0.0, so metrics and events render identically run after run.
+
+use crate::json::JsonValue;
+use std::io::Write;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Where timestamps and durations come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Clock {
+    /// Real wall-clock time.
+    System,
+    /// Deterministic time: timestamps are 0 ms, durations are 0 s. Used by
+    /// `--fixed-time` and the transcript-replay test.
+    Fixed,
+}
+
+impl Clock {
+    /// Milliseconds since the Unix epoch (0 under [`Clock::Fixed`]).
+    pub fn now_ms(&self) -> u64 {
+        match self {
+            Clock::System => SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0),
+            Clock::Fixed => 0,
+        }
+    }
+
+    /// Starts a stopwatch; [`Clock::elapsed_secs`] reads it.
+    pub fn start(&self) -> Instant {
+        Instant::now()
+    }
+
+    /// Seconds since `start` (0.0 under [`Clock::Fixed`]).
+    pub fn elapsed_secs(&self, start: Instant) -> f64 {
+        match self {
+            Clock::System => start.elapsed().as_secs_f64(),
+            Clock::Fixed => 0.0,
+        }
+    }
+}
+
+/// A JSONL event writer; a disabled sink drops events without formatting
+/// them.
+pub struct EventSink {
+    writer: Option<Box<dyn Write + Send>>,
+    clock: Clock,
+}
+
+impl std::fmt::Debug for EventSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventSink")
+            .field("enabled", &self.writer.is_some())
+            .field("clock", &self.clock)
+            .finish()
+    }
+}
+
+impl EventSink {
+    /// A sink that drops every event.
+    pub fn disabled() -> Self {
+        Self {
+            writer: None,
+            clock: Clock::Fixed,
+        }
+    }
+
+    /// A sink that appends one JSON line per event to `writer`.
+    pub fn to_writer(writer: Box<dyn Write + Send>, clock: Clock) -> Self {
+        Self {
+            writer: Some(writer),
+            clock,
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn enabled(&self) -> bool {
+        self.writer.is_some()
+    }
+
+    /// Emits one event with the given extra fields. Write failures are
+    /// swallowed: observability must never take the service down.
+    pub fn emit(&mut self, event: &str, fields: &[(&str, JsonValue)]) {
+        let Some(writer) = self.writer.as_mut() else {
+            return;
+        };
+        let mut pairs = vec![
+            ("event".to_string(), JsonValue::str(event)),
+            (
+                "ts_ms".to_string(),
+                JsonValue::num(self.clock.now_ms() as f64),
+            ),
+        ];
+        for (key, value) in fields {
+            pairs.push(((*key).to_string(), value.clone()));
+        }
+        let mut line = JsonValue::Obj(pairs).to_string();
+        line.push('\n');
+        let _ = writer.write_all(line.as_bytes());
+        let _ = writer.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    /// A Write sink tests can read back.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn fixed_clock_is_deterministic() {
+        let clock = Clock::Fixed;
+        assert_eq!(clock.now_ms(), 0);
+        let start = clock.start();
+        assert_eq!(clock.elapsed_secs(start), 0.0);
+    }
+
+    #[test]
+    fn system_clock_moves() {
+        let clock = Clock::System;
+        assert!(clock.now_ms() > 0);
+        let start = clock.start();
+        assert!(clock.elapsed_secs(start) >= 0.0);
+    }
+
+    #[test]
+    fn events_render_one_json_line_each() {
+        let buf = SharedBuf::default();
+        let mut sink = EventSink::to_writer(Box::new(buf.clone()), Clock::Fixed);
+        assert!(sink.enabled());
+        sink.emit("request_accepted", &[("method", JsonValue::str("metrics"))]);
+        sink.emit("shutdown", &[]);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(
+            text,
+            "{\"event\":\"request_accepted\",\"ts_ms\":0,\"method\":\"metrics\"}\n\
+             {\"event\":\"shutdown\",\"ts_ms\":0}\n"
+        );
+    }
+
+    #[test]
+    fn disabled_sink_drops_events() {
+        let mut sink = EventSink::disabled();
+        assert!(!sink.enabled());
+        sink.emit("ignored", &[]);
+    }
+}

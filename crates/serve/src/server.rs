@@ -1,0 +1,78 @@
+//! The serve loop: block for one request, drain whatever is already queued
+//! behind it, hand the whole batch to the service, send every response.
+//!
+//! This drain-then-handle rhythm is the coalescing mechanism: concurrent
+//! clients pipelining requests onto the same transport land in one
+//! [`crate::service::EvalService::handle_batch`] call, and compatible
+//! `evaluate` requests inside it share lockstep inference batches.
+
+use crate::service::{BatchOutcome, EvalService};
+use crate::transport::Transport;
+
+/// Runs the service against a transport until the input stream ends or a
+/// `shutdown` request is handled. Returns the number of requests served.
+pub fn serve(service: &mut EvalService, transport: &mut dyn Transport) -> u64 {
+    let mut served = 0u64;
+    while let Some(first) = transport.recv() {
+        let mut lines = vec![first];
+        while let Some(line) = transport.try_recv() {
+            lines.push(line);
+        }
+        served += lines.len() as u64;
+        let BatchOutcome {
+            responses,
+            shutdown,
+        } = service.handle_batch(&lines);
+        for response in &responses {
+            transport.send(response);
+        }
+        if shutdown {
+            break;
+        }
+    }
+    served
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonValue;
+    use crate::service::ServiceConfig;
+    use crate::transport::ChannelTransport;
+
+    #[test]
+    fn serve_answers_until_shutdown() {
+        let (mut transport, client) = ChannelTransport::pair();
+        client
+            .send_line(r#"{"id":1,"method":"list_scenarios"}"#)
+            .unwrap();
+        client.send_line(r#"{"id":2,"method":"metrics"}"#).unwrap();
+        client.send_line(r#"{"id":3,"method":"shutdown"}"#).unwrap();
+        client
+            .send_line(r#"{"id":4,"method":"never_reached"}"#)
+            .unwrap();
+
+        let mut service = EvalService::new(ServiceConfig::fixed());
+        let served = serve(&mut service, &mut transport);
+        // The first recv/drain cycle grabs all four pipelined lines, so the
+        // post-shutdown request is still answered before the loop exits.
+        assert_eq!(served, 4);
+        for expected_id in 1..=4 {
+            let line = client.recv_line().expect("response line");
+            let v = JsonValue::parse(&line).unwrap();
+            assert_eq!(v.get("id").unwrap().as_u64(), Some(expected_id));
+        }
+    }
+
+    #[test]
+    fn serve_stops_at_end_of_input() {
+        let (mut transport, client) = ChannelTransport::pair();
+        client
+            .send_line(r#"{"id":1,"method":"list_scenarios"}"#)
+            .unwrap();
+        let responses = client.close();
+        let mut service = EvalService::new(ServiceConfig::fixed());
+        assert_eq!(serve(&mut service, &mut transport), 1);
+        assert!(responses.recv().is_ok());
+    }
+}

@@ -1,0 +1,231 @@
+//! How request lines reach the service and response lines leave it.
+//!
+//! The daemon speaks line-delimited JSON over an abstract [`Transport`] so
+//! the protocol layer never touches a socket or a pipe directly: stdio today
+//! ([`StdioTransport`]), an in-process channel pair for tests, benchmarks and
+//! embedded clients ([`ChannelTransport`]), and room for TCP/HTTP transports
+//! later without touching the service.
+//!
+//! The split between [`Transport::recv`] (blocking) and
+//! [`Transport::try_recv`] (non-blocking drain) is what enables request
+//! coalescing: the serve loop blocks for one request, then drains everything
+//! already queued behind it into the same lockstep evaluation batch.
+
+use std::io::{BufRead, Write};
+use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
+
+/// A bidirectional stream of protocol lines.
+pub trait Transport {
+    /// Blocks until the next request line arrives; `None` means end of
+    /// input (client closed the stream).
+    fn recv(&mut self) -> Option<String>;
+
+    /// Returns a request line only if one is already pending; never blocks.
+    fn try_recv(&mut self) -> Option<String>;
+
+    /// Sends one response line (without the trailing newline).
+    fn send(&mut self, line: &str);
+}
+
+/// The stdio transport: requests on stdin, responses on stdout.
+///
+/// A reader thread pulls stdin lines into a channel so the serve loop can
+/// drain already-buffered requests without blocking.
+pub struct StdioTransport {
+    incoming: Receiver<String>,
+    disconnected: bool,
+}
+
+impl StdioTransport {
+    /// Starts the stdin reader thread and returns the transport.
+    pub fn new() -> Self {
+        let (tx, rx) = mpsc::channel();
+        std::thread::Builder::new()
+            .name("acso-serve-stdin".to_string())
+            .spawn(move || {
+                let stdin = std::io::stdin();
+                for line in stdin.lock().lines() {
+                    let Ok(line) = line else { break };
+                    if tx.send(line).is_err() {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn stdin reader thread");
+        Self {
+            incoming: rx,
+            disconnected: false,
+        }
+    }
+}
+
+impl Default for StdioTransport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Transport for StdioTransport {
+    fn recv(&mut self) -> Option<String> {
+        if self.disconnected {
+            return None;
+        }
+        match self.incoming.recv() {
+            Ok(line) => Some(line),
+            Err(_) => {
+                self.disconnected = true;
+                None
+            }
+        }
+    }
+
+    fn try_recv(&mut self) -> Option<String> {
+        if self.disconnected {
+            return None;
+        }
+        match self.incoming.try_recv() {
+            Ok(line) => Some(line),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => {
+                self.disconnected = true;
+                None
+            }
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        let _ = out.write_all(line.as_bytes());
+        let _ = out.write_all(b"\n");
+        let _ = out.flush();
+    }
+}
+
+/// An in-process transport backed by channels; the server side.
+///
+/// Built with [`ChannelTransport::pair`], which also returns the matching
+/// [`ClientEnd`]. Used by the integration tests, `serve_bench` and
+/// `examples/serve_client.rs` to drive the daemon without a subprocess.
+pub struct ChannelTransport {
+    incoming: Receiver<String>,
+    outgoing: Sender<String>,
+    disconnected: bool,
+}
+
+/// The client side of a [`ChannelTransport`] pair.
+pub struct ClientEnd {
+    to_server: Sender<String>,
+    from_server: Receiver<String>,
+}
+
+impl ChannelTransport {
+    /// Creates a connected (server transport, client end) pair.
+    pub fn pair() -> (ChannelTransport, ClientEnd) {
+        let (client_tx, server_rx) = mpsc::channel();
+        let (server_tx, client_rx) = mpsc::channel();
+        (
+            ChannelTransport {
+                incoming: server_rx,
+                outgoing: server_tx,
+                disconnected: false,
+            },
+            ClientEnd {
+                to_server: client_tx,
+                from_server: client_rx,
+            },
+        )
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn recv(&mut self) -> Option<String> {
+        if self.disconnected {
+            return None;
+        }
+        match self.incoming.recv() {
+            Ok(line) => Some(line),
+            Err(_) => {
+                self.disconnected = true;
+                None
+            }
+        }
+    }
+
+    fn try_recv(&mut self) -> Option<String> {
+        if self.disconnected {
+            return None;
+        }
+        match self.incoming.try_recv() {
+            Ok(line) => Some(line),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => {
+                self.disconnected = true;
+                None
+            }
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        let _ = self.outgoing.send(line.to_string());
+    }
+}
+
+impl ClientEnd {
+    /// Queues one request line for the server.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the server side has hung up.
+    pub fn send_line(&self, line: &str) -> Result<(), String> {
+        self.to_server
+            .send(line.to_string())
+            .map_err(|_| "server hung up".to_string())
+    }
+
+    /// Blocks for the next response line; `None` when the server has hung
+    /// up and drained.
+    pub fn recv_line(&self) -> Option<String> {
+        self.from_server.recv().ok()
+    }
+
+    /// Drops the sending half, signalling end-of-input to the server.
+    pub fn close(self) -> Receiver<String> {
+        self.from_server
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_pair_round_trips_lines() {
+        let (mut server, client) = ChannelTransport::pair();
+        client.send_line("req-1").unwrap();
+        client.send_line("req-2").unwrap();
+        assert_eq!(server.recv().as_deref(), Some("req-1"));
+        // The second request is already pending: try_recv sees it.
+        assert_eq!(server.try_recv().as_deref(), Some("req-2"));
+        assert_eq!(server.try_recv(), None);
+        server.send("resp-1");
+        assert_eq!(client.recv_line().as_deref(), Some("resp-1"));
+    }
+
+    #[test]
+    fn closing_the_client_ends_the_stream() {
+        let (mut server, client) = ChannelTransport::pair();
+        client.send_line("last").unwrap();
+        let responses = client.close();
+        assert_eq!(server.recv().as_deref(), Some("last"));
+        assert_eq!(server.recv(), None);
+        assert_eq!(server.recv(), None, "stays disconnected");
+        assert_eq!(server.try_recv(), None);
+        // The response channel outlives the request channel: the client can
+        // still drain answers after signalling end-of-input.
+        server.send("late");
+        assert_eq!(responses.recv().ok().as_deref(), Some("late"));
+        drop(server);
+        assert!(responses.recv().is_err());
+    }
+}

@@ -1,0 +1,113 @@
+//! Minimal client for the `acso-serve` evaluation daemon.
+//!
+//! Runs the daemon embedded on a background thread over the in-process
+//! channel transport — the exact same service and serve loop the
+//! `acso-serve` binary wraps around stdio — then walks the protocol:
+//! list the scenario catalog, load a policy behind a versioned handle,
+//! run an evaluation, scrape the metrics, and shut down. The wire format
+//! is documented in `docs/PROTOCOL.md`.
+//!
+//! ```sh
+//! cargo run --release --example serve_client
+//! ```
+
+use acso::serve::{serve, ChannelTransport, ClientEnd, EvalService, JsonValue, ServiceConfig};
+
+/// Sends one request line and blocks for its response, panicking on an
+/// error envelope (a real client would match on `"ok"` instead).
+fn call(client: &ClientEnd, line: &str) -> JsonValue {
+    client.send_line(line).expect("daemon is running");
+    let response = client.recv_line().expect("a response per request");
+    let envelope = JsonValue::parse(&response).expect("responses are valid JSON");
+    assert_eq!(
+        envelope.get("ok").and_then(JsonValue::as_bool),
+        Some(true),
+        "request failed: {response}"
+    );
+    envelope.get("result").unwrap().clone()
+}
+
+fn main() {
+    // The daemon side: same service the `acso-serve` binary runs over
+    // stdio, here behind the channel transport on a background thread.
+    let (mut transport, client) = ChannelTransport::pair();
+    let daemon = std::thread::spawn(move || {
+        let mut service = EvalService::new(ServiceConfig::from_env());
+        serve(&mut service, &mut transport)
+    });
+
+    // 1. The scenario catalog (same registry the offline sweep iterates).
+    let result = call(&client, r#"{"id":1,"method":"list_scenarios"}"#);
+    let scenarios = result.get("scenarios").unwrap().as_arr().unwrap();
+    println!("{} scenarios in the registry, e.g.:", scenarios.len());
+    for scenario in scenarios.iter().take(3) {
+        println!(
+            "  {:<12} {}",
+            scenario.get("name").unwrap().as_str().unwrap(),
+            scenario.get("description").unwrap().as_str().unwrap()
+        );
+    }
+
+    // 2. Load a policy once; evaluations reuse the warm artefacts.
+    let result = call(
+        &client,
+        r#"{"id":2,"method":"load_policy","params":{"policy":"playbook"}}"#,
+    );
+    let handle = result.get("handle").unwrap().as_str().unwrap().to_string();
+    println!(
+        "\nloaded {} as handle {handle}",
+        result.get("policy").unwrap().as_str().unwrap()
+    );
+
+    // 3. Evaluate it: 4 episodes on the tiny scenario.
+    let result = call(
+        &client,
+        &format!(
+            r#"{{"id":3,"method":"evaluate","params":{{"handle":"{handle}","scenario":"tiny","episodes":4,"seed":42,"max_time":150}}}}"#
+        ),
+    );
+    let summary = result.get("summary").unwrap();
+    let mean = |field: &str| {
+        summary
+            .get(field)
+            .unwrap()
+            .get("mean")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+    };
+    println!(
+        "evaluated {} episodes: discounted return {:.2}, final PLCs offline {:.2}",
+        result.get("episodes").unwrap().as_u64().unwrap(),
+        mean("discounted_return"),
+        mean("final_plcs_offline")
+    );
+    let batch = result.get("batch").unwrap();
+    println!(
+        "lockstep batch: {} lanes, fill ratio {:.3}",
+        batch.get("lanes").unwrap().as_u64().unwrap(),
+        batch.get("fill_ratio").unwrap().as_f64().unwrap()
+    );
+
+    // 4. Scrape the metrics (the `prometheus` field is the full text
+    //    exposition a scraper would ingest).
+    let result = call(&client, r#"{"id":4,"method":"metrics"}"#);
+    println!(
+        "\ndaemon counters: {} requests, {} episodes, lifetime batch fill {:.3}",
+        result.get("requests_total").unwrap().as_u64().unwrap(),
+        result.get("episodes_total").unwrap().as_u64().unwrap(),
+        result.get("batch_fill_ratio").unwrap().as_f64().unwrap()
+    );
+    let prometheus = result.get("prometheus").unwrap().as_str().unwrap();
+    for line in prometheus
+        .lines()
+        .filter(|l| l.starts_with("acso_serve_requests_total"))
+    {
+        println!("  {line}");
+    }
+
+    // 5. Shut down and collect the serve loop's request count.
+    call(&client, r#"{"id":5,"method":"shutdown"}"#);
+    let served = daemon.join().expect("daemon thread");
+    println!("\ndaemon exited after serving {served} requests");
+}

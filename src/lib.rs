@@ -1,7 +1,7 @@
 //! ACSO — reproduction of *Autonomous Attack Mitigation for Industrial
 //! Control Systems* (DSN 2022).
 //!
-//! This facade crate re-exports the workspace's seven crates under one roof
+//! This facade crate re-exports the workspace's eight crates under one roof
 //! so integration tests, examples and downstream users can depend on a
 //! single package. The functional split mirrors the paper's Fig. 7:
 //!
@@ -11,7 +11,9 @@
 //! * [`neural`] — from-scratch NN layers used by the Q-networks;
 //! * [`rl`] — DQN machinery (replay, n-step returns, schedules);
 //! * [`core`] (`acso-core`) — the agent, baselines, training and evaluation;
-//! * [`bench`] (`acso-bench`) — paper-figure experiment plumbing.
+//! * [`bench`](mod@bench) (`acso-bench`) — paper-figure experiment plumbing;
+//! * [`serve`] (`acso-serve`) — the persistent evaluation daemon (JSONL
+//!   protocol, Prometheus metrics; see `docs/PROTOCOL.md`).
 //!
 //! # Example
 //!
@@ -24,8 +26,11 @@
 //! assert!(metrics.steps > 0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub use acso_bench as bench;
 pub use acso_core as core;
+pub use acso_serve as serve;
 pub use dbn;
 pub use ics_net as net;
 pub use ics_sim as sim;

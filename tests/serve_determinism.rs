@@ -1,0 +1,172 @@
+//! The daemon's evaluations are bit-identical to the offline experiment
+//! path: a policy loaded and evaluated over the wire reproduces, number for
+//! number, what `scenario_sweep` / `evaluate_factory_detailed` compute for
+//! the same scenario, seeds and episode counts.
+//!
+//! The comparison goes through the JSON wire format on purpose: responses
+//! render `f64`s with shortest-round-trip formatting, so parsing a reported
+//! metric back must recover the exact bits the offline run produced.
+
+use acso::core::eval::{evaluate_factory_detailed, PolicyEvaluation};
+use acso::core::experiments::{scenario_sweep, ScenarioSweepScale};
+use acso::core::scenario::ScenarioRegistry;
+use acso::core::{baselines::PlaybookPolicy, EvalConfig};
+use acso::serve::json::JsonValue;
+use acso::serve::service::{EvalService, ServiceConfig};
+use acso::sim::metrics::EpisodeMetrics;
+use acso::sim::SimConfig;
+
+fn parse_result(line: &str) -> JsonValue {
+    let value = JsonValue::parse(line).unwrap();
+    assert_eq!(
+        value.get("ok").and_then(JsonValue::as_bool),
+        Some(true),
+        "{line}"
+    );
+    value.get("result").unwrap().clone()
+}
+
+/// Asserts a served `evaluate` result matches an offline [`PolicyEvaluation`]
+/// exactly — aggregate means/std-errs and every per-episode transcript.
+fn assert_matches_offline(result: &JsonValue, offline: &PolicyEvaluation) {
+    assert_eq!(
+        result.get("policy").and_then(JsonValue::as_str),
+        Some(offline.policy.as_str())
+    );
+    let summary = result.get("summary").unwrap();
+    let mean_of = |field: &str| {
+        let m = summary.get(field).unwrap();
+        (
+            m.get("mean").unwrap().as_f64().unwrap(),
+            m.get("std_err").unwrap().as_f64().unwrap(),
+        )
+    };
+    let s = &offline.summary;
+    assert_eq!(
+        mean_of("discounted_return"),
+        (s.discounted_return.mean, s.discounted_return.std_err)
+    );
+    assert_eq!(
+        mean_of("final_plcs_offline"),
+        (s.final_plcs_offline.mean, s.final_plcs_offline.std_err)
+    );
+    assert_eq!(
+        mean_of("average_it_cost"),
+        (s.average_it_cost.mean, s.average_it_cost.std_err)
+    );
+    assert_eq!(
+        mean_of("average_nodes_compromised"),
+        (
+            s.average_nodes_compromised.mean,
+            s.average_nodes_compromised.std_err
+        )
+    );
+
+    let transcripts = result.get("transcripts").unwrap().as_arr().unwrap();
+    assert_eq!(transcripts.len(), offline.episodes.len());
+    for (t, e) in transcripts.iter().zip(&offline.episodes) {
+        let f = |k: &str| t.get(k).unwrap().as_f64().unwrap();
+        let expected: &EpisodeMetrics = e;
+        assert_eq!(f("discounted_return"), expected.discounted_return);
+        assert_eq!(f("undiscounted_return"), expected.undiscounted_return);
+        assert_eq!(
+            t.get("final_plcs_offline").unwrap().as_u64(),
+            Some(expected.final_plcs_offline as u64)
+        );
+        assert_eq!(
+            t.get("max_plcs_offline").unwrap().as_u64(),
+            Some(expected.max_plcs_offline() as u64)
+        );
+        assert_eq!(t.get("steps").unwrap().as_u64(), Some(expected.steps));
+        assert_eq!(f("average_it_cost"), expected.average_it_cost());
+        assert_eq!(
+            f("average_nodes_compromised"),
+            expected.average_nodes_compromised()
+        );
+    }
+}
+
+/// The full offline reference: run the registry sweep on the tiny scenario
+/// at smoke scale, then reproduce all four policy rows through the daemon —
+/// ACSO trained in-daemon with the same knobs, the three baselines loaded
+/// warm — and require every number to match bit-for-bit over the wire.
+#[test]
+fn served_evaluations_match_the_offline_scenario_sweep() {
+    let mut registry = ScenarioRegistry::builtin();
+    registry.retain_named(&["tiny".to_string()]);
+    let scale = ScenarioSweepScale::smoke();
+    let sweep = scenario_sweep(&registry, &scale);
+    let row = &sweep.rows[0];
+    assert_eq!(row.scenario, "tiny");
+    assert_eq!(row.evaluations.len(), 4);
+
+    let mut service = EvalService::new(ServiceConfig::fixed());
+    // Load each policy with the sweep's training knobs (smoke scale:
+    // train_episodes 1, dbn_episodes 2, seed 0, max_time 150).
+    let loads = [
+        ("acso", r#""train_episodes":1,"dbn_episodes":2"#),
+        ("dbn_expert", r#""dbn_episodes":2"#),
+        ("playbook", r#""dbn_episodes":2"#),
+        ("semi_random", r#""dbn_episodes":2"#),
+    ];
+    let mut handles = Vec::new();
+    for (i, (kind, extra)) in loads.iter().enumerate() {
+        let line = format!(
+            r#"{{"id":{i},"method":"load_policy","params":{{"policy":"{kind}","scenario":"tiny","max_time":150,"seed":0,{extra}}}}}"#
+        );
+        let result = parse_result(&service.handle_line(&line));
+        handles.push(result.get("handle").unwrap().as_str().unwrap().to_string());
+    }
+
+    for (handle, offline) in handles.iter().zip(&row.evaluations) {
+        let line = format!(
+            r#"{{"id":9,"method":"evaluate","params":{{"handle":"{handle}","scenario":"tiny","episodes":2,"seed":0,"max_time":150,"transcripts":true}}}}"#
+        );
+        let result = parse_result(&service.handle_line(&line));
+        assert_matches_offline(&result, offline);
+    }
+}
+
+/// Coalescing four pipelined requests into one lockstep batch does not
+/// change any of their results relative to the offline evaluator.
+#[test]
+fn coalesced_served_evaluations_still_match_the_offline_evaluator() {
+    let mut service = EvalService::new(ServiceConfig::fixed());
+    parse_result(
+        &service.handle_line(r#"{"id":0,"method":"load_policy","params":{"policy":"playbook"}}"#),
+    );
+    let seeds = [5u64, 6, 7, 8];
+    let lines: Vec<String> = seeds
+        .iter()
+        .enumerate()
+        .map(|(i, seed)| {
+            format!(
+                r#"{{"id":{i},"method":"evaluate","params":{{"handle":"playbook@1","scenario":"tiny","episodes":2,"seed":{seed},"max_time":150,"transcripts":true}}}}"#
+            )
+        })
+        .collect();
+    let outcome = service.handle_batch(&lines);
+
+    for (line, seed) in outcome.responses.iter().zip(seeds) {
+        let result = parse_result(line);
+        assert_eq!(
+            result
+                .get("batch")
+                .unwrap()
+                .get("coalesced_requests")
+                .and_then(JsonValue::as_u64),
+            Some(4)
+        );
+        let offline = evaluate_factory_detailed(
+            || Box::new(PlaybookPolicy::new()),
+            &EvalConfig {
+                sim: SimConfig::tiny().with_max_time(150),
+                episodes: 2,
+                seed,
+            },
+        );
+        assert_matches_offline(&result, &offline);
+    }
+    // Four coalesced 2-episode requests fill the 8-lane engine completely.
+    assert_eq!(service.metrics().last_batch_fill_ratio, 1.0);
+}

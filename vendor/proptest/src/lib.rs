@@ -1,7 +1,7 @@
 //! Vendored offline stand-in for [`proptest`](https://proptest-rs.github.io/),
 //! implementing the subset this workspace's property tests use: the
 //! [`proptest!`] macro with `#![proptest_config(...)]`, numeric range
-//! strategies, `prop::collection::vec`, [`Strategy::prop_map`], and the
+//! strategies, `prop::collection::vec`, [`Strategy::prop_map`](strategy::Strategy::prop_map), and the
 //! `prop_assert!` / `prop_assert_eq!` macros.
 //!
 //! Differences from the real crate, by design of a minimal stand-in:
