@@ -1,0 +1,175 @@
+//! `soak`: the randomized invariant-sweep soak harness.
+//!
+//! Drives seed-generated scenario episodes through the full training stack,
+//! asserting cross-module invariants after every environment step and
+//! injecting checkpoint/restore-and-compare mid-run (see
+//! [`acso_bench::soak`]). Exit codes: 0 on a clean run, 1 on an invariant
+//! violation, 2 on a usage error, 3 when `--kill-at-op` simulated a crash
+//! (rerun with the same `--state-dir` to resume).
+
+use acso_bench::soak::{run_soak, SoakConfig, SoakOutcome};
+
+const USAGE: &str = "usage: soak [options]
+
+Randomized soak: seed-generated scenarios, every cross-module invariant
+checked after every step, checkpoint/restore-and-compare injected mid-run.
+
+options:
+  --ops N           environment steps to drive (default 5000)
+  --seed S          master seed (default 0)
+  --scenarios K     seed-generated scenarios to sweep (default 2)
+  --max-time T      episode-horizon cap (default 60)
+  --restore-every N inject restore-and-compare ~1-in-N episodes (default 4; 0 off)
+  --state-dir DIR   checkpoint per scenario; enables kill/resume
+  --kill-at-op N    simulate a crash at op N (exit 3); needs --state-dir
+  --smoke           small preset (400 ops, 1 scenario)
+  --help            show this help
+";
+
+fn parse_args(args: &[String]) -> Result<SoakConfig, String> {
+    let mut config = SoakConfig {
+        ops: 5000,
+        seed: 0,
+        scenarios: 2,
+        max_time: 60,
+        restore_every: 4,
+        state_dir: None,
+        kill_at_op: None,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut number = |flag: &str| {
+            iter.next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .ok_or(format!("{flag} needs a non-negative integer"))
+        };
+        match arg.as_str() {
+            "--ops" => config.ops = number("--ops")?,
+            "--seed" => config.seed = number("--seed")?,
+            "--scenarios" => config.scenarios = number("--scenarios")? as usize,
+            "--max-time" => config.max_time = number("--max-time")?,
+            "--restore-every" => config.restore_every = number("--restore-every")?,
+            "--kill-at-op" => config.kill_at_op = Some(number("--kill-at-op")?),
+            "--state-dir" => {
+                config.state_dir = Some(
+                    iter.next()
+                        .filter(|p| !p.is_empty())
+                        .ok_or("--state-dir needs a directory path")?
+                        .into(),
+                );
+            }
+            "--smoke" => {
+                let keep = (config.state_dir.take(), config.kill_at_op.take());
+                config = SoakConfig::smoke();
+                (config.state_dir, config.kill_at_op) = keep;
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(config)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&args) {
+        Ok(config) => config,
+        Err(message) => {
+            if message.is_empty() {
+                print!("{USAGE}");
+                return;
+            }
+            eprintln!("soak: {message}");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    println!(
+        "soak: {} ops over {} scenario(s), seed {}, horizon {}",
+        config.ops, config.scenarios, config.seed, config.max_time
+    );
+    match run_soak(&config) {
+        Ok(SoakOutcome::Completed(report)) => {
+            println!(
+                "soak: OK — {} ops, {} episodes ({} resumed), {} invariant checks, {} restore injections",
+                report.ops,
+                report.episodes,
+                report.resumed_episodes,
+                report.checks,
+                report.restores
+            );
+            println!(
+                "soak: scenarios swept: {}",
+                report.scenario_names.join(", ")
+            );
+        }
+        Ok(SoakOutcome::Killed { at_op, checkpoint }) => {
+            eprintln!(
+                "soak: simulated crash at op {at_op}; checkpoint at {} — rerun with the same --state-dir to resume",
+                checkpoint.display()
+            );
+            std::process::exit(3);
+        }
+        Err(violation) => {
+            eprintln!("soak: INVARIANT VIOLATION: {violation}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn args_configure_the_soak() {
+        let config = parse_args(&strings(&[
+            "--ops",
+            "100",
+            "--seed",
+            "7",
+            "--scenarios",
+            "3",
+            "--max-time",
+            "50",
+            "--restore-every",
+            "0",
+            "--state-dir",
+            "/tmp/soak-state",
+            "--kill-at-op",
+            "60",
+        ]))
+        .unwrap();
+        assert_eq!(config.ops, 100);
+        assert_eq!(config.seed, 7);
+        assert_eq!(config.scenarios, 3);
+        assert_eq!(config.max_time, 50);
+        assert_eq!(config.restore_every, 0);
+        assert_eq!(
+            config.state_dir.as_deref().and_then(|p| p.to_str()),
+            Some("/tmp/soak-state")
+        );
+        assert_eq!(config.kill_at_op, Some(60));
+    }
+
+    #[test]
+    fn smoke_preset_keeps_state_flags() {
+        let config = parse_args(&strings(&["--state-dir", "/tmp/x", "--smoke"])).unwrap();
+        assert_eq!(config.ops, SoakConfig::smoke().ops);
+        assert!(config.state_dir.is_some());
+    }
+
+    #[test]
+    fn bad_args_are_rejected() {
+        assert!(parse_args(&strings(&["--ops"])).is_err());
+        assert!(parse_args(&strings(&["--ops", "x"])).is_err());
+        assert!(parse_args(&strings(&["--state-dir"])).is_err());
+        assert!(parse_args(&strings(&["--wat"])).is_err());
+        assert_eq!(parse_args(&strings(&["--help"])).unwrap_err(), "");
+    }
+}

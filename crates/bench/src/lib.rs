@@ -2,9 +2,12 @@
 //!
 //! Every table and figure of the paper has a corresponding binary in
 //! `src/bin/` (see DESIGN.md's per-experiment index); this library holds the
-//! command-line scale selection and output formatting they share.
+//! command-line scale selection and output formatting they share, plus the
+//! [`soak`] invariant-sweep harness behind the `soak` binary.
 
 #![warn(missing_docs)]
+
+pub mod soak;
 
 use acso_core::agent::{AcsoAgent, AgentConfig, QNetwork};
 use acso_core::experiments::ExperimentScale;

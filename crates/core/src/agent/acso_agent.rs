@@ -486,6 +486,50 @@ impl<N: QNetwork + Clone> AcsoAgent<N> {
     pub fn updates(&self) -> u64 {
         self.trainer.updates()
     }
+
+    /// The training bookkeeping (checkpoint encoding and invariant sweeps).
+    pub fn trainer(&self) -> &DqnTrainer<StateFeatures> {
+        &self.trainer
+    }
+
+    /// The DBN belief filter (invariant sweeps: every node's belief must
+    /// remain a probability distribution after each update).
+    pub fn filter(&self) -> &DbnFilter {
+        &self.filter
+    }
+
+    /// Mutable access to the training bookkeeping (checkpoint restore).
+    pub(crate) fn trainer_mut(&mut self) -> &mut DqnTrainer<StateFeatures> {
+        &mut self.trainer
+    }
+
+    /// Mutable access to the target Q-network (checkpoint encoding: the
+    /// target lags the online network, so both sets of weights travel).
+    pub(crate) fn target_mut(&mut self) -> &mut N {
+        &mut self.target
+    }
+
+    /// The optimizer (checkpoint encoding).
+    pub(crate) fn optimizer(&self) -> &Adam {
+        &self.optimizer
+    }
+
+    /// Mutable access to the optimizer (checkpoint restore).
+    pub(crate) fn optimizer_mut(&mut self) -> &mut Adam {
+        &mut self.optimizer
+    }
+
+    /// The exploration RNG's exact stream position.
+    pub(crate) fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Restores the exploration RNG to a saved stream position, so a resumed
+    /// run draws the continuation of the interrupted stream rather than
+    /// restarting it.
+    pub(crate) fn restore_rng_state(&mut self, state: [u64; 4]) {
+        self.rng = StdRng::from_state(state);
+    }
 }
 
 /// Huber loss (δ = 1) of one TD error.

@@ -66,14 +66,14 @@ pub fn load_weights_from<R: Read>(network: &mut dyn QNetwork, reader: &mut R) ->
     if &magic != MAGIC {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            "not an ACSO weights file",
+            format!("not an ACSO weights file: magic bytes {magic:02x?}, expected {MAGIC:02x?}"),
         ));
     }
     let version = read_u32(reader)?;
     if version != VERSION {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("unsupported weights version {version}"),
+            format!("unsupported weights version {version}, expected {VERSION}"),
         ));
     }
     let count = read_u32(reader)? as usize;
@@ -246,6 +246,9 @@ mod tests {
         assert_eq!(buffer.len(), 16 + body_len(&mut baseline));
     }
 
+    /// The version error names both the found and the expected version: a
+    /// node running older code against a newer artefact should be
+    /// diagnosable from the message alone. The exact string is pinned.
     #[test]
     fn unsupported_version_is_rejected() {
         let (_, space) = features();
@@ -256,7 +259,7 @@ mod tests {
         buffer[8] = 9;
         let err = load_weights_from(&mut net, &mut buffer.as_slice()).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
-        assert!(err.to_string().contains("version"));
+        assert_eq!(err.to_string(), "unsupported weights version 9, expected 1");
     }
 
     #[test]
@@ -264,9 +267,15 @@ mod tests {
         let (_, space) = features();
         let mut net = AttentionQNet::new(space.clone(), 1);
 
-        // Wrong magic.
+        // Wrong magic: the message shows the bytes found and the bytes
+        // expected (pinned — operators diagnose mixed-up artefacts from it).
         let err = load_weights_from(&mut net, &mut &b"NOTRIGHT........"[..]).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert_eq!(
+            err.to_string(),
+            "not an ACSO weights file: magic bytes [4e, 4f, 54, 52, 49, 47, 48, 54], \
+             expected [41, 43, 53, 4f, 57, 54, 53, 00]"
+        );
 
         // Architecture mismatch: weights from the baseline network cannot be
         // loaded into the attention network.

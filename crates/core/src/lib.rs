@@ -28,7 +28,10 @@
 //!   (Table 2, Fig. 6, Fig. 10, the grid search, the DBN validation) plus
 //!   the registry-wide scenario sweep;
 //! * [`scenario`] — the scenario registry: the paper presets, attacker /
-//!   IDS / topology variants, TOML-loaded and seed-generated scenarios.
+//!   IDS / topology variants, TOML-loaded and seed-generated scenarios;
+//! * [`snapshot`] — versioned `ACSOSNAP` checkpoints: the full learning
+//!   state (networks, optimizer, replay, schedules, RNG positions) written
+//!   atomically, restored bit-identically.
 //!
 //! # Quick start
 //!
@@ -58,6 +61,7 @@ pub mod features;
 pub mod policy;
 pub mod rollout;
 pub mod scenario;
+pub mod snapshot;
 pub mod train;
 
 pub use actions::ActionSpace;
@@ -67,3 +71,5 @@ pub use features::{NodeFeatureEncoder, StateFeatures};
 pub use policy::DefenderPolicy;
 pub use rollout::{RolloutPlan, SyncBatchEngine};
 pub use scenario::{RegistryError, ScenarioRegistry};
+pub use snapshot::SnapshotError;
+pub use train::CheckpointConfig;

@@ -8,10 +8,13 @@
 
 use crate::actions::ActionSpace;
 use crate::agent::{AcsoAgent, AgentConfig, AttentionQNet, QNetwork};
+use crate::snapshot;
 use dbn::learn::{learn_model, LearnConfig};
 use dbn::DbnModel;
 use ics_sim::{IcsEnvironment, SimConfig};
 use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::PathBuf;
 
 /// Configuration of a training run.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,6 +103,32 @@ impl TrainReport {
     }
 }
 
+/// Periodic checkpointing of a training run.
+///
+/// A checkpoint is an `ACSOSNAP` container (see [`crate::snapshot`]) written
+/// atomically to `path` every `every_episodes` episodes and again after the
+/// final one. Restoring it and continuing is bit-identical to never having
+/// stopped — the contract `tests/resume_determinism.rs` pins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointConfig {
+    /// Where the snapshot lives. Writes go through a sibling `.tmp` file and
+    /// a rename, so a crash mid-write leaves the previous checkpoint intact.
+    pub path: PathBuf,
+    /// Checkpoint cadence in episodes (must be at least 1).
+    pub every_episodes: usize,
+}
+
+impl CheckpointConfig {
+    /// Checkpoints to `path` every `every_episodes` episodes.
+    pub fn new(path: impl Into<PathBuf>, every_episodes: usize) -> Self {
+        assert!(every_episodes > 0, "checkpoint cadence must be positive");
+        Self {
+            path: path.into(),
+            every_episodes,
+        }
+    }
+}
+
 /// Trains an agent that already wraps a Q-network. Returns the training
 /// history; the agent is trained in place.
 ///
@@ -122,9 +151,61 @@ pub fn train_agent<N: QNetwork + Clone>(
     seed: u64,
 ) -> TrainReport {
     let mut report = TrainReport::default();
+    run_episodes(agent, sim, episodes, seed, &mut report, None)
+        .expect("no checkpoint configured, so no I/O can fail");
+    report
+}
+
+/// Trains with periodic crash-recovery checkpoints, optionally resuming from
+/// an existing one.
+///
+/// With `resume` set and a readable snapshot at `checkpoint.path`, the
+/// agent's full learning state (networks, optimizer moments, replay ring and
+/// arena, schedules, RNG stream position) is restored and training continues
+/// from the episode after the checkpoint — per-episode environment seeds
+/// depend only on the episode index, so the continuation replays exactly the
+/// stream an uninterrupted run would have seen. Resuming a checkpoint that
+/// already covers `episodes` episodes trains nothing further and returns its
+/// report.
+///
+/// # Errors
+///
+/// Propagates snapshot I/O failures; with `resume`, also a missing, torn or
+/// corrupt checkpoint (a torn write is caught by the container digest before
+/// any state is touched, so the agent is left as constructed and the caller
+/// may fall back to a cold start).
+pub fn train_agent_checkpointed<N: QNetwork + Clone>(
+    agent: &mut AcsoAgent<N>,
+    sim: &SimConfig,
+    episodes: usize,
+    seed: u64,
+    checkpoint: &CheckpointConfig,
+    resume: bool,
+) -> io::Result<TrainReport> {
+    let mut report = TrainReport::default();
+    if resume {
+        let bytes = std::fs::read(&checkpoint.path)?;
+        report = snapshot::decode_train_checkpoint(agent, &bytes)?;
+    }
+    run_episodes(agent, sim, episodes, seed, &mut report, Some(checkpoint))?;
+    Ok(report)
+}
+
+/// The shared episode loop. `report` may already carry completed episodes (a
+/// resumed run); the loop continues from that point so per-episode seeds line
+/// up with an uninterrupted run.
+fn run_episodes<N: QNetwork + Clone>(
+    agent: &mut AcsoAgent<N>,
+    sim: &SimConfig,
+    episodes: usize,
+    seed: u64,
+    report: &mut TrainReport,
+    checkpoint: Option<&CheckpointConfig>,
+) -> io::Result<()> {
+    let start = report.episode_returns.len();
     agent.set_explore(true);
 
-    for episode in 0..episodes {
+    for episode in start..episodes {
         let sim = sim
             .clone()
             .with_seed(acso_runtime::episode_seed(seed, episode));
@@ -163,11 +244,21 @@ pub fn train_agent<N: QNetwork + Clone>(
         report.episode_returns.push(discounted_return);
         report.episode_losses.push(agent.recent_loss());
         agent.end_episode();
+
+        if let Some(config) = checkpoint {
+            let done = episode + 1;
+            if done % config.every_episodes == 0 || done == episodes {
+                report.env_steps = agent.env_steps();
+                report.updates = agent.updates();
+                let bytes = snapshot::encode_train_checkpoint(agent, report);
+                snapshot::write_atomic(&config.path, &bytes)?;
+            }
+        }
     }
     report.env_steps = agent.env_steps();
     report.updates = agent.updates();
     agent.set_explore(false);
-    report
+    Ok(())
 }
 
 /// A trained ACSO defender together with the artefacts needed to reuse it.
@@ -207,6 +298,54 @@ pub fn train_attention_acso(config: &TrainConfig) -> TrainedAcso {
         dbn_model,
         report,
     }
+}
+
+/// [`train_attention_acso`] with crash-recovery checkpoints.
+///
+/// The DBN fit, environment and network construction are all deterministic
+/// in `config`, so a restarted process rebuilds an identical cold agent and
+/// — when `resume` finds a checkpoint — restores the saved learning state on
+/// top of it and continues bit-identically.
+///
+/// # Errors
+///
+/// See [`train_agent_checkpointed`].
+pub fn train_attention_acso_checkpointed(
+    config: &TrainConfig,
+    checkpoint: &CheckpointConfig,
+    resume: bool,
+) -> io::Result<TrainedAcso> {
+    let learn_config = LearnConfig {
+        episodes: config.dbn_episodes,
+        seed: config.seed,
+        sim: config.sim.clone(),
+    };
+    let dbn_model = match config.dbn_threads {
+        Some(threads) => dbn::learn::learn_model_with_threads(&learn_config, threads),
+        None => learn_model(&learn_config),
+    };
+    let env = IcsEnvironment::new(config.sim.clone().with_seed(config.seed));
+    let action_space = ActionSpace::new(env.topology());
+    let network = AttentionQNet::new(action_space, config.seed);
+    let mut agent = AcsoAgent::new(
+        env.topology(),
+        dbn_model.clone(),
+        network,
+        config.agent.clone(),
+    );
+    let report = train_agent_checkpointed(
+        &mut agent,
+        &config.sim,
+        config.episodes,
+        config.seed,
+        checkpoint,
+        resume,
+    )?;
+    Ok(TrainedAcso {
+        agent,
+        dbn_model,
+        report,
+    })
 }
 
 #[cfg(test)]

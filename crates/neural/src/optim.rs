@@ -3,6 +3,87 @@
 use crate::matrix::Matrix;
 use crate::param::Param;
 
+/// A malformed optimizer-state blob handed to `restore_state`.
+///
+/// The message names what was found and what was expected so a corrupt
+/// checkpoint is diagnosable from the error alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptimStateError(String);
+
+impl std::fmt::Display for OptimStateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "optimizer state: {}", self.0)
+    }
+}
+
+impl std::error::Error for OptimStateError {}
+
+/// Byte-cursor over an optimizer-state blob; every read is bounds-checked so
+/// truncated input surfaces as an error, never a panic.
+struct StateReader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> StateReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], OptimStateError> {
+        if self.bytes.len() - self.at < n {
+            return Err(OptimStateError(format!(
+                "truncated: wanted {n} bytes at offset {}, have {}",
+                self.at,
+                self.bytes.len() - self.at
+            )));
+        }
+        let out = &self.bytes[self.at..self.at + n];
+        self.at += n;
+        Ok(out)
+    }
+
+    fn u32(&mut self) -> Result<u32, OptimStateError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, OptimStateError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f32(&mut self) -> Result<f32, OptimStateError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    fn finish(self) -> Result<(), OptimStateError> {
+        if self.at != self.bytes.len() {
+            return Err(OptimStateError(format!(
+                "{} trailing bytes after state",
+                self.bytes.len() - self.at
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn push_matrix(out: &mut Vec<u8>, m: &Matrix) {
+    out.extend_from_slice(&(m.rows() as u32).to_le_bytes());
+    out.extend_from_slice(&(m.cols() as u32).to_le_bytes());
+    for &x in m.data() {
+        out.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+}
+
+fn read_matrix(r: &mut StateReader<'_>) -> Result<Matrix, OptimStateError> {
+    let rows = r.u32()? as usize;
+    let cols = r.u32()? as usize;
+    let mut m = Matrix::zeros(rows, cols);
+    for x in m.data_mut() {
+        *x = r.f32()?;
+    }
+    Ok(m)
+}
+
 /// Plain stochastic gradient descent.
 #[derive(Debug, Clone)]
 pub struct Sgd {
@@ -22,6 +103,19 @@ impl Sgd {
             let lr = self.learning_rate;
             p.value.add_scaled(&p.grad, -lr);
         }
+    }
+
+    /// Serializes the optimizer's state (just the learning rate — SGD is
+    /// stateless across steps) for inclusion in a checkpoint.
+    pub fn state_bytes(&self) -> Vec<u8> {
+        self.learning_rate.to_bits().to_le_bytes().to_vec()
+    }
+
+    /// Restores state previously produced by [`Sgd::state_bytes`].
+    pub fn restore_state(&mut self, bytes: &[u8]) -> Result<(), OptimStateError> {
+        let mut r = StateReader::new(bytes);
+        self.learning_rate = r.f32()?;
+        r.finish()
     }
 }
 
@@ -114,6 +208,49 @@ impl Adam {
             }
         }
     }
+
+    /// Serializes the full optimizer state — hyperparameters, step count and
+    /// both moment vectors — so a restored run continues bias correction and
+    /// moment decay exactly where the saved run stopped.
+    pub fn state_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.step_count.to_le_bytes());
+        for h in [self.learning_rate, self.beta1, self.beta2, self.epsilon] {
+            out.extend_from_slice(&h.to_bits().to_le_bytes());
+        }
+        out.extend_from_slice(&(self.first_moments.len() as u32).to_le_bytes());
+        for m in self.first_moments.iter().chain(&self.second_moments) {
+            push_matrix(&mut out, m);
+        }
+        out
+    }
+
+    /// Restores state previously produced by [`Adam::state_bytes`]. A
+    /// truncated or malformed blob leaves the optimizer untouched and returns
+    /// an error describing the first defect.
+    pub fn restore_state(&mut self, bytes: &[u8]) -> Result<(), OptimStateError> {
+        let mut r = StateReader::new(bytes);
+        let step_count = r.u64()?;
+        let learning_rate = r.f32()?;
+        let beta1 = r.f32()?;
+        let beta2 = r.f32()?;
+        let epsilon = r.f32()?;
+        let count = r.u32()? as usize;
+        let mut moments = Vec::with_capacity(2 * count);
+        for _ in 0..2 * count {
+            moments.push(read_matrix(&mut r)?);
+        }
+        r.finish()?;
+        let second_moments = moments.split_off(count);
+        self.step_count = step_count;
+        self.learning_rate = learning_rate;
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self.epsilon = epsilon;
+        self.first_moments = moments;
+        self.second_moments = second_moments;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -158,6 +295,68 @@ mod tests {
         assert_eq!(opt.learning_rate(), 1e-4);
         opt.set_learning_rate(1e-3);
         assert_eq!(opt.learning_rate(), 1e-3);
+    }
+
+    #[test]
+    fn adam_state_round_trip_is_bit_identical() {
+        // Train one optimizer partway, snapshot, keep training; a fresh
+        // optimizer restored from the snapshot must produce bit-identical
+        // parameters over the same remaining steps.
+        let run = |snapshot_at: Option<u64>| -> (Vec<u8>, Vec<f32>) {
+            let mut p = Param::new(Matrix::row_vector(&[-5.0, 4.0, 0.5]));
+            let mut opt = Adam::new(0.05);
+            let mut saved = Vec::new();
+            for step in 0..50u64 {
+                if snapshot_at == Some(step) {
+                    saved = opt.state_bytes();
+                    let mut restored = Adam::new(999.0);
+                    restored.restore_state(&saved).unwrap();
+                    opt = restored;
+                }
+                p.zero_grad();
+                let g = quadratic_grad(&p);
+                p.accumulate_grad(&g);
+                opt.step(&mut [&mut p]);
+            }
+            (saved, p.value.data().to_vec())
+        };
+        let (_, uninterrupted) = run(None);
+        let (saved, resumed) = run(Some(23));
+        assert!(!saved.is_empty());
+        assert_eq!(
+            uninterrupted
+                .iter()
+                .map(|x| x.to_bits())
+                .collect::<Vec<_>>(),
+            resumed.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn adam_restore_rejects_truncated_state_and_leaves_optimizer_intact() {
+        let mut p = Param::new(Matrix::row_vector(&[1.0, 2.0]));
+        let mut opt = Adam::new(0.01);
+        p.accumulate_grad(&quadratic_grad(&p));
+        opt.step(&mut [&mut p]);
+        let good = opt.state_bytes();
+        let before = opt.state_bytes();
+        let err = opt.restore_state(&good[..good.len() - 3]).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+        assert_eq!(opt.state_bytes(), before, "failed restore must not mutate");
+        let mut extended = good.clone();
+        extended.push(0);
+        let err = opt.restore_state(&extended).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn sgd_state_round_trip() {
+        let mut opt = Sgd::new(0.125);
+        let bytes = opt.state_bytes();
+        let mut restored = Sgd::new(0.5);
+        restored.restore_state(&bytes).unwrap();
+        assert_eq!(restored.learning_rate.to_bits(), 0.125f32.to_bits());
+        assert!(opt.restore_state(&[1, 2]).is_err());
     }
 
     #[test]

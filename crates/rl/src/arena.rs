@@ -27,6 +27,14 @@ impl FeatureId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Rebuilds an id from a raw slot index, the inverse of
+    /// [`FeatureId::index`]. Only checkpoint decoding should need this: an id
+    /// is only meaningful against the arena it was interned in (or a
+    /// bit-identical restore of it).
+    pub fn from_index(index: usize) -> Self {
+        FeatureId(u32::try_from(index).expect("feature id out of u32 range"))
+    }
 }
 
 /// A reference-counted slot arena for feature sets.
@@ -108,6 +116,70 @@ impl<S> FeatureArena<S> {
     pub fn capacity(&self) -> usize {
         self.slots.len()
     }
+
+    /// The arena's raw storage — `(slots, refs, free list)` — for checkpoint
+    /// encoding. Slot order is load-bearing: transitions hold [`FeatureId`]
+    /// indices into `slots`, so a snapshot must preserve positions exactly.
+    pub fn parts(&self) -> (&[Option<S>], &[u32], &[u32]) {
+        (&self.slots, &self.refs, &self.free)
+    }
+
+    /// The reference count of a slot (diagnostics and invariant sweeps).
+    pub fn ref_count(&self, id: FeatureId) -> u32 {
+        self.refs[id.index()]
+    }
+
+    /// Sum of all reference counts (invariant sweeps: must equal the number
+    /// of ids retained by live replay entries).
+    pub fn total_refs(&self) -> u64 {
+        self.refs.iter().map(|&r| u64::from(r)).sum()
+    }
+
+    /// Rebuilds an arena from storage captured by [`FeatureArena::parts`],
+    /// validating the structural invariants a well-formed snapshot must
+    /// satisfy. The error string names the first violated invariant.
+    pub fn from_parts(
+        slots: Vec<Option<S>>,
+        refs: Vec<u32>,
+        free: Vec<u32>,
+    ) -> Result<Self, String> {
+        if slots.len() != refs.len() {
+            return Err(format!(
+                "arena parts disagree: {} slots vs {} ref counts",
+                slots.len(),
+                refs.len()
+            ));
+        }
+        let mut on_free_list = vec![false; slots.len()];
+        for &slot in &free {
+            let index = slot as usize;
+            if index >= slots.len() {
+                return Err(format!(
+                    "free-list entry {index} out of range ({} slots)",
+                    slots.len()
+                ));
+            }
+            if on_free_list[index] {
+                return Err(format!("free-list entry {index} appears twice"));
+            }
+            on_free_list[index] = true;
+            if slots[index].is_some() {
+                return Err(format!("free-list entry {index} is occupied"));
+            }
+            if refs[index] != 0 {
+                return Err(format!(
+                    "free-list entry {index} has {} outstanding references",
+                    refs[index]
+                ));
+            }
+        }
+        for (index, slot) in slots.iter().enumerate() {
+            if slot.is_none() && !on_free_list[index] {
+                return Err(format!("empty slot {index} missing from the free list"));
+            }
+        }
+        Ok(Self { slots, refs, free })
+    }
 }
 
 #[cfg(test)]
@@ -140,6 +212,47 @@ mod tests {
         assert_eq!(b.index(), a.index());
         assert_eq!(arena.capacity(), 1);
         assert_eq!(*arena.get(b), 2);
+    }
+
+    #[test]
+    fn parts_round_trip_preserves_slot_positions() {
+        let mut arena = FeatureArena::new();
+        let a = arena.intern("a".to_string());
+        let b = arena.intern("b".to_string());
+        let c = arena.intern("c".to_string());
+        arena.retain(a);
+        arena.retain(b);
+        arena.retain(b);
+        arena.retain(c);
+        arena.release(c); // slot 2 goes to the free list
+        let (slots, refs, free) = arena.parts();
+        let rebuilt =
+            FeatureArena::from_parts(slots.to_vec(), refs.to_vec(), free.to_vec()).unwrap();
+        assert_eq!(rebuilt.get(a), "a");
+        assert_eq!(rebuilt.get(b), "b");
+        assert_eq!(rebuilt.ref_count(b), 2);
+        assert_eq!(rebuilt.live(), 2);
+        assert_eq!(rebuilt.total_refs(), 3);
+        // The free list survives too: the next intern reuses slot 2.
+        let mut rebuilt = rebuilt;
+        let d = rebuilt.intern("d".to_string());
+        assert_eq!(d.index(), c.index());
+        assert_eq!(FeatureId::from_index(c.index()), c);
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_snapshots() {
+        // Length mismatch.
+        assert!(FeatureArena::from_parts(vec![Some(1u8)], vec![1, 2], vec![]).is_err());
+        // Free entry out of range / duplicated / occupied / referenced.
+        assert!(FeatureArena::from_parts(vec![Some(1u8)], vec![1], vec![3]).is_err());
+        assert!(FeatureArena::<u8>::from_parts(vec![None, None], vec![0, 0], vec![0, 0]).is_err());
+        assert!(FeatureArena::from_parts(vec![Some(1u8)], vec![0], vec![0]).is_err());
+        // Empty slot absent from the free list.
+        assert!(FeatureArena::<u8>::from_parts(vec![None], vec![0], vec![]).is_err());
+        // A free-listed empty slot with a nonzero refcount.
+        let err = FeatureArena::<u8>::from_parts(vec![None], vec![2], vec![0]).unwrap_err();
+        assert!(err.contains("outstanding references"), "{err}");
     }
 
     #[test]

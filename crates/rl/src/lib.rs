@@ -34,6 +34,6 @@ pub mod trainer;
 pub use arena::{FeatureArena, FeatureId};
 pub use nstep::{NStepBuffer, NStepTransition, Transition};
 pub use policy::epsilon_greedy;
-pub use replay::PrioritizedReplay;
+pub use replay::{PrioritizedReplay, ReplayConfigError};
 pub use schedule::{EpsilonSchedule, LinearSchedule};
-pub use trainer::{DqnConfig, DqnTrainer};
+pub use trainer::{DqnConfig, DqnTrainer, TrainerCounters};

@@ -142,6 +142,27 @@ impl<S: Clone> NStepBuffer<S> {
     pub fn pending(&self) -> usize {
         self.window.len()
     }
+
+    /// The buffered transitions, oldest first (checkpoint encoding).
+    pub fn window(&self) -> impl Iterator<Item = &Transition<S>> {
+        self.window.iter()
+    }
+
+    /// Replaces the buffered window with transitions from a checkpoint,
+    /// oldest first. Rejects windows of `n` or more: `push` emits as soon as
+    /// `n` transitions accumulate, so a window that long cannot have come
+    /// from this accumulator.
+    pub fn load_window(&mut self, window: Vec<Transition<S>>) -> Result<(), String> {
+        if window.len() >= self.n {
+            return Err(format!(
+                "n-step window of {} cannot come from a horizon of {}",
+                window.len(),
+                self.n
+            ));
+        }
+        self.window = window.into();
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -211,6 +232,23 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].return_n, 4.0);
         assert_eq!(out[0].steps, 1);
+    }
+
+    #[test]
+    fn window_round_trip_preserves_pending_returns() {
+        let mut buf = NStepBuffer::new(4, 0.9);
+        buf.push(tr(0, 1.0, false));
+        buf.push(tr(1, 2.0, false));
+        let saved: Vec<Transition<i32>> = buf.window().cloned().collect();
+        let mut restored = NStepBuffer::new(4, 0.9);
+        restored.load_window(saved).unwrap();
+        assert_eq!(restored.pending(), 2);
+        let (a, b) = (buf.flush(), restored.flush());
+        assert_eq!(a, b);
+        // A window as long as the horizon cannot have come from push().
+        let mut bad = NStepBuffer::new(2, 0.9);
+        let too_long = vec![tr(0, 1.0, false), tr(1, 1.0, false)];
+        assert!(bad.load_window(too_long).is_err());
     }
 
     #[test]

@@ -8,6 +8,41 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 
+/// A replay configuration a buffer (or trainer) cannot be built from.
+///
+/// Surfaced as a `Result` so callers driving many generated configurations
+/// (scenario TOMLs, soak sweeps) can skip a bad one with a message instead of
+/// aborting the whole run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayConfigError {
+    /// The requested capacity was zero.
+    ZeroCapacity,
+    /// The capacity cannot cover the n-step horizon: an id still pending in
+    /// the n-step window could be evicted from replay first, breaking the
+    /// arena's reference counting.
+    CapacityBelowHorizon {
+        /// The requested replay capacity.
+        capacity: usize,
+        /// The configured n-step horizon.
+        n_step: usize,
+    },
+}
+
+impl std::fmt::Display for ReplayConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayConfigError::ZeroCapacity => write!(f, "replay capacity must be positive"),
+            ReplayConfigError::CapacityBelowHorizon { capacity, n_step } => write!(
+                f,
+                "replay capacity must cover the n-step horizon \
+                 (capacity {capacity} < n_step {n_step})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReplayConfigError {}
+
 /// A binary sum tree over leaf priorities.
 #[derive(Debug, Clone)]
 struct SumTree {
@@ -81,9 +116,20 @@ impl<T: Clone> PrioritizedReplay<T> {
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize, alpha: f64) -> Self {
-        assert!(capacity > 0, "replay capacity must be positive");
+        match Self::try_new(capacity, alpha) {
+            Ok(buf) => buf,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`PrioritizedReplay::new`]: returns a typed error
+    /// instead of panicking on a zero capacity.
+    pub fn try_new(capacity: usize, alpha: f64) -> Result<Self, ReplayConfigError> {
+        if capacity == 0 {
+            return Err(ReplayConfigError::ZeroCapacity);
+        }
         let capacity = capacity.next_power_of_two();
-        Self {
+        Ok(Self {
             capacity,
             alpha,
             items: vec![None; capacity],
@@ -91,7 +137,7 @@ impl<T: Clone> PrioritizedReplay<T> {
             next_slot: 0,
             len: 0,
             max_priority: 1.0,
-        }
+        })
     }
 
     /// Number of stored transitions.
@@ -178,6 +224,85 @@ impl<T: Clone> PrioritizedReplay<T> {
         let priority = priority.abs().max(1e-6);
         self.max_priority = self.max_priority.max(priority);
         self.tree.set(index, priority.powf(self.alpha));
+    }
+
+    /// The priority exponent α (checkpoint encoding).
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The ring cursor: the slot the next push writes to.
+    pub fn next_slot(&self) -> usize {
+        self.next_slot
+    }
+
+    /// The running maximum priority new pushes inherit.
+    pub fn max_priority(&self) -> f64 {
+        self.max_priority
+    }
+
+    /// The raw ring slot at `index` (occupied or not), unlike
+    /// [`PrioritizedReplay::get`] which panics on empty slots. Checkpoint
+    /// encoding and invariant sweeps walk every slot in `0..capacity`.
+    pub fn slot(&self, index: usize) -> Option<&T> {
+        self.items[index].as_ref()
+    }
+
+    /// The sum-tree leaf value (already α-exponentiated) at a slot.
+    pub fn leaf_priority(&self, index: usize) -> f64 {
+        self.tree.get(index)
+    }
+
+    /// Rebuilds a buffer from storage captured via the accessors above.
+    ///
+    /// The sum tree is rebuilt leaf by leaf; every internal node ends up as
+    /// the sum of its children's *final* values, computed with the same
+    /// left-to-right f64 additions as the incremental build, so the restored
+    /// tree — and therefore every future sampling draw — is bit-identical to
+    /// the saved one. The error string names the first violated invariant.
+    pub fn from_parts(
+        alpha: f64,
+        items: Vec<Option<T>>,
+        leaf_priorities: &[f64],
+        next_slot: usize,
+        len: usize,
+        max_priority: f64,
+    ) -> Result<Self, String> {
+        let capacity = items.len();
+        if capacity == 0 || !capacity.is_power_of_two() {
+            return Err(format!("replay capacity {capacity} is not a power of two"));
+        }
+        if leaf_priorities.len() != capacity {
+            return Err(format!(
+                "{} leaf priorities for {capacity} slots",
+                leaf_priorities.len()
+            ));
+        }
+        if next_slot >= capacity {
+            return Err(format!(
+                "ring cursor {next_slot} out of range ({capacity} slots)"
+            ));
+        }
+        let occupied = items.iter().filter(|i| i.is_some()).count();
+        if occupied != len {
+            return Err(format!("len {len} but {occupied} occupied slots"));
+        }
+        let mut tree = SumTree::new(capacity);
+        for (index, &priority) in leaf_priorities.iter().enumerate() {
+            if !priority.is_finite() || priority < 0.0 {
+                return Err(format!("leaf priority {priority} at slot {index}"));
+            }
+            tree.set(index, priority);
+        }
+        Ok(Self {
+            capacity,
+            alpha,
+            items,
+            tree,
+            next_slot,
+            len,
+            max_priority,
+        })
     }
 }
 
@@ -281,5 +406,89 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_is_rejected() {
         let _: PrioritizedReplay<u32> = PrioritizedReplay::new(0, 0.5);
+    }
+
+    #[test]
+    fn try_new_reports_zero_capacity_as_a_typed_error() {
+        assert_eq!(
+            PrioritizedReplay::<u32>::try_new(0, 0.5).unwrap_err(),
+            ReplayConfigError::ZeroCapacity
+        );
+        assert!(PrioritizedReplay::<u32>::try_new(3, 0.5).is_ok());
+    }
+
+    #[test]
+    fn from_parts_restores_sampling_bit_for_bit() {
+        let mut buf = PrioritizedReplay::new(16, 0.7);
+        for i in 0..23u32 {
+            buf.push(i);
+        }
+        for i in 0..8 {
+            buf.update_priority(i, 0.3 + i as f64);
+        }
+        let items: Vec<Option<u32>> = (0..buf.capacity()).map(|i| buf.slot(i).copied()).collect();
+        let leaves: Vec<f64> = (0..buf.capacity()).map(|i| buf.leaf_priority(i)).collect();
+        let restored = PrioritizedReplay::from_parts(
+            buf.alpha(),
+            items,
+            &leaves,
+            buf.next_slot(),
+            buf.len(),
+            buf.max_priority(),
+        )
+        .unwrap();
+        // Identical draws from identical RNG states: the rebuilt tree must
+        // route every sample to the same slot with the same weight bits.
+        let mut rng_a = StdRng::seed_from_u64(99);
+        let mut rng_b = StdRng::seed_from_u64(99);
+        for _ in 0..50 {
+            let a = buf.sample_indices(8, 0.6, &mut rng_a);
+            let b = restored.sample_indices(8, 0.6, &mut rng_b);
+            assert_eq!(a.len(), b.len());
+            for ((ia, wa), (ib, wb)) in a.iter().zip(&b) {
+                assert_eq!(ia, ib);
+                assert_eq!(wa.to_bits(), wb.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_snapshots() {
+        // Non-power-of-two capacity.
+        assert!(
+            PrioritizedReplay::from_parts(0.5, vec![Some(1u32); 3], &[0.0; 3], 0, 3, 1.0).is_err()
+        );
+        // Leaf count mismatch.
+        assert!(
+            PrioritizedReplay::from_parts(0.5, vec![Some(1u32); 4], &[0.0; 3], 0, 4, 1.0).is_err()
+        );
+        // Cursor out of range.
+        assert!(
+            PrioritizedReplay::from_parts(0.5, vec![Some(1u32); 4], &[0.0; 4], 4, 4, 1.0).is_err()
+        );
+        // Occupancy/len disagreement.
+        assert!(
+            PrioritizedReplay::from_parts(0.5, vec![Some(1u32), None], &[0.0; 2], 0, 2, 1.0)
+                .is_err()
+        );
+        // Negative / non-finite priorities.
+        assert!(PrioritizedReplay::from_parts(
+            0.5,
+            vec![Some(1u32), None],
+            &[-1.0, 0.0],
+            0,
+            1,
+            1.0
+        )
+        .is_err());
+        assert!(PrioritizedReplay::from_parts(
+            0.5,
+            vec![Some(1u32), None],
+            &[f64::NAN, 0.0],
+            0,
+            1,
+            1.0
+        )
+        .is_err());
     }
 }

@@ -55,6 +55,24 @@ impl EpsilonSchedule {
     pub fn reset(&mut self) {
         self.current = self.start;
     }
+
+    /// Restores the current ε from a checkpoint. The value is stored as raw
+    /// f64 bits on disk, so the restored schedule continues decaying from the
+    /// exact position the saved run reached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `current` falls outside `[end, start]` — a checkpointed ε
+    /// always lies in that interval.
+    pub fn restore_current(&mut self, current: f64) {
+        assert!(
+            (self.end..=self.start).contains(&current),
+            "restored epsilon {current} outside [{}, {}]",
+            self.end,
+            self.start
+        );
+        self.current = current;
+    }
 }
 
 /// A linear interpolation schedule, used for annealing the prioritized-replay
@@ -89,6 +107,17 @@ impl LinearSchedule {
         self.current_step = self.current_step.saturating_add(1);
         self.value()
     }
+
+    /// Steps taken so far (checkpoint encoding).
+    pub fn current_step(&self) -> u64 {
+        self.current_step
+    }
+
+    /// Restores the step position from a checkpoint; [`LinearSchedule::value`]
+    /// resumes from exactly where the saved run stopped.
+    pub fn restore_current_step(&mut self, current_step: u64) {
+        self.current_step = current_step;
+    }
 }
 
 #[cfg(test)]
@@ -118,6 +147,34 @@ mod tests {
     #[should_panic(expected = "end must not exceed start")]
     fn invalid_epsilon_bounds_are_rejected() {
         let _ = EpsilonSchedule::new(0.1, 0.5, 0.9);
+    }
+
+    #[test]
+    fn schedules_restore_to_exact_positions() {
+        let mut eps = EpsilonSchedule::new(1.0, 0.05, 0.999);
+        for _ in 0..37 {
+            eps.step();
+        }
+        let saved = eps.value();
+        let mut restored = EpsilonSchedule::new(1.0, 0.05, 0.999);
+        restored.restore_current(saved);
+        assert_eq!(restored.step().to_bits(), eps.step().to_bits());
+
+        let mut beta = LinearSchedule::new(0.4, 1.0, 100);
+        for _ in 0..12 {
+            beta.step();
+        }
+        let mut restored = LinearSchedule::new(0.4, 1.0, 100);
+        restored.restore_current_step(beta.current_step());
+        assert_eq!(restored.value().to_bits(), beta.value().to_bits());
+        assert_eq!(restored.current_step(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn epsilon_restore_rejects_out_of_range_values() {
+        let mut eps = EpsilonSchedule::new(1.0, 0.05, 0.999);
+        eps.restore_current(1.5);
     }
 
     #[test]

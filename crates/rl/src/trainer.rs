@@ -15,7 +15,7 @@
 
 use crate::arena::{FeatureArena, FeatureId};
 use crate::nstep::{NStepBuffer, NStepTransition, Transition};
-use crate::replay::PrioritizedReplay;
+use crate::replay::{PrioritizedReplay, ReplayConfigError};
 use crate::schedule::{EpsilonSchedule, LinearSchedule};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
@@ -120,13 +120,26 @@ impl<S> DqnTrainer<S> {
     /// the arena's reference counting assumes an id still pending in the
     /// n-step window cannot be evicted from replay first.
     pub fn new(config: DqnConfig) -> Self {
-        assert!(
-            config.buffer_capacity >= config.n_step,
-            "replay capacity must cover the n-step horizon"
-        );
-        Self {
+        match Self::try_new(config) {
+            Ok(trainer) => trainer,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`DqnTrainer::new`]: a configuration whose replay
+    /// capacity cannot cover the n-step horizon (for example from a
+    /// hand-written scenario TOML) comes back as a typed error instead of
+    /// aborting the process.
+    pub fn try_new(config: DqnConfig) -> Result<Self, ReplayConfigError> {
+        if config.buffer_capacity < config.n_step {
+            return Err(ReplayConfigError::CapacityBelowHorizon {
+                capacity: config.buffer_capacity,
+                n_step: config.n_step,
+            });
+        }
+        Ok(Self {
             arena: FeatureArena::new(),
-            replay: PrioritizedReplay::new(config.buffer_capacity, config.priority_alpha),
+            replay: PrioritizedReplay::try_new(config.buffer_capacity, config.priority_alpha)?,
             nstep: NStepBuffer::new(config.n_step, config.gamma),
             epsilon: EpsilonSchedule::new(
                 config.epsilon_start,
@@ -138,7 +151,7 @@ impl<S> DqnTrainer<S> {
             updates: 0,
             updates_since_sync: 0,
             config,
-        }
+        })
     }
 
     /// The trainer's configuration.
@@ -270,6 +283,80 @@ impl<S> DqnTrainer<S> {
     pub fn bootstrap_discount(&self, transition: &NStepTransition<FeatureId>) -> f64 {
         transition.bootstrap_discount(self.config.gamma)
     }
+
+    /// The feature arena (checkpoint encoding and invariant sweeps).
+    pub fn arena(&self) -> &FeatureArena<S> {
+        &self.arena
+    }
+
+    /// The replay ring (checkpoint encoding and invariant sweeps).
+    pub fn replay(&self) -> &PrioritizedReplay<NStepTransition<FeatureId>> {
+        &self.replay
+    }
+
+    /// The pending n-step window, oldest first (checkpoint encoding; empty
+    /// right after [`DqnTrainer::end_episode`]).
+    pub fn nstep_window(&self) -> impl Iterator<Item = &Transition<FeatureId>> {
+        self.nstep.window()
+    }
+
+    /// The scalar counters a checkpoint must carry.
+    pub fn counters(&self) -> TrainerCounters {
+        TrainerCounters {
+            epsilon_current: self.epsilon.value(),
+            beta_current_step: self.beta.current_step(),
+            env_steps: self.env_steps,
+            updates: self.updates,
+            updates_since_sync: self.updates_since_sync,
+        }
+    }
+
+    /// Restores the trainer's full mutable state from checkpoint parts: the
+    /// arena, the replay ring, the pending n-step window and the scalar
+    /// counters. The configuration (and thus horizons, schedules and
+    /// capacities) stays as constructed; parts that contradict it are
+    /// rejected with a message naming the mismatch.
+    pub fn restore(
+        &mut self,
+        arena: FeatureArena<S>,
+        replay: PrioritizedReplay<NStepTransition<FeatureId>>,
+        window: Vec<Transition<FeatureId>>,
+        counters: TrainerCounters,
+    ) -> Result<(), String> {
+        let expected = self.replay.capacity();
+        if replay.capacity() != expected {
+            return Err(format!(
+                "replay capacity {} does not match the configured {expected}",
+                replay.capacity()
+            ));
+        }
+        self.nstep.load_window(window)?;
+        self.arena = arena;
+        self.replay = replay;
+        self.epsilon.restore_current(counters.epsilon_current);
+        self.beta.restore_current_step(counters.beta_current_step);
+        self.env_steps = counters.env_steps;
+        self.updates = counters.updates;
+        self.updates_since_sync = counters.updates_since_sync;
+        Ok(())
+    }
+}
+
+/// The scalar state of a [`DqnTrainer`] captured in a checkpoint: schedule
+/// positions and step/update counters. Everything else the trainer owns
+/// (arena, replay ring, n-step window) is structural and travels separately.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainerCounters {
+    /// Current ε of the exploration schedule.
+    pub epsilon_current: f64,
+    /// Steps taken by the β annealing schedule.
+    pub beta_current_step: u64,
+    /// Total environment steps observed.
+    pub env_steps: u64,
+    /// Total gradient updates recorded.
+    pub updates: u64,
+    /// Updates since the last target-network sync.
+    pub updates_since_sync: u64,
 }
 
 #[cfg(test)]
@@ -443,6 +530,108 @@ mod tests {
             ..DqnConfig::smoke()
         };
         let _: DqnTrainer<u64> = DqnTrainer::new(cfg);
+    }
+
+    #[test]
+    fn try_new_surfaces_bad_configs_as_typed_errors() {
+        use crate::replay::ReplayConfigError;
+        let cfg = DqnConfig {
+            n_step: 8,
+            buffer_capacity: 4,
+            ..DqnConfig::smoke()
+        };
+        assert_eq!(
+            DqnTrainer::<u64>::try_new(cfg).unwrap_err(),
+            ReplayConfigError::CapacityBelowHorizon {
+                capacity: 4,
+                n_step: 8
+            }
+        );
+        // A zero capacity is always below the horizon (n_step >= 1), so it
+        // surfaces through the same typed error.
+        let cfg = DqnConfig {
+            n_step: 1,
+            buffer_capacity: 0,
+            ..DqnConfig::smoke()
+        };
+        assert_eq!(
+            DqnTrainer::<u64>::try_new(cfg).unwrap_err(),
+            ReplayConfigError::CapacityBelowHorizon {
+                capacity: 0,
+                n_step: 1
+            }
+        );
+        assert!(DqnTrainer::<u64>::try_new(DqnConfig::smoke()).is_ok());
+    }
+
+    #[test]
+    fn restore_reproduces_sampling_and_counters_bit_for_bit() {
+        let cfg = DqnConfig {
+            warmup_transitions: 5,
+            update_every: 1,
+            n_step: 3,
+            batch_size: 8,
+            ..DqnConfig::smoke()
+        };
+        let mut trainer: DqnTrainer<u64> = DqnTrainer::new(cfg);
+        let mut driver = Driver::new();
+        for i in 0..60 {
+            driver.step(&mut trainer, i, i % 20 == 19);
+        }
+        trainer.end_episode();
+        let mut rng = StdRng::seed_from_u64(5);
+        let batch = trainer.sample_batch_indices(&mut rng);
+        let errors: Vec<(usize, f64)> = batch.iter().map(|(i, _)| (*i, 1.5)).collect();
+        trainer.record_update(&errors);
+
+        // Capture parts exactly as the checkpoint codec does.
+        let (slots, refs, free) = trainer.arena().parts();
+        let arena = FeatureArena::from_parts(slots.to_vec(), refs.to_vec(), free.to_vec()).unwrap();
+        let replay = trainer.replay();
+        let items: Vec<Option<NStepTransition<FeatureId>>> = (0..replay.capacity())
+            .map(|i| replay.slot(i).cloned())
+            .collect();
+        let leaves: Vec<f64> = (0..replay.capacity())
+            .map(|i| replay.leaf_priority(i))
+            .collect();
+        let replay = PrioritizedReplay::from_parts(
+            replay.alpha(),
+            items,
+            &leaves,
+            replay.next_slot(),
+            replay.len(),
+            replay.max_priority(),
+        )
+        .unwrap();
+        let window: Vec<Transition<FeatureId>> = trainer.nstep_window().cloned().collect();
+        let counters = trainer.counters();
+
+        let mut restored: DqnTrainer<u64> = DqnTrainer::new(cfg);
+        restored.restore(arena, replay, window, counters).unwrap();
+        assert_eq!(restored.counters(), trainer.counters());
+        assert_eq!(restored.buffered(), trainer.buffered());
+        assert_eq!(restored.arena_live(), trainer.arena_live());
+        let mut rng_a = StdRng::seed_from_u64(77);
+        let mut rng_b = StdRng::seed_from_u64(77);
+        for _ in 0..20 {
+            let a = trainer.sample_batch_indices(&mut rng_a);
+            let b = restored.sample_batch_indices(&mut rng_b);
+            assert_eq!(a.len(), b.len());
+            for ((ia, wa), (ib, wb)) in a.iter().zip(&b) {
+                assert_eq!(ia, ib);
+                assert_eq!(wa.to_bits(), wb.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_replay_capacity() {
+        let mut trainer: DqnTrainer<u64> = DqnTrainer::new(DqnConfig::smoke());
+        let other = PrioritizedReplay::try_new(4, 0.6).unwrap();
+        let err = trainer
+            .restore(FeatureArena::new(), other, Vec::new(), trainer.counters())
+            .unwrap_err();
+        assert!(err.contains("does not match"), "{err}");
     }
 
     #[test]

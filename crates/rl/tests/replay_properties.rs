@@ -130,6 +130,51 @@ proptest! {
         }
     }
 
+    /// Whatever the episode structure, capturing the arena and replay ring
+    /// through their snapshot accessors and rebuilding them via `from_parts`
+    /// reproduces the contents, reference counts and free list exactly —
+    /// the release-on-eviction bookkeeping survives a checkpoint round trip.
+    #[test]
+    fn arena_snapshot_round_trips_for_arbitrary_episodes(
+        episode_lens in prop::collection::vec(1usize..30, 1..6),
+        n in 1usize..6,
+    ) {
+        let cfg = DqnConfig {
+            n_step: n,
+            buffer_capacity: 32,
+            ..DqnConfig::smoke()
+        };
+        let mut trainer: DqnTrainer<u64> = DqnTrainer::new(cfg);
+        let mut step = 0u64;
+        for len in &episode_lens {
+            let mut last = trainer.intern(step);
+            for i in 0..*len {
+                let next = trainer.intern(step + 1);
+                trainer.observe(Transition {
+                    state: last,
+                    action: 0,
+                    reward: 1.0,
+                    next_state: next,
+                    done: i + 1 == *len,
+                });
+                last = next;
+                step += 1;
+            }
+            trainer.end_episode();
+        }
+        let (slots, refs, free) = trainer.arena().parts();
+        let rebuilt = rl::FeatureArena::from_parts(
+            slots.to_vec(), refs.to_vec(), free.to_vec(),
+        ).unwrap();
+        let (r_slots, r_refs, r_free) = rebuilt.parts();
+        prop_assert_eq!(slots, r_slots);
+        prop_assert_eq!(refs, r_refs);
+        prop_assert_eq!(free, r_free);
+        prop_assert_eq!(rebuilt.live(), trainer.arena_live());
+        // Refcount balance: every live replay entry retains exactly two ids.
+        prop_assert_eq!(rebuilt.total_refs(), 2 * trainer.buffered() as u64);
+    }
+
     /// Epsilon schedules are monotonically non-increasing and bounded by
     /// their configured floor; linear schedules stay within [start, end].
     #[test]

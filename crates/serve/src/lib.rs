@@ -20,6 +20,9 @@
 //!   Prometheus text exposition format;
 //! * [`events`] — the optional JSONL event stream (`--events`) and the
 //!   [`events::Clock`] that `--fixed-time` pins for deterministic output;
+//! * [`state`] — crash-recoverable serving state: the policy table written
+//!   as a digest-sealed `ACSOSNAP` snapshot (`--state-dir`), reloaded on
+//!   startup with graceful fallback to a cold start;
 //! * [`service`] — [`service::EvalService`]: request parsing, the policy
 //!   handle table, and evaluate-request coalescing through
 //!   [`acso_core::rollout::SyncBatchEngine::rollout_many`];
@@ -47,6 +50,7 @@ pub mod json;
 pub mod metrics;
 pub mod server;
 pub mod service;
+pub mod state;
 pub mod transport;
 
 pub use events::{Clock, EventSink};

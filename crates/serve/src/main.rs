@@ -14,24 +14,35 @@ use acso_serve::service::{EvalService, ServiceConfig};
 use acso_serve::transport::StdioTransport;
 use std::io::Write as _;
 
-const USAGE: &str = "usage: acso-serve [--lanes N] [--threads N] [--events PATH] [--fixed-time]
+const USAGE: &str =
+    "usage: acso-serve [--lanes N] [--threads N] [--events PATH] [--state-dir DIR] [--fixed-time]
 
 Persistent ACSO evaluation daemon: line-delimited JSON requests on stdin,
 one JSON response per line on stdout. See docs/PROTOCOL.md.
 
 options:
-  --lanes N      lockstep lanes per inference batch
-                 (default: ACSO_SERVE_LANES, ACSO_BATCH, or 8)
-  --threads N    worker threads for episode fan-out
-                 (default: ACSO_THREADS or available parallelism)
-  --events PATH  append a structured JSONL event stream to PATH
-  --fixed-time   pin timestamps/durations to zero for deterministic output
-  --help         show this help
+  --lanes N       lockstep lanes per inference batch
+                  (default: ACSO_SERVE_LANES, ACSO_BATCH, or 8)
+  --threads N     worker threads for episode fan-out
+                  (default: ACSO_THREADS or available parallelism)
+  --events PATH   append a structured JSONL event stream to PATH
+  --state-dir DIR crash recovery: `snapshot` requests write the policy table
+                  to DIR atomically, and startup reloads it (a corrupt or
+                  torn snapshot degrades to a cold start)
+  --fixed-time    pin timestamps/durations to zero for deterministic output
+  --help          show this help
 ";
 
-fn parse_args(args: &[String]) -> Result<(ServiceConfig, Option<String>), String> {
+/// Flags that need wiring beyond the [`ServiceConfig`] itself.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct CliPaths {
+    events: Option<String>,
+    state_dir: Option<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<(ServiceConfig, CliPaths), String> {
     let mut config = ServiceConfig::from_env();
-    let mut events_path = None;
+    let mut paths = CliPaths::default();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -50,10 +61,18 @@ fn parse_args(args: &[String]) -> Result<(ServiceConfig, Option<String>), String
                     .ok_or("--threads needs a positive integer")?;
             }
             "--events" => {
-                events_path = Some(
+                paths.events = Some(
                     iter.next()
                         .filter(|p| !p.is_empty())
                         .ok_or("--events needs a file path")?
+                        .clone(),
+                );
+            }
+            "--state-dir" => {
+                paths.state_dir = Some(
+                    iter.next()
+                        .filter(|p| !p.is_empty())
+                        .ok_or("--state-dir needs a directory path")?
                         .clone(),
                 );
             }
@@ -62,12 +81,12 @@ fn parse_args(args: &[String]) -> Result<(ServiceConfig, Option<String>), String
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    Ok((config, events_path))
+    Ok((config, paths))
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (config, events_path) = match parse_args(&args) {
+    let (config, paths) = match parse_args(&args) {
         Ok(parsed) => parsed,
         Err(message) => {
             if message.is_empty() {
@@ -85,7 +104,7 @@ fn main() {
     } else {
         Clock::System
     };
-    let events = match &events_path {
+    let events = match &paths.events {
         None => EventSink::disabled(),
         Some(path) => match std::fs::File::create(path) {
             Ok(file) => EventSink::to_writer(Box::new(file), clock),
@@ -97,6 +116,14 @@ fn main() {
     };
 
     let mut service = EvalService::new(config).with_events(events);
+    if let Some(dir) = &paths.state_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("acso-serve: cannot create state dir `{dir}`: {e}");
+            std::process::exit(2);
+        }
+        service = service.with_state_dir(dir);
+        service.restore_on_start();
+    }
     let mut transport = StdioTransport::new();
     let served = serve(&mut service, &mut transport);
     let _ = writeln!(std::io::stderr(), "acso-serve: served {served} requests");
@@ -112,20 +139,23 @@ mod tests {
 
     #[test]
     fn args_override_the_environment_defaults() {
-        let (config, events) = parse_args(&strings(&[
+        let (config, paths) = parse_args(&strings(&[
             "--lanes",
             "4",
             "--threads",
             "2",
             "--events",
             "/tmp/ev.jsonl",
+            "--state-dir",
+            "/tmp/acso-state",
             "--fixed-time",
         ]))
         .unwrap();
         assert_eq!(config.lanes, 4);
         assert_eq!(config.threads, 2);
         assert!(config.fixed_time);
-        assert_eq!(events.as_deref(), Some("/tmp/ev.jsonl"));
+        assert_eq!(paths.events.as_deref(), Some("/tmp/ev.jsonl"));
+        assert_eq!(paths.state_dir.as_deref(), Some("/tmp/acso-state"));
     }
 
     #[test]
@@ -134,6 +164,7 @@ mod tests {
         assert!(parse_args(&strings(&["--lanes", "0"])).is_err());
         assert!(parse_args(&strings(&["--threads", "x"])).is_err());
         assert!(parse_args(&strings(&["--events"])).is_err());
+        assert!(parse_args(&strings(&["--state-dir"])).is_err());
         assert!(parse_args(&strings(&["--wat"])).is_err());
         assert_eq!(parse_args(&strings(&["--help"])).unwrap_err(), "");
     }

@@ -19,17 +19,20 @@
 use crate::events::{Clock, EventSink};
 use crate::json::JsonValue;
 use crate::metrics::ServeMetrics;
-use acso_core::agent::io::FORMAT_VERSION;
+use crate::state::{self, PolicyRecord, ServeState, STATE_FILE};
+use acso_core::agent::io::{self as weights_io, FORMAT_VERSION};
 use acso_core::agent::{AcsoAgent, AgentConfig, AttentionQNet};
 use acso_core::baselines::{DbnExpertPolicy, PlaybookPolicy, SemiRandomPolicy};
 use acso_core::experiments::{prepare, ExperimentScale};
 use acso_core::policy::NullPolicy;
+use acso_core::snapshot as core_snapshot;
 use acso_core::train::{TrainReport, TrainedAcso};
 use acso_core::{ActionSpace, DefenderPolicy, RolloutPlan, ScenarioRegistry, SyncBatchEngine};
 use dbn::learn::{learn_model, LearnConfig};
 use dbn::DbnModel;
 use ics_sim::metrics::{EpisodeMetrics, EvaluationSummary, MeanStdErr};
 use ics_sim::{IcsEnvironment, SimConfig};
+use std::path::PathBuf;
 
 /// Environment variable overriding the daemon's lockstep lane width. Falls
 /// back to `ACSO_BATCH`, then [`DEFAULT_LANES`].
@@ -115,7 +118,8 @@ impl PolicyStock {
     }
 }
 
-/// One versioned policy handle.
+/// One versioned policy handle, together with the parameters a state
+/// snapshot needs to rebuild it deterministically after a restart.
 struct LoadedPolicy {
     handle: String,
     kind: String,
@@ -123,6 +127,12 @@ struct LoadedPolicy {
     name: String,
     version: u32,
     scenario: String,
+    /// Horizon override of the original `load_policy`, if any.
+    max_time: Option<u64>,
+    /// DBN fit size of the original load (refit deterministically on restore).
+    dbn_episodes: u64,
+    /// Seed of the original load (DBN fit, network init).
+    seed: u64,
     stock: PolicyStock,
 }
 
@@ -178,6 +188,8 @@ pub struct EvalService {
     next_policy_id: u64,
     metrics: ServeMetrics,
     events: EventSink,
+    /// Where the crash-recovery snapshot lives (the `--state-dir` flag).
+    state_path: Option<PathBuf>,
 }
 
 fn jobj(pairs: Vec<(&str, JsonValue)>) -> JsonValue {
@@ -264,12 +276,21 @@ impl EvalService {
             next_policy_id: 0,
             metrics: ServeMetrics::new(),
             events: EventSink::disabled(),
+            state_path: None,
         }
     }
 
     /// Attaches a structured event stream (the `--events PATH` flag).
     pub fn with_events(mut self, events: EventSink) -> Self {
         self.events = events;
+        self
+    }
+
+    /// Enables crash recovery (the `--state-dir DIR` flag): `snapshot`
+    /// requests write the policy table to `DIR/serve_state.acsosnap` and
+    /// [`EvalService::restore_on_start`] reloads it after a restart.
+    pub fn with_state_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.state_path = Some(dir.into().join(STATE_FILE));
         self
     }
 
@@ -325,6 +346,12 @@ impl EvalService {
                         }
                         "metrics" => {
                             slots[slot] = Some(self.metrics_snapshot(&request));
+                        }
+                        "snapshot" => {
+                            slots[slot] = Some(self.snapshot_request(&request));
+                        }
+                        "restore" => {
+                            slots[slot] = Some(self.restore_request(&request));
                         }
                         "shutdown" => {
                             shutdown = true;
@@ -562,6 +589,9 @@ impl EvalService {
             name: name.to_string(),
             version,
             scenario: scenario.clone(),
+            max_time,
+            dbn_episodes: dbn_episodes as u64,
+            seed,
             stock,
         });
         self.metrics.policies_loaded = self.policies.len() as u64;
@@ -765,6 +795,226 @@ impl EvalService {
                 }
                 slots[job.slot] = Some(ok_value(&job.id, jobj(result)));
             }
+        }
+    }
+
+    /// Captures the durable slice of the service: every policy handle with
+    /// its reconstruction parameters, plus the exact weight bytes behind
+    /// `acso` handles.
+    fn capture_state(&mut self) -> ServeState {
+        let mut records = Vec::with_capacity(self.policies.len());
+        for policy in self.policies.iter_mut() {
+            let weights = match &mut policy.stock {
+                PolicyStock::Acso(trained) => {
+                    let mut bytes = Vec::new();
+                    weights_io::save_weights_to(trained.agent.network_mut(), &mut bytes)
+                        .expect("writing weights to a Vec cannot fail");
+                    Some(bytes)
+                }
+                _ => None,
+            };
+            records.push(PolicyRecord {
+                handle: policy.handle.clone(),
+                kind: policy.kind.clone(),
+                name: policy.name.clone(),
+                version: policy.version,
+                scenario: policy.scenario.clone(),
+                max_time: policy.max_time,
+                dbn_episodes: policy.dbn_episodes,
+                seed: policy.seed,
+                weights,
+            });
+        }
+        ServeState {
+            next_policy_id: self.next_policy_id,
+            policies: records,
+        }
+    }
+
+    /// Rebuilds one policy handle from its snapshot record. Everything not
+    /// stored verbatim (the DBN model, topology, network architecture) is a
+    /// deterministic function of the stored parameters, so the rebuilt handle
+    /// serves bit-identical responses.
+    fn rebuild_policy(
+        registry: &ScenarioRegistry,
+        record: &PolicyRecord,
+    ) -> Result<LoadedPolicy, String> {
+        let Some(found) = registry.get(&record.scenario) else {
+            return Err(format!(
+                "snapshot references unknown scenario `{}`",
+                record.scenario
+            ));
+        };
+        let mut sim = found.config.clone();
+        if let Some(max_time) = record.max_time {
+            sim = sim.with_max_time(max_time);
+        }
+        let stock = match record.kind.as_str() {
+            "acso" => {
+                let Some(weights) = &record.weights else {
+                    return Err(format!(
+                        "snapshot record `{}` has no weight bytes",
+                        record.handle
+                    ));
+                };
+                let model = learn_model(&LearnConfig {
+                    episodes: record.dbn_episodes as usize,
+                    seed: record.seed,
+                    sim: sim.clone(),
+                });
+                let env = IcsEnvironment::new(sim);
+                let space = ActionSpace::new(env.topology());
+                let mut network = AttentionQNet::new(space, record.seed);
+                weights_io::load_weights_from(&mut network, &mut weights.as_slice())
+                    .map_err(|e| format!("snapshot record `{}`: {e}", record.handle))?;
+                let mut agent = AcsoAgent::new(
+                    env.topology(),
+                    model.clone(),
+                    network,
+                    AgentConfig {
+                        seed: record.seed,
+                        ..AgentConfig::smoke()
+                    },
+                );
+                agent.set_explore(false);
+                PolicyStock::Acso(Box::new(TrainedAcso {
+                    agent,
+                    dbn_model: model,
+                    report: TrainReport::default(),
+                }))
+            }
+            "dbn_expert" => PolicyStock::DbnExpert(learn_model(&LearnConfig {
+                episodes: record.dbn_episodes as usize,
+                seed: record.seed,
+                sim,
+            })),
+            "playbook" => PolicyStock::Playbook,
+            "semi_random" => PolicyStock::SemiRandom,
+            "null" => PolicyStock::Null,
+            other => {
+                return Err(format!("snapshot references unknown policy kind `{other}`"));
+            }
+        };
+        Ok(LoadedPolicy {
+            handle: record.handle.clone(),
+            kind: record.kind.clone(),
+            name: record.name.clone(),
+            version: record.version,
+            scenario: record.scenario.clone(),
+            max_time: record.max_time,
+            dbn_episodes: record.dbn_episodes,
+            seed: record.seed,
+            stock,
+        })
+    }
+
+    /// Writes the state snapshot atomically into the configured state dir.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no `--state-dir` is configured or the write itself fails.
+    pub fn write_state_snapshot(&mut self) -> Result<(PathBuf, usize), String> {
+        let Some(path) = self.state_path.clone() else {
+            return Err("no --state-dir configured".to_string());
+        };
+        let state = self.capture_state();
+        let bytes = state::encode(&state);
+        core_snapshot::write_atomic(&path, &bytes)
+            .map_err(|e| format!("cannot write snapshot `{}`: {e}", path.display()))?;
+        self.events.emit(
+            "snapshot_written",
+            &[
+                ("path", JsonValue::str(path.display().to_string())),
+                ("bytes", JsonValue::num(bytes.len() as f64)),
+                ("policies", JsonValue::num(state.policies.len() as f64)),
+            ],
+        );
+        Ok((path, state.policies.len()))
+    }
+
+    /// Replaces the policy table with the snapshot in the state dir.
+    ///
+    /// All-or-nothing: every record is rebuilt before the live table is
+    /// touched, so a corrupt snapshot (torn write, unknown scenario, bad
+    /// weights) leaves the service exactly as it was.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no `--state-dir` is configured, the snapshot is missing or
+    /// fails its digest, or any record cannot be rebuilt.
+    pub fn restore_state_snapshot(&mut self) -> Result<usize, String> {
+        let Some(path) = self.state_path.clone() else {
+            return Err("no --state-dir configured".to_string());
+        };
+        let bytes = std::fs::read(&path)
+            .map_err(|e| format!("cannot read snapshot `{}`: {e}", path.display()))?;
+        let state = state::decode(&bytes).map_err(|e| e.to_string())?;
+        let mut policies = Vec::with_capacity(state.policies.len());
+        for record in &state.policies {
+            policies.push(Self::rebuild_policy(&self.registry, record)?);
+        }
+        let restored = policies.len();
+        self.policies = policies;
+        self.next_policy_id = state.next_policy_id;
+        self.metrics.policies_loaded = restored as u64;
+        self.events.emit(
+            "snapshot_restored",
+            &[
+                ("path", JsonValue::str(path.display().to_string())),
+                ("policies", JsonValue::num(restored as f64)),
+            ],
+        );
+        Ok(restored)
+    }
+
+    /// Startup crash recovery: reload the state snapshot if one exists.
+    /// Degrades gracefully — a missing snapshot is a normal first boot, and a
+    /// corrupt one emits a `snapshot_corrupt` event and falls back to a cold
+    /// start instead of refusing to serve.
+    pub fn restore_on_start(&mut self) {
+        let Some(path) = self.state_path.clone() else {
+            return;
+        };
+        if !path.exists() {
+            return;
+        }
+        if let Err(message) = self.restore_state_snapshot() {
+            self.events
+                .emit("snapshot_corrupt", &[("message", JsonValue::str(&message))]);
+        }
+    }
+
+    fn snapshot_request(&mut self, request: &Request) -> JsonValue {
+        match self.write_state_snapshot() {
+            Ok((path, policies)) => ok_value(
+                &request.id,
+                jobj(vec![
+                    ("path", JsonValue::str(path.display().to_string())),
+                    ("policies", JsonValue::num(policies as f64)),
+                ]),
+            ),
+            Err(message) => self.fail(&request.id, "state_error", &message),
+        }
+    }
+
+    fn restore_request(&mut self, request: &Request) -> JsonValue {
+        match self.restore_state_snapshot() {
+            Ok(policies) => {
+                let handles = JsonValue::Arr(
+                    self.policies
+                        .iter()
+                        .map(|p| JsonValue::str(&p.handle))
+                        .collect(),
+                );
+                ok_value(
+                    &request.id,
+                    jobj(vec![
+                        ("policies", JsonValue::num(policies as f64)),
+                        ("handles", handles),
+                    ]),
+                )
+            }
+            Err(message) => self.fail(&request.id, "state_error", &message),
         }
     }
 
@@ -984,6 +1234,110 @@ mod tests {
         let prometheus = result.get("prometheus").unwrap().as_str().unwrap();
         assert!(prometheus.contains("acso_serve_requests_total{method=\"list_scenarios\"} 1"));
         assert!(prometheus.contains("# TYPE acso_serve_request_duration_seconds histogram"));
+    }
+
+    /// The crash-recovery acceptance test: a daemon restarted against the
+    /// same `--state-dir` serves byte-identical `evaluate` responses for the
+    /// handles it had loaded, including a trained `acso` policy.
+    #[test]
+    fn restart_from_state_snapshot_serves_bit_identical_responses() {
+        let dir = std::env::temp_dir().join("acso_serve_state_restart_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let mut first = EvalService::new(ServiceConfig::fixed()).with_state_dir(&dir);
+        parse_ok(&first.handle_line(
+            r#"{"id":1,"method":"load_policy","params":{"policy":"acso","scenario":"tiny","max_time":60,"train_episodes":1,"dbn_episodes":2,"seed":5}}"#,
+        ));
+        parse_ok(
+            &first.handle_line(r#"{"id":2,"method":"load_policy","params":{"policy":"playbook"}}"#),
+        );
+        let eval_line = r#"{"id":3,"method":"evaluate","params":{"handle":"acso@1","scenario":"tiny","episodes":2,"seed":9,"max_time":60,"transcripts":true}}"#;
+        let before = first.handle_line(eval_line);
+        let snap = parse_ok(&first.handle_line(r#"{"id":4,"method":"snapshot"}"#));
+        assert_eq!(snap.get("policies").unwrap().as_u64(), Some(2));
+        drop(first); // the "crash"
+
+        let mut second = EvalService::new(ServiceConfig::fixed()).with_state_dir(&dir);
+        second.restore_on_start();
+        let after = second.handle_line(eval_line);
+        assert_eq!(
+            before, after,
+            "restored policy must serve byte-identical responses"
+        );
+        // The handle counter survives too: new handles never collide.
+        let loaded = parse_ok(
+            &second.handle_line(r#"{"id":5,"method":"load_policy","params":{"policy":"null"}}"#),
+        );
+        assert_eq!(
+            loaded.get("handle").and_then(|h| h.as_str()),
+            Some("null@3")
+        );
+        // An explicit `restore` round trip works as a protocol method too.
+        let restored = parse_ok(&second.handle_line(r#"{"id":6,"method":"restore"}"#));
+        assert_eq!(restored.get("policies").unwrap().as_u64(), Some(2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A torn snapshot write must degrade to a cold start with an error
+    /// event — never serve from, or crash on, half-written state.
+    #[test]
+    fn torn_state_snapshot_degrades_to_cold_start() {
+        let dir = std::env::temp_dir().join("acso_serve_state_torn_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let mut first = EvalService::new(ServiceConfig::fixed()).with_state_dir(&dir);
+        parse_ok(
+            &first.handle_line(r#"{"id":1,"method":"load_policy","params":{"policy":"playbook"}}"#),
+        );
+        parse_ok(&first.handle_line(r#"{"id":2,"method":"snapshot"}"#));
+        drop(first);
+
+        // Tear the write: truncate the snapshot mid-container.
+        let path = dir.join(STATE_FILE);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+
+        let events_path = dir.join("events.jsonl");
+        let mut second = EvalService::new(ServiceConfig::fixed())
+            .with_events(EventSink::to_writer(
+                Box::new(std::fs::File::create(&events_path).unwrap()),
+                Clock::Fixed,
+            ))
+            .with_state_dir(&dir);
+        second.restore_on_start();
+
+        // Cold start: the old handle is gone, but the daemon serves.
+        let (code, _) = parse_err(&second.handle_line(
+            r#"{"id":3,"method":"evaluate","params":{"handle":"playbook@1","scenario":"tiny","episodes":1,"max_time":60}}"#,
+        ));
+        assert_eq!(code, "unknown_handle");
+        // An explicit `restore` surfaces the typed digest failure.
+        let (code, message) = parse_err(&second.handle_line(r#"{"id":4,"method":"restore"}"#));
+        assert_eq!(code, "state_error");
+        assert!(
+            message.contains("digest mismatch"),
+            "torn write should fail the digest check: {message}"
+        );
+        drop(second);
+        let events = std::fs::read_to_string(&events_path).unwrap();
+        assert!(
+            events.contains(r#""event":"snapshot_corrupt""#),
+            "startup fallback must log the corruption: {events}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// `snapshot`/`restore` without `--state-dir` are well-formed errors.
+    #[test]
+    fn state_methods_without_a_state_dir_get_typed_errors() {
+        let mut service = service();
+        let (code, message) = parse_err(&service.handle_line(r#"{"id":1,"method":"snapshot"}"#));
+        assert_eq!(code, "state_error");
+        assert_eq!(message, "no --state-dir configured");
+        let (code, _) = parse_err(&service.handle_line(r#"{"id":2,"method":"restore"}"#));
+        assert_eq!(code, "state_error");
     }
 
     #[test]

@@ -78,6 +78,7 @@ fn protocol_doc_transcript_covers_the_method_surface() {
         "load_policy",
         "evaluate",
         "metrics",
+        "snapshot",
         "shutdown",
     ] {
         assert!(
@@ -169,6 +170,14 @@ fn documented_error_codes_are_produced_on_the_wire() {
             r#"{"id":1,"method":"load_policy","params":{"policy":"acso","weights":"/no/such/file"}}"#
         ),
         "weights_error"
+    );
+    assert_eq!(
+        code_of(&mut service, r#"{"id":1,"method":"snapshot"}"#),
+        "state_error"
+    );
+    assert_eq!(
+        code_of(&mut service, r#"{"id":1,"method":"restore"}"#),
+        "state_error"
     );
 
     // The daemon still answers normal requests after all that abuse.
