@@ -1,0 +1,64 @@
+//! Benchmark: the fused block-diagonal attention kernels in isolation, per
+//! kernel backend. One `SelfAttention` layer at the attention Q-net's
+//! production shape (n = 12 nodes of `paper_small`, 32 -> 64 dims) is driven
+//! through `forward_batch` / `forward_batch_train` + `backward_batch` at
+//! batch sizes 1/8/32, once per registered backend — so a
+//! `--features backend-simd` run shows the reference and SIMD kernels side
+//! by side on the exact block-diagonal `[b*n, n]` workload the tentpole
+//! targets, without the embedding/head layers diluting the signal.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neural::backend::all_backends;
+use neural::layers::SelfAttention;
+use neural::{Batch, Layer, Matrix, Scratch};
+
+/// `paper_small` has 12 nodes; the attention stack runs 32-dim embeddings
+/// through 64-dim attention. Matches `AttentionQNet`'s first layer.
+const NODES: usize = 12;
+const EMBED: usize = 32;
+const ATTN: usize = 64;
+
+fn filled(rows: usize, cols: usize, seed: u32) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    let mut state = seed | 1;
+    for v in m.data_mut() {
+        state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+        *v = (state >> 8) as f32 / (1u32 << 24) as f32 - 0.5;
+    }
+    m
+}
+
+fn bench_attention_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attention_kernels");
+    group.sample_size(20);
+    for &backend in all_backends() {
+        for batch in [1usize, 8, 32] {
+            let mut layer = SelfAttention::new(EMBED, ATTN, EMBED, 7);
+            let mut scratch = Scratch::with_backend(backend);
+            let input = Batch::new(filled(batch * NODES, EMBED, 42), batch);
+
+            group.bench_with_input(
+                BenchmarkId::new(&format!("{}_forward", backend.name()), batch),
+                &batch,
+                |b, _| b.iter(|| criterion::black_box(layer.forward_batch(&input, &mut scratch))),
+            );
+
+            let grad = Batch::new(filled(batch * NODES, EMBED, 43), batch);
+            group.bench_with_input(
+                BenchmarkId::new(&format!("{}_forward_backward", backend.name()), batch),
+                &batch,
+                |b, _| {
+                    b.iter(|| {
+                        let out = layer.forward_batch_train(&input, &mut scratch);
+                        criterion::black_box(out);
+                        criterion::black_box(layer.backward_batch(&grad, &mut scratch))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_attention_kernels);
+criterion_main!(benches);

@@ -20,6 +20,13 @@
 //! the comparison target. Metrics missing from older snapshots (e.g. the
 //! batched-inference numbers added in PR 4) show as `-` and never count as
 //! regressions.
+//!
+//! Snapshots are backend-tagged since schema v4 (`"backend": "simd"` etc.;
+//! untagged older files count as `reference`). The regression gate only
+//! compares the newest snapshot against earlier snapshots measured with the
+//! *same* backend: a reference-vs-simd pair differs by the SIMD tolerance
+//! contract and deliberate kernel changes, not by a regression, so such a
+//! pair must never trip the threshold.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -65,6 +72,11 @@ const METRICS: &[(&str, &str, Direction)] = &[
         Direction::LowerIsBetter,
     ),
     (
+        "attention_batched_speedup",
+        "attn batched speedup",
+        Direction::HigherIsBetter,
+    ),
+    (
         "baseline_batched_ns_per_state",
         "base batched ns/state",
         Direction::LowerIsBetter,
@@ -88,6 +100,24 @@ const METRICS: &[(&str, &str, Direction)] = &[
         "baseline_update_speedup",
         "base update speedup",
         Direction::HigherIsBetter,
+    ),
+    // The SIMD-backend attention kernels (schema v4's `simd_kernels` block,
+    // recorded next to the reference numbers when the snapshot was taken
+    // with `--features backend-simd`).
+    (
+        "simd_attention_forward_ns_per_op",
+        "simd attn fwd ns/op",
+        Direction::LowerIsBetter,
+    ),
+    (
+        "simd_attention_batched_ns_per_state",
+        "simd attn batch ns/st",
+        Direction::LowerIsBetter,
+    ),
+    (
+        "simd_attention_batched_update_ns",
+        "simd attn update ns",
+        Direction::LowerIsBetter,
     ),
     (
         "serve_episodes_per_sec_1_client",
@@ -118,6 +148,24 @@ fn extract_metric(json: &str, key: &str) -> Option<f64> {
         .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
         .unwrap_or(rest.len());
     rest[..end].parse().ok()
+}
+
+/// Extracts the string following `"key":` from a JSON document (same flat
+/// scan as [`extract_metric`], for string-valued fields like `backend`).
+fn extract_string(json: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\"");
+    let at = json.find(&needle)?;
+    let rest = &json[at + needle.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// The kernel backend a snapshot was measured with. Snapshots older than
+/// schema v4 predate the backend seam, when the (now-)reference kernels
+/// were the only ones.
+fn snapshot_backend(json: &str) -> String {
+    extract_string(json, "backend").unwrap_or_else(|| "reference".to_string())
 }
 
 /// Sort key for trajectory snapshots: `BENCH_baseline` first, then
@@ -199,7 +247,7 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
-    let snapshots: Vec<(String, String)> = files
+    let snapshots: Vec<(String, String, String)> = files
         .iter()
         .map(|p| {
             let name = p
@@ -209,13 +257,21 @@ fn main() -> ExitCode {
                 .to_string();
             let text = std::fs::read_to_string(p)
                 .unwrap_or_else(|e| panic!("cannot read {}: {e}", p.display()));
-            (name, text)
+            let backend = snapshot_backend(&text);
+            (name, text, backend)
         })
         .collect();
+    let newest_backend = snapshots.last().unwrap().2.clone();
+    if snapshots.iter().any(|(_, _, b)| *b != newest_backend) {
+        println!(
+            "note: mixed-backend trajectory — the gate only compares \
+             '{newest_backend}' snapshots against each other"
+        );
+    }
 
     println!("Benchmark trajectory ({} snapshots):", snapshots.len());
     print!("{:<24}", "metric");
-    for (name, _) in &snapshots {
+    for (name, _, _) in &snapshots {
         print!(" {:>16}", name.strip_prefix("BENCH_").unwrap_or(name));
     }
     // Positive Δ means the newest snapshot *regressed* (direction-aware).
@@ -225,16 +281,22 @@ fn main() -> ExitCode {
     for (key, label, direction) in METRICS {
         let values: Vec<Option<f64>> = snapshots
             .iter()
-            .map(|(_, text)| extract_metric(text, key))
+            .map(|(_, text, _)| extract_metric(text, key))
             .collect();
         print!("{label:<24}");
         for v in &values {
             print!(" {:>16}", fmt_value(*v));
         }
         // The newest snapshot against the latest earlier one carrying the
-        // metric.
+        // metric *for the same backend* — a reference-vs-simd pair differs
+        // by tolerance contract, not regression, and must never gate.
         let newest = *values.last().unwrap();
-        let previous = values[..values.len() - 1].iter().rev().find_map(|v| *v);
+        let previous = values[..values.len() - 1]
+            .iter()
+            .zip(&snapshots[..values.len() - 1])
+            .rev()
+            .filter(|(_, (_, _, backend))| *backend == newest_backend)
+            .find_map(|(v, _)| *v);
         match (previous, newest) {
             (Some(old), Some(new)) => {
                 let pct = regression_pct(old, new, *direction);
@@ -283,6 +345,48 @@ mod tests {
             Some(92_372.0)
         );
         assert_eq!(extract_metric(SNAPSHOT, "missing_metric"), None);
+    }
+
+    #[test]
+    fn backend_tags_extract_with_reference_fallback() {
+        // Pre-v4 snapshots carry no tag: they were measured with the (only)
+        // scalar kernels, now the reference backend.
+        assert_eq!(snapshot_backend(SNAPSHOT), "reference");
+        let tagged = r#"{ "schema": "acso-bench-smoke/v4", "backend": "simd", "threads": 1 }"#;
+        assert_eq!(snapshot_backend(tagged), "simd");
+        assert_eq!(
+            extract_string(tagged, "schema").as_deref(),
+            Some("acso-bench-smoke/v4")
+        );
+        assert_eq!(extract_string(tagged, "missing"), None);
+    }
+
+    #[test]
+    fn simd_kernel_keys_do_not_collide_with_reference_keys() {
+        // The flat scan matches quoted keys, so the `simd_`-prefixed block
+        // must never be picked up when extracting the reference metric (or
+        // vice versa).
+        let v4 = r#"{
+  "backend": "reference",
+  "batched_inference": { "attention_batched_ns_per_state": 70000 },
+  "simd_kernels": { "simd_attention_batched_ns_per_state": 30000 }
+}"#;
+        assert_eq!(
+            extract_metric(v4, "attention_batched_ns_per_state"),
+            Some(70_000.0)
+        );
+        assert_eq!(
+            extract_metric(v4, "simd_attention_batched_ns_per_state"),
+            Some(30_000.0)
+        );
+    }
+
+    #[test]
+    fn null_metrics_read_as_missing() {
+        // perf_smoke emits `"parallel_speedup": null` on 1-thread hosts;
+        // a null must behave exactly like an absent metric.
+        let v4 = r#"{ "sim_throughput": { "parallel_speedup": null } }"#;
+        assert_eq!(extract_metric(v4, "parallel_speedup"), None);
     }
 
     #[test]

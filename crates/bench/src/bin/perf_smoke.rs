@@ -8,12 +8,19 @@
 //! Usage:
 //!
 //! ```sh
-//! cargo run --release -p acso-bench --bin perf_smoke -- [--quick] [--out BENCH_x.json]
+//! cargo run --release -p acso-bench --bin perf_smoke -- \
+//!     [--quick] [--out BENCH_x.json] [--backend reference|simd]
 //! ```
 //!
 //! `--quick` shrinks the workload for CI; `--out` writes the JSON snapshot
 //! (stdout always gets a human-readable summary). `ACSO_THREADS` pins the
-//! parallel worker count.
+//! parallel worker count. `--backend` (or `ACSO_BACKEND`) selects the kernel
+//! backend the flat snapshot metrics are measured with; the snapshot is
+//! tagged with the choice (schema v4). When the binary is compiled with
+//! `--features backend-simd` and the primary backend is the reference one,
+//! the neural metrics are *also* measured under the SIMD backend and
+//! recorded in a `simd_kernels` block, so one snapshot carries the
+//! before/after pair.
 
 use acso_bench::prefilled_update_agent;
 use acso_core::agent::{AttentionQNet, BaselineConvQNet, QNetwork, UpdateMode};
@@ -25,6 +32,7 @@ use dbn::learn::{learn_model, LearnConfig};
 use dbn::DbnFilter;
 use ics_net::TopologySpec;
 use ics_sim::{IcsEnvironment, SimConfig};
+use neural::backend::BackendRef;
 use std::time::Instant;
 
 struct SimThroughput {
@@ -105,12 +113,14 @@ impl BatchedInference {
 
 /// Measures per-state inference cost with and without batching: `batch`
 /// states answered by one `q_values_batch` call versus `batch` solo
-/// `q_values` calls (same states, bit-identical outputs).
-fn measure_batched_inference(iters: usize, batch: usize) -> BatchedInference {
+/// `q_values` calls (same states, same outputs to the backend's tolerance).
+fn measure_batched_inference(iters: usize, batch: usize, backend: BackendRef) -> BatchedInference {
     let (states, space) = acso_bench::episode_states(TopologySpec::paper_small(), batch);
     let refs: Vec<&StateFeatures> = states.iter().collect();
     let mut attention = AttentionQNet::new(space.clone(), 0);
+    attention.set_kernel_backend(backend);
     let mut baseline = BaselineConvQNet::new(space, 0);
+    baseline.set_kernel_backend(backend);
 
     let per_state = |f: &mut dyn FnMut()| {
         f(); // warm-up (fills the scratch pools)
@@ -167,11 +177,13 @@ impl BatchedTraining {
 
 /// Measures one full DQN gradient update (bootstrap, forward, backward,
 /// optimizer step) per mode: the batched stacked pass versus the
-/// per-sample solo-loop reference. The two are bit-identical in result, so
-/// the ratio is pure implementation speedup.
-fn measure_batched_training(iters: usize, batch: usize) -> BatchedTraining {
+/// per-sample solo-loop reference. The two agree to the backend's
+/// tolerance, so the ratio is pure implementation speedup.
+fn measure_batched_training(iters: usize, batch: usize, backend: BackendRef) -> BatchedTraining {
     let mut attention = prefilled_update_agent(|s| AttentionQNet::new(s, 0), batch);
+    attention.network_mut().set_kernel_backend(backend);
     let mut baseline = prefilled_update_agent(|s| BaselineConvQNet::new(s, 0), batch);
+    baseline.network_mut().set_kernel_backend(backend);
 
     let per_update = |f: &mut dyn FnMut()| {
         f(); // warm-up (fills the scratch pools)
@@ -214,10 +226,12 @@ struct NnForward {
     baseline_forward_ns: f64,
 }
 
-fn measure_nn_forward(iters: usize) -> NnForward {
+fn measure_nn_forward(iters: usize, backend: BackendRef) -> NnForward {
     let (features, space) = features_for(TopologySpec::paper_small());
     let mut attention = AttentionQNet::new(space.clone(), 0);
+    attention.set_kernel_backend(backend);
     let mut baseline = BaselineConvQNet::new(space, 0);
+    baseline.set_kernel_backend(backend);
 
     let time_per_op = |f: &mut dyn FnMut()| {
         f(); // warm-up (fills the scratch pools)
@@ -249,20 +263,127 @@ fn measure_nn_forward(iters: usize) -> NnForward {
     }
 }
 
+/// All neural metrics for one kernel backend: solo forward/backward,
+/// batched inference, and the DQN update modes.
+struct NeuralMetrics {
+    nn: NnForward,
+    batched: BatchedInference,
+    training: BatchedTraining,
+}
+
+fn measure_neural(iters: usize, backend: BackendRef) -> NeuralMetrics {
+    NeuralMetrics {
+        nn: measure_nn_forward(iters, backend),
+        batched: measure_batched_inference(iters.max(20) / 4, 32, backend),
+        training: measure_batched_training(iters.max(40) / 8, 32, backend),
+    }
+}
+
+fn print_neural(m: &NeuralMetrics, iters: usize, backend: &str) {
+    println!("nn_forward (paper_small topology, {iters} iters, {backend} backend):");
+    println!(
+        "  attention forward:          {:>10.0} ns/op",
+        m.nn.attention_forward_ns
+    );
+    println!(
+        "  attention forward+backward: {:>10.0} ns/op",
+        m.nn.attention_forward_backward_ns
+    );
+    println!(
+        "  baseline forward:           {:>10.0} ns/op",
+        m.nn.baseline_forward_ns
+    );
+    println!(
+        "batched_inference (paper_small topology, batch {}, {backend} backend):",
+        m.batched.batch
+    );
+    println!(
+        "  attention: {:>8.0} -> {:>8.0} ns/state ({:.2}x)",
+        m.batched.attention_per_state_ns,
+        m.batched.attention_batched_ns_per_state,
+        m.batched.attention_speedup()
+    );
+    println!(
+        "  baseline:  {:>8.0} -> {:>8.0} ns/state ({:.2}x)",
+        m.batched.baseline_per_state_ns,
+        m.batched.baseline_batched_ns_per_state,
+        m.batched.baseline_speedup()
+    );
+    println!(
+        "batched_training (paper_small topology, minibatch {}, {backend} backend):",
+        m.training.batch
+    );
+    println!(
+        "  attention update: {:>10.0} -> {:>10.0} ns ({:.2}x)",
+        m.training.attention_serial_update_ns,
+        m.training.attention_batched_update_ns,
+        m.training.attention_speedup()
+    );
+    println!(
+        "  baseline update:  {:>10.0} -> {:>10.0} ns ({:.2}x)",
+        m.training.baseline_serial_update_ns,
+        m.training.baseline_batched_update_ns,
+        m.training.baseline_speedup()
+    );
+}
+
+/// Measures the neural metrics under the SIMD backend when it is compiled
+/// in and is not already the primary backend, for the `simd_kernels`
+/// snapshot block (also printed to stdout). Returns an empty string when
+/// the feature is off or SIMD is already the primary backend.
+fn simd_kernels_block(iters: usize, primary: &str) -> String {
+    #[cfg(feature = "backend-simd")]
+    {
+        if primary != "simd" {
+            let simd = neural::backend::backend_by_name("simd").expect("simd compiled in");
+            let m = measure_neural(iters, simd);
+            print_neural(&m, iters, "simd");
+            return format!(
+                ",\n  \"simd_kernels\": {{\n    \"simd_attention_forward_ns_per_op\": {af:.0},\n    \"simd_attention_forward_backward_ns_per_op\": {afb:.0},\n    \"simd_baseline_forward_ns_per_op\": {bf:.0},\n    \"simd_attention_per_state_ns\": {aps:.0},\n    \"simd_attention_batched_ns_per_state\": {abs:.0},\n    \"simd_attention_batched_speedup\": {asp:.3},\n    \"simd_baseline_batched_ns_per_state\": {bbs:.0},\n    \"simd_attention_batched_update_ns\": {tab:.0},\n    \"simd_attention_update_speedup\": {tasp:.3},\n    \"simd_baseline_batched_update_ns\": {tbb:.0}\n  }}",
+                af = m.nn.attention_forward_ns,
+                afb = m.nn.attention_forward_backward_ns,
+                bf = m.nn.baseline_forward_ns,
+                aps = m.batched.attention_per_state_ns,
+                abs = m.batched.attention_batched_ns_per_state,
+                asp = m.batched.attention_speedup(),
+                bbs = m.batched.baseline_batched_ns_per_state,
+                tab = m.training.attention_batched_update_ns,
+                tasp = m.training.attention_speedup(),
+                tbb = m.training.baseline_batched_update_ns,
+            );
+        }
+        String::new()
+    }
+    #[cfg(not(feature = "backend-simd"))]
+    {
+        let _ = (iters, primary);
+        String::new()
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out_path = value_of("--out");
+    if let Some(name) = value_of("--backend") {
+        let be = neural::backend::backend_by_name(&name)
+            .unwrap_or_else(|e| panic!("--backend {name}: {e}"));
+        neural::backend::set_default_backend(be);
+    }
+    let backend = neural::backend::default_backend();
 
     let (episodes, hours, iters) = if quick { (8, 250, 100) } else { (32, 500, 400) };
 
     println!(
-        "== perf_smoke ({}) ==",
-        if quick { "quick" } else { "full" }
+        "== perf_smoke ({}, {} backend) ==",
+        if quick { "quick" } else { "full" },
+        backend.name()
     );
     let sim = measure_sim_throughput(episodes, hours);
     println!(
@@ -270,91 +391,63 @@ fn main() {
         sim.episodes, sim.hours
     );
     println!("  serial:   {:>12.0} steps/sec", sim.serial_steps_per_sec);
-    println!(
-        "  parallel: {:>12.0} steps/sec ({} threads, {:.2}x)",
-        sim.parallel_steps_per_sec,
-        sim.threads,
-        sim.parallel_steps_per_sec / sim.serial_steps_per_sec
-    );
+    if sim.threads == 1 {
+        // A 1-thread "parallel" run only measures pool overhead; reporting
+        // it as a speedup would poison the trajectory (BENCH_6's 0.856x).
+        println!(
+            "  parallel: {:>12.0} steps/sec (1 thread; speedup not meaningful, omitted)",
+            sim.parallel_steps_per_sec
+        );
+    } else {
+        println!(
+            "  parallel: {:>12.0} steps/sec ({} threads, {:.2}x)",
+            sim.parallel_steps_per_sec,
+            sim.threads,
+            sim.parallel_steps_per_sec / sim.serial_steps_per_sec
+        );
+    }
 
-    let nn = measure_nn_forward(iters);
-    println!("nn_forward (paper_small topology, {iters} iters):");
-    println!(
-        "  attention forward:          {:>10.0} ns/op",
-        nn.attention_forward_ns
-    );
-    println!(
-        "  attention forward+backward: {:>10.0} ns/op",
-        nn.attention_forward_backward_ns
-    );
-    println!(
-        "  baseline forward:           {:>10.0} ns/op",
-        nn.baseline_forward_ns
-    );
+    let primary = measure_neural(iters, backend);
+    print_neural(&primary, iters, backend.name());
+    let simd_block = simd_kernels_block(iters, backend.name());
 
-    let batched = measure_batched_inference(iters.max(20) / 4, 32);
-    println!(
-        "batched_inference (paper_small topology, batch {}):",
-        batched.batch
-    );
-    println!(
-        "  attention: {:>8.0} -> {:>8.0} ns/state ({:.2}x)",
-        batched.attention_per_state_ns,
-        batched.attention_batched_ns_per_state,
-        batched.attention_speedup()
-    );
-    println!(
-        "  baseline:  {:>8.0} -> {:>8.0} ns/state ({:.2}x)",
-        batched.baseline_per_state_ns,
-        batched.baseline_batched_ns_per_state,
-        batched.baseline_speedup()
-    );
-
-    let training = measure_batched_training(iters.max(40) / 8, 32);
-    println!(
-        "batched_training (paper_small topology, minibatch {}):",
-        training.batch
-    );
-    println!(
-        "  attention update: {:>10.0} -> {:>10.0} ns ({:.2}x)",
-        training.attention_serial_update_ns,
-        training.attention_batched_update_ns,
-        training.attention_speedup()
-    );
-    println!(
-        "  baseline update:  {:>10.0} -> {:>10.0} ns ({:.2}x)",
-        training.baseline_serial_update_ns,
-        training.baseline_batched_update_ns,
-        training.baseline_speedup()
-    );
-
+    let speedup_json = if sim.threads == 1 {
+        "null".to_string()
+    } else {
+        format!(
+            "{:.3}",
+            sim.parallel_steps_per_sec / sim.serial_steps_per_sec
+        )
+    };
     let json = format!(
-        "{{\n  \"schema\": \"acso-bench-smoke/v3\",\n  \"mode\": \"{mode}\",\n  \"threads\": {threads},\n  \"sim_throughput\": {{\n    \"policy\": \"Playbook\",\n    \"topology\": \"paper_small\",\n    \"episodes\": {episodes},\n    \"hours_per_episode\": {hours},\n    \"serial_steps_per_sec\": {serial:.0},\n    \"parallel_steps_per_sec\": {parallel:.0},\n    \"parallel_speedup\": {speedup:.3}\n  }},\n  \"nn_forward\": {{\n    \"topology\": \"paper_small\",\n    \"iters\": {iters},\n    \"attention_forward_ns_per_op\": {af:.0},\n    \"attention_forward_backward_ns_per_op\": {afb:.0},\n    \"baseline_forward_ns_per_op\": {bf:.0}\n  }},\n  \"batched_inference\": {{\n    \"topology\": \"paper_small\",\n    \"batch\": {batch},\n    \"attention_per_state_ns\": {aps:.0},\n    \"attention_batched_ns_per_state\": {abs:.0},\n    \"attention_batched_speedup\": {asp:.3},\n    \"baseline_per_state_ns\": {bps:.0},\n    \"baseline_batched_ns_per_state\": {bbs:.0},\n    \"baseline_batched_speedup\": {bsp:.3}\n  }},\n  \"batched_training\": {{\n    \"topology\": \"paper_small\",\n    \"minibatch\": {tbatch},\n    \"attention_batched_update_ns\": {tab:.0},\n    \"attention_serial_update_ns\": {tas:.0},\n    \"attention_update_speedup\": {tasp:.3},\n    \"baseline_batched_update_ns\": {tbb:.0},\n    \"baseline_serial_update_ns\": {tbs:.0},\n    \"baseline_update_speedup\": {tbsp:.3}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"acso-bench-smoke/v4\",\n  \"mode\": \"{mode}\",\n  \"backend\": \"{backend}\",\n  \"threads\": {threads},\n  \"sim_throughput\": {{\n    \"policy\": \"Playbook\",\n    \"topology\": \"paper_small\",\n    \"episodes\": {episodes},\n    \"hours_per_episode\": {hours},\n    \"serial_steps_per_sec\": {serial:.0},\n    \"parallel_steps_per_sec\": {parallel:.0},\n    \"parallel_speedup\": {speedup}\n  }},\n  \"nn_forward\": {{\n    \"topology\": \"paper_small\",\n    \"iters\": {iters},\n    \"attention_forward_ns_per_op\": {af:.0},\n    \"attention_forward_backward_ns_per_op\": {afb:.0},\n    \"baseline_forward_ns_per_op\": {bf:.0}\n  }},\n  \"batched_inference\": {{\n    \"topology\": \"paper_small\",\n    \"batch\": {batch},\n    \"attention_per_state_ns\": {aps:.0},\n    \"attention_batched_ns_per_state\": {abs:.0},\n    \"attention_batched_speedup\": {asp:.3},\n    \"baseline_per_state_ns\": {bps:.0},\n    \"baseline_batched_ns_per_state\": {bbs:.0},\n    \"baseline_batched_speedup\": {bsp:.3}\n  }},\n  \"batched_training\": {{\n    \"topology\": \"paper_small\",\n    \"minibatch\": {tbatch},\n    \"attention_batched_update_ns\": {tab:.0},\n    \"attention_serial_update_ns\": {tas:.0},\n    \"attention_update_speedup\": {tasp:.3},\n    \"baseline_batched_update_ns\": {tbb:.0},\n    \"baseline_serial_update_ns\": {tbs:.0},\n    \"baseline_update_speedup\": {tbsp:.3}\n  }}{simd_block}\n}}\n",
         mode = if quick { "quick" } else { "full" },
+        backend = backend.name(),
         threads = sim.threads,
         episodes = sim.episodes,
         hours = sim.hours,
         serial = sim.serial_steps_per_sec,
         parallel = sim.parallel_steps_per_sec,
-        speedup = sim.parallel_steps_per_sec / sim.serial_steps_per_sec,
+        speedup = speedup_json,
         iters = iters,
-        af = nn.attention_forward_ns,
-        afb = nn.attention_forward_backward_ns,
-        bf = nn.baseline_forward_ns,
-        batch = batched.batch,
-        aps = batched.attention_per_state_ns,
-        abs = batched.attention_batched_ns_per_state,
-        asp = batched.attention_speedup(),
-        bps = batched.baseline_per_state_ns,
-        bbs = batched.baseline_batched_ns_per_state,
-        bsp = batched.baseline_speedup(),
-        tbatch = training.batch,
-        tab = training.attention_batched_update_ns,
-        tas = training.attention_serial_update_ns,
-        tasp = training.attention_speedup(),
-        tbb = training.baseline_batched_update_ns,
-        tbs = training.baseline_serial_update_ns,
-        tbsp = training.baseline_speedup(),
+        af = primary.nn.attention_forward_ns,
+        afb = primary.nn.attention_forward_backward_ns,
+        bf = primary.nn.baseline_forward_ns,
+        batch = primary.batched.batch,
+        aps = primary.batched.attention_per_state_ns,
+        abs = primary.batched.attention_batched_ns_per_state,
+        asp = primary.batched.attention_speedup(),
+        bps = primary.batched.baseline_per_state_ns,
+        bbs = primary.batched.baseline_batched_ns_per_state,
+        bsp = primary.batched.baseline_speedup(),
+        tbatch = primary.training.batch,
+        tab = primary.training.attention_batched_update_ns,
+        tas = primary.training.attention_serial_update_ns,
+        tasp = primary.training.attention_speedup(),
+        tbb = primary.training.baseline_batched_update_ns,
+        tbs = primary.training.baseline_serial_update_ns,
+        tbsp = primary.training.baseline_speedup(),
+        simd_block = simd_block,
     );
     if let Some(path) = out_path {
         std::fs::write(&path, &json).expect("failed to write benchmark snapshot");

@@ -123,6 +123,20 @@ impl AttentionQNet {
         &self.action_space
     }
 
+    /// Pins every subsequent pass of this network to a specific kernel
+    /// backend by swapping the internal scratch pool (new pool, so no
+    /// buffers survive from the previous backend). Benches and
+    /// cross-backend tests use this to compare backends side by side
+    /// without touching the process-wide default.
+    pub fn set_kernel_backend(&mut self, backend: neural::backend::BackendRef) {
+        self.scratch = Scratch::with_backend(backend);
+    }
+
+    /// The kernel backend this network's passes dispatch to.
+    pub fn kernel_backend(&self) -> neural::backend::BackendRef {
+        self.scratch.backend()
+    }
+
     /// Shared core of [`QNetwork::q_values_batch`] (`train = false`:
     /// inference, no cache touched) and
     /// [`QNetwork::q_values_batch_train`] (`train = true`: the layers write

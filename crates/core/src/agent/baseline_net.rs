@@ -61,6 +61,18 @@ impl BaselineConvQNet {
         &self.action_space
     }
 
+    /// Pins every subsequent pass of this network to a specific kernel
+    /// backend by swapping the internal scratch pool (see
+    /// [`neural::backend`]). The default is the process-wide backend.
+    pub fn set_kernel_backend(&mut self, backend: neural::backend::BackendRef) {
+        self.scratch = Scratch::with_backend(backend);
+    }
+
+    /// The kernel backend this network's passes dispatch to.
+    pub fn kernel_backend(&self) -> neural::backend::BackendRef {
+        self.scratch.backend()
+    }
+
     /// Writes one state's flattened features into row `row` of `out`.
     fn flatten_into(&self, features: &StateFeatures, out: &mut Matrix, row: usize) {
         let dst = out.row_mut(row);

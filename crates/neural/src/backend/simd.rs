@@ -1,0 +1,1116 @@
+//! The AVX2/FMA kernel backend (feature `backend-simd`).
+//!
+//! Explicit `std::arch` x86_64 intrinsics for the hot kernels: a
+//! broadcast-FMA register-blocked GEMM (plain, `aᵀ·b` and `a·bᵀ` variants),
+//! vectorized activation maps, a polynomial-`exp` row softmax, and fused
+//! per-block attention kernels that run each batch item's
+//! score/softmax/mix stage directly on the stacked `[b*n, n]` block-diagonal
+//! layout — no gather copies, one fused pass per score row.
+//!
+//! Dispatch is at runtime: AVX2+FMA support is checked with
+//! `is_x86_feature_detected!` on every entry (the detection result is cached
+//! by `std`), and on hardware without it — or on non-x86_64 targets, or via
+//! [`SimdBackend::scalar_fallback`] — every call falls through to the
+//! exact-order reference kernels, **bit for bit**.
+//!
+//! The vectorized paths reorder reductions (FMA lanes) and approximate
+//! `exp`, so the backend declares a [`Tolerance::Bounded`] contract rather
+//! than exactness; the cross-backend equivalence suite holds it to that
+//! bound. Within the backend the same guarantees as the reference hold:
+//! results are run-to-run deterministic, each GEMM output element reduces
+//! over ascending `k` independently of the row count (so batched passes stay
+//! bit-identical per item to solo passes *within* this backend), and no
+//! kernel takes data-dependent shortcuts (`0 × NaN` propagates `NaN`).
+
+use super::{reference, KernelBackend, Tolerance};
+use crate::layers::ActivationKind;
+use crate::matrix::Matrix;
+use crate::scratch::Scratch;
+
+/// The feature-gated AVX2/FMA backend (see the module docs).
+#[derive(Debug, Clone, Copy)]
+pub struct SimdBackend {
+    /// When set, the vectorized paths are never taken — the backend behaves
+    /// exactly like [`super::ReferenceBackend`]. Exists so the
+    /// runtime-dispatch fallback is testable on AVX2 hardware.
+    force_scalar: bool,
+}
+
+impl SimdBackend {
+    /// The normal runtime-dispatched backend.
+    pub const fn new() -> Self {
+        Self {
+            force_scalar: false,
+        }
+    }
+
+    /// A backend whose AVX2 paths are masked off, as if
+    /// `is_x86_feature_detected!("avx2")` had returned false — every kernel
+    /// takes the scalar fallback, which is bit-identical to the reference
+    /// backend.
+    pub const fn scalar_fallback() -> Self {
+        Self { force_scalar: true }
+    }
+
+    /// Whether calls will take the vectorized AVX2/FMA paths.
+    pub fn avx2_active(&self) -> bool {
+        #[cfg(target_arch = "x86_64")]
+        {
+            !self.force_scalar
+                && is_x86_feature_detected!("avx2")
+                && is_x86_feature_detected!("fma")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    }
+}
+
+impl Default for SimdBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Shape checks mirroring the [`Matrix`] kernel asserts, run before handing
+/// raw slices to the unsafe AVX kernels.
+#[cfg(target_arch = "x86_64")]
+fn check_gemm(a: &Matrix, b: &Matrix, out: &Matrix) {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul shape mismatch: {}x{} * {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    assert_eq!(
+        out.shape(),
+        (a.rows(), b.cols()),
+        "matmul output shape mismatch"
+    );
+}
+
+impl KernelBackend for SimdBackend {
+    fn name(&self) -> &'static str {
+        "simd"
+    }
+
+    fn tolerance(&self) -> Tolerance {
+        // FMA-lane reductions over the inner dims used here (≤ a few
+        // hundred) and the ~2-ulp polynomial exp stay well inside the
+        // relative bound; the absolute floor covers cancellation-heavy
+        // sums whose tiny results carry the rounding noise of much larger
+        // intermediate partial sums.
+        Tolerance::Bounded {
+            rel: 1e-4,
+            abs: 1e-5,
+        }
+    }
+
+    fn matmul_into(&self, a: &Matrix, b: &Matrix, out: &mut Matrix) {
+        #[cfg(target_arch = "x86_64")]
+        if self.avx2_active() {
+            check_gemm(a, b, out);
+            unsafe {
+                avx::gemm(
+                    a.data(),
+                    b.data(),
+                    out.data_mut(),
+                    a.rows(),
+                    a.cols(),
+                    b.cols(),
+                    false,
+                );
+            }
+            return;
+        }
+        a.matmul_into(b, out);
+    }
+
+    fn add_matmul(&self, out: &mut Matrix, a: &Matrix, b: &Matrix) {
+        #[cfg(target_arch = "x86_64")]
+        if self.avx2_active() {
+            check_gemm(a, b, out);
+            unsafe {
+                avx::gemm(
+                    a.data(),
+                    b.data(),
+                    out.data_mut(),
+                    a.rows(),
+                    a.cols(),
+                    b.cols(),
+                    true,
+                );
+            }
+            return;
+        }
+        out.add_matmul(a, b);
+    }
+
+    fn add_matmul_transa_blocks(
+        &self,
+        out: &mut Matrix,
+        a: &Matrix,
+        b: &Matrix,
+        row_start: usize,
+        rows: usize,
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if self.avx2_active() {
+            assert_eq!(
+                a.rows(),
+                b.rows(),
+                "matmul_transa shape mismatch: {}x{}ᵀ * {}x{}",
+                a.rows(),
+                a.cols(),
+                b.rows(),
+                b.cols()
+            );
+            assert_eq!(
+                out.shape(),
+                (a.cols(), b.cols()),
+                "matmul_transa output shape mismatch"
+            );
+            assert!(
+                row_start + rows <= a.rows(),
+                "row block {}..{} out of {} rows",
+                row_start,
+                row_start + rows,
+                a.rows()
+            );
+            let (r, c) = (a.cols(), b.cols());
+            unsafe {
+                avx::gemm_transa(
+                    &a.data()[row_start * r..(row_start + rows) * r],
+                    &b.data()[row_start * c..(row_start + rows) * c],
+                    out.data_mut(),
+                    rows,
+                    r,
+                    c,
+                );
+            }
+            return;
+        }
+        out.add_matmul_transa_blocks(a, b, row_start, rows);
+    }
+
+    fn matmul_transb_into(&self, a: &Matrix, b: &Matrix, out: &mut Matrix) {
+        #[cfg(target_arch = "x86_64")]
+        if self.avx2_active() {
+            assert_eq!(
+                a.cols(),
+                b.cols(),
+                "matmul_transb shape mismatch: {}x{} * {}x{}ᵀ",
+                a.rows(),
+                a.cols(),
+                b.rows(),
+                b.cols()
+            );
+            assert_eq!(
+                out.shape(),
+                (a.rows(), b.rows()),
+                "matmul_transb output shape mismatch"
+            );
+            unsafe {
+                avx::gemm_transb(
+                    a.data(),
+                    b.data(),
+                    out.data_mut(),
+                    a.rows(),
+                    a.cols(),
+                    b.rows(),
+                    false,
+                );
+            }
+            return;
+        }
+        a.matmul_transb_into(b, out);
+    }
+
+    // `transpose_into`, `add_assign` and `add_scaled` keep the trait
+    // defaults: they are memory-bound copies/axpys the auto-vectorizer
+    // already saturates, and staying on the reference bodies keeps them
+    // bit-exact for free.
+
+    fn softmax_rows_inplace(&self, m: &mut Matrix) {
+        #[cfg(target_arch = "x86_64")]
+        if self.avx2_active() {
+            let cols = m.cols();
+            let rows = m.rows();
+            unsafe {
+                avx::softmax_rows(m.data_mut(), rows, cols);
+            }
+            return;
+        }
+        m.softmax_rows_inplace();
+    }
+
+    fn apply_activation(&self, kind: ActivationKind, m: &mut Matrix) {
+        #[cfg(target_arch = "x86_64")]
+        if self.avx2_active() {
+            // Tanh stays scalar: a vector tanh would need its own polynomial
+            // with a tolerance story, and the tanh heads are a tiny slice of
+            // the per-state cost.
+            if kind != ActivationKind::Tanh {
+                unsafe {
+                    avx::apply_activation(kind, m.data_mut());
+                }
+                return;
+            }
+        }
+        m.map_inplace(|x| kind.apply(x));
+    }
+
+    fn activation_grad_from_output(
+        &self,
+        kind: ActivationKind,
+        output: &Matrix,
+        grad_output: &Matrix,
+        grad_input: &mut Matrix,
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if self.avx2_active() {
+            assert_eq!(
+                grad_output.shape(),
+                output.shape(),
+                "activation gradient shape mismatch"
+            );
+            assert_eq!(
+                grad_input.shape(),
+                output.shape(),
+                "activation gradient output shape mismatch"
+            );
+            unsafe {
+                avx::activation_grad(
+                    kind,
+                    output.data(),
+                    grad_output.data(),
+                    grad_input.data_mut(),
+                );
+            }
+            return;
+        }
+        reference::activation_grad_from_output(kind, output, grad_output, grad_input);
+    }
+
+    fn attention_forward_fused(
+        &self,
+        q: &Matrix,
+        k: &Matrix,
+        v: &Matrix,
+        items: usize,
+        scale: f32,
+        attn: Option<&mut Matrix>,
+        mixed: &mut Matrix,
+        scratch: &mut Scratch,
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if self.avx2_active() {
+            let n = reference::attention_item_rows(q, k, v, items);
+            let d = q.cols();
+            assert_eq!(mixed.shape(), (items * n, d), "attention mixed shape");
+            let mut attn = attn;
+            if let Some(attn) = attn.as_deref() {
+                assert_eq!(attn.shape(), (items * n, n), "attention stacked-A shape");
+            }
+            // One fused pass per score row, directly on the stacked
+            // block-diagonal layout — no per-item gather copies. The score
+            // row lands in the stacked attention cache when the caller wants
+            // it, otherwise in this one reused row buffer.
+            let mut score = scratch.take(1, n);
+            for item in 0..items {
+                let r = item * n;
+                let qb = &q.data()[r * d..(r + n) * d];
+                let kb = &k.data()[r * d..(r + n) * d];
+                let vb = &v.data()[r * d..(r + n) * d];
+                let mb = &mut mixed.data_mut()[r * d..(r + n) * d];
+                let ab = attn
+                    .as_deref_mut()
+                    .map(|a| &mut a.data_mut()[r * n..(r + n) * n]);
+                unsafe {
+                    avx::attention_forward_item(qb, kb, vb, n, d, scale, ab, mb, score.data_mut());
+                }
+            }
+            scratch.recycle(score);
+            return;
+        }
+        reference::attention_forward_fused(q, k, v, items, scale, attn, mixed, scratch);
+    }
+
+    fn attention_backward_fused(
+        &self,
+        grad_mixed: &Matrix,
+        q: &Matrix,
+        k: &Matrix,
+        v: &Matrix,
+        attn: &Matrix,
+        items: usize,
+        scale: f32,
+        grad_q: &mut Matrix,
+        grad_k: &mut Matrix,
+        grad_v: &mut Matrix,
+        scratch: &mut Scratch,
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if self.avx2_active() {
+            let n = reference::attention_item_rows(q, k, v, items);
+            let d = q.cols();
+            assert_eq!(grad_mixed.shape(), (items * n, d), "attention dM shape");
+            assert_eq!(attn.shape(), (items * n, n), "attention stacked-A shape");
+            assert_eq!(grad_q.shape(), (items * n, d), "attention dQ shape");
+            assert_eq!(grad_k.shape(), (items * n, d), "attention dK shape");
+            assert_eq!(grad_v.shape(), (items * n, d), "attention dV shape");
+            // dS is the only temporary; grad_q/k/v blocks are written in
+            // place on the stacked layout (they arrive zero-filled, so the
+            // accumulate-style transa kernel writes them exactly).
+            let mut ds = scratch.take(n, n);
+            for item in 0..items {
+                let r = item * n;
+                let gm = &grad_mixed.data()[r * d..(r + n) * d];
+                let qb = &q.data()[r * d..(r + n) * d];
+                let kb = &k.data()[r * d..(r + n) * d];
+                let vb = &v.data()[r * d..(r + n) * d];
+                let ab = &attn.data()[r * n..(r + n) * n];
+                unsafe {
+                    // dA = dM·Vᵀ
+                    avx::gemm_transb(gm, vb, ds.data_mut(), n, d, n, false);
+                    // dV = Aᵀ·dM (into the zeroed block)
+                    avx::gemm_transa(ab, gm, &mut grad_v.data_mut()[r * d..(r + n) * d], n, n, d);
+                    // dS = A ⊙ (dA − (dA·A)) * scale, row by row
+                    avx::softmax_backward_rows(ab, ds.data_mut(), n, scale);
+                    // dQ = dS·K, dK = dSᵀ·Q
+                    avx::gemm(
+                        ds.data(),
+                        kb,
+                        &mut grad_q.data_mut()[r * d..(r + n) * d],
+                        n,
+                        n,
+                        d,
+                        false,
+                    );
+                    avx::gemm_transa(
+                        ds.data(),
+                        qb,
+                        &mut grad_k.data_mut()[r * d..(r + n) * d],
+                        n,
+                        n,
+                        d,
+                    );
+                }
+            }
+            scratch.recycle(ds);
+            return;
+        }
+        reference::attention_backward_fused(
+            grad_mixed, q, k, v, attn, items, scale, grad_q, grad_k, grad_v, scratch,
+        );
+    }
+}
+
+/// The raw AVX2/FMA kernels. Everything here requires `avx2` and `fma` at
+/// runtime — callers gate on [`SimdBackend::avx2_active`] — and fully dense,
+/// correctly sized row-major slices, which the safe wrappers assert.
+#[cfg(target_arch = "x86_64")]
+mod avx {
+    #![allow(clippy::too_many_arguments)]
+
+    use crate::layers::ActivationKind;
+    use std::arch::x86_64::*;
+
+    /// Horizontal sum of the eight lanes.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn hsum(v: __m256) -> f32 {
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps(v, 1);
+        let s = _mm_add_ps(lo, hi);
+        let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+        let s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x55));
+        _mm_cvtss_f32(s)
+    }
+
+    /// Horizontal max of the eight lanes.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn hmax(v: __m256) -> f32 {
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps(v, 1);
+        let s = _mm_max_ps(lo, hi);
+        let s = _mm_max_ps(s, _mm_movehl_ps(s, s));
+        let s = _mm_max_ss(s, _mm_shuffle_ps(s, s, 0x55));
+        _mm_cvtss_f32(s)
+    }
+
+    /// FMA dot product over two accumulator lanes with a scalar tail.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn dot(a: *const f32, b: *const f32, len: usize) -> f32 {
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 16 <= len {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a.add(i)), _mm256_loadu_ps(b.add(i)), acc0);
+            acc1 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(a.add(i + 8)),
+                _mm256_loadu_ps(b.add(i + 8)),
+                acc1,
+            );
+            i += 16;
+        }
+        if i + 8 <= len {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a.add(i)), _mm256_loadu_ps(b.add(i)), acc0);
+            i += 8;
+        }
+        let mut total = hsum(_mm256_add_ps(acc0, acc1));
+        while i < len {
+            total += *a.add(i) * *b.add(i);
+            i += 1;
+        }
+        total
+    }
+
+    /// Cephes-style polynomial `exp` (~2 ulp over the clamped range), the
+    /// softmax workhorse.
+    // The first ln(2) reduction constant is the exactly-representable
+    // 0.693359375 (Cephes' C1); spelling it with fewer digits would hide
+    // that the two-step split depends on its low bits being zero.
+    #[allow(clippy::excessive_precision)]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn exp256(x: __m256) -> __m256 {
+        let x = _mm256_min_ps(x, _mm256_set1_ps(88.376_26));
+        let x = _mm256_max_ps(x, _mm256_set1_ps(-88.376_26));
+        // n = round(x * log2(e)) via floor(x * log2(e) + 0.5).
+        let fx = _mm256_fmadd_ps(
+            x,
+            _mm256_set1_ps(std::f32::consts::LOG2_E),
+            _mm256_set1_ps(0.5),
+        );
+        let fx = _mm256_floor_ps(fx);
+        // r = x − n·ln(2), split in two steps for precision.
+        let x = _mm256_sub_ps(x, _mm256_mul_ps(fx, _mm256_set1_ps(0.693_359_375)));
+        let x = _mm256_sub_ps(x, _mm256_mul_ps(fx, _mm256_set1_ps(-2.121_944_4e-4)));
+        let z = _mm256_mul_ps(x, x);
+        let mut y = _mm256_set1_ps(1.987_569_1e-4);
+        y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.398_199_9e-3));
+        y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(8.333_452e-3));
+        y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(4.166_579_5e-2));
+        y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(0.166_666_66));
+        y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(0.5));
+        y = _mm256_fmadd_ps(y, z, x);
+        let y = _mm256_add_ps(y, _mm256_set1_ps(1.0));
+        // y · 2ⁿ via the exponent-field trick.
+        let n = _mm256_cvttps_epi32(fx);
+        let n = _mm256_add_epi32(n, _mm256_set1_epi32(0x7f));
+        let pow2n = _mm256_castsi256_ps(_mm256_slli_epi32(n, 23));
+        _mm256_mul_ps(y, pow2n)
+    }
+
+    /// `out (+)= a · b` — broadcast-FMA GEMM in 4-row × 16-column register
+    /// tiles. Each output element reduces over ascending `k` independently
+    /// of the row count (the per-item bit-exactness contract within this
+    /// backend).
+    pub unsafe fn gemm(
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        m: usize,
+        kk: usize,
+        n: usize,
+        accumulate: bool,
+    ) {
+        debug_assert!(a.len() >= m * kk && b.len() >= kk * n && out.len() >= m * n);
+        gemm_inner(
+            a.as_ptr(),
+            b.as_ptr(),
+            out.as_mut_ptr(),
+            m,
+            kk,
+            n,
+            accumulate,
+        );
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn gemm_inner(
+        a: *const f32,
+        b: *const f32,
+        out: *mut f32,
+        m: usize,
+        kk: usize,
+        n: usize,
+        accumulate: bool,
+    ) {
+        let mut i0 = 0;
+        while i0 + 4 <= m {
+            gemm_rows::<4>(a, b, out, i0, kk, n, accumulate);
+            i0 += 4;
+        }
+        while i0 < m {
+            gemm_rows::<1>(a, b, out, i0, kk, n, accumulate);
+            i0 += 1;
+        }
+    }
+
+    /// One `IB`-row pass of the GEMM across all `n` columns: 16-wide tiles,
+    /// then an 8-wide tile, then a scalar tail.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn gemm_rows<const IB: usize>(
+        a: *const f32,
+        b: *const f32,
+        out: *mut f32,
+        i0: usize,
+        kk: usize,
+        n: usize,
+        accumulate: bool,
+    ) {
+        let mut j0 = 0;
+        while j0 + 16 <= n {
+            let mut acc = [[_mm256_setzero_ps(); 2]; IB];
+            for k in 0..kk {
+                let b0 = _mm256_loadu_ps(b.add(k * n + j0));
+                let b1 = _mm256_loadu_ps(b.add(k * n + j0 + 8));
+                for (r, acc_row) in acc.iter_mut().enumerate() {
+                    let av = _mm256_set1_ps(*a.add((i0 + r) * kk + k));
+                    acc_row[0] = _mm256_fmadd_ps(av, b0, acc_row[0]);
+                    acc_row[1] = _mm256_fmadd_ps(av, b1, acc_row[1]);
+                }
+            }
+            for (r, acc_row) in acc.iter().enumerate() {
+                let dst = out.add((i0 + r) * n + j0);
+                if accumulate {
+                    _mm256_storeu_ps(dst, _mm256_add_ps(_mm256_loadu_ps(dst), acc_row[0]));
+                    _mm256_storeu_ps(
+                        dst.add(8),
+                        _mm256_add_ps(_mm256_loadu_ps(dst.add(8)), acc_row[1]),
+                    );
+                } else {
+                    _mm256_storeu_ps(dst, acc_row[0]);
+                    _mm256_storeu_ps(dst.add(8), acc_row[1]);
+                }
+            }
+            j0 += 16;
+        }
+        if j0 + 8 <= n {
+            let mut acc = [_mm256_setzero_ps(); IB];
+            for k in 0..kk {
+                let b0 = _mm256_loadu_ps(b.add(k * n + j0));
+                for (r, acc_row) in acc.iter_mut().enumerate() {
+                    let av = _mm256_set1_ps(*a.add((i0 + r) * kk + k));
+                    *acc_row = _mm256_fmadd_ps(av, b0, *acc_row);
+                }
+            }
+            for (r, acc_row) in acc.iter().enumerate() {
+                let dst = out.add((i0 + r) * n + j0);
+                if accumulate {
+                    _mm256_storeu_ps(dst, _mm256_add_ps(_mm256_loadu_ps(dst), *acc_row));
+                } else {
+                    _mm256_storeu_ps(dst, *acc_row);
+                }
+            }
+            j0 += 8;
+        }
+        while j0 < n {
+            for r in 0..IB {
+                let mut s = 0.0f32;
+                for k in 0..kk {
+                    s += *a.add((i0 + r) * kk + k) * *b.add(k * n + j0);
+                }
+                let dst = out.add((i0 + r) * n + j0);
+                if accumulate {
+                    *dst += s;
+                } else {
+                    *dst = s;
+                }
+            }
+            j0 += 1;
+        }
+    }
+
+    /// `out (+)= a · bᵀ` — one FMA dot per output element, both operands
+    /// streaming row-major (the score kernel `Q·Kᵀ`).
+    pub unsafe fn gemm_transb(
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        m: usize,
+        kk: usize,
+        n: usize,
+        accumulate: bool,
+    ) {
+        debug_assert!(a.len() >= m * kk && b.len() >= n * kk && out.len() >= m * n);
+        gemm_transb_inner(
+            a.as_ptr(),
+            b.as_ptr(),
+            out.as_mut_ptr(),
+            m,
+            kk,
+            n,
+            accumulate,
+        );
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn gemm_transb_inner(
+        a: *const f32,
+        b: *const f32,
+        out: *mut f32,
+        m: usize,
+        kk: usize,
+        n: usize,
+        accumulate: bool,
+    ) {
+        for i in 0..m {
+            let a_row = a.add(i * kk);
+            for j in 0..n {
+                let s = dot(a_row, b.add(j * kk), kk);
+                let dst = out.add(i * n + j);
+                if accumulate {
+                    *dst += s;
+                } else {
+                    *dst = s;
+                }
+            }
+        }
+    }
+
+    /// `out += aᵀ · b` over `rows` stacked rows (always accumulating — the
+    /// parameter-gradient flush; callers zero `out` for the `=` form).
+    pub unsafe fn gemm_transa(
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        rows: usize,
+        r: usize,
+        c: usize,
+    ) {
+        debug_assert!(a.len() >= rows * r && b.len() >= rows * c && out.len() >= r * c);
+        gemm_transa_inner(a.as_ptr(), b.as_ptr(), out.as_mut_ptr(), rows, r, c);
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn gemm_transa_inner(
+        a: *const f32,
+        b: *const f32,
+        out: *mut f32,
+        rows: usize,
+        r: usize,
+        c: usize,
+    ) {
+        for i in 0..r {
+            let mut j0 = 0;
+            while j0 + 16 <= c {
+                let mut acc0 = _mm256_setzero_ps();
+                let mut acc1 = _mm256_setzero_ps();
+                for k in 0..rows {
+                    let av = _mm256_set1_ps(*a.add(k * r + i));
+                    acc0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b.add(k * c + j0)), acc0);
+                    acc1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b.add(k * c + j0 + 8)), acc1);
+                }
+                let dst = out.add(i * c + j0);
+                _mm256_storeu_ps(dst, _mm256_add_ps(_mm256_loadu_ps(dst), acc0));
+                _mm256_storeu_ps(dst.add(8), _mm256_add_ps(_mm256_loadu_ps(dst.add(8)), acc1));
+                j0 += 16;
+            }
+            if j0 + 8 <= c {
+                let mut acc0 = _mm256_setzero_ps();
+                for k in 0..rows {
+                    let av = _mm256_set1_ps(*a.add(k * r + i));
+                    acc0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b.add(k * c + j0)), acc0);
+                }
+                let dst = out.add(i * c + j0);
+                _mm256_storeu_ps(dst, _mm256_add_ps(_mm256_loadu_ps(dst), acc0));
+                j0 += 8;
+            }
+            while j0 < c {
+                let mut s = 0.0f32;
+                for k in 0..rows {
+                    s += *a.add(k * r + i) * *b.add(k * c + j0);
+                }
+                *out.add(i * c + j0) += s;
+                j0 += 1;
+            }
+        }
+    }
+
+    /// In-place row softmax: vector max, polynomial exp, vector divide.
+    pub unsafe fn softmax_rows(data: &mut [f32], rows: usize, cols: usize) {
+        debug_assert!(data.len() >= rows * cols);
+        softmax_rows_inner(data.as_mut_ptr(), rows, cols);
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn softmax_rows_inner(data: *mut f32, rows: usize, cols: usize) {
+        for i in 0..rows {
+            softmax_row(data.add(i * cols), cols);
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn softmax_row(row: *mut f32, cols: usize) {
+        let mut vmax = _mm256_set1_ps(f32::NEG_INFINITY);
+        let mut i = 0;
+        while i + 8 <= cols {
+            vmax = _mm256_max_ps(vmax, _mm256_loadu_ps(row.add(i)));
+            i += 8;
+        }
+        let mut max = hmax(vmax);
+        while i < cols {
+            max = max.max(*row.add(i));
+            i += 1;
+        }
+        // NEG_INFINITY max'ed against NaN scores: _mm_max_ps keeps the
+        // second operand on NaN, matching the scalar fold.
+
+        let vmaxb = _mm256_set1_ps(max);
+        let mut vsum = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 8 <= cols {
+            let e = exp256(_mm256_sub_ps(_mm256_loadu_ps(row.add(i)), vmaxb));
+            _mm256_storeu_ps(row.add(i), e);
+            vsum = _mm256_add_ps(vsum, e);
+            i += 8;
+        }
+        let mut sum = hsum(vsum);
+        while i < cols {
+            let e = (*row.add(i) - max).exp();
+            *row.add(i) = e;
+            sum += e;
+            i += 1;
+        }
+        if sum > 0.0 {
+            let vs = _mm256_set1_ps(sum);
+            let mut i = 0;
+            while i + 8 <= cols {
+                _mm256_storeu_ps(row.add(i), _mm256_div_ps(_mm256_loadu_ps(row.add(i)), vs));
+                i += 8;
+            }
+            while i < cols {
+                *row.add(i) /= sum;
+                i += 1;
+            }
+        }
+    }
+
+    /// Element-wise ReLU / LeakyReLU (tanh is handled scalar by the caller).
+    pub unsafe fn apply_activation(kind: ActivationKind, data: &mut [f32]) {
+        apply_activation_inner(kind, data.as_mut_ptr(), data.len());
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn apply_activation_inner(kind: ActivationKind, p: *mut f32, len: usize) {
+        let zero = _mm256_setzero_ps();
+        let slope = _mm256_set1_ps(0.01);
+        let mut i = 0;
+        while i + 8 <= len {
+            let x = _mm256_loadu_ps(p.add(i));
+            let y = match kind {
+                // max(x, 0): the second operand wins on NaN inputs, exactly
+                // like the scalar `x.max(0.0)`... except it doesn't — both
+                // propagate the non-NaN operand, which is what we want, and
+                // NaN inputs only arise in poisoned states anyway.
+                ActivationKind::Relu => _mm256_max_ps(x, zero),
+                ActivationKind::LeakyRelu => {
+                    let mask = _mm256_cmp_ps::<_CMP_GT_OQ>(x, zero);
+                    _mm256_blendv_ps(_mm256_mul_ps(x, slope), x, mask)
+                }
+                ActivationKind::Tanh => unreachable!("tanh is dispatched scalar"),
+            };
+            _mm256_storeu_ps(p.add(i), y);
+            i += 8;
+        }
+        while i < len {
+            let x = *p.add(i);
+            *p.add(i) = match kind {
+                ActivationKind::Relu => x.max(0.0),
+                ActivationKind::LeakyRelu => {
+                    if x > 0.0 {
+                        x
+                    } else {
+                        0.01 * x
+                    }
+                }
+                ActivationKind::Tanh => unreachable!("tanh is dispatched scalar"),
+            };
+            i += 1;
+        }
+    }
+
+    /// `grad_input = grad_output ⊙ f'(output)` with the derivative taken
+    /// from the activation output (matches
+    /// [`ActivationKind::derivative_from_output`]).
+    pub unsafe fn activation_grad(kind: ActivationKind, y: &[f32], go: &[f32], gi: &mut [f32]) {
+        activation_grad_inner(kind, y.as_ptr(), go.as_ptr(), gi.as_mut_ptr(), y.len());
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn activation_grad_inner(
+        kind: ActivationKind,
+        y: *const f32,
+        go: *const f32,
+        gi: *mut f32,
+        len: usize,
+    ) {
+        let zero = _mm256_setzero_ps();
+        let one = _mm256_set1_ps(1.0);
+        let slope = _mm256_set1_ps(0.01);
+        let mut i = 0;
+        while i + 8 <= len {
+            let yv = _mm256_loadu_ps(y.add(i));
+            let gv = _mm256_loadu_ps(go.add(i));
+            // Multiply by the blended derivative (never mask with AND): a
+            // NaN upstream gradient times derivative 0 must stay NaN.
+            let d = match kind {
+                ActivationKind::Relu => {
+                    _mm256_blendv_ps(zero, one, _mm256_cmp_ps::<_CMP_GT_OQ>(yv, zero))
+                }
+                ActivationKind::LeakyRelu => {
+                    _mm256_blendv_ps(slope, one, _mm256_cmp_ps::<_CMP_GT_OQ>(yv, zero))
+                }
+                ActivationKind::Tanh => _mm256_sub_ps(one, _mm256_mul_ps(yv, yv)),
+            };
+            _mm256_storeu_ps(gi.add(i), _mm256_mul_ps(gv, d));
+            i += 8;
+        }
+        while i < len {
+            *gi.add(i) = *go.add(i) * kind.derivative_from_output(*y.add(i));
+            i += 1;
+        }
+    }
+
+    /// The row-fused attention forward for one batch item: for each query
+    /// row, compute the scaled score row (`n` FMA dots), softmax it in
+    /// place, then accumulate the mixed row as a broadcast-FMA combination
+    /// of the value rows — the scores never leave cache between the three
+    /// stages. Scores land in `attn_rows` (the stacked training cache) when
+    /// present, otherwise in the reused `score_buf`.
+    pub unsafe fn attention_forward_item(
+        q: &[f32],
+        k: &[f32],
+        v: &[f32],
+        n: usize,
+        d: usize,
+        scale: f32,
+        mut attn_rows: Option<&mut [f32]>,
+        mixed: &mut [f32],
+        score_buf: &mut [f32],
+    ) {
+        debug_assert!(q.len() >= n * d && k.len() >= n * d && v.len() >= n * d);
+        debug_assert!(mixed.len() >= n * d && score_buf.len() >= n);
+        for i in 0..n {
+            let s: *mut f32 = match attn_rows.as_deref_mut() {
+                Some(rows) => rows.as_mut_ptr().add(i * n),
+                None => score_buf.as_mut_ptr(),
+            };
+            attention_forward_row(
+                q.as_ptr().add(i * d),
+                k.as_ptr(),
+                v.as_ptr(),
+                n,
+                d,
+                scale,
+                s,
+                mixed.as_mut_ptr().add(i * d),
+            );
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn attention_forward_row(
+        q_row: *const f32,
+        k: *const f32,
+        v: *const f32,
+        n: usize,
+        d: usize,
+        scale: f32,
+        s: *mut f32,
+        mixed_row: *mut f32,
+    ) {
+        for j in 0..n {
+            *s.add(j) = dot(q_row, k.add(j * d), d) * scale;
+        }
+        softmax_row(s, n);
+        // mixed_row = Σ_j s[j] · V[j], accumulated 32 columns at a time.
+        let mut c0 = 0;
+        while c0 + 32 <= d {
+            let mut a0 = _mm256_setzero_ps();
+            let mut a1 = _mm256_setzero_ps();
+            let mut a2 = _mm256_setzero_ps();
+            let mut a3 = _mm256_setzero_ps();
+            for j in 0..n {
+                let sv = _mm256_set1_ps(*s.add(j));
+                let vr = v.add(j * d + c0);
+                a0 = _mm256_fmadd_ps(sv, _mm256_loadu_ps(vr), a0);
+                a1 = _mm256_fmadd_ps(sv, _mm256_loadu_ps(vr.add(8)), a1);
+                a2 = _mm256_fmadd_ps(sv, _mm256_loadu_ps(vr.add(16)), a2);
+                a3 = _mm256_fmadd_ps(sv, _mm256_loadu_ps(vr.add(24)), a3);
+            }
+            _mm256_storeu_ps(mixed_row.add(c0), a0);
+            _mm256_storeu_ps(mixed_row.add(c0 + 8), a1);
+            _mm256_storeu_ps(mixed_row.add(c0 + 16), a2);
+            _mm256_storeu_ps(mixed_row.add(c0 + 24), a3);
+            c0 += 32;
+        }
+        while c0 + 8 <= d {
+            let mut a0 = _mm256_setzero_ps();
+            for j in 0..n {
+                a0 = _mm256_fmadd_ps(
+                    _mm256_set1_ps(*s.add(j)),
+                    _mm256_loadu_ps(v.add(j * d + c0)),
+                    a0,
+                );
+            }
+            _mm256_storeu_ps(mixed_row.add(c0), a0);
+            c0 += 8;
+        }
+        while c0 < d {
+            let mut acc = 0.0f32;
+            for j in 0..n {
+                acc += *s.add(j) * *v.add(j * d + c0);
+            }
+            *mixed_row.add(c0) = acc;
+            c0 += 1;
+        }
+    }
+
+    /// The softmax backward applied to every row of `ds` in place:
+    /// `dS_i = A_i ⊙ (dA_i − (dA_i·A_i)) * scale`.
+    pub unsafe fn softmax_backward_rows(a: &[f32], ds: &mut [f32], n: usize, scale: f32) {
+        debug_assert!(a.len() >= n * n && ds.len() >= n * n);
+        softmax_backward_rows_inner(a.as_ptr(), ds.as_mut_ptr(), n, scale);
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn softmax_backward_rows_inner(a: *const f32, ds: *mut f32, n: usize, scale: f32) {
+        let vscale = _mm256_set1_ps(scale);
+        for i in 0..n {
+            let a_row = a.add(i * n);
+            let d_row = ds.add(i * n);
+            let dot = dot(a_row, d_row, n);
+            let vdot = _mm256_set1_ps(dot);
+            let mut j = 0;
+            while j + 8 <= n {
+                let av = _mm256_loadu_ps(a_row.add(j));
+                let dv = _mm256_loadu_ps(d_row.add(j));
+                let out = _mm256_mul_ps(_mm256_mul_ps(av, _mm256_sub_ps(dv, vdot)), vscale);
+                _mm256_storeu_ps(d_row.add(j), out);
+                j += 8;
+            }
+            while j < n {
+                let av = *a_row.add(j);
+                let dv = *d_row.add(j);
+                *d_row.add(j) = av * (dv - dot) * scale;
+                j += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::ReferenceBackend;
+    use super::*;
+    use crate::matrix::Matrix;
+
+    fn filled(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        let mut m = Matrix::zeros(rows, cols);
+        for v in m.data_mut() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *v = ((state >> 33) % 4000) as f32 / 1000.0 - 2.0;
+        }
+        m
+    }
+
+    #[test]
+    fn scalar_fallback_is_bit_identical_to_reference() {
+        // The runtime-dispatch fallback (AVX2 masked off) must not just be
+        // close to the reference backend — it must take the exact same code
+        // paths.
+        let simd = SimdBackend::scalar_fallback();
+        assert!(!simd.avx2_active());
+        let reference = ReferenceBackend;
+        let a = filled(5, 37, 1);
+        let b = filled(37, 19, 2);
+        let mut out_s = Matrix::zeros(5, 19);
+        let mut out_r = Matrix::zeros(5, 19);
+        simd.matmul_into(&a, &b, &mut out_s);
+        reference.matmul_into(&a, &b, &mut out_r);
+        assert_eq!(out_s.data(), out_r.data());
+
+        let mut sm_s = filled(4, 11, 3);
+        let mut sm_r = sm_s.clone();
+        simd.softmax_rows_inplace(&mut sm_s);
+        reference.softmax_rows_inplace(&mut sm_r);
+        assert_eq!(sm_s.data(), sm_r.data());
+    }
+
+    #[test]
+    fn avx_gemm_matches_reference_within_tolerance() {
+        let simd = SimdBackend::new();
+        if !simd.avx2_active() {
+            return; // Nothing to compare on non-AVX2 hardware.
+        }
+        let tol = simd.tolerance();
+        for (m, k, n) in [(1, 1, 1), (4, 16, 16), (5, 37, 23), (12, 64, 37), (3, 7, 8)] {
+            let a = filled(m, k, (m * 31 + n) as u64);
+            let b = filled(k, n, (k * 17 + m) as u64);
+            let mut out_s = Matrix::zeros(m, n);
+            let mut out_r = Matrix::zeros(m, n);
+            simd.matmul_into(&a, &b, &mut out_s);
+            a.matmul_into(&b, &mut out_r);
+            for (s, r) in out_s.data().iter().zip(out_r.data()) {
+                assert!(tol.allows(*s, *r), "{s} vs {r} at {m}x{k}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn avx_softmax_rows_match_reference_within_tolerance() {
+        let simd = SimdBackend::new();
+        if !simd.avx2_active() {
+            return;
+        }
+        let tol = simd.tolerance();
+        for cols in [1usize, 7, 8, 9, 30, 64] {
+            let mut s = filled(3, cols, cols as u64);
+            let mut r = s.clone();
+            simd.softmax_rows_inplace(&mut s);
+            r.softmax_rows_inplace();
+            for (a, b) in s.data().iter().zip(r.data()) {
+                assert!(tol.allows(*a, *b), "{a} vs {b} at cols={cols}");
+            }
+            // Rows still sum to one.
+            for i in 0..3 {
+                let sum: f32 = s.row(i).iter().sum();
+                assert!((sum - 1.0).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn avx_kernels_propagate_nan() {
+        let simd = SimdBackend::new();
+        if !simd.avx2_active() {
+            return;
+        }
+        let a = Matrix::from_rows(&[&[0.0, 1.0]]);
+        let b = Matrix::from_rows(&[&[f32::NAN], &[2.0]]);
+        let mut out = Matrix::zeros(1, 1);
+        simd.matmul_into(&a, &b, &mut out);
+        assert!(out.get(0, 0).is_nan());
+
+        let mut m = Matrix::from_rows(&[&[f32::NAN, 1.0, -3.0, 0.5, 2.0, -1.0, 0.0, 4.0, 7.0]]);
+        simd.activation_grad_from_output(
+            ActivationKind::Relu,
+            &Matrix::full(1, 9, -1.0),
+            &m.clone(),
+            &mut m,
+        );
+        assert!(
+            m.get(0, 0).is_nan(),
+            "NaN grad × zero derivative must stay NaN"
+        );
+    }
+}

@@ -20,7 +20,9 @@ pub enum ActivationKind {
 }
 
 impl ActivationKind {
-    fn apply(&self, x: f32) -> f32 {
+    /// Applies the activation to one element. Kernel backends use this as
+    /// the scalar reference each vectorized map must match (to tolerance).
+    pub(crate) fn apply(&self, x: f32) -> f32 {
         match self {
             ActivationKind::Relu => x.max(0.0),
             ActivationKind::LeakyRelu => {
@@ -39,7 +41,7 @@ impl ActivationKind {
     /// ReLUs' input sign is recoverable from the output sign since both are
     /// strictly increasing with `f(x) > 0 ⇔ x > 0`). Bit-identical to the
     /// textbook input-based derivative at the corresponding input.
-    fn derivative_from_output(&self, y: f32) -> f32 {
+    pub(crate) fn derivative_from_output(&self, y: f32) -> f32 {
         match self {
             ActivationKind::Relu => {
                 if y > 0.0 {
@@ -103,8 +105,9 @@ impl Activation {
 
 impl Layer for Activation {
     fn forward(&mut self, input: &Matrix, scratch: &mut Scratch) -> Matrix {
+        let be = scratch.backend();
         let mut out = scratch.take_copy(input);
-        out.map_inplace(|x| self.kind.apply(x));
+        be.apply_activation(self.kind, &mut out);
         cache_input(&mut self.cached_output, &out);
         out
     }
@@ -113,8 +116,9 @@ impl Layer for Activation {
         // Element-wise, so the stacked pass is trivially bit-identical per
         // item; the backward cache (the last solo forward's output) is left
         // untouched.
+        let be = scratch.backend();
         let mut out = scratch.take_copy(input.matrix());
-        out.map_inplace(|x| self.kind.apply(x));
+        be.apply_activation(self.kind, &mut out);
         Batch::new(out, input.items())
     }
 
@@ -128,15 +132,9 @@ impl Layer for Activation {
             output.shape(),
             "activation gradient shape mismatch"
         );
+        let be = scratch.backend();
         let mut grad_input = scratch.take(output.rows(), output.cols());
-        for ((g, &go), &y) in grad_input
-            .data_mut()
-            .iter_mut()
-            .zip(grad_output.data())
-            .zip(output.data())
-        {
-            *g = go * self.kind.derivative_from_output(y);
-        }
+        be.activation_grad_from_output(self.kind, output, grad_output, &mut grad_input);
         grad_input
     }
 

@@ -127,52 +127,32 @@ impl SelfAttention {
                 scratch.recycle(old.mixed);
             }
         }
+        let be = scratch.backend();
         let b = input.items();
         let n = input.rows_per_item();
         let rows = b * n;
         let mut q = scratch.take(rows, self.attn_dim);
-        input.matrix().matmul_into(&self.wq.value, &mut q);
+        be.matmul_into(input.matrix(), &self.wq.value, &mut q);
         let mut k = scratch.take(rows, self.attn_dim);
-        input.matrix().matmul_into(&self.wk.value, &mut k);
+        be.matmul_into(input.matrix(), &self.wk.value, &mut k);
         let mut v = scratch.take(rows, self.attn_dim);
-        input.matrix().matmul_into(&self.wv.value, &mut v);
+        be.matmul_into(input.matrix(), &self.wv.value, &mut v);
 
         let scale = 1.0 / (self.attn_dim as f32).sqrt();
-        let mut qi = scratch.take(n, self.attn_dim);
-        let mut ki = scratch.take(n, self.attn_dim);
-        let mut vi = scratch.take(n, self.attn_dim);
-        let mut attn_i = scratch.take(n, n);
-        let mut mixed_i = scratch.take(n, self.attn_dim);
         // The stacked attention blocks are only materialised when they will
-        // be cached, so the inference path pays nothing for the seam.
+        // be cached, so the inference path pays nothing for the seam. The
+        // block-diagonal score/softmax/mix stage is one fused backend call
+        // over the stacked `[b*n, ·]` projections.
         let mut attn = if cache_for_backward {
             Some(scratch.take(rows, n))
         } else {
             None
         };
         let mut mixed = scratch.take(rows, self.attn_dim);
-        for item in 0..b {
-            let start = item * n;
-            q.copy_row_block_into(start, &mut qi);
-            k.copy_row_block_into(start, &mut ki);
-            v.copy_row_block_into(start, &mut vi);
-            qi.matmul_transb_into(&ki, &mut attn_i);
-            attn_i.scale_inplace(scale);
-            attn_i.softmax_rows_inplace();
-            attn_i.matmul_into(&vi, &mut mixed_i);
-            if let Some(attn) = &mut attn {
-                attn.write_row_block(start, &attn_i);
-            }
-            mixed.write_row_block(start, &mixed_i);
-        }
+        be.attention_forward_fused(&q, &k, &v, b, scale, attn.as_mut(), &mut mixed, scratch);
         let mut out = Batch::take(scratch, b, n, self.wo.value.cols());
-        mixed.matmul_into(&self.wo.value, out.matrix_mut());
+        be.matmul_into(&mixed, &self.wo.value, out.matrix_mut());
 
-        scratch.recycle(qi);
-        scratch.recycle(ki);
-        scratch.recycle(vi);
-        scratch.recycle(attn_i);
-        scratch.recycle(mixed_i);
         match attn {
             Some(attn) => {
                 self.batch_cache = Some(BatchCache {
@@ -208,25 +188,25 @@ impl Layer for SelfAttention {
             scratch.recycle(old.attn);
             scratch.recycle(old.mixed);
         }
+        let be = scratch.backend();
         let n = input.rows();
         let mut q = scratch.take(n, self.attn_dim);
-        input.matmul_into(&self.wq.value, &mut q);
+        be.matmul_into(input, &self.wq.value, &mut q);
         let mut k = scratch.take(n, self.attn_dim);
-        input.matmul_into(&self.wk.value, &mut k);
+        be.matmul_into(input, &self.wk.value, &mut k);
         let mut v = scratch.take(n, self.attn_dim);
-        input.matmul_into(&self.wv.value, &mut v);
+        be.matmul_into(input, &self.wv.value, &mut v);
 
         let scale = 1.0 / (self.attn_dim as f32).sqrt();
-        // scores = Q·Kᵀ, computed without materialising Kᵀ.
+        // The solo pass is the fused kernel with a single item: the scores
+        // (`softmax(Q·Kᵀ·scale)`, computed without materialising Kᵀ) land in
+        // the cached attention matrix and the mixed values fall out in one
+        // call.
         let mut attn = scratch.take(n, n);
-        q.matmul_transb_into(&k, &mut attn);
-        attn.scale_inplace(scale);
-        attn.softmax_rows_inplace();
-
         let mut mixed = scratch.take(n, self.attn_dim);
-        attn.matmul_into(&v, &mut mixed);
+        be.attention_forward_fused(&q, &k, &v, 1, scale, Some(&mut attn), &mut mixed, scratch);
         let mut output = scratch.take(n, self.wo.value.cols());
-        mixed.matmul_into(&self.wo.value, &mut output);
+        be.matmul_into(&mixed, &self.wo.value, &mut output);
 
         self.cache = Some(Cache {
             input: scratch.take_copy(input),
@@ -260,11 +240,12 @@ impl Layer for SelfAttention {
     }
 
     fn backward_batch(&mut self, grad_output: &Batch, scratch: &mut Scratch) -> Batch {
+        let be = scratch.backend();
         if !self.weights_t_valid {
-            self.wq.value.transpose_into(&mut self.weights_t[0]);
-            self.wk.value.transpose_into(&mut self.weights_t[1]);
-            self.wv.value.transpose_into(&mut self.weights_t[2]);
-            self.wo.value.transpose_into(&mut self.weights_t[3]);
+            be.transpose_into(&self.wq.value, &mut self.weights_t[0]);
+            be.transpose_into(&self.wk.value, &mut self.weights_t[1]);
+            be.transpose_into(&self.wv.value, &mut self.weights_t[2]);
+            be.transpose_into(&self.wo.value, &mut self.weights_t[3]);
             self.weights_t_valid = true;
         }
         let cache = self
@@ -286,91 +267,51 @@ impl Layer for SelfAttention {
         // accumulation order bit for bit; the input-side gradient is a
         // stacked row-wise matmul (rows are independent).
         for item in 0..b {
-            self.wo
-                .grad
-                .add_matmul_transa_blocks(&cache.mixed, grad_output.matrix(), item * n, n);
+            be.add_matmul_transa_blocks(
+                &mut self.wo.grad,
+                &cache.mixed,
+                grad_output.matrix(),
+                item * n,
+                n,
+            );
         }
         let mut grad_mixed = scratch.take(rows, self.attn_dim);
-        grad_output
-            .matrix()
-            .matmul_into(&self.weights_t[3], &mut grad_mixed);
+        be.matmul_into(grad_output.matrix(), &self.weights_t[3], &mut grad_mixed);
 
-        // Per-item attention backward: every kernel call below operates on
-        // one item's gathered blocks with exactly the solo backward's
-        // operations, so per-sample gradients cannot leak between items.
-        let mut gm_i = scratch.take(n, self.attn_dim);
-        let mut v_i = scratch.take(n, self.attn_dim);
-        let mut q_i = scratch.take(n, self.attn_dim);
-        let mut k_i = scratch.take(n, self.attn_dim);
-        let mut a_i = scratch.take(n, n);
-        let mut ga_i = scratch.take(n, n);
-        let mut gq_i = scratch.take(n, self.attn_dim);
-        let mut gk_i = scratch.take(n, self.attn_dim);
-        let mut gv_i = scratch.take(n, self.attn_dim);
+        // The block-diagonal attention backward is one fused backend call:
+        // each item's gradients are computed from that item's blocks alone,
+        // so per-sample gradients cannot leak between items.
         let mut grad_q = scratch.take(rows, self.attn_dim);
         let mut grad_k = scratch.take(rows, self.attn_dim);
         let mut grad_v = scratch.take(rows, self.attn_dim);
-        for item in 0..b {
-            let start = item * n;
-            grad_mixed.copy_row_block_into(start, &mut gm_i);
-            cache.v.copy_row_block_into(start, &mut v_i);
-            cache.attn.copy_row_block_into(start, &mut a_i);
-
-            // Y = A·V
-            gm_i.matmul_transb_into(&v_i, &mut ga_i);
-            a_i.matmul_transa_into(&gm_i, &mut gv_i);
-
-            // Softmax backward, row by row: dS_i = A_i ⊙ (dA_i − (dA_i·A_i)),
-            // pre-scaled — the solo backward's expression verbatim.
-            for i in 0..n {
-                let a_row = a_i.row(i);
-                let da_row = &mut ga_i.row_mut(i)[..];
-                let dot: f32 = a_row.iter().zip(da_row.iter()).map(|(a, d)| a * d).sum();
-                for (d, &a) in da_row.iter_mut().zip(a_row) {
-                    *d = a * (*d - dot) * scale;
-                }
-            }
-
-            // scores = Q·Kᵀ
-            cache.k.copy_row_block_into(start, &mut k_i);
-            cache.q.copy_row_block_into(start, &mut q_i);
-            ga_i.matmul_into(&k_i, &mut gq_i);
-            ga_i.matmul_transa_into(&q_i, &mut gk_i);
-
-            grad_q.write_row_block(start, &gq_i);
-            grad_k.write_row_block(start, &gk_i);
-            grad_v.write_row_block(start, &gv_i);
-        }
+        be.attention_backward_fused(
+            &grad_mixed,
+            &cache.q,
+            &cache.k,
+            &cache.v,
+            &cache.attn,
+            b,
+            scale,
+            &mut grad_q,
+            &mut grad_k,
+            &mut grad_v,
+            scratch,
+        );
 
         // Projection parameter gradients: one flush per item, serial order.
         for item in 0..b {
             let start = item * n;
-            self.wq
-                .grad
-                .add_matmul_transa_blocks(&cache.input, &grad_q, start, n);
-            self.wk
-                .grad
-                .add_matmul_transa_blocks(&cache.input, &grad_k, start, n);
-            self.wv
-                .grad
-                .add_matmul_transa_blocks(&cache.input, &grad_v, start, n);
+            be.add_matmul_transa_blocks(&mut self.wq.grad, &cache.input, &grad_q, start, n);
+            be.add_matmul_transa_blocks(&mut self.wk.grad, &cache.input, &grad_k, start, n);
+            be.add_matmul_transa_blocks(&mut self.wv.grad, &cache.input, &grad_v, start, n);
         }
 
         let mut grad_input = scratch.take(rows, self.wq.value.rows());
-        grad_q.matmul_into(&self.weights_t[0], &mut grad_input);
-        grad_input.add_matmul(&grad_k, &self.weights_t[1]);
-        grad_input.add_matmul(&grad_v, &self.weights_t[2]);
+        be.matmul_into(&grad_q, &self.weights_t[0], &mut grad_input);
+        be.add_matmul(&mut grad_input, &grad_k, &self.weights_t[1]);
+        be.add_matmul(&mut grad_input, &grad_v, &self.weights_t[2]);
 
         scratch.recycle(grad_mixed);
-        scratch.recycle(gm_i);
-        scratch.recycle(v_i);
-        scratch.recycle(q_i);
-        scratch.recycle(k_i);
-        scratch.recycle(a_i);
-        scratch.recycle(ga_i);
-        scratch.recycle(gq_i);
-        scratch.recycle(gk_i);
-        scratch.recycle(gv_i);
         scratch.recycle(grad_q);
         scratch.recycle(grad_k);
         scratch.recycle(grad_v);
@@ -379,11 +320,12 @@ impl Layer for SelfAttention {
     }
 
     fn backward(&mut self, grad_output: &Matrix, scratch: &mut Scratch) -> Matrix {
+        let be = scratch.backend();
         if !self.weights_t_valid {
-            self.wq.value.transpose_into(&mut self.weights_t[0]);
-            self.wk.value.transpose_into(&mut self.weights_t[1]);
-            self.wv.value.transpose_into(&mut self.weights_t[2]);
-            self.wo.value.transpose_into(&mut self.weights_t[3]);
+            be.transpose_into(&self.wq.value, &mut self.weights_t[0]);
+            be.transpose_into(&self.wk.value, &mut self.weights_t[1]);
+            be.transpose_into(&self.wv.value, &mut self.weights_t[2]);
+            be.transpose_into(&self.wo.value, &mut self.weights_t[3]);
             self.weights_t_valid = true;
         }
         let cache = self.cache.as_ref().expect("backward called before forward");
@@ -391,46 +333,41 @@ impl Layer for SelfAttention {
         let scale = 1.0 / (self.attn_dim as f32).sqrt();
 
         // Output projection: Wo.grad += mixedᵀ·G, grad_mixed = G·Woᵀ.
-        self.wo.grad.add_matmul_transa(&cache.mixed, grad_output);
+        be.add_matmul_transa(&mut self.wo.grad, &cache.mixed, grad_output);
         let mut grad_mixed = scratch.take(n, self.attn_dim);
-        grad_output.matmul_into(&self.weights_t[3], &mut grad_mixed);
+        be.matmul_into(grad_output, &self.weights_t[3], &mut grad_mixed);
 
-        // Y = A·V
-        let mut grad_attn = scratch.take(n, n);
-        grad_mixed.matmul_transb_into(&cache.v, &mut grad_attn);
-        let mut grad_v = scratch.take(n, self.attn_dim);
-        cache.attn.matmul_transa_into(&grad_mixed, &mut grad_v);
-
-        // Softmax backward, row by row: dS_i = A_i ⊙ (dA_i − (dA_i·A_i)),
-        // written back into the grad_attn buffer, then pre-scaled.
-        for i in 0..n {
-            let a_row = cache.attn.row(i);
-            let da_row = &mut grad_attn.row_mut(i)[..];
-            let dot: f32 = a_row.iter().zip(da_row.iter()).map(|(a, d)| a * d).sum();
-            for (d, &a) in da_row.iter_mut().zip(a_row) {
-                *d = a * (*d - dot) * scale;
-            }
-        }
-        let grad_scores = grad_attn;
-
-        // scores = Q·Kᵀ
+        // The attention stage (`dA = dM·Vᵀ`, `dV = Aᵀ·dM`, softmax backward
+        // `dS = A ⊙ (dA − (dA·A)) · scale`, `dQ = dS·K`, `dK = dSᵀ·Q`) is the
+        // fused backend kernel with a single item.
         let mut grad_q = scratch.take(n, self.attn_dim);
-        grad_scores.matmul_into(&cache.k, &mut grad_q);
         let mut grad_k = scratch.take(n, self.attn_dim);
-        grad_scores.matmul_transa_into(&cache.q, &mut grad_k);
+        let mut grad_v = scratch.take(n, self.attn_dim);
+        be.attention_backward_fused(
+            &grad_mixed,
+            &cache.q,
+            &cache.k,
+            &cache.v,
+            &cache.attn,
+            1,
+            scale,
+            &mut grad_q,
+            &mut grad_k,
+            &mut grad_v,
+            scratch,
+        );
 
         // Projections.
-        self.wq.grad.add_matmul_transa(&cache.input, &grad_q);
-        self.wk.grad.add_matmul_transa(&cache.input, &grad_k);
-        self.wv.grad.add_matmul_transa(&cache.input, &grad_v);
+        be.add_matmul_transa(&mut self.wq.grad, &cache.input, &grad_q);
+        be.add_matmul_transa(&mut self.wk.grad, &cache.input, &grad_k);
+        be.add_matmul_transa(&mut self.wv.grad, &cache.input, &grad_v);
 
         let mut grad_input = scratch.take(n, self.wq.value.rows());
-        grad_q.matmul_into(&self.weights_t[0], &mut grad_input);
-        grad_input.add_matmul(&grad_k, &self.weights_t[1]);
-        grad_input.add_matmul(&grad_v, &self.weights_t[2]);
+        be.matmul_into(&grad_q, &self.weights_t[0], &mut grad_input);
+        be.add_matmul(&mut grad_input, &grad_k, &self.weights_t[1]);
+        be.add_matmul(&mut grad_input, &grad_v, &self.weights_t[2]);
 
         scratch.recycle(grad_mixed);
-        scratch.recycle(grad_scores);
         scratch.recycle(grad_q);
         scratch.recycle(grad_k);
         scratch.recycle(grad_v);

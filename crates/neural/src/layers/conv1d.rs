@@ -90,6 +90,7 @@ impl Layer for Conv1d {
             input.cols()
         );
         cache_input(&mut self.cached_input, input);
+        let be = scratch.backend();
         let t_out = self.output_len(input.rows());
         let c_out = self.channels_out();
         let mut out = scratch.take(t_out, c_out);
@@ -97,7 +98,7 @@ impl Layer for Conv1d {
         let mut y = scratch.take(1, c_out);
         for t in 0..t_out {
             self.window_into(input, t * self.stride, &mut win);
-            win.matmul_into(&self.weight.value, &mut y);
+            be.matmul_into(&win, &self.weight.value, &mut y);
             y.add_row_inplace(&self.bias.value);
             out.row_mut(t).copy_from_slice(y.row(0));
         }
@@ -118,6 +119,7 @@ impl Layer for Conv1d {
         // start at the item boundary, so no window ever straddles two items
         // and every item's output matches a solo forward bit for bit. The
         // backward cache is left untouched (inference path).
+        let be = scratch.backend();
         let t_in = input.rows_per_item();
         let t_out = self.output_len(t_in);
         let c_out = self.channels_out();
@@ -129,7 +131,7 @@ impl Layer for Conv1d {
             let out_base = item * t_out;
             for t in 0..t_out {
                 self.window_into(input.matrix(), in_base + t * self.stride, &mut win);
-                win.matmul_into(&self.weight.value, &mut y);
+                be.matmul_into(&win, &self.weight.value, &mut y);
                 y.add_row_inplace(&self.bias.value);
                 out.matrix_mut()
                     .row_mut(out_base + t)

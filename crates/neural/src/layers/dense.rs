@@ -54,7 +54,9 @@ impl Layer for Dense {
     fn forward(&mut self, input: &Matrix, scratch: &mut Scratch) -> Matrix {
         cache_input(&mut self.cached_input, input);
         let mut out = scratch.take(input.rows(), self.weight.value.cols());
-        input.matmul_into(&self.weight.value, &mut out);
+        scratch
+            .backend()
+            .matmul_into(input, &self.weight.value, &mut out);
         out.add_row_inplace(&self.bias.value);
         out
     }
@@ -65,32 +67,32 @@ impl Layer for Dense {
         // stacked matmul is bit-identical per item to a solo forward — no
         // item boundary needed. The backward cache is deliberately left
         // alone: this is the inference path.
+        let be = scratch.backend();
         let mut out = Batch::take(
             scratch,
             input.items(),
             input.rows_per_item(),
             self.weight.value.cols(),
         );
-        input
-            .matrix()
-            .matmul_into(&self.weight.value, out.matrix_mut());
+        be.matmul_into(input.matrix(), &self.weight.value, out.matrix_mut());
         out.matrix_mut().add_row_inplace(&self.bias.value);
         out
     }
 
     fn backward(&mut self, grad_output: &Matrix, scratch: &mut Scratch) -> Matrix {
+        let be = scratch.backend();
         let input = self
             .cached_input
             .as_ref()
             .expect("backward called before forward");
-        self.weight.grad.add_matmul_transa(input, grad_output);
+        be.add_matmul_transa(&mut self.weight.grad, input, grad_output);
         self.bias.grad.add_sum_rows(grad_output);
         if !self.weight_t_valid {
-            self.weight.value.transpose_into(&mut self.weight_t);
+            be.transpose_into(&self.weight.value, &mut self.weight_t);
             self.weight_t_valid = true;
         }
         let mut grad_input = scratch.take(grad_output.rows(), self.weight.value.rows());
-        grad_output.matmul_into(&self.weight_t, &mut grad_input);
+        be.matmul_into(grad_output, &self.weight_t, &mut grad_input);
         grad_input
     }
 
@@ -99,6 +101,7 @@ impl Layer for Dense {
     // per item and its cached input is exactly the stacked batch cache.
 
     fn backward_batch(&mut self, grad_output: &Batch, scratch: &mut Scratch) -> Batch {
+        let be = scratch.backend();
         let input = self
             .cached_input
             .as_ref()
@@ -113,15 +116,14 @@ impl Layer for Dense {
             // Each item contributes a single rank-1 term, so the stacked
             // kernel's ascending-k accumulation is literally the serial
             // per-sample sequence of additions — one fast tiled call.
-            self.weight
-                .grad
-                .add_matmul_transa(input, grad_output.matrix());
+            be.add_matmul_transa(&mut self.weight.grad, input, grad_output.matrix());
         } else {
             // Multi-row items: flush the local tile accumulator once per
             // item so the summation order matches a serial per-sample
             // backward bit for bit.
             for item in 0..grad_output.items() {
-                self.weight.grad.add_matmul_transa_blocks(
+                be.add_matmul_transa_blocks(
+                    &mut self.weight.grad,
                     input,
                     grad_output.matrix(),
                     item * rows_per_item,
@@ -134,13 +136,11 @@ impl Layer for Dense {
         // addition sequence.
         self.bias.grad.add_sum_rows(grad_output.matrix());
         if !self.weight_t_valid {
-            self.weight.value.transpose_into(&mut self.weight_t);
+            be.transpose_into(&self.weight.value, &mut self.weight_t);
             self.weight_t_valid = true;
         }
         let mut grad_input = scratch.take(grad_output.matrix().rows(), self.weight.value.rows());
-        grad_output
-            .matrix()
-            .matmul_into(&self.weight_t, &mut grad_input);
+        be.matmul_into(grad_output.matrix(), &self.weight_t, &mut grad_input);
         Batch::new(grad_input, grad_output.items())
     }
 

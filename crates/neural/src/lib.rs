@@ -20,6 +20,13 @@
 //! Every forward/backward pass takes a [`Scratch`] buffer pool; at steady
 //! state the layers perform zero heap allocations (see [`scratch`]).
 //!
+//! All heavy kernels dispatch through a pluggable [`backend`] seam carried
+//! by the `Scratch` pool: the always-available exact-order
+//! [`backend::ReferenceBackend`] (the default — bit-identical to the
+//! pre-seam kernels) and, behind the `backend-simd` feature, an AVX2/FMA
+//! `SimdBackend` with runtime dispatch, fused block-diagonal attention
+//! kernels, and a declared [`Tolerance`] contract.
+//!
 //! Inference is batch-first: every layer also exposes
 //! [`Layer::forward_batch`] over a strided [`Batch`] of independent items,
 //! amortising kernel and dispatch overhead across items while keeping each
@@ -57,6 +64,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod batch;
 pub mod init;
 pub mod layers;
@@ -66,6 +74,7 @@ pub mod optim;
 pub mod param;
 pub mod scratch;
 
+pub use backend::{KernelBackend, Tolerance};
 pub use batch::Batch;
 pub use layers::Layer;
 pub use matrix::Matrix;

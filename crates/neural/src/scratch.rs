@@ -8,6 +8,7 @@
 //! warm-up passes the pool holds a buffer for every shape in flight and the
 //! steady-state forward/backward path performs **zero heap allocations**.
 
+use crate::backend::{self, BackendRef};
 use crate::matrix::Matrix;
 
 /// Upper bound on pooled buffers; beyond this, recycled buffers are dropped.
@@ -19,15 +20,43 @@ const MAX_POOLED: usize = 64;
 /// Buffers are matched by capacity, not shape: a recycled `4x8` matrix can
 /// satisfy a later `2x16` request without reallocating. Cloning a pool
 /// clones its (idle) buffers, so `#[derive(Clone)]` types may own one.
-#[derive(Debug, Clone, Default)]
+///
+/// The pool also carries the session's [kernel backend](crate::backend):
+/// since every layer pass already threads a `Scratch`, the backend reaches
+/// every kernel call site with no API changes — layers ask
+/// [`Scratch::backend`] instead of hardcoding the scalar kernels.
+#[derive(Debug, Clone)]
 pub struct Scratch {
     pool: Vec<Vec<f32>>,
+    backend: BackendRef,
+}
+
+impl Default for Scratch {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Scratch {
-    /// Creates an empty pool.
+    /// Creates an empty pool using the process-wide
+    /// [default backend](crate::backend::default_backend).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_backend(backend::default_backend())
+    }
+
+    /// Creates an empty pool pinned to a specific kernel backend. Used by
+    /// tests and benches that compare backends side by side without touching
+    /// the process-wide default.
+    pub fn with_backend(backend: BackendRef) -> Self {
+        Self {
+            pool: Vec::new(),
+            backend,
+        }
+    }
+
+    /// The kernel backend every layer pass through this pool dispatches to.
+    pub fn backend(&self) -> BackendRef {
+        self.backend
     }
 
     /// Returns a zero-filled `rows x cols` matrix, reusing a pooled buffer

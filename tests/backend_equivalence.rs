@@ -1,0 +1,177 @@
+//! Cross-backend equivalence at the network level.
+//!
+//! The neural crate's own equivalence suite compares individual kernels and
+//! single layers; this root suite closes the loop at the level the paper's
+//! results are produced: whole Q-networks evaluating realistic episode
+//! states. The reference backend must stay the out-of-the-box default, and —
+//! when the `backend-simd` feature is compiled in — the SIMD backend's
+//! Q-values must agree with the reference within its declared [`Tolerance`],
+//! with greedy-action transcripts identical except where the reference
+//! decision itself sits inside the tolerance band.
+
+use acso_bench::episode_states;
+use acso_core::agent::{AttentionQNet, BaselineConvQNet, QNetwork};
+use ics_net::TopologySpec;
+use neural::Scratch;
+
+/// A freshly constructed scratch (and therefore every agent built without an
+/// explicit override) uses the backend `ACSO_BACKEND` names, falling back to
+/// the reference backend when the variable is unset — so golden fixtures
+/// keep meaning what they meant before the seam existed, and the CI
+/// backend-simd job can flip the whole process with one env var.
+#[test]
+fn default_backend_honours_environment() {
+    let expected =
+        std::env::var(neural::backend::BACKEND_ENV).unwrap_or_else(|_| "reference".to_string());
+    assert_eq!(Scratch::new().backend().name(), expected);
+    assert_eq!(neural::backend::default_backend().name(), expected);
+}
+
+#[test]
+fn backend_lookup_rejects_unknown_names() {
+    let err = neural::backend::backend_by_name("no-such-backend").unwrap_err();
+    assert!(
+        err.contains("no-such-backend"),
+        "error names the culprit: {err}"
+    );
+}
+
+#[cfg(feature = "backend-simd")]
+mod simd {
+    use super::*;
+    use neural::Tolerance;
+
+    /// States per network in the transcript comparison. Enough decision
+    /// points for beliefs/alerts to vary; small enough for a debug-mode run.
+    const STATES: usize = 24;
+
+    /// Widening factor applied to the joined kernel tolerance: a full
+    /// Q-network chains dozens of kernel calls (embeddings, two attention
+    /// layers, four heads), so per-kernel rounding compounds.
+    const NET_FACTOR: f32 = 100.0;
+
+    fn widened(factor: f32) -> (f32, f32) {
+        let simd = neural::backend::backend_by_name("simd").expect("simd compiled in");
+        match Tolerance::Exact.join(simd.tolerance()) {
+            Tolerance::Exact => (0.0, 0.0),
+            Tolerance::Bounded { rel, abs } => (rel * factor, abs * factor),
+        }
+    }
+
+    fn close(rel: f32, abs: f32, a: f32, b: f32) -> bool {
+        let diff = (a - b).abs();
+        diff <= abs || diff <= rel * a.abs().max(b.abs())
+    }
+
+    fn argmax(q: &[f32]) -> usize {
+        q.iter()
+            .enumerate()
+            .max_by(|x, y| x.1.partial_cmp(y.1).expect("finite Q-values"))
+            .expect("non-empty action space")
+            .0
+    }
+
+    /// Gap between the best and second-best reference Q-value: when this is
+    /// inside the tolerance band, an argmax flip on the other backend is a
+    /// legitimate tie-break, not a kernel bug.
+    fn top2_gap(q: &[f32]) -> f32 {
+        let best = argmax(q);
+        let runner_up = q
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != best)
+            .map(|(_, v)| *v)
+            .fold(f32::NEG_INFINITY, f32::max);
+        q[best] - runner_up
+    }
+
+    /// Runs `states` through a reference-pinned and a simd-pinned clone of
+    /// the same network and checks Q-values plus the greedy transcript.
+    fn compare_networks<N, F>(make: F, label: &str)
+    where
+        N: QNetwork,
+        F: Fn() -> N,
+        N: BackendPinned,
+    {
+        let (states, _space) = episode_states(TopologySpec::paper_small(), STATES);
+        let mut reference = make();
+        reference.pin_backend("reference");
+        let mut simd = make();
+        simd.pin_backend("simd");
+
+        let (rel, abs) = widened(NET_FACTOR);
+        let mut flips = 0usize;
+        for (i, state) in states.iter().enumerate() {
+            let q_ref = reference.q_values(state);
+            let q_simd = simd.q_values(state);
+            assert_eq!(q_ref.len(), q_simd.len());
+            for (a, (r, s)) in q_ref.iter().zip(&q_simd).enumerate() {
+                assert!(
+                    close(rel, abs, *r, *s),
+                    "{label}: state {i} action {a}: reference {r} vs simd {s} \
+                     outside rel={rel} abs={abs}"
+                );
+            }
+            if argmax(&q_ref) != argmax(&q_simd) {
+                let gap = top2_gap(&q_ref);
+                assert!(
+                    close(rel, abs, gap, 0.0),
+                    "{label}: state {i}: greedy action flipped with a decisive \
+                     reference gap of {gap} (rel={rel} abs={abs})"
+                );
+                flips += 1;
+            }
+        }
+        // A transcript where *every* decision flips would mean the backends
+        // disagree systematically even if each flip is individually a tie.
+        assert!(
+            flips * 2 <= STATES,
+            "{label}: {flips}/{STATES} greedy decisions flipped — backends diverge"
+        );
+
+        // The batched path (the fused block-diagonal kernels) must agree with
+        // the same tolerance as the solo path.
+        let refs: Vec<&acso_core::StateFeatures> = states.iter().collect();
+        let batch_ref = reference.q_values_batch(&refs);
+        let batch_simd = simd.q_values_batch(&refs);
+        for (i, (row_ref, row_simd)) in batch_ref.iter().zip(&batch_simd).enumerate() {
+            for (a, (r, s)) in row_ref.iter().zip(row_simd.iter()).enumerate() {
+                assert!(
+                    close(rel, abs, *r, *s),
+                    "{label}: batched state {i} action {a}: reference {r} vs \
+                     simd {s} outside rel={rel} abs={abs}"
+                );
+            }
+        }
+    }
+
+    /// The one capability this suite needs beyond [`QNetwork`]: pinning a
+    /// network's scratch to a named kernel backend.
+    trait BackendPinned {
+        fn pin_backend(&mut self, name: &str);
+    }
+
+    impl BackendPinned for AttentionQNet {
+        fn pin_backend(&mut self, name: &str) {
+            self.set_kernel_backend(neural::backend::backend_by_name(name).unwrap());
+        }
+    }
+
+    impl BackendPinned for BaselineConvQNet {
+        fn pin_backend(&mut self, name: &str) {
+            self.set_kernel_backend(neural::backend::backend_by_name(name).unwrap());
+        }
+    }
+
+    #[test]
+    fn attention_net_q_values_and_transcript_match_across_backends() {
+        let (_, space) = episode_states(TopologySpec::paper_small(), 1);
+        compare_networks(move || AttentionQNet::new(space.clone(), 7), "attention");
+    }
+
+    #[test]
+    fn baseline_net_q_values_and_transcript_match_across_backends() {
+        let (_, space) = episode_states(TopologySpec::paper_small(), 1);
+        compare_networks(move || BaselineConvQNet::new(space.clone(), 7), "baseline");
+    }
+}
