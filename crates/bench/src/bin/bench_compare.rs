@@ -51,6 +51,28 @@ const METRICS: &[(&str, &str, Direction)] = &[
         "sim parallel steps/s",
         Direction::HigherIsBetter,
     ),
+    // The ~1000-host world-model hot path (schema v5's `xl_topology` block):
+    // per-step throughput of env step + filter update + feature encode.
+    (
+        "xl_sparse_steps_per_sec",
+        "xl sparse steps/s",
+        Direction::HigherIsBetter,
+    ),
+    (
+        "xl_dense_reference_steps_per_sec",
+        "xl dense steps/s",
+        Direction::HigherIsBetter,
+    ),
+    (
+        "xl_sparse_speedup",
+        "xl sparse speedup",
+        Direction::HigherIsBetter,
+    ),
+    (
+        "xl_per_host_scaling",
+        "xl per-host scaling",
+        Direction::LowerIsBetter,
+    ),
     (
         "attention_forward_ns_per_op",
         "attn fwd ns/op",

@@ -16,18 +16,27 @@
 //! (stdout always gets a human-readable summary). `ACSO_THREADS` pins the
 //! parallel worker count. `--backend` (or `ACSO_BACKEND`) selects the kernel
 //! backend the flat snapshot metrics are measured with; the snapshot is
-//! tagged with the choice (schema v4). When the binary is compiled with
+//! tagged with the choice. When the binary is compiled with
 //! `--features backend-simd` and the primary backend is the reference one,
 //! the neural metrics are *also* measured under the SIMD backend and
 //! recorded in a `simd_kernels` block, so one snapshot carries the
 //! before/after pair.
+//!
+//! Schema v5 adds the `xl_topology` block: per-step throughput of the full
+//! world-model hot path (environment step + DBN filter update + feature
+//! encode) on the ~1000-host `registry-1000` scenario, measured with the
+//! sparse activity-indexed path and with the dense reference path
+//! (`set_dense_observation_reference` + dense encode), plus the same
+//! pipeline on the paper_small topology (the per-host sublinearity
+//! reference) and the engine plan the autoscaler picks for that workload.
 
 use acso_bench::prefilled_update_agent;
 use acso_core::agent::{AttentionQNet, BaselineConvQNet, QNetwork, UpdateMode};
 use acso_core::baselines::PlaybookPolicy;
-use acso_core::features::NodeFeatureEncoder;
+use acso_core::features::{EncodeScratch, NodeFeatureEncoder};
 use acso_core::rollout::{rollout, rollout_serial, RolloutPlan, SyncBatchEngine};
-use acso_core::{ActionSpace, DefenderPolicy, StateFeatures};
+use acso_core::{ActionSpace, DefenderPolicy, ScenarioRegistry, StateFeatures};
+use acso_runtime::{AutoscalePlan, WorkloadShape};
 use dbn::learn::{learn_model, LearnConfig};
 use dbn::DbnFilter;
 use ics_net::TopologySpec;
@@ -69,6 +78,144 @@ fn measure_sim_throughput(episodes: usize, hours: u64) -> SimThroughput {
         serial_steps_per_sec: total_steps / serial_time.as_secs_f64(),
         parallel_steps_per_sec: total_steps / parallel_time.as_secs_f64(),
         threads: parallel_plan.threads,
+    }
+}
+
+struct XlThroughput {
+    scenario: String,
+    nodes: usize,
+    plcs: usize,
+    hours: u64,
+    sparse_steps_per_sec: f64,
+    dense_steps_per_sec: f64,
+    /// Node count of the small-topology reference pipeline run.
+    small_nodes: usize,
+    /// The same env+filter+encode pipeline on the paper_small topology.
+    small_steps_per_sec: f64,
+    plan: AutoscalePlan,
+}
+
+impl XlThroughput {
+    fn sparse_speedup(&self) -> f64 {
+        self.sparse_steps_per_sec / self.dense_steps_per_sec
+    }
+
+    /// Per-step cost growth divided by node-count growth, small topology →
+    /// XL topology. Below 1.0 means per-step wall-clock grew *sublinearly*
+    /// in world size — the sparse hot-path contract.
+    fn per_host_scaling(&self) -> f64 {
+        let cost_ratio = self.small_steps_per_sec / self.sparse_steps_per_sec;
+        let node_ratio = self.nodes as f64 / self.small_nodes as f64;
+        cost_ratio / node_ratio
+    }
+}
+
+/// Measures the full world-model hot path — environment step, DBN filter
+/// update, feature encode, playbook defender decision — over repeated
+/// episodes of `hours` simulated hours until at least `min_steps` total
+/// steps are timed. One 60-hour episode is only 60 steps (~milliseconds),
+/// which page-fault and allocator warm-up noise dominates; amortizing over
+/// many episodes in a single timed region makes per-step cost stable.
+///
+/// The playbook defender keeps the infection bounded, which is the regime
+/// the sparse paths are built for: an *undefended* 1000-host world
+/// saturates (every node compromised and alerting), and once activity ≈
+/// world size, sparse and dense necessarily cost the same. Sparse and dense
+/// paths produce bit-identical observations and features (pinned by the
+/// equivalence tests), so their ratio is pure sparsity payoff.
+fn measure_pipeline(sim: &SimConfig, hours: u64, min_steps: u64, dense: bool) -> f64 {
+    use rand::SeedableRng;
+
+    let model = learn_model(&LearnConfig {
+        episodes: 1,
+        seed: 0,
+        sim: sim.clone().with_max_time(hours.min(30)),
+    });
+    let nodes = sim.topology.total_nodes();
+    let mut filter = DbnFilter::new(model, nodes);
+    let mut features = StateFeatures::empty();
+    let mut scratch = EncodeScratch::new();
+    let mut steps = 0u64;
+    let mut episode = 0u64;
+    // Only the step loop is timed: per-episode environment construction is
+    // identical in both modes and would dilute the per-step signal.
+    let mut timed = std::time::Duration::ZERO;
+    while steps < min_steps {
+        let mut env = IcsEnvironment::new(sim.clone().with_seed(9 + episode));
+        env.set_dense_observation_reference(dense);
+        let encoder = NodeFeatureEncoder::new(env.topology());
+        let mut policy = PlaybookPolicy::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11 + episode);
+        let mut obs = env.reset();
+        filter.reset();
+        scratch.invalidate();
+        policy.reset(env.topology());
+        let mut hour = 0u64;
+        let episode_start = Instant::now();
+        loop {
+            filter.update(&obs);
+            if dense {
+                encoder.encode_into(&obs, &filter, &mut features);
+            } else {
+                encoder.encode_active_into(&obs, &filter, &mut scratch, &mut features);
+            }
+            std::hint::black_box(&features);
+            let actions = policy.decide(&obs, env.topology(), &mut rng);
+            let step = env.step(&actions);
+            steps += 1;
+            hour += 1;
+            obs = step.observation;
+            if step.done || hour >= hours {
+                break;
+            }
+        }
+        timed += episode_start.elapsed();
+        episode += 1;
+    }
+    steps as f64 / timed.as_secs_f64()
+}
+
+/// Measures the world-model hot path on the ~1000-host registry scenario
+/// (sparse and dense-reference), plus the same pipeline on the paper_small
+/// topology as the sublinearity reference point, and the engine plan the
+/// autoscaler picks for a paper-scale (100-episode) XL evaluation.
+fn measure_xl_throughput(hours: u64, min_steps: u64) -> XlThroughput {
+    let registry = ScenarioRegistry::builtin();
+    let scenario = registry
+        .get("registry-1000")
+        .expect("registry-1000 scenario exists");
+    let sim = scenario.config.clone().with_max_time(hours);
+    let nodes = sim.topology.total_nodes();
+    let plcs = sim.topology.plcs;
+
+    let small_sim = SimConfig {
+        topology: TopologySpec::paper_small(),
+        ..scenario.config.clone()
+    }
+    .with_max_time(hours);
+    let small_nodes = small_sim.topology.total_nodes();
+    // Warm-up (page in code and allocator state), then the measured runs;
+    // dense before sparse so any residual warm-up favours the reference.
+    let _ = measure_pipeline(&small_sim, hours, min_steps, false);
+    let small_steps_per_sec = measure_pipeline(&small_sim, hours, min_steps, false);
+    let dense_steps_per_sec = measure_pipeline(&sim, hours, min_steps, true);
+    let sparse_steps_per_sec = measure_pipeline(&sim, hours, min_steps, false);
+
+    let plan = acso_runtime::plan(&WorkloadShape {
+        nodes,
+        actions: ActionSpace::from_counts(nodes, plcs).len(),
+        episodes: 100,
+    });
+    XlThroughput {
+        scenario: scenario.name.clone(),
+        nodes,
+        plcs,
+        hours,
+        sparse_steps_per_sec,
+        dense_steps_per_sec,
+        small_nodes,
+        small_steps_per_sec,
+        plan,
     }
 }
 
@@ -407,6 +554,37 @@ fn main() {
         );
     }
 
+    // Same horizon at both scales: past ~60 h even the playbook loses
+    // containment on the 1000-host world and activity saturates toward
+    // world size, which would measure the saturated regime instead of the
+    // activity-bounded one the sparse paths target (and make quick and
+    // full snapshots incomparable on this metric). Scale changes only how
+    // many episodes the per-step cost is averaged over.
+    let xl_hours = 60;
+    let xl = measure_xl_throughput(xl_hours, if quick { 1_200 } else { 12_000 });
+    println!(
+        "xl_topology ({}, {} nodes + {} PLCs, {} h, env+filter+encode):",
+        xl.scenario, xl.nodes, xl.plcs, xl.hours
+    );
+    println!(
+        "  dense reference: {:>9.0} steps/sec",
+        xl.dense_steps_per_sec
+    );
+    println!(
+        "  sparse:          {:>9.0} steps/sec ({:.2}x)",
+        xl.sparse_steps_per_sec,
+        xl.sparse_speedup()
+    );
+    println!(
+        "  small reference: {:>9.0} steps/sec ({} nodes)",
+        xl.small_steps_per_sec, xl.small_nodes
+    );
+    println!(
+        "  per-host scaling exponent: {:.3} (1.0 = linear in world size)",
+        xl.per_host_scaling()
+    );
+    println!("  autoscale plan:  {}", xl.plan.describe());
+
     let primary = measure_neural(iters, backend);
     print_neural(&primary, iters, backend.name());
     let simd_block = simd_kernels_block(iters, backend.name());
@@ -420,7 +598,7 @@ fn main() {
         )
     };
     let json = format!(
-        "{{\n  \"schema\": \"acso-bench-smoke/v4\",\n  \"mode\": \"{mode}\",\n  \"backend\": \"{backend}\",\n  \"threads\": {threads},\n  \"sim_throughput\": {{\n    \"policy\": \"Playbook\",\n    \"topology\": \"paper_small\",\n    \"episodes\": {episodes},\n    \"hours_per_episode\": {hours},\n    \"serial_steps_per_sec\": {serial:.0},\n    \"parallel_steps_per_sec\": {parallel:.0},\n    \"parallel_speedup\": {speedup}\n  }},\n  \"nn_forward\": {{\n    \"topology\": \"paper_small\",\n    \"iters\": {iters},\n    \"attention_forward_ns_per_op\": {af:.0},\n    \"attention_forward_backward_ns_per_op\": {afb:.0},\n    \"baseline_forward_ns_per_op\": {bf:.0}\n  }},\n  \"batched_inference\": {{\n    \"topology\": \"paper_small\",\n    \"batch\": {batch},\n    \"attention_per_state_ns\": {aps:.0},\n    \"attention_batched_ns_per_state\": {abs:.0},\n    \"attention_batched_speedup\": {asp:.3},\n    \"baseline_per_state_ns\": {bps:.0},\n    \"baseline_batched_ns_per_state\": {bbs:.0},\n    \"baseline_batched_speedup\": {bsp:.3}\n  }},\n  \"batched_training\": {{\n    \"topology\": \"paper_small\",\n    \"minibatch\": {tbatch},\n    \"attention_batched_update_ns\": {tab:.0},\n    \"attention_serial_update_ns\": {tas:.0},\n    \"attention_update_speedup\": {tasp:.3},\n    \"baseline_batched_update_ns\": {tbb:.0},\n    \"baseline_serial_update_ns\": {tbs:.0},\n    \"baseline_update_speedup\": {tbsp:.3}\n  }}{simd_block}\n}}\n",
+        "{{\n  \"schema\": \"acso-bench-smoke/v5\",\n  \"mode\": \"{mode}\",\n  \"backend\": \"{backend}\",\n  \"threads\": {threads},\n  \"sim_throughput\": {{\n    \"policy\": \"Playbook\",\n    \"topology\": \"paper_small\",\n    \"episodes\": {episodes},\n    \"hours_per_episode\": {hours},\n    \"serial_steps_per_sec\": {serial:.0},\n    \"parallel_steps_per_sec\": {parallel:.0},\n    \"parallel_speedup\": {speedup}\n  }},\n  \"xl_topology\": {{\n    \"xl_scenario\": \"{xl_scenario}\",\n    \"xl_nodes\": {xl_nodes},\n    \"xl_plcs\": {xl_plcs},\n    \"xl_hours\": {xl_hours},\n    \"xl_sparse_steps_per_sec\": {xl_sparse:.0},\n    \"xl_dense_reference_steps_per_sec\": {xl_dense:.0},\n    \"xl_sparse_speedup\": {xl_speedup:.3},\n    \"xl_small_reference_nodes\": {xl_small_nodes},\n    \"xl_small_reference_steps_per_sec\": {xl_small:.0},\n    \"xl_per_host_scaling\": {xl_scaling:.3},\n    \"autoscale_engine\": \"{auto_engine}\",\n    \"autoscale_lanes\": {auto_lanes},\n    \"autoscale_threads\": {auto_threads}\n  }},\n  \"nn_forward\": {{\n    \"topology\": \"paper_small\",\n    \"iters\": {iters},\n    \"attention_forward_ns_per_op\": {af:.0},\n    \"attention_forward_backward_ns_per_op\": {afb:.0},\n    \"baseline_forward_ns_per_op\": {bf:.0}\n  }},\n  \"batched_inference\": {{\n    \"topology\": \"paper_small\",\n    \"batch\": {batch},\n    \"attention_per_state_ns\": {aps:.0},\n    \"attention_batched_ns_per_state\": {abs:.0},\n    \"attention_batched_speedup\": {asp:.3},\n    \"baseline_per_state_ns\": {bps:.0},\n    \"baseline_batched_ns_per_state\": {bbs:.0},\n    \"baseline_batched_speedup\": {bsp:.3}\n  }},\n  \"batched_training\": {{\n    \"topology\": \"paper_small\",\n    \"minibatch\": {tbatch},\n    \"attention_batched_update_ns\": {tab:.0},\n    \"attention_serial_update_ns\": {tas:.0},\n    \"attention_update_speedup\": {tasp:.3},\n    \"baseline_batched_update_ns\": {tbb:.0},\n    \"baseline_serial_update_ns\": {tbs:.0},\n    \"baseline_update_speedup\": {tbsp:.3}\n  }}{simd_block}\n}}\n",
         mode = if quick { "quick" } else { "full" },
         backend = backend.name(),
         threads = sim.threads,
@@ -429,6 +607,22 @@ fn main() {
         serial = sim.serial_steps_per_sec,
         parallel = sim.parallel_steps_per_sec,
         speedup = speedup_json,
+        xl_scenario = xl.scenario,
+        xl_nodes = xl.nodes,
+        xl_plcs = xl.plcs,
+        xl_hours = xl.hours,
+        xl_sparse = xl.sparse_steps_per_sec,
+        xl_dense = xl.dense_steps_per_sec,
+        xl_speedup = xl.sparse_speedup(),
+        xl_small_nodes = xl.small_nodes,
+        xl_small = xl.small_steps_per_sec,
+        xl_scaling = xl.per_host_scaling(),
+        auto_engine = xl.plan.describe(),
+        auto_lanes = xl
+            .plan
+            .lanes()
+            .map_or("null".to_string(), |l| l.to_string()),
+        auto_threads = xl.plan.threads,
         iters = iters,
         af = primary.nn.attention_forward_ns,
         afb = primary.nn.attention_forward_backward_ns,

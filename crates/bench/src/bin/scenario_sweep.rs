@@ -156,6 +156,11 @@ fn main() {
             !registry.is_empty(),
             "no scenario matched --scenario filters {wanted:?}"
         );
+    } else {
+        // Extra-large scenarios (tag "xl", ~1000 hosts) only sweep when
+        // named explicitly: at default scales they would dominate the
+        // sweep's wall-clock many times over.
+        registry.retain_standard();
     }
 
     if list_only {

@@ -7,7 +7,7 @@
 //! violation, 2 on a usage error, 3 when `--kill-at-op` simulated a crash
 //! (rerun with the same `--state-dir` to resume).
 
-use acso_bench::soak::{run_soak, SoakConfig, SoakOutcome};
+use acso_bench::soak::{run_soak, run_xl_soak, SoakConfig, SoakOutcome};
 
 const USAGE: &str = "usage: soak [options]
 
@@ -23,10 +23,14 @@ options:
   --state-dir DIR   checkpoint per scenario; enables kill/resume
   --kill-at-op N    simulate a crash at op N (exit 3); needs --state-dir
   --smoke           small preset (400 ops, 1 scenario)
+  --xl              sweep the extra-large (~1000-host) registry scenarios
+                    instead: world model + playbook only, alert-conservation
+                    and reachability invariants per step (honors --ops,
+                    --seed, --max-time; other options ignored)
   --help            show this help
 ";
 
-fn parse_args(args: &[String]) -> Result<SoakConfig, String> {
+fn parse_args(args: &[String]) -> Result<(SoakConfig, bool), String> {
     let mut config = SoakConfig {
         ops: 5000,
         seed: 0,
@@ -36,6 +40,7 @@ fn parse_args(args: &[String]) -> Result<SoakConfig, String> {
         state_dir: None,
         kill_at_op: None,
     };
+    let mut xl = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         let mut number = |flag: &str| {
@@ -63,17 +68,18 @@ fn parse_args(args: &[String]) -> Result<SoakConfig, String> {
                 config = SoakConfig::smoke();
                 (config.state_dir, config.kill_at_op) = keep;
             }
+            "--xl" => xl = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    Ok(config)
+    Ok((config, xl))
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let config = match parse_args(&args) {
-        Ok(config) => config,
+    let (config, xl) = match parse_args(&args) {
+        Ok(parsed) => parsed,
         Err(message) => {
             if message.is_empty() {
                 print!("{USAGE}");
@@ -84,6 +90,29 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    if xl {
+        println!(
+            "soak: XL sweep — {} ops, seed {}, horizon {}",
+            config.ops, config.seed, config.max_time
+        );
+        match run_xl_soak(config.ops, config.seed, config.max_time) {
+            Ok(report) => {
+                println!(
+                    "soak: OK — {} ops, {} episodes, {} invariant checks on {}",
+                    report.ops,
+                    report.episodes,
+                    report.checks,
+                    report.scenario_names.join(", ")
+                );
+            }
+            Err(violation) => {
+                eprintln!("soak: INVARIANT VIOLATION: {violation}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
 
     println!(
         "soak: {} ops over {} scenario(s), seed {}, horizon {}",
@@ -128,7 +157,7 @@ mod tests {
 
     #[test]
     fn args_configure_the_soak() {
-        let config = parse_args(&strings(&[
+        let (config, xl) = parse_args(&strings(&[
             "--ops",
             "100",
             "--seed",
@@ -155,13 +184,21 @@ mod tests {
             Some("/tmp/soak-state")
         );
         assert_eq!(config.kill_at_op, Some(60));
+        assert!(!xl);
     }
 
     #[test]
     fn smoke_preset_keeps_state_flags() {
-        let config = parse_args(&strings(&["--state-dir", "/tmp/x", "--smoke"])).unwrap();
+        let (config, _) = parse_args(&strings(&["--state-dir", "/tmp/x", "--smoke"])).unwrap();
         assert_eq!(config.ops, SoakConfig::smoke().ops);
         assert!(config.state_dir.is_some());
+    }
+
+    #[test]
+    fn xl_flag_selects_the_xl_sweep() {
+        let (config, xl) = parse_args(&strings(&["--xl", "--ops", "80"])).unwrap();
+        assert!(xl);
+        assert_eq!(config.ops, 80);
     }
 
     #[test]

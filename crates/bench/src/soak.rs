@@ -304,6 +304,92 @@ pub fn run_soak(config: &SoakConfig) -> Result<SoakOutcome, String> {
     Ok(SoakOutcome::Completed(report))
 }
 
+/// Report of a bounded extra-large-scenario invariant sweep.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct XlSoakReport {
+    /// Environment steps driven across all XL scenarios.
+    pub ops: u64,
+    /// Episodes completed.
+    pub episodes: u64,
+    /// Individual invariant checks that passed.
+    pub checks: u64,
+    /// Names of the XL scenarios swept.
+    pub scenario_names: Vec<String>,
+}
+
+/// Bounded invariant sweep over the extra-large registry scenarios (tag
+/// [`acso_core::ScenarioRegistry::XL_TAG`], ~1000 hosts).
+///
+/// The full training soak is deliberately too heavy at this scale (it
+/// trains a per-scenario agent), so this sweep drives the world model alone
+/// — playbook defender against the environment, no neural stack — and
+/// asserts the world-level invariant families after every step: the static
+/// topology reachability sweep once per scenario, then alert conservation
+/// and live VLAN/quarantine reachability per step (the same
+/// `check_world_step` shared with the full soak).
+/// At ~1000 hosts these are exactly the invariants the sparse dirty-set
+/// observation path and the multi-/24 IP allocator could silently break.
+///
+/// `ops` bounds the total steps (split across XL scenarios); episodes use
+/// the playbook defender so quarantine churn exercises VLAN toggling.
+pub fn run_xl_soak(ops: u64, seed: u64, max_time: u64) -> Result<XlSoakReport, String> {
+    use acso_core::baselines::PlaybookPolicy;
+    use acso_core::{DefenderPolicy, ScenarioRegistry};
+    use rand::SeedableRng;
+
+    let registry = ScenarioRegistry::builtin();
+    let xl: Vec<_> = registry
+        .iter()
+        .filter(|s| s.has_tag(ScenarioRegistry::XL_TAG))
+        .cloned()
+        .collect();
+    if xl.is_empty() {
+        return Err("no XL-tagged scenarios in the registry".into());
+    }
+
+    let per_scenario = ops.div_ceil(xl.len() as u64);
+    let mut report = XlSoakReport::default();
+    for (index, scenario) in xl.iter().enumerate() {
+        report.scenario_names.push(scenario.name.clone());
+        let sim = scenario.config.clone().with_max_time(max_time);
+        let run_seed = mersenne_stream(seed, RUN_SALT + index as u64);
+        let mut env = IcsEnvironment::new(sim.clone().with_seed(run_seed));
+        check_topology(env.topology()).map_err(|e| format!("scenario `{}`: {e}", scenario.name))?;
+
+        let mut scenario_ops = 0u64;
+        let mut episode = 0usize;
+        while scenario_ops < per_scenario {
+            env = IcsEnvironment::new(sim.clone().with_seed(episode_seed(run_seed, episode)));
+            let mut policy = PlaybookPolicy::new();
+            let mut rng =
+                rand::rngs::StdRng::seed_from_u64(mersenne_stream(run_seed, episode as u64));
+            policy.reset(env.topology());
+            let mut obs = env.reset();
+            check_world_step(&env, &obs, &mut report.checks)
+                .map_err(|e| format!("scenario `{}` episode {episode}: {e}", scenario.name))?;
+            loop {
+                let actions = policy.decide(&obs, env.topology(), &mut rng);
+                let step = env.step(&actions);
+                scenario_ops += 1;
+                check_world_step(&env, &step.observation, &mut report.checks).map_err(|e| {
+                    format!(
+                        "scenario `{}` episode {episode} op {scenario_ops}: {e}",
+                        scenario.name
+                    )
+                })?;
+                obs = step.observation;
+                if step.done {
+                    break;
+                }
+            }
+            episode += 1;
+            report.episodes += 1;
+        }
+        report.ops += scenario_ops;
+    }
+    Ok(report)
+}
+
 /// Prefixes a violation with where it happened.
 fn at<N: acso_core::agent::QNetwork + Clone>(
     scenario: &str,
@@ -357,10 +443,10 @@ fn check_topology(topo: &Topology) -> Result<(), String> {
     Ok(())
 }
 
-/// The per-step invariant sweep. Bumps `checks` once per invariant family
-/// that passed; returns the first violation.
-fn check_step<N: acso_core::agent::QNetwork + Clone>(
-    agent: &AcsoAgent<N>,
+/// The world-level per-step invariants — alert conservation and live VLAN
+/// reachability — shared by the full training soak and the bounded
+/// extra-large sweep ([`run_xl_soak`]). Bumps `checks` once per family.
+fn check_world_step(
     env: &IcsEnvironment,
     obs: &Observation,
     checks: &mut u64,
@@ -396,21 +482,7 @@ fn check_step<N: acso_core::agent::QNetwork + Clone>(
     }
     *checks += 1;
 
-    // 2. Belief normalization: each node's belief is a distribution.
-    for (index, belief) in agent.filter().beliefs().iter().enumerate() {
-        let sum: f64 = belief.iter().sum();
-        if !sum.is_finite()
-            || (sum - 1.0).abs() > 1e-6
-            || belief.iter().any(|p| !p.is_finite() || *p < -1e-12)
-        {
-            return Err(format!(
-                "belief of node {index} is not a distribution: {belief:?} (sum {sum})"
-            ));
-        }
-    }
-    *checks += 1;
-
-    // 3. Reachability of the live VLAN placement: quarantine toggling must
+    // 2. Reachability of the live VLAN placement: quarantine toggling must
     //    keep every node on a switch-served VLAN consistent with its flag.
     let state = env.state();
     for node in env.topology().nodes() {
@@ -430,6 +502,34 @@ fn check_step<N: acso_core::agent::QNetwork + Clone>(
             return Err(format!(
                 "node {} is on vlan {vlan:?} with no serving switch",
                 node.id
+            ));
+        }
+    }
+    *checks += 1;
+
+    Ok(())
+}
+
+/// The per-step invariant sweep. Bumps `checks` once per invariant family
+/// that passed; returns the first violation.
+fn check_step<N: acso_core::agent::QNetwork + Clone>(
+    agent: &AcsoAgent<N>,
+    env: &IcsEnvironment,
+    obs: &Observation,
+    checks: &mut u64,
+) -> Result<(), String> {
+    // 1–2. Alert conservation and live VLAN reachability.
+    check_world_step(env, obs, checks)?;
+
+    // 3. Belief normalization: each node's belief is a distribution.
+    for (index, belief) in agent.filter().beliefs().iter().enumerate() {
+        let sum: f64 = belief.iter().sum();
+        if !sum.is_finite()
+            || (sum - 1.0).abs() > 1e-6
+            || belief.iter().any(|p| !p.is_finite() || *p < -1e-12)
+        {
+            return Err(format!(
+                "belief of node {index} is not a distribution: {belief:?} (sum {sum})"
             ));
         }
     }
@@ -575,6 +675,25 @@ mod tests {
 
         let _ = std::fs::remove_dir_all(&straight_dir);
         let _ = std::fs::remove_dir_all(&killed_dir);
+    }
+
+    #[test]
+    fn xl_sweep_holds_world_invariants_on_the_1000_host_scenario() {
+        let report = run_xl_soak(90, 0, 45).expect("XL invariants must hold");
+        assert!(report.ops >= 90);
+        assert!(report.episodes >= 1);
+        // Two world-level invariant families per step, plus the reset
+        // observation of each episode.
+        assert!(
+            report.checks >= 2 * report.ops,
+            "{} checks for {} ops",
+            report.checks,
+            report.ops
+        );
+        assert!(report
+            .scenario_names
+            .iter()
+            .any(|name| name == "registry-1000"));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use crate::actions::ActionSpace;
 use crate::agent::QNetwork;
-use crate::features::{NodeFeatureEncoder, StateFeatures};
+use crate::features::{EncodeScratch, NodeFeatureEncoder, StateFeatures};
 use crate::policy::DefenderPolicy;
 use dbn::{DbnFilter, DbnModel};
 use ics_net::Topology;
@@ -130,6 +130,9 @@ pub struct AcsoAgent<N: QNetwork + Clone> {
     /// Reusable feature buffer for the greedy evaluation path, where the
     /// encoding is dead as soon as the action is chosen.
     eval_features: StateFeatures,
+    /// Step-chain bookkeeping for `eval_features`, letting the greedy path
+    /// rewrite only active rows between consecutive hours of one episode.
+    eval_scratch: EncodeScratch,
     /// Reusable flat-gradient buffer for the serial update path.
     grad_buf: Vec<f32>,
     /// Reusable `[batch, action-space]` gradient matrix for the batched
@@ -159,6 +162,7 @@ impl<N: QNetwork + Clone> AcsoAgent<N> {
             explore: true,
             losses: Vec::new(),
             eval_features: StateFeatures::empty(),
+            eval_scratch: EncodeScratch::new(),
             grad_buf: Vec::new(),
             grad_batch: Matrix::zeros(0, 0),
             update_mode: UpdateMode::from_env(),
@@ -194,6 +198,7 @@ impl<N: QNetwork + Clone> AcsoAgent<N> {
             explore: false,
             losses: Vec::new(),
             eval_features: StateFeatures::empty(),
+            eval_scratch: EncodeScratch::new(),
             grad_buf: Vec::new(),
             grad_batch: Matrix::zeros(0, 0),
             update_mode: self.update_mode,
@@ -235,6 +240,7 @@ impl<N: QNetwork + Clone> AcsoAgent<N> {
     /// start, for training and evaluation alike.
     pub fn begin_episode(&mut self) {
         self.filter.reset();
+        self.eval_scratch.invalidate();
     }
 
     /// Finishes a training episode: decays ε and flushes the n-step window.
@@ -282,12 +288,17 @@ impl<N: QNetwork + Clone> AcsoAgent<N> {
     }
 
     /// Greedy action selection for evaluation: encodes into a reusable
-    /// buffer (no per-step feature allocation) and consumes no randomness,
-    /// so cloned agents decide identically regardless of call history.
+    /// buffer (no per-step feature allocation, and between consecutive hours
+    /// only active node rows are rewritten) and consumes no randomness, so
+    /// cloned agents decide identically regardless of call history.
     fn act_greedy(&mut self, observation: &Observation) -> usize {
         self.filter.update(observation);
-        self.encoder
-            .encode_into(observation, &self.filter, &mut self.eval_features);
+        self.encoder.encode_active_into(
+            observation,
+            &self.filter,
+            &mut self.eval_scratch,
+            &mut self.eval_features,
+        );
         let q = self
             .online
             .q_values_batch(&[&self.eval_features])

@@ -10,16 +10,19 @@
 
 use crate::actions::ActionSpace;
 use crate::agent::QNetwork;
-use crate::features::{NodeFeatureEncoder, StateFeatures};
+use crate::features::{EncodeScratch, NodeFeatureEncoder, StateFeatures};
 use crate::rollout::{BatchPolicy, LaneDecision};
 use dbn::DbnFilter;
 use ics_net::Topology;
 
-/// Per-lane episode state: the belief filter and a reusable feature buffer.
+/// Per-lane episode state: the belief filter, a reusable feature buffer, and
+/// the step-chain scratch that lets consecutive hours rewrite only active
+/// node rows of that buffer.
 #[derive(Clone)]
 struct Lane {
     filter: DbnFilter,
     features: StateFeatures,
+    scratch: EncodeScratch,
 }
 
 /// The trained agent behind the [`BatchPolicy`] interface: shared network,
@@ -45,6 +48,7 @@ impl<N: QNetwork> BatchedAgentPolicy<N> {
         let lane = Lane {
             filter,
             features: StateFeatures::empty(),
+            scratch: EncodeScratch::new(),
         };
         Self {
             network,
@@ -62,6 +66,7 @@ impl<N: QNetwork> BatchPolicy for BatchedAgentPolicy<N> {
 
     fn reset_lane(&mut self, lane: usize, _topology: &Topology) {
         self.lanes[lane].filter.reset();
+        self.lanes[lane].scratch.invalidate();
     }
 
     fn decide_lanes(&mut self, requests: &mut [LaneDecision<'_>]) {
@@ -70,8 +75,12 @@ impl<N: QNetwork> BatchPolicy for BatchedAgentPolicy<N> {
         for r in requests.iter_mut() {
             let lane = &mut self.lanes[r.lane];
             lane.filter.update(r.observation);
-            self.encoder
-                .encode_into(r.observation, &lane.filter, &mut lane.features);
+            self.encoder.encode_active_into(
+                r.observation,
+                &lane.filter,
+                &mut lane.scratch,
+                &mut lane.features,
+            );
         }
         // One batched forward answers every live lane.
         let states: Vec<&StateFeatures> = requests

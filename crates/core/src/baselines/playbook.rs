@@ -156,6 +156,7 @@ mod tests {
                 .collect(),
             plc_status: vec![PlcStatus::Nominal; topo.plc_count()],
             alerts: Vec::new(),
+            active_nodes: Vec::new(),
         }
     }
 

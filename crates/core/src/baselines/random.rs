@@ -116,6 +116,7 @@ mod tests {
             nodes: Vec::new(),
             plc_status: vec![PlcStatus::Nominal; topo.plc_count()],
             alerts: Vec::new(),
+            active_nodes: Vec::new(),
         };
         let mut rng = StdRng::seed_from_u64(0);
         let mut total = 0;
@@ -142,6 +143,7 @@ mod tests {
             nodes: Vec::new(),
             plc_status,
             alerts: Vec::new(),
+            active_nodes: Vec::new(),
         };
         let mut rng = StdRng::seed_from_u64(1);
         let actions = policy.decide(&obs, &topo, &mut rng);
@@ -175,6 +177,7 @@ mod tests {
             nodes: Vec::new(),
             plc_status: vec![PlcStatus::Nominal; topo.plc_count()],
             alerts: Vec::new(),
+            active_nodes: Vec::new(),
         };
         let mut rng = StdRng::seed_from_u64(2);
         assert_eq!(

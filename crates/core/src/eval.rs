@@ -4,13 +4,18 @@
 //! Episodes run through the [`crate::rollout`] engines. The policy-factory
 //! entry points ([`evaluate_factory_detailed`]) fan episodes out over worker
 //! threads with bit-identical results to the serial `&mut dyn` entry points,
-//! which are kept for policies that cannot be constructed per worker. When
-//! the `ACSO_BATCH` environment variable is set, the factory entry points
-//! route through the lockstep [`SyncBatchEngine`] instead — same
-//! transcripts, batched inference.
+//! which are kept for policies that cannot be constructed per worker. The
+//! engine itself is *autoscaled*: the workload's shape (topology size,
+//! action-space size, episode count) picks between the episode-parallel pool
+//! and the lockstep [`SyncBatchEngine`] via [`acso_runtime::plan`], with the
+//! `ACSO_BATCH` / `ACSO_THREADS` environment variables acting as overrides.
+//! Every engine is pinned bit-identical to the serial evaluator, so the
+//! choice can never change a transcript — only its wall-clock.
 
+use crate::actions::ActionSpace;
 use crate::policy::DefenderPolicy;
 use crate::rollout::{self, RolloutPlan, SyncBatchEngine};
+use acso_runtime::{EngineChoice, WorkloadShape};
 use ics_sim::metrics::{EpisodeMetrics, EvaluationSummary};
 use ics_sim::SimConfig;
 use serde::{Deserialize, Serialize};
@@ -63,6 +68,19 @@ fn plan_for(config: &EvalConfig) -> RolloutPlan {
     RolloutPlan::new(config.sim.clone(), config.episodes, config.seed)
 }
 
+/// The autoscaler's view of an evaluation run: node count and action-space
+/// size straight from the scenario's topology spec (no topology is built),
+/// plus the episode count. Shared by the evaluator and the benchmark
+/// harness so recorded plans match executed plans.
+pub fn workload_shape(config: &EvalConfig) -> WorkloadShape {
+    let nodes = config.sim.topology.total_nodes();
+    WorkloadShape {
+        nodes,
+        actions: ActionSpace::from_counts(nodes, config.sim.topology.plcs).len(),
+        episodes: config.episodes,
+    }
+}
+
 fn package(policy: String, episodes: Vec<EpisodeMetrics>) -> PolicyEvaluation {
     let summary = EvaluationSummary::from_episodes(&episodes);
     PolicyEvaluation {
@@ -86,21 +104,26 @@ pub fn evaluate_policy_detailed(
     package(policy.name().to_string(), episodes)
 }
 
-/// Runs the evaluation protocol with episodes fanned out over worker threads
-/// (`ACSO_THREADS`, default: available parallelism), building one policy per
-/// worker with `make_policy`. With `ACSO_BATCH=<lanes>` set, episodes run
-/// through the lockstep [`SyncBatchEngine`] instead (batched inference, one
-/// batch of lanes per worker). Results are bit-identical to the serial
-/// evaluator either way.
+/// Runs the evaluation protocol with episodes fanned out over worker
+/// threads, building one policy per worker with `make_policy`. The engine is
+/// chosen by the autoscaler ([`acso_runtime::plan`]) from the workload's
+/// shape: large topologies and wide action spaces route through the lockstep
+/// [`SyncBatchEngine`] (batched inference), small ones through the
+/// episode-parallel pool. `ACSO_BATCH` pins the engine and lane width,
+/// `ACSO_THREADS` pins the worker count. Results are bit-identical to the
+/// serial evaluator whichever engine runs.
 pub fn evaluate_factory_detailed<F>(make_policy: F, config: &EvalConfig) -> PolicyEvaluation
 where
     F: Fn() -> Box<dyn DefenderPolicy> + Sync,
 {
     let name = make_policy().name().to_string();
-    let plan = plan_for(config);
-    let episodes = match SyncBatchEngine::from_env() {
-        Some(engine) => engine.rollout(&plan, &make_policy),
-        None => rollout::rollout(&plan, make_policy),
+    let auto = acso_runtime::plan(&workload_shape(config));
+    let plan = plan_for(config).with_threads(auto.threads);
+    let episodes = match auto.engine {
+        EngineChoice::Lockstep { lanes } => {
+            SyncBatchEngine::new(lanes).rollout(&plan, &make_policy)
+        }
+        EngineChoice::EpisodeParallel => rollout::rollout(&plan, make_policy),
     };
     package(name, episodes)
 }
@@ -177,6 +200,23 @@ mod tests {
             evaluate_factory(|| Box::new(PlaybookPolicy::new()), &cfg),
             serial.summary
         );
+    }
+
+    #[test]
+    fn autoscaled_lockstep_matches_serial_on_large_topologies() {
+        // Inflate the tiny scenario past the lockstep node threshold so the
+        // autoscaler (no overrides set) picks the batched engine, and pin
+        // its transcripts against the serial evaluator.
+        let mut cfg = tiny_eval(3);
+        cfg.sim.topology.l2_workstations = 200;
+        cfg.sim.topology.host_budget = 256;
+        cfg.sim = cfg.sim.clone().with_max_time(40);
+        let shape = workload_shape(&cfg);
+        assert!(shape.nodes >= acso_runtime::LOCKSTEP_NODE_THRESHOLD);
+        assert_eq!(shape.episodes, 3);
+        let serial = evaluate_policy_detailed(&mut PlaybookPolicy::new(), &cfg);
+        let auto = evaluate_factory_detailed(|| Box::new(PlaybookPolicy::new()), &cfg);
+        assert_eq!(serial, auto);
     }
 
     #[test]

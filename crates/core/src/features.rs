@@ -15,12 +15,21 @@
 
 use dbn::DbnFilter;
 use ics_net::{NodeKind, Topology};
+use ics_sim::observation::NodeObservation;
 use ics_sim::{CompromiseClass, Observation, PlcStatus};
 use neural::Matrix;
 use serde::{Deserialize, Serialize};
 
 /// Width of the per-node feature vector.
 pub const NODE_FEATURE_DIM: usize = CompromiseClass::COUNT + 3 + 1 + 3 + 1;
+/// First node-type one-hot column.
+const TYPE_COL: usize = CompromiseClass::COUNT;
+/// Quarantine flag column.
+const QUARANTINE_COL: usize = TYPE_COL + 3;
+/// First alert-count column.
+const ALERT_COL: usize = QUARANTINE_COL + 1;
+/// Investigation-detection column.
+const DETECTION_COL: usize = ALERT_COL + 3;
 /// Width of the global PLC summary vector.
 pub const PLC_SUMMARY_DIM: usize = 3;
 /// Width of the per-PLC feature vector (status one-hot).
@@ -69,6 +78,34 @@ impl StateFeatures {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NodeFeatureEncoder {
     node_kinds: Vec<NodeKindClass>,
+    /// Row indices of host nodes, precomputed once from the topology.
+    host_rows: Vec<usize>,
+    /// Row indices of server nodes, precomputed once from the topology.
+    server_rows: Vec<usize>,
+}
+
+/// Step-to-step bookkeeping for [`NodeFeatureEncoder::encode_active_into`]:
+/// which rows the previous encode wrote observation columns into, and at what
+/// simulation hour. One scratch per (feature buffer, episode stream) pair.
+#[derive(Debug, Clone, Default)]
+pub struct EncodeScratch {
+    last_time: Option<u64>,
+    prev_active: Vec<usize>,
+}
+
+impl EncodeScratch {
+    /// A fresh scratch with no carry-over (the first encode through it runs
+    /// the dense path).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Breaks the step chain: the next encode through this scratch runs the
+    /// dense path. Call at episode boundaries.
+    pub fn invalidate(&mut self) {
+        self.last_time = None;
+        self.prev_active.clear();
+    }
 }
 
 /// Coarse node classes used for the one-hot type encoding and the output-head
@@ -83,7 +120,7 @@ enum NodeKindClass {
 impl NodeFeatureEncoder {
     /// Builds an encoder for a topology.
     pub fn new(topology: &Topology) -> Self {
-        let node_kinds = topology
+        let node_kinds: Vec<NodeKindClass> = topology
             .nodes()
             .map(|n| match n.kind {
                 NodeKind::Workstation => NodeKindClass::Workstation,
@@ -91,7 +128,19 @@ impl NodeFeatureEncoder {
                 NodeKind::Hmi => NodeKindClass::Hmi,
             })
             .collect();
-        Self { node_kinds }
+        let mut host_rows = Vec::new();
+        let mut server_rows = Vec::new();
+        for (i, kind) in node_kinds.iter().enumerate() {
+            match kind {
+                NodeKindClass::Server => server_rows.push(i),
+                NodeKindClass::Workstation | NodeKindClass::Hmi => host_rows.push(i),
+            }
+        }
+        Self {
+            node_kinds,
+            host_rows,
+            server_rows,
+        }
     }
 
     /// Number of nodes the encoder covers.
@@ -118,12 +167,90 @@ impl NodeFeatureEncoder {
         out: &mut StateFeatures,
     ) {
         let n = self.node_kinds.len();
-        let plc_count = observation.plc_status.len();
         if out.nodes.shape() != (n, NODE_FEATURE_DIM) {
             out.nodes = Matrix::zeros(n, NODE_FEATURE_DIM);
         } else {
             out.nodes.fill(0.0);
         }
+        out.host_rows.clone_from(&self.host_rows);
+        out.server_rows.clone_from(&self.server_rows);
+
+        for (i, kind) in self.node_kinds.iter().enumerate() {
+            let belief = filter.beliefs()[i];
+            let obs = &observation.nodes[i];
+            let row = out.nodes.row_mut(i);
+            for (col, b) in belief.iter().enumerate() {
+                row[col] = *b as f32;
+            }
+            // Node type one-hot.
+            let type_index = match kind {
+                NodeKindClass::Workstation => 0,
+                NodeKindClass::Server => 1,
+                NodeKindClass::Hmi => 2,
+            };
+            row[TYPE_COL + type_index] = 1.0;
+            Self::write_obs_cols(row, obs);
+        }
+
+        Self::encode_plcs(observation, out);
+    }
+
+    /// Encodes one decision point reusing the previous step's encoding in
+    /// `out`: belief columns are refreshed for every row (the DBN filter
+    /// moves every belief every hour), but the observation-derived columns
+    /// are rewritten only for rows active this hour or last — every other
+    /// row is a quiet carry-over whose columns are already exact. Falls back
+    /// to the dense [`NodeFeatureEncoder::encode_into`] whenever the scratch
+    /// cannot prove `out` holds the previous hour of the same episode.
+    /// Bit-identical to the dense encode in either case.
+    pub fn encode_active_into(
+        &self,
+        observation: &Observation,
+        filter: &DbnFilter,
+        scratch: &mut EncodeScratch,
+        out: &mut StateFeatures,
+    ) {
+        let n = self.node_kinds.len();
+        let chain_valid = scratch.last_time.is_some()
+            && scratch.last_time == observation.time.checked_sub(1)
+            && out.nodes.shape() == (n, NODE_FEATURE_DIM)
+            && out.host_rows.len() + out.server_rows.len() == n
+            && observation.nodes.len() == n;
+        if chain_valid {
+            for i in 0..n {
+                let belief = filter.beliefs()[i];
+                let row = out.nodes.row_mut(i);
+                for (col, b) in belief.iter().enumerate() {
+                    row[col] = *b as f32;
+                }
+            }
+            for &i in scratch.prev_active.iter().chain(&observation.active_nodes) {
+                if i < n {
+                    Self::write_obs_cols(out.nodes.row_mut(i), &observation.nodes[i]);
+                }
+            }
+            Self::encode_plcs(observation, out);
+        } else {
+            self.encode_into(observation, filter, out);
+        }
+        scratch.last_time = Some(observation.time);
+        scratch.prev_active.clone_from(&observation.active_nodes);
+    }
+
+    /// Writes the observation-derived columns (quarantine flag, alert
+    /// counts, detection flag) of one node row.
+    fn write_obs_cols(row: &mut [f32], obs: &NodeObservation) {
+        row[QUARANTINE_COL] = if obs.quarantined { 1.0 } else { 0.0 };
+        for (s, count) in obs.alert_counts.iter().enumerate() {
+            row[ALERT_COL + s] = (*count as f32).min(5.0) / 5.0;
+        }
+        row[DETECTION_COL] = if obs.detection() { 1.0 } else { 0.0 };
+    }
+
+    /// Encodes the PLC one-hots and the global PLC summary (the PLC block is
+    /// small and always encoded densely).
+    fn encode_plcs(observation: &Observation, out: &mut StateFeatures) {
+        let plc_count = observation.plc_status.len();
         if out.plcs.shape() != (plc_count, PLC_FEATURE_DIM) {
             out.plcs = Matrix::zeros(plc_count, PLC_FEATURE_DIM);
         } else {
@@ -132,40 +259,6 @@ impl NodeFeatureEncoder {
         if out.plc_summary.shape() != (1, PLC_SUMMARY_DIM) {
             out.plc_summary = Matrix::zeros(1, PLC_SUMMARY_DIM);
         }
-        out.host_rows.clear();
-        out.server_rows.clear();
-
-        for (i, kind) in self.node_kinds.iter().enumerate() {
-            let belief = filter.beliefs()[i];
-            let obs = &observation.nodes[i];
-            let row = out.nodes.row_mut(i);
-            let mut col = 0;
-            for b in belief {
-                row[col] = b as f32;
-                col += 1;
-            }
-            // Node type one-hot.
-            let type_index = match kind {
-                NodeKindClass::Workstation => 0,
-                NodeKindClass::Server => 1,
-                NodeKindClass::Hmi => 2,
-            };
-            row[col + type_index] = 1.0;
-            col += 3;
-            row[col] = if obs.quarantined { 1.0 } else { 0.0 };
-            col += 1;
-            for (s, count) in obs.alert_counts.iter().enumerate() {
-                row[col + s] = (*count as f32).min(5.0) / 5.0;
-            }
-            col += 3;
-            row[col] = if obs.detection() { 1.0 } else { 0.0 };
-
-            match kind {
-                NodeKindClass::Server => out.server_rows.push(i),
-                NodeKindClass::Workstation | NodeKindClass::Hmi => out.host_rows.push(i),
-            }
-        }
-
         let mut counts = [0usize; 3];
         for (i, status) in observation.plc_status.iter().enumerate() {
             let idx = match status {
@@ -254,6 +347,38 @@ mod tests {
                 1 + crate::actions::ACTIONS_PER_NODE * env.topology().node_count()
                     + crate::actions::ACTIONS_PER_PLC * env.topology().plc_count()
             );
+        }
+    }
+
+    #[test]
+    fn active_row_encoding_matches_dense_encoding() {
+        let (mut env, encoder, mut filter) = fixture();
+        let _ = env.reset();
+        filter.reset();
+        let mut scratch = EncodeScratch::new();
+        let mut sparse = StateFeatures::empty();
+        let n = env.topology().node_count();
+        for t in 0..60u64 {
+            // Exercise quarantine toggles and investigations alongside the
+            // alert stream.
+            let mut actions = vec![DefenderAction::NoAction];
+            if t % 6 == 0 {
+                actions.push(DefenderAction::Mitigate {
+                    kind: ics_sim::orchestrator::MitigationKind::Quarantine,
+                    node: ics_net::NodeId::from_index((t as usize) % n),
+                });
+            }
+            if t % 4 == 0 {
+                actions.push(DefenderAction::Investigate {
+                    kind: ics_sim::orchestrator::InvestigationKind::SimpleScan,
+                    node: ics_net::NodeId::from_index((t as usize * 3) % n),
+                });
+            }
+            let step = env.step(&actions);
+            filter.update(&step.observation);
+            encoder.encode_active_into(&step.observation, &filter, &mut scratch, &mut sparse);
+            let dense = encoder.encode(&step.observation, &filter);
+            assert_eq!(sparse, dense, "sparse encode diverged at t={t}");
         }
     }
 

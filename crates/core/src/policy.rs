@@ -84,6 +84,7 @@ mod tests {
             nodes: Vec::new(),
             plc_status: Vec::new(),
             alerts: Vec::new(),
+            active_nodes: Vec::new(),
         };
         let mut rng = StdRng::seed_from_u64(0);
         let actions = policy.decide(&obs, &topo, &mut rng);

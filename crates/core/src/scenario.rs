@@ -168,6 +168,7 @@ impl ScenarioRegistry {
             servers: ServerMix::full(),
             plcs: 30,
             device_factors: DeviceFactors::paper(),
+            host_budget: ics_net::MAX_HOSTS_PER_SEGMENT,
         };
         add(Scenario::new(
             "segmented",
@@ -182,7 +183,43 @@ impl ScenarioRegistry {
         )
         .with_tags(["topology"]));
 
+        let registry_1000 = TopologyParams {
+            levels: 2,
+            vlans_per_level: [8, 8],
+            nodes_per_vlan: [25, 100],
+            servers: ServerMix::full(),
+            plcs: 100,
+            device_factors: DeviceFactors::paper(),
+            // Segment 0 homes 100 workstations + 3 servers (> the 89-host /24
+            // range), so the overflow-subnet allocator is on the hot path.
+            host_budget: 128,
+        };
+        add(Scenario::new(
+            "registry-1000",
+            "scale stressor: ~1000 hosts (800 workstations + 200 HMIs) over 8+8 \
+             segments, multi-/24 allocation, sparse hot-path state",
+            SimConfig {
+                topology: registry_1000
+                    .into_spec()
+                    .expect("registry-1000 preset parameters are valid"),
+                ..SimConfig::small()
+            },
+        )
+        .with_tags(["topology", Self::XL_TAG]));
+
         registry
+    }
+
+    /// Tag marking extra-large scenarios (thousands of hosts). Registry-wide
+    /// sweeps and determinism matrices that train a per-scenario agent skip
+    /// these by default ([`ScenarioRegistry::retain_standard`]); the
+    /// large-topology benchmarks and CI smoke job target them explicitly.
+    pub const XL_TAG: &'static str = "xl";
+
+    /// Drops extra-large ([`Self::XL_TAG`]) scenarios, keeping the standard
+    /// catalog that registry-wide training sweeps can afford.
+    pub fn retain_standard(&mut self) {
+        self.scenarios.retain(|s| !s.has_tag(Self::XL_TAG));
     }
 
     /// Registers a scenario.
@@ -300,6 +337,30 @@ mod tests {
                 .l2_segments
                 > 1
         );
+    }
+
+    #[test]
+    fn registry_1000_is_xl_tagged_and_about_a_thousand_hosts() {
+        let mut registry = ScenarioRegistry::builtin();
+        let xl = registry.get("registry-1000").unwrap();
+        assert!(xl.has_tag(ScenarioRegistry::XL_TAG));
+        let topo = &xl.config.topology;
+        assert!(
+            (950..=1100).contains(&topo.total_nodes()),
+            "{} nodes",
+            topo.total_nodes()
+        );
+        // Segment 0 is denser than one /24, so builds exercise the
+        // overflow-subnet allocator.
+        assert!(topo.segment_loads(2)[0] > ics_net::MAX_HOSTS_PER_SEGMENT);
+        assert!(topo.validate().is_ok());
+
+        // Standard-catalog filtering drops it but keeps everything else.
+        let full_len = registry.len();
+        registry.retain_standard();
+        assert_eq!(registry.len(), full_len - 1);
+        assert!(registry.get("registry-1000").is_none());
+        assert!(registry.get("paper-full").is_some());
     }
 
     #[test]

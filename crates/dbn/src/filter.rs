@@ -8,6 +8,10 @@ use serde::{Deserialize, Serialize};
 
 const S: usize = CompromiseClass::COUNT;
 
+/// Memo key for one [`DbnFilter::update`] pass: a node's `(action, symbol)`
+/// pair plus the exact bit pattern of its prior belief.
+type UpdateKey = (ActionCategory, ObsSymbol, [u64; S]);
+
 /// A learned DBN model: the transition and observation tables.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DbnModel {
@@ -27,6 +31,11 @@ pub struct DbnModel {
 pub struct DbnFilter {
     model: DbnModel,
     beliefs: Vec<[f64; S]>,
+    /// Cached Σ_i P(node i compromised) under the current beliefs — the
+    /// summary statistic µ. Maintained incrementally by `update`/`reset` in
+    /// the same index-ascending summation order the historical full scan
+    /// used, so the cached value is bit-identical to recomputing it.
+    expected_cache: f64,
 }
 
 impl DbnFilter {
@@ -35,6 +44,7 @@ impl DbnFilter {
         Self {
             model,
             beliefs: vec![Self::initial_belief(); node_count],
+            expected_cache: 0.0,
         }
     }
 
@@ -49,6 +59,7 @@ impl DbnFilter {
         for b in &mut self.beliefs {
             *b = Self::initial_belief();
         }
+        self.expected_cache = 0.0;
     }
 
     /// Number of nodes tracked.
@@ -86,10 +97,19 @@ impl DbnFilter {
     }
 
     /// Expected number of compromised nodes under the current beliefs (the
-    /// summary statistic µ used by the transition model).
+    /// summary statistic µ used by the transition model). O(1): maintained
+    /// incrementally across updates instead of scanned per call.
     pub fn expected_compromised(&self) -> f64 {
-        (0..self.beliefs.len())
-            .map(|i| self.compromise_probability(NodeId::from_index(i)))
+        self.expected_cache
+    }
+
+    /// The compromised probability mass of one belief, summed in the same
+    /// class order as [`DbnFilter::compromise_probability`].
+    fn compromised_mass(belief: &[f64; S]) -> f64 {
+        CompromiseClass::ALL
+            .into_iter()
+            .filter(|c| c.is_compromised())
+            .map(|c| belief[c.index()])
             .sum()
     }
 
@@ -107,10 +127,58 @@ impl DbnFilter {
         best
     }
 
+    /// One node's eq. (7) update: predict through the transition model, then
+    /// correct by the observation likelihood. A pure function of
+    /// `(prior, µ, action, symbol)`.
+    fn posterior_for(
+        model: &DbnModel,
+        prior: &[f64; S],
+        mu: MuBucket,
+        action: ActionCategory,
+        symbol: ObsSymbol,
+    ) -> [f64; S] {
+        let mut posterior = [0.0f64; S];
+        for (next_i, next_class) in CompromiseClass::ALL.into_iter().enumerate() {
+            // Predict: sum over previous states.
+            let mut predicted = 0.0;
+            for (prev_i, prev_class) in CompromiseClass::ALL.into_iter().enumerate() {
+                predicted +=
+                    model.transition.prob(prev_class, mu, action, next_class) * prior[prev_i];
+            }
+            // Correct: weight by the observation likelihood.
+            posterior[next_i] = model.observation.prob(next_class, action, symbol) * predicted;
+        }
+        let norm: f64 = posterior.iter().sum();
+        if norm > 0.0 {
+            for p in &mut posterior {
+                *p /= norm;
+            }
+        } else {
+            posterior = Self::initial_belief();
+        }
+        posterior
+    }
+
     /// Applies one step of the recursive update (eq. 7) for every node using
     /// the step's observation.
+    ///
+    /// The per-node posterior is a pure function of the node's prior belief
+    /// and its `(action, symbol)` pair, so within one update the result is
+    /// memoised by the prior's exact bit pattern. On large topologies nearly
+    /// every node is quiet and quiet nodes that have never alerted share one
+    /// belief trajectory, which collapses the hour's work from O(nodes · S²)
+    /// to O(distinct beliefs · S²) — with bit-identical posteriors, since the
+    /// memo only ever replays the exact same floating-point computation.
     pub fn update(&mut self, observation: &Observation) {
         let mu = MuBucket::from_count(self.expected_compromised());
+        let mut memo: std::collections::HashMap<UpdateKey, [f64; S]> =
+            std::collections::HashMap::new();
+        // Quiet nodes arrive in long index-ordered runs sharing one belief
+        // trajectory, so the previous node's memo entry usually answers the
+        // next node too — checked first to skip the hash on the common path.
+        let mut last: Option<(UpdateKey, [f64; S])> = None;
+        let mut expected = 0.0f64;
+        let updated = observation.nodes.len().min(self.beliefs.len());
         for (idx, node_obs) in observation.nodes.iter().enumerate() {
             if idx >= self.beliefs.len() {
                 break;
@@ -118,32 +186,26 @@ impl DbnFilter {
             let action = ActionCategory::from_observation(node_obs);
             let symbol = ObsSymbol::from_observation(node_obs);
             let prior = self.beliefs[idx];
-
-            let mut posterior = [0.0f64; S];
-            for (next_i, next_class) in CompromiseClass::ALL.into_iter().enumerate() {
-                // Predict: sum over previous states.
-                let mut predicted = 0.0;
-                for (prev_i, prev_class) in CompromiseClass::ALL.into_iter().enumerate() {
-                    predicted += self
-                        .model
-                        .transition
-                        .prob(prev_class, mu, action, next_class)
-                        * prior[prev_i];
+            let key = (action, symbol, prior.map(f64::to_bits));
+            let posterior = match &last {
+                Some((k, p)) if *k == key => *p,
+                _ => {
+                    let p = *memo.entry(key).or_insert_with(|| {
+                        Self::posterior_for(&self.model, &prior, mu, action, symbol)
+                    });
+                    last = Some((key, p));
+                    p
                 }
-                // Correct: weight by the observation likelihood.
-                posterior[next_i] =
-                    self.model.observation.prob(next_class, action, symbol) * predicted;
-            }
-            let norm: f64 = posterior.iter().sum();
-            if norm > 0.0 {
-                for p in &mut posterior {
-                    *p /= norm;
-                }
-            } else {
-                posterior = Self::initial_belief();
-            }
+            };
+            expected += Self::compromised_mass(&posterior);
             self.beliefs[idx] = posterior;
         }
+        // Nodes beyond the observation keep their beliefs but still count
+        // toward µ, in the same index order the historical full scan used.
+        for belief in &self.beliefs[updated..] {
+            expected += Self::compromised_mass(belief);
+        }
+        self.expected_cache = expected;
     }
 }
 
@@ -213,6 +275,7 @@ mod tests {
             nodes,
             plc_status: Vec::new(),
             alerts: Vec::new(),
+            active_nodes: Vec::new(),
         }
     }
 

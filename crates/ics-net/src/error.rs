@@ -25,6 +25,12 @@ pub enum TopologyError {
     /// Address assignment produced a duplicate IP (a spec packed more hosts
     /// into a subnet than the addressing scheme supports).
     DuplicateIp(IpAddr),
+    /// A level's host overflow exceeds its available /24 overflow subnets:
+    /// the level genuinely cannot address that many hosts.
+    AddressSpaceExhausted {
+        /// The PERA level whose address space ran out.
+        level: u8,
+    },
 }
 
 impl fmt::Display for TopologyError {
@@ -39,6 +45,10 @@ impl fmt::Display for TopologyError {
                 write!(f, "invalid topology parameter `{field}`: {reason}")
             }
             TopologyError::DuplicateIp(ip) => write!(f, "duplicate ip address {ip}"),
+            TopologyError::AddressSpaceExhausted { level } => write!(
+                f,
+                "level {level} address space exhausted: segment overflow exceeds the level's /24 blocks"
+            ),
         }
     }
 }
@@ -68,6 +78,9 @@ mod tests {
         assert!(msg.contains("at least 1"));
         let dup = TopologyError::DuplicateIp(IpAddr::new(10, 1, 2, 100)).to_string();
         assert!(dup.contains("10.1.2.100"));
+        let exhausted = TopologyError::AddressSpaceExhausted { level: 1 }.to_string();
+        assert!(exhausted.contains("level 1"));
+        assert!(exhausted.contains("exhausted"));
     }
 
     #[test]

@@ -45,5 +45,5 @@ pub use device::{Device, DeviceId, DeviceKind};
 pub use error::TopologyError;
 pub use node::{Level, Node, NodeId, NodeKind, ServerRole};
 pub use plc::{Plc, PlcId};
-pub use spec::{DeviceFactors, ServerMix, TopologyParams, TopologySpec};
+pub use spec::{DeviceFactors, ServerMix, TopologyParams, TopologySpec, MAX_HOSTS_PER_SEGMENT};
 pub use topology::Topology;

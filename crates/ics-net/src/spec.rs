@@ -23,11 +23,29 @@ pub const PERA_LEVELS: usize = 2;
 /// (third IP octet `1 + segment`) stay clear of reserved address space.
 pub const MAX_SEGMENTS_PER_LEVEL: usize = 8;
 
-/// Maximum hosts homed on one VLAN segment. Host numbers start at 10 and must
-/// stay below 100 so node addresses never collide with the PLC host range
-/// (100+) even when a level-1 segment shares a /24 third octet with a PLC
-/// subnet.
-pub const MAX_HOSTS_PER_SEGMENT: usize = 89;
+/// Hosts that fit inside a segment's *own* `/24` subnet. Host numbers start
+/// at 10 and must stay below 100 so node addresses never collide with the PLC
+/// host range (100+) even when a level-1 segment shares a /24 third octet
+/// with a PLC subnet. Segments denser than this spill into per-level overflow
+/// subnets (third octet [`OVERFLOW_SUBNET_BASE`]+).
+pub const SEGMENT_SUBNET_HOSTS: usize = 89;
+
+/// Default per-segment host budget ([`TopologySpec::host_budget`]): the
+/// paper-era cap where every segment fits its own /24 and no overflow subnets
+/// are allocated. Scenarios raise the budget to build denser segments.
+pub const MAX_HOSTS_PER_SEGMENT: usize = SEGMENT_SUBNET_HOSTS;
+
+/// First third-octet used by overflow subnets. Stays clear of the segment
+/// subnets (third octets `1..=8`) and, on level 1, of the PLC subnets (third
+/// octets `2..=5`, which only use the 100+ host range anyway).
+pub const OVERFLOW_SUBNET_BASE: usize = 9;
+
+/// Hosts per overflow /24 block (fourth octets `10..=249`, mirroring the
+/// segment-subnet host-numbering convention).
+pub const OVERFLOW_SUBNET_HOSTS: usize = 240;
+
+/// Overflow /24 blocks available per level (third octets `9..=255`).
+pub const OVERFLOW_SUBNETS_PER_LEVEL: usize = 256 - OVERFLOW_SUBNET_BASE;
 
 /// Maximum PLCs. PLC subnets start at third octet 2 and hold 150 PLCs each;
 /// four subnets keep them clear of segment subnets' host ranges.
@@ -169,6 +187,8 @@ pub struct TopologyParams {
     pub plcs: usize,
     /// Alert-cost multipliers of switches, routers and firewalls.
     pub device_factors: DeviceFactors,
+    /// Per-segment host budget (see [`TopologySpec::host_budget`]).
+    pub host_budget: usize,
 }
 
 impl TopologyParams {
@@ -181,6 +201,7 @@ impl TopologyParams {
             servers: ServerMix::full(),
             plcs: 50,
             device_factors: DeviceFactors::paper(),
+            host_budget: MAX_HOSTS_PER_SEGMENT,
         }
     }
 
@@ -218,6 +239,7 @@ impl TopologyParams {
             l2_segments: self.vlans_per_level[1],
             l1_segments: self.vlans_per_level[0],
             device_factors: self.device_factors,
+            host_budget: self.host_budget,
         };
         spec.validate()?;
         Ok(spec)
@@ -272,6 +294,13 @@ pub struct TopologySpec {
     pub l1_segments: usize,
     /// Alert-cost multipliers of switches, routers and firewalls.
     pub device_factors: DeviceFactors,
+    /// Per-segment host budget: the heaviest host load any one segment may
+    /// carry. Defaults to [`MAX_HOSTS_PER_SEGMENT`] (89, the paper-era cap
+    /// where every segment fits its own /24); larger budgets let segments
+    /// span multiple /24s via per-level overflow subnets, bounded by the
+    /// level's address space ([`OVERFLOW_SUBNETS_PER_LEVEL`] blocks of
+    /// [`OVERFLOW_SUBNET_HOSTS`] hosts).
+    pub host_budget: usize,
 }
 
 impl TopologySpec {
@@ -287,6 +316,7 @@ impl TopologySpec {
             l2_segments: 1,
             l1_segments: 1,
             device_factors: DeviceFactors::paper(),
+            host_budget: MAX_HOSTS_PER_SEGMENT,
         }
     }
 
@@ -345,15 +375,37 @@ impl TopologySpec {
             && self.plcs >= 1
     }
 
-    /// The heaviest host load of any one segment on a level: hosts are dealt
-    /// round-robin, and level-2 segment 0 additionally homes the servers.
-    fn max_segment_load(&self, level: u8) -> usize {
+    /// Host load of every segment on a level, in segment order: hosts are
+    /// dealt round-robin (so earlier segments carry the remainder), and
+    /// level-2 segment 0 additionally homes the servers.
+    pub fn segment_loads(&self, level: u8) -> Vec<usize> {
         let (hosts, segments, extra) = if level == 1 {
             (self.l1_hmis, self.l1_segments, 0)
         } else {
             (self.l2_workstations, self.l2_segments, self.server_count())
         };
-        hosts.div_ceil(segments.max(1)) + extra
+        let segments = segments.max(1);
+        (0..segments)
+            .map(|s| {
+                hosts / segments
+                    + usize::from(s < hosts % segments)
+                    + if s == 0 { extra } else { 0 }
+            })
+            .collect()
+    }
+
+    /// The heaviest host load of any one segment on a level.
+    fn max_segment_load(&self, level: u8) -> usize {
+        self.segment_loads(level).into_iter().max().unwrap_or(0)
+    }
+
+    /// Hosts on a level that do not fit their segment's own /24 subnet and
+    /// spill into the level's overflow subnets.
+    fn overflow_hosts(&self, level: u8) -> usize {
+        self.segment_loads(level)
+            .into_iter()
+            .map(|load| load.saturating_sub(SEGMENT_SUBNET_HOSTS))
+            .sum()
     }
 
     /// Validates the spec against the addressing scheme and the attack model.
@@ -383,16 +435,25 @@ impl TopologySpec {
                 reason: "at most 600 PLCs fit the PLC subnets",
             });
         }
+        if self.host_budget == 0 {
+            return Err(TopologyError::InvalidParameter {
+                field: "host_budget",
+                reason: "per-segment host budget must be at least 1",
+            });
+        }
         for level in [1u8, 2] {
-            if self.max_segment_load(level) > MAX_HOSTS_PER_SEGMENT {
+            if self.max_segment_load(level) > self.host_budget {
                 return Err(TopologyError::InvalidParameter {
                     field: if level == 1 {
                         "l1_hmis"
                     } else {
                         "l2_workstations"
                     },
-                    reason: "a VLAN segment holds at most 89 hosts",
+                    reason: "a VLAN segment holds more hosts than the scenario's host budget",
                 });
+            }
+            if self.overflow_hosts(level) > OVERFLOW_SUBNETS_PER_LEVEL * OVERFLOW_SUBNET_HOSTS {
+                return Err(TopologyError::AddressSpaceExhausted { level });
             }
         }
         self.device_factors.validate()?;
@@ -534,6 +595,60 @@ mod tests {
         assert!(spec.validate().is_ok());
         assert_eq!(spec.segments_for_level(2), 2);
         assert_eq!(spec.segments_for_level(1), 1);
+    }
+
+    #[test]
+    fn host_budget_lifts_the_per_segment_cap() {
+        let mut spec = TopologySpec::paper_full();
+        spec.l2_workstations = 150;
+        // 150 + 3 servers = 153 > 89: rejected under the default budget...
+        assert!(matches!(
+            spec.validate(),
+            Err(TopologyError::InvalidParameter {
+                field: "l2_workstations",
+                ..
+            })
+        ));
+        // ...but valid once the scenario budgets for denser segments.
+        spec.host_budget = 200;
+        assert!(spec.validate().is_ok());
+        assert_eq!(spec.segment_loads(2), vec![153]);
+        assert_eq!(spec.segment_loads(1), vec![5]);
+    }
+
+    #[test]
+    fn host_budget_zero_is_rejected() {
+        let mut spec = TopologySpec::paper_full();
+        spec.host_budget = 0;
+        assert!(matches!(
+            spec.validate(),
+            Err(TopologyError::InvalidParameter {
+                field: "host_budget",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn segment_loads_deal_remainders_to_early_segments() {
+        let mut spec = TopologySpec::paper_full();
+        spec.l2_workstations = 7;
+        spec.l2_segments = 3;
+        // 7 over 3 segments: 3/2/2, plus 3 servers on segment 0.
+        assert_eq!(spec.segment_loads(2), vec![6, 2, 2]);
+    }
+
+    #[test]
+    fn overflow_past_the_level_address_space_is_exhaustion() {
+        let mut spec = TopologySpec::paper_full();
+        // One segment carrying more overflow hosts than 247 /24 blocks hold.
+        let too_many = SEGMENT_SUBNET_HOSTS + OVERFLOW_SUBNETS_PER_LEVEL * OVERFLOW_SUBNET_HOSTS;
+        spec.l2_workstations = too_many; // + 3 servers pushes past the space
+        spec.host_budget = usize::MAX;
+        assert_eq!(
+            spec.validate(),
+            Err(TopologyError::AddressSpaceExhausted { level: 2 })
+        );
     }
 
     #[test]

@@ -5,7 +5,9 @@ use crate::device::{Device, DeviceId, DeviceKind};
 use crate::error::TopologyError;
 use crate::node::{Level, Node, NodeId, NodeKind, ServerRole};
 use crate::plc::{Plc, PlcId};
-use crate::spec::TopologySpec;
+use crate::spec::{
+    TopologySpec, OVERFLOW_SUBNET_BASE, OVERFLOW_SUBNET_HOSTS, SEGMENT_SUBNET_HOSTS,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -46,6 +48,66 @@ pub struct Topology {
     level_routers: HashMap<u8, DeviceId>,
     plant_firewall: DeviceId,
     engineering_firewall: DeviceId,
+    /// Node identifiers per PERA level (`[level-1, level-2]`), in insertion
+    /// order — the same order `nodes().filter(|n| n.level == level)` yields.
+    /// Cached so per-level hot paths (IDS false alerts) need no dense scan.
+    level_nodes: [Vec<NodeId>; 2],
+}
+
+/// Per-segment IP allocation state for one PERA level: slot counters plus the
+/// precomputed start of each segment's range in the level's overflow subnets.
+///
+/// Slot `k` of segment `s` maps to the segment's own /24
+/// (`10.<level>.<1+s>.<10+k>`) while `k < SEGMENT_SUBNET_HOSTS`; denser
+/// segments continue into the level-wide overflow subnets at third octet
+/// [`OVERFLOW_SUBNET_BASE`]+. Overflow ranges are derived from the spec's
+/// per-segment loads, so the mapping is a pure function of (spec, segment,
+/// slot) regardless of the interleaved push order.
+struct LevelAllocator {
+    level: u8,
+    slots: Vec<usize>,
+    overflow_starts: Vec<usize>,
+}
+
+impl LevelAllocator {
+    fn new(spec: &TopologySpec, level: u8) -> Self {
+        let loads = spec.segment_loads(level);
+        let mut overflow_starts = Vec::with_capacity(loads.len());
+        let mut total = 0usize;
+        for load in &loads {
+            overflow_starts.push(total);
+            total += load.saturating_sub(SEGMENT_SUBNET_HOSTS);
+        }
+        Self {
+            level,
+            slots: vec![0; loads.len()],
+            overflow_starts,
+        }
+    }
+
+    fn next_ip(&mut self, segment: usize) -> Result<IpAddr, TopologyError> {
+        let slot = self.slots[segment];
+        self.slots[segment] += 1;
+        if slot < SEGMENT_SUBNET_HOSTS {
+            return Ok(IpAddr::new(
+                10,
+                self.level,
+                1 + segment as u8,
+                (10 + slot) as u8,
+            ));
+        }
+        let overflow = self.overflow_starts[segment] + (slot - SEGMENT_SUBNET_HOSTS);
+        let block = OVERFLOW_SUBNET_BASE + overflow / OVERFLOW_SUBNET_HOSTS;
+        if block > u8::MAX as usize {
+            return Err(TopologyError::AddressSpaceExhausted { level: self.level });
+        }
+        Ok(IpAddr::new(
+            10,
+            self.level,
+            block as u8,
+            (10 + overflow % OVERFLOW_SUBNET_HOSTS) as u8,
+        ))
+    }
 }
 
 impl Topology {
@@ -56,42 +118,48 @@ impl Topology {
     /// get their own dense identifier space. Hosts are dealt round-robin
     /// across a level's operations-VLAN segments (servers stay on level-2
     /// segment 0); each segment owns the `10.<level>.<1 + segment>.0/24`
-    /// subnet, PLC subnets start at `10.1.2.0/24` in the 100+ host range.
+    /// subnet, and segments denser than the /24 host range continue into the
+    /// level's overflow subnets (third octet 9+). PLC subnets start at
+    /// `10.1.2.0/24` in the 100+ host range.
     ///
     /// # Errors
     ///
     /// Returns [`TopologyError::InvalidParameter`] /
     /// [`TopologyError::UnattackableSpec`] when the spec fails
-    /// [`TopologySpec::validate`], and [`TopologyError::DuplicateIp`] if
-    /// address assignment would alias two elements (unreachable for a spec
-    /// that validates; kept as a hard backstop).
+    /// [`TopologySpec::validate`], [`TopologyError::AddressSpaceExhausted`]
+    /// if a level's overflow subnets run out (validation also catches this up
+    /// front), and [`TopologyError::DuplicateIp`] if address assignment would
+    /// alias two elements (unreachable for a spec that validates; kept as a
+    /// hard backstop).
     pub fn build(spec: &TopologySpec) -> Result<Self, TopologyError> {
         spec.validate()?;
 
         let mut nodes = Vec::new();
         let mut node_ips = Vec::new();
 
-        // Per-segment host counters; hosts start at 10 within each subnet.
-        let mut host_counters_l2 = vec![10u8; spec.l2_segments];
-        let mut host_counters_l1 = vec![10u8; spec.l1_segments];
+        // Per-level IP allocators: each segment fills its own /24 first
+        // (hosts 10..=98, exactly the legacy layout), then continues into the
+        // level's overflow subnets so a segment may span multiple /24s.
+        let mut alloc_l2 = LevelAllocator::new(spec, 2);
+        let mut alloc_l1 = LevelAllocator::new(spec, 1);
 
         let mut push_node = |nodes: &mut Vec<Node>,
                              node_ips: &mut Vec<IpAddr>,
                              kind: NodeKind,
                              level: Level,
-                             segment: usize| {
-            let counters = if level == Level::Engineering2 {
-                &mut host_counters_l2
+                             segment: usize|
+         -> Result<NodeId, TopologyError> {
+            let alloc = if level == Level::Engineering2 {
+                &mut alloc_l2
             } else {
-                &mut host_counters_l1
+                &mut alloc_l1
             };
-            let host = counters[segment];
-            counters[segment] += 1;
+            let ip = alloc.next_ip(segment)?;
             let vlan = VlanId::ops_segment(level.number(), segment as u8);
             let id = NodeId(nodes.len());
             nodes.push(Node::new(id, kind, level, vlan));
-            node_ips.push(IpAddr::new(10, level.number(), 1 + segment as u8, host));
-            id
+            node_ips.push(ip);
+            Ok(id)
         };
 
         for i in 0..spec.l2_workstations {
@@ -101,7 +169,7 @@ impl Topology {
                 NodeKind::Workstation,
                 Level::Engineering2,
                 i % spec.l2_segments,
-            );
+            )?;
         }
         for (present, role) in [
             (spec.opc_server, ServerRole::Opc),
@@ -115,7 +183,7 @@ impl Topology {
                     NodeKind::Server(role),
                     Level::Engineering2,
                     0,
-                );
+                )?;
             }
         }
         for i in 0..spec.l1_hmis {
@@ -125,7 +193,7 @@ impl Topology {
                 NodeKind::Hmi,
                 Level::Plant1,
                 i % spec.l1_segments,
-            );
+            )?;
         }
 
         // Networking devices: one switch per VLAN (ops + quarantine per
@@ -184,6 +252,11 @@ impl Topology {
             }
         }
 
+        let mut level_nodes: [Vec<NodeId>; 2] = [Vec::new(), Vec::new()];
+        for node in &nodes {
+            level_nodes[node.level.number() as usize - 1].push(node.id);
+        }
+
         Ok(Self {
             spec: spec.clone(),
             nodes,
@@ -196,6 +269,7 @@ impl Topology {
             level_routers,
             plant_firewall,
             engineering_firewall,
+            level_nodes,
         })
     }
 
@@ -247,6 +321,13 @@ impl Topology {
     /// Level-1 HMIs.
     pub fn hmis(&self) -> impl Iterator<Item = &Node> {
         self.nodes.iter().filter(|n| n.kind.is_hmi())
+    }
+
+    /// Node identifiers on a PERA level, in dense insertion order — identical
+    /// content and order to `nodes().filter(|n| n.level == level)`, but
+    /// precomputed so per-level hot paths avoid a full scan.
+    pub fn nodes_on_level(&self, level: Level) -> &[NodeId] {
+        &self.level_nodes[level.number() as usize - 1]
     }
 
     /// All networking devices.
@@ -619,6 +700,95 @@ mod tests {
             t.device_factor_between_vlans(VlanId::ops(2), VlanId::ops(1)),
             90.0
         );
+    }
+
+    #[test]
+    fn dense_segments_span_multiple_subnets() {
+        // 350 workstations + 3 servers on one level-2 segment: the first 89
+        // hosts keep the legacy in-segment layout, the rest overflow into
+        // 10.2.9.0/24 and 10.2.10.0/24.
+        let mut spec = TopologySpec::paper_full();
+        spec.l2_workstations = 350;
+        spec.host_budget = 400;
+        let t = Topology::build(&spec).unwrap();
+        assert_eq!(t.workstations().count(), 350);
+        assert_eq!(t.ip_of(NodeId::from_index(0)).octets(), [10, 2, 1, 10]);
+        assert_eq!(t.ip_of(NodeId::from_index(88)).octets(), [10, 2, 1, 98]);
+        // Slot 89 is the first overflow host.
+        assert_eq!(t.ip_of(NodeId::from_index(89)).octets(), [10, 2, 9, 10]);
+        // Slot 89 + 240 starts the second overflow block.
+        assert_eq!(t.ip_of(NodeId::from_index(329)).octets(), [10, 2, 10, 10]);
+        let mut seen = std::collections::HashSet::new();
+        for id in t.node_ids() {
+            assert!(seen.insert(t.ip_of(id)), "duplicate ip for {id}");
+            assert_eq!(t.node_by_ip(t.ip_of(id)), Some(id));
+        }
+        for plc in t.plc_ids() {
+            assert!(seen.insert(t.plc_ip(plc)));
+        }
+    }
+
+    #[test]
+    fn overflow_segments_coexist_with_plc_subnets_on_level_one() {
+        // A dense level-1 segment overflows into 10.1.9.0/24+, clear of the
+        // PLC subnets at 10.1.2-5.x (100+ host range) and of other segments.
+        let mut spec = TopologySpec::paper_full();
+        spec.l1_hmis = 200;
+        spec.l1_segments = 2;
+        spec.plcs = 600;
+        spec.host_budget = 128;
+        let t = Topology::build(&spec).unwrap();
+        assert_eq!(t.hmis().count(), 200);
+        assert_eq!(t.plc_count(), 600);
+        let mut seen = std::collections::HashSet::new();
+        for id in t.node_ids() {
+            assert!(seen.insert(t.ip_of(id)));
+        }
+        for plc in t.plc_ids() {
+            assert!(seen.insert(t.plc_ip(plc)));
+        }
+        // Both level-1 segments overflow (100 hosts each > 89); their
+        // overflow ranges are disjoint slices of the same block sequence.
+        let first_seg1_overflow = t
+            .nodes_homed_on(VlanId::ops_segment(1, 1))
+            .map(|id| t.ip_of(id))
+            .filter(|ip| ip.octets()[2] >= 9)
+            .min()
+            .unwrap();
+        assert_eq!(first_seg1_overflow.octets(), [10, 1, 9, 21]);
+    }
+
+    #[test]
+    fn overflow_ip_layout_is_stable_for_existing_shapes() {
+        // Budget-89 specs (every preset, every pre-existing scenario) keep
+        // the exact legacy addresses: this is what the determinism goldens
+        // rely on.
+        let t = full();
+        for (i, id) in t.node_ids().enumerate().take(25) {
+            assert_eq!(t.ip_of(id).octets(), [10, 2, 1, (10 + i) as u8]);
+        }
+        // HMIs (last five nodes) live on level 1.
+        assert_eq!(t.ip_of(NodeId::from_index(28)).octets(), [10, 1, 1, 10]);
+    }
+
+    #[test]
+    fn level_node_cache_matches_filtered_scan() {
+        for spec in [TopologySpec::paper_full(), TopologySpec::tiny(), {
+            let mut s = TopologySpec::paper_small();
+            s.l2_segments = 2;
+            s.l1_segments = 2;
+            s
+        }] {
+            let t = Topology::build(&spec).unwrap();
+            for level in [Level::Plant1, Level::Engineering2] {
+                let scanned: Vec<NodeId> = t
+                    .nodes()
+                    .filter(|n| n.level == level)
+                    .map(|n| n.id)
+                    .collect();
+                assert_eq!(t.nodes_on_level(level), scanned.as_slice());
+            }
+        }
     }
 
     #[test]

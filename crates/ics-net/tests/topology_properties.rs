@@ -27,6 +27,7 @@ proptest! {
         dc in 0u8..2,
         plcs in 0usize..700,
         router_factor in 0.0f64..12.0,
+        host_budget in 0usize..400,
     ) {
         let params = TopologyParams {
             levels,
@@ -42,13 +43,16 @@ proptest! {
                 router: router_factor,
                 ..DeviceFactors::paper()
             },
+            host_budget,
         };
 
         // Validation and construction must agree, and neither may panic.
         let spec = match params.into_spec() {
             Ok(spec) => spec,
             Err(
-                TopologyError::InvalidParameter { .. } | TopologyError::UnattackableSpec,
+                TopologyError::InvalidParameter { .. }
+                | TopologyError::UnattackableSpec
+                | TopologyError::AddressSpaceExhausted { .. },
             ) => return Ok(()),
             Err(other) => {
                 prop_assert!(false, "unexpected validation error {other:?}");
@@ -139,6 +143,7 @@ proptest! {
             servers: ServerMix::full(),
             plcs,
             device_factors: DeviceFactors::paper(),
+            host_budget: ics_net::MAX_HOSTS_PER_SEGMENT,
         };
         let spec = params.into_spec();
         prop_assert!(spec.is_ok(), "{spec:?}");

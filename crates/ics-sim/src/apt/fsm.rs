@@ -599,12 +599,13 @@ mod tests {
         }
 
         fn compromise(&mut self, node: NodeId, admin: bool) {
-            let c = self.state.compromise_mut(node);
-            c.try_insert(C::Scanned);
-            c.try_insert(C::InitialCompromise);
-            if admin {
-                c.try_insert(C::AdminAccess);
-            }
+            self.state.update_compromise(node, |c| {
+                c.try_insert(C::Scanned);
+                c.try_insert(C::InitialCompromise);
+                if admin {
+                    c.try_insert(C::AdminAccess);
+                }
+            });
         }
     }
 
@@ -716,8 +717,8 @@ mod tests {
         );
         // Defender re-images two of the three footholds: revert to lateral
         // movement.
-        f.state.compromise_mut(ws[0]).clear_all();
-        f.state.compromise_mut(ws[1]).clear_all();
+        f.state.update_compromise(ws[0], |c| c.clear_all());
+        f.state.update_compromise(ws[1], |c| c.clear_all());
         assert_eq!(
             FsmAptPolicy::derive_phase(&f.ctx(&[])),
             AptPhase::LateralMovement

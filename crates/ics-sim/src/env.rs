@@ -84,6 +84,18 @@ pub struct IcsEnvironment {
     pending_apt: Vec<PendingApt>,
     time: u64,
     rng: StdRng,
+    /// Persistent per-node observation buffer. Quiet entries carry over from
+    /// hour to hour; only the entries dirtied by alerts or completed defender
+    /// actions are reset, so per-step observation assembly scales with
+    /// activity instead of world size.
+    obs_buffer: Vec<NodeObservation>,
+    /// Indices into `obs_buffer` written this hour (reset to quiet at the
+    /// start of the next hour). May contain duplicates.
+    dirty_obs: Vec<usize>,
+    /// When set, the observation buffer is rebuilt densely every hour — the
+    /// bit-identical reference the sparse-vs-dense equivalence suite compares
+    /// against.
+    dense_observation_mode: bool,
 }
 
 impl std::fmt::Debug for IcsEnvironment {
@@ -157,6 +169,9 @@ impl IcsEnvironment {
             pending_apt: Vec::new(),
             time: 0,
             rng,
+            obs_buffer: Vec::new(),
+            dirty_obs: Vec::new(),
+            dense_observation_mode: false,
         };
         env.reset_internal();
         Ok(env)
@@ -219,6 +234,28 @@ impl IcsEnvironment {
         self.apt_params = self.config.apt.sample(&mut self.rng);
         self.apt_policy.reset(&self.apt_params);
         self.establish_beachhead();
+        self.rebuild_obs_buffer();
+    }
+
+    /// Rebuilds the persistent observation buffer with a dense pass: every
+    /// node quiet, quarantine flags read from the current state. Runs once
+    /// per reset (and every hour in the dense reference mode).
+    fn rebuild_obs_buffer(&mut self) {
+        self.dirty_obs.clear();
+        self.obs_buffer.clear();
+        self.obs_buffer.extend(
+            self.topology
+                .node_ids()
+                .map(|id| NodeObservation::quiet(id, self.state.is_quarantined(id))),
+        );
+    }
+
+    /// Switches per-step observation assembly between the sparse dirty-set
+    /// path (default) and a dense rebuild-everything-every-hour reference.
+    /// The two produce bit-identical observations; the dense path exists so
+    /// the equivalence suite has an independent baseline to compare against.
+    pub fn set_dense_observation_reference(&mut self, dense: bool) {
+        self.dense_observation_mode = dense;
     }
 
     /// Candidate nodes for the attacker's initial foothold, per the sampled
@@ -239,9 +276,10 @@ impl IcsEnvironment {
     fn establish_beachhead(&mut self) {
         let candidates = self.beachhead_candidates();
         if let Some(beachhead) = candidates.choose(&mut self.rng).copied() {
-            let comp = self.state.compromise_mut(beachhead);
-            comp.try_insert(C::Scanned);
-            comp.try_insert(C::InitialCompromise);
+            self.state.update_compromise(beachhead, |comp| {
+                comp.try_insert(C::Scanned);
+                comp.try_insert(C::InitialCompromise);
+            });
             let vlan = self.state.vlan_of(beachhead);
             self.knowledge.record_location(beachhead, vlan);
             self.knowledge.discovered_vlans.insert(vlan);
@@ -258,6 +296,7 @@ impl IcsEnvironment {
                 .collect(),
             plc_status: self.state.plc_states().map(|p| p.status).collect(),
             alerts: Vec::new(),
+            active_nodes: Vec::new(),
         }
     }
 
@@ -271,11 +310,21 @@ impl IcsEnvironment {
         let prev_potential = self.config.shaping.potential(&self.state);
 
         let mut alerts: Vec<Alert> = Vec::new();
-        let mut node_obs: Vec<NodeObservation> = self
-            .topology
-            .node_ids()
-            .map(|id| NodeObservation::quiet(id, self.state.is_quarantined(id)))
-            .collect();
+        if self.dense_observation_mode {
+            self.rebuild_obs_buffer();
+        } else {
+            // Reset only the entries written last hour; everything else is
+            // already quiet and its quarantine flag is kept current by
+            // `apply_mitigation`.
+            let mut dirty = std::mem::take(&mut self.dirty_obs);
+            dirty.sort_unstable();
+            dirty.dedup();
+            for idx in dirty.drain(..) {
+                let id = NodeId::from_index(idx);
+                self.obs_buffer[idx] = NodeObservation::quiet(id, self.state.is_quarantined(id));
+            }
+            self.dirty_obs = dirty;
+        }
 
         // 1. Enqueue defender actions.
         for action in actions {
@@ -300,7 +349,7 @@ impl IcsEnvironment {
         self.complete_apt_actions();
 
         // 4. Apply defender actions whose durations have elapsed.
-        let it_cost = self.complete_defender_actions(&mut alerts, &mut node_obs);
+        let it_cost = self.complete_defender_actions(&mut alerts);
 
         // 5. Passive and false alerts.
         alerts.extend(self.ids.passive_alerts(
@@ -315,15 +364,19 @@ impl IcsEnvironment {
                 .false_alerts(&self.topology, self.time, &mut self.rng),
         );
 
-        // 6. Aggregate alerts into per-node counts.
+        // 6. Aggregate alerts into per-node counts — driven by the raw alert
+        // stream, so only nodes that actually alerted this hour are touched.
         for alert in &alerts {
             if let AlertSource::Node(node) = alert.source {
-                let idx = (alert.severity.level() - 1) as usize;
-                node_obs[node.index()].alert_counts[idx] += 1;
+                let sev = (alert.severity.level() - 1) as usize;
+                self.obs_buffer[node.index()].alert_counts[sev] += 1;
+                self.dirty_obs.push(node.index());
             }
         }
-        for (idx, obs) in node_obs.iter_mut().enumerate() {
-            obs.quarantined = self.state.is_quarantined(NodeId::from_index(idx));
+        if self.dense_observation_mode {
+            for (idx, obs) in self.obs_buffer.iter_mut().enumerate() {
+                obs.quarantined = self.state.is_quarantined(NodeId::from_index(idx));
+            }
         }
 
         // 7. Score the step.
@@ -336,11 +389,17 @@ impl IcsEnvironment {
             * (self.config.shaping.gamma * next_potential - prev_potential);
         let done = self.time >= self.config.reward.max_time;
 
+        // The step's dirty set doubles as the observation's active-node list:
+        // it is exactly the set of entries written this hour, in either mode.
+        let mut active_nodes = self.dirty_obs.clone();
+        active_nodes.sort_unstable();
+        active_nodes.dedup();
         let observation = Observation {
             time: self.time,
-            nodes: node_obs,
+            nodes: self.obs_buffer.clone(),
             plc_status: self.state.plc_states().map(|p| p.status).collect(),
             alerts,
+            active_nodes,
         };
         let info = StepInfo {
             apt_phase: self.apt_policy.phase_name(),
@@ -453,9 +512,10 @@ impl IcsEnvironment {
                     .filter(|n| !self.state.is_quarantined(*n))
                     .collect();
                 if let Some(node) = candidates.choose(&mut self.rng).copied() {
-                    let comp = self.state.compromise_mut(node);
-                    comp.try_insert(C::Scanned);
-                    comp.try_insert(C::InitialCompromise);
+                    self.state.update_compromise(node, |comp| {
+                        comp.try_insert(C::Scanned);
+                        comp.try_insert(C::InitialCompromise);
+                    });
                     let vlan = self.state.vlan_of(node);
                     self.knowledge.record_location(node, vlan);
                     self.knowledge.discovered_vlans.insert(vlan);
@@ -469,7 +529,8 @@ impl IcsEnvironment {
                         .filter(|id| self.state.vlan_of(*id) == vlan)
                         .collect();
                     for node in on_vlan {
-                        self.state.compromise_mut(node).try_insert(C::Scanned);
+                        self.state
+                            .update_compromise(node, |c| c.try_insert(C::Scanned));
                         self.knowledge.record_location(node, vlan);
                     }
                 }
@@ -485,8 +546,7 @@ impl IcsEnvironment {
                         return;
                     }
                     self.state
-                        .compromise_mut(target)
-                        .try_insert(C::InitialCompromise);
+                        .update_compromise(target, |c| c.try_insert(C::InitialCompromise));
                     if self.state.compromise(target).is_compromised() {
                         self.state.dirty_node(target);
                     }
@@ -495,27 +555,25 @@ impl IcsEnvironment {
             AptActionKind::RebootPersist => {
                 if let Some(target) = action.target_node() {
                     self.state
-                        .compromise_mut(target)
-                        .try_insert(C::RebootPersistence);
+                        .update_compromise(target, |c| c.try_insert(C::RebootPersistence));
                 }
             }
             AptActionKind::EscalatePrivilege => {
                 if let Some(target) = action.target_node() {
-                    self.state.compromise_mut(target).try_insert(C::AdminAccess);
+                    self.state
+                        .update_compromise(target, |c| c.try_insert(C::AdminAccess));
                 }
             }
             AptActionKind::CredentialPersist => {
                 if let Some(target) = action.target_node() {
                     self.state
-                        .compromise_mut(target)
-                        .try_insert(C::CredentialPersistence);
+                        .update_compromise(target, |c| c.try_insert(C::CredentialPersistence));
                 }
             }
             AptActionKind::Cleanup => {
                 if let Some(target) = action.target_node() {
                     self.state
-                        .compromise_mut(target)
-                        .try_insert(C::MalwareCleaned);
+                        .update_compromise(target, |c| c.try_insert(C::MalwareCleaned));
                 }
             }
             AptActionKind::DiscoverVlan => {
@@ -534,7 +592,8 @@ impl IcsEnvironment {
                     for (role, node) in servers {
                         self.knowledge.record_server(role, node);
                         self.knowledge.record_location(node, vlan);
-                        self.state.compromise_mut(node).try_insert(C::Scanned);
+                        self.state
+                            .update_compromise(node, |c| c.try_insert(C::Scanned));
                     }
                 }
             }
@@ -581,11 +640,7 @@ impl IcsEnvironment {
         }
     }
 
-    fn complete_defender_actions(
-        &mut self,
-        alerts: &mut Vec<Alert>,
-        node_obs: &mut [NodeObservation],
-    ) -> f64 {
+    fn complete_defender_actions(&mut self, alerts: &mut Vec<Alert>) -> f64 {
         let due: Vec<PendingDefender> = {
             let (due, rest): (Vec<_>, Vec<_>) = self
                 .pending_defender
@@ -601,7 +656,8 @@ impl IcsEnvironment {
                 DefenderAction::NoAction => {}
                 DefenderAction::Investigate { kind, node } => {
                     let detected = self.roll_investigation(kind, node);
-                    node_obs[node.index()].investigation = Some((kind, detected));
+                    self.obs_buffer[node.index()].investigation = Some((kind, detected));
+                    self.dirty_obs.push(node.index());
                     if detected {
                         alerts.push(Alert {
                             time: self.time,
@@ -614,7 +670,13 @@ impl IcsEnvironment {
                 }
                 DefenderAction::Mitigate { kind, node } => {
                     self.apply_mitigation(kind, node);
-                    node_obs[node.index()].mitigation = Some(kind);
+                    let idx = node.index();
+                    self.obs_buffer[idx].mitigation = Some(kind);
+                    // A quarantine toggle is the only way a node changes VLAN;
+                    // refreshing the flag here keeps every untouched buffer
+                    // entry's flag permanently current.
+                    self.obs_buffer[idx].quarantined = self.state.is_quarantined(node);
+                    self.dirty_obs.push(idx);
                 }
                 DefenderAction::RecoverPlc { kind, plc } => match kind {
                     PlcRecoveryKind::ResetPlc => self.state.plc_mut(plc).reset(),
@@ -654,7 +716,7 @@ impl IcsEnvironment {
                 return;
             }
         }
-        self.state.compromise_mut(node).clear_all();
+        self.state.update_compromise(node, |c| c.clear_all());
     }
 
     /// Runs one full episode with a fixed defender action callback, returning
@@ -841,10 +903,11 @@ mod tests {
     }
 
     fn env_force_persistence(env: &mut IcsEnvironment, node: NodeId) {
-        let comp = env.state.compromise_mut(node);
-        comp.try_insert(C::Scanned);
-        comp.try_insert(C::InitialCompromise);
-        comp.try_insert(C::RebootPersistence);
+        env.state.update_compromise(node, |comp| {
+            comp.try_insert(C::Scanned);
+            comp.try_insert(C::InitialCompromise);
+            comp.try_insert(C::RebootPersistence);
+        });
     }
 
     #[test]
@@ -869,6 +932,57 @@ mod tests {
             env.step(&[]);
         }
         assert_eq!(env.state().plc(plc).status, PlcStatus::Nominal);
+    }
+
+    /// Deterministic scripted defender that exercises every observation
+    /// channel: investigations, re-images, and quarantine toggles.
+    fn scripted_defender(obs: &Observation, env: &IcsEnvironment) -> Vec<DefenderAction> {
+        let n = env.topology().node_count();
+        let t = obs.time;
+        let mut actions = Vec::new();
+        if t.is_multiple_of(5) {
+            actions.push(DefenderAction::Investigate {
+                kind: InvestigationKind::SimpleScan,
+                node: NodeId::from_index((t as usize * 3) % n),
+            });
+        }
+        if t.is_multiple_of(7) {
+            actions.push(DefenderAction::Mitigate {
+                kind: MitigationKind::Quarantine,
+                node: NodeId::from_index((t as usize * 5) % n),
+            });
+        }
+        if t.is_multiple_of(11) {
+            actions.push(DefenderAction::Mitigate {
+                kind: MitigationKind::ReimageNode,
+                node: NodeId::from_index((t as usize * 7) % n),
+            });
+        }
+        actions
+    }
+
+    #[test]
+    fn sparse_observation_path_matches_dense_reference() {
+        let cfg = no_defense_config().with_seed(21).with_max_time(400);
+        let run = |dense: bool| {
+            let mut env = IcsEnvironment::new(cfg.clone());
+            env.set_dense_observation_reference(dense);
+            let mut obs = env.reset();
+            let mut transcript = Vec::new();
+            loop {
+                let actions = scripted_defender(&obs, &env);
+                let step = env.step(&actions);
+                let done = step.done;
+                obs = step.observation.clone();
+                transcript.push((step.observation, step.reward.to_bits(), step.info));
+                if done {
+                    break;
+                }
+            }
+            assert!(env.state().sparse_indices_match_dense_scan());
+            transcript
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -179,7 +179,11 @@ impl IdsModule {
         rng: &mut StdRng,
     ) -> Vec<Alert> {
         let mut alerts = Vec::new();
-        for node in state.compromised_nodes() {
+        // The sparse compromised-node index is sorted ascending, so the
+        // per-node `gen_bool` draws happen in the same order as the historical
+        // dense scan and the RNG stream (and every transcript) is unchanged.
+        for &idx in state.compromised_indices() {
+            let node = ics_net::NodeId::from_index(idx);
             let mut p = self.config.passive_alert_prob;
             if state
                 .compromise(node)
@@ -206,11 +210,10 @@ impl IdsModule {
     pub fn false_alerts(&self, topology: &Topology, time: u64, rng: &mut StdRng) -> Vec<Alert> {
         let mut alerts = Vec::new();
         for level in Level::all() {
-            let nodes: Vec<_> = topology
-                .nodes()
-                .filter(|n| n.level == level)
-                .map(|n| n.id)
-                .collect();
+            // The per-level cache lists nodes in insertion order — the same
+            // order the historical filtered scan produced — so `gen_range`
+            // picks the same node for the same draw.
+            let nodes = topology.nodes_on_level(level);
             if nodes.is_empty() {
                 continue;
             }
@@ -252,13 +255,14 @@ mod tests {
     }
 
     fn compromise(state: &mut NetworkState, node: NodeId, cleaned: bool) {
-        let c = state.compromise_mut(node);
-        c.try_insert(C::Scanned);
-        c.try_insert(C::InitialCompromise);
-        if cleaned {
-            c.try_insert(C::AdminAccess);
-            c.try_insert(C::MalwareCleaned);
-        }
+        state.update_compromise(node, |c| {
+            c.try_insert(C::Scanned);
+            c.try_insert(C::InitialCompromise);
+            if cleaned {
+                c.try_insert(C::AdminAccess);
+                c.try_insert(C::MalwareCleaned);
+            }
+        });
     }
 
     #[test]
@@ -388,7 +392,7 @@ mod tests {
         assert_eq!(IdsModule::severity_for_node(&state, ws), Severity::LOW);
         compromise(&mut state, ws, false);
         assert_eq!(IdsModule::severity_for_node(&state, ws), Severity::MEDIUM);
-        state.compromise_mut(ws).try_insert(C::AdminAccess);
+        state.update_compromise(ws, |c| c.try_insert(C::AdminAccess));
         assert_eq!(IdsModule::severity_for_node(&state, ws), Severity::HIGH);
     }
 }

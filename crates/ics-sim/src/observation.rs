@@ -73,6 +73,13 @@ pub struct Observation {
     /// The raw alert stream for the step (the per-node counts above are an
     /// aggregation of these).
     pub alerts: Vec<Alert>,
+    /// Sorted, deduplicated indices of the nodes whose entry in `nodes` was
+    /// written this step (alerts, completed investigations, completed
+    /// mitigations). Every other entry is a quiet carry-over from the
+    /// previous hour, which is what lets downstream feature encoders touch
+    /// only active rows. Hand-built observations may leave this empty; it is
+    /// only meaningful on the environment's step-to-step observation chain.
+    pub active_nodes: Vec<usize>,
 }
 
 impl Observation {
@@ -135,6 +142,7 @@ mod tests {
                 PlcStatus::Destroyed,
             ],
             alerts: Vec::new(),
+            active_nodes: Vec::new(),
         };
         assert_eq!(obs.plcs_offline(), 2);
         assert_eq!(obs.total_alerts(), 0);

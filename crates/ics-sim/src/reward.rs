@@ -213,9 +213,10 @@ mod tests {
         let (topo, clean) = state();
         let mut compromised = clean.clone();
         let ws = topo.workstations().next().unwrap().id;
-        let c = compromised.compromise_mut(ws);
-        c.try_insert(C::Scanned);
-        c.try_insert(C::InitialCompromise);
+        compromised.update_compromise(ws, |c| {
+            c.try_insert(C::Scanned);
+            c.try_insert(C::InitialCompromise);
+        });
 
         let shaping = ShapingConfig::paper();
         // Getting compromised is penalised; getting cleaned is rewarded.
@@ -235,14 +236,16 @@ mod tests {
         let shaping = ShapingConfig::paper();
         let mut ws_comp = base.clone();
         let ws = topo.workstations().next().unwrap().id;
-        let c = ws_comp.compromise_mut(ws);
-        c.try_insert(C::Scanned);
-        c.try_insert(C::InitialCompromise);
+        ws_comp.update_compromise(ws, |c| {
+            c.try_insert(C::Scanned);
+            c.try_insert(C::InitialCompromise);
+        });
         let mut srv_comp = base.clone();
         let srv = topo.servers().next().unwrap().id;
-        let c = srv_comp.compromise_mut(srv);
-        c.try_insert(C::Scanned);
-        c.try_insert(C::InitialCompromise);
+        srv_comp.update_compromise(srv, |c| {
+            c.try_insert(C::Scanned);
+            c.try_insert(C::InitialCompromise);
+        });
         assert!(shaping.potential(&srv_comp) < shaping.potential(&ws_comp));
     }
 }

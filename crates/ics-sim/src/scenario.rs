@@ -112,6 +112,9 @@ impl Scenario {
                     .choose(&mut topo_rng)
                     .expect("non-empty factor list"),
             },
+            // Fixed (not drawn) so generated scenarios keep their historical
+            // RNG streams and transcripts.
+            host_budget: ics_net::MAX_HOSTS_PER_SEGMENT,
         };
         let spec = params
             .into_spec()
@@ -187,6 +190,7 @@ impl Scenario {
         writeln!(out, "plcs = {}", t.plcs).unwrap();
         writeln!(out, "l2_segments = {}", t.l2_segments).unwrap();
         writeln!(out, "l1_segments = {}", t.l1_segments).unwrap();
+        writeln!(out, "host_budget = {}", t.host_budget).unwrap();
 
         writeln!(out, "\n[topology.device_factors]").unwrap();
         writeln!(out, "switch = {}", fmt_f64(t.device_factors.switch)).unwrap();
@@ -296,6 +300,7 @@ impl Scenario {
                     "plcs",
                     "l2_segments",
                     "l1_segments",
+                    "host_budget",
                 ],
             ),
             ("topology.device_factors", &["switch", "router", "firewall"]),
@@ -365,6 +370,7 @@ impl Scenario {
             plcs: doc.usize_or("topology", "plcs", dt.plcs)?,
             l2_segments: doc.usize_or("topology", "l2_segments", dt.l2_segments)?,
             l1_segments: doc.usize_or("topology", "l1_segments", dt.l1_segments)?,
+            host_budget: doc.usize_or("topology", "host_budget", dt.host_budget)?,
             device_factors: DeviceFactors {
                 switch: doc.f64_or("topology.device_factors", "switch", 1.0)?,
                 router: doc.f64_or("topology.device_factors", "router", 2.0)?,

@@ -18,6 +18,17 @@ pub struct NetworkState {
     node_is_server: Vec<bool>,
     node_home_vlan: Vec<VlanId>,
     plcs: Vec<PlcState>,
+    /// Sorted dense indices of nodes the APT currently controls. Maintained
+    /// by [`NetworkState::update_compromise`] so the per-step hot paths
+    /// (IDS passive alerts, reward shaping, metrics) touch only active nodes
+    /// instead of scanning the whole world.
+    compromised_index: Vec<usize>,
+    /// Compromised nodes that are workstations or HMIs (not servers).
+    compromised_workstations: usize,
+    /// Compromised servers.
+    compromised_servers: usize,
+    /// Sorted dense indices of nodes currently on a quarantine VLAN.
+    quarantined_index: Vec<usize>,
 }
 
 impl NetworkState {
@@ -37,6 +48,10 @@ impl NetworkState {
             node_is_server,
             node_home_vlan,
             plcs,
+            compromised_index: Vec::new(),
+            compromised_workstations: 0,
+            compromised_servers: 0,
+            quarantined_index: Vec::new(),
         }
     }
 
@@ -55,9 +70,41 @@ impl NetworkState {
         &self.node_compromise[node.index()]
     }
 
-    /// Mutable access to a node's compromise conditions.
-    pub fn compromise_mut(&mut self, node: NodeId) -> &mut CompromiseSet {
-        &mut self.node_compromise[node.index()]
+    /// Applies a mutation to a node's compromise conditions while keeping the
+    /// sparse compromised-node index and the per-kind counters in sync.
+    ///
+    /// All writes to compromise state go through here: the closure may insert
+    /// or remove any conditions (including cascading removals), and the index
+    /// is updated only when the node's overall compromised status flips.
+    pub fn update_compromise<R>(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&mut CompromiseSet) -> R,
+    ) -> R {
+        let idx = node.index();
+        let was = self.node_compromise[idx].is_compromised();
+        let result = f(&mut self.node_compromise[idx]);
+        let now = self.node_compromise[idx].is_compromised();
+        if was != now {
+            match self.compromised_index.binary_search(&idx) {
+                Err(pos) if now => self.compromised_index.insert(pos, idx),
+                Ok(pos) if !now => {
+                    self.compromised_index.remove(pos);
+                }
+                _ => unreachable!("compromised index out of sync with compromise sets"),
+            }
+            let counter = if self.node_is_server[idx] {
+                &mut self.compromised_servers
+            } else {
+                &mut self.compromised_workstations
+            };
+            if now {
+                *counter += 1;
+            } else {
+                *counter -= 1;
+            }
+        }
+        result
     }
 
     /// VLAN the node is currently connected to (reflects quarantine moves).
@@ -84,6 +131,14 @@ impl NetworkState {
         } else {
             self.node_home_vlan[idx].counterpart()
         };
+        let quarantined = self.node_vlan[idx].is_quarantine();
+        match self.quarantined_index.binary_search(&idx) {
+            Err(pos) if quarantined => self.quarantined_index.insert(pos, idx),
+            Ok(pos) if !quarantined => {
+                self.quarantined_index.remove(pos);
+            }
+            _ => unreachable!("quarantine index out of sync with VLAN assignments"),
+        }
         self.node_vlan[idx]
     }
 
@@ -103,45 +158,44 @@ impl NetworkState {
     }
 
     /// Identifiers of all nodes the APT currently controls (initial
-    /// compromise or beyond).
+    /// compromise or beyond), in ascending node order.
     pub fn compromised_nodes(&self) -> Vec<NodeId> {
-        self.node_compromise
+        self.compromised_index
             .iter()
-            .enumerate()
-            .filter(|(_, c)| c.is_compromised())
-            .map(|(i, _)| NodeId::from_index(i))
+            .map(|&i| NodeId::from_index(i))
             .collect()
+    }
+
+    /// Sorted dense indices of all compromised nodes. The borrow-free sibling
+    /// of [`NetworkState::compromised_nodes`] for hot loops that must not
+    /// allocate.
+    pub fn compromised_indices(&self) -> &[usize] {
+        &self.compromised_index
+    }
+
+    /// Sorted dense indices of all nodes currently on a quarantine VLAN.
+    pub fn quarantined_indices(&self) -> &[usize] {
+        &self.quarantined_index
     }
 
     /// Number of compromised nodes.
     pub fn compromised_count(&self) -> usize {
-        self.node_compromise
-            .iter()
-            .filter(|c| c.is_compromised())
-            .count()
+        self.compromised_index.len()
     }
 
     /// Number of compromised nodes that are workstations or HMIs.
     pub fn compromised_workstation_count(&self) -> usize {
-        self.node_compromise
-            .iter()
-            .zip(&self.node_is_server)
-            .filter(|(c, is_server)| c.is_compromised() && !**is_server)
-            .count()
+        self.compromised_workstations
     }
 
     /// Number of compromised servers.
     pub fn compromised_server_count(&self) -> usize {
-        self.node_compromise
-            .iter()
-            .zip(&self.node_is_server)
-            .filter(|(c, is_server)| c.is_compromised() && **is_server)
-            .count()
+        self.compromised_servers
     }
 
     /// Whether the APT currently controls at least one node.
     pub fn any_compromised(&self) -> bool {
-        self.node_compromise.iter().any(|c| c.is_compromised())
+        !self.compromised_index.is_empty()
     }
 
     /// Number of PLCs currently disrupted.
@@ -173,7 +227,35 @@ impl NetworkState {
     /// Removes the `MalwareCleaned` condition from a node if present. Used by
     /// attacker actions that generate fresh artifacts on a node.
     pub fn dirty_node(&mut self, node: NodeId) {
-        self.node_compromise[node.index()].remove(CompromiseCondition::MalwareCleaned);
+        self.update_compromise(node, |c| c.remove(CompromiseCondition::MalwareCleaned));
+    }
+
+    /// Recomputes the compromise counters and indices with a dense scan and
+    /// checks them against the incrementally maintained sparse state. Used by
+    /// the sparse-vs-dense equivalence tests; not on any hot path.
+    pub fn sparse_indices_match_dense_scan(&self) -> bool {
+        let dense_compromised: Vec<usize> = self
+            .node_compromise
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_compromised())
+            .map(|(i, _)| i)
+            .collect();
+        let dense_servers = dense_compromised
+            .iter()
+            .filter(|&&i| self.node_is_server[i])
+            .count();
+        let dense_quarantined: Vec<usize> = self
+            .node_vlan
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_quarantine())
+            .map(|(i, _)| i)
+            .collect();
+        dense_compromised == self.compromised_index
+            && dense_servers == self.compromised_servers
+            && dense_compromised.len() - dense_servers == self.compromised_workstations
+            && dense_quarantined == self.quarantined_index
     }
 }
 
@@ -205,9 +287,10 @@ mod tests {
         let ws = topo.workstations().next().unwrap().id;
         let srv = topo.servers().next().unwrap().id;
         for n in [ws, srv] {
-            let c = state.compromise_mut(n);
-            c.try_insert(C::Scanned);
-            c.try_insert(C::InitialCompromise);
+            state.update_compromise(n, |c| {
+                c.try_insert(C::Scanned);
+                c.try_insert(C::InitialCompromise);
+            });
         }
         assert_eq!(state.compromised_count(), 2);
         assert_eq!(state.compromised_workstation_count(), 1);
@@ -215,6 +298,11 @@ mod tests {
         assert!(state.is_server(srv));
         assert!(!state.is_server(ws));
         assert_eq!(state.compromised_nodes().len(), 2);
+        assert!(state.sparse_indices_match_dense_scan());
+        state.update_compromise(srv, |c| c.clear_all());
+        assert_eq!(state.compromised_count(), 1);
+        assert_eq!(state.compromised_server_count(), 0);
+        assert!(state.sparse_indices_match_dense_scan());
     }
 
     #[test]
@@ -226,9 +314,12 @@ mod tests {
         let q = state.toggle_quarantine(ws);
         assert!(q.is_quarantine());
         assert!(state.is_quarantined(ws));
+        assert_eq!(state.quarantined_indices(), &[ws.index()]);
         let back = state.toggle_quarantine(ws);
         assert_eq!(back, home);
         assert!(!state.is_quarantined(ws));
+        assert!(state.quarantined_indices().is_empty());
+        assert!(state.sparse_indices_match_dense_scan());
     }
 
     #[test]
@@ -247,11 +338,12 @@ mod tests {
     fn dirty_node_clears_cleaned_flag() {
         let (topo, mut state) = state();
         let ws = topo.workstations().next().unwrap().id;
-        let c = state.compromise_mut(ws);
-        c.try_insert(C::Scanned);
-        c.try_insert(C::InitialCompromise);
-        c.try_insert(C::AdminAccess);
-        c.try_insert(C::MalwareCleaned);
+        state.update_compromise(ws, |c| {
+            c.try_insert(C::Scanned);
+            c.try_insert(C::InitialCompromise);
+            c.try_insert(C::AdminAccess);
+            c.try_insert(C::MalwareCleaned);
+        });
         assert!(state.compromise(ws).contains(C::MalwareCleaned));
         state.dirty_node(ws);
         assert!(!state.compromise(ws).contains(C::MalwareCleaned));

@@ -17,6 +17,13 @@
 
 #![warn(missing_docs)]
 
+mod autoscale;
+
+pub use autoscale::{
+    detected_cores, plan, plan_with, AutoscalePlan, EngineChoice, WorkloadShape,
+    LOCKSTEP_ACTION_THRESHOLD, LOCKSTEP_NODE_THRESHOLD, MAX_AUTO_LANES,
+};
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
@@ -38,6 +45,17 @@ pub fn threads_from(var: Option<&str>) -> usize {
         Some(n) if n > 0 => n,
         _ => thread::available_parallelism().map_or(1, |n| n.get()),
     }
+}
+
+/// The `ACSO_THREADS` override alone: `Some(n)` only when the variable is
+/// set to a positive integer, `None` otherwise. [`available_threads`] folds
+/// this with the detected parallelism; the autoscaler ([`plan`]) needs the
+/// two separated to report whether the operator pinned the count.
+pub fn threads_override() -> Option<usize> {
+    std::env::var(THREADS_ENV_VAR)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|n| *n > 0)
 }
 
 /// Environment variable that turns on the lockstep batched rollout engine

@@ -35,10 +35,12 @@ use ics_sim::{IcsEnvironment, SimConfig};
 use std::path::PathBuf;
 
 /// Environment variable overriding the daemon's lockstep lane width. Falls
-/// back to `ACSO_BATCH`, then [`DEFAULT_LANES`].
+/// back to `ACSO_BATCH`, then to the machine-derived width (detected cores
+/// clamped to `DEFAULT_LANES..=MAX_AUTO_LANES`).
 pub const SERVE_LANES_ENV_VAR: &str = "ACSO_SERVE_LANES";
 
-/// Default lockstep lane width when no environment override is set.
+/// Smallest lane width the daemon autoscales to, and the width the pinned
+/// [`ServiceConfig::fixed`] transcript configuration runs with.
 pub const DEFAULT_LANES: usize = 8;
 
 /// How the service runs: lane width, rollout threads, and whether time is
@@ -54,14 +56,20 @@ pub struct ServiceConfig {
 }
 
 impl ServiceConfig {
-    /// Reads `ACSO_SERVE_LANES` / `ACSO_BATCH` / `ACSO_THREADS`.
+    /// Reads `ACSO_SERVE_LANES` / `ACSO_BATCH` / `ACSO_THREADS`; with no
+    /// lane override set, the lane width autoscales to the machine (detected
+    /// cores clamped to `DEFAULT_LANES..=MAX_AUTO_LANES`). Lane width never
+    /// affects a response transcript — the lockstep engine is pinned
+    /// bit-identical for every width — so autoscaling is purely throughput.
     pub fn from_env() -> Self {
         let lanes = std::env::var(SERVE_LANES_ENV_VAR)
             .ok()
             .and_then(|v| v.trim().parse::<usize>().ok())
             .filter(|n| *n > 0)
             .or_else(acso_runtime::batch_lanes)
-            .unwrap_or(DEFAULT_LANES);
+            .unwrap_or_else(|| {
+                acso_runtime::detected_cores().clamp(DEFAULT_LANES, acso_runtime::MAX_AUTO_LANES)
+            });
         Self {
             lanes,
             threads: acso_runtime::available_threads(),

@@ -40,6 +40,7 @@ fn main() {
             firewall: 8.0,
             ..DeviceFactors::paper()
         },
+        host_budget: ics_net::MAX_HOSTS_PER_SEGMENT,
     };
     let spec = params.into_spec().expect("parameters validate");
     let custom = Scenario::new(

@@ -55,7 +55,10 @@ where
 
 #[test]
 fn batched_transcripts_match_serial_for_every_scenario_and_policy() {
-    let registry = ScenarioRegistry::builtin();
+    let mut registry = ScenarioRegistry::builtin();
+    // The engine matrix trains a per-scenario agent; extra-large scenarios
+    // (tag "xl", ~1000 hosts) are covered by their own bounded tests.
+    registry.retain_standard();
     assert!(
         registry.len() >= 11,
         "registry shrank to {} scenarios",

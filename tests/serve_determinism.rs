@@ -127,6 +127,36 @@ fn served_evaluations_match_the_offline_scenario_sweep() {
     }
 }
 
+/// The ~1000-host `registry-1000` scenario served end to end: a warm
+/// playbook policy evaluated over the wire at a bounded horizon must match
+/// the offline evaluator bit for bit, pinning the sparse world model (and
+/// its multi-/24 topology) behind the daemon's `evaluate` path.
+#[test]
+fn served_evaluation_covers_the_1000_host_scenario() {
+    let registry = ScenarioRegistry::builtin();
+    let xl = registry
+        .get("registry-1000")
+        .expect("registry-1000 is built in");
+
+    let mut service = EvalService::new(ServiceConfig::fixed());
+    parse_result(&service.handle_line(
+        r#"{"id":0,"method":"load_policy","params":{"policy":"playbook","scenario":"registry-1000","max_time":30}}"#,
+    ));
+    let result = parse_result(&service.handle_line(
+        r#"{"id":1,"method":"evaluate","params":{"handle":"playbook@1","scenario":"registry-1000","episodes":1,"seed":3,"max_time":30,"transcripts":true}}"#,
+    ));
+
+    let offline = evaluate_factory_detailed(
+        || Box::new(PlaybookPolicy::new()),
+        &EvalConfig {
+            sim: xl.config.clone().with_max_time(30),
+            episodes: 1,
+            seed: 3,
+        },
+    );
+    assert_matches_offline(&result, &offline);
+}
+
 /// Coalescing four pipelined requests into one lockstep batch does not
 /// change any of their results relative to the offline evaluator.
 #[test]
